@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary file contents must parse or error, never panic,
+// and successful parses must yield rectangular-or-ragged float rows with
+// no NaN-from-garbage surprises.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("# comment\n\n1.5, -2.5\n")
+	f.Add(",,,\n")
+	f.Add("1e308,1e-308\n")
+	f.Add("nan,inf\n")
+
+	f.Fuzz(func(t *testing.T, content string) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.csv")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Skip()
+		}
+		pts, err := readCSV(path)
+		if err != nil {
+			return
+		}
+		for _, p := range pts {
+			if len(p) == 0 {
+				t.Fatal("parsed empty point")
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+// Hospitals: the paper's motivating scenario. Two hospitals hold disjoint
+// patient populations (horizontally partitioned data) and want to find
+// joint patient phenotype clusters — without either hospital seeing the
+// other's records.
+//
+// The example runs the basic §4.2 protocol and the §5 enhanced protocol
+// on the same cohort and contrasts what each hospital's clustering looks
+// like and what each protocol disclosed.
+//
+// Run with: go run ./examples/hospitals
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/transport"
+)
+
+// makeCohort synthesizes patient records as (age-score, biomarker-score)
+// pairs on a 64×64 grid: three phenotypes plus background noise, split
+// between the hospitals at random.
+func makeCohort(seed int64) (hospitalA, hospitalB [][]float64) {
+	d := dataset.WithNoise(dataset.Blobs(80, 3, 0.3, seed), 10, seed+1)
+	q, _ := dataset.Quantize(d, 64)
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range q.Points {
+		if rng.Intn(2) == 0 {
+			hospitalA = append(hospitalA, p)
+		} else {
+			hospitalB = append(hospitalB, p)
+		}
+	}
+	return hospitalA, hospitalB
+}
+
+func run(name string, cfg core.Config,
+	aliceFn, bobFn func(transport.Conn, core.Config, [][]float64) (*core.Result, error),
+	a, b [][]float64) (*core.Result, *core.Result) {
+
+	ca, cb := transport.Pipe()
+	ma, mb := transport.NewMeter(ca), transport.NewMeter(cb)
+	var ra, rb *core.Result
+	err := transport.RunPair(ma, mb,
+		func(transport.Conn) error {
+			r, err := aliceFn(ma, cfg, a)
+			ra = r
+			return err
+		},
+		func(transport.Conn) error {
+			r, err := bobFn(mb, cfg, b)
+			rb = r
+			return err
+		},
+	)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	fmt.Printf("--- %s ---\n", name)
+	fmt.Printf("hospital A: %d patients -> %d phenotype clusters, %d flagged as noise\n",
+		len(a), ra.NumClusters, countNoise(ra.Labels))
+	fmt.Printf("hospital B: %d patients -> %d phenotype clusters, %d flagged as noise\n",
+		len(b), rb.NumClusters, countNoise(rb.Labels))
+	fmt.Printf("disclosure ledger A: %v\n", ra.Leakage)
+	fmt.Printf("disclosure ledger B: %v\n", rb.Leakage)
+	fmt.Printf("total traffic: %.1f KB\n\n", float64(ma.Stats().BytesSent+mb.Stats().BytesSent)/1024)
+	return ra, rb
+}
+
+func countNoise(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+func main() {
+	hospitalA, hospitalB := makeCohort(7)
+
+	cfg := core.Config{
+		Eps:          5,
+		MinPts:       4,
+		MaxCoord:     63,
+		Engine:       "masked", // O(1)-ciphertext engine for this data scale
+		PaillierBits: 256,
+		RSABits:      256,
+		Seed:         7,
+	}
+
+	fmt.Println("Two hospitals cluster their joint patient cohort privately.")
+	fmt.Println("Neither hospital's records ever leave its machine; only the")
+	fmt.Println("protocols' defined disclosures cross the wire.")
+	fmt.Println()
+
+	run("basic protocol (§4.2): reveals per-query neighbour counts",
+		cfg, core.HorizontalAlice, core.HorizontalBob, hospitalA, hospitalB)
+
+	run("enhanced protocol (§5): reveals only core-point bits",
+		cfg, core.EnhancedHorizontalAlice, core.EnhancedHorizontalBob, hospitalA, hospitalB)
+
+	fmt.Println("Note how the enhanced ledger shows zero neighbour counts and zero")
+	fmt.Println("membership bits — the §5 improvement — at the cost of distance-order")
+	fmt.Println("bits consumed by its secure selection.")
+}

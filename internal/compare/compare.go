@@ -1,0 +1,315 @@
+// Package compare provides pluggable secure two-party comparison engines
+// with a single ideal functionality: Alice holds a, Bob holds b, both in
+// [0, Bound], and both parties learn whether a ≤ b (or a < b) and nothing
+// else about the peer's value.
+//
+// Two engines are provided:
+//
+//   - YMPP: the paper's Algorithm 1 (Yao 1982), faithful, with O(Bound)
+//     communication and computation per call. This is what every protocol
+//     in the paper charges its complexity against.
+//   - Masked: a Paillier-based extension engine (NOT in the paper) that
+//     costs O(1) ciphertexts per call. Bob homomorphically computes
+//     t = r·(b−a) + r′ with r random and 0 ≤ r′ < r, so sign(t) =
+//     sign(b−a); Alice decrypts t and learns the sign plus roughly
+//     log₂|b−a| masked magnitude bits. DESIGN.md documents this bounded
+//     leakage; the engine exists to make n-scaling experiments tractable
+//     and to serve as the E8 ablation baseline.
+//
+// Engines are stateful about keys but stateless across calls; each call
+// performs one complete comparison sub-protocol on the supplied connection.
+package compare
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/paillier"
+	"repro/internal/transport"
+	"repro/internal/yao"
+)
+
+// Alice is the comparison interface for the party holding the left value.
+type Alice interface {
+	// LessEq decides a ≤ b; must pair with the Bob side's LessEq.
+	LessEq(conn transport.Conn, a int64) (bool, error)
+	// Less decides a < b; must pair with the Bob side's Less.
+	Less(conn transport.Conn, a int64) (bool, error)
+	// Bound is the inclusive maximum input value.
+	Bound() int64
+	// Name identifies the engine for reports.
+	Name() string
+}
+
+// Bob is the comparison interface for the party holding the right value.
+type Bob interface {
+	LessEq(conn transport.Conn, b int64) (bool, error)
+	Less(conn transport.Conn, b int64) (bool, error)
+	Bound() int64
+	Name() string
+}
+
+// EngineKind selects a comparison engine at session setup.
+type EngineKind string
+
+const (
+	// EngineYMPP is the paper's Algorithm 1.
+	EngineYMPP EngineKind = "ympp"
+	// EngineMasked is the O(1)-ciphertext extension engine.
+	EngineMasked EngineKind = "masked"
+)
+
+// ParseEngine validates an engine name from flags or config.
+func ParseEngine(s string) (EngineKind, error) {
+	switch EngineKind(s) {
+	case EngineYMPP, EngineMasked:
+		return EngineKind(s), nil
+	}
+	return "", fmt.Errorf("compare: unknown engine %q (want %q or %q)", s, EngineYMPP, EngineMasked)
+}
+
+func checkInput(v, bound int64) error {
+	if v < 0 || v > bound {
+		return fmt.Errorf("compare: input %d outside [0,%d]", v, bound)
+	}
+	return nil
+}
+
+// ---- YMPP engine ----
+
+// YMPPAlice adapts the yao package to the Alice interface.
+type YMPPAlice struct {
+	Key    *yao.RSAKey
+	Max    int64
+	Random io.Reader
+}
+
+// YMPPBob adapts the yao package to the Bob interface.
+type YMPPBob struct {
+	Pub    *yao.RSAPublicKey
+	Max    int64
+	Random io.Reader
+}
+
+func (a *YMPPAlice) LessEq(conn transport.Conn, v int64) (bool, error) {
+	if err := checkInput(v, a.Max); err != nil {
+		return false, err
+	}
+	return yao.AliceLessEq(conn, a.Key, v, a.Max, a.Random)
+}
+
+func (a *YMPPAlice) Less(conn transport.Conn, v int64) (bool, error) {
+	if err := checkInput(v, a.Max); err != nil {
+		return false, err
+	}
+	return yao.AliceLess(conn, a.Key, v, a.Max, a.Random)
+}
+
+func (a *YMPPAlice) Bound() int64 { return a.Max }
+func (a *YMPPAlice) Name() string { return string(EngineYMPP) }
+
+func (b *YMPPBob) LessEq(conn transport.Conn, v int64) (bool, error) {
+	if err := checkInput(v, b.Max); err != nil {
+		return false, err
+	}
+	return yao.BobLessEq(conn, b.Pub, v, b.Max, b.Random)
+}
+
+func (b *YMPPBob) Less(conn transport.Conn, v int64) (bool, error) {
+	if err := checkInput(v, b.Max); err != nil {
+		return false, err
+	}
+	return yao.BobLess(conn, b.Pub, v, b.Max, b.Random)
+}
+
+func (b *YMPPBob) Bound() int64 { return b.Max }
+func (b *YMPPBob) Name() string { return string(EngineYMPP) }
+
+// ---- Masked-sign engine ----
+
+// DefaultMaskBits is the default multiplicative mask size κ.
+const DefaultMaskBits = 40
+
+const (
+	predLessEq byte = 1
+	predLess   byte = 2
+)
+
+// ErrPredicateMismatch reports that the two parties invoked different
+// predicates (LessEq on one side, Less on the other).
+var ErrPredicateMismatch = errors.New("compare: parties invoked different predicates")
+
+// MaskedAlice is the decrypting side of the masked-sign engine.
+type MaskedAlice struct {
+	Key    *paillier.PrivateKey
+	Max    int64
+	Random io.Reader
+}
+
+// MaskedBob is the homomorphic side of the masked-sign engine.
+type MaskedBob struct {
+	Pub      *paillier.PublicKey
+	Max      int64
+	MaskBits int
+	Random   io.Reader
+}
+
+// NewMaskedPair builds both sides of a masked engine from one Paillier key
+// pair, validating that masked values cannot wrap the plaintext space:
+// 2^κ·(bound+1) must stay below n/2.
+func NewMaskedPair(key *paillier.PrivateKey, bound int64, maskBits int) (*MaskedAlice, *MaskedBob, error) {
+	if maskBits <= 0 {
+		maskBits = DefaultMaskBits
+	}
+	if bound < 0 {
+		return nil, nil, fmt.Errorf("compare: negative bound %d", bound)
+	}
+	limit := new(big.Int).Lsh(big.NewInt(bound+2), uint(maskBits))
+	if limit.Cmp(key.PlaintextBound()) >= 0 {
+		return nil, nil, fmt.Errorf("compare: bound %d with %d mask bits overflows %d-bit Paillier plaintext space",
+			bound, maskBits, key.Bits())
+	}
+	return &MaskedAlice{Key: key, Max: bound},
+		&MaskedBob{Pub: &key.PublicKey, Max: bound, MaskBits: maskBits}, nil
+}
+
+func (a *MaskedAlice) run(conn transport.Conn, v int64, pred byte) (bool, error) {
+	if err := checkInput(v, a.Max); err != nil {
+		return false, err
+	}
+	random := a.Random
+	if random == nil {
+		random = rand.Reader
+	}
+	ca, err := a.Key.Encrypt(random, big.NewInt(v))
+	if err != nil {
+		return false, err
+	}
+	msg := transport.NewBuilder().PutUint(uint64(pred)).PutBig(ca)
+	if err := transport.SendMsg(conn, msg); err != nil {
+		return false, fmt.Errorf("compare: alice send: %w", err)
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return false, fmt.Errorf("compare: alice recv: %w", err)
+	}
+	ct := r.Big()
+	if r.Err() != nil {
+		return false, r.Err()
+	}
+	t, err := a.Key.DecryptSigned(ct)
+	if err != nil {
+		return false, err
+	}
+	// t = r·(b′−a) + r′ with 0 ≤ r′ < r, so t ≥ 0 ⟺ a ≤ b′.
+	le := t.Sign() >= 0
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutBool(le)); err != nil {
+		return false, fmt.Errorf("compare: alice send result: %w", err)
+	}
+	return le, nil
+}
+
+// LessEq decides a ≤ b.
+func (a *MaskedAlice) LessEq(conn transport.Conn, v int64) (bool, error) {
+	return a.run(conn, v, predLessEq)
+}
+
+// Less decides a < b.
+func (a *MaskedAlice) Less(conn transport.Conn, v int64) (bool, error) {
+	return a.run(conn, v, predLess)
+}
+
+func (a *MaskedAlice) Bound() int64 { return a.Max }
+func (a *MaskedAlice) Name() string { return string(EngineMasked) }
+
+func (b *MaskedBob) run(conn transport.Conn, v int64, pred byte) (bool, error) {
+	if err := checkInput(v, b.Max); err != nil {
+		return false, err
+	}
+	random := b.Random
+	if random == nil {
+		random = rand.Reader
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return false, fmt.Errorf("compare: bob recv: %w", err)
+	}
+	gotPred := byte(r.Uint())
+	ca := r.Big()
+	if r.Err() != nil {
+		return false, r.Err()
+	}
+	if gotPred != pred {
+		return false, fmt.Errorf("%w: alice=%d bob=%d", ErrPredicateMismatch, gotPred, pred)
+	}
+	bVal := v
+	if pred == predLess {
+		// a < b ⟺ a ≤ b−1.
+		bVal = v - 1
+	}
+	maskBits := b.MaskBits
+	if maskBits <= 0 {
+		maskBits = DefaultMaskBits
+	}
+	// r ∈ [1, 2^κ), r′ ∈ [0, r): t = r·(b−a) + r′ keeps sign(b−a).
+	rMask, err := rand.Int(random, new(big.Int).Lsh(big.NewInt(1), uint(maskBits)))
+	if err != nil {
+		return false, err
+	}
+	rMask.Add(rMask, big.NewInt(1))
+	rPrime, err := rand.Int(random, rMask)
+	if err != nil {
+		return false, err
+	}
+	// E(t) = E(a)^(−r) · E(b·r + r′)
+	negR := new(big.Int).Neg(rMask)
+	term1, err := b.Pub.Mul(ca, negR)
+	if err != nil {
+		return false, err
+	}
+	plain := new(big.Int).Mul(big.NewInt(bVal), rMask)
+	plain.Add(plain, rPrime)
+	term2, err := b.Pub.Encrypt(random, plain)
+	if err != nil {
+		return false, err
+	}
+	ct, err := b.Pub.Add(term1, term2)
+	if err != nil {
+		return false, err
+	}
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutBig(ct)); err != nil {
+		return false, fmt.Errorf("compare: bob send: %w", err)
+	}
+	res, err := transport.RecvMsg(conn)
+	if err != nil {
+		return false, fmt.Errorf("compare: bob recv result: %w", err)
+	}
+	le := res.Bool()
+	if res.Err() != nil {
+		return false, res.Err()
+	}
+	return le, nil
+}
+
+// LessEq decides a ≤ b.
+func (b *MaskedBob) LessEq(conn transport.Conn, v int64) (bool, error) {
+	return b.run(conn, v, predLessEq)
+}
+
+// Less decides a < b.
+func (b *MaskedBob) Less(conn transport.Conn, v int64) (bool, error) {
+	return b.run(conn, v, predLess)
+}
+
+func (b *MaskedBob) Bound() int64 { return b.Max }
+func (b *MaskedBob) Name() string { return string(EngineMasked) }
+
+var (
+	_ Alice = (*YMPPAlice)(nil)
+	_ Bob   = (*YMPPBob)(nil)
+	_ Alice = (*MaskedAlice)(nil)
+	_ Bob   = (*MaskedBob)(nil)
+)

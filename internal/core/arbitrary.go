@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+
+	"repro/internal/mpc"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// ArbitraryAlice runs the §4.4 protocol as Alice over arbitrarily
+// partitioned data: values is the full n×m matrix (only the cells this
+// party owns are read) and owners is the public per-cell ownership matrix,
+// identical on both sides. The peer concurrently runs ArbitraryBob. Both
+// parties obtain the full labelling.
+//
+// ADP — the arbitrary-partition distance protocol — decomposes each pair
+// distance per attribute (§4.4, Figure 4): cells owned by one party on
+// both records contribute locally (the vertical part); split cells
+// contribute a² to the a-owner, b² to the b-owner, and the −2ab cross term
+// through the HDP-style Multiplication Protocol with zero-sum masks (the
+// horizontal part, received by Bob). One secure comparison then decides
+// Alice_sum + Bob_sum ≤ Eps².
+func ArbitraryAlice(conn transport.Conn, cfg Config, values [][]float64, owners [][]partition.Owner) (*Result, error) {
+	return arbitraryRun(conn, cfg, RoleAlice, values, owners)
+}
+
+// ArbitraryBob is Alice's counterpart; see ArbitraryAlice.
+func ArbitraryBob(conn transport.Conn, cfg Config, values [][]float64, owners [][]partition.Owner) (*Result, error) {
+	return arbitraryRun(conn, cfg, RoleBob, values, owners)
+}
+
+func arbitraryRun(conn transport.Conn, cfg Config, role Role, values [][]float64, owners [][]partition.Owner) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(values) == 0 {
+		return nil, fmt.Errorf("core: arbitrary protocol requires at least one record")
+	}
+	if len(owners) != len(values) {
+		return nil, fmt.Errorf("core: %d records but %d ownership rows", len(values), len(owners))
+	}
+	m := len(values[0])
+	for i := range values {
+		if len(values[i]) != m || len(owners[i]) != m {
+			return nil, fmt.Errorf("core: record %d has inconsistent width", i)
+		}
+	}
+	enc, err := cfg.encodeOwnedCells(values, owners, role)
+	if err != nil {
+		return nil, err
+	}
+	s, peer, err := newSession(conn, cfg, role, "arbitrary", m, len(values))
+	if err != nil {
+		return nil, err
+	}
+	if peer.Dim != m || peer.Count != len(values) {
+		return nil, fmt.Errorf("%w: shape %dx%d vs %dx%d", ErrHandshake, len(values), m, peer.Count, peer.Dim)
+	}
+	if err := s.setDimension(m); err != nil {
+		return nil, err
+	}
+	if err := verifyOwnership(conn, owners); err != nil {
+		return nil, err
+	}
+
+	engA, engB, err := s.distEngines()
+	if err != nil {
+		return nil, err
+	}
+	a := &adpState{s: s, conn: conn, role: role, enc: enc, owners: owners}
+	pairLE := func(i, j int) (bool, error) {
+		ownSum, err := a.localAndCrossSum(i, j)
+		if err != nil {
+			return false, err
+		}
+		setTag(conn, "adp.cmp")
+		s.ledger.PairDecisions++
+		if role == RoleAlice {
+			return distLessEqDriver(conn, engA, ownSum)
+		}
+		return distLessEqResponder(conn, engB, s, ownSum)
+	}
+	labels, clusters, err := LockstepCluster(len(values), cfg.MinPts, pairLE)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger}, nil
+}
+
+// encodeOwnedCells fixed-point encodes only the cells this party owns;
+// unowned cells are zeroed and never read.
+func (c Config) encodeOwnedCells(values [][]float64, owners [][]partition.Owner, role Role) ([][]int64, error) {
+	codec, err := c.codec()
+	if err != nil {
+		return nil, err
+	}
+	mine := partition.Alice
+	if role == RoleBob {
+		mine = partition.Bob
+	}
+	enc := make([][]int64, len(values))
+	for i, row := range values {
+		er := make([]int64, len(row))
+		for j, v := range row {
+			if owners[i][j] != mine {
+				continue
+			}
+			x, err := codec.Encode(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: record %d attribute %d: %w", i, j, err)
+			}
+			if x > c.MaxCoord {
+				return nil, fmt.Errorf("core: record %d attribute %d encodes to %d > MaxCoord %d", i, j, x, c.MaxCoord)
+			}
+			er[j] = x
+		}
+		enc[i] = er
+	}
+	return enc, nil
+}
+
+// verifyOwnership exchanges the public ownership matrix and confirms both
+// parties hold identical copies — the matrix is public protocol input, so
+// disagreement is a configuration error, not a privacy event.
+func verifyOwnership(conn transport.Conn, owners [][]partition.Owner) error {
+	setTag(conn, "adp.owners")
+	flat := make([]byte, 0, len(owners)*len(owners[0]))
+	for _, row := range owners {
+		for _, o := range row {
+			flat = append(flat, byte(o))
+		}
+	}
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutBytes(flat)); err != nil {
+		return err
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return err
+	}
+	got := r.Bytes()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if !bytes.Equal(got, flat) {
+		return fmt.Errorf("%w: ownership matrices differ", ErrHandshake)
+	}
+	return nil
+}
+
+// adpState carries one party's view of the arbitrary-partition distance
+// computation.
+type adpState struct {
+	s      *session
+	conn   transport.Conn
+	role   Role
+	enc    [][]int64
+	owners [][]partition.Owner
+}
+
+// localAndCrossSum computes this party's additive share of dist²(d_i, d_j):
+// locally-owned attribute terms plus this party's side of the mixed-cell
+// cross terms.
+func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
+	mine := partition.Alice
+	if a.role == RoleBob {
+		mine = partition.Bob
+	}
+	var local int64
+	// Mixed attributes: (attr index, which record's cell is mine).
+	type mixed struct {
+		mineVal int64 // this party's cell value
+		k       int
+	}
+	var mixedCells []mixed
+	for k := 0; k < a.s.dim; k++ {
+		oi, oj := a.owners[i][k], a.owners[j][k]
+		switch {
+		case oi == mine && oj == mine:
+			d := a.enc[i][k] - a.enc[j][k]
+			local += d * d
+		case oi != mine && oj != mine:
+			// Peer-local term; contributes to the peer's share.
+		case oi == mine:
+			local += a.enc[i][k] * a.enc[i][k]
+			mixedCells = append(mixedCells, mixed{mineVal: a.enc[i][k], k: k})
+		default:
+			local += a.enc[j][k] * a.enc[j][k]
+			mixedCells = append(mixedCells, mixed{mineVal: a.enc[j][k], k: k})
+		}
+	}
+	if len(mixedCells) == 0 {
+		return local, nil
+	}
+
+	// Cross terms −2ab, Bob receiving (the §4.4 convention: "use Protocol
+	// HDP to let Bob get" the horizontal part).
+	setTag(a.conn, "adp.mp")
+	if a.role == RoleAlice {
+		ys := make([]int64, len(mixedCells))
+		for t, mc := range mixedCells {
+			ys[t] = mc.mineVal
+		}
+		masks, err := mpc.ZeroSumMasks(a.s.random, len(ys), a.s.maskBound())
+		if err != nil {
+			return 0, err
+		}
+		if err := mpc.SenderBatchMultiply(a.conn, a.s.peerPai, ys, masks, a.s.random); err != nil {
+			return 0, fmt.Errorf("core: adp multiplication: %w", err)
+		}
+		// Zero-sum masks cancel: Alice's share needs no correction.
+		return local, nil
+	}
+	xs := make([]int64, len(mixedCells))
+	for t, mc := range mixedCells {
+		xs[t] = mc.mineVal
+	}
+	us, err := mpc.ReceiverBatchMultiply(a.conn, a.s.paiKey, xs, a.s.random)
+	if err != nil {
+		return 0, fmt.Errorf("core: adp multiplication: %w", err)
+	}
+	cross := new(big.Int)
+	for _, u := range us {
+		cross.Add(cross, u)
+	}
+	if !cross.IsInt64() {
+		return 0, fmt.Errorf("core: adp cross sum overflows int64")
+	}
+	a.s.ledger.DotProducts++
+	return local - 2*cross.Int64(), nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/compare"
+	"repro/internal/fixedpoint"
+)
+
+// Default parameter values; see Config.
+const (
+	DefaultPaillierBits  = 1024
+	DefaultRSABits       = 512
+	DefaultMaxCoord      = 63
+	DefaultCmpMaskBits   = 40
+	DefaultShareMaskBits = 10
+)
+
+// Config carries every parameter both parties must agree on. The session
+// handshake verifies agreement field by field and aborts on mismatch.
+type Config struct {
+	// Eps and MinPts are the global density parameters (§3.1). MinPts
+	// counts a point's own membership in its Eps-neighbourhood, as in
+	// Ester et al.
+	Eps    float64
+	MinPts int
+
+	// Scale and Offset define the fixed-point encoding: raw coordinate x
+	// maps to round((x+Offset)·Scale) ≥ 0. Defaults: Scale 1, Offset 0 —
+	// i.e. data already on a non-negative integer grid.
+	Scale  float64
+	Offset float64
+
+	// MaxCoord is the public inclusive bound on encoded coordinates. It
+	// sizes the comparison domain (YMPP's n0); the protocols reject any
+	// point that encodes outside [0, MaxCoord].
+	MaxCoord int64
+
+	// PaillierBits and RSABits size the session key pairs.
+	PaillierBits int
+	RSABits      int
+
+	// Engine selects the secure comparison implementation: the paper's
+	// YMPP (default) or the masked-sign extension for large domains.
+	Engine compare.EngineKind
+
+	// CmpMaskBits is the masked engine's multiplicative mask size κ.
+	CmpMaskBits int
+
+	// ShareMaskBits sizes the §5 distance-share masks: v_i is uniform in
+	// [0, 2^ShareMaskBits). Larger masks hide shares better but enlarge
+	// the YMPP comparison domain (see DESIGN.md).
+	ShareMaskBits int
+
+	// Selection picks the §5 k-th order statistic algorithm: the O(kn)
+	// scan (default) or quickselect.
+	Selection SelectionKind
+
+	// Seed, when non-zero, makes the per-query permutations of Algorithm 4
+	// deterministic for reproducible experiments. Zero draws them from
+	// crypto/rand.
+	Seed int64
+
+	// Random supplies cryptographic randomness; nil means crypto/rand.
+	Random io.Reader
+}
+
+// withDefaults returns a copy with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.MaxCoord == 0 {
+		c.MaxCoord = DefaultMaxCoord
+	}
+	if c.PaillierBits == 0 {
+		c.PaillierBits = DefaultPaillierBits
+	}
+	if c.RSABits == 0 {
+		c.RSABits = DefaultRSABits
+	}
+	if c.Engine == "" {
+		c.Engine = compare.EngineYMPP
+	}
+	if c.CmpMaskBits == 0 {
+		c.CmpMaskBits = DefaultCmpMaskBits
+	}
+	if c.ShareMaskBits == 0 {
+		c.ShareMaskBits = DefaultShareMaskBits
+	}
+	if c.Selection == "" {
+		c.Selection = SelectionScan
+	}
+	return c
+}
+
+// validate checks the filled-in configuration.
+func (c Config) validate() error {
+	if !(c.Eps > 0) || math.IsInf(c.Eps, 0) || math.IsNaN(c.Eps) {
+		return fmt.Errorf("core: Eps must be positive and finite, got %v", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("core: MinPts must be ≥ 1, got %d", c.MinPts)
+	}
+	if c.MaxCoord < 1 {
+		return fmt.Errorf("core: MaxCoord must be ≥ 1, got %d", c.MaxCoord)
+	}
+	if c.ShareMaskBits < 1 || c.ShareMaskBits > 50 {
+		return fmt.Errorf("core: ShareMaskBits %d outside [1,50]", c.ShareMaskBits)
+	}
+	if _, err := compare.ParseEngine(string(c.Engine)); err != nil {
+		return err
+	}
+	if _, err := ParseSelection(string(c.Selection)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// codec builds the fixed-point codec for this configuration.
+func (c Config) codec() (*fixedpoint.Codec, error) {
+	return fixedpoint.New(c.Scale, c.Offset)
+}
+
+// Codec returns the fixed-point codec implied by the configuration, with
+// defaults applied — the encoding the protocols use internally, exposed
+// for oracles and experiment harnesses.
+func (c Config) Codec() (*fixedpoint.Codec, error) {
+	return c.withDefaults().codec()
+}
+
+// encodePoints encodes and range-checks a party's raw points.
+func (c Config) encodePoints(points [][]float64) ([][]int64, error) {
+	codec, err := c.codec()
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.EncodePoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range enc {
+		for j, v := range p {
+			if v > c.MaxCoord {
+				return nil, fmt.Errorf("core: point %d coordinate %d encodes to %d > MaxCoord %d", i, j, v, c.MaxCoord)
+			}
+		}
+	}
+	return enc, nil
+}
+
+// epsSquared returns the scaled integer threshold compared against dist².
+func (c Config) epsSquared() (int64, error) {
+	codec, err := c.codec()
+	if err != nil {
+		return 0, err
+	}
+	return codec.EpsSquared(c.Eps)
+}

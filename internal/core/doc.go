@@ -1,0 +1,30 @@
+// Package core implements the paper's privacy-preserving distributed
+// DBSCAN protocols for two semi-honest parties:
+//
+//   - Horizontal (§4.2, Algorithms 3–4): each party owns complete records.
+//     Distance decisions against the peer's points use HDP — a batched
+//     Multiplication Protocol with zero-sum masks followed by one secure
+//     comparison against Eps² per pair. Each party labels only its own
+//     points, and cluster expansion walks only its own points, exactly as
+//     the paper specifies.
+//   - Vertical (§4.3, Algorithms 5–6): each party owns all records but a
+//     column slice. Both parties run the identical DBSCAN driver in lock
+//     step; each pairwise decision is one secure comparison (VDP), and
+//     both parties learn the full labelling.
+//   - Arbitrary (§4.4): per-cell ownership; pair distances decompose into
+//     locally-owned terms plus HDP-style cross terms, then one comparison
+//     (ADP). Lock-step driver as in the vertical case.
+//   - Enhanced horizontal (§5, Algorithms 7–8): distances to the peer's
+//     points are additively secret-shared via the dot-product form of the
+//     Multiplication Protocol (u − v = Dist²); a secure selection (O(kn)
+//     scan or quickselect) finds the k-th smallest, and a single secure
+//     comparison against Eps² decides core-ness, revealing the core bit
+//     instead of the neighbour count.
+//
+// Every protocol runs over a transport.Conn; pair the two role functions
+// with transport.Run2 for in-process execution or TCP framing for real
+// two-process deployments. All traffic is attributable to protocol phases
+// via transport.Meter tags, which the communication experiments (E3–E5)
+// consume. Each result carries a leakage Ledger recording exactly what the
+// protocol disclosed beyond its output, mirroring Theorems 9–11.
+package core

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/compare"
+	"repro/internal/dbscan"
+	"repro/internal/mpc"
+	"repro/internal/transport"
+)
+
+// The enhanced horizontal protocol (§5, Algorithms 7–8) replaces the basic
+// protocol's per-query neighbour count with a single core-point bit:
+//
+//  1. Share phase. The driver publishes the encryption of its extended
+//     point vector a = (ΣA_k², −2A_1, …, −2A_m, 1); for each of its points
+//     B_i the responder returns E(a·b_i + v_i) with b_i = (1, B_i1, …,
+//     B_im, ΣB_ik²) and a fresh mask v_i, so the parties hold additive
+//     shares u_i − v_i = Dist²(A, B_i) — the paper's dot-product identity.
+//  2. Selection phase. The parties find the k-th smallest distance, with
+//     k = MinPts − |own neighbours|, using only secure comparisons on the
+//     shares: Dist_a ≤ Dist_b ⟺ u_a − u_b ≤ v_a − v_b. Either the O(kn)
+//     scan or quickselect (Config.Selection).
+//  3. Final phase. One secure comparison u_κ ≤ Eps² + v_κ yields the core
+//     bit (Theorem 11's only intended disclosure).
+//
+// The selection comparisons necessarily reveal the relative order of the
+// masked distances and the value of k (the responder observes the round
+// count); both are recorded in the Ledger — see DESIGN.md §4.
+
+// EnhancedHorizontalAlice runs the §5 protocol as Alice. The peer must
+// concurrently run EnhancedHorizontalBob.
+func EnhancedHorizontalAlice(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
+	return horizontalRun(conn, cfg, RoleAlice, points, "enhanced-horizontal", enhancedPassDriver, enhancedPassResponder)
+}
+
+// EnhancedHorizontalBob is Alice's counterpart; see EnhancedHorizontalAlice.
+func EnhancedHorizontalBob(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
+	return horizontalRun(conn, cfg, RoleBob, points, "enhanced-horizontal", enhancedPassDriver, enhancedPassResponder)
+}
+
+// enhancedEngines builds the two comparator pairs the §5 protocol needs:
+// share-difference comparisons over [0, 2(bound+V)] and the final
+// threshold comparison over [0, bound+V].
+func (s *session) enhancedEngines() (shareA compare.Alice, shareB compare.Bob, finalA compare.Alice, finalB compare.Bob, err error) {
+	shareA, shareB, err = s.engines(2 * (s.bound + s.shareV))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	finalA, finalB, err = s.engines(s.bound + s.shareV)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return shareA, shareB, finalA, finalB, nil
+}
+
+// enhancedPassDriver implements Algorithm 7/8 from the driving side: the
+// DBSCAN control flow is Algorithm 4's, but the core decision is the
+// share–select–compare protocol above and the peer's points contribute
+// nothing but that bit.
+func enhancedPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer int) ([]int, int, error) {
+	shareA, _, finalA, _, err := s.enhancedEngines()
+	if err != nil {
+		return nil, 0, err
+	}
+	h := &hPass{s: s, conn: conn, own: own, nPeer: nPeer}
+
+	labels := make([]int, len(own))
+	for i := range labels {
+		labels[i] = dbscan.Unclassified
+	}
+	clusterID := 0
+	for i := range own {
+		if labels[i] != dbscan.Unclassified {
+			continue
+		}
+		expanded, err := enhancedExpand(h, i, clusterID+1, labels, shareA, finalA)
+		if err != nil {
+			return nil, 0, err
+		}
+		if expanded {
+			clusterID++
+		}
+	}
+	setTag(conn, "enh.op")
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(opDone)); err != nil {
+		return nil, 0, err
+	}
+	return labels, clusterID, nil
+}
+
+// enhancedExpand is Algorithm 8: expansion walks only the driver's own
+// points; core-ness comes from the updated protocol.
+func enhancedExpand(h *hPass, point, clusterID int, labels []int, shareA compare.Alice, finalA compare.Alice) (bool, error) {
+	seedsA := h.localRegionQuery(point)
+	core, err := enhancedIsCore(h, point, len(seedsA), shareA, finalA)
+	if err != nil {
+		return false, err
+	}
+	if !core {
+		labels[point] = dbscan.Noise
+		return false, nil
+	}
+	for _, sd := range seedsA {
+		labels[sd] = clusterID
+	}
+	queue := make([]int, 0, len(seedsA))
+	for _, sd := range seedsA {
+		if sd != point {
+			queue = append(queue, sd)
+		}
+	}
+	for len(queue) > 0 {
+		current := queue[0]
+		queue = queue[1:]
+		resultA := h.localRegionQuery(current)
+		core, err := enhancedIsCore(h, current, len(resultA), shareA, finalA)
+		if err != nil {
+			return false, err
+		}
+		if !core {
+			continue
+		}
+		for _, r := range resultA {
+			if labels[r] == dbscan.Unclassified || labels[r] == dbscan.Noise {
+				if labels[r] == dbscan.Unclassified {
+					queue = append(queue, r)
+				}
+				labels[r] = clusterID
+			}
+		}
+	}
+	return true, nil
+}
+
+// enhancedIsCore decides whether the driver's point is a core point given
+// it already has ownCount own-side neighbours. k = MinPts − ownCount peer
+// neighbours are still needed; the trivial cases never touch the network.
+func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA compare.Alice) (bool, error) {
+	s := h.s
+	k := s.cfg.MinPts - ownCount
+	if k <= 0 {
+		return true, nil
+	}
+	if k > h.nPeer {
+		return false, nil
+	}
+	setTag(h.conn, "enh.op")
+	msg := transport.NewBuilder().PutUint(opCore).PutUint(uint64(k))
+	if err := transport.SendMsg(h.conn, msg); err != nil {
+		return false, err
+	}
+
+	// Share phase: u_i = Dist²(A, B_i) + v_i.
+	setTag(h.conn, "enh.share")
+	a := extendedQueryVector(h.own[point])
+	usBig, err := mpc.ReceiverDotMany(h.conn, s.paiKey, a, h.nPeer, s.random)
+	if err != nil {
+		return false, fmt.Errorf("core: enhanced share phase: %w", err)
+	}
+	us := make([]int64, len(usBig))
+	maxShare := s.bound + s.shareV
+	for i, u := range usBig {
+		if !u.IsInt64() || u.Int64() < 0 || u.Int64() >= maxShare {
+			return false, fmt.Errorf("core: share u[%d]=%v outside [0,%d)", i, u, maxShare)
+		}
+		us[i] = u.Int64()
+	}
+
+	// Selection phase: index of the k-th smallest shared distance.
+	setTag(h.conn, "enh.select")
+	shift := s.bound + s.shareV
+	le := func(x, y int) (bool, error) {
+		// Dist_x ≤ Dist_y ⟺ u_x − u_y ≤ v_x − v_y.
+		return shareA.LessEq(h.conn, us[x]-us[y]+shift)
+	}
+	kth, comparisons, err := kthSmallest(h.nPeer, k, s.cfg.Selection, le)
+	if err != nil {
+		return false, fmt.Errorf("core: enhanced selection: %w", err)
+	}
+	s.ledger.OrderBits += comparisons
+
+	// Final phase: Dist_κ ≤ Eps² ⟺ u_κ ≤ Eps² + v_κ.
+	setTag(h.conn, "enh.final")
+	core, err := finalA.LessEq(h.conn, us[kth])
+	if err != nil {
+		return false, fmt.Errorf("core: enhanced final comparison: %w", err)
+	}
+	s.ledger.CoreBits++
+	return core, nil
+}
+
+// enhancedPassResponder serves the peer's Algorithm 7/8 pass.
+func enhancedPassResponder(s *session, conn transport.Conn, own [][]int64) error {
+	_, shareB, _, finalB, err := s.enhancedEngines()
+	if err != nil {
+		return err
+	}
+	for {
+		setTag(conn, "enh.op")
+		r, err := transport.RecvMsg(conn)
+		if err != nil {
+			return fmt.Errorf("core: enhanced responder recv op: %w", err)
+		}
+		op := r.Uint()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		switch op {
+		case opCore:
+			k := int(r.Uint())
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if err := enhancedServeCore(s, conn, own, k, shareB, finalB); err != nil {
+				return err
+			}
+		case opDone:
+			return nil
+		default:
+			return fmt.Errorf("core: enhanced responder got unexpected op %d", op)
+		}
+	}
+}
+
+// enhancedServeCore answers one core query against the responder's points.
+func enhancedServeCore(s *session, conn transport.Conn, own [][]int64, k int, shareB compare.Bob, finalB compare.Bob) error {
+	n := len(own)
+	if k < 1 || k > n {
+		return fmt.Errorf("core: driver requested k=%d of %d points", k, n)
+	}
+	// Fresh per-query permutation, as in Algorithm 4; the selection then
+	// operates on permuted indices on both sides consistently (the driver
+	// sees only the permuted order).
+	perm := s.rng.Perm(n)
+
+	setTag(conn, "enh.share")
+	vs := make([]*big.Int, n)
+	bs := make([][]int64, n)
+	vals := make([]int64, n)
+	for i, pi := range perm {
+		v, err := mpc.RandomMask(s.random, big.NewInt(s.shareV))
+		if err != nil {
+			return err
+		}
+		vs[i] = v
+		vals[i] = v.Int64()
+		bs[i] = extendedDataVector(own[pi])
+	}
+	if err := mpc.SenderDotMany(conn, s.peerPai, bs, vs, s.random); err != nil {
+		return fmt.Errorf("core: enhanced share phase: %w", err)
+	}
+
+	setTag(conn, "enh.select")
+	shift := s.bound + s.shareV
+	le := func(x, y int) (bool, error) {
+		return shareB.LessEq(conn, vals[x]-vals[y]+shift)
+	}
+	kth, comparisons, err := kthSmallest(n, k, s.cfg.Selection, le)
+	if err != nil {
+		return fmt.Errorf("core: enhanced selection: %w", err)
+	}
+	s.ledger.OrderBits += comparisons
+
+	setTag(conn, "enh.final")
+	if _, err := finalB.LessEq(conn, s.epsSq+vals[kth]); err != nil {
+		return fmt.Errorf("core: enhanced final comparison: %w", err)
+	}
+	s.ledger.CoreBits++
+	return nil
+}
+
+// extendedQueryVector builds the §5 query-side vector
+// (ΣA_k², −2A_1, …, −2A_m, 1).
+func extendedQueryVector(p []int64) []int64 {
+	out := make([]int64, 0, len(p)+2)
+	var sq int64
+	for _, x := range p {
+		sq += x * x
+	}
+	out = append(out, sq)
+	for _, x := range p {
+		out = append(out, -2*x)
+	}
+	return append(out, 1)
+}
+
+// extendedDataVector builds the §5 data-side vector
+// (1, B_1, …, B_m, ΣB_k²).
+func extendedDataVector(p []int64) []int64 {
+	out := make([]int64, 0, len(p)+2)
+	out = append(out, 1)
+	var sq int64
+	for _, x := range p {
+		sq += x * x
+		out = append(out, x)
+	}
+	return append(out, sq)
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/compare"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// timeoutAfterProtocol gives a corrupted run ample time to finish or fail.
+func timeoutAfterProtocol(t *testing.T) <-chan time.Time {
+	t.Helper()
+	return time.After(60 * time.Second)
+}
+
+// Failure injection: protocols must fail cleanly — returning errors, not
+// hanging or panicking — when the peer disappears or the wire corrupts.
+
+// abruptCloseConn closes itself after passing through a fixed number of
+// received messages.
+type abruptCloseConn struct {
+	transport.Conn
+	remaining int
+}
+
+func (a *abruptCloseConn) Recv() ([]byte, error) {
+	if a.remaining <= 0 {
+		a.Conn.Close()
+		return nil, transport.ErrClosed
+	}
+	a.remaining--
+	return a.Conn.Recv()
+}
+
+func TestHorizontalPeerDisappearsMidProtocol(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	for _, afterMsgs := range []int{0, 1, 2, 5} {
+		ca, cb := transport.Pipe()
+		flaky := &abruptCloseConn{Conn: ca, remaining: afterMsgs}
+		errc := make(chan error, 2)
+		go func() {
+			_, err := HorizontalAlice(flaky, cfg, testAlicePts)
+			ca.Close()
+			errc <- err
+		}()
+		go func() {
+			_, err := HorizontalBob(cb, cfg, testBobPts)
+			cb.Close()
+			errc <- err
+		}()
+		err1, err2 := <-errc, <-errc
+		if err1 == nil && err2 == nil {
+			t.Errorf("afterMsgs=%d: both parties succeeded despite dropped connection", afterMsgs)
+		}
+	}
+}
+
+// corruptingConn flips a byte in the nth received message.
+type corruptingConn struct {
+	transport.Conn
+	n int
+}
+
+func (c *corruptingConn) Recv() ([]byte, error) {
+	b, err := c.Conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if c.n == 0 && len(b) > 0 {
+		b = append([]byte{}, b...)
+		b[len(b)/2] ^= 0xff
+	}
+	c.n--
+	return b, nil
+}
+
+// Corrupting the handshake must produce an error on at least one side.
+// Corrupting a later message (a ciphertext payload) is NOT detectable in
+// the semi-honest model — the protocols carry no MACs, exactly like the
+// paper's — so the only contract there is "no hang, no panic": the run
+// either errors or completes (with garbage labels). Transport integrity is
+// TCP's job.
+func TestHandshakeCorruptionDetected(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	ca, cb := transport.Pipe()
+	bad := &corruptingConn{Conn: ca, n: 0}
+	errc := make(chan error, 2)
+	go func() {
+		_, err := HorizontalAlice(bad, cfg, testAlicePts)
+		ca.Close()
+		errc <- err
+	}()
+	go func() {
+		_, err := HorizontalBob(cb, cfg, testBobPts)
+		cb.Close()
+		errc <- err
+	}()
+	err1, err2 := <-errc, <-errc
+	if err1 == nil && err2 == nil {
+		t.Error("corrupted handshake accepted by both parties")
+	}
+}
+
+func TestPayloadCorruptionDoesNotHang(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	for msg := 1; msg <= 3; msg++ {
+		ca, cb := transport.Pipe()
+		bad := &corruptingConn{Conn: ca, n: msg}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			errc := make(chan error, 2)
+			go func() {
+				_, err := HorizontalAlice(bad, cfg, testAlicePts)
+				ca.Close()
+				errc <- err
+			}()
+			go func() {
+				_, err := HorizontalBob(cb, cfg, testBobPts)
+				cb.Close()
+				errc <- err
+			}()
+			<-errc
+			<-errc
+		}()
+		select {
+		case <-done:
+		case <-timeoutAfterProtocol(t):
+			t.Fatalf("corrupting message %d: protocol hung", msg)
+		}
+	}
+}
+
+func TestVerticalPeerDisappears(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	attrsA := [][]float64{{1}, {2}, {3}, {4}}
+	attrsB := [][]float64{{1}, {2}, {3}, {4}}
+	ca, cb := transport.Pipe()
+	flaky := &abruptCloseConn{Conn: ca, remaining: 3}
+	errc := make(chan error, 2)
+	go func() {
+		_, err := VerticalAlice(flaky, cfg, attrsA)
+		ca.Close()
+		errc <- err
+	}()
+	go func() {
+		_, err := VerticalBob(cb, cfg, attrsB)
+		cb.Close()
+		errc <- err
+	}()
+	err1, err2 := <-errc, <-errc
+	if err1 == nil && err2 == nil {
+		t.Error("both parties succeeded despite dropped connection")
+	}
+}
+
+func TestVerticalRecordCountMismatch(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	err := transport.Run2(
+		func(c transport.Conn) error {
+			_, err := VerticalAlice(c, cfg, [][]float64{{1}, {2}, {3}})
+			return err
+		},
+		func(c transport.Conn) error {
+			_, err := VerticalBob(c, cfg, [][]float64{{1}, {2}})
+			return err
+		},
+	)
+	if !errors.Is(err, ErrHandshake) {
+		t.Errorf("err = %v, want ErrHandshake", err)
+	}
+}
+
+func TestArbitraryOwnershipDisagreement(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	values := [][]float64{{1, 2}, {3, 4}}
+	a, b := partition.Alice, partition.Bob
+	ownersA := [][]partition.Owner{{a, b}, {b, a}}
+	ownersB := [][]partition.Owner{{a, a}, {b, b}} // different view
+	err := transport.Run2(
+		func(c transport.Conn) error {
+			_, err := ArbitraryAlice(c, cfg, values, ownersA)
+			return err
+		},
+		func(c transport.Conn) error {
+			_, err := ArbitraryBob(c, cfg, values, ownersB)
+			return err
+		},
+	)
+	if !errors.Is(err, ErrHandshake) {
+		t.Errorf("err = %v, want ErrHandshake", err)
+	}
+}
+
+func TestArbitraryShapeValidation(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	conn, peer := transport.Pipe()
+	defer conn.Close()
+	defer peer.Close()
+	if _, err := ArbitraryAlice(conn, cfg, nil, nil); err == nil {
+		t.Error("empty records accepted")
+	}
+	if _, err := ArbitraryAlice(conn, cfg, [][]float64{{1, 2}}, [][]partition.Owner{{partition.Alice}}); err == nil {
+		t.Error("ragged ownership accepted")
+	}
+}
+
+func TestHorizontalDimensionMismatchAcrossParties(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	err := transport.Run2(
+		func(c transport.Conn) error {
+			_, err := HorizontalAlice(c, cfg, [][]float64{{1, 2}})
+			return err
+		},
+		func(c transport.Conn) error {
+			_, err := HorizontalBob(c, cfg, [][]float64{{1, 2, 3}})
+			return err
+		},
+	)
+	if !errors.Is(err, ErrHandshake) {
+		t.Errorf("err = %v, want ErrHandshake", err)
+	}
+}
+
+func TestHorizontalCoordOutOfRange(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked) // MaxCoord 7
+	conn, peer := transport.Pipe()
+	defer conn.Close()
+	defer peer.Close()
+	if _, err := HorizontalAlice(conn, cfg, [][]float64{{100, 100}}); err == nil {
+		t.Error("out-of-grid coordinate accepted")
+	}
+	if _, err := HorizontalAlice(conn, cfg, [][]float64{{-1, 0}}); err == nil {
+		t.Error("negative coordinate accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/compare"
+	"repro/internal/mpc"
+	"repro/internal/transport"
+)
+
+// HDP — the horizontally-partitioned distance protocol of §4.2 — decides,
+// for one driver point P and every point of the responder, whether
+// dist²(P, B) ≤ Eps². One region query costs:
+//
+//	MP phase:  O(c1·m·nPeer) bits — a batched Multiplication Protocol in
+//	           which the responder (the receiver, holding its coordinates)
+//	           obtains the zero-sum-masked per-coordinate products
+//	           d_x,k·d_y,k + r_k. Because Σr_k = 0, the responder's sum is
+//	           the exact cross dot product (the paper's construction; the
+//	           privacy consequence is tracked in the Ledger).
+//	Cmp phase: nPeer secure comparisons — dist² = i + j' ≤ Eps² with the
+//	           driver holding i = Σd_x² and the responder holding
+//	           j' = Σd_y² − 2·dot.
+//
+// The responder permutes its points freshly per query (Algorithm 4's
+// SetOfPointsOfBobPermutation), so the driver learns only how many peer
+// points are in range, not which.
+
+// hdpQueryDriver runs the driver side of one region query and returns how
+// many responder points are within Eps of p.
+func hdpQueryDriver(conn transport.Conn, s *session, eng compare.Alice, p []int64, nPeer int) (int, error) {
+	if nPeer == 0 {
+		return 0, nil
+	}
+	setTag(conn, "hdp.mp")
+	// Batched MP: sender role. ys repeats p's coordinates once per peer
+	// point; masks are zero-sum within each point.
+	m := len(p)
+	ys := make([]int64, 0, nPeer*m)
+	vs := make([]*big.Int, 0, nPeer*m)
+	for i := 0; i < nPeer; i++ {
+		masks, err := mpc.ZeroSumMasks(s.random, m, s.maskBound())
+		if err != nil {
+			return 0, err
+		}
+		ys = append(ys, p...)
+		vs = append(vs, masks...)
+	}
+	if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random); err != nil {
+		return 0, fmt.Errorf("core: hdp multiplication: %w", err)
+	}
+
+	setTag(conn, "hdp.cmp")
+	var ownSum int64
+	for _, x := range p {
+		ownSum += x * x
+	}
+	count := 0
+	for i := 0; i < nPeer; i++ {
+		in, err := distLessEqDriver(conn, eng, ownSum)
+		if err != nil {
+			return 0, fmt.Errorf("core: hdp comparison %d: %w", i, err)
+		}
+		if in {
+			count++
+		}
+	}
+	s.ledger.NeighborCounts++
+	s.ledger.MembershipBits += nPeer
+	return count, nil
+}
+
+// hdpQueryResponder serves the responder side of one region query over its
+// own points. The driver's point never leaves the driver; the responder
+// learns, per its own point, whether some driver point is within Eps
+// (Algorithm 4 note: "Bob only knows there is a record owned by Alice in
+// the neighborhood").
+func hdpQueryResponder(conn transport.Conn, s *session, eng compare.Bob, own [][]int64) error {
+	if len(own) == 0 {
+		return nil
+	}
+	setTag(conn, "hdp.mp")
+	perm := s.rng.Perm(len(own))
+	m := len(own[0])
+	xs := make([]int64, 0, len(own)*m)
+	for _, pi := range perm {
+		xs = append(xs, own[pi]...)
+	}
+	us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random)
+	if err != nil {
+		return fmt.Errorf("core: hdp multiplication: %w", err)
+	}
+
+	setTag(conn, "hdp.cmp")
+	for i, pi := range perm {
+		pt := own[pi]
+		// peerSum = Σd_y² − 2·Σ(d_x·d_y + r) ; the zero-sum masks cancel.
+		dot := new(big.Int)
+		for k := 0; k < m; k++ {
+			dot.Add(dot, us[i*m+k])
+		}
+		if !dot.IsInt64() {
+			return fmt.Errorf("core: hdp dot product overflows int64 (masks failed to cancel?)")
+		}
+		var sq int64
+		for _, x := range pt {
+			sq += x * x
+		}
+		peerSum := sq - 2*dot.Int64()
+		if _, err := distLessEqResponder(conn, eng, s, peerSum); err != nil {
+			return fmt.Errorf("core: hdp comparison %d: %w", i, err)
+		}
+		s.ledger.DotProducts++
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compare"
+	"repro/internal/dbscan"
+	"repro/internal/fixedpoint"
+	"repro/internal/transport"
+)
+
+// Op codes for the driver→responder control channel of the horizontal
+// protocols. The driver announces each region query (or enhanced core
+// query) before the corresponding sub-protocols begin; opDone releases the
+// responder at the end of a pass.
+const (
+	opQuery uint64 = 1
+	opDone  uint64 = 2
+	opCore  uint64 = 3
+)
+
+// HorizontalAlice runs the §4.2 protocol (Algorithms 3–4) as Alice over
+// her complete records. It returns cluster labels for Alice's own points;
+// the peer must concurrently run HorizontalBob.
+//
+// Per the paper, each party numbers its clusters locally: Alice's pass
+// expands clusters only through her own points (the peer's points
+// contribute to density counts but not to connectivity), and the second
+// pass does the same for Bob.
+func HorizontalAlice(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
+	return horizontalRun(conn, cfg, RoleAlice, points, "horizontal", basicPassDriver, basicPassResponder)
+}
+
+// HorizontalBob is Alice's counterpart; see HorizontalAlice.
+func HorizontalBob(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
+	return horizontalRun(conn, cfg, RoleBob, points, "horizontal", basicPassDriver, basicPassResponder)
+}
+
+// passDriver runs one party's DBSCAN pass over its own points; passResponder
+// serves the peer's pass. The basic (§4.2) and enhanced (§5) protocols
+// plug different implementations into the shared two-pass runner.
+type passDriver func(s *session, conn transport.Conn, own [][]int64, nPeer int) ([]int, int, error)
+type passResponder func(s *session, conn transport.Conn, own [][]int64) error
+
+// horizontalRun is the shared two-pass orchestration: Alice drives pass 1
+// while Bob responds, then the roles swap ("Party B DOES: repeats step 1
+// to 12 by replacing Alice for Bob" — Algorithm 3).
+func horizontalRun(conn transport.Conn, cfg Config, role Role, points [][]float64, proto string,
+	driver passDriver, responder passResponder) (*Result, error) {
+
+	cfg = cfg.withDefaults()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("core: %s protocol requires at least one point per party", proto)
+	}
+	enc, err := cfg.encodePoints(points)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(enc[0])
+	for i, p := range enc {
+		if len(p) != dim {
+			return nil, fmt.Errorf("core: point %d has %d attributes, want %d", i, len(p), dim)
+		}
+	}
+	s, peer, err := newSession(conn, cfg, role, proto, dim, len(enc))
+	if err != nil {
+		return nil, err
+	}
+	if peer.Dim != dim {
+		return nil, fmt.Errorf("%w: record dimension %d vs %d", ErrHandshake, dim, peer.Dim)
+	}
+	if peer.Count == 0 {
+		return nil, fmt.Errorf("core: peer holds no points")
+	}
+	if err := s.setDimension(dim); err != nil {
+		return nil, err
+	}
+
+	var labels []int
+	var clusters int
+	if role == RoleAlice {
+		labels, clusters, err = driver(s, conn, enc, peer.Count)
+		if err != nil {
+			return nil, err
+		}
+		if err := responder(s, conn, enc); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := responder(s, conn, enc); err != nil {
+			return nil, err
+		}
+		labels, clusters, err = driver(s, conn, enc, peer.Count)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger}, nil
+}
+
+// basicPassDriver implements Algorithm 3/4 from the driving party's side.
+func basicPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer int) ([]int, int, error) {
+	engA, _, err := s.distEngines()
+	if err != nil {
+		return nil, 0, err
+	}
+	h := &hPass{s: s, conn: conn, own: own, nPeer: nPeer}
+
+	labels := make([]int, len(own))
+	for i := range labels {
+		labels[i] = dbscan.Unclassified
+	}
+	clusterID := 0
+	for i := range own {
+		if labels[i] != dbscan.Unclassified {
+			continue
+		}
+		expanded, err := h.expandCluster(i, clusterID+1, labels, engA)
+		if err != nil {
+			return nil, 0, err
+		}
+		if expanded {
+			clusterID++
+		}
+	}
+	setTag(conn, "hdp.op")
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(opDone)); err != nil {
+		return nil, 0, err
+	}
+	return labels, clusterID, nil
+}
+
+// hPass bundles the state one driving pass needs.
+type hPass struct {
+	s     *session
+	conn  transport.Conn
+	own   [][]int64
+	nPeer int
+}
+
+// localRegionQuery returns the indices of the driver's own points within
+// Eps of point i, including i itself (SetOfPointsOfAlice.regionQuery).
+func (h *hPass) localRegionQuery(i int) []int {
+	var out []int
+	for j := range h.own {
+		if fixedpoint.DistSq(h.own[i], h.own[j]) <= h.s.epsSq {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// remoteCount counts the peer's points within Eps of p via HDP
+// (seedsB := SetOfPointsOfBobPermutation.regionQuery — Algorithm 4 line 3).
+func (h *hPass) remoteCount(p []int64, eng compare.Alice) (int, error) {
+	if h.nPeer == 0 {
+		return 0, nil
+	}
+	setTag(h.conn, "hdp.op")
+	if err := transport.SendMsg(h.conn, transport.NewBuilder().PutUint(opQuery)); err != nil {
+		return 0, err
+	}
+	return hdpQueryDriver(h.conn, h.s, eng, p, h.nPeer)
+}
+
+// expandCluster is Algorithm 4. Only the driver's own points enter the
+// seed queue; the peer's points contribute to the MinPts counts only.
+func (h *hPass) expandCluster(point, clusterID int, labels []int, eng compare.Alice) (bool, error) {
+	seedsA := h.localRegionQuery(point)
+	countB, err := h.remoteCount(h.own[point], eng)
+	if err != nil {
+		return false, err
+	}
+	if len(seedsA)+countB < h.s.cfg.MinPts {
+		labels[point] = dbscan.Noise
+		return false, nil
+	}
+	for _, sd := range seedsA {
+		labels[sd] = clusterID
+	}
+	queue := make([]int, 0, len(seedsA))
+	for _, sd := range seedsA {
+		if sd != point {
+			queue = append(queue, sd)
+		}
+	}
+	for len(queue) > 0 {
+		current := queue[0]
+		queue = queue[1:]
+		resultA := h.localRegionQuery(current)
+		countB, err := h.remoteCount(h.own[current], eng)
+		if err != nil {
+			return false, err
+		}
+		if len(resultA)+countB < h.s.cfg.MinPts {
+			continue
+		}
+		for _, r := range resultA {
+			if labels[r] == dbscan.Unclassified || labels[r] == dbscan.Noise {
+				if labels[r] == dbscan.Unclassified {
+					queue = append(queue, r)
+				}
+				labels[r] = clusterID
+			}
+		}
+	}
+	return true, nil
+}
+
+// basicPassResponder serves the peer's Algorithm 3/4 pass.
+func basicPassResponder(s *session, conn transport.Conn, own [][]int64) error {
+	_, engB, err := s.distEngines()
+	if err != nil {
+		return err
+	}
+	for {
+		setTag(conn, "hdp.op")
+		r, err := transport.RecvMsg(conn)
+		if err != nil {
+			return fmt.Errorf("core: responder recv op: %w", err)
+		}
+		op := r.Uint()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		switch op {
+		case opQuery:
+			if err := hdpQueryResponder(conn, s, engB, own); err != nil {
+				return err
+			}
+		case opDone:
+			return nil
+		default:
+			return fmt.Errorf("core: responder got unexpected op %d", op)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ledger records what a protocol run disclosed beyond its defined output,
+// quantifying the privacy statements of Theorems 9–11:
+//
+//   - The basic horizontal protocol "reveals the number of points from the
+//     other party in the neighborhood of this point" (Theorem 9): one
+//     NeighborCounts entry per region query, made of MembershipBits
+//     per-permuted-point booleans.
+//   - The vertical protocol reveals each pairwise within-Eps decision to
+//     both parties (Theorem 10): PairDecisions.
+//   - The enhanced protocol reveals only core-point bits (Theorem 11) plus
+//     — inherent in its secure selection — the relative order of masked
+//     distances: OrderBits and CoreBits.
+//   - DotProducts counts HDP invocations in which the zero-sum masks
+//     cancelled, handing the responder the exact cross dot product — the
+//     soundness gap discussed in DESIGN.md §4.
+type Ledger struct {
+	NeighborCounts int
+	MembershipBits int
+	PairDecisions  int
+	OrderBits      int
+	CoreBits       int
+	DotProducts    int
+}
+
+// Add accumulates another ledger into l.
+func (l *Ledger) Add(o Ledger) {
+	l.NeighborCounts += o.NeighborCounts
+	l.MembershipBits += o.MembershipBits
+	l.PairDecisions += o.PairDecisions
+	l.OrderBits += o.OrderBits
+	l.CoreBits += o.CoreBits
+	l.DotProducts += o.DotProducts
+}
+
+// String renders the non-zero entries compactly.
+func (l Ledger) String() string {
+	var parts []string
+	add := func(name string, v int) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("neighborCounts", l.NeighborCounts)
+	add("membershipBits", l.MembershipBits)
+	add("pairDecisions", l.PairDecisions)
+	add("orderBits", l.OrderBits)
+	add("coreBits", l.CoreBits)
+	add("dotProducts", l.DotProducts)
+	if len(parts) == 0 {
+		return "ledger{}"
+	}
+	return "ledger{" + strings.Join(parts, " ") + "}"
+}
+
+// Result is a party's output from a protocol run.
+type Result struct {
+	// Labels holds cluster ids (≥ 1) or dbscan.Noise for the records this
+	// party learns about: its own records for the horizontal protocols,
+	// all records for the vertical and arbitrary protocols.
+	Labels []int
+	// NumClusters counts distinct cluster ids in Labels.
+	NumClusters int
+	// Leakage records the disclosures observed during the run.
+	Leakage Ledger
+}

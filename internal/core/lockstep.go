@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dbscan"
+)
+
+// LockstepCluster is the shared DBSCAN driver of Algorithms 5–6: every
+// participant executes this exact code with a jointly-computed pairwise
+// decision oracle, so their control flow — and therefore the sequence of
+// sub-protocol invocations — is identical, and all end with the same
+// labelling. The two-party vertical and arbitrary protocols use it, as
+// does the multi-party extension (internal/multiparty).
+//
+// pairLE(i, j) jointly decides dist(d_i, d_j) ≤ Eps; results are cached
+// under the normalized pair so each pair is decided at most once, on all
+// sides consistently.
+func LockstepCluster(n, minPts int, pairLE func(i, j int) (bool, error)) ([]int, int, error) {
+	if minPts < 1 {
+		return nil, 0, fmt.Errorf("core: MinPts %d < 1", minPts)
+	}
+	cache := make(map[[2]int]bool)
+	decide := func(i, j int) (bool, error) {
+		if i == j {
+			return true, nil // a point is always in its own neighbourhood
+		}
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if v, ok := cache[key]; ok {
+			return v, nil
+		}
+		v, err := pairLE(a, b)
+		if err != nil {
+			return false, err
+		}
+		cache[key] = v
+		return v, nil
+	}
+	neighbors := func(i int) ([]int, error) {
+		var out []int
+		for j := 0; j < n; j++ {
+			in, err := decide(i, j)
+			if err != nil {
+				return nil, err
+			}
+			if in {
+				out = append(out, j)
+			}
+		}
+		return out, nil
+	}
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = dbscan.Unclassified
+	}
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != dbscan.Unclassified {
+			continue
+		}
+		expanded, err := lockstepExpand(i, clusterID+1, labels, neighbors, minPts)
+		if err != nil {
+			return nil, 0, err
+		}
+		if expanded {
+			clusterID++
+		}
+	}
+	return labels, clusterID, nil
+}
+
+// lockstepExpand is Algorithm 6 with error propagation.
+func lockstepExpand(point, clusterID int, labels []int, neighbors func(int) ([]int, error), minPts int) (bool, error) {
+	seeds, err := neighbors(point)
+	if err != nil {
+		return false, err
+	}
+	if len(seeds) < minPts {
+		labels[point] = dbscan.Noise
+		return false, nil
+	}
+	for _, sd := range seeds {
+		labels[sd] = clusterID
+	}
+	queue := make([]int, 0, len(seeds))
+	for _, sd := range seeds {
+		if sd != point {
+			queue = append(queue, sd)
+		}
+	}
+	for len(queue) > 0 {
+		current := queue[0]
+		queue = queue[1:]
+		result, err := neighbors(current)
+		if err != nil {
+			return false, err
+		}
+		if len(result) < minPts {
+			continue
+		}
+		for _, r := range result {
+			if labels[r] == dbscan.Unclassified || labels[r] == dbscan.Noise {
+				if labels[r] == dbscan.Unclassified {
+					queue = append(queue, r)
+				}
+				labels[r] = clusterID
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+)
+
+// SelectionKind chooses the §5 k-th order statistic algorithm. The paper
+// describes both: a scan that extracts the minimum k times (O(kn)
+// comparisons, "appropriate when the k is small") and a quicksort-based
+// selection (expected O(n), worst case O(n²)).
+type SelectionKind string
+
+// The two selection strategies of §5.
+const (
+	SelectionScan  SelectionKind = "scan"
+	SelectionQuick SelectionKind = "quickselect"
+)
+
+// ParseSelection validates a selection strategy name.
+func ParseSelection(s string) (SelectionKind, error) {
+	switch SelectionKind(s) {
+	case SelectionScan, SelectionQuick:
+		return SelectionKind(s), nil
+	}
+	return "", fmt.Errorf("core: unknown selection strategy %q (want %q or %q)", s, SelectionScan, SelectionQuick)
+}
+
+// lessEqOracle answers "is item a's hidden value ≤ item b's?" via one
+// secure comparison. Both parties observe the same answer, so running the
+// same deterministic selection code keeps their states in lock step.
+type lessEqOracle func(a, b int) (bool, error)
+
+// kthSmallest returns the index (0-based, into the original n items) of
+// the k-th smallest hidden value (k is 1-based) plus the number of oracle
+// calls consumed.
+func kthSmallest(n, k int, kind SelectionKind, le lessEqOracle) (idx, comparisons int, err error) {
+	if k < 1 || k > n {
+		return 0, 0, fmt.Errorf("core: selection k=%d outside [1,%d]", k, n)
+	}
+	counted := func(a, b int) (bool, error) {
+		comparisons++
+		return le(a, b)
+	}
+	switch kind {
+	case SelectionScan:
+		idx, err = kthSmallestScan(n, k, counted)
+	case SelectionQuick:
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		idx, err = quickselect(items, k, counted)
+	default:
+		return 0, 0, fmt.Errorf("core: unknown selection strategy %q", kind)
+	}
+	return idx, comparisons, err
+}
+
+// CountSelectionComparisons runs a selection strategy over plaintext
+// values and reports how many comparisons it consumed. In the enhanced
+// protocol every comparison is a full secure sub-protocol, so this count
+// is the communication cost model for experiment E9.
+func CountSelectionComparisons(k int, kind SelectionKind, vals []int64) (int, error) {
+	le := func(a, b int) (bool, error) { return vals[a] <= vals[b], nil }
+	_, comparisons, err := kthSmallest(len(vals), k, kind, le)
+	return comparisons, err
+}
+
+// kthSmallestScan is the paper's first algorithm: k iterations, each
+// finding and removing the minimum of the remaining items.
+func kthSmallestScan(n, k int, le lessEqOracle) (int, error) {
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var last int
+	for round := 0; round < k; round++ {
+		minPos := 0
+		for pos := 1; pos < len(remaining); pos++ {
+			isLE, err := le(remaining[pos], remaining[minPos])
+			if err != nil {
+				return 0, err
+			}
+			if isLE {
+				minPos = pos
+			}
+		}
+		last = remaining[minPos]
+		remaining = append(remaining[:minPos], remaining[minPos+1:]...)
+	}
+	return last, nil
+}
+
+// quickselect is the paper's second algorithm (quicksort-based selection,
+// [21]). The pivot is the last element of each sub-range — deterministic,
+// so both parties partition identically.
+func quickselect(items []int, k int, le lessEqOracle) (int, error) {
+	for {
+		if len(items) == 1 {
+			return items[0], nil
+		}
+		pivot := items[len(items)-1]
+		var lows, highs []int
+		for _, it := range items[:len(items)-1] {
+			isLE, err := le(it, pivot)
+			if err != nil {
+				return 0, err
+			}
+			if isLE {
+				lows = append(lows, it)
+			} else {
+				highs = append(highs, it)
+			}
+		}
+		switch {
+		case k <= len(lows):
+			items = lows
+		case k == len(lows)+1:
+			return pivot, nil
+		default:
+			k -= len(lows) + 1
+			items = highs
+		}
+	}
+}

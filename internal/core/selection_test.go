@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// plainOracle builds a lessEqOracle over concrete values.
+func plainOracle(vals []int64) lessEqOracle {
+	return func(a, b int) (bool, error) { return vals[a] <= vals[b], nil }
+}
+
+func TestParseSelection(t *testing.T) {
+	if k, err := ParseSelection("scan"); err != nil || k != SelectionScan {
+		t.Errorf("ParseSelection(scan) = %v, %v", k, err)
+	}
+	if k, err := ParseSelection("quickselect"); err != nil || k != SelectionQuick {
+		t.Errorf("ParseSelection(quickselect) = %v, %v", k, err)
+	}
+	if _, err := ParseSelection("nope"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestKthSmallestValidation(t *testing.T) {
+	le := plainOracle([]int64{1, 2, 3})
+	if _, _, err := kthSmallest(3, 0, SelectionScan, le); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := kthSmallest(3, 4, SelectionScan, le); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, _, err := kthSmallest(3, 1, SelectionKind("bogus"), le); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestKthSmallestExhaustiveSmall(t *testing.T) {
+	vals := []int64{50, 10, 40, 20, 30}
+	sorted := append([]int64{}, vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, kind := range []SelectionKind{SelectionScan, SelectionQuick} {
+		for k := 1; k <= len(vals); k++ {
+			idx, comps, err := kthSmallest(len(vals), k, kind, plainOracle(vals))
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", kind, k, err)
+			}
+			if vals[idx] != sorted[k-1] {
+				t.Errorf("%s k=%d: got vals[%d]=%d, want %d", kind, k, idx, vals[idx], sorted[k-1])
+			}
+			if comps < 1 {
+				t.Errorf("%s k=%d: comparisons = %d", kind, k, comps)
+			}
+		}
+	}
+}
+
+func TestKthSmallestSingleton(t *testing.T) {
+	for _, kind := range []SelectionKind{SelectionScan, SelectionQuick} {
+		idx, comps, err := kthSmallest(1, 1, kind, plainOracle([]int64{7}))
+		if err != nil || idx != 0 {
+			t.Errorf("%s: idx=%d err=%v", kind, idx, err)
+		}
+		if comps != 0 {
+			t.Errorf("%s: singleton needed %d comparisons", kind, comps)
+		}
+	}
+}
+
+func TestKthSmallestWithTies(t *testing.T) {
+	vals := []int64{5, 5, 5, 1, 1}
+	for _, kind := range []SelectionKind{SelectionScan, SelectionQuick} {
+		// 2nd smallest of {1,1,5,5,5} is 1; 3rd is 5.
+		idx, _, err := kthSmallest(len(vals), 2, kind, plainOracle(vals))
+		if err != nil || vals[idx] != 1 {
+			t.Errorf("%s k=2: vals[%d]=%d, want 1 (err=%v)", kind, idx, vals[idx], err)
+		}
+		idx, _, err = kthSmallest(len(vals), 3, kind, plainOracle(vals))
+		if err != nil || vals[idx] != 5 {
+			t.Errorf("%s k=3: vals[%d]=%d, want 5 (err=%v)", kind, idx, vals[idx], err)
+		}
+	}
+}
+
+// Property: both strategies return an index holding the k-th order
+// statistic for random inputs, and the scan's comparison count matches its
+// O(kn) formula exactly: Σ_{r=0}^{k−1}(n−1−r).
+func TestKthSmallestProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		k := 1 + rng.Intn(n)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(20)) // duplicates likely
+		}
+		sorted := append([]int64{}, vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		want := sorted[k-1]
+
+		idxScan, compsScan, err := kthSmallest(n, k, SelectionScan, plainOracle(vals))
+		if err != nil || vals[idxScan] != want {
+			return false
+		}
+		wantComps := 0
+		for r := 0; r < k; r++ {
+			wantComps += n - 1 - r
+		}
+		if compsScan != wantComps {
+			return false
+		}
+		idxQ, _, err := kthSmallest(n, k, SelectionQuick, plainOracle(vals))
+		return err == nil && vals[idxQ] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Quickselect must use fewer comparisons than the scan for large k — the
+// paper's rationale for offering both (E9's ablation in miniature).
+func TestQuickselectBeatsScanForLargeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000000)
+	}
+	k := n / 2
+	_, compsScan, err := kthSmallest(n, k, SelectionScan, plainOracle(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, compsQuick, err := kthSmallest(n, k, SelectionQuick, plainOracle(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compsQuick >= compsScan {
+		t.Errorf("quickselect %d comparisons ≥ scan %d at k=n/2", compsQuick, compsScan)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	mrand "math/rand"
+
+	"repro/internal/compare"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+	"repro/internal/yao"
+)
+
+// Role distinguishes the two parties. The paper calls them Alice and Bob;
+// protocol functions come in matched Alice/Bob pairs.
+type Role uint8
+
+// The two protocol roles.
+const (
+	RoleAlice Role = iota
+	RoleBob
+)
+
+func (r Role) String() string {
+	if r == RoleAlice {
+		return "alice"
+	}
+	return "bob"
+}
+
+// peer returns the opposite role.
+func (r Role) peer() Role {
+	if r == RoleAlice {
+		return RoleBob
+	}
+	return RoleAlice
+}
+
+// handshakeVersion guards against protocol drift between binaries.
+const handshakeVersion = 1
+
+// ErrHandshake reports parameter disagreement between the parties.
+var ErrHandshake = errors.New("core: handshake parameter mismatch")
+
+// session holds the per-run cryptographic state of one party.
+type session struct {
+	cfg    Config
+	role   Role
+	epsSq  int64
+	dim    int   // full (virtual) record dimension m
+	bound  int64 // inclusive max of any pairwise dist² = m·MaxCoord²
+	shareV int64 // §5 share mask magnitude: v ∈ [0, shareV)
+
+	paiKey  *paillier.PrivateKey
+	rsaKey  *yao.RSAKey
+	peerPai *paillier.PublicKey
+	peerRSA *yao.RSAPublicKey
+
+	random io.Reader
+	rng    *mrand.Rand // permutation source (Algorithm 4's SetOfPointsOfBobPermutation)
+
+	ledger Ledger
+}
+
+// peerInfo is what the handshake learns about the other side.
+type peerInfo struct {
+	Dim   int // peer's record dimension (own attributes for vertical)
+	Count int // peer's record count
+}
+
+// newSession generates keys, exchanges public keys, and verifies that both
+// parties agree on every protocol parameter. proto names the protocol
+// ("horizontal", "vertical", ...) so mismatched invocations fail fast.
+// ownDim/ownCount describe this party's data and are shared with the peer.
+func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim, ownCount int) (*session, peerInfo, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, peerInfo{}, err
+	}
+	epsSq, err := cfg.epsSquared()
+	if err != nil {
+		return nil, peerInfo{}, err
+	}
+	random := cfg.Random
+	if random == nil {
+		random = rand.Reader
+	}
+
+	s := &session{cfg: cfg, role: role, epsSq: epsSq, random: random}
+	s.paiKey, err = paillier.GenerateKey(random, cfg.PaillierBits)
+	if err != nil {
+		return nil, peerInfo{}, err
+	}
+	s.rsaKey, err = yao.GenerateRSAKey(random, cfg.RSABits)
+	if err != nil {
+		return nil, peerInfo{}, err
+	}
+
+	setTag(conn, "handshake")
+	rsaN, rsaE := yao.MarshalRSAPublicKey(&s.rsaKey.RSAPublicKey)
+	msg := transport.NewBuilder().
+		PutUint(handshakeVersion).
+		PutString(proto).
+		PutUint(uint64(role)).
+		PutInt(epsSq).
+		PutUint(uint64(cfg.MinPts)).
+		PutInt(cfg.MaxCoord).
+		PutString(string(cfg.Engine)).
+		PutUint(uint64(cfg.CmpMaskBits)).
+		PutUint(uint64(cfg.ShareMaskBits)).
+		PutString(string(cfg.Selection)).
+		PutUint(uint64(ownDim)).
+		PutUint(uint64(ownCount)).
+		PutBytes(paillier.MarshalPublicKey(&s.paiKey.PublicKey)).
+		PutBytes(rsaN).
+		PutBytes(rsaE)
+	if err := transport.SendMsg(conn, msg); err != nil {
+		return nil, peerInfo{}, fmt.Errorf("core: handshake send: %w", err)
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, peerInfo{}, fmt.Errorf("core: handshake recv: %w", err)
+	}
+	pVersion := r.Uint()
+	pProto := r.String()
+	pRole := Role(r.Uint())
+	pEpsSq := r.Int()
+	pMinPts := int(r.Uint())
+	pMaxCoord := r.Int()
+	pEngine := r.String()
+	pCmpMask := int(r.Uint())
+	pShareMask := int(r.Uint())
+	pSelection := r.String()
+	pDim := int(r.Uint())
+	pCount := int(r.Uint())
+	paiB := r.Bytes()
+	rsaNB := r.Bytes()
+	rsaEB := r.Bytes()
+	if r.Err() != nil {
+		return nil, peerInfo{}, fmt.Errorf("core: handshake parse: %w", r.Err())
+	}
+
+	switch {
+	case pVersion != handshakeVersion:
+		return nil, peerInfo{}, fmt.Errorf("%w: version %d vs %d", ErrHandshake, handshakeVersion, pVersion)
+	case pProto != proto:
+		return nil, peerInfo{}, fmt.Errorf("%w: protocol %q vs %q", ErrHandshake, proto, pProto)
+	case pRole != role.peer():
+		return nil, peerInfo{}, fmt.Errorf("%w: both parties claim role %v", ErrHandshake, role)
+	case pEpsSq != epsSq:
+		return nil, peerInfo{}, fmt.Errorf("%w: Eps² %d vs %d", ErrHandshake, epsSq, pEpsSq)
+	case pMinPts != cfg.MinPts:
+		return nil, peerInfo{}, fmt.Errorf("%w: MinPts %d vs %d", ErrHandshake, cfg.MinPts, pMinPts)
+	case pMaxCoord != cfg.MaxCoord:
+		return nil, peerInfo{}, fmt.Errorf("%w: MaxCoord %d vs %d", ErrHandshake, cfg.MaxCoord, pMaxCoord)
+	case pEngine != string(cfg.Engine):
+		return nil, peerInfo{}, fmt.Errorf("%w: engine %q vs %q", ErrHandshake, cfg.Engine, pEngine)
+	case pCmpMask != cfg.CmpMaskBits:
+		return nil, peerInfo{}, fmt.Errorf("%w: CmpMaskBits %d vs %d", ErrHandshake, cfg.CmpMaskBits, pCmpMask)
+	case pShareMask != cfg.ShareMaskBits:
+		return nil, peerInfo{}, fmt.Errorf("%w: ShareMaskBits %d vs %d", ErrHandshake, cfg.ShareMaskBits, pShareMask)
+	case pSelection != string(cfg.Selection):
+		return nil, peerInfo{}, fmt.Errorf("%w: selection %q vs %q", ErrHandshake, cfg.Selection, pSelection)
+	}
+
+	s.peerPai, err = paillier.UnmarshalPublicKey(paiB)
+	if err != nil {
+		return nil, peerInfo{}, err
+	}
+	s.peerRSA, err = yao.UnmarshalRSAPublicKey(rsaNB, rsaEB)
+	if err != nil {
+		return nil, peerInfo{}, err
+	}
+
+	// Permutation source: deterministic when seeded, else from crypto/rand.
+	if cfg.Seed != 0 {
+		s.rng = mrand.New(mrand.NewSource(cfg.Seed + int64(role) + 1))
+	} else {
+		var b [8]byte
+		if _, err := io.ReadFull(random, b[:]); err != nil {
+			return nil, peerInfo{}, err
+		}
+		s.rng = mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(b[:]) >> 1)))
+	}
+
+	s.shareV = int64(1) << uint(cfg.ShareMaskBits)
+	return s, peerInfo{Dim: pDim, Count: pCount}, nil
+}
+
+// setDimension fixes the virtual-record dimension m and derives the
+// comparison bound; protocols call it after interpreting the handshake
+// dims (horizontal: m = own = peer; vertical: m = own + peer).
+func (s *session) setDimension(m int) error {
+	if m < 1 {
+		return fmt.Errorf("core: record dimension %d < 1", m)
+	}
+	s.dim = m
+	s.bound = int64(m) * s.cfg.MaxCoord * s.cfg.MaxCoord
+	if s.bound <= 0 || s.bound > (int64(1)<<50) {
+		return fmt.Errorf("core: dist² bound %d out of range (MaxCoord too large?)", s.bound)
+	}
+	// Every pairwise dist² is ≤ bound, so a threshold beyond the bound is
+	// equivalent to the bound itself; clamping keeps comparison inputs in
+	// domain. Both parties clamp identically after the handshake agreed on
+	// the raw value.
+	if s.epsSq > s.bound {
+		s.epsSq = s.bound
+	}
+	return nil
+}
+
+// maskBound returns the HDP zero-sum mask magnitude: masks are drawn in
+// (−2^b, 2^b) with b sized so that masked per-coordinate products stay far
+// inside the Paillier plaintext space.
+func (s *session) maskBound() *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), 62)
+}
+
+// engines builds a matched comparator pair for the given inclusive input
+// bound. The "alice" side (left-value holder, decryptor) uses this party's
+// private keys; the "bob" side uses the peer's public keys — so in any
+// sub-protocol, the party holding the left value uses its cmpAlice and the
+// peer simultaneously uses its cmpBob.
+func (s *session) engines(bound int64) (compare.Alice, compare.Bob, error) {
+	switch s.cfg.Engine {
+	case compare.EngineYMPP:
+		if bound+2 > yao.MaxDomain {
+			return nil, nil, fmt.Errorf("core: comparison domain %d exceeds YMPP limit %d; use Engine=masked or a smaller grid", bound+2, int64(yao.MaxDomain))
+		}
+		return &compare.YMPPAlice{Key: s.rsaKey, Max: bound, Random: s.random},
+			&compare.YMPPBob{Pub: s.peerRSA, Max: bound, Random: s.random}, nil
+	case compare.EngineMasked:
+		limit := new(big.Int).Lsh(big.NewInt(bound+2), uint(s.cfg.CmpMaskBits))
+		if limit.Cmp(s.paiKey.PlaintextBound()) >= 0 || limit.Cmp(s.peerPai.PlaintextBound()) >= 0 {
+			return nil, nil, fmt.Errorf("core: bound %d with %d mask bits overflows the Paillier plaintext space", bound, s.cfg.CmpMaskBits)
+		}
+		return &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random},
+			&compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random}, nil
+	}
+	return nil, nil, fmt.Errorf("core: unknown engine %q", s.cfg.Engine)
+}
+
+// distEngines returns comparators for the split-threshold predicate
+// a + b ≤ Eps² (driver holds a ∈ [0, bound], responder holds b ∈ [−bound,
+// bound]). Implemented as strict Less over [0, bound+1] with the responder
+// clamping Eps² − b + 1 into the domain, which preserves the predicate
+// because a never exceeds bound.
+func (s *session) distEngines() (compare.Alice, compare.Bob, error) {
+	return s.engines(s.bound + 1)
+}
+
+// distLessEqDriver decides ownSum + peerSum ≤ Eps² from the driver side.
+func distLessEqDriver(conn transport.Conn, eng compare.Alice, ownSum int64) (bool, error) {
+	return eng.Less(conn, ownSum)
+}
+
+// distLessEqResponder is the matching responder half; peerSum may be
+// negative (it is Σd_y² − 2·dot for HDP).
+func distLessEqResponder(conn transport.Conn, eng compare.Bob, s *session, peerSum int64) (bool, error) {
+	j := s.epsSq - peerSum + 1
+	if j < 0 {
+		j = 0
+	}
+	if max := eng.Bound(); j > max {
+		j = max
+	}
+	return eng.Less(conn, j)
+}
+
+// setTag routes byte accounting to a protocol phase when the connection is
+// metered; plain connections ignore tagging.
+func setTag(conn transport.Conn, tag string) {
+	if m, ok := conn.(*transport.Meter); ok {
+		m.SetTag(tag)
+	}
+}

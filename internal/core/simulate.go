@@ -1,0 +1,83 @@
+package core
+
+import (
+	"repro/internal/dbscan"
+	"repro/internal/fixedpoint"
+)
+
+// SimulateHorizontalPass runs one party's Algorithm 3/4 pass in the clear:
+// the driver expands clusters over its own points, with the peer's points
+// contributing to density counts only. It is the functional specification
+// the private horizontal protocols (basic and enhanced) must reproduce
+// bit-for-bit, and the reference experiment E6 compares against full
+// single-party DBSCAN.
+func SimulateHorizontalPass(own, peer [][]int64, epsSq int64, minPts int) ([]int, int) {
+	labels := make([]int, len(own))
+	for i := range labels {
+		labels[i] = dbscan.Unclassified
+	}
+	localRQ := func(i int) []int {
+		var out []int
+		for j := range own {
+			if fixedpoint.DistSq(own[i], own[j]) <= epsSq {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	peerCount := func(i int) int {
+		c := 0
+		for _, q := range peer {
+			if fixedpoint.DistSq(own[i], q) <= epsSq {
+				c++
+			}
+		}
+		return c
+	}
+	clusterID := 0
+	for i := range own {
+		if labels[i] != dbscan.Unclassified {
+			continue
+		}
+		seeds := localRQ(i)
+		if len(seeds)+peerCount(i) < minPts {
+			labels[i] = dbscan.Noise
+			continue
+		}
+		clusterID++
+		for _, sd := range seeds {
+			labels[sd] = clusterID
+		}
+		queue := make([]int, 0, len(seeds))
+		for _, sd := range seeds {
+			if sd != i {
+				queue = append(queue, sd)
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			result := localRQ(cur)
+			if len(result)+peerCount(cur) < minPts {
+				continue
+			}
+			for _, r := range result {
+				if labels[r] == dbscan.Unclassified || labels[r] == dbscan.Noise {
+					if labels[r] == dbscan.Unclassified {
+						queue = append(queue, r)
+					}
+					labels[r] = clusterID
+				}
+			}
+		}
+	}
+	return labels, clusterID
+}
+
+// SimulateHorizontal runs both passes of the horizontal protocol in the
+// clear, returning (aliceLabels, aliceClusters, bobLabels, bobClusters).
+func SimulateHorizontal(alice, bob [][]int64, epsSq int64, minPts int) ([]int, int, []int, int) {
+	la, ka := SimulateHorizontalPass(alice, bob, epsSq, minPts)
+	lb, kb := SimulateHorizontalPass(bob, alice, epsSq, minPts)
+	return la, ka, lb, kb
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// The protocols must behave identically over real TCP sockets — the
+// deployment transport — as over in-process pipes.
+func TestHorizontalOverTCP(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+
+	addr, connc, errc, err := transport.ListenAsync("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg         sync.WaitGroup
+		ra, rb     *Result
+		errA, errB error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var conn transport.Conn
+		select {
+		case conn = <-connc:
+		case err := <-errc:
+			errA = err
+			return
+		}
+		defer conn.Close()
+		ra, errA = HorizontalAlice(conn, cfg, testAlicePts)
+	}()
+	go func() {
+		defer wg.Done()
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			errB = err
+			return
+		}
+		defer conn.Close()
+		rb, errB = HorizontalBob(conn, cfg, testBobPts)
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("alice=%v bob=%v", errA, errB)
+	}
+	assertMatchesSimulation(t, cfg, ra, rb, testAlicePts, testBobPts)
+
+	// Cross-check against the in-process run: identical labels.
+	pa, pb := runHorizontal(t, cfg, HorizontalAlice, HorizontalBob, testAlicePts, testBobPts)
+	if !metrics.ExactMatch(ra.Labels, pa.Labels) || !metrics.ExactMatch(rb.Labels, pb.Labels) {
+		t.Error("TCP run diverges from in-process run")
+	}
+}
+
+func TestVerticalOverTCP(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	attrsA := [][]float64{{0}, {1}, {2}, {7}, {7}, {6}}
+	attrsB := [][]float64{{0}, {1}, {1}, {7}, {6}, {7}}
+
+	addr, connc, errc, err := transport.ListenAsync("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg         sync.WaitGroup
+		ra, rb     *Result
+		errA, errB error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var conn transport.Conn
+		select {
+		case conn = <-connc:
+		case err := <-errc:
+			errA = err
+			return
+		}
+		defer conn.Close()
+		ra, errA = VerticalAlice(conn, cfg, attrsA)
+	}()
+	go func() {
+		defer wg.Done()
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			errB = err
+			return
+		}
+		defer conn.Close()
+		rb, errB = VerticalBob(conn, cfg, attrsB)
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("alice=%v bob=%v", errA, errB)
+	}
+	if !metrics.ExactMatch(ra.Labels, rb.Labels) {
+		t.Error("parties disagree over TCP")
+	}
+	if ra.NumClusters != 2 {
+		t.Errorf("clusters = %d, want 2", ra.NumClusters)
+	}
+}

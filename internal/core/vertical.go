@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// VerticalAlice runs the §4.3 protocol (Algorithms 5–6) as Alice, who owns
+// the leading attribute columns of every record; attrs is her n×l matrix.
+// The peer concurrently runs VerticalBob with the remaining columns. Both
+// parties obtain the full labelling of all n records — the protocol's
+// defined output (§3.3: for records split between the parties, both learn
+// the cluster number).
+//
+// VDP — the vertically-partitioned distance protocol — needs no
+// Multiplication Protocol: each party sums squared differences over its
+// own columns and a single secure comparison decides
+// PA + PB ≤ Eps² per pair (Theorem 10's only disclosure).
+func VerticalAlice(conn transport.Conn, cfg Config, attrs [][]float64) (*Result, error) {
+	return verticalRun(conn, cfg, RoleAlice, attrs)
+}
+
+// VerticalBob is Alice's counterpart; see VerticalAlice.
+func VerticalBob(conn transport.Conn, cfg Config, attrs [][]float64) (*Result, error) {
+	return verticalRun(conn, cfg, RoleBob, attrs)
+}
+
+func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("core: vertical protocol requires at least one record")
+	}
+	enc, err := cfg.encodePoints(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ownDim := len(enc[0])
+	for i, p := range enc {
+		if len(p) != ownDim {
+			return nil, fmt.Errorf("core: record %d has %d attributes, want %d", i, len(p), ownDim)
+		}
+	}
+	s, peer, err := newSession(conn, cfg, role, "vertical", ownDim, len(enc))
+	if err != nil {
+		return nil, err
+	}
+	if peer.Count != len(enc) {
+		return nil, fmt.Errorf("%w: record count %d vs %d", ErrHandshake, len(enc), peer.Count)
+	}
+	if peer.Dim < 1 {
+		return nil, fmt.Errorf("%w: peer owns no attributes", ErrHandshake)
+	}
+	if err := s.setDimension(ownDim + peer.Dim); err != nil {
+		return nil, err
+	}
+
+	engA, engB, err := s.distEngines()
+	if err != nil {
+		return nil, err
+	}
+	// Fixed comparison roles for the whole run: Alice always holds the
+	// left value (her partial sum PA), Bob the right (Eps² − PB).
+	pairLE := func(i, j int) (bool, error) {
+		setTag(conn, "vdp.cmp")
+		s.ledger.PairDecisions++
+		partial := partialDistSq(enc, i, j)
+		if role == RoleAlice {
+			return distLessEqDriver(conn, engA, partial)
+		}
+		return distLessEqResponder(conn, engB, s, partial)
+	}
+	labels, clusters, err := LockstepCluster(len(enc), cfg.MinPts, pairLE)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger}, nil
+}
+
+// partialDistSq sums squared differences over this party's own columns.
+func partialDistSq(enc [][]int64, i, j int) int64 {
+	var s int64
+	for k := range enc[i] {
+		d := enc[i][k] - enc[j][k]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSV I/O for point sets: one point per line, comma-separated float
+// coordinates, optional trailing integer label column when labels are
+// present. Blank lines and '#' comments are ignored. This is the on-disk
+// format shared by the CLI (`ppdbscan gen` / `ppdbscan alice -data`) and
+// downstream users of the library.
+
+// WriteCSV writes d to w; when d.Labels is non-nil a final label column is
+// emitted.
+func WriteCSV(w io.Writer, d Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i, pt := range d.Points {
+		for j, v := range pt {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if d.Labels != nil {
+			if _, err := fmt.Fprintf(bw, ",%d", d.Labels[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSVFile writes d to path, creating or truncating it.
+func WriteCSVFile(path string, d Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses points from r. If withLabels is true the last column is
+// interpreted as an integer ground-truth label.
+func ReadCSV(r io.Reader, withLabels bool) (Dataset, error) {
+	var d Dataset
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	dim := -1
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		want := len(fields)
+		if withLabels {
+			want--
+		}
+		if want < 1 {
+			return Dataset{}, fmt.Errorf("dataset: line %d: no coordinates", lineNo)
+		}
+		if dim == -1 {
+			dim = want
+		} else if want != dim {
+			return Dataset{}, fmt.Errorf("dataset: line %d: %d coordinates, want %d", lineNo, want, dim)
+		}
+		pt := make([]float64, want)
+		for j := 0; j < want; j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[j]), 64)
+			if err != nil {
+				return Dataset{}, fmt.Errorf("dataset: line %d column %d: %w", lineNo, j+1, err)
+			}
+			pt[j] = v
+		}
+		d.Points = append(d.Points, pt)
+		if withLabels {
+			l, err := strconv.Atoi(strings.TrimSpace(fields[want]))
+			if err != nil {
+				return Dataset{}, fmt.Errorf("dataset: line %d label: %w", lineNo, err)
+			}
+			d.Labels = append(d.Labels, l)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return Dataset{}, fmt.Errorf("dataset: reading: %w", err)
+	}
+	return d, nil
+}
+
+// ReadCSVFile reads a dataset from path.
+func ReadCSVFile(path string, withLabels bool) (Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Dataset{}, err
+	}
+	defer f.Close()
+	d, err := ReadCSV(f, withLabels)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("%s: %w", path, err)
+	}
+	d.Name = path
+	return d, nil
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripUnlabelled(t *testing.T) {
+	d := Dataset{Points: [][]float64{{1.5, -2}, {0, 3.25}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 2 || got.Points[0][0] != 1.5 || got.Points[1][1] != 3.25 {
+		t.Errorf("round trip: %v", got.Points)
+	}
+	if got.Labels != nil {
+		t.Error("unexpected labels")
+	}
+}
+
+func TestCSVRoundTripLabelled(t *testing.T) {
+	d := Blobs(30, 3, 0.4, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 30 || len(got.Labels) != 30 {
+		t.Fatalf("sizes %d/%d", len(got.Points), len(got.Labels))
+	}
+	for i := range d.Points {
+		if got.Points[i][0] != d.Points[i][0] || got.Labels[i] != d.Labels[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	d := Moons(20, 0.01, 2)
+	if err := WriteCSVFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 20 {
+		t.Errorf("n = %d", len(got.Points))
+	}
+	if got.Name != path {
+		t.Errorf("name = %q", got.Name)
+	}
+}
+
+func TestReadCSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1,2\n  \n3,4\n"
+	d, err := ReadCSV(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 2 {
+		t.Errorf("n = %d, want 2", len(d.Points))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name       string
+		in         string
+		withLabels bool
+	}{
+		{"ragged", "1,2\n1,2,3\n", false},
+		{"non-numeric", "1,x\n", false},
+		{"bad label", "1,2,notint\n", true},
+		{"label only", "3\n", true},
+	}
+	for _, tc := range cases {
+		if _, err := ReadCSV(strings.NewReader(tc.in), tc.withLabels); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile("/nonexistent/x.csv", false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

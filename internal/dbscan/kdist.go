@@ -1,0 +1,71 @@
+package dbscan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The sorted k-dist graph heuristic from the original DBSCAN paper
+// (Ester et al., KDD 1996, §4.2): plot every point's distance to its k-th
+// nearest neighbour in descending order; the first "valley" separates
+// noise (left of the threshold) from cluster points, and its height is a
+// good Eps for MinPts = k+1 (the +1 accounts for self-inclusive counting).
+// In a privacy-preserving deployment each party can run this on its own
+// data to propose parameters before the joint protocol.
+
+// KDistances returns each point's distance to its k-th nearest neighbour
+// (k ≥ 1, excluding the point itself), sorted in descending order.
+func KDistances(points [][]float64, k int) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dbscan: k must be ≥ 1, got %d", k)
+	}
+	if len(points) <= k {
+		return nil, fmt.Errorf("dbscan: need more than k=%d points, got %d", k, len(points))
+	}
+	out := make([]float64, len(points))
+	dists := make([]float64, 0, len(points)-1)
+	for i := range points {
+		dists = dists[:0]
+		for j := range points {
+			if i == j {
+				continue
+			}
+			dists = append(dists, distSqFloat(points[i], points[j]))
+		}
+		sort.Float64s(dists)
+		out[i] = math.Sqrt(dists[k-1])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out, nil
+}
+
+// SuggestEps applies the valley heuristic to the sorted k-dist graph
+// using the normalized-chord elbow method: both axes are scaled to
+// [0, 1], a chord is drawn from the first to the last curve point, and
+// the Eps candidate is the k-dist value where the curve sags furthest
+// below the chord — the bend separating the sparse (noise) plateau from
+// the dense (cluster) plateau.
+func SuggestEps(points [][]float64, k int) (float64, error) {
+	kd, err := KDistances(points, k)
+	if err != nil {
+		return 0, err
+	}
+	n := len(kd)
+	y0, yn := kd[0], kd[n-1]
+	if y0 == yn {
+		return y0, nil // flat curve: any threshold is equivalent
+	}
+	bestIdx := 0
+	bestSag := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		y := (kd[i] - yn) / (y0 - yn)
+		chord := 1 - x // normalized chord from (0,1) to (1,0)
+		if sag := chord - y; sag > bestSag {
+			bestSag = sag
+			bestIdx = i
+		}
+	}
+	return kd[bestIdx], nil
+}

@@ -1,0 +1,92 @@
+package dbscan
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func TestKDistancesShape(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 0}, {2, 0}, {10, 0}}
+	kd, err := KDistances(points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kd) != 4 {
+		t.Fatalf("len = %d", len(kd))
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(kd))) {
+		t.Error("k-dist graph not descending")
+	}
+	// Nearest-neighbour distances: 1,1,1,8 → sorted desc: 8,1,1,1.
+	if kd[0] != 8 || kd[1] != 1 || kd[3] != 1 {
+		t.Errorf("kd = %v", kd)
+	}
+}
+
+func TestKDistancesValidation(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}}
+	if _, err := KDistances(pts, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KDistances(pts, 2); err == nil {
+		t.Error("k ≥ n accepted")
+	}
+}
+
+func TestKDistancesLargerK(t *testing.T) {
+	// Five collinear points spaced 1 apart: the 2nd-NN distance of an
+	// endpoint is 2, of an interior point is 1.
+	points := [][]float64{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}}
+	kd, err := KDistances(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two endpoints with 2, three interior with 1 → desc: 2,2,1,1,1.
+	want := []float64{2, 2, 1, 1, 1}
+	for i := range want {
+		if kd[i] != want[i] {
+			t.Fatalf("kd = %v, want %v", kd, want)
+		}
+	}
+}
+
+// The paper-lineage use case: SuggestEps on clustered data with sparse
+// noise must return a threshold that separates them, and DBSCAN run with
+// that Eps must recover the clusters.
+func TestSuggestEpsRecoversClusters(t *testing.T) {
+	d := dataset.WithNoise(dataset.Blobs(150, 3, 0.25, 11), 10, 12)
+	const k = 3
+	eps, err := SuggestEps(d.Points, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0 {
+		t.Fatalf("eps = %v", eps)
+	}
+	res, err := Cluster(d.Points, Params{Eps: eps, MinPts: k + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := metrics.ARI(res.Labels, d.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.85 {
+		t.Errorf("DBSCAN with suggested eps=%v: ARI = %.3f, want ≥ 0.85 (clusters=%d)", eps, ari, res.NumClusters)
+	}
+}
+
+func TestSuggestEpsValidation(t *testing.T) {
+	if _, err := SuggestEps([][]float64{{0, 0}}, 2); err == nil {
+		t.Error("too few points accepted")
+	}
+	// A flat curve (regular grid) must return its common k-dist.
+	flat := [][]float64{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	eps, err := SuggestEps(flat, 1)
+	if err != nil || eps != 1 {
+		t.Errorf("flat curve eps = %v, %v; want 1", eps, err)
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dbscan"
+	"repro/internal/metrics"
+	"repro/internal/multiparty"
+	"repro/internal/transport"
+)
+
+// runE12 evaluates the multi-party extension (the paper's §1 "can be
+// extended to multi-party cases"): exact agreement with pooled DBSCAN for
+// ring sizes k = 2..5 and the cost growth with k (one extra ciphertext
+// hop per party per pair).
+func runE12(w io.Writer, opt Options) error {
+	n := 20
+	if opt.Quick {
+		n = 12
+	}
+	ks := []int{2, 3, 4, 5}
+	if opt.Quick {
+		ks = []int{2, 3}
+	}
+
+	var t table
+	t.add("k", "n", "exactMatch", "pairDecisions", "wall", "bytes")
+	for _, k := range ks {
+		d := dataset.BlobsDim(n, 2, k, 0.3, opt.seed())
+		q, _ := dataset.Quantize(d, 16)
+
+		// One attribute column per party.
+		slices := make([][][]float64, k)
+		for p := 0; p < k; p++ {
+			part := make([][]float64, len(q.Points))
+			for i, row := range q.Points {
+				part[i] = []float64{row[p]}
+			}
+			slices[p] = part
+		}
+		cfg := multiparty.Config{
+			Eps: 3, MinPts: 3, MaxCoord: 15,
+			PaillierBits: 256, RSABits: 256,
+			Engine: compare.EngineMasked,
+		}
+
+		ring := multiparty.NewLocalRing(k)
+		meters := make([]*transport.Meter, k)
+		for p := range ring {
+			meters[p] = transport.NewMeter(ring[p].Next)
+			ring[p].Next = meters[p]
+		}
+		results := make([]*multiparty.Result, k)
+		errs := make([]error, k)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for p := 0; p < k; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				results[p], errs[p] = multiparty.Run(ring[p], cfg, slices[p])
+				ring[p].Next.Close()
+				ring[p].Prev.Close()
+			}(p)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+
+		enc := make([][]int64, len(q.Points))
+		for i, row := range q.Points {
+			r := make([]int64, len(row))
+			for j, v := range row {
+				r[j] = int64(v)
+			}
+			enc[i] = r
+		}
+		oracle, err := dbscan.ClusterInt(enc, int64(cfg.Eps*cfg.Eps), cfg.MinPts)
+		if err != nil {
+			return err
+		}
+		exact := true
+		for _, r := range results {
+			if !metrics.ExactMatch(r.Labels, oracle.Labels) {
+				exact = false
+			}
+		}
+		var bytes int64
+		for _, m := range meters {
+			bytes += m.Stats().BytesSent
+		}
+		t.add(fmt.Sprint(k), fmt.Sprint(n), fmt.Sprint(exact),
+			fmt.Sprint(results[0].PairDecisions),
+			fmt.Sprint(wall.Round(time.Millisecond)),
+			fmt.Sprint(bytes))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "ring accumulation adds one ciphertext hop per extra party per pair decision;")
+	fmt.Fprintln(w, "all parties must match pooled DBSCAN exactly for every k.")
+
+	// Horizontal mesh extension: k parties with complete records, pairwise
+	// HDP; each party's pass must match the Algorithm 3/4 oracle with the
+	// union of the other parties as the peer set.
+	hks := []int{2, 3, 4}
+	if opt.Quick {
+		hks = []int{2, 3}
+	}
+	var ht table
+	ht.add("k(horizontal)", "n/party", "exactMatch", "regionQueries", "wall")
+	for _, k := range hks {
+		per := 10
+		if opt.Quick {
+			per = 6
+		}
+		sets := make([][][]float64, k)
+		for p := 0; p < k; p++ {
+			d := dataset.Blobs(per, 2, 0.5, opt.seed()+int64(p))
+			q, _ := dataset.Quantize(d, 16)
+			sets[p] = q.Points
+		}
+		cfg := Config{
+			Eps: 3, MinPts: 3, MaxCoord: 15,
+			PaillierBits: 256, RSABits: 256,
+			Engine: compare.EngineMasked,
+		}
+		mesh := multiparty.NewLocalMesh(k)
+		results := make([]*multiparty.HorizontalResult, k)
+		errs := make([]error, k)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for p := 0; p < k; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				party := multiparty.HorizontalParty{Index: p, K: k, Conns: mesh[p]}
+				results[p], errs[p] = multiparty.RunHorizontal(party, cfg, sets[p])
+				for qi, c := range mesh[p] {
+					if qi != p {
+						c.Close()
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		exact := true
+		queries := 0
+		for p, r := range results {
+			var others [][]int64
+			for q2, set := range sets {
+				if q2 == p {
+					continue
+				}
+				others = append(others, encodeIntSet(set)...)
+			}
+			want, _ := core.SimulateHorizontalPass(encodeIntSet(sets[p]), others, int64(cfg.Eps*cfg.Eps), cfg.MinPts)
+			if !metrics.ExactMatch(r.Labels, want) {
+				exact = false
+			}
+			queries += r.RegionQueries
+		}
+		ht.add(fmt.Sprint(k), fmt.Sprint(per), fmt.Sprint(exact),
+			fmt.Sprint(queries), fmt.Sprint(wall.Round(time.Millisecond)))
+	}
+	ht.write(w)
+	fmt.Fprintln(w, "horizontal mesh: each party's pass answers against every other party (pairwise HDP);")
+	fmt.Fprintln(w, "exactMatch is vs the Algorithm 3/4 oracle with the union of the other parties.")
+	return nil
+}
+
+// Config aliases the multiparty configuration for the local helpers above.
+type Config = multiparty.Config
+
+func encodeIntSet(points [][]float64) [][]int64 {
+	out := make([][]int64, len(points))
+	for i, row := range points {
+		r := make([]int64, len(row))
+		for j, v := range row {
+			r[j] = int64(v)
+		}
+		out[i] = r
+	}
+	return out
+}

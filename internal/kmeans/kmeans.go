@@ -1,0 +1,152 @@
+// Package kmeans implements Lloyd's k-means with k-means++ seeding. It is
+// the partitioning-method baseline the paper's introduction compares
+// DBSCAN against ("DBSCAN is better at finding arbitrarily shaped
+// clusters", citing [19]); experiment E7 reproduces that claim by scoring
+// both algorithms on moons/rings/blobs.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result is a k-means clustering outcome. Labels are 1-based to align with
+// the DBSCAN label convention.
+type Result struct {
+	Labels    []int
+	Centroids [][]float64
+	Inertia   float64 // sum of squared distances to assigned centroids
+	Iters     int
+}
+
+// Cluster runs k-means++ seeding followed by Lloyd iterations until
+// assignment convergence or maxIter. Deterministic in seed.
+func Cluster(points [][]float64, k, maxIter int, seed int64) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("kmeans: k must be ≥ 1, got %d", k)
+	}
+	if len(points) < k {
+		return Result{}, fmt.Errorf("kmeans: %d points < k=%d", len(points), k)
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(points[0])
+	centroids := seedPlusPlus(points, k, rng)
+	labels := make([]int, len(points))
+	for i := range labels {
+		labels[i] = -1
+	}
+
+	var iters int
+	for iters = 1; iters <= maxIter; iters++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				if d := distSq(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best+1 {
+				labels[i] = best + 1
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids; empty clusters re-seed to the farthest point.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := labels[i] - 1
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				centroids[c] = farthestPoint(points, centroids)
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += distSq(p, centroids[labels[i]-1])
+	}
+	return Result{Labels: labels, Centroids: centroids, Inertia: inertia, Iters: iters}, nil
+}
+
+// seedPlusPlus chooses initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64{}, first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := distSq(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; pick any.
+			centroids = append(centroids, append([]float64{}, points[rng.Intn(len(points))]...))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, w := range d2 {
+			target -= w
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64{}, points[idx]...))
+	}
+	return centroids
+}
+
+func farthestPoint(points [][]float64, centroids [][]float64) []float64 {
+	bestIdx, bestD := 0, -1.0
+	for i, p := range points {
+		near := math.Inf(1)
+		for _, c := range centroids {
+			if d := distSq(p, c); d < near {
+				near = d
+			}
+		}
+		if near > bestD {
+			bestD, bestIdx = near, i
+		}
+	}
+	return append([]float64{}, points[bestIdx]...)
+}
+
+func distSq(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package kmeans
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func TestValidation(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}}
+	if _, err := Cluster(pts, 0, 10, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster(pts, 3, 10, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestWellSeparatedBlobs(t *testing.T) {
+	d := dataset.Blobs(150, 3, 0.2, 5)
+	res, err := Cluster(d.Points, 3, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := metrics.ARI(res.Labels, d.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Errorf("blobs ARI = %.3f, want ≥ 0.95", ari)
+	}
+	if len(res.Centroids) != 3 {
+		t.Errorf("centroids = %d", len(res.Centroids))
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	d := dataset.Blobs(100, 2, 0.4, 9)
+	r1, err := Cluster(d.Points, 2, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Cluster(d.Points, 2, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Labels {
+		if r1.Labels[i] != r2.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestLabelsAreOneBasedAndComplete(t *testing.T) {
+	d := dataset.Blobs(60, 4, 0.3, 2)
+	res, err := Cluster(d.Points, 4, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range res.Labels {
+		if l < 1 || l > 4 {
+			t.Fatalf("label[%d] = %d outside [1,4]", i, l)
+		}
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	pts := [][]float64{{0, 0}, {5, 5}, {10, 10}}
+	res, err := Cluster(pts, 3, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should give n singleton clusters, got %d", len(seen))
+	}
+	if res.Inertia != 0 {
+		t.Errorf("singleton inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {9, 9}}
+	res, err := Cluster(pts, 2, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[0] != res.Labels[1] || res.Labels[1] != res.Labels[2] {
+		t.Error("identical points split across clusters")
+	}
+	if res.Labels[0] == res.Labels[3] {
+		t.Error("distant point joined the duplicate cluster")
+	}
+}
+
+// The E7 story: k-means must fail on moons where DBSCAN succeeds; we only
+// assert the k-means half here (DBSCAN's half lives in its own package).
+func TestMoonsConfuseKMeans(t *testing.T) {
+	d := dataset.Moons(300, 0.04, 7)
+	res, err := Cluster(d.Points, 2, 100, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, _ := metrics.ARI(res.Labels, d.Labels)
+	if ari > 0.7 {
+		t.Errorf("k-means moons ARI = %.3f; expected well below DBSCAN's ≈1", ari)
+	}
+}

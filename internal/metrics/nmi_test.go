@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNMIPerfectAgreement(t *testing.T) {
+	a := []int{1, 1, 2, 2, -1}
+	b := []int{7, 7, 3, 3, 9} // renamed partitions
+	got, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI = %v, want 1", got)
+	}
+}
+
+func TestNMIIndependence(t *testing.T) {
+	// Perfectly crossed partitions: knowing a tells nothing about b.
+	a := []int{1, 1, 2, 2}
+	b := []int{1, 2, 1, 2}
+	got, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-9 {
+		t.Errorf("NMI = %v, want ≈ 0", got)
+	}
+}
+
+func TestNMIDegenerate(t *testing.T) {
+	got, err := NMI([]int{1, 1, 1}, []int{2, 2, 2})
+	if err != nil || got != 1 {
+		t.Errorf("single-cluster NMI = %v, %v", got, err)
+	}
+	// One side single cluster, other split: MI = 0 but entropies differ.
+	got, err = NMI([]int{1, 1, 1, 1}, []int{1, 1, 2, 2})
+	if err != nil || got != 0 {
+		t.Errorf("half-degenerate NMI = %v, %v", got, err)
+	}
+	if _, err := NMI([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// Property: NMI is symmetric, bounded in [0,1], invariant under renaming,
+// and self-NMI is 1.
+func TestNMIProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4) + 1
+			b[i] = rng.Intn(4) + 1
+		}
+		ab, err1 := NMI(a, b)
+		ba, err2 := NMI(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.Abs(ab-ba) > 1e-12 || ab < 0 || ab > 1+1e-12 {
+			return false
+		}
+		renamed := make([]int, n)
+		for i := range a {
+			renamed[i] = a[i] * 17
+		}
+		ar, err := NMI(renamed, b)
+		if err != nil || math.Abs(ab-ar) > 1e-12 {
+			return false
+		}
+		self, err := NMI(a, a)
+		return err == nil && math.Abs(self-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// NMI and ARI must broadly agree on which of two candidate clusterings is
+// better.
+func TestNMIConsistentWithARI(t *testing.T) {
+	truth := []int{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3}
+	good := []int{1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3} // one mistake
+	bad := []int{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3}  // shuffled
+	gNMI, _ := NMI(good, truth)
+	bNMI, _ := NMI(bad, truth)
+	gARI, _ := ARI(good, truth)
+	bARI, _ := ARI(bad, truth)
+	if !(gNMI > bNMI && gARI > bARI) {
+		t.Errorf("ranking mismatch: NMI %v vs %v, ARI %v vs %v", gNMI, bNMI, gARI, bARI)
+	}
+}

@@ -1,0 +1,503 @@
+package multiparty
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+	mrand "math/rand"
+
+	"repro/internal/compare"
+	"repro/internal/dbscan"
+	"repro/internal/fixedpoint"
+	"repro/internal/mpc"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+	"repro/internal/yao"
+)
+
+// The k-party horizontal extension generalizes Algorithm 3/4: every party
+// holds complete records and runs its own driving pass in index order;
+// during party p's pass each other party answers HDP region queries, so a
+// query point's density count is |own neighbours| + Σ_q |peer q's
+// neighbours|. As in the two-party protocol, expansion walks only the
+// driver's own points and cluster ids are local to each party.
+//
+// Disclosure note (DESIGN.md): pairwise composition reveals per-peer
+// neighbour counts to the driver (finer-grained than the two-party
+// protocol's single count), plus the HDP dot products to each responder —
+// the natural cost of composing the paper's two-party building block.
+
+// HorizontalParty describes one participant in the k-party horizontal
+// protocol, connected to every other party.
+type HorizontalParty struct {
+	Index int
+	K     int
+	// Conns[q] connects to party q; Conns[Index] is unused (may be nil).
+	Conns []transport.Conn
+}
+
+func (p HorizontalParty) validate() error {
+	if p.K < 2 {
+		return fmt.Errorf("multiparty: need ≥ 2 parties, got %d", p.K)
+	}
+	if p.Index < 0 || p.Index >= p.K {
+		return fmt.Errorf("multiparty: index %d outside [0,%d)", p.Index, p.K)
+	}
+	if len(p.Conns) != p.K {
+		return fmt.Errorf("multiparty: party %d has %d connections, want %d", p.Index, len(p.Conns), p.K)
+	}
+	for q, c := range p.Conns {
+		if q != p.Index && c == nil {
+			return fmt.Errorf("multiparty: party %d missing connection to %d", p.Index, q)
+		}
+	}
+	return nil
+}
+
+// HorizontalResult is one party's output: labels for its own points.
+type HorizontalResult struct {
+	Labels      []int
+	NumClusters int
+	// RegionQueries counts the driving-side region queries this party
+	// issued (each reveals k−1 per-peer neighbour counts to it).
+	RegionQueries int
+}
+
+// pairSession holds the cryptographic state shared with one specific peer.
+type pairSession struct {
+	paiKey  *paillier.PrivateKey
+	rsaKey  *yao.RSAKey
+	peerPai *paillier.PublicKey
+	peerRSA *yao.RSAPublicKey
+	cmpA    compare.Alice // we drive: we hold the left value
+	cmpB    compare.Bob   // we respond: peer holds the left value
+	peerN   int           // peer's record count
+	rng     *mrand.Rand   // per-query permutation when we respond
+}
+
+// RunHorizontal executes the k-party horizontal protocol for one party.
+// All parties must call it concurrently over a consistent mesh.
+func RunHorizontal(party HorizontalParty, cfg Config, points [][]float64) (*HorizontalResult, error) {
+	if err := party.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("multiparty: party %d holds no points", party.Index)
+	}
+	m := len(points[0])
+	for i, row := range points {
+		if len(row) != m {
+			return nil, fmt.Errorf("multiparty: point %d has %d attributes, want %d", i, len(row), m)
+		}
+	}
+	codec, err := fixedpoint.New(cfg.Scale, cfg.Offset)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.EncodePoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range enc {
+		for j, v := range row {
+			if v > cfg.MaxCoord {
+				return nil, fmt.Errorf("multiparty: point %d attribute %d encodes to %d > MaxCoord %d", i, j, v, cfg.MaxCoord)
+			}
+		}
+	}
+	epsSq, err := codec.EpsSquared(cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	random := cfg.Random
+	if random == nil {
+		random = rand.Reader
+	}
+
+	h := &hState{
+		party: party, cfg: cfg, enc: enc, epsSq: epsSq, random: random,
+		bound: int64(m) * cfg.MaxCoord * cfg.MaxCoord,
+		m:     m,
+	}
+	if h.bound <= 0 || h.bound > int64(1)<<50 {
+		return nil, fmt.Errorf("multiparty: dist² bound %d out of range", h.bound)
+	}
+	if h.epsSq > h.bound {
+		h.epsSq = h.bound
+	}
+	if err := h.handshakeAll(); err != nil {
+		return nil, err
+	}
+
+	// Passes in party-index order; everyone agrees on the schedule.
+	var labels []int
+	var clusters int
+	for pass := 0; pass < party.K; pass++ {
+		if pass == party.Index {
+			labels, clusters, err = h.drive()
+		} else {
+			err = h.respond(pass)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("multiparty: pass %d: %w", pass, err)
+		}
+	}
+	return &HorizontalResult{Labels: labels, NumClusters: clusters, RegionQueries: h.queries}, nil
+}
+
+// hState is one party's runtime for the k-party horizontal protocol.
+type hState struct {
+	party  HorizontalParty
+	cfg    Config
+	enc    [][]int64
+	epsSq  int64
+	bound  int64
+	m      int
+	random io.Reader
+
+	sessions []*pairSession // indexed by peer
+	queries  int
+}
+
+// handshakeAll establishes a pairwise session with every peer: key
+// exchange plus parameter agreement, symmetric send-then-receive.
+func (h *hState) handshakeAll() error {
+	p := h.party
+	h.sessions = make([]*pairSession, p.K)
+	for q := 0; q < p.K; q++ {
+		if q == p.Index {
+			continue
+		}
+		conn := p.Conns[q]
+		paiKey, err := paillier.GenerateKey(h.random, h.cfg.PaillierBits)
+		if err != nil {
+			return err
+		}
+		rsaKey, err := yao.GenerateRSAKey(h.random, h.cfg.RSABits)
+		if err != nil {
+			return err
+		}
+		rsaN, rsaE := yao.MarshalRSAPublicKey(&rsaKey.RSAPublicKey)
+		msg := transport.NewBuilder().
+			PutInt(h.epsSq).
+			PutUint(uint64(h.cfg.MinPts)).
+			PutInt(h.cfg.MaxCoord).
+			PutString(string(h.cfg.Engine)).
+			PutUint(uint64(h.m)).
+			PutUint(uint64(len(h.enc))).
+			PutBytes(paillier.MarshalPublicKey(&paiKey.PublicKey)).
+			PutBytes(rsaN).
+			PutBytes(rsaE)
+		if err := transport.SendMsg(conn, msg); err != nil {
+			return fmt.Errorf("handshake with %d: %w", q, err)
+		}
+		r, err := transport.RecvMsg(conn)
+		if err != nil {
+			return fmt.Errorf("handshake with %d: %w", q, err)
+		}
+		pEpsSq := r.Int()
+		pMinPts := int(r.Uint())
+		pMaxCoord := r.Int()
+		pEngine := r.String()
+		pM := int(r.Uint())
+		pN := int(r.Uint())
+		paiB := r.Bytes()
+		rsaNB := r.Bytes()
+		rsaEB := r.Bytes()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		switch {
+		case pEpsSq != h.epsSq:
+			return fmt.Errorf("%w: Eps² %d vs %d with party %d", ErrHandshake, h.epsSq, pEpsSq, q)
+		case pMinPts != h.cfg.MinPts:
+			return fmt.Errorf("%w: MinPts with party %d", ErrHandshake, q)
+		case pMaxCoord != h.cfg.MaxCoord:
+			return fmt.Errorf("%w: MaxCoord with party %d", ErrHandshake, q)
+		case pEngine != string(h.cfg.Engine):
+			return fmt.Errorf("%w: engine with party %d", ErrHandshake, q)
+		case pM != h.m:
+			return fmt.Errorf("%w: dimension %d vs %d with party %d", ErrHandshake, h.m, pM, q)
+		}
+		sess := &pairSession{paiKey: paiKey, rsaKey: rsaKey, peerN: pN}
+		sess.peerPai, err = paillier.UnmarshalPublicKey(paiB)
+		if err != nil {
+			return err
+		}
+		sess.peerRSA, err = yao.UnmarshalRSAPublicKey(rsaNB, rsaEB)
+		if err != nil {
+			return err
+		}
+		var seedBytes [8]byte
+		if _, err := io.ReadFull(h.random, seedBytes[:]); err != nil {
+			return err
+		}
+		sess.rng = mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(seedBytes[:]) >> 1)))
+		if err := h.buildPairEngines(sess); err != nil {
+			return err
+		}
+		h.sessions[q] = sess
+	}
+	return nil
+}
+
+// buildPairEngines constructs the split-threshold comparators over
+// [0, bound+1] (the Less/clamp embedding of a + b ≤ Eps²).
+func (h *hState) buildPairEngines(sess *pairSession) error {
+	bound := h.bound + 1
+	switch h.cfg.Engine {
+	case compare.EngineYMPP:
+		if bound+2 > yao.MaxDomain {
+			return fmt.Errorf("multiparty: comparison domain %d exceeds YMPP limit; use Engine=masked", bound+2)
+		}
+		sess.cmpA = &compare.YMPPAlice{Key: sess.rsaKey, Max: bound, Random: h.random}
+		sess.cmpB = &compare.YMPPBob{Pub: sess.peerRSA, Max: bound, Random: h.random}
+	case compare.EngineMasked:
+		limit := new(big.Int).Lsh(big.NewInt(bound+2), uint(h.cfg.CmpMaskBits))
+		if limit.Cmp(sess.paiKey.PlaintextBound()) >= 0 || limit.Cmp(sess.peerPai.PlaintextBound()) >= 0 {
+			return fmt.Errorf("multiparty: comparison bound overflows the Paillier plaintext space")
+		}
+		sess.cmpA = &compare.MaskedAlice{Key: sess.paiKey, Max: bound, Random: h.random}
+		sess.cmpB = &compare.MaskedBob{Pub: sess.peerPai, Max: bound, MaskBits: h.cfg.CmpMaskBits, Random: h.random}
+	default:
+		return fmt.Errorf("multiparty: unknown engine %q", h.cfg.Engine)
+	}
+	return nil
+}
+
+// Ops on the driver→responder control channel (per peer connection).
+const (
+	hOpQuery uint64 = 1
+	hOpDone  uint64 = 2
+)
+
+// drive runs this party's Algorithm 3/4 pass, querying every peer.
+func (h *hState) drive() ([]int, int, error) {
+	labels := make([]int, len(h.enc))
+	for i := range labels {
+		labels[i] = dbscan.Unclassified
+	}
+	clusterID := 0
+	for i := range h.enc {
+		if labels[i] != dbscan.Unclassified {
+			continue
+		}
+		expanded, err := h.expand(i, clusterID+1, labels)
+		if err != nil {
+			return nil, 0, err
+		}
+		if expanded {
+			clusterID++
+		}
+	}
+	for q := 0; q < h.party.K; q++ {
+		if q == h.party.Index {
+			continue
+		}
+		if err := transport.SendMsg(h.party.Conns[q], transport.NewBuilder().PutUint(hOpDone)); err != nil {
+			return nil, 0, err
+		}
+	}
+	return labels, clusterID, nil
+}
+
+func (h *hState) localRegionQuery(i int) []int {
+	var out []int
+	for j := range h.enc {
+		if fixedpoint.DistSq(h.enc[i], h.enc[j]) <= h.epsSq {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// totalCount sums the query point's neighbours across all peers.
+func (h *hState) totalCount(x []int64) (int, error) {
+	h.queries++
+	total := 0
+	for q := 0; q < h.party.K; q++ {
+		if q == h.party.Index {
+			continue
+		}
+		c, err := h.queryPeer(q, x)
+		if err != nil {
+			return 0, fmt.Errorf("querying party %d: %w", q, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// queryPeer runs one two-party HDP region query against peer q.
+func (h *hState) queryPeer(q int, x []int64) (int, error) {
+	sess := h.sessions[q]
+	conn := h.party.Conns[q]
+	if sess.peerN == 0 {
+		return 0, nil
+	}
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(hOpQuery)); err != nil {
+		return 0, err
+	}
+	// MP phase: we are the sender (peer receives masked products under its
+	// own key).
+	ys := make([]int64, 0, sess.peerN*h.m)
+	vs := make([]*big.Int, 0, sess.peerN*h.m)
+	maskBound := new(big.Int).Lsh(big.NewInt(1), 62)
+	for i := 0; i < sess.peerN; i++ {
+		masks, err := mpc.ZeroSumMasks(h.random, h.m, maskBound)
+		if err != nil {
+			return 0, err
+		}
+		ys = append(ys, x...)
+		vs = append(vs, masks...)
+	}
+	if err := mpc.SenderBatchMultiply(conn, sess.peerPai, ys, vs, h.random); err != nil {
+		return 0, err
+	}
+	// Comparison phase: we hold the left value Σx².
+	var ownSum int64
+	for _, v := range x {
+		ownSum += v * v
+	}
+	count := 0
+	for i := 0; i < sess.peerN; i++ {
+		in, err := sess.cmpA.Less(conn, ownSum)
+		if err != nil {
+			return 0, err
+		}
+		if in {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// expand is Algorithm 4 with multi-peer counts.
+func (h *hState) expand(point, clusterID int, labels []int) (bool, error) {
+	seeds := h.localRegionQuery(point)
+	remote, err := h.totalCount(h.enc[point])
+	if err != nil {
+		return false, err
+	}
+	if len(seeds)+remote < h.cfg.MinPts {
+		labels[point] = dbscan.Noise
+		return false, nil
+	}
+	for _, s := range seeds {
+		labels[s] = clusterID
+	}
+	queue := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s != point {
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		result := h.localRegionQuery(cur)
+		remote, err := h.totalCount(h.enc[cur])
+		if err != nil {
+			return false, err
+		}
+		if len(result)+remote < h.cfg.MinPts {
+			continue
+		}
+		for _, r := range result {
+			if labels[r] == dbscan.Unclassified || labels[r] == dbscan.Noise {
+				if labels[r] == dbscan.Unclassified {
+					queue = append(queue, r)
+				}
+				labels[r] = clusterID
+			}
+		}
+	}
+	return true, nil
+}
+
+// respond serves the driving party's pass on the shared connection.
+func (h *hState) respond(driver int) error {
+	sess := h.sessions[driver]
+	conn := h.party.Conns[driver]
+	for {
+		r, err := transport.RecvMsg(conn)
+		if err != nil {
+			return err
+		}
+		op := r.Uint()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		switch op {
+		case hOpQuery:
+			if err := h.serveQuery(sess, conn); err != nil {
+				return err
+			}
+		case hOpDone:
+			return nil
+		default:
+			return fmt.Errorf("unexpected op %d from party %d", op, driver)
+		}
+	}
+}
+
+// serveQuery answers one HDP region query over our own (permuted) points.
+func (h *hState) serveQuery(sess *pairSession, conn transport.Conn) error {
+	perm := sess.rng.Perm(len(h.enc))
+	xs := make([]int64, 0, len(h.enc)*h.m)
+	for _, pi := range perm {
+		xs = append(xs, h.enc[pi]...)
+	}
+	us, err := mpc.ReceiverBatchMultiply(conn, sess.paiKey, xs, h.random)
+	if err != nil {
+		return err
+	}
+	for i, pi := range perm {
+		dot := new(big.Int)
+		for k := 0; k < h.m; k++ {
+			dot.Add(dot, us[i*h.m+k])
+		}
+		if !dot.IsInt64() {
+			return fmt.Errorf("multiparty: hdp dot product overflow")
+		}
+		var sq int64
+		for _, v := range h.enc[pi] {
+			sq += v * v
+		}
+		peerSum := sq - 2*dot.Int64()
+		j := h.epsSq - peerSum + 1
+		if j < 0 {
+			j = 0
+		}
+		if maxV := sess.cmpB.Bound(); j > maxV {
+			j = maxV
+		}
+		if _, err := sess.cmpB.Less(conn, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewLocalMesh builds a full in-process mesh for k parties: mesh[p][q] is
+// party p's connection to party q.
+func NewLocalMesh(k int) [][]transport.Conn {
+	mesh := make([][]transport.Conn, k)
+	for p := range mesh {
+		mesh[p] = make([]transport.Conn, k)
+	}
+	for p := 0; p < k; p++ {
+		for q := p + 1; q < k; q++ {
+			a, b := transport.Pipe()
+			mesh[p][q] = a
+			mesh[q][p] = b
+		}
+	}
+	return mesh
+}

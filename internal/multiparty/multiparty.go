@@ -1,0 +1,557 @@
+// Package multiparty implements the paper's stated extension ("the
+// two-party algorithm can be extended to multi-party cases", §1) for
+// vertically partitioned data: k ≥ 2 parties arranged in a ring each hold
+// a column slice of every record and jointly compute the DBSCAN clustering
+// of the virtual database, with every party learning the labels — the
+// k-party generalization of §4.3.
+//
+// # Protocol
+//
+// Per pairwise distance decision, each party computes its local partial
+// sum s_p of squared attribute differences. The coordinator (party 0)
+// starts a homomorphic accumulation around the ring under its Paillier
+// key:
+//
+//	c_0 = E(s_0)                       coordinator → party 1
+//	c_p = c_{p−1} · E(s_p)             party p → party p+1
+//	c_last = c_{k−2} · E(s_{k−1} + v)  last party → coordinator, v fresh
+//
+// The coordinator decrypts t = Σ s_p + v; the mask v (known only to the
+// last party) hides the true distance. A two-party secure comparison
+// between coordinator (left: t) and last party (right: Eps² + v) — over
+// the existing ring edge, using either engine from internal/compare —
+// yields the within-Eps bit, which the coordinator then circulates around
+// the ring. All parties run core.LockstepCluster with this oracle.
+//
+// With k = 2 the ring degenerates to the two-party vertical protocol
+// (party 1 is both accumulator and masker), which the tests use for
+// cross-validation.
+//
+// # Disclosure
+//
+// Beyond the output labels, each party sees only re-randomized
+// ciphertexts under the coordinator's key; the coordinator sees masked
+// sums t = dist² + v; the last party knows the masks. Each pairwise bit
+// is public to all parties (as in Theorem 10). Intermediate parties must
+// not collude with the coordinator (standard for ring aggregation;
+// documented in DESIGN.md).
+package multiparty
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/fixedpoint"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+	"repro/internal/yao"
+)
+
+// Config mirrors core.Config for the k-party setting. All parties must
+// agree on every field; the ring handshake verifies this.
+type Config struct {
+	Eps      float64
+	MinPts   int
+	Scale    float64
+	Offset   float64
+	MaxCoord int64
+
+	PaillierBits  int
+	RSABits       int
+	Engine        compare.EngineKind
+	CmpMaskBits   int
+	ShareMaskBits int // mask magnitude for the ring sums: v ∈ [0, 2^bits)
+
+	Random io.Reader
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.MaxCoord == 0 {
+		c.MaxCoord = core.DefaultMaxCoord
+	}
+	if c.PaillierBits == 0 {
+		c.PaillierBits = core.DefaultPaillierBits
+	}
+	if c.RSABits == 0 {
+		c.RSABits = core.DefaultRSABits
+	}
+	if c.Engine == "" {
+		c.Engine = compare.EngineYMPP
+	}
+	if c.CmpMaskBits == 0 {
+		c.CmpMaskBits = core.DefaultCmpMaskBits
+	}
+	if c.ShareMaskBits == 0 {
+		c.ShareMaskBits = core.DefaultShareMaskBits
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if !(c.Eps > 0) {
+		return fmt.Errorf("multiparty: Eps must be positive, got %v", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("multiparty: MinPts must be ≥ 1, got %d", c.MinPts)
+	}
+	if c.MaxCoord < 1 {
+		return fmt.Errorf("multiparty: MaxCoord must be ≥ 1, got %d", c.MaxCoord)
+	}
+	if c.ShareMaskBits < 1 || c.ShareMaskBits > 50 {
+		return fmt.Errorf("multiparty: ShareMaskBits %d outside [1,50]", c.ShareMaskBits)
+	}
+	if _, err := compare.ParseEngine(string(c.Engine)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Party describes one participant's position in the ring.
+type Party struct {
+	Index int // 0 is the coordinator
+	K     int // total parties, ≥ 2
+	// Prev receives from party (Index−1+K) mod K; Next sends to
+	// (Index+1) mod K.
+	Prev, Next transport.Conn
+}
+
+func (p Party) validate() error {
+	if p.K < 2 {
+		return fmt.Errorf("multiparty: need ≥ 2 parties, got %d", p.K)
+	}
+	if p.Index < 0 || p.Index >= p.K {
+		return fmt.Errorf("multiparty: index %d outside [0,%d)", p.Index, p.K)
+	}
+	if p.Prev == nil || p.Next == nil {
+		return fmt.Errorf("multiparty: party %d missing ring connections", p.Index)
+	}
+	return nil
+}
+
+// Result is each party's output.
+type Result struct {
+	Labels        []int
+	NumClusters   int
+	PairDecisions int // pairwise within-Eps bits revealed to all parties
+}
+
+// ErrHandshake reports ring-wide parameter disagreement.
+var ErrHandshake = errors.New("multiparty: handshake parameter mismatch")
+
+// handshakeToken travels once around the ring accumulating checks.
+type handshakeToken struct {
+	epsSq    int64
+	minPts   int
+	maxCoord int64
+	engine   string
+	count    int // record count, must be identical everywhere
+	dimSum   int // Σ attribute counts
+	k        int
+	paiPub   []byte
+	rsaN     []byte
+	rsaE     []byte
+}
+
+func encodeToken(t handshakeToken) *transport.Builder {
+	return transport.NewBuilder().
+		PutInt(t.epsSq).
+		PutUint(uint64(t.minPts)).
+		PutInt(t.maxCoord).
+		PutString(t.engine).
+		PutUint(uint64(t.count)).
+		PutUint(uint64(t.dimSum)).
+		PutUint(uint64(t.k)).
+		PutBytes(t.paiPub).
+		PutBytes(t.rsaN).
+		PutBytes(t.rsaE)
+}
+
+func decodeToken(r *transport.Reader) (handshakeToken, error) {
+	t := handshakeToken{
+		epsSq:    r.Int(),
+		minPts:   int(r.Uint()),
+		maxCoord: r.Int(),
+		engine:   r.String(),
+		count:    int(r.Uint()),
+		dimSum:   int(r.Uint()),
+		k:        int(r.Uint()),
+	}
+	t.paiPub = append([]byte{}, r.Bytes()...)
+	t.rsaN = append([]byte{}, r.Bytes()...)
+	t.rsaE = append([]byte{}, r.Bytes()...)
+	return t, r.Err()
+}
+
+// Run executes the k-party vertical protocol for one party. attrs is this
+// party's n × ownDim column slice. Every party must call Run concurrently
+// with a consistent ring.
+func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
+	if err := party.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("multiparty: party %d holds no records", party.Index)
+	}
+	ownDim := len(attrs[0])
+	for i, row := range attrs {
+		if len(row) != ownDim {
+			return nil, fmt.Errorf("multiparty: record %d has %d attributes, want %d", i, len(row), ownDim)
+		}
+	}
+	if ownDim < 1 {
+		return nil, fmt.Errorf("multiparty: party %d owns no attributes", party.Index)
+	}
+
+	codec, err := fixedpoint.New(cfg.Scale, cfg.Offset)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.EncodePoints(attrs)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range enc {
+		for j, v := range row {
+			if v > cfg.MaxCoord {
+				return nil, fmt.Errorf("multiparty: record %d attribute %d encodes to %d > MaxCoord %d", i, j, v, cfg.MaxCoord)
+			}
+		}
+	}
+	epsSq, err := codec.EpsSquared(cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	random := cfg.Random
+	if random == nil {
+		random = rand.Reader
+	}
+
+	st := &state{party: party, cfg: cfg, enc: enc, epsSq: epsSq, random: random}
+	if err := st.handshake(); err != nil {
+		return nil, err
+	}
+	if err := st.buildEngines(); err != nil {
+		return nil, err
+	}
+
+	labels, clusters, err := core.LockstepCluster(len(enc), cfg.MinPts, st.pairLE)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, NumClusters: clusters, PairDecisions: st.pairCount}, nil
+}
+
+// state is one party's runtime for the ring protocol.
+type state struct {
+	party  Party
+	cfg    Config
+	enc    [][]int64
+	epsSq  int64
+	random io.Reader
+
+	bound  int64 // m·MaxCoord², m = total dimension
+	shareV int64
+
+	// Coordinator-owned keys; every party holds the public halves.
+	paiKey *paillier.PrivateKey // coordinator only
+	rsaKey *yao.RSAKey          // coordinator only
+	paiPub *paillier.PublicKey
+	rsaPub *yao.RSAPublicKey
+
+	cmpA compare.Alice // coordinator side
+	cmpB compare.Bob   // last-party side
+
+	pairCount int
+}
+
+func (st *state) isCoordinator() bool { return st.party.Index == 0 }
+func (st *state) isLast() bool        { return st.party.Index == st.party.K-1 }
+
+// handshake passes a parameter token around the ring twice: first to
+// verify agreement and accumulate the total dimension, then to broadcast
+// the final dimension back out.
+func (st *state) handshake() error {
+	p := st.party
+	if st.isCoordinator() {
+		var err error
+		st.paiKey, err = paillier.GenerateKey(st.random, st.cfg.PaillierBits)
+		if err != nil {
+			return err
+		}
+		st.rsaKey, err = yao.GenerateRSAKey(st.random, st.cfg.RSABits)
+		if err != nil {
+			return err
+		}
+		st.paiPub = &st.paiKey.PublicKey
+		st.rsaPub = &st.rsaKey.RSAPublicKey
+		rsaN, rsaE := yao.MarshalRSAPublicKey(st.rsaPub)
+		tok := handshakeToken{
+			epsSq:    st.epsSq,
+			minPts:   st.cfg.MinPts,
+			maxCoord: st.cfg.MaxCoord,
+			engine:   string(st.cfg.Engine),
+			count:    len(st.enc),
+			dimSum:   len(st.enc[0]),
+			k:        p.K,
+			paiPub:   paillier.MarshalPublicKey(st.paiPub),
+			rsaN:     rsaN,
+			rsaE:     rsaE,
+		}
+		if err := transport.SendMsg(p.Next, encodeToken(tok)); err != nil {
+			return fmt.Errorf("multiparty: handshake send: %w", err)
+		}
+		r, err := transport.RecvMsg(p.Prev)
+		if err != nil {
+			return fmt.Errorf("multiparty: handshake return: %w", err)
+		}
+		got, err := decodeToken(r)
+		if err != nil {
+			return err
+		}
+		// Second lap: broadcast the final total dimension.
+		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutUint(uint64(got.dimSum))); err != nil {
+			return err
+		}
+		if _, err := transport.RecvMsg(p.Prev); err != nil {
+			return err
+		}
+		return st.finishDims(got.dimSum)
+	}
+
+	// Non-coordinator: verify, accumulate own dimension, forward.
+	r, err := transport.RecvMsg(p.Prev)
+	if err != nil {
+		return fmt.Errorf("multiparty: handshake recv: %w", err)
+	}
+	tok, err := decodeToken(r)
+	if err != nil {
+		return err
+	}
+	switch {
+	case tok.epsSq != st.epsSq:
+		return fmt.Errorf("%w: Eps² %d vs %d", ErrHandshake, st.epsSq, tok.epsSq)
+	case tok.minPts != st.cfg.MinPts:
+		return fmt.Errorf("%w: MinPts %d vs %d", ErrHandshake, st.cfg.MinPts, tok.minPts)
+	case tok.maxCoord != st.cfg.MaxCoord:
+		return fmt.Errorf("%w: MaxCoord %d vs %d", ErrHandshake, st.cfg.MaxCoord, tok.maxCoord)
+	case tok.engine != string(st.cfg.Engine):
+		return fmt.Errorf("%w: engine %q vs %q", ErrHandshake, st.cfg.Engine, tok.engine)
+	case tok.count != len(st.enc):
+		return fmt.Errorf("%w: record count %d vs %d", ErrHandshake, len(st.enc), tok.count)
+	case tok.k != st.party.K:
+		return fmt.Errorf("%w: ring size %d vs %d", ErrHandshake, st.party.K, tok.k)
+	}
+	st.paiPub, err = paillier.UnmarshalPublicKey(tok.paiPub)
+	if err != nil {
+		return err
+	}
+	st.rsaPub, err = yao.UnmarshalRSAPublicKey(tok.rsaN, tok.rsaE)
+	if err != nil {
+		return err
+	}
+	tok.dimSum += len(st.enc[0])
+	if err := transport.SendMsg(p.Next, encodeToken(tok)); err != nil {
+		return err
+	}
+	// Second lap: learn the total dimension, forward it.
+	r2, err := transport.RecvMsg(p.Prev)
+	if err != nil {
+		return err
+	}
+	m := int(r2.Uint())
+	if r2.Err() != nil {
+		return r2.Err()
+	}
+	if err := transport.SendMsg(p.Next, transport.NewBuilder().PutUint(uint64(m))); err != nil {
+		return err
+	}
+	return st.finishDims(m)
+}
+
+func (st *state) finishDims(m int) error {
+	if m < 1 {
+		return fmt.Errorf("multiparty: total dimension %d < 1", m)
+	}
+	st.bound = int64(m) * st.cfg.MaxCoord * st.cfg.MaxCoord
+	if st.bound <= 0 || st.bound > int64(1)<<50 {
+		return fmt.Errorf("multiparty: dist² bound %d out of range", st.bound)
+	}
+	if st.epsSq > st.bound {
+		st.epsSq = st.bound
+	}
+	st.shareV = int64(1) << uint(st.cfg.ShareMaskBits)
+	return nil
+}
+
+// buildEngines constructs the coordinator↔last comparison pair over the
+// masked-sum domain [0, bound + V).
+func (st *state) buildEngines() error {
+	bound := st.bound + st.shareV
+	switch st.cfg.Engine {
+	case compare.EngineYMPP:
+		if bound+2 > yao.MaxDomain {
+			return fmt.Errorf("multiparty: comparison domain %d exceeds YMPP limit; use Engine=masked", bound+2)
+		}
+		if st.isCoordinator() {
+			st.cmpA = &compare.YMPPAlice{Key: st.rsaKey, Max: bound, Random: st.random}
+		}
+		if st.isLast() {
+			st.cmpB = &compare.YMPPBob{Pub: st.rsaPub, Max: bound, Random: st.random}
+		}
+	case compare.EngineMasked:
+		limit := new(big.Int).Lsh(big.NewInt(bound+2), uint(st.cfg.CmpMaskBits))
+		if limit.Cmp(st.paiPub.PlaintextBound()) >= 0 {
+			return fmt.Errorf("multiparty: bound %d with %d mask bits overflows the Paillier plaintext space", bound, st.cfg.CmpMaskBits)
+		}
+		if st.isCoordinator() {
+			st.cmpA = &compare.MaskedAlice{Key: st.paiKey, Max: bound, Random: st.random}
+		}
+		if st.isLast() {
+			st.cmpB = &compare.MaskedBob{Pub: st.paiPub, Max: bound, MaskBits: st.cfg.CmpMaskBits, Random: st.random}
+		}
+	default:
+		return fmt.Errorf("multiparty: unknown engine %q", st.cfg.Engine)
+	}
+	return nil
+}
+
+// partial computes this party's local sum of squared attribute
+// differences for records i and j.
+func (st *state) partial(i, j int) int64 {
+	var s int64
+	for k := range st.enc[i] {
+		d := st.enc[i][k] - st.enc[j][k]
+		s += d * d
+	}
+	return s
+}
+
+// pairLE is the joint within-Eps oracle: ring accumulation, masked
+// decryption, coordinator↔last comparison, ring broadcast.
+func (st *state) pairLE(i, j int) (bool, error) {
+	st.pairCount++
+	p := st.party
+	s := st.partial(i, j)
+
+	if st.isCoordinator() {
+		ct, err := st.paiPub.Encrypt(st.random, big.NewInt(s))
+		if err != nil {
+			return false, err
+		}
+		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBig(ct)); err != nil {
+			return false, fmt.Errorf("multiparty: ring send: %w", err)
+		}
+		r, err := transport.RecvMsg(p.Prev)
+		if err != nil {
+			return false, fmt.Errorf("multiparty: ring return: %w", err)
+		}
+		acc := r.Big()
+		if r.Err() != nil {
+			return false, r.Err()
+		}
+		t, err := st.paiKey.DecryptSigned(acc)
+		if err != nil {
+			return false, err
+		}
+		if t.Sign() < 0 || t.Int64() >= st.bound+st.shareV {
+			return false, fmt.Errorf("multiparty: masked sum %v outside [0,%d)", t, st.bound+st.shareV)
+		}
+		// t = dist² + v ≤ Eps² + v ⟺ dist² ≤ Eps².
+		in, err := st.cmpA.LessEq(p.Prev, t.Int64())
+		if err != nil {
+			return false, err
+		}
+		// Broadcast the decision around the ring.
+		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBool(in)); err != nil {
+			return false, err
+		}
+		return in, nil
+	}
+
+	// Non-coordinator: accumulate and forward.
+	r, err := transport.RecvMsg(p.Prev)
+	if err != nil {
+		return false, fmt.Errorf("multiparty: ring recv: %w", err)
+	}
+	acc := r.Big()
+	if r.Err() != nil {
+		return false, r.Err()
+	}
+	add := s
+	var v int64
+	if st.isLast() {
+		mask, err := rand.Int(st.random, big.NewInt(st.shareV))
+		if err != nil {
+			return false, err
+		}
+		v = mask.Int64()
+		add += v
+	}
+	term, err := st.paiPub.Encrypt(st.random, big.NewInt(add))
+	if err != nil {
+		return false, err
+	}
+	acc, err = st.paiPub.Add(acc, term)
+	if err != nil {
+		return false, err
+	}
+	if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBig(acc)); err != nil {
+		return false, fmt.Errorf("multiparty: ring forward: %w", err)
+	}
+	if st.isLast() {
+		// Participate in the comparison with right side Eps² + v.
+		if _, err := st.cmpB.LessEq(p.Next, st.epsSq+v); err != nil {
+			return false, err
+		}
+	}
+	// Receive the broadcast decision; forward unless the next hop is the
+	// coordinator (who originated it).
+	br, err := transport.RecvMsg(p.Prev)
+	if err != nil {
+		return false, fmt.Errorf("multiparty: broadcast recv: %w", err)
+	}
+	in := br.Bool()
+	if br.Err() != nil {
+		return false, br.Err()
+	}
+	if !st.isLast() {
+		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBool(in)); err != nil {
+			return false, err
+		}
+	}
+	return in, nil
+}
+
+// NewLocalRing builds an in-process ring of k parties for tests, examples,
+// and benchmarks.
+func NewLocalRing(k int) []Party {
+	// edge[i] connects party i (as Next) to party i+1 mod k (as Prev).
+	type edge struct{ a, b transport.Conn }
+	edges := make([]edge, k)
+	for i := range edges {
+		a, b := transport.Pipe()
+		edges[i] = edge{a, b}
+	}
+	parties := make([]Party, k)
+	for i := range parties {
+		parties[i] = Party{
+			Index: i,
+			K:     k,
+			Next:  edges[i].a,
+			Prev:  edges[(i-1+k)%k].b,
+		}
+	}
+	return parties
+}

@@ -1,0 +1,357 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem (Paillier, EUROCRYPT 1999) exactly as reviewed in §3.7 of
+// the reproduced paper, on top of math/big and crypto/rand only.
+//
+// Supported homomorphic operations:
+//
+//	D(E(m1) · E(m2) mod n²)  = m1 + m2 mod n   (Add)
+//	D(E(m1)^m2   mod n²)     = m1 · m2 mod n   (Mul)
+//
+// Plaintexts are elements of Z_n. The package additionally provides a
+// centered "signed" encoding — values in (−n/2, n/2) map to Z_n with
+// negatives represented as m+n — which is what the distance protocols use
+// for masked negative intermediate values.
+//
+// The implementation uses the standard g = n+1 choice, which makes g^m a
+// single modular multiplication (1 + m·n mod n²), and CRT-accelerated
+// decryption.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey holds the Paillier encryption key (n, g) with g = n+1.
+type PublicKey struct {
+	N        *big.Int // modulus n = p·q
+	NSquared *big.Int // n², cached
+
+	halfN *big.Int // n/2, cached for signed decoding
+}
+
+// PrivateKey holds the decryption key and CRT acceleration values.
+type PrivateKey struct {
+	PublicKey
+	Lambda *big.Int // λ = lcm(p−1, q−1)
+	Mu     *big.Int // μ = λ⁻¹ mod n  (valid for g = n+1)
+
+	p, q       *big.Int // prime factors
+	pSquared   *big.Int
+	qSquared   *big.Int
+	hp, hq     *big.Int // CRT decryption precomputation
+	pOrderInv  *big.Int // q⁻¹ mod p for CRT recombination
+	plainBound *big.Int // n/2: |signed plaintext| must stay below this
+}
+
+// MinKeyBits is the smallest accepted modulus size. Test keys of 256 bits
+// are accepted for speed; production use should be ≥1024.
+const MinKeyBits = 256
+
+// GenerateKey creates a Paillier key pair with an n of the given bit size.
+// random is typically crypto/rand.Reader.
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < MinKeyBits {
+		return nil, fmt.Errorf("paillier: key size %d below minimum %d", bits, MinKeyBits)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating p: %w", err)
+		}
+		q, err := rand.Prime(random, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		// Paillier requires gcd(n, (p−1)(q−1)) = 1; guaranteed when p and q
+		// are distinct primes of the same length, but verify regardless.
+		phi := new(big.Int).Mul(pm1, qm1)
+		if new(big.Int).GCD(nil, nil, n, phi).Cmp(one) != 0 {
+			continue
+		}
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(phi, gcd) // lcm(p−1, q−1)
+		mu := new(big.Int).ModInverse(lambda, n)
+		if mu == nil {
+			continue
+		}
+		key := &PrivateKey{
+			PublicKey: PublicKey{
+				N:        n,
+				NSquared: new(big.Int).Mul(n, n),
+				halfN:    new(big.Int).Rsh(n, 1),
+			},
+			Lambda: lambda,
+			Mu:     mu,
+			p:      p,
+			q:      q,
+		}
+		key.pSquared = new(big.Int).Mul(p, p)
+		key.qSquared = new(big.Int).Mul(q, q)
+		key.plainBound = new(big.Int).Rsh(n, 1)
+		// CRT precomputation: hp = L_p(g^{p−1} mod p²)⁻¹ mod p, with
+		// g = n+1 so g^{p−1} mod p² = 1 + (p−1)·n mod p².
+		key.hp = crtH(n, p, key.pSquared)
+		key.hq = crtH(n, q, key.qSquared)
+		if key.hp == nil || key.hq == nil {
+			continue
+		}
+		key.pOrderInv = new(big.Int).ModInverse(q, p)
+		if key.pOrderInv == nil {
+			continue
+		}
+		return key, nil
+	}
+}
+
+// crtH computes L_r(g^{r−1} mod r²)⁻¹ mod r for prime factor r, g = n+1.
+func crtH(n, r, rSquared *big.Int) *big.Int {
+	rm1 := new(big.Int).Sub(r, one)
+	g := new(big.Int).Add(n, one)
+	u := new(big.Int).Exp(g, rm1, rSquared)
+	l := lFunc(u, r)
+	return new(big.Int).ModInverse(l, r)
+}
+
+// lFunc is Paillier's L(u) = (u−1)/r.
+func lFunc(u, r *big.Int) *big.Int {
+	t := new(big.Int).Sub(u, one)
+	return t.Div(t, r)
+}
+
+// Errors returned by encryption and decryption.
+var (
+	ErrMessageRange    = errors.New("paillier: message outside plaintext space")
+	ErrCiphertextRange = errors.New("paillier: ciphertext outside Z_{n²}")
+)
+
+// Encode maps a signed plaintext into Z_n (negatives become m+n).
+// The absolute value must be below n/2.
+func (pk *PublicKey) Encode(m *big.Int) (*big.Int, error) {
+	abs := new(big.Int).Abs(m)
+	if abs.Cmp(pk.halfN) >= 0 {
+		return nil, fmt.Errorf("%w: |m| ≥ n/2", ErrMessageRange)
+	}
+	if m.Sign() < 0 {
+		return new(big.Int).Add(m, pk.N), nil
+	}
+	return new(big.Int).Set(m), nil
+}
+
+// DecodeSigned interprets a Z_n plaintext under the centered encoding.
+func (pk *PublicKey) DecodeSigned(m *big.Int) *big.Int {
+	if m.Cmp(pk.halfN) > 0 {
+		return new(big.Int).Sub(m, pk.N)
+	}
+	return new(big.Int).Set(m)
+}
+
+// Encrypt encrypts a signed plaintext with fresh randomness from random
+// (crypto/rand.Reader when nil).
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*big.Int, error) {
+	enc, err := pk.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	return pk.encryptEncoded(enc, r), nil
+}
+
+// EncryptWithNonce encrypts with a caller-supplied unit r ∈ Z*_n; used by
+// tests for known-answer checks.
+func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*big.Int, error) {
+	enc, err := pk.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	if r.Sign() <= 0 || r.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: nonce outside Z*_n")
+	}
+	return pk.encryptEncoded(enc, r), nil
+}
+
+func (pk *PublicKey) encryptEncoded(m, r *big.Int) *big.Int {
+	// g^m = (n+1)^m = 1 + m·n (mod n²) for g = n+1.
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.NSquared)
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	gm.Mul(gm, rn)
+	return gm.Mod(gm, pk.NSquared)
+}
+
+func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		r, err := rand.Int(random, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: sampling nonce: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// validCiphertext checks c ∈ [0, n²).
+func (pk *PublicKey) validCiphertext(c *big.Int) error {
+	if c.Sign() < 0 || c.Cmp(pk.NSquared) >= 0 {
+		return ErrCiphertextRange
+	}
+	return nil
+}
+
+// Decrypt returns the plaintext in [0, n) using CRT acceleration.
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if err := sk.validCiphertext(c); err != nil {
+		return nil, err
+	}
+	// m_p = L_p(c^{p−1} mod p²)·hp mod p, likewise mod q, then CRT.
+	mp := sk.decryptMod(c, sk.p, sk.pSquared, sk.hp)
+	mq := sk.decryptMod(c, sk.q, sk.qSquared, sk.hq)
+	// CRT: m = mq + q·((mp−mq)·q⁻¹ mod p)
+	diff := new(big.Int).Sub(mp, mq)
+	diff.Mul(diff, sk.pOrderInv)
+	diff.Mod(diff, sk.p)
+	m := new(big.Int).Mul(diff, sk.q)
+	m.Add(m, mq)
+	return m.Mod(m, sk.N), nil
+}
+
+func (sk *PrivateKey) decryptMod(c, r, rSquared, h *big.Int) *big.Int {
+	rm1 := new(big.Int).Sub(r, one)
+	u := new(big.Int).Exp(c, rm1, rSquared)
+	l := lFunc(u, r)
+	l.Mul(l, h)
+	return l.Mod(l, r)
+}
+
+// DecryptSigned decrypts under the centered signed encoding.
+func (sk *PrivateKey) DecryptSigned(c *big.Int) (*big.Int, error) {
+	m, err := sk.Decrypt(c)
+	if err != nil {
+		return nil, err
+	}
+	return sk.DecodeSigned(m), nil
+}
+
+// decryptSlow is the textbook (non-CRT) decryption; retained for
+// cross-checking in tests.
+func (sk *PrivateKey) decryptSlow(c *big.Int) *big.Int {
+	u := new(big.Int).Exp(c, sk.Lambda, sk.NSquared)
+	m := lFunc(u, sk.N)
+	m.Mul(m, sk.Mu)
+	return m.Mod(m, sk.N)
+}
+
+// Add returns a ciphertext of m1+m2 given ciphertexts of m1 and m2.
+func (pk *PublicKey) Add(c1, c2 *big.Int) (*big.Int, error) {
+	if err := pk.validCiphertext(c1); err != nil {
+		return nil, err
+	}
+	if err := pk.validCiphertext(c2); err != nil {
+		return nil, err
+	}
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.NSquared), nil
+}
+
+// AddPlain returns a ciphertext of m1+k given a ciphertext of m1 and a
+// signed plaintext k.
+func (pk *PublicKey) AddPlain(c, k *big.Int) (*big.Int, error) {
+	if err := pk.validCiphertext(c); err != nil {
+		return nil, err
+	}
+	enc, err := pk.Encode(k)
+	if err != nil {
+		return nil, err
+	}
+	gk := new(big.Int).Mul(enc, pk.N)
+	gk.Add(gk, one)
+	gk.Mod(gk, pk.NSquared)
+	gk.Mul(gk, c)
+	return gk.Mod(gk, pk.NSquared), nil
+}
+
+// Mul returns a ciphertext of m·k given a ciphertext of m and a signed
+// plaintext scalar k (negative k uses the modular inverse of c).
+func (pk *PublicKey) Mul(c, k *big.Int) (*big.Int, error) {
+	if err := pk.validCiphertext(c); err != nil {
+		return nil, err
+	}
+	if k.Sign() < 0 {
+		inv := new(big.Int).ModInverse(c, pk.NSquared)
+		if inv == nil {
+			return nil, fmt.Errorf("paillier: ciphertext not invertible mod n²")
+		}
+		return new(big.Int).Exp(inv, new(big.Int).Neg(k), pk.NSquared), nil
+	}
+	return new(big.Int).Exp(c, k, pk.NSquared), nil
+}
+
+// Randomize re-randomizes a ciphertext: same plaintext, fresh nonce.
+func (pk *PublicKey) Randomize(random io.Reader, c *big.Int) (*big.Int, error) {
+	if err := pk.validCiphertext(c); err != nil {
+		return nil, err
+	}
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	rn.Mul(rn, c)
+	return rn.Mod(rn, pk.NSquared), nil
+}
+
+// EncryptZero returns a fresh encryption of 0, used for re-randomization by
+// multiplication.
+func (pk *PublicKey) EncryptZero(random io.Reader) (*big.Int, error) {
+	return pk.Encrypt(random, new(big.Int))
+}
+
+// PlaintextBound returns n/2: signed plaintexts must have absolute value
+// strictly below this bound.
+func (pk *PublicKey) PlaintextBound() *big.Int { return new(big.Int).Set(pk.halfN) }
+
+// Bits returns the modulus size in bits.
+func (pk *PublicKey) Bits() int { return pk.N.BitLen() }
+
+// MarshalPublicKey serializes the public key for the wire.
+func MarshalPublicKey(pk *PublicKey) []byte {
+	return pk.N.Bytes()
+}
+
+// UnmarshalPublicKey reconstructs a public key from MarshalPublicKey output.
+func UnmarshalPublicKey(b []byte) (*PublicKey, error) {
+	n := new(big.Int).SetBytes(b)
+	if n.BitLen() < MinKeyBits {
+		return nil, fmt.Errorf("paillier: unmarshaled modulus too small (%d bits)", n.BitLen())
+	}
+	return &PublicKey{
+		N:        n,
+		NSquared: new(big.Int).Mul(n, n),
+		halfN:    new(big.Int).Rsh(n, 1),
+	}, nil
+}

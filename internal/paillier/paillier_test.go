@@ -1,0 +1,341 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testKey caches a key pair per size so the suite stays fast.
+var (
+	keyMu   sync.Mutex
+	keyBySz = map[int]*PrivateKey{}
+)
+
+func testKey(t *testing.T, bits int) *PrivateKey {
+	t.Helper()
+	keyMu.Lock()
+	defer keyMu.Unlock()
+	if k, ok := keyBySz[bits]; ok {
+		return k
+	}
+	k, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		t.Fatalf("GenerateKey(%d): %v", bits, err)
+	}
+	keyBySz[bits] = k
+	return k
+}
+
+func TestGenerateKeyRejectsSmall(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 64); err == nil {
+		t.Error("want error for tiny key")
+	}
+}
+
+func TestKeySize(t *testing.T) {
+	k := testKey(t, 256)
+	if got := k.Bits(); got < 255 || got > 256 {
+		t.Errorf("modulus bits = %d, want ≈256", got)
+	}
+	if k.NSquared.Cmp(new(big.Int).Mul(k.N, k.N)) != 0 {
+		t.Error("NSquared mismatch")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := testKey(t, 256)
+	for _, m := range []int64{0, 1, 2, 42, 1 << 40, -1, -99999} {
+		c, err := k.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := k.DecryptSigned(c)
+		if err != nil {
+			t.Fatalf("Decrypt(%d): %v", m, err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	k := testKey(t, 256)
+	m := big.NewInt(7)
+	c1, _ := k.Encrypt(rand.Reader, m)
+	c2, _ := k.Encrypt(rand.Reader, m)
+	if c1.Cmp(c2) == 0 {
+		t.Error("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestMessageRangeEnforced(t *testing.T) {
+	k := testKey(t, 256)
+	tooBig := new(big.Int).Rsh(k.N, 1) // exactly n/2
+	if _, err := k.Encrypt(rand.Reader, tooBig); !errors.Is(err, ErrMessageRange) {
+		t.Errorf("Encrypt(n/2) err = %v, want ErrMessageRange", err)
+	}
+	neg := new(big.Int).Neg(tooBig)
+	if _, err := k.Encrypt(rand.Reader, neg); !errors.Is(err, ErrMessageRange) {
+		t.Errorf("Encrypt(-n/2) err = %v, want ErrMessageRange", err)
+	}
+	ok := new(big.Int).Sub(tooBig, big.NewInt(1))
+	if _, err := k.Encrypt(rand.Reader, ok); err != nil {
+		t.Errorf("Encrypt(n/2-1) err = %v, want nil", err)
+	}
+}
+
+func TestCiphertextRangeEnforced(t *testing.T) {
+	k := testKey(t, 256)
+	if _, err := k.Decrypt(new(big.Int).Neg(big.NewInt(1))); !errors.Is(err, ErrCiphertextRange) {
+		t.Errorf("Decrypt(-1) err = %v", err)
+	}
+	if _, err := k.Decrypt(new(big.Int).Set(k.NSquared)); !errors.Is(err, ErrCiphertextRange) {
+		t.Errorf("Decrypt(n²) err = %v", err)
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	k := testKey(t, 256)
+	c1, _ := k.Encrypt(rand.Reader, big.NewInt(1234))
+	c2, _ := k.Encrypt(rand.Reader, big.NewInt(-234))
+	sum, err := k.Add(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.DecryptSigned(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 1000 {
+		t.Errorf("D(E(1234)·E(-234)) = %v, want 1000", got)
+	}
+}
+
+func TestHomomorphicAddPlain(t *testing.T) {
+	k := testKey(t, 256)
+	c, _ := k.Encrypt(rand.Reader, big.NewInt(50))
+	c2, err := k.AddPlain(c, big.NewInt(-75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := k.DecryptSigned(c2)
+	if got.Int64() != -25 {
+		t.Errorf("AddPlain = %v, want -25", got)
+	}
+}
+
+func TestHomomorphicMul(t *testing.T) {
+	k := testKey(t, 256)
+	cases := []struct{ m, s, want int64 }{
+		{7, 6, 42},
+		{7, -6, -42},
+		{-7, 6, -42},
+		{-7, -6, 42},
+		{5, 0, 0},
+		{0, 12345, 0},
+	}
+	for _, tc := range cases {
+		c, _ := k.Encrypt(rand.Reader, big.NewInt(tc.m))
+		cs, err := k.Mul(c, big.NewInt(tc.s))
+		if err != nil {
+			t.Fatalf("Mul(%d,%d): %v", tc.m, tc.s, err)
+		}
+		got, _ := k.DecryptSigned(cs)
+		if got.Int64() != tc.want {
+			t.Errorf("D(E(%d)^%d) = %v, want %d", tc.m, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestPaperHomomorphicProperties(t *testing.T) {
+	// The exact identities quoted in §3.7:
+	//   D(E(m1,r1)·E(m2,r2) mod n²) = m1+m2 mod n
+	//   D(E(m1,r1)^m2 mod n²)       = m1·m2 mod n
+	k := testKey(t, 256)
+	m1, m2 := big.NewInt(31415), big.NewInt(27182)
+	c1, _ := k.Encrypt(rand.Reader, m1)
+	prod, _ := k.Mul(c1, m2)
+	got, _ := k.Decrypt(prod)
+	want := new(big.Int).Mul(m1, m2)
+	want.Mod(want, k.N)
+	if got.Cmp(want) != 0 {
+		t.Errorf("multiplicative identity: got %v want %v", got, want)
+	}
+}
+
+func TestCRTDecryptMatchesSlowPath(t *testing.T) {
+	k := testKey(t, 256)
+	for i := 0; i < 20; i++ {
+		m, err := rand.Int(rand.Reader, k.PlaintextBound())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := k.Encrypt(rand.Reader, m)
+		fast, err := k.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := k.decryptSlow(c)
+		if fast.Cmp(slow) != 0 {
+			t.Fatalf("CRT decrypt %v != slow decrypt %v for m=%v", fast, slow, m)
+		}
+	}
+}
+
+func TestRandomizePreservesPlaintext(t *testing.T) {
+	k := testKey(t, 256)
+	c, _ := k.Encrypt(rand.Reader, big.NewInt(888))
+	c2, err := k.Randomize(rand.Reader, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cmp(c2) == 0 {
+		t.Error("Randomize returned identical ciphertext")
+	}
+	got, _ := k.DecryptSigned(c2)
+	if got.Int64() != 888 {
+		t.Errorf("randomized plaintext = %v", got)
+	}
+}
+
+func TestEncryptZero(t *testing.T) {
+	k := testKey(t, 256)
+	c, err := k.EncryptZero(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := k.Decrypt(c)
+	if got.Sign() != 0 {
+		t.Errorf("EncryptZero decrypts to %v", got)
+	}
+}
+
+func TestEncryptWithNonceDeterministic(t *testing.T) {
+	k := testKey(t, 256)
+	r := big.NewInt(12345)
+	c1, err := k.EncryptWithNonce(big.NewInt(9), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := k.EncryptWithNonce(big.NewInt(9), r)
+	if c1.Cmp(c2) != 0 {
+		t.Error("same nonce must give same ciphertext")
+	}
+	if _, err := k.EncryptWithNonce(big.NewInt(9), new(big.Int)); err == nil {
+		t.Error("nonce 0 must be rejected")
+	}
+	if _, err := k.EncryptWithNonce(big.NewInt(9), k.N); err == nil {
+		t.Error("nonce = n must be rejected")
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	k := testKey(t, 256)
+	b := MarshalPublicKey(&k.PublicKey)
+	pk, err := UnmarshalPublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.N.Cmp(k.N) != 0 {
+		t.Error("modulus mismatch after round trip")
+	}
+	// Encrypt under the unmarshaled key; decrypt with the original.
+	c, err := pk.Encrypt(rand.Reader, big.NewInt(-4321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := k.DecryptSigned(c)
+	if got.Int64() != -4321 {
+		t.Errorf("cross-key round trip = %v", got)
+	}
+}
+
+func TestUnmarshalPublicKeyRejectsTiny(t *testing.T) {
+	if _, err := UnmarshalPublicKey(big.NewInt(12345).Bytes()); err == nil {
+		t.Error("want error for tiny modulus")
+	}
+}
+
+func TestSignedEncodeDecode(t *testing.T) {
+	k := testKey(t, 256)
+	for _, m := range []int64{0, 1, -1, 1 << 50, -(1 << 50)} {
+		enc, err := k.Encode(big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.Sign() < 0 || enc.Cmp(k.N) >= 0 {
+			t.Errorf("Encode(%d) = %v outside Z_n", m, enc)
+		}
+		if got := k.DecodeSigned(enc); got.Int64() != m {
+			t.Errorf("decode(encode(%d)) = %v", m, got)
+		}
+	}
+}
+
+// Property: for random signed pairs within bounds, addition and scalar
+// multiplication identities hold exactly.
+func TestHomomorphicProperty(t *testing.T) {
+	k := testKey(t, 256)
+	f := func(a, b int32) bool {
+		ma, mb := big.NewInt(int64(a)), big.NewInt(int64(b))
+		ca, err1 := k.Encrypt(rand.Reader, ma)
+		cb, err2 := k.Encrypt(rand.Reader, mb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum, err := k.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		gotSum, err := k.DecryptSigned(sum)
+		if err != nil || gotSum.Int64() != int64(a)+int64(b) {
+			return false
+		}
+		prod, err := k.Mul(ca, mb)
+		if err != nil {
+			return false
+		}
+		gotProd, err := k.DecryptSigned(prod)
+		return err == nil && gotProd.Int64() == int64(a)*int64(b)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncrypt1024(b *testing.B) { benchEncrypt(b, 1024) }
+func BenchmarkDecrypt1024(b *testing.B) { benchDecrypt(b, 1024) }
+
+func benchEncrypt(b *testing.B, bits int) {
+	k, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := big.NewInt(123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Encrypt(rand.Reader, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecrypt(b *testing.B, bits int) {
+	k, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := k.Encrypt(rand.Reader, big.NewInt(123456))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Decrypt(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package partition models the three data-distribution settings of §3.2
+// (Figures 2–4): horizontally partitioned data (each party owns a subset
+// of complete records), vertically partitioned data (each party owns all
+// records but a subset of attributes), and arbitrarily partitioned data
+// (a per-cell mixture of the two). Experiment E2 checks that each split is
+// a true partition of the virtual database — every cell owned exactly once
+// — and that reconstruction is lossless.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Owner identifies which party holds a record, attribute, or cell.
+type Owner uint8
+
+// The two parties of the paper's protocols.
+const (
+	Alice Owner = iota
+	Bob
+)
+
+func (o Owner) String() string {
+	if o == Alice {
+		return "alice"
+	}
+	return "bob"
+}
+
+// HorizontalSplit assigns complete records to parties (Figure 2).
+type HorizontalSplit struct {
+	// AliceIdx and BobIdx hold the global record indices owned by each
+	// party, in increasing order.
+	AliceIdx, BobIdx []int
+	// Alice and Bob hold the record values, aligned with the index slices.
+	Alice, Bob [][]float64
+}
+
+// Horizontal splits records by a fixed ownership vector: owners[i] names
+// the party holding record i.
+func Horizontal(points [][]float64, owners []Owner) (HorizontalSplit, error) {
+	if len(points) != len(owners) {
+		return HorizontalSplit{}, fmt.Errorf("partition: %d points but %d owners", len(points), len(owners))
+	}
+	var s HorizontalSplit
+	for i, p := range points {
+		cp := append([]float64{}, p...)
+		if owners[i] == Alice {
+			s.AliceIdx = append(s.AliceIdx, i)
+			s.Alice = append(s.Alice, cp)
+		} else {
+			s.BobIdx = append(s.BobIdx, i)
+			s.Bob = append(s.Bob, cp)
+		}
+	}
+	return s, nil
+}
+
+// HorizontalRandom assigns each record to Alice with probability
+// fracAlice, deterministically in seed, guaranteeing both parties hold at
+// least one record when n ≥ 2.
+func HorizontalRandom(points [][]float64, fracAlice float64, seed int64) (HorizontalSplit, error) {
+	if fracAlice < 0 || fracAlice > 1 {
+		return HorizontalSplit{}, fmt.Errorf("partition: fracAlice %v outside [0,1]", fracAlice)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	owners := make([]Owner, len(points))
+	for i := range owners {
+		if rng.Float64() < fracAlice {
+			owners[i] = Alice
+		} else {
+			owners[i] = Bob
+		}
+	}
+	if len(points) >= 2 {
+		// Ensure neither side is empty; two-party protocols are trivial
+		// otherwise.
+		hasA, hasB := false, false
+		for _, o := range owners {
+			if o == Alice {
+				hasA = true
+			} else {
+				hasB = true
+			}
+		}
+		if !hasA {
+			owners[0] = Alice
+		}
+		if !hasB {
+			owners[len(owners)-1] = Bob
+		}
+	}
+	return Horizontal(points, owners)
+}
+
+// Reconstruct rebuilds the virtual database from a horizontal split.
+func (s HorizontalSplit) Reconstruct() ([][]float64, error) {
+	n := len(s.AliceIdx) + len(s.BobIdx)
+	out := make([][]float64, n)
+	for k, i := range s.AliceIdx {
+		if i < 0 || i >= n || out[i] != nil {
+			return nil, fmt.Errorf("partition: bad or duplicate record index %d", i)
+		}
+		out[i] = s.Alice[k]
+	}
+	for k, i := range s.BobIdx {
+		if i < 0 || i >= n || out[i] != nil {
+			return nil, fmt.Errorf("partition: bad or duplicate record index %d", i)
+		}
+		out[i] = s.Bob[k]
+	}
+	return out, nil
+}
+
+// VerticalSplit assigns attributes to parties (Figure 3): Alice holds
+// attributes [0, L) and Bob [L, m) for every record, following the paper's
+// layout where Alice owns the first l columns.
+type VerticalSplit struct {
+	L     int // number of leading attributes owned by Alice
+	M     int // total attributes
+	Alice [][]float64
+	Bob   [][]float64
+}
+
+// Vertical splits every record after column l.
+func Vertical(points [][]float64, l int) (VerticalSplit, error) {
+	if len(points) == 0 {
+		return VerticalSplit{L: l}, nil
+	}
+	m := len(points[0])
+	if l < 1 || l >= m {
+		return VerticalSplit{}, fmt.Errorf("partition: vertical split l=%d must be in [1,%d)", l, m)
+	}
+	s := VerticalSplit{L: l, M: m}
+	for i, p := range points {
+		if len(p) != m {
+			return VerticalSplit{}, fmt.Errorf("partition: record %d has %d attributes, want %d", i, len(p), m)
+		}
+		s.Alice = append(s.Alice, append([]float64{}, p[:l]...))
+		s.Bob = append(s.Bob, append([]float64{}, p[l:]...))
+	}
+	return s, nil
+}
+
+// Reconstruct rebuilds the virtual database from a vertical split.
+func (s VerticalSplit) Reconstruct() ([][]float64, error) {
+	if len(s.Alice) != len(s.Bob) {
+		return nil, fmt.Errorf("partition: party record counts differ: %d vs %d", len(s.Alice), len(s.Bob))
+	}
+	out := make([][]float64, len(s.Alice))
+	for i := range s.Alice {
+		out[i] = append(append([]float64{}, s.Alice[i]...), s.Bob[i]...)
+	}
+	return out, nil
+}
+
+// ArbitrarySplit assigns each cell to a party (Figure 4).
+type ArbitrarySplit struct {
+	Owners [][]Owner // n × m ownership matrix
+	// Alice and Bob hold full-size matrices; a party's matrix is only
+	// meaningful at the cells it owns.
+	Alice, Bob [][]float64
+}
+
+// Arbitrary splits cells by an explicit ownership matrix.
+func Arbitrary(points [][]float64, owners [][]Owner) (ArbitrarySplit, error) {
+	if len(points) != len(owners) {
+		return ArbitrarySplit{}, fmt.Errorf("partition: %d points but %d owner rows", len(points), len(owners))
+	}
+	s := ArbitrarySplit{Owners: owners}
+	for i, p := range points {
+		if len(owners[i]) != len(p) {
+			return ArbitrarySplit{}, fmt.Errorf("partition: row %d has %d owners for %d attributes", i, len(owners[i]), len(p))
+		}
+		ra := make([]float64, len(p))
+		rb := make([]float64, len(p))
+		for j, v := range p {
+			if owners[i][j] == Alice {
+				ra[j] = v
+			} else {
+				rb[j] = v
+			}
+		}
+		s.Alice = append(s.Alice, ra)
+		s.Bob = append(s.Bob, rb)
+	}
+	return s, nil
+}
+
+// ArbitraryRandom assigns each cell to Alice with probability pAlice,
+// deterministically in seed.
+func ArbitraryRandom(points [][]float64, pAlice float64, seed int64) (ArbitrarySplit, error) {
+	if pAlice < 0 || pAlice > 1 {
+		return ArbitrarySplit{}, fmt.Errorf("partition: pAlice %v outside [0,1]", pAlice)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	owners := make([][]Owner, len(points))
+	for i, p := range points {
+		row := make([]Owner, len(p))
+		for j := range p {
+			if rng.Float64() < pAlice {
+				row[j] = Alice
+			} else {
+				row[j] = Bob
+			}
+		}
+		owners[i] = row
+	}
+	return Arbitrary(points, owners)
+}
+
+// Reconstruct rebuilds the virtual database from an arbitrary split.
+func (s ArbitrarySplit) Reconstruct() ([][]float64, error) {
+	if len(s.Alice) != len(s.Owners) || len(s.Bob) != len(s.Owners) {
+		return nil, fmt.Errorf("partition: inconsistent arbitrary split sizes")
+	}
+	out := make([][]float64, len(s.Owners))
+	for i, row := range s.Owners {
+		r := make([]float64, len(row))
+		for j, o := range row {
+			if o == Alice {
+				r[j] = s.Alice[i][j]
+			} else {
+				r[j] = s.Bob[i][j]
+			}
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// CellCounts returns how many cells each party owns — the paper's Figure 4
+// decomposition check (vertical part + horizontal part = whole database).
+func (s ArbitrarySplit) CellCounts() (alice, bob int) {
+	for _, row := range s.Owners {
+		for _, o := range row {
+			if o == Alice {
+				alice++
+			} else {
+				bob++
+			}
+		}
+	}
+	return alice, bob
+}

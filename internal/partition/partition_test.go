@@ -1,0 +1,229 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func grid(n, m int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = float64(i*100 + j)
+		}
+		pts[i] = row
+	}
+	return pts
+}
+
+func TestHorizontalSplitAndReconstruct(t *testing.T) {
+	pts := grid(7, 3)
+	owners := []Owner{Alice, Bob, Alice, Alice, Bob, Bob, Alice}
+	s, err := Horizontal(pts, owners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Alice) != 4 || len(s.Bob) != 3 {
+		t.Fatalf("sizes %d/%d", len(s.Alice), len(s.Bob))
+	}
+	got, err := s.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		for j := range pts[i] {
+			if got[i][j] != pts[i][j] {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, got[i][j], pts[i][j])
+			}
+		}
+	}
+}
+
+func TestHorizontalOwnerLengthMismatch(t *testing.T) {
+	if _, err := Horizontal(grid(3, 2), []Owner{Alice}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestHorizontalRandomNonEmptySides(t *testing.T) {
+	pts := grid(10, 2)
+	for _, frac := range []float64{0, 0.5, 1} {
+		s, err := HorizontalRandom(pts, frac, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Alice) == 0 || len(s.Bob) == 0 {
+			t.Errorf("frac=%v: a side is empty (%d/%d)", frac, len(s.Alice), len(s.Bob))
+		}
+	}
+	if _, err := HorizontalRandom(pts, 1.5, 1); err == nil {
+		t.Error("frac > 1 accepted")
+	}
+}
+
+func TestHorizontalSplitIsCopy(t *testing.T) {
+	pts := grid(2, 2)
+	s, err := Horizontal(pts, []Owner{Alice, Bob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts[0][0] = -999
+	if s.Alice[0][0] == -999 {
+		t.Error("split aliases the source data")
+	}
+}
+
+func TestVerticalSplitAndReconstruct(t *testing.T) {
+	pts := grid(5, 4)
+	s, err := Vertical(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L != 2 || s.M != 4 {
+		t.Fatalf("L=%d M=%d", s.L, s.M)
+	}
+	for i := range pts {
+		if len(s.Alice[i]) != 2 || len(s.Bob[i]) != 2 {
+			t.Fatal("wrong attribute counts")
+		}
+	}
+	got, err := s.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		for j := range pts[i] {
+			if got[i][j] != pts[i][j] {
+				t.Fatalf("cell (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestVerticalValidation(t *testing.T) {
+	pts := grid(3, 3)
+	if _, err := Vertical(pts, 0); err == nil {
+		t.Error("l=0 accepted")
+	}
+	if _, err := Vertical(pts, 3); err == nil {
+		t.Error("l=m accepted")
+	}
+	ragged := [][]float64{{1, 2, 3}, {1, 2}}
+	if _, err := Vertical(ragged, 1); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestArbitrarySplitAndReconstruct(t *testing.T) {
+	pts := grid(4, 3)
+	owners := [][]Owner{
+		{Alice, Bob, Alice},
+		{Bob, Bob, Bob},
+		{Alice, Alice, Alice},
+		{Bob, Alice, Bob},
+	}
+	s, err := Arbitrary(pts, owners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.CellCounts()
+	if a != 6 || b != 6 {
+		t.Errorf("cell counts %d/%d, want 6/6", a, b)
+	}
+	got, err := s.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		for j := range pts[i] {
+			if got[i][j] != pts[i][j] {
+				t.Fatalf("cell (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestArbitraryValidation(t *testing.T) {
+	pts := grid(2, 2)
+	if _, err := Arbitrary(pts, [][]Owner{{Alice, Bob}}); err == nil {
+		t.Error("row count mismatch accepted")
+	}
+	if _, err := Arbitrary(pts, [][]Owner{{Alice}, {Bob, Bob}}); err == nil {
+		t.Error("ragged owners accepted")
+	}
+	if _, err := ArbitraryRandom(pts, -0.1, 1); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestOwnerString(t *testing.T) {
+	if Alice.String() != "alice" || Bob.String() != "bob" {
+		t.Error("Owner.String wrong")
+	}
+}
+
+// Property (experiment E2): for any random split of any kind, Reconstruct
+// returns the virtual database exactly — the split is a true partition.
+func TestPartitionRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		m := 2 + rng.Intn(6)
+		pts := make([][]float64, n)
+		for i := range pts {
+			row := make([]float64, m)
+			for j := range row {
+				row[j] = rng.NormFloat64() * 100
+			}
+			pts[i] = row
+		}
+		h, err := HorizontalRandom(pts, rng.Float64(), seed+1)
+		if err != nil {
+			return false
+		}
+		hr, err := h.Reconstruct()
+		if err != nil || !equal(hr, pts) {
+			return false
+		}
+		v, err := Vertical(pts, 1+rng.Intn(m-1))
+		if err != nil {
+			return false
+		}
+		vr, err := v.Reconstruct()
+		if err != nil || !equal(vr, pts) {
+			return false
+		}
+		a, err := ArbitraryRandom(pts, rng.Float64(), seed+2)
+		if err != nil {
+			return false
+		}
+		ar, err := a.Reconstruct()
+		if err != nil || !equal(ar, pts) {
+			return false
+		}
+		ca, cb := a.CellCounts()
+		return ca+cb == n*m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equal(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

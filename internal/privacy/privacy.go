@@ -1,0 +1,159 @@
+// Package privacy quantifies the paper's Figure 1 argument: how precisely
+// an adversary (Bob) can localize one of Alice's points from what a
+// protocol disclosed.
+//
+// Under the prior work's disclosure model (Kumar et al. [14]), Bob learns
+// which of his points have the same Alice record in their neighbourhood,
+// so the record must lie in the intersection of those Eps-disks — "the
+// small gray region" of Figure 1. Under this paper's protocols, Bob only
+// learns that each flagged disk contains some Alice record, without
+// linkage, so any single record is only confined to the union of flagged
+// disks. The ratio of those two areas is the quantitative content of the
+// paper's privacy improvement, reproduced as experiment E1.
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Disk is an Eps-neighbourhood in the plane.
+type Disk struct {
+	X, Y, R float64
+}
+
+// Contains reports whether (x, y) lies in the closed disk.
+func (d Disk) Contains(x, y float64) bool {
+	dx, dy := x-d.X, y-d.Y
+	return dx*dx+dy*dy <= d.R*d.R
+}
+
+// boundingBox returns the tight axis-aligned box around the disks.
+func boundingBox(disks []Disk) (x0, y0, x1, y1 float64) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, d := range disks {
+		x0 = math.Min(x0, d.X-d.R)
+		y0 = math.Min(y0, d.Y-d.R)
+		x1 = math.Max(x1, d.X+d.R)
+		y1 = math.Max(y1, d.Y+d.R)
+	}
+	return x0, y0, x1, y1
+}
+
+// MonteCarloArea estimates the area of {p : pred(p)} within the bounding
+// box of the disks, using the given number of samples. Deterministic in
+// seed.
+func MonteCarloArea(disks []Disk, samples int, seed int64, pred func(x, y float64) bool) (float64, error) {
+	if len(disks) == 0 {
+		return 0, fmt.Errorf("privacy: no disks")
+	}
+	if samples < 1 {
+		return 0, fmt.Errorf("privacy: samples must be ≥ 1, got %d", samples)
+	}
+	x0, y0, x1, y1 := boundingBox(disks)
+	box := (x1 - x0) * (y1 - y0)
+	if box <= 0 {
+		return 0, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hit := 0
+	for i := 0; i < samples; i++ {
+		x := x0 + rng.Float64()*(x1-x0)
+		y := y0 + rng.Float64()*(y1-y0)
+		if pred(x, y) {
+			hit++
+		}
+	}
+	return box * float64(hit) / float64(samples), nil
+}
+
+// IntersectionArea estimates the area of the common intersection of the
+// disks — the linked adversary's feasible region.
+func IntersectionArea(disks []Disk, samples int, seed int64) (float64, error) {
+	return MonteCarloArea(disks, samples, seed, func(x, y float64) bool {
+		for _, d := range disks {
+			if !d.Contains(x, y) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// UnionArea estimates the area of the union of the disks — the unlinked
+// adversary's feasible region.
+func UnionArea(disks []Disk, samples int, seed int64) (float64, error) {
+	return MonteCarloArea(disks, samples, seed, func(x, y float64) bool {
+		for _, d := range disks {
+			if d.Contains(x, y) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TwoDiskIntersectionExact returns the lens area of two equal-radius disks
+// at center distance sep — the closed form used to validate the Monte
+// Carlo estimator in tests.
+func TwoDiskIntersectionExact(r, sep float64) float64 {
+	if sep >= 2*r {
+		return 0
+	}
+	if sep <= 0 {
+		return math.Pi * r * r
+	}
+	return 2*r*r*math.Acos(sep/(2*r)) - (sep/2)*math.Sqrt(4*r*r-sep*sep)
+}
+
+// AttackReport compares the two adversary models for one victim point.
+type AttackReport struct {
+	FlaggedDisks     int     // Bob points whose neighbourhood contains the victim
+	IntersectionArea float64 // linked (Kumar-style) feasible region
+	UnionArea        float64 // unlinked (this paper) feasible region
+	Ratio            float64 // union / intersection; higher = more private
+}
+
+// Figure1Attack evaluates both adversary models for a victim Alice point
+// against Bob's points: the disks are the Eps-neighbourhoods of Bob's
+// points that contain the victim. Returns an error when no disk contains
+// the victim (Bob learns nothing about it in either model).
+func Figure1Attack(victim []float64, bobPoints [][]float64, eps float64, samples int, seed int64) (AttackReport, error) {
+	if len(victim) != 2 {
+		return AttackReport{}, fmt.Errorf("privacy: Figure1Attack is planar; victim has %d coordinates", len(victim))
+	}
+	var flagged []Disk
+	for _, b := range bobPoints {
+		if len(b) != 2 {
+			return AttackReport{}, fmt.Errorf("privacy: Figure1Attack is planar; a Bob point has %d coordinates", len(b))
+		}
+		d := Disk{X: b[0], Y: b[1], R: eps}
+		if d.Contains(victim[0], victim[1]) {
+			flagged = append(flagged, d)
+		}
+	}
+	if len(flagged) == 0 {
+		return AttackReport{}, fmt.Errorf("privacy: victim is in no Bob neighbourhood")
+	}
+	inter, err := IntersectionArea(flagged, samples, seed)
+	if err != nil {
+		return AttackReport{}, err
+	}
+	union, err := UnionArea(flagged, samples, seed+1)
+	if err != nil {
+		return AttackReport{}, err
+	}
+	rep := AttackReport{
+		FlaggedDisks:     len(flagged),
+		IntersectionArea: inter,
+		UnionArea:        union,
+	}
+	if inter > 0 {
+		rep.Ratio = union / inter
+	} else {
+		rep.Ratio = math.Inf(1)
+	}
+	return rep, nil
+}

@@ -1,0 +1,187 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const samples = 200000
+
+func TestDiskContains(t *testing.T) {
+	d := Disk{X: 1, Y: 1, R: 2}
+	if !d.Contains(1, 1) || !d.Contains(3, 1) || !d.Contains(1, -1) {
+		t.Error("boundary/centre containment failed")
+	}
+	if d.Contains(3.001, 1) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestSingleDiskAreas(t *testing.T) {
+	d := []Disk{{X: 0, Y: 0, R: 1}}
+	inter, err := IntersectionArea(d, samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := UnionArea(d, samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []float64{inter, union} {
+		if math.Abs(a-math.Pi) > 0.03 {
+			t.Errorf("area = %v, want π±0.03", a)
+		}
+	}
+}
+
+func TestTwoDiskIntersectionMatchesClosedForm(t *testing.T) {
+	for _, sep := range []float64{0.3, 1.0, 1.7} {
+		disks := []Disk{{X: 0, Y: 0, R: 1}, {X: sep, Y: 0, R: 1}}
+		got, err := IntersectionArea(disks, samples, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := TwoDiskIntersectionExact(1, sep)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("sep=%v: MC area %v vs exact %v", sep, got, want)
+		}
+	}
+}
+
+func TestTwoDiskIntersectionExactEdges(t *testing.T) {
+	if got := TwoDiskIntersectionExact(1, 2); got != 0 {
+		t.Errorf("tangent disks: %v, want 0", got)
+	}
+	if got := TwoDiskIntersectionExact(1, 3); got != 0 {
+		t.Errorf("separated disks: %v, want 0", got)
+	}
+	if got := TwoDiskIntersectionExact(1, 0); math.Abs(got-math.Pi) > 1e-12 {
+		t.Errorf("coincident disks: %v, want π", got)
+	}
+}
+
+func TestDisjointDisksIntersectionZero(t *testing.T) {
+	disks := []Disk{{X: 0, Y: 0, R: 1}, {X: 10, Y: 0, R: 1}}
+	inter, err := IntersectionArea(disks, samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter != 0 {
+		t.Errorf("disjoint intersection = %v", inter)
+	}
+	union, err := UnionArea(disks, samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(union-2*math.Pi) > 0.12 {
+		t.Errorf("disjoint union = %v, want 2π", union)
+	}
+}
+
+func TestAreaValidation(t *testing.T) {
+	if _, err := IntersectionArea(nil, samples, 1); err == nil {
+		t.Error("no disks accepted")
+	}
+	if _, err := UnionArea([]Disk{{R: 1}}, 0, 1); err == nil {
+		t.Error("0 samples accepted")
+	}
+}
+
+func TestMonteCarloDeterministicInSeed(t *testing.T) {
+	d := []Disk{{X: 0, Y: 0, R: 1}, {X: 1, Y: 0, R: 1}}
+	a1, _ := IntersectionArea(d, 10000, 5)
+	a2, _ := IntersectionArea(d, 10000, 5)
+	if a1 != a2 {
+		t.Error("same seed produced different estimates")
+	}
+}
+
+func TestFigure1AttackScenario(t *testing.T) {
+	// The paper's exact scenario: Bob's B1, B2, B3 all contain Alice's A.
+	victim := []float64{0, 0}
+	bob := [][]float64{
+		{0.8, 0}, {-0.4, 0.7}, {-0.4, -0.7}, // three disks around the victim
+		{10, 10}, // far away, not flagged
+	}
+	rep, err := Figure1Attack(victim, bob, 1.0, samples, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FlaggedDisks != 3 {
+		t.Fatalf("flagged = %d, want 3", rep.FlaggedDisks)
+	}
+	if rep.IntersectionArea <= 0 {
+		t.Fatal("victim is in all three disks; intersection cannot be empty")
+	}
+	if rep.UnionArea <= rep.IntersectionArea {
+		t.Fatalf("union %v must exceed intersection %v", rep.UnionArea, rep.IntersectionArea)
+	}
+	// The paper's point: the unlinked feasible region is substantially
+	// larger than the gray region.
+	if rep.Ratio < 2 {
+		t.Errorf("privacy ratio = %v, want ≥ 2 for this geometry", rep.Ratio)
+	}
+}
+
+func TestFigure1AttackNoDisclosure(t *testing.T) {
+	if _, err := Figure1Attack([]float64{0, 0}, [][]float64{{5, 5}}, 1, 1000, 1); err == nil {
+		t.Error("victim outside all disks should error")
+	}
+}
+
+func TestFigure1AttackValidation(t *testing.T) {
+	if _, err := Figure1Attack([]float64{0, 0, 0}, [][]float64{{0, 0}}, 1, 1000, 1); err == nil {
+		t.Error("3-D victim accepted")
+	}
+	if _, err := Figure1Attack([]float64{0, 0}, [][]float64{{0, 0, 0}}, 1, 1000, 1); err == nil {
+		t.Error("3-D bob point accepted")
+	}
+}
+
+// Property: intersection ⊆ each disk ⊆ union, so the Monte Carlo
+// estimates must be ordered (up to sampling error).
+func TestAreaOrderingProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2 int8) bool {
+		d := []Disk{
+			{X: float64(x1) / 32, Y: float64(y1) / 32, R: 1},
+			{X: float64(x2) / 32, Y: float64(y2) / 32, R: 1},
+		}
+		inter, err1 := IntersectionArea(d, 40000, 9)
+		union, err2 := UnionArea(d, 40000, 10)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Tolerance covers MC noise, which grows with the bounding box
+		// (distant disks sample the union sparsely).
+		return inter <= union*1.10+0.05 && union <= 2*math.Pi*1.10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// More flagged disks shrink the linked region but grow the unlinked one —
+// the monotone behaviour behind the paper's Figure 1 narrative.
+func TestMoreDisksWidenTheGap(t *testing.T) {
+	victim := []float64{0, 0}
+	ring := func(n int) [][]float64 {
+		pts := make([][]float64, n)
+		for i := range pts {
+			angle := 2 * math.Pi * float64(i) / float64(n)
+			pts[i] = []float64{0.75 * math.Cos(angle), 0.75 * math.Sin(angle)}
+		}
+		return pts
+	}
+	prevRatio := 0.0
+	for _, n := range []int{2, 4, 8} {
+		rep, err := Figure1Attack(victim, ring(n), 1.0, samples, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Ratio <= prevRatio {
+			t.Errorf("n=%d: ratio %v did not grow past %v", n, rep.Ratio, prevRatio)
+		}
+		prevRatio = rep.Ratio
+	}
+}

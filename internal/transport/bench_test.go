@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"math/big"
+	"net"
+	"testing"
+)
+
+func BenchmarkPipeRoundTrip(b *testing.B) {
+	p1, p2 := Pipe()
+	defer p1.Close()
+	defer p2.Close()
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p1.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p2.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeteredPipeRoundTrip(b *testing.B) {
+	p1, p2 := Pipe()
+	m1, m2 := NewMeter(p1), NewMeter(p2)
+	defer m1.Close()
+	defer m2.Close()
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m1.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m2.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameConnRoundTrip(b *testing.B) {
+	c1, c2 := net.Pipe()
+	f1, f2 := NewFrameConn(c1), NewFrameConn(c2)
+	defer f1.Close()
+	defer f2.Close()
+	msg := make([]byte, 256)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, err := f2.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f1.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func BenchmarkWireCodecCiphertext(b *testing.B) {
+	// One ciphertext-sized big.Int per message — the dominant wire shape.
+	x := new(big.Int).Lsh(big.NewInt(1), 2047)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		msg := NewBuilder().PutBig(x).Bytes()
+		r := NewReader(msg)
+		if r.Big().Sign() == 0 || r.Err() != nil {
+			b.Fatal("codec failure")
+		}
+	}
+}

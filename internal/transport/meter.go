@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats aggregates traffic counters for one direction-independent view of a
+// metered connection.
+type Stats struct {
+	MessagesSent int64
+	MessagesRecv int64
+	BytesSent    int64
+	BytesRecv    int64
+}
+
+// Total returns bytes sent plus bytes received.
+func (s Stats) Total() int64 { return s.BytesSent + s.BytesRecv }
+
+// Messages returns messages sent plus received.
+func (s Stats) Messages() int64 { return s.MessagesSent + s.MessagesRecv }
+
+func (s Stats) add(o Stats) Stats {
+	return Stats{
+		MessagesSent: s.MessagesSent + o.MessagesSent,
+		MessagesRecv: s.MessagesRecv + o.MessagesRecv,
+		BytesSent:    s.BytesSent + o.BytesSent,
+		BytesRecv:    s.BytesRecv + o.BytesRecv,
+	}
+}
+
+// Meter wraps a Conn and attributes every message to the currently active
+// protocol tag. Protocol implementations call SetTag before each phase;
+// the communication experiments then read per-tag totals. A Meter is used
+// by the single goroutine that owns the underlying Conn; the counters are
+// protected so that the driver can snapshot them concurrently.
+type Meter struct {
+	conn Conn
+
+	mu     sync.Mutex
+	tag    string
+	total  Stats
+	perTag map[string]Stats
+}
+
+// NewMeter wraps conn with traffic accounting. The initial tag is "untagged".
+func NewMeter(conn Conn) *Meter {
+	return &Meter{conn: conn, tag: "untagged", perTag: make(map[string]Stats)}
+}
+
+// SetTag switches the attribution tag for subsequent messages and returns
+// the previous tag so callers can restore it.
+func (m *Meter) SetTag(tag string) (prev string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev = m.tag
+	m.tag = tag
+	return prev
+}
+
+// Tag returns the current attribution tag.
+func (m *Meter) Tag() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tag
+}
+
+func (m *Meter) Send(b []byte) error {
+	if err := m.conn.Send(b); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	t := m.perTag[m.tag]
+	t.MessagesSent++
+	t.BytesSent += int64(len(b))
+	m.perTag[m.tag] = t
+	m.total.MessagesSent++
+	m.total.BytesSent += int64(len(b))
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Meter) Recv() ([]byte, error) {
+	b, err := m.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	t := m.perTag[m.tag]
+	t.MessagesRecv++
+	t.BytesRecv += int64(len(b))
+	m.perTag[m.tag] = t
+	m.total.MessagesRecv++
+	m.total.BytesRecv += int64(len(b))
+	m.mu.Unlock()
+	return b, nil
+}
+
+func (m *Meter) Close() error { return m.conn.Close() }
+
+// Stats returns the aggregate counters across all tags.
+func (m *Meter) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// TagStats returns a copy of the per-tag counters.
+func (m *Meter) TagStats() map[string]Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Stats, len(m.perTag))
+	for k, v := range m.perTag {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds the counters of another meter into a combined per-tag map.
+// Useful to combine the Alice-side and Bob-side views (each message is
+// counted once as sent and once as received across the two meters).
+func Merge(ms ...*Meter) map[string]Stats {
+	out := make(map[string]Stats)
+	for _, m := range ms {
+		for k, v := range m.TagStats() {
+			out[k] = out[k].add(v)
+		}
+	}
+	return out
+}
+
+// FormatTagStats renders per-tag stats as an aligned table, sorted by tag.
+func FormatTagStats(stats map[string]Stats) string {
+	tags := make([]string, 0, len(stats))
+	for t := range stats {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %12s\n", "tag", "msgs", "bytes")
+	for _, t := range tags {
+		s := stats[t]
+		fmt.Fprintf(&b, "%-28s %10d %12d\n", t, s.MessagesSent, s.BytesSent)
+	}
+	return b.String()
+}
+
+var _ Conn = (*Meter)(nil)
