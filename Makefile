@@ -1,0 +1,41 @@
+# Build, verify, and benchmark targets. `make verify` is the full gate
+# (format, vet, build, race-enabled tests); `make bench` records the E11
+# end-to-end measurements to BENCH_E11.json so the performance trajectory
+# is tracked PR over PR.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt verify bench fuzz clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+verify: fmt vet build race
+
+# Quick-mode bench: small n, both batching modes, JSON rows.
+bench:
+	$(GO) run ./cmd/ppdbscan bench -quick -out BENCH_E11.json
+	@cat BENCH_E11.json
+
+# Short fuzz pass over the wire and batch-frame codecs.
+fuzz:
+	$(GO) test ./internal/transport -run NONE -fuzz FuzzBatchFrameCodec -fuzztime 10s
+	$(GO) test ./internal/transport -run NONE -fuzz FuzzReaderNeverPanics -fuzztime 10s
+
+clean:
+	rm -f BENCH_E11.json

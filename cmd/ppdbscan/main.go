@@ -9,10 +9,12 @@
 //	ppdbscan alice       -mode horizontal|enhanced|vertical -listen :9000 -data a.csv [flags]
 //	ppdbscan bob         -mode horizontal|enhanced|vertical -connect host:9000 -data b.csv [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e12 [-quick] [-seed N]
+//	ppdbscan experiments -id all|e1..e13 [-quick] [-seed N]
+//	ppdbscan bench       [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +42,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
@@ -62,7 +66,8 @@ commands:
   demo         run a protocol between two in-process parties on synthetic data
   alice, bob   run one party of a protocol over TCP
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e12 or all)
+  experiments  regenerate the paper's evaluation tables (e1..e13 or all)
+  bench        run the E11 end-to-end workload and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
 
 run 'ppdbscan <command> -h' for flags.
@@ -77,6 +82,7 @@ type protocolFlags struct {
 	grid      int
 	engine    string
 	selection string
+	batching  string
 	seed      int64
 }
 
@@ -88,6 +94,7 @@ func addProtocolFlags(fs *flag.FlagSet) *protocolFlags {
 	fs.IntVar(&p.grid, "grid", 64, "integer grid size (MaxCoord = grid-1)")
 	fs.StringVar(&p.engine, "engine", "masked", "secure comparison engine: ympp|masked")
 	fs.StringVar(&p.selection, "selection", "scan", "§5 selection strategy: scan|quickselect")
+	fs.StringVar(&p.batching, "batching", "batched", "comparison round structure: batched|sequential")
 	fs.Int64Var(&p.seed, "seed", 1, "seed for datasets and permutations")
 	return p
 }
@@ -101,12 +108,20 @@ func (p *protocolFlags) config() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	batching := core.BatchMode("")
+	if p.batching != "" { // empty defers to core's default (batched)
+		batching, err = core.ParseBatchMode(p.batching)
+		if err != nil {
+			return core.Config{}, err
+		}
+	}
 	return core.Config{
 		Eps:       p.eps,
 		MinPts:    p.minPts,
 		MaxCoord:  int64(p.grid - 1),
 		Engine:    engine,
 		Selection: selection,
+		Batching:  batching,
 		Seed:      p.seed,
 		// Demo/CLI runs favour responsiveness over key strength.
 		PaillierBits: 512,
@@ -326,13 +341,40 @@ func cmdGen(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (e1..e12) or all")
+	id := fs.String("id", "all", "experiment id (e1..e13) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	return experiments.Run(*id, os.Stdout, experiments.Options{Quick: *quick, Seed: *seed})
+}
+
+// cmdBench measures the E11 end-to-end workload in both batching modes
+// and writes the rows as JSON — the perf-trajectory artifact `make bench`
+// stores in BENCH_E11.json.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "smaller workload")
+	seed := fs.Int64("seed", 1, "bench seed")
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.BenchE11(experiments.Options{Quick: *quick, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, blob, 0o644)
+	}
+	_, err = os.Stdout.Write(blob)
+	return err
 }
 
 func makeDataset(kind string, n int, seed int64) (dataset.Dataset, error) {

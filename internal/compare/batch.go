@@ -1,0 +1,228 @@
+package compare
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"repro/internal/paillier"
+	"repro/internal/transport"
+	"repro/internal/yao"
+)
+
+// Batched comparison: one BatchLessEq/BatchLess call decides a whole
+// vector of independent predicates in a constant number of message rounds
+// — three frames regardless of batch size — instead of one complete
+// sub-protocol per value. This is what collapses the per-region-query
+// round count of the distance protocols from O(nPeer) to O(1).
+//
+// Both engines keep their scalar semantics element-wise:
+//
+//   - YMPP: the batch frames carry `count` Algorithm 1 payloads
+//     (internal/yao batch forms); local cost is unchanged at
+//     O(count·Bound) but rounds drop from 3·count to 3.
+//   - Masked: Alice packs E(a_1)…E(a_count) into one frame, Bob replies
+//     with the count masked differences computed on the parallel Paillier
+//     pool, and Alice returns the sign bits. O(count) ciphertexts in 3
+//     frames, with all modular exponentiation spread over GOMAXPROCS.
+//
+// An empty batch returns immediately on both sides without touching the
+// connection. The parties must agree on batch length: a mismatch between
+// two non-empty batches is detected from the frame contents and reported
+// as an error, but an empty batch against a non-empty one exchanges no
+// frames on the empty side and leaves the peer blocked — callers must
+// derive batch lengths from shared deterministic protocol state (as every
+// caller in internal/core and internal/multiparty does).
+
+// ---- YMPP engine ----
+
+// BatchLessEq decides a_t ≤ b_t for the whole batch in three frames.
+func (a *YMPPAlice) BatchLessEq(conn transport.Conn, vs []int64) ([]bool, error) {
+	return yao.AliceLessEqBatch(conn, a.Key, vs, a.Max, a.Random)
+}
+
+// BatchLess decides a_t < b_t for the whole batch in three frames.
+func (a *YMPPAlice) BatchLess(conn transport.Conn, vs []int64) ([]bool, error) {
+	return yao.AliceLessBatch(conn, a.Key, vs, a.Max, a.Random)
+}
+
+// BatchLessEq is the Bob half of the Alice-side BatchLessEq.
+func (b *YMPPBob) BatchLessEq(conn transport.Conn, vs []int64) ([]bool, error) {
+	return yao.BobLessEqBatch(conn, b.Pub, vs, b.Max, b.Random)
+}
+
+// BatchLess is the Bob half of the Alice-side BatchLess.
+func (b *YMPPBob) BatchLess(conn transport.Conn, vs []int64) ([]bool, error) {
+	return yao.BobLessBatch(conn, b.Pub, vs, b.Max, b.Random)
+}
+
+// ---- Masked-sign engine ----
+
+// runBatch is the Alice side of the batched masked-sign protocol:
+// one frame of E(a_t), one frame of masked differences back, one frame of
+// result bits out.
+func (a *MaskedAlice) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool, error) {
+	for t, v := range vs {
+		if err := checkInput(v, a.Max); err != nil {
+			return nil, fmt.Errorf("compare: batch[%d]: %w", t, err)
+		}
+	}
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	random := a.Random
+	if random == nil {
+		random = rand.Reader
+	}
+	cts, err := a.Key.EncryptInt64Batch(random, vs)
+	if err != nil {
+		return nil, err
+	}
+	msg := transport.NewBuilder().PutUint(uint64(pred)).PutBigs(cts)
+	if err := transport.SendMsg(conn, msg); err != nil {
+		return nil, fmt.Errorf("compare: alice batch send: %w", err)
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, fmt.Errorf("compare: alice batch recv: %w", err)
+	}
+	replies := r.Bigs()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(replies) != len(vs) {
+		return nil, fmt.Errorf("compare: batch sent %d values, got %d replies", len(vs), len(replies))
+	}
+	ts, err := a.Key.DecryptSignedBatch(replies)
+	if err != nil {
+		return nil, err
+	}
+	les := make([]bool, len(ts))
+	for t, ti := range ts {
+		// t_i = r·(b′_i−a_i) + r′ with 0 ≤ r′ < r, so t_i ≥ 0 ⟺ a_i ≤ b′_i.
+		les[t] = ti.Sign() >= 0
+	}
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutBools(les)); err != nil {
+		return nil, fmt.Errorf("compare: alice batch send result: %w", err)
+	}
+	return les, nil
+}
+
+// BatchLessEq decides a_t ≤ b_t for the whole batch in three frames.
+func (a *MaskedAlice) BatchLessEq(conn transport.Conn, vs []int64) ([]bool, error) {
+	return a.runBatch(conn, vs, predLessEq)
+}
+
+// BatchLess decides a_t < b_t for the whole batch in three frames.
+func (a *MaskedAlice) BatchLess(conn transport.Conn, vs []int64) ([]bool, error) {
+	return a.runBatch(conn, vs, predLess)
+}
+
+// runBatch is the Bob side of the batched masked-sign protocol. Mask
+// sampling is sequential (the configured reader need not be
+// goroutine-safe); the homomorphic arithmetic runs on the parallel
+// Paillier pool.
+func (b *MaskedBob) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool, error) {
+	for t, v := range vs {
+		if err := checkInput(v, b.Max); err != nil {
+			return nil, fmt.Errorf("compare: batch[%d]: %w", t, err)
+		}
+	}
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	random := b.Random
+	if random == nil {
+		random = rand.Reader
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, fmt.Errorf("compare: bob batch recv: %w", err)
+	}
+	gotPred := byte(r.Uint())
+	cas := r.Bigs()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if gotPred != pred {
+		return nil, fmt.Errorf("%w: alice=%d bob=%d", ErrPredicateMismatch, gotPred, pred)
+	}
+	if len(cas) != len(vs) {
+		return nil, fmt.Errorf("compare: batch holds %d values, got %d ciphertexts", len(vs), len(cas))
+	}
+	maskBits := b.MaskBits
+	if maskBits <= 0 {
+		maskBits = DefaultMaskBits
+	}
+	maskSpace := new(big.Int).Lsh(big.NewInt(1), uint(maskBits))
+
+	// Per-instance masks, sampled sequentially: r ∈ [1, 2^κ), r′ ∈ [0, r);
+	// t = r·(b−a) + r′ keeps sign(b−a).
+	rMasks := make([]*big.Int, len(vs))
+	plains := make([]*big.Int, len(vs))
+	for t, v := range vs {
+		bVal := v
+		if pred == predLess {
+			// a < b ⟺ a ≤ b−1.
+			bVal = v - 1
+		}
+		rMask, err := rand.Int(random, maskSpace)
+		if err != nil {
+			return nil, err
+		}
+		rMask.Add(rMask, big.NewInt(1))
+		rPrime, err := rand.Int(random, rMask)
+		if err != nil {
+			return nil, err
+		}
+		rMasks[t] = rMask
+		plain := new(big.Int).Mul(big.NewInt(bVal), rMask)
+		plain.Add(plain, rPrime)
+		plains[t] = plain
+	}
+	term2s, err := b.Pub.EncryptBatch(random, plains)
+	if err != nil {
+		return nil, err
+	}
+	cts := make([]*big.Int, len(vs))
+	if err := paillier.ParallelFor(len(vs), func(t int) error {
+		// E(t) = E(a)^(−r) · E(b·r + r′)
+		term1, err := b.Pub.Mul(cas[t], new(big.Int).Neg(rMasks[t]))
+		if err != nil {
+			return err
+		}
+		ct, err := b.Pub.Add(term1, term2s[t])
+		if err != nil {
+			return err
+		}
+		cts[t] = ct
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutBigs(cts)); err != nil {
+		return nil, fmt.Errorf("compare: bob batch send: %w", err)
+	}
+	res, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, fmt.Errorf("compare: bob batch recv result: %w", err)
+	}
+	les := res.Bools()
+	if res.Err() != nil {
+		return nil, res.Err()
+	}
+	if len(les) != len(vs) {
+		return nil, fmt.Errorf("compare: batch holds %d values, got %d result bits", len(vs), len(les))
+	}
+	return les, nil
+}
+
+// BatchLessEq is the Bob half of the Alice-side BatchLessEq.
+func (b *MaskedBob) BatchLessEq(conn transport.Conn, vs []int64) ([]bool, error) {
+	return b.runBatch(conn, vs, predLessEq)
+}
+
+// BatchLess is the Bob half of the Alice-side BatchLess.
+func (b *MaskedBob) BatchLess(conn transport.Conn, vs []int64) ([]bool, error) {
+	return b.runBatch(conn, vs, predLess)
+}

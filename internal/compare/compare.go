@@ -38,6 +38,12 @@ type Alice interface {
 	LessEq(conn transport.Conn, a int64) (bool, error)
 	// Less decides a < b; must pair with the Bob side's Less.
 	Less(conn transport.Conn, a int64) (bool, error)
+	// BatchLessEq decides a_t ≤ b_t for every t in a constant number of
+	// message rounds; must pair with the Bob side's BatchLessEq with the
+	// same batch length. An empty batch touches no network.
+	BatchLessEq(conn transport.Conn, as []int64) ([]bool, error)
+	// BatchLess is the strict batched predicate; pairs with Bob BatchLess.
+	BatchLess(conn transport.Conn, as []int64) ([]bool, error)
 	// Bound is the inclusive maximum input value.
 	Bound() int64
 	// Name identifies the engine for reports.
@@ -48,6 +54,8 @@ type Alice interface {
 type Bob interface {
 	LessEq(conn transport.Conn, b int64) (bool, error)
 	Less(conn transport.Conn, b int64) (bool, error)
+	BatchLessEq(conn transport.Conn, bs []int64) ([]bool, error)
+	BatchLess(conn transport.Conn, bs []int64) ([]bool, error)
 	Bound() int64
 	Name() string
 }

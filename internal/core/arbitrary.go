@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/compare"
 	"repro/internal/mpc"
 	"repro/internal/partition"
 	"repro/internal/transport"
@@ -23,6 +24,13 @@ import (
 // through the HDP-style Multiplication Protocol with zero-sum masks (the
 // horizontal part, received by Bob). One secure comparison then decides
 // Alice_sum + Bob_sum ≤ Eps².
+//
+// Under the default batched round structure (Config.Batching) the
+// lockstep driver hands a whole neighborhood of pairs to batchLE: the
+// mixed-cell cross terms of every pair share one Multiplication Protocol
+// exchange and the threshold decisions share one BatchLess — a constant
+// number of adp.mp/adp.cmp frames per neighborhood instead of one
+// exchange per pair, with identical per-pair algebra and Ledger entries.
 func ArbitraryAlice(conn transport.Conn, cfg Config, values [][]float64, owners [][]partition.Owner) (*Result, error) {
 	return arbitraryRun(conn, cfg, RoleAlice, values, owners)
 }
@@ -69,19 +77,26 @@ func arbitraryRun(conn transport.Conn, cfg Config, role Role, values [][]float64
 		return nil, err
 	}
 	a := &adpState{s: s, conn: conn, role: role, enc: enc, owners: owners}
-	pairLE := func(i, j int) (bool, error) {
-		ownSum, err := a.localAndCrossSum(i, j)
-		if err != nil {
-			return false, err
-		}
-		setTag(conn, "adp.cmp")
-		s.ledger.PairDecisions++
-		if role == RoleAlice {
-			return distLessEqDriver(conn, engA, ownSum)
-		}
-		return distLessEqResponder(conn, engB, s, ownSum)
+	var labels []int
+	var clusters int
+	if s.batched() {
+		labels, clusters, err = LockstepClusterBatch(len(values), cfg.MinPts, func(pairs [][2]int) ([]bool, error) {
+			return a.batchLE(pairs, engA, engB)
+		})
+	} else {
+		labels, clusters, err = LockstepCluster(len(values), cfg.MinPts, func(i, j int) (bool, error) {
+			ownSum, err := a.localAndCrossSum(i, j)
+			if err != nil {
+				return false, err
+			}
+			setTag(conn, "adp.cmp")
+			s.ledger.PairDecisions++
+			if role == RoleAlice {
+				return distLessEqDriver(conn, engA, ownSum)
+			}
+			return distLessEqResponder(conn, engB, s, ownSum)
+		})
 	}
-	labels, clusters, err := LockstepCluster(len(values), cfg.MinPts, pairLE)
 	if err != nil {
 		return nil, err
 	}
@@ -158,21 +173,15 @@ type adpState struct {
 	owners [][]partition.Owner
 }
 
-// localAndCrossSum computes this party's additive share of dist²(d_i, d_j):
-// locally-owned attribute terms plus this party's side of the mixed-cell
-// cross terms.
-func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
+// pairTerms decomposes this party's share of dist²(d_i, d_j) into the
+// locally-computable sum and the mixed-cell values (attributes owned by
+// this party on one record and the peer on the other, in ascending
+// attribute order — identical on both sides because owners is public).
+func (a *adpState) pairTerms(i, j int) (local int64, mixedVals []int64) {
 	mine := partition.Alice
 	if a.role == RoleBob {
 		mine = partition.Bob
 	}
-	var local int64
-	// Mixed attributes: (attr index, which record's cell is mine).
-	type mixed struct {
-		mineVal int64 // this party's cell value
-		k       int
-	}
-	var mixedCells []mixed
 	for k := 0; k < a.s.dim; k++ {
 		oi, oj := a.owners[i][k], a.owners[j][k]
 		switch {
@@ -183,13 +192,21 @@ func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
 			// Peer-local term; contributes to the peer's share.
 		case oi == mine:
 			local += a.enc[i][k] * a.enc[i][k]
-			mixedCells = append(mixedCells, mixed{mineVal: a.enc[i][k], k: k})
+			mixedVals = append(mixedVals, a.enc[i][k])
 		default:
 			local += a.enc[j][k] * a.enc[j][k]
-			mixedCells = append(mixedCells, mixed{mineVal: a.enc[j][k], k: k})
+			mixedVals = append(mixedVals, a.enc[j][k])
 		}
 	}
-	if len(mixedCells) == 0 {
+	return local, mixedVals
+}
+
+// localAndCrossSum computes this party's additive share of dist²(d_i, d_j):
+// locally-owned attribute terms plus this party's side of the mixed-cell
+// cross terms, running one Multiplication Protocol exchange per pair.
+func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
+	local, mixedVals := a.pairTerms(i, j)
+	if len(mixedVals) == 0 {
 		return local, nil
 	}
 
@@ -197,35 +214,109 @@ func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
 	// HDP to let Bob get" the horizontal part).
 	setTag(a.conn, "adp.mp")
 	if a.role == RoleAlice {
-		ys := make([]int64, len(mixedCells))
-		for t, mc := range mixedCells {
-			ys[t] = mc.mineVal
-		}
-		masks, err := mpc.ZeroSumMasks(a.s.random, len(ys), a.s.maskBound())
+		masks, err := mpc.ZeroSumMasks(a.s.random, len(mixedVals), a.s.maskBound())
 		if err != nil {
 			return 0, err
 		}
-		if err := mpc.SenderBatchMultiply(a.conn, a.s.peerPai, ys, masks, a.s.random); err != nil {
+		if err := mpc.SenderBatchMultiply(a.conn, a.s.peerPai, mixedVals, masks, a.s.random); err != nil {
 			return 0, fmt.Errorf("core: adp multiplication: %w", err)
 		}
 		// Zero-sum masks cancel: Alice's share needs no correction.
 		return local, nil
 	}
-	xs := make([]int64, len(mixedCells))
-	for t, mc := range mixedCells {
-		xs[t] = mc.mineVal
-	}
-	us, err := mpc.ReceiverBatchMultiply(a.conn, a.s.paiKey, xs, a.s.random)
+	us, err := mpc.ReceiverBatchMultiply(a.conn, a.s.paiKey, mixedVals, a.s.random)
 	if err != nil {
 		return 0, fmt.Errorf("core: adp multiplication: %w", err)
 	}
-	cross := new(big.Int)
-	for _, u := range us {
-		cross.Add(cross, u)
-	}
-	if !cross.IsInt64() {
-		return 0, fmt.Errorf("core: adp cross sum overflows int64")
+	cross, err := sumInt64(us)
+	if err != nil {
+		return 0, err
 	}
 	a.s.ledger.DotProducts++
-	return local - 2*cross.Int64(), nil
+	return local - 2*cross, nil
+}
+
+// batchLE decides every pair of one lockstep neighborhood in a constant
+// number of round trips: the mixed-cell cross terms of all pairs ride one
+// Multiplication Protocol exchange (zero-sum masks stay per-pair, so each
+// pair's share algebra is exactly the sequential protocol's), then one
+// BatchLess settles all the threshold comparisons.
+func (a *adpState) batchLE(pairs [][2]int, engA compare.Alice, engB compare.Bob) ([]bool, error) {
+	s := a.s
+	ownSums := make([]int64, len(pairs))
+	mixedPerPair := make([][]int64, len(pairs))
+	totalMixed := 0
+	for t, pr := range pairs {
+		local, mixedVals := a.pairTerms(pr[0], pr[1])
+		ownSums[t] = local
+		mixedPerPair[t] = mixedVals
+		totalMixed += len(mixedVals)
+	}
+
+	if totalMixed > 0 {
+		setTag(a.conn, "adp.mp")
+		if a.role == RoleAlice {
+			ys := make([]int64, 0, totalMixed)
+			vs := make([]*big.Int, 0, totalMixed)
+			for _, mixedVals := range mixedPerPair {
+				if len(mixedVals) == 0 {
+					continue
+				}
+				masks, err := mpc.ZeroSumMasks(s.random, len(mixedVals), s.maskBound())
+				if err != nil {
+					return nil, err
+				}
+				ys = append(ys, mixedVals...)
+				vs = append(vs, masks...)
+			}
+			if err := mpc.SenderBatchMultiply(a.conn, s.peerPai, ys, vs, s.random); err != nil {
+				return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
+			}
+		} else {
+			xs := make([]int64, 0, totalMixed)
+			for _, mixedVals := range mixedPerPair {
+				xs = append(xs, mixedVals...)
+			}
+			us, err := mpc.ReceiverBatchMultiply(a.conn, s.paiKey, xs, s.random)
+			if err != nil {
+				return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
+			}
+			off := 0
+			for t, mixedVals := range mixedPerPair {
+				if len(mixedVals) == 0 {
+					continue
+				}
+				cross, err := sumInt64(us[off : off+len(mixedVals)])
+				if err != nil {
+					return nil, err
+				}
+				off += len(mixedVals)
+				ownSums[t] -= 2 * cross
+				s.ledger.DotProducts++
+			}
+		}
+	}
+
+	setTag(a.conn, "adp.cmp")
+	s.ledger.PairDecisions += len(pairs)
+	if a.role == RoleAlice {
+		return engA.BatchLess(a.conn, ownSums)
+	}
+	js := make([]int64, len(ownSums))
+	for t, v := range ownSums {
+		js[t] = s.responderOperand(engB.Bound(), v)
+	}
+	return engB.BatchLess(a.conn, js)
+}
+
+// sumInt64 totals masked products, guarding against overflow.
+func sumInt64(us []*big.Int) (int64, error) {
+	total := new(big.Int)
+	for _, u := range us {
+		total.Add(total, u)
+	}
+	if !total.IsInt64() {
+		return 0, fmt.Errorf("core: adp cross sum overflows int64")
+	}
+	return total.Int64(), nil
 }

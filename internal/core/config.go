@@ -58,6 +58,14 @@ type Config struct {
 	// scan (default) or quickselect.
 	Selection SelectionKind
 
+	// Batching selects between the batched round structure (default: one
+	// constant-round BatchLessEq per region query / lockstep neighborhood)
+	// and the paper-literal sequential structure (one secure-comparison
+	// sub-protocol round trip per candidate pair), kept for A/B
+	// measurement. Both paths produce identical labels and identical
+	// leakage Ledgers; the equivalence harness in core_test enforces this.
+	Batching BatchMode
+
 	// Seed, when non-zero, makes the per-query permutations of Algorithm 4
 	// deterministic for reproducible experiments. Zero draws them from
 	// crypto/rand.
@@ -93,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.Selection == "" {
 		c.Selection = SelectionScan
 	}
+	if c.Batching == "" {
+		c.Batching = BatchModeBatched
+	}
 	return c
 }
 
@@ -116,7 +127,35 @@ func (c Config) validate() error {
 	if _, err := ParseSelection(string(c.Selection)); err != nil {
 		return err
 	}
+	if _, err := ParseBatchMode(string(c.Batching)); err != nil {
+		return err
+	}
 	return nil
+}
+
+// BatchMode selects the comparison round structure.
+type BatchMode string
+
+// The two round structures.
+const (
+	// BatchModeBatched packs the cryptographic payloads of all independent
+	// comparisons of one protocol step into single frames: a whole region
+	// query (or lockstep neighborhood) costs a constant number of round
+	// trips.
+	BatchModeBatched BatchMode = "batched"
+	// BatchModeSequential runs one complete comparison sub-protocol per
+	// candidate pair — the paper-literal structure, kept as the A/B
+	// baseline for the communication experiments.
+	BatchModeSequential BatchMode = "sequential"
+)
+
+// ParseBatchMode validates a batch mode name from flags or config.
+func ParseBatchMode(s string) (BatchMode, error) {
+	switch BatchMode(s) {
+	case BatchModeBatched, BatchModeSequential:
+		return BatchMode(s), nil
+	}
+	return "", fmt.Errorf("core: unknown batch mode %q (want %q or %q)", s, BatchModeBatched, BatchModeSequential)
 }
 
 // codec builds the fixed-point codec for this configuration.

@@ -27,4 +27,27 @@
 // via transport.Meter tags, which the communication experiments (E3–E5)
 // consume. Each result carries a leakage Ledger recording exactly what the
 // protocol disclosed beyond its output, mirroring Theorems 9–11.
+//
+// # Round structure and batching
+//
+// Config.Batching selects between two round structures with identical
+// outputs and identical leakage:
+//
+//   - batched (default): every protocol step whose secure comparisons are
+//     mutually independent issues them as one compare.BatchLessEq /
+//     BatchLess — three frames per step regardless of how many predicates
+//     it settles. An HDP region query costs ≤ 3 hdp.cmp frames instead of
+//     3·nPeer; a lockstep neighborhood (vertical/arbitrary, via
+//     LockstepClusterBatch) costs a constant number of vdp.cmp/adp.cmp
+//     frames instead of 3 per pair; the enhanced selection runs tournament
+//     (scan) or per-pivot (quickselect) batches. Underneath, all Paillier
+//     work rides the parallel pool (paillier.EncryptBatch/DecryptBatch,
+//     GOMAXPROCS workers), so the round collapse comes with a wall-clock
+//     collapse on multi-core hosts.
+//   - sequential: the paper-literal schedule — one comparison sub-protocol
+//     per candidate pair — retained for A/B measurement (experiment E13).
+//
+// The equivalence harness (equivalence_test.go) pins the contract: both
+// modes produce identical labels, cluster counts, and Ledger entries on
+// every protocol family, with strictly fewer frames in batched mode.
 package core

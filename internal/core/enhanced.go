@@ -28,6 +28,15 @@ import (
 // The selection comparisons necessarily reveal the relative order of the
 // masked distances and the value of k (the responder observes the round
 // count); both are recorded in the Ledger — see DESIGN.md §4.
+//
+// Round structure (Config.Batching): the share phase is always a single
+// round trip (ReceiverDotMany, now on the parallel Paillier pool). Under
+// the default batched mode the selection phase additionally batches every
+// independent comparison of one selection step (tournament rounds for the
+// scan, per-pivot batches for quickselect — see kthSmallestBatch), so one
+// core query costs O(k·log n) (scan) or expected O(log n) (quickselect)
+// comparison round trips instead of O(k·n)/O(n), with the exact same
+// comparison count and OrderBits leakage.
 
 // EnhancedHorizontalAlice runs the §5 protocol as Alice. The peer must
 // concurrently run EnhancedHorizontalBob.
@@ -171,11 +180,24 @@ func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA 
 	// Selection phase: index of the k-th smallest shared distance.
 	setTag(h.conn, "enh.select")
 	shift := s.bound + s.shareV
-	le := func(x, y int) (bool, error) {
-		// Dist_x ≤ Dist_y ⟺ u_x − u_y ≤ v_x − v_y.
-		return shareA.LessEq(h.conn, us[x]-us[y]+shift)
+	var kth, comparisons int
+	if s.batched() {
+		leb := func(pairs [][2]int) ([]bool, error) {
+			vals := make([]int64, len(pairs))
+			for t, pr := range pairs {
+				// Dist_x ≤ Dist_y ⟺ u_x − u_y ≤ v_x − v_y.
+				vals[t] = us[pr[0]] - us[pr[1]] + shift
+			}
+			return shareA.BatchLessEq(h.conn, vals)
+		}
+		kth, comparisons, err = kthSmallestBatch(h.nPeer, k, s.cfg.Selection, leb)
+	} else {
+		le := func(x, y int) (bool, error) {
+			// Dist_x ≤ Dist_y ⟺ u_x − u_y ≤ v_x − v_y.
+			return shareA.LessEq(h.conn, us[x]-us[y]+shift)
+		}
+		kth, comparisons, err = kthSmallest(h.nPeer, k, s.cfg.Selection, le)
 	}
-	kth, comparisons, err := kthSmallest(h.nPeer, k, s.cfg.Selection, le)
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced selection: %w", err)
 	}
@@ -254,10 +276,23 @@ func enhancedServeCore(s *session, conn transport.Conn, own [][]int64, k int, sh
 
 	setTag(conn, "enh.select")
 	shift := s.bound + s.shareV
-	le := func(x, y int) (bool, error) {
-		return shareB.LessEq(conn, vals[x]-vals[y]+shift)
+	var kth, comparisons int
+	var err error
+	if s.batched() {
+		leb := func(pairs [][2]int) ([]bool, error) {
+			ds := make([]int64, len(pairs))
+			for t, pr := range pairs {
+				ds[t] = vals[pr[0]] - vals[pr[1]] + shift
+			}
+			return shareB.BatchLessEq(conn, ds)
+		}
+		kth, comparisons, err = kthSmallestBatch(n, k, s.cfg.Selection, leb)
+	} else {
+		le := func(x, y int) (bool, error) {
+			return shareB.LessEq(conn, vals[x]-vals[y]+shift)
+		}
+		kth, comparisons, err = kthSmallest(n, k, s.cfg.Selection, le)
 	}
-	kth, comparisons, err := kthSmallest(n, k, s.cfg.Selection, le)
 	if err != nil {
 		return fmt.Errorf("core: enhanced selection: %w", err)
 	}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// The protocol-equivalence harness: every protocol family runs the same
+// seeded datasets through the sequential (paper-literal, one comparison
+// sub-protocol per candidate pair) and batched (constant rounds per
+// protocol step) paths, and the two executions must be observably
+// identical — same labels, same cluster counts, same leakage Ledger entry
+// for entry — while the batched path uses strictly fewer message rounds.
+// This is the contract that lets Config.Batching default to batched.
+
+// eqOutcome captures everything one protocol execution exposes.
+type eqOutcome struct {
+	ra, rb   *Result
+	msgs     int64                      // frames sent, both directions
+	tagStats map[string]transport.Stats // merged per-phase accounting
+}
+
+// eqProtocol is one table row: a protocol family bound to a seeded
+// dataset, runnable under any Config.
+type eqProtocol struct {
+	name string
+	run  func(t *testing.T, cfg Config) eqOutcome
+}
+
+// runMeteredPair executes the two role functions over metered pipes.
+func runMeteredPair(t *testing.T,
+	aliceFn, bobFn func(conn transport.Conn) (*Result, error)) eqOutcome {
+	t.Helper()
+	ca, cb := transport.Pipe()
+	ma, mb := transport.NewMeter(ca), transport.NewMeter(cb)
+	var mu sync.Mutex
+	var ra, rb *Result
+	err := transport.RunPair(ma, mb,
+		func(transport.Conn) error {
+			r, err := aliceFn(ma)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			ra = r
+			mu.Unlock()
+			return nil
+		},
+		func(transport.Conn) error {
+			r, err := bobFn(mb)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			rb = r
+			mu.Unlock()
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eqOutcome{
+		ra:       ra,
+		rb:       rb,
+		msgs:     ma.Stats().MessagesSent + mb.Stats().MessagesSent,
+		tagStats: transport.Merge(ma, mb),
+	}
+}
+
+// equivalenceDatasets returns the protocol table over two seeded
+// datasets: the hand-built grid fixture and a quantized blob sample.
+func equivalenceProtocols(t *testing.T) []eqProtocol {
+	t.Helper()
+	blobs, _ := dataset.Quantize(dataset.Blobs(20, 2, 0.4, 7), 8)
+	hsplit, err := partition.HorizontalRandom(blobs.Points, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsplit, err := partition.Vertical(blobs.Points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asplit, err := partition.ArbitraryRandom(blobs.Points, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return []eqProtocol{
+		{"horizontal/grid", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return HorizontalAlice(c, cfg, testAlicePts) },
+				func(c transport.Conn) (*Result, error) { return HorizontalBob(c, cfg, testBobPts) })
+		}},
+		{"horizontal/blobs", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return HorizontalAlice(c, cfg, hsplit.Alice) },
+				func(c transport.Conn) (*Result, error) { return HorizontalBob(c, cfg, hsplit.Bob) })
+		}},
+		{"enhanced/grid", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return EnhancedHorizontalAlice(c, cfg, testAlicePts) },
+				func(c transport.Conn) (*Result, error) { return EnhancedHorizontalBob(c, cfg, testBobPts) })
+		}},
+		{"vertical/blobs", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return VerticalAlice(c, cfg, vsplit.Alice) },
+				func(c transport.Conn) (*Result, error) { return VerticalBob(c, cfg, vsplit.Bob) })
+		}},
+		{"arbitrary/blobs", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) {
+					return ArbitraryAlice(c, cfg, asplit.Alice, asplit.Owners)
+				},
+				func(c transport.Conn) (*Result, error) {
+					return ArbitraryBob(c, cfg, asplit.Bob, asplit.Owners)
+				})
+		}},
+	}
+}
+
+func assertSameOutcome(t *testing.T, seq, bat eqOutcome) {
+	t.Helper()
+	if !metrics.ExactMatch(bat.ra.Labels, seq.ra.Labels) {
+		t.Errorf("alice labels diverge: batched %v, sequential %v", bat.ra.Labels, seq.ra.Labels)
+	}
+	if !metrics.ExactMatch(bat.rb.Labels, seq.rb.Labels) {
+		t.Errorf("bob labels diverge: batched %v, sequential %v", bat.rb.Labels, seq.rb.Labels)
+	}
+	if bat.ra.NumClusters != seq.ra.NumClusters || bat.rb.NumClusters != seq.rb.NumClusters {
+		t.Errorf("cluster counts diverge: batched %d/%d, sequential %d/%d",
+			bat.ra.NumClusters, bat.rb.NumClusters, seq.ra.NumClusters, seq.rb.NumClusters)
+	}
+	if bat.ra.Leakage != seq.ra.Leakage {
+		t.Errorf("alice ledgers diverge: batched %v, sequential %v", bat.ra.Leakage, seq.ra.Leakage)
+	}
+	if bat.rb.Leakage != seq.rb.Leakage {
+		t.Errorf("bob ledgers diverge: batched %v, sequential %v", bat.rb.Leakage, seq.rb.Leakage)
+	}
+	if bat.msgs >= seq.msgs {
+		t.Errorf("batched path used %d messages, sequential %d — want strictly fewer", bat.msgs, seq.msgs)
+	}
+}
+
+func TestProtocolEquivalenceSequentialVsBatched(t *testing.T) {
+	for _, engine := range []compare.EngineKind{compare.EngineMasked, compare.EngineYMPP} {
+		for _, proto := range equivalenceProtocols(t) {
+			t.Run(string(engine)+"/"+proto.name, func(t *testing.T) {
+				seqCfg := testCfg(engine)
+				seqCfg.Batching = BatchModeSequential
+				batCfg := testCfg(engine)
+				batCfg.Batching = BatchModeBatched
+
+				seq := proto.run(t, seqCfg)
+				bat := proto.run(t, batCfg)
+				assertSameOutcome(t, seq, bat)
+			})
+		}
+	}
+}
+
+// TestHorizontalRegionQueryRoundBudget pins the headline number: with
+// batching on, the comparison phase of one HDP region query is at most 3
+// frames — independent of nPeer — versus 3·nPeer sequentially.
+func TestHorizontalRegionQueryRoundBudget(t *testing.T) {
+	for _, engine := range []compare.EngineKind{compare.EngineMasked, compare.EngineYMPP} {
+		t.Run(string(engine), func(t *testing.T) {
+			cfg := testCfg(engine)
+			cfg.Batching = BatchModeBatched
+			out := runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return HorizontalAlice(c, cfg, testAlicePts) },
+				func(c transport.Conn) (*Result, error) { return HorizontalBob(c, cfg, testBobPts) })
+
+			queries := int64(out.ra.Leakage.NeighborCounts + out.rb.Leakage.NeighborCounts)
+			if queries == 0 {
+				t.Fatal("no region queries recorded")
+			}
+			cmp := out.tagStats["hdp.cmp"]
+			if cmp.MessagesSent > 3*queries {
+				t.Errorf("hdp.cmp used %d frames across %d queries (%.1f per query), want ≤ 3 per query",
+					cmp.MessagesSent, queries, float64(cmp.MessagesSent)/float64(queries))
+			}
+
+			// The sequential baseline on the same data must cost ~3·nPeer
+			// frames per query; confirm batching actually moved the needle.
+			seqCfg := testCfg(engine)
+			seqCfg.Batching = BatchModeSequential
+			seqOut := runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return HorizontalAlice(c, seqCfg, testAlicePts) },
+				func(c transport.Conn) (*Result, error) { return HorizontalBob(c, seqCfg, testBobPts) })
+			seqCmp := seqOut.tagStats["hdp.cmp"]
+			if seqCmp.MessagesSent <= cmp.MessagesSent {
+				t.Errorf("sequential hdp.cmp frames %d not above batched %d", seqCmp.MessagesSent, cmp.MessagesSent)
+			}
+		})
+	}
+}

@@ -18,14 +18,28 @@ import (
 //	           obtains the zero-sum-masked per-coordinate products
 //	           d_x,k·d_y,k + r_k. Because Σr_k = 0, the responder's sum is
 //	           the exact cross dot product (the paper's construction; the
-//	           privacy consequence is tracked in the Ledger).
+//	           privacy consequence is tracked in the Ledger). Always one
+//	           round trip (tag hdp.mp).
 //	Cmp phase: nPeer secure comparisons — dist² = i + j' ≤ Eps² with the
 //	           driver holding i = Σd_x² and the responder holding
-//	           j' = Σd_y² − 2·dot.
+//	           j' = Σd_y² − 2·dot (tag hdp.cmp).
 //
-// The responder permutes its points freshly per query (Algorithm 4's
-// SetOfPointsOfBobPermutation), so the driver learns only how many peer
-// points are in range, not which.
+// Round structure of the Cmp phase (Config.Batching):
+//
+//	batched (default): one BatchLess carrying all nPeer instances — 3
+//	    frames per query regardless of nPeer, so a full region query is
+//	    ≤ 3 hdp.cmp frames plus 2 hdp.mp frames and 1 hdp.op frame, and a
+//	    whole pass costs O(n) rather than O(n·nPeer) round trips. Bits are
+//	    unchanged: the same per-instance payloads travel, packed.
+//	sequential: one comparison sub-protocol (3 frames for the masked
+//	    engine, 3 for YMPP) per responder point — the paper-literal
+//	    schedule, kept for A/B measurement.
+//
+// Both schedules decide identical predicates in identical order, so
+// labels and leakage Ledgers are byte-for-byte equal; only the frame
+// count differs. The responder permutes its points freshly per query
+// (Algorithm 4's SetOfPointsOfBobPermutation), so the driver learns only
+// how many peer points are in range, not which.
 
 // hdpQueryDriver runs the driver side of one region query and returns how
 // many responder points are within Eps of p.
@@ -57,13 +71,29 @@ func hdpQueryDriver(conn transport.Conn, s *session, eng compare.Alice, p []int6
 		ownSum += x * x
 	}
 	count := 0
-	for i := 0; i < nPeer; i++ {
-		in, err := distLessEqDriver(conn, eng, ownSum)
-		if err != nil {
-			return 0, fmt.Errorf("core: hdp comparison %d: %w", i, err)
+	if s.batched() {
+		vs := make([]int64, nPeer)
+		for i := range vs {
+			vs[i] = ownSum
 		}
-		if in {
-			count++
+		ins, err := eng.BatchLess(conn, vs)
+		if err != nil {
+			return 0, fmt.Errorf("core: hdp batch comparison: %w", err)
+		}
+		for _, in := range ins {
+			if in {
+				count++
+			}
+		}
+	} else {
+		for i := 0; i < nPeer; i++ {
+			in, err := distLessEqDriver(conn, eng, ownSum)
+			if err != nil {
+				return 0, fmt.Errorf("core: hdp comparison %d: %w", i, err)
+			}
+			if in {
+				count++
+			}
 		}
 	}
 	s.ledger.NeighborCounts++
@@ -93,6 +123,7 @@ func hdpQueryResponder(conn transport.Conn, s *session, eng compare.Bob, own [][
 	}
 
 	setTag(conn, "hdp.cmp")
+	peerSums := make([]int64, len(perm))
 	for i, pi := range perm {
 		pt := own[pi]
 		// peerSum = Σd_y² − 2·Σ(d_x·d_y + r) ; the zero-sum masks cancel.
@@ -107,11 +138,23 @@ func hdpQueryResponder(conn transport.Conn, s *session, eng compare.Bob, own [][
 		for _, x := range pt {
 			sq += x * x
 		}
-		peerSum := sq - 2*dot.Int64()
-		if _, err := distLessEqResponder(conn, eng, s, peerSum); err != nil {
-			return fmt.Errorf("core: hdp comparison %d: %w", i, err)
-		}
-		s.ledger.DotProducts++
+		peerSums[i] = sq - 2*dot.Int64()
 	}
+	if s.batched() {
+		js := make([]int64, len(peerSums))
+		for i, peerSum := range peerSums {
+			js[i] = s.responderOperand(eng.Bound(), peerSum)
+		}
+		if _, err := eng.BatchLess(conn, js); err != nil {
+			return fmt.Errorf("core: hdp batch comparison: %w", err)
+		}
+	} else {
+		for i, peerSum := range peerSums {
+			if _, err := distLessEqResponder(conn, eng, s, peerSum); err != nil {
+				return fmt.Errorf("core: hdp comparison %d: %w", i, err)
+			}
+		}
+	}
+	s.ledger.DotProducts += len(perm)
 	return nil
 }

@@ -17,37 +17,71 @@ import (
 // under the normalized pair so each pair is decided at most once, on all
 // sides consistently.
 func LockstepCluster(n, minPts int, pairLE func(i, j int) (bool, error)) ([]int, int, error) {
+	return LockstepClusterBatch(n, minPts, func(pairs [][2]int) ([]bool, error) {
+		out := make([]bool, len(pairs))
+		for t, pr := range pairs {
+			v, err := pairLE(pr[0], pr[1])
+			if err != nil {
+				return nil, err
+			}
+			out[t] = v
+		}
+		return out, nil
+	})
+}
+
+// LockstepClusterBatch is LockstepCluster with a batched decision oracle:
+// all yet-undecided pairs of one neighborhood query are submitted in a
+// single call, so an oracle backed by compare.BatchLessEq resolves them in
+// a constant number of round trips. pairs are normalized (i < j) and
+// deduplicated; because every participant runs this exact code, the batch
+// boundaries — and therefore the sub-protocol schedule — are identical on
+// all sides. The set and order of decided pairs is the same as the
+// sequential driver's, so leakage Ledgers match entry for entry.
+func LockstepClusterBatch(n, minPts int, pairLEBatch func(pairs [][2]int) ([]bool, error)) ([]int, int, error) {
 	if minPts < 1 {
 		return nil, 0, fmt.Errorf("core: MinPts %d < 1", minPts)
 	}
 	cache := make(map[[2]int]bool)
-	decide := func(i, j int) (bool, error) {
-		if i == j {
-			return true, nil // a point is always in its own neighbourhood
-		}
-		a, b := i, j
-		if a > b {
-			a, b = b, a
-		}
-		key := [2]int{a, b}
-		if v, ok := cache[key]; ok {
-			return v, nil
-		}
-		v, err := pairLE(a, b)
-		if err != nil {
-			return false, err
-		}
-		cache[key] = v
-		return v, nil
-	}
 	neighbors := func(i int) ([]int, error) {
-		var out []int
+		// Collect the pairs this neighborhood still needs decided.
+		var missing [][2]int
 		for j := 0; j < n; j++ {
-			in, err := decide(i, j)
+			if j == i {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if _, ok := cache[key]; !ok {
+				missing = append(missing, key)
+			}
+		}
+		if len(missing) > 0 {
+			res, err := pairLEBatch(missing)
 			if err != nil {
 				return nil, err
 			}
-			if in {
+			if len(res) != len(missing) {
+				return nil, fmt.Errorf("core: batch oracle returned %d results for %d pairs", len(res), len(missing))
+			}
+			for t, key := range missing {
+				cache[key] = res[t]
+			}
+		}
+		out := []int{}
+		for j := 0; j < n; j++ {
+			if j == i {
+				out = append(out, j) // a point is always in its own neighbourhood
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			if cache[[2]int{a, b}] {
 				out = append(out, j)
 			}
 		}

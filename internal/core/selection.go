@@ -30,6 +30,12 @@ func ParseSelection(s string) (SelectionKind, error) {
 // same deterministic selection code keeps their states in lock step.
 type lessEqOracle func(a, b int) (bool, error)
 
+// lessEqBatchOracle answers a whole vector of independent "value(a) ≤
+// value(b)?" questions in one constant-round sub-protocol (one
+// compare.BatchLessEq underneath). Determinism keeps both parties'
+// batches identical.
+type lessEqBatchOracle func(pairs [][2]int) ([]bool, error)
+
 // kthSmallest returns the index (0-based, into the original n items) of
 // the k-th smallest hidden value (k is 1-based) plus the number of oracle
 // calls consumed.
@@ -64,6 +70,128 @@ func CountSelectionComparisons(k int, kind SelectionKind, vals []int64) (int, er
 	le := func(a, b int) (bool, error) { return vals[a] <= vals[b], nil }
 	_, comparisons, err := kthSmallest(len(vals), k, kind, le)
 	return comparisons, err
+}
+
+// kthSmallestBatch is kthSmallest restructured around a batched oracle:
+// the same selection strategies consume the same number of comparisons
+// (so OrderBits Ledger entries match the sequential path exactly), but
+// independent comparisons within one step travel together:
+//
+//   - scan: each of the k minimum-extraction rounds becomes a knockout
+//     tournament — ⌈log₂ n⌉ batched rounds of pairwise comparisons,
+//     still n−1 comparisons per round.
+//   - quickselect: all comparisons against one pivot form a single batch,
+//     one batched round per partition step.
+//
+// Ties may resolve to a different index than the sequential scan's
+// last-wins rule, but only among items with equal hidden values, so the
+// k-th order VALUE — all either party acts on — is unchanged.
+func kthSmallestBatch(n, k int, kind SelectionKind, leb lessEqBatchOracle) (idx, comparisons int, err error) {
+	if k < 1 || k > n {
+		return 0, 0, fmt.Errorf("core: selection k=%d outside [1,%d]", k, n)
+	}
+	counted := func(pairs [][2]int) ([]bool, error) {
+		comparisons += len(pairs)
+		return leb(pairs)
+	}
+	switch kind {
+	case SelectionScan:
+		idx, err = kthSmallestScanBatch(n, k, counted)
+	case SelectionQuick:
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		idx, err = quickselectBatch(items, k, counted)
+	default:
+		return 0, 0, fmt.Errorf("core: unknown selection strategy %q", kind)
+	}
+	return idx, comparisons, err
+}
+
+// kthSmallestScanBatch extracts the minimum k times, each time by a
+// knockout tournament of batched pairwise comparisons.
+func kthSmallestScanBatch(n, k int, leb lessEqBatchOracle) (int, error) {
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var last int
+	for round := 0; round < k; round++ {
+		cand := append([]int(nil), remaining...)
+		for len(cand) > 1 {
+			pairs := make([][2]int, 0, len(cand)/2)
+			for t := 0; t+1 < len(cand); t += 2 {
+				pairs = append(pairs, [2]int{cand[t], cand[t+1]})
+			}
+			res, err := leb(pairs)
+			if err != nil {
+				return 0, err
+			}
+			if len(res) != len(pairs) {
+				return 0, fmt.Errorf("core: selection batch returned %d results for %d pairs", len(res), len(pairs))
+			}
+			next := make([]int, 0, (len(cand)+1)/2)
+			for t, pr := range pairs {
+				if res[t] {
+					next = append(next, pr[0])
+				} else {
+					next = append(next, pr[1])
+				}
+			}
+			if len(cand)%2 == 1 {
+				next = append(next, cand[len(cand)-1])
+			}
+			cand = next
+		}
+		last = cand[0]
+		for pos, it := range remaining {
+			if it == last {
+				remaining = append(remaining[:pos], remaining[pos+1:]...)
+				break
+			}
+		}
+	}
+	return last, nil
+}
+
+// quickselectBatch is quickselect with each partition round's pivot
+// comparisons submitted as one batch.
+func quickselectBatch(items []int, k int, leb lessEqBatchOracle) (int, error) {
+	for {
+		if len(items) == 1 {
+			return items[0], nil
+		}
+		pivot := items[len(items)-1]
+		pairs := make([][2]int, len(items)-1)
+		for t, it := range items[:len(items)-1] {
+			pairs[t] = [2]int{it, pivot}
+		}
+		res, err := leb(pairs)
+		if err != nil {
+			return 0, err
+		}
+		if len(res) != len(pairs) {
+			return 0, fmt.Errorf("core: selection batch returned %d results for %d pairs", len(res), len(pairs))
+		}
+		var lows, highs []int
+		for t, it := range items[:len(items)-1] {
+			if res[t] {
+				lows = append(lows, it)
+			} else {
+				highs = append(highs, it)
+			}
+		}
+		switch {
+		case k <= len(lows):
+			items = lows
+		case k == len(lows)+1:
+			return pivot, nil
+		default:
+			k -= len(lows) + 1
+			items = highs
+		}
+	}
 }
 
 // kthSmallestScan is the paper's first algorithm: k iterations, each

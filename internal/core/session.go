@@ -41,7 +41,8 @@ func (r Role) peer() Role {
 }
 
 // handshakeVersion guards against protocol drift between binaries.
-const handshakeVersion = 1
+// Version 2 added the Batching round-structure parameter.
+const handshakeVersion = 2
 
 // ErrHandshake reports parameter disagreement between the parties.
 var ErrHandshake = errors.New("core: handshake parameter mismatch")
@@ -113,6 +114,7 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		PutUint(uint64(cfg.CmpMaskBits)).
 		PutUint(uint64(cfg.ShareMaskBits)).
 		PutString(string(cfg.Selection)).
+		PutString(string(cfg.Batching)).
 		PutUint(uint64(ownDim)).
 		PutUint(uint64(ownCount)).
 		PutBytes(paillier.MarshalPublicKey(&s.paiKey.PublicKey)).
@@ -135,6 +137,7 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 	pCmpMask := int(r.Uint())
 	pShareMask := int(r.Uint())
 	pSelection := r.String()
+	pBatching := r.String()
 	pDim := int(r.Uint())
 	pCount := int(r.Uint())
 	paiB := r.Bytes()
@@ -165,6 +168,8 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		return nil, peerInfo{}, fmt.Errorf("%w: ShareMaskBits %d vs %d", ErrHandshake, cfg.ShareMaskBits, pShareMask)
 	case pSelection != string(cfg.Selection):
 		return nil, peerInfo{}, fmt.Errorf("%w: selection %q vs %q", ErrHandshake, cfg.Selection, pSelection)
+	case pBatching != string(cfg.Batching):
+		return nil, peerInfo{}, fmt.Errorf("%w: batching %q vs %q", ErrHandshake, cfg.Batching, pBatching)
 	}
 
 	s.peerPai, err = paillier.UnmarshalPublicKey(paiB)
@@ -253,6 +258,9 @@ func (s *session) distEngines() (compare.Alice, compare.Bob, error) {
 	return s.engines(s.bound + 1)
 }
 
+// batched reports whether this session uses the batched round structure.
+func (s *session) batched() bool { return s.cfg.Batching == BatchModeBatched }
+
 // distLessEqDriver decides ownSum + peerSum ≤ Eps² from the driver side.
 func distLessEqDriver(conn transport.Conn, eng compare.Alice, ownSum int64) (bool, error) {
 	return eng.Less(conn, ownSum)
@@ -261,14 +269,22 @@ func distLessEqDriver(conn transport.Conn, eng compare.Alice, ownSum int64) (boo
 // distLessEqResponder is the matching responder half; peerSum may be
 // negative (it is Σd_y² − 2·dot for HDP).
 func distLessEqResponder(conn transport.Conn, eng compare.Bob, s *session, peerSum int64) (bool, error) {
+	return eng.Less(conn, s.responderOperand(eng.Bound(), peerSum))
+}
+
+// responderOperand maps the responder's additive share into the strict
+// Less embedding of a + b ≤ Eps²: j = clamp(Eps² − b + 1, [0, bound]).
+// The clamp preserves the predicate because the driver's a never exceeds
+// the distance bound.
+func (s *session) responderOperand(bound, peerSum int64) int64 {
 	j := s.epsSq - peerSum + 1
 	if j < 0 {
 		j = 0
 	}
-	if max := eng.Bound(); j > max {
-		j = max
+	if j > bound {
+		j = bound
 	}
-	return eng.Less(conn, j)
+	return j
 }
 
 // setTag routes byte accounting to a protocol phase when the connection is

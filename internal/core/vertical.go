@@ -17,6 +17,13 @@ import (
 // Multiplication Protocol: each party sums squared differences over its
 // own columns and a single secure comparison decides
 // PA + PB ≤ Eps² per pair (Theorem 10's only disclosure).
+//
+// Round structure (Config.Batching): under the default batched mode the
+// lockstep driver submits every yet-undecided pair of one neighborhood
+// query as a single BatchLess — 3 vdp.cmp frames per neighborhood, O(n)
+// round trips for the whole run instead of the sequential O(n²). The
+// per-pair payloads, the decided predicates, and the PairDecisions Ledger
+// count are identical in both modes.
 func VerticalAlice(conn transport.Conn, cfg Config, attrs [][]float64) (*Result, error) {
 	return verticalRun(conn, cfg, RoleAlice, attrs)
 }
@@ -61,16 +68,38 @@ func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) 
 	}
 	// Fixed comparison roles for the whole run: Alice always holds the
 	// left value (her partial sum PA), Bob the right (Eps² − PB).
-	pairLE := func(i, j int) (bool, error) {
+	pairLEBatch := func(pairs [][2]int) ([]bool, error) {
 		setTag(conn, "vdp.cmp")
-		s.ledger.PairDecisions++
-		partial := partialDistSq(enc, i, j)
-		if role == RoleAlice {
-			return distLessEqDriver(conn, engA, partial)
+		s.ledger.PairDecisions += len(pairs)
+		vals := make([]int64, len(pairs))
+		for t, pr := range pairs {
+			partial := partialDistSq(enc, pr[0], pr[1])
+			if role == RoleAlice {
+				vals[t] = partial
+			} else {
+				vals[t] = s.responderOperand(engB.Bound(), partial)
+			}
 		}
-		return distLessEqResponder(conn, engB, s, partial)
+		if role == RoleAlice {
+			return engA.BatchLess(conn, vals)
+		}
+		return engB.BatchLess(conn, vals)
 	}
-	labels, clusters, err := LockstepCluster(len(enc), cfg.MinPts, pairLE)
+	var labels []int
+	var clusters int
+	if s.batched() {
+		labels, clusters, err = LockstepClusterBatch(len(enc), cfg.MinPts, pairLEBatch)
+	} else {
+		labels, clusters, err = LockstepCluster(len(enc), cfg.MinPts, func(i, j int) (bool, error) {
+			setTag(conn, "vdp.cmp")
+			s.ledger.PairDecisions++
+			partial := partialDistSq(enc, i, j)
+			if role == RoleAlice {
+				return distLessEqDriver(conn, engA, partial)
+			}
+			return distLessEqResponder(conn, engB, s, partial)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// E13 — batching ablation. The batched round structure (PR: batched
+// secure-comparison engine) must leave bytes essentially unchanged (the
+// same cryptographic payloads travel, packed into fewer frames) while
+// collapsing the message count of every protocol family; this experiment
+// records both sides of that trade for the A/B record.
+
+func messages(run commRun) int64 {
+	var n int64
+	for _, s := range run.tags {
+		n += s.MessagesSent
+	}
+	return n
+}
+
+func runE13(w io.Writer, opt Options) error {
+	n := 32
+	if opt.Quick {
+		n = 16
+	}
+	d := dataset.Blobs(n, 3, 0.4, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+
+	var t table
+	t.add("protocol", "mode", "wall", "msgs", "totalKB")
+
+	hs, err := partition.HorizontalRandom(q.Points, 0.5, opt.seed())
+	if err != nil {
+		return err
+	}
+	vs, err := partition.Vertical(q.Points, 1)
+	if err != nil {
+		return err
+	}
+
+	for _, mode := range []core.BatchMode{core.BatchModeSequential, core.BatchModeBatched} {
+		cfg := qualityCfg(scaleEps(0.6), 4, 63, opt.seed())
+		cfg.Batching = mode
+
+		run, err := runMeteredHorizontal(cfg, core.HorizontalAlice, core.HorizontalBob, hs.Alice, hs.Bob)
+		if err != nil {
+			return err
+		}
+		t.add("horizontal", string(mode), fmt.Sprint(run.wall.Round(time.Millisecond)),
+			fmt.Sprint(messages(run)), fmt.Sprintf("%.0f", float64(run.bytes)/1024))
+
+		erun, err := runMeteredHorizontal(cfg, core.EnhancedHorizontalAlice, core.EnhancedHorizontalBob, hs.Alice, hs.Bob)
+		if err != nil {
+			return err
+		}
+		t.add("enhanced", string(mode), fmt.Sprint(erun.wall.Round(time.Millisecond)),
+			fmt.Sprint(messages(erun)), fmt.Sprintf("%.0f", float64(erun.bytes)/1024))
+
+		vrun, err := runMeteredPair(
+			func(c transport.Conn) (*core.Result, error) { return core.VerticalAlice(c, cfg, vs.Alice) },
+			func(c transport.Conn) (*core.Result, error) { return core.VerticalBob(c, cfg, vs.Bob) },
+		)
+		if err != nil {
+			return err
+		}
+		t.add("vertical", string(mode), fmt.Sprint(vrun.wall.Round(time.Millisecond)),
+			fmt.Sprint(messages(vrun)), fmt.Sprintf("%.0f", float64(vrun.bytes)/1024))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Same labels and Ledgers in both modes (equivalence harness); batching trades frame count, not bits.")
+	return nil
+}
+
+// BenchRow is one BenchE11 measurement, JSON-serializable for the perf
+// trajectory file (BENCH_E11.json, written by `make bench`).
+type BenchRow struct {
+	Protocol string `json:"protocol"`
+	Batching string `json:"batching"`
+	N        int    `json:"n"`
+	WallMS   int64  `json:"wall_ms"`
+	Messages int64  `json:"messages"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// BenchE11 runs the E11 end-to-end workload in both batching modes and
+// returns structured measurements. Quick mode shrinks n for CI.
+func BenchE11(opt Options) ([]BenchRow, error) {
+	n := 48
+	if opt.Quick {
+		n = 16
+	}
+	d := dataset.Blobs(n, 3, 0.4, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+	hs, err := partition.HorizontalRandom(q.Points, 0.5, opt.seed())
+	if err != nil {
+		return nil, err
+	}
+	vs, err := partition.Vertical(q.Points, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []BenchRow
+	for _, mode := range []core.BatchMode{core.BatchModeSequential, core.BatchModeBatched} {
+		cfg := qualityCfg(scaleEps(0.6), 4, 63, opt.seed())
+		cfg.Batching = mode
+
+		type job struct {
+			name string
+			run  func() (commRun, error)
+		}
+		jobs := []job{
+			{"horizontal", func() (commRun, error) {
+				return runMeteredHorizontal(cfg, core.HorizontalAlice, core.HorizontalBob, hs.Alice, hs.Bob)
+			}},
+			{"enhanced", func() (commRun, error) {
+				return runMeteredHorizontal(cfg, core.EnhancedHorizontalAlice, core.EnhancedHorizontalBob, hs.Alice, hs.Bob)
+			}},
+			{"vertical", func() (commRun, error) {
+				return runMeteredPair(
+					func(c transport.Conn) (*core.Result, error) { return core.VerticalAlice(c, cfg, vs.Alice) },
+					func(c transport.Conn) (*core.Result, error) { return core.VerticalBob(c, cfg, vs.Bob) },
+				)
+			}},
+		}
+		for _, j := range jobs {
+			run, err := j.run()
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", j.name, mode, err)
+			}
+			rows = append(rows, BenchRow{
+				Protocol: j.name,
+				Batching: string(mode),
+				N:        n,
+				WallMS:   run.wall.Milliseconds(),
+				Messages: messages(run),
+				Bytes:    run.bytes,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -10,6 +10,11 @@
 //     enhanced protocol to share Dist²(A, B_i) between the parties with a
 //     single ciphertext per point.
 //
+// All batch forms route their Paillier arithmetic through the parallel
+// layer (paillier.EncryptBatch / DecryptSignedBatch / ParallelFor), so a
+// batch of m instances costs one round trip and m/GOMAXPROCS sequential
+// modular exponentiations.
+//
 // Fidelity note (documented in DESIGN.md): Algorithm 2 step 3 literally
 // says Alice sends the encryption nonce r to Bob. Publishing a Paillier
 // nonce lets the peer invert the ciphertext (x = (c·r^{−n} − 1)/n for
@@ -55,13 +60,9 @@ func ReceiverBatchMultiply(conn transport.Conn, key *paillier.PrivateKey, xs []i
 	if random == nil {
 		random = rand.Reader
 	}
-	cts := make([]*big.Int, len(xs))
-	for k, x := range xs {
-		ct, err := key.Encrypt(random, big.NewInt(x))
-		if err != nil {
-			return nil, fmt.Errorf("mpc: encrypting x[%d]: %w", k, err)
-		}
-		cts[k] = ct
+	cts, err := key.EncryptInt64Batch(random, xs)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: encrypting xs: %w", err)
 	}
 	msg := transport.NewBuilder().PutBigs(cts)
 	if err := transport.SendMsg(conn, msg); err != nil {
@@ -78,13 +79,9 @@ func ReceiverBatchMultiply(conn transport.Conn, key *paillier.PrivateKey, xs []i
 	if len(replies) != len(xs) {
 		return nil, fmt.Errorf("%w: sent %d, got %d", ErrLengthMismatch, len(xs), len(replies))
 	}
-	us := make([]*big.Int, len(replies))
-	for k, ct := range replies {
-		u, err := key.DecryptSigned(ct)
-		if err != nil {
-			return nil, fmt.Errorf("mpc: decrypting u[%d]: %w", k, err)
-		}
-		us[k] = u
+	us, err := key.DecryptSignedBatch(replies)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: decrypting us: %w", err)
 	}
 	return us, nil
 }
@@ -110,21 +107,26 @@ func SenderBatchMultiply(conn transport.Conn, pub *paillier.PublicKey, ys []int6
 	if len(cts) != len(ys) {
 		return fmt.Errorf("%w: received %d, hold %d", ErrLengthMismatch, len(cts), len(ys))
 	}
+	// Masks first (sequential randomness), then the homomorphic arithmetic
+	// on the worker pool.
+	masks, err := pub.EncryptBatch(random, vs)
+	if err != nil {
+		return fmt.Errorf("mpc: encrypting masks: %w", err)
+	}
 	replies := make([]*big.Int, len(ys))
-	for k, ct := range cts {
-		prod, err := pub.Mul(ct, big.NewInt(ys[k]))
+	if err := paillier.ParallelFor(len(ys), func(k int) error {
+		prod, err := pub.Mul(cts[k], big.NewInt(ys[k]))
 		if err != nil {
 			return fmt.Errorf("mpc: homomorphic multiply [%d]: %w", k, err)
 		}
-		mask, err := pub.Encrypt(random, vs[k])
-		if err != nil {
-			return fmt.Errorf("mpc: encrypting mask [%d]: %w", k, err)
-		}
-		u, err := pub.Add(prod, mask)
+		u, err := pub.Add(prod, masks[k])
 		if err != nil {
 			return fmt.Errorf("mpc: homomorphic add [%d]: %w", k, err)
 		}
 		replies[k] = u
+		return nil
+	}); err != nil {
+		return err
 	}
 	return transport.SendMsg(conn, transport.NewBuilder().PutBigs(replies))
 }
@@ -157,13 +159,9 @@ func ReceiverDotMany(conn transport.Conn, key *paillier.PrivateKey, a []int64, c
 	if random == nil {
 		random = rand.Reader
 	}
-	cts := make([]*big.Int, len(a))
-	for k, x := range a {
-		ct, err := key.Encrypt(random, big.NewInt(x))
-		if err != nil {
-			return nil, fmt.Errorf("mpc: encrypting a[%d]: %w", k, err)
-		}
-		cts[k] = ct
+	cts, err := key.EncryptInt64Batch(random, a)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: encrypting a: %w", err)
 	}
 	msg := transport.NewBuilder().PutUint(uint64(count)).PutBigs(cts)
 	if err := transport.SendMsg(conn, msg); err != nil {
@@ -180,13 +178,9 @@ func ReceiverDotMany(conn transport.Conn, key *paillier.PrivateKey, a []int64, c
 	if len(replies) != count {
 		return nil, fmt.Errorf("%w: want %d dot products, got %d", ErrLengthMismatch, count, len(replies))
 	}
-	us := make([]*big.Int, count)
-	for i, ct := range replies {
-		u, err := key.DecryptSigned(ct)
-		if err != nil {
-			return nil, fmt.Errorf("mpc: decrypting u[%d]: %w", i, err)
-		}
-		us[i] = u
+	us, err := key.DecryptSignedBatch(replies)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: decrypting us: %w", err)
 	}
 	return us, nil
 }
@@ -212,21 +206,25 @@ func SenderDotMany(conn transport.Conn, pub *paillier.PublicKey, bs [][]int64, v
 	if count != len(bs) {
 		return fmt.Errorf("%w: receiver expects %d dot products, sender holds %d", ErrLengthMismatch, count, len(bs))
 	}
-	replies := make([]*big.Int, len(bs))
 	for i, b := range bs {
 		if len(b) != len(cts) {
 			return fmt.Errorf("%w: vector %d has %d coordinates, receiver sent %d", ErrLengthMismatch, i, len(b), len(cts))
 		}
-		// E(a·b + v) = Π_k E(a_k)^{b_k} · E(v)
-		acc, err := pub.Encrypt(random, vs[i])
-		if err != nil {
-			return fmt.Errorf("mpc: encrypting mask [%d]: %w", i, err)
-		}
+	}
+	// Masks first (sequential randomness), then one worker-pool task per
+	// output ciphertext: E(a·b_i + v_i) = Π_k E(a_k)^{b_ik} · E(v_i).
+	masks, err := pub.EncryptBatch(random, vs)
+	if err != nil {
+		return fmt.Errorf("mpc: encrypting masks: %w", err)
+	}
+	replies := make([]*big.Int, len(bs))
+	if err := paillier.ParallelFor(len(bs), func(i int) error {
+		acc := masks[i]
 		for k, ct := range cts {
-			if b[k] == 0 {
+			if bs[i][k] == 0 {
 				continue
 			}
-			term, err := pub.Mul(ct, big.NewInt(b[k]))
+			term, err := pub.Mul(ct, big.NewInt(bs[i][k]))
 			if err != nil {
 				return fmt.Errorf("mpc: homomorphic multiply [%d,%d]: %w", i, k, err)
 			}
@@ -236,6 +234,9 @@ func SenderDotMany(conn transport.Conn, pub *paillier.PublicKey, bs [][]int64, v
 			}
 		}
 		replies[i] = acc
+		return nil
+	}); err != nil {
+		return err
 	}
 	return transport.SendMsg(conn, transport.NewBuilder().PutBigs(replies))
 }

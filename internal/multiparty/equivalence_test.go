@@ -1,0 +1,68 @@
+package multiparty
+
+import (
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestRingBatchedMatchesSequential mirrors the core equivalence harness
+// for the k-party ring: the batched round structure (one circulation per
+// lockstep neighborhood) must produce exactly the labels and pair-decision
+// counts of the sequential structure (one circulation per pair).
+func TestRingBatchedMatchesSequential(t *testing.T) {
+	points := gridData(t, 18, 3, 11)
+	for _, k := range []int{2, 3} {
+		seqCfg := testCfg(compare.EngineMasked)
+		seqCfg.Batching = core.BatchModeSequential
+		seqResults, err := runRing(t, seqCfg, splitColumns(points, k))
+		if err != nil {
+			t.Fatalf("k=%d sequential: %v", k, err)
+		}
+		batCfg := testCfg(compare.EngineMasked)
+		batCfg.Batching = core.BatchModeBatched
+		batResults, err := runRing(t, batCfg, splitColumns(points, k))
+		if err != nil {
+			t.Fatalf("k=%d batched: %v", k, err)
+		}
+		for p := range seqResults {
+			if !metrics.ExactMatch(batResults[p].Labels, seqResults[p].Labels) {
+				t.Errorf("k=%d party %d labels diverge: batched %v, sequential %v",
+					k, p, batResults[p].Labels, seqResults[p].Labels)
+			}
+			if batResults[p].PairDecisions != seqResults[p].PairDecisions {
+				t.Errorf("k=%d party %d pair decisions: batched %d, sequential %d",
+					k, p, batResults[p].PairDecisions, seqResults[p].PairDecisions)
+			}
+		}
+	}
+}
+
+// TestHorizontalMeshBatchedMatchesSequential does the same for the k-party
+// horizontal mesh.
+func TestHorizontalMeshBatchedMatchesSequential(t *testing.T) {
+	seqCfg := testCfg(compare.EngineMasked)
+	seqCfg.Batching = core.BatchModeSequential
+	seqResults, seqErrs := runMesh(t, sameCfgs(3, seqCfg), threePartyPoints)
+	for p, err := range seqErrs {
+		if err != nil {
+			t.Fatalf("party %d sequential: %v", p, err)
+		}
+	}
+	batCfg := testCfg(compare.EngineMasked)
+	batCfg.Batching = core.BatchModeBatched
+	batResults, batErrs := runMesh(t, sameCfgs(3, batCfg), threePartyPoints)
+	for p, err := range batErrs {
+		if err != nil {
+			t.Fatalf("party %d batched: %v", p, err)
+		}
+	}
+	for p := range seqResults {
+		if !metrics.ExactMatch(batResults[p].Labels, seqResults[p].Labels) {
+			t.Errorf("party %d labels diverge: batched %v, sequential %v",
+				p, batResults[p].Labels, seqResults[p].Labels)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	mrand "math/rand"
 
 	"repro/internal/compare"
+	"repro/internal/core"
 	"repro/internal/dbscan"
 	"repro/internal/fixedpoint"
 	"repro/internal/mpc"
@@ -189,6 +190,7 @@ func (h *hState) handshakeAll() error {
 			PutUint(uint64(h.cfg.MinPts)).
 			PutInt(h.cfg.MaxCoord).
 			PutString(string(h.cfg.Engine)).
+			PutString(string(h.cfg.Batching)).
 			PutUint(uint64(h.m)).
 			PutUint(uint64(len(h.enc))).
 			PutBytes(paillier.MarshalPublicKey(&paiKey.PublicKey)).
@@ -205,6 +207,7 @@ func (h *hState) handshakeAll() error {
 		pMinPts := int(r.Uint())
 		pMaxCoord := r.Int()
 		pEngine := r.String()
+		pBatching := r.String()
 		pM := int(r.Uint())
 		pN := int(r.Uint())
 		paiB := r.Bytes()
@@ -222,6 +225,8 @@ func (h *hState) handshakeAll() error {
 			return fmt.Errorf("%w: MaxCoord with party %d", ErrHandshake, q)
 		case pEngine != string(h.cfg.Engine):
 			return fmt.Errorf("%w: engine with party %d", ErrHandshake, q)
+		case pBatching != string(h.cfg.Batching):
+			return fmt.Errorf("%w: batching with party %d", ErrHandshake, q)
 		case pM != h.m:
 			return fmt.Errorf("%w: dimension %d vs %d with party %d", ErrHandshake, h.m, pM, q)
 		}
@@ -366,6 +371,22 @@ func (h *hState) queryPeer(q int, x []int64) (int, error) {
 		ownSum += v * v
 	}
 	count := 0
+	if h.cfg.Batching == core.BatchModeBatched {
+		vs := make([]int64, sess.peerN)
+		for i := range vs {
+			vs[i] = ownSum
+		}
+		ins, err := sess.cmpA.BatchLess(conn, vs)
+		if err != nil {
+			return 0, err
+		}
+		for _, in := range ins {
+			if in {
+				count++
+			}
+		}
+		return count, nil
+	}
 	for i := 0; i < sess.peerN; i++ {
 		in, err := sess.cmpA.Less(conn, ownSum)
 		if err != nil {
@@ -458,6 +479,7 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn) error {
 	if err != nil {
 		return err
 	}
+	js := make([]int64, len(perm))
 	for i, pi := range perm {
 		dot := new(big.Int)
 		for k := 0; k < h.m; k++ {
@@ -478,6 +500,13 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn) error {
 		if maxV := sess.cmpB.Bound(); j > maxV {
 			j = maxV
 		}
+		js[i] = j
+	}
+	if h.cfg.Batching == core.BatchModeBatched {
+		_, err := sess.cmpB.BatchLess(conn, js)
+		return err
+	}
+	for _, j := range js {
 		if _, err := sess.cmpB.Less(conn, j); err != nil {
 			return err
 		}

@@ -67,6 +67,13 @@ type Config struct {
 	CmpMaskBits   int
 	ShareMaskBits int // mask magnitude for the ring sums: v ∈ [0, 2^bits)
 
+	// Batching mirrors core.Config.Batching: under the default batched
+	// mode one ring circulation carries the ciphertexts of a whole
+	// lockstep neighborhood and the coordinator↔last comparison is one
+	// BatchLessEq, so a neighborhood costs O(k) messages instead of
+	// O(k·n). Sequential mode keeps one circulation per pair.
+	Batching core.BatchMode
+
 	Random io.Reader
 }
 
@@ -92,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.ShareMaskBits == 0 {
 		c.ShareMaskBits = core.DefaultShareMaskBits
 	}
+	if c.Batching == "" {
+		c.Batching = core.BatchModeBatched
+	}
 	return c
 }
 
@@ -109,6 +119,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("multiparty: ShareMaskBits %d outside [1,50]", c.ShareMaskBits)
 	}
 	if _, err := compare.ParseEngine(string(c.Engine)); err != nil {
+		return err
+	}
+	if _, err := core.ParseBatchMode(string(c.Batching)); err != nil {
 		return err
 	}
 	return nil
@@ -152,6 +165,7 @@ type handshakeToken struct {
 	minPts   int
 	maxCoord int64
 	engine   string
+	batching string
 	count    int // record count, must be identical everywhere
 	dimSum   int // Σ attribute counts
 	k        int
@@ -166,6 +180,7 @@ func encodeToken(t handshakeToken) *transport.Builder {
 		PutUint(uint64(t.minPts)).
 		PutInt(t.maxCoord).
 		PutString(t.engine).
+		PutString(t.batching).
 		PutUint(uint64(t.count)).
 		PutUint(uint64(t.dimSum)).
 		PutUint(uint64(t.k)).
@@ -180,6 +195,7 @@ func decodeToken(r *transport.Reader) (handshakeToken, error) {
 		minPts:   int(r.Uint()),
 		maxCoord: r.Int(),
 		engine:   r.String(),
+		batching: r.String(),
 		count:    int(r.Uint()),
 		dimSum:   int(r.Uint()),
 		k:        int(r.Uint()),
@@ -246,7 +262,13 @@ func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
 		return nil, err
 	}
 
-	labels, clusters, err := core.LockstepCluster(len(enc), cfg.MinPts, st.pairLE)
+	var labels []int
+	var clusters int
+	if cfg.Batching == core.BatchModeBatched {
+		labels, clusters, err = core.LockstepClusterBatch(len(enc), cfg.MinPts, st.pairLEBatch)
+	} else {
+		labels, clusters, err = core.LockstepCluster(len(enc), cfg.MinPts, st.pairLE)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -302,6 +324,7 @@ func (st *state) handshake() error {
 			minPts:   st.cfg.MinPts,
 			maxCoord: st.cfg.MaxCoord,
 			engine:   string(st.cfg.Engine),
+			batching: string(st.cfg.Batching),
 			count:    len(st.enc),
 			dimSum:   len(st.enc[0]),
 			k:        p.K,
@@ -348,6 +371,8 @@ func (st *state) handshake() error {
 		return fmt.Errorf("%w: MaxCoord %d vs %d", ErrHandshake, st.cfg.MaxCoord, tok.maxCoord)
 	case tok.engine != string(st.cfg.Engine):
 		return fmt.Errorf("%w: engine %q vs %q", ErrHandshake, st.cfg.Engine, tok.engine)
+	case tok.batching != string(st.cfg.Batching):
+		return fmt.Errorf("%w: batching %q vs %q", ErrHandshake, st.cfg.Batching, tok.batching)
 	case tok.count != len(st.enc):
 		return fmt.Errorf("%w: record count %d vs %d", ErrHandshake, len(st.enc), tok.count)
 	case tok.k != st.party.K:
@@ -532,6 +557,134 @@ func (st *state) pairLE(i, j int) (bool, error) {
 		}
 	}
 	return in, nil
+}
+
+// pairLEBatch is the batched ring oracle: one circulation accumulates the
+// ciphertexts of every pair in the batch (encrypted, added, and decrypted
+// on the parallel Paillier pool), one BatchLessEq settles all thresholds
+// between coordinator and last party, and one circulation broadcasts the
+// result bits. Message cost per neighborhood: ~2k ring frames + 3
+// comparison frames, versus the sequential path's per-pair circulations.
+func (st *state) pairLEBatch(pairs [][2]int) ([]bool, error) {
+	st.pairCount += len(pairs)
+	p := st.party
+	partials := make([]int64, len(pairs))
+	for t, pr := range pairs {
+		partials[t] = st.partial(pr[0], pr[1])
+	}
+
+	if st.isCoordinator() {
+		cts, err := st.paiPub.EncryptInt64Batch(st.random, partials)
+		if err != nil {
+			return nil, err
+		}
+		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBigs(cts)); err != nil {
+			return nil, fmt.Errorf("multiparty: ring batch send: %w", err)
+		}
+		r, err := transport.RecvMsg(p.Prev)
+		if err != nil {
+			return nil, fmt.Errorf("multiparty: ring batch return: %w", err)
+		}
+		accs := r.Bigs()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if len(accs) != len(pairs) {
+			return nil, fmt.Errorf("multiparty: ring returned %d ciphertexts for %d pairs", len(accs), len(pairs))
+		}
+		ts, err := st.paiKey.DecryptSignedBatch(accs)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]int64, len(ts))
+		for t, ti := range ts {
+			if ti.Sign() < 0 || ti.Int64() >= st.bound+st.shareV {
+				return nil, fmt.Errorf("multiparty: masked sum %v outside [0,%d)", ti, st.bound+st.shareV)
+			}
+			// t = dist² + v ≤ Eps² + v ⟺ dist² ≤ Eps².
+			vals[t] = ti.Int64()
+		}
+		ins, err := st.cmpA.BatchLessEq(p.Prev, vals)
+		if err != nil {
+			return nil, err
+		}
+		// Broadcast the decisions around the ring.
+		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBools(ins)); err != nil {
+			return nil, err
+		}
+		return ins, nil
+	}
+
+	// Non-coordinator: accumulate the whole batch and forward.
+	r, err := transport.RecvMsg(p.Prev)
+	if err != nil {
+		return nil, fmt.Errorf("multiparty: ring batch recv: %w", err)
+	}
+	accs := r.Bigs()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(accs) != len(pairs) {
+		return nil, fmt.Errorf("multiparty: ring carried %d ciphertexts for %d pairs", len(accs), len(pairs))
+	}
+	adds := partials
+	masks := make([]int64, len(pairs))
+	if st.isLast() {
+		for t := range adds {
+			mask, err := rand.Int(st.random, big.NewInt(st.shareV))
+			if err != nil {
+				return nil, err
+			}
+			masks[t] = mask.Int64()
+			adds[t] += masks[t]
+		}
+	}
+	terms, err := st.paiPub.EncryptInt64Batch(st.random, adds)
+	if err != nil {
+		return nil, err
+	}
+	if err := paillier.ParallelFor(len(accs), func(t int) error {
+		acc, err := st.paiPub.Add(accs[t], terms[t])
+		if err != nil {
+			return err
+		}
+		accs[t] = acc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBigs(accs)); err != nil {
+		return nil, fmt.Errorf("multiparty: ring batch forward: %w", err)
+	}
+	if st.isLast() {
+		// Participate in the comparison with right sides Eps² + v_t.
+		rights := make([]int64, len(pairs))
+		for t := range rights {
+			rights[t] = st.epsSq + masks[t]
+		}
+		if _, err := st.cmpB.BatchLessEq(p.Next, rights); err != nil {
+			return nil, err
+		}
+	}
+	// Receive the broadcast decisions; forward unless the next hop is the
+	// coordinator (who originated them).
+	br, err := transport.RecvMsg(p.Prev)
+	if err != nil {
+		return nil, fmt.Errorf("multiparty: batch broadcast recv: %w", err)
+	}
+	ins := br.Bools()
+	if br.Err() != nil {
+		return nil, br.Err()
+	}
+	if len(ins) != len(pairs) {
+		return nil, fmt.Errorf("multiparty: broadcast carried %d bits for %d pairs", len(ins), len(pairs))
+	}
+	if !st.isLast() {
+		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBools(ins)); err != nil {
+			return nil, err
+		}
+	}
+	return ins, nil
 }
 
 // NewLocalRing builds an in-process ring of k parties for tests, examples,

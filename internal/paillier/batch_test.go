@@ -1,0 +1,119 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+func batchTestKey(t *testing.T) *PrivateKey {
+	t.Helper()
+	key, err := GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestEncryptDecryptBatchRoundTrip(t *testing.T) {
+	key := batchTestKey(t)
+	vs := []int64{0, 1, -1, 1 << 40, -(1 << 40), 12345, -54321}
+	cts, err := key.EncryptInt64Batch(rand.Reader, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := key.DecryptSignedBatch(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		if ms[i].Int64() != v {
+			t.Errorf("batch[%d]: decrypted %v, want %d", i, ms[i], v)
+		}
+	}
+	// Unsigned batch path.
+	plain, err := key.DecryptBatch(cts[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].Sign() != 0 || plain[1].Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("DecryptBatch = %v, %v; want 0, 1", plain[0], plain[1])
+	}
+}
+
+func TestEncryptBatchEmpty(t *testing.T) {
+	key := batchTestKey(t)
+	cts, err := key.EncryptBatch(rand.Reader, nil)
+	if err != nil || len(cts) != 0 {
+		t.Fatalf("empty batch: %v, %v", cts, err)
+	}
+	ms, err := key.DecryptSignedBatch(nil)
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("empty decrypt batch: %v, %v", ms, err)
+	}
+}
+
+func TestDecryptBatchPropagatesError(t *testing.T) {
+	key := batchTestKey(t)
+	bad := []*big.Int{big.NewInt(1), new(big.Int).Neg(big.NewInt(5))}
+	if _, err := key.DecryptBatch(bad); !errors.Is(err, ErrCiphertextRange) {
+		t.Fatalf("error = %v, want ErrCiphertextRange", err)
+	}
+}
+
+func TestParallelForFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ParallelFor(100, func(i int) error {
+		if i == 37 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+}
+
+// TestBatchPoolRace is the dedicated race-detector workload for the
+// parallel Paillier pool: several goroutines hammer batch encryption and
+// decryption on one shared key pair. It is cheap enough for short mode and
+// is what `go test -race` (make verify) leans on.
+func TestBatchPoolRace(t *testing.T) {
+	key := batchTestKey(t)
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vs := make([]int64, 16)
+			for i := range vs {
+				vs[i] = int64(g*100 + i - 8)
+			}
+			cts, err := key.EncryptInt64Batch(rand.Reader, vs)
+			if err != nil {
+				errc <- err
+				return
+			}
+			ms, err := key.DecryptSignedBatch(cts)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i, v := range vs {
+				if ms[i].Int64() != v {
+					errc <- errors.New("batch round trip mismatch under concurrency")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

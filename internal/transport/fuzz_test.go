@@ -37,6 +37,70 @@ func FuzzReaderNeverPanics(f *testing.F) {
 	})
 }
 
+// FuzzBatchFrameCodec exercises the batch-comparison frame shapes: a
+// predicate byte plus a count-prefixed ciphertext list on the way out and
+// a count-prefixed bool list on the way back. Round trips must be exact,
+// and decoding arbitrary bytes through the same accessor sequence must
+// never panic.
+func FuzzBatchFrameCodec(f *testing.F) {
+	f.Add(uint64(1), []byte{}, []byte{})
+	f.Add(uint64(2), []byte{0x01, 0xfe, 0x00}, []byte{1, 0, 1})
+	f.Add(uint64(255), bytes.Repeat([]byte{0xab}, 64), bytes.Repeat([]byte{1}, 16))
+
+	f.Fuzz(func(t *testing.T, pred uint64, magBytes []byte, boolBytes []byte) {
+		// Build a batch frame from the fuzzed material: each magnitude byte
+		// becomes one ciphertext-sized big.Int, each bool byte one result bit.
+		bigs := make([]*big.Int, 0, len(magBytes))
+		for i, b := range magBytes {
+			x := new(big.Int).SetBytes(magBytes[:i])
+			x.Add(x, big.NewInt(int64(b)))
+			if b%2 == 1 {
+				x.Neg(x)
+			}
+			bigs = append(bigs, x)
+		}
+		bools := make([]bool, len(boolBytes))
+		for i, b := range boolBytes {
+			bools[i] = b&1 == 1
+		}
+
+		frame := NewBuilder().PutUint(pred).PutBigs(bigs).PutBools(bools).Bytes()
+		r := NewReader(frame)
+		if got := r.Uint(); got != pred {
+			t.Fatalf("pred: %d != %d", got, pred)
+		}
+		gotBigs := r.Bigs()
+		if len(gotBigs) != len(bigs) {
+			t.Fatalf("bigs: %d != %d", len(gotBigs), len(bigs))
+		}
+		for i := range bigs {
+			if gotBigs[i].Cmp(bigs[i]) != 0 {
+				t.Fatalf("bigs[%d]: %v != %v", i, gotBigs[i], bigs[i])
+			}
+		}
+		gotBools := r.Bools()
+		if len(gotBools) != len(bools) {
+			t.Fatalf("bools: %d != %d", len(gotBools), len(bools))
+		}
+		for i := range bools {
+			if gotBools[i] != bools[i] {
+				t.Fatalf("bools[%d]: %v != %v", i, gotBools[i], bools[i])
+			}
+		}
+		if r.Err() != nil || r.Remaining() != 0 {
+			t.Fatalf("round trip: err=%v remaining=%d", r.Err(), r.Remaining())
+		}
+
+		// The same accessor sequence over the raw fuzz material must be
+		// error-sticky, never panicking.
+		rr := NewReader(append(append([]byte{}, magBytes...), boolBytes...))
+		_ = rr.Uint()
+		_ = rr.Bigs()
+		_ = rr.Bools()
+		_ = rr.Err()
+	})
+}
+
 // FuzzWireRoundTrip checks that any (uint, int, bytes, big) tuple encoded
 // by Builder decodes to the same values.
 func FuzzWireRoundTrip(f *testing.F) {

@@ -85,6 +85,16 @@ func (b *Builder) PutInts(xs []int64) *Builder {
 	return b
 }
 
+// PutBools appends a count-prefixed list of booleans — the result frame of
+// the batched comparison sub-protocols.
+func (b *Builder) PutBools(xs []bool) *Builder {
+	b.PutUint(uint64(len(xs)))
+	for _, x := range xs {
+		b.PutBool(x)
+	}
+	return b
+}
+
 // PutString appends a length-prefixed string.
 func (b *Builder) PutString(s string) *Builder {
 	return b.PutBytes([]byte(s))
@@ -220,6 +230,23 @@ func (r *Reader) Ints() []int64 {
 	out := make([]int64, n)
 	for i := range out {
 		out[i] = r.Int()
+	}
+	return out
+}
+
+// Bools reads a count-prefixed list of booleans.
+func (r *Reader) Bools() []bool {
+	n := r.Uint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)) { // each element needs ≥1 byte
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Bool()
 	}
 	return out
 }
