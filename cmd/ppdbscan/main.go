@@ -9,8 +9,8 @@
 //	ppdbscan alice       -mode horizontal|enhanced|vertical -listen :9000 -data a.csv [flags]
 //	ppdbscan bob         -mode horizontal|enhanced|vertical -connect host:9000 -data b.csv [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e13 [-quick] [-seed N]
-//	ppdbscan bench       [-quick] [-seed N] [-out BENCH_E11.json]
+//	ppdbscan experiments -id all|e1..e14 [-quick] [-seed N]
+//	ppdbscan bench       [-suite e11|e14] [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
@@ -66,9 +66,14 @@ commands:
   demo         run a protocol between two in-process parties on synthetic data
   alice, bob   run one party of a protocol over TCP
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e13 or all)
-  bench        run the E11 end-to-end workload and write JSON measurements
+  experiments  regenerate the paper's evaluation tables (e1..e14 or all)
+  bench        run a benchmark suite (-suite e11|e14) and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
+
+E14 is the grid-pruning ablation: -pruning grid (default) buckets each
+party's data into an Eps-width candidate index so secure region queries
+touch only neighboring cells; -pruning off keeps the paper's exhaustive
+candidate sets for A/B comparison.
 
 run 'ppdbscan <command> -h' for flags.
 `)
@@ -83,6 +88,7 @@ type protocolFlags struct {
 	engine    string
 	selection string
 	batching  string
+	pruning   string
 	seed      int64
 }
 
@@ -95,6 +101,7 @@ func addProtocolFlags(fs *flag.FlagSet) *protocolFlags {
 	fs.StringVar(&p.engine, "engine", "masked", "secure comparison engine: ympp|masked")
 	fs.StringVar(&p.selection, "selection", "scan", "§5 selection strategy: scan|quickselect")
 	fs.StringVar(&p.batching, "batching", "batched", "comparison round structure: batched|sequential")
+	fs.StringVar(&p.pruning, "pruning", "grid", "candidate-set structure: grid (Eps-grid candidate index)|off (exhaustive)")
 	fs.Int64Var(&p.seed, "seed", 1, "seed for datasets and permutations")
 	return p
 }
@@ -115,6 +122,13 @@ func (p *protocolFlags) config() (core.Config, error) {
 			return core.Config{}, err
 		}
 	}
+	pruning := core.PruneMode("")
+	if p.pruning != "" { // empty defers to core's default (grid)
+		pruning, err = core.ParsePruneMode(p.pruning)
+		if err != nil {
+			return core.Config{}, err
+		}
+	}
 	return core.Config{
 		Eps:       p.eps,
 		MinPts:    p.minPts,
@@ -122,6 +136,7 @@ func (p *protocolFlags) config() (core.Config, error) {
 		Engine:    engine,
 		Selection: selection,
 		Batching:  batching,
+		Pruning:   pruning,
 		Seed:      p.seed,
 		// Demo/CLI runs favour responsiveness over key strength.
 		PaillierBits: 512,
@@ -350,18 +365,31 @@ func cmdExperiments(args []string) error {
 	return experiments.Run(*id, os.Stdout, experiments.Options{Quick: *quick, Seed: *seed})
 }
 
-// cmdBench measures the E11 end-to-end workload in both batching modes
-// and writes the rows as JSON — the perf-trajectory artifact `make bench`
-// stores in BENCH_E11.json.
+// cmdBench measures a benchmark suite and writes the rows as JSON — the
+// perf-trajectory artifacts `make bench` stores in BENCH_E11.json (E11
+// end-to-end workload, both batching modes) and BENCH_E14.json (grid-
+// pruning ablation: secure comparisons, bytes, wall clock, both pruning
+// modes).
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller workload")
 	seed := fs.Int64("seed", 1, "bench seed")
+	suite := fs.String("suite", "e11", "benchmark suite: e11|e14")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := experiments.BenchE11(experiments.Options{Quick: *quick, Seed: *seed})
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	var rows any
+	var err error
+	switch *suite {
+	case "e11":
+		rows, err = experiments.BenchE11(opt)
+	case "e14":
+		rows, err = experiments.BenchE14(opt)
+	default:
+		return fmt.Errorf("unknown bench suite %q (want e11 or e14)", *suite)
+	}
 	if err != nil {
 		return err
 	}

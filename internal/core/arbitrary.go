@@ -77,14 +77,37 @@ func arbitraryRun(conn transport.Conn, cfg Config, role Role, values [][]float64
 		return nil, err
 	}
 	a := &adpState{s: s, conn: conn, role: role, enc: enc, owners: owners}
+	// Grid pruning: every attribute cell coordinate is disclosed by the
+	// value's owner (adp.idx) and routed into full per-record cell rows via
+	// the public ownership matrix; non-adjacent pairs are decided locally.
+	// Pruned pairs keep their PairDecisions budget entry, and the Bob side
+	// keeps the DotProducts budget entry for pruned pairs with mixed cells
+	// (whose cross terms the index made unnecessary) — see Ledger docs.
+	var cellRows [][]int64
+	if s.pruneOn {
+		cellRows, err = arbitraryCellMatrix(conn, s, enc, owners, role)
+		if err != nil {
+			return nil, err
+		}
+	}
+	onPruned := func(pr [2]int) {
+		s.ledger.PairDecisions++
+		if role == RoleBob && a.hasMixed(pr[0], pr[1]) {
+			s.ledger.DotProducts++
+		}
+	}
 	var labels []int
 	var clusters int
 	if s.batched() {
-		labels, clusters, err = LockstepClusterBatch(len(values), cfg.MinPts, func(pairs [][2]int) ([]bool, error) {
+		oracle := func(pairs [][2]int) ([]bool, error) {
 			return a.batchLE(pairs, engA, engB)
-		})
+		}
+		if s.pruneOn {
+			oracle = PrunedBatchOracle(cellRows, onPruned, oracle)
+		}
+		labels, clusters, err = LockstepClusterBatch(len(values), cfg.MinPts, oracle)
 	} else {
-		labels, clusters, err = LockstepCluster(len(values), cfg.MinPts, func(i, j int) (bool, error) {
+		pairLE := func(i, j int) (bool, error) {
 			ownSum, err := a.localAndCrossSum(i, j)
 			if err != nil {
 				return false, err
@@ -95,12 +118,16 @@ func arbitraryRun(conn transport.Conn, cfg Config, role Role, values [][]float64
 				return distLessEqDriver(conn, engA, ownSum)
 			}
 			return distLessEqResponder(conn, engB, s, ownSum)
-		})
+		}
+		if s.pruneOn {
+			pairLE = PrunedPairOracle(cellRows, onPruned, pairLE)
+		}
+		labels, clusters, err = LockstepCluster(len(values), cfg.MinPts, pairLE)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger}, nil
+	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger, SecureComparisons: s.cmpCount}, nil
 }
 
 // encodeOwnedCells fixed-point encodes only the cells this party owns;
@@ -199,6 +226,18 @@ func (a *adpState) pairTerms(i, j int) (local int64, mixedVals []int64) {
 		}
 	}
 	return local, mixedVals
+}
+
+// hasMixed reports whether the pair has any split attribute (owned by
+// different parties on the two records) — the allocation-free test the
+// pruned-pair Ledger accounting uses.
+func (a *adpState) hasMixed(i, j int) bool {
+	for k := 0; k < a.s.dim; k++ {
+		if a.owners[i][k] != a.owners[j][k] {
+			return true
+		}
+	}
+	return false
 }
 
 // localAndCrossSum computes this party's additive share of dist²(d_i, d_j):

@@ -16,6 +16,7 @@ const (
 	DefaultMaxCoord      = 63
 	DefaultCmpMaskBits   = 40
 	DefaultShareMaskBits = 10
+	DefaultPruneQuantum  = 4
 )
 
 // Config carries every parameter both parties must agree on. The session
@@ -66,6 +67,23 @@ type Config struct {
 	// leakage Ledgers; the equivalence harness in core_test enforces this.
 	Batching BatchMode
 
+	// Pruning selects the candidate-set structure of the secure distance
+	// phases. Under the default grid mode each party buckets its data into
+	// an Eps-width grid (internal/spatial), the parties exchange padded
+	// per-cell occupancy once per session, and every region query runs its
+	// cryptographic phases only against the ≤3^d adjacent candidate cells
+	// instead of every peer point — identical labels, ~O(n·k) instead of
+	// O(n·nPeer) secure comparisons per pass. The index disclosure is
+	// recorded in the Ledger's Index* classes. "off" keeps the exhaustive
+	// paper-literal candidate set for A/B measurement (experiment E14).
+	Pruning PruneMode
+
+	// PruneQuantum is the padding granularity of the disclosed per-cell
+	// counts: occupancies are rounded up to the next multiple, so the index
+	// reveals cell occupancy only to quantum precision. Both parties must
+	// agree (handshake-checked); default DefaultPruneQuantum.
+	PruneQuantum int
+
 	// Seed, when non-zero, makes the per-query permutations of Algorithm 4
 	// deterministic for reproducible experiments. Zero draws them from
 	// crypto/rand.
@@ -104,6 +122,12 @@ func (c Config) withDefaults() Config {
 	if c.Batching == "" {
 		c.Batching = BatchModeBatched
 	}
+	if c.Pruning == "" {
+		c.Pruning = PruneGrid
+	}
+	if c.PruneQuantum == 0 {
+		c.PruneQuantum = DefaultPruneQuantum
+	}
 	return c
 }
 
@@ -129,6 +153,12 @@ func (c Config) validate() error {
 	}
 	if _, err := ParseBatchMode(string(c.Batching)); err != nil {
 		return err
+	}
+	if _, err := ParsePruneMode(string(c.Pruning)); err != nil {
+		return err
+	}
+	if c.PruneQuantum < 1 {
+		return fmt.Errorf("core: PruneQuantum must be ≥ 1, got %d", c.PruneQuantum)
 	}
 	return nil
 }
@@ -156,6 +186,29 @@ func ParseBatchMode(s string) (BatchMode, error) {
 		return BatchMode(s), nil
 	}
 	return "", fmt.Errorf("core: unknown batch mode %q (want %q or %q)", s, BatchModeBatched, BatchModeSequential)
+}
+
+// PruneMode selects the candidate-set structure of the distance phases.
+type PruneMode string
+
+// The two pruning modes.
+const (
+	// PruneGrid runs secure region queries only against the Eps-grid
+	// candidate cells of the query point, after a one-time padded index
+	// exchange (recorded in the Ledger's Index* classes).
+	PruneGrid PruneMode = "grid"
+	// PruneOff keeps the exhaustive candidate set of the paper — every
+	// peer point (or every pair) enters the cryptographic phases.
+	PruneOff PruneMode = "off"
+)
+
+// ParsePruneMode validates a pruning mode name from flags or config.
+func ParsePruneMode(s string) (PruneMode, error) {
+	switch PruneMode(s) {
+	case PruneGrid, PruneOff:
+		return PruneMode(s), nil
+	}
+	return "", fmt.Errorf("core: unknown pruning mode %q (want %q or %q)", s, PruneGrid, PruneOff)
 }
 
 // codec builds the fixed-point codec for this configuration.

@@ -50,4 +50,41 @@
 // The equivalence harness (equivalence_test.go) pins the contract: both
 // modes produce identical labels, cluster counts, and Ledger entries on
 // every protocol family, with strictly fewer frames in batched mode.
+//
+// # Candidate pruning and the grid index
+//
+// Config.Pruning selects the candidate sets those comparisons run over.
+// Under the default grid mode (internal/spatial) each session adds one
+// index round after the handshake and the region queries shrink:
+//
+//   - Index round. Horizontal family: both parties bucket their points
+//     into an Eps-width grid and exchange padded occupancy directories —
+//     which cells they occupy, with counts rounded up to
+//     Config.PruneQuantum (one hdp.idx frame each way). Lockstep family:
+//     both parties disclose the per-record cell coordinates of the
+//     attributes they own (vdp.idx/adp.idx) and assemble the same full
+//     cell matrix.
+//   - Pruned region query (hdp). The driver announces the ≤3^d candidate
+//     cells adjacent to its query point's cell on the op frame, and the
+//     MP + comparison phases run over their padded occupancy only — the
+//     responder serves the real members plus always-out-of-range dummies,
+//     freshly permuted. When padding would not shrink the candidate set
+//     the query falls back to the exhaustive set (flagged on the op
+//     frame), so pruning never adds comparisons; empty candidate sets
+//     still announce the query so both Ledgers account it. The enhanced
+//     protocol prunes its share and selection phases the same way, with
+//     dummy shares pinned to the domain bound.
+//   - Pruned lockstep pair (vdp/adp). Pairs in non-adjacent cells are
+//     decided out of range locally on every participant identically and
+//     never reach the oracle.
+//
+// Cell width is the smallest W with W² ≥ Eps², so within-Eps neighbours
+// are always in adjacent cells: pruning removes only comparisons whose
+// outcome the index already implies, and labels are byte-identical to the
+// exhaustive run — the pruning equivalence harness enforces this together
+// with identical non-index Ledger classes. The index disclosure itself is
+// first-class Ledger state (IndexCells, IndexPaddedPoints,
+// IndexCellCoords, IndexQueryCells; see Ledger docs for the budget
+// semantics), and experiment E14 records the resulting secure-comparison
+// reduction (≥3× on clustered data) against the "off" baseline.
 package core

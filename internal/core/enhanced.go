@@ -7,6 +7,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/dbscan"
 	"repro/internal/mpc"
+	"repro/internal/spatial"
 	"repro/internal/transport"
 )
 
@@ -146,17 +147,43 @@ func enhancedExpand(h *hPass, point, clusterID int, labels []int, shareA compare
 // enhancedIsCore decides whether the driver's point is a core point given
 // it already has ownCount own-side neighbours. k = MinPts − ownCount peer
 // neighbours are still needed; the trivial cases never touch the network.
+// Under grid pruning the share and selection phases run over the padded
+// occupancy of the query point's candidate cells instead of every peer
+// point, with dummy entries pinned to the maximal distance — a query
+// whose candidate cells cannot hold k points is decided locally.
 func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA compare.Alice) (bool, error) {
 	s := h.s
 	k := s.cfg.MinPts - ownCount
 	if k <= 0 {
 		return true, nil
 	}
-	if k > h.nPeer {
+	var cells [][]int64
+	nCand := h.nPeer
+	usePrune := false
+	if s.pruneOn {
+		c, total := s.candidateCells(h.own[point])
+		// Prune only when the padded candidate set is actually smaller;
+		// otherwise fall back to the exhaustive query (flagged on the op
+		// frame) so pruning never enlarges the selection.
+		if total < h.nPeer {
+			if k > total {
+				return false, nil
+			}
+			usePrune = true
+			cells, nCand = c, total
+		}
+	}
+	if !usePrune && k > h.nPeer {
 		return false, nil
 	}
 	setTag(h.conn, "enh.op")
 	msg := transport.NewBuilder().PutUint(opCore).PutUint(uint64(k))
+	if s.pruneOn {
+		msg.PutBool(usePrune)
+		if usePrune {
+			spatial.EncodeCells(msg, cells)
+		}
+	}
 	if err := transport.SendMsg(h.conn, msg); err != nil {
 		return false, err
 	}
@@ -164,7 +191,7 @@ func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA 
 	// Share phase: u_i = Dist²(A, B_i) + v_i.
 	setTag(h.conn, "enh.share")
 	a := extendedQueryVector(h.own[point])
-	usBig, err := mpc.ReceiverDotMany(h.conn, s.paiKey, a, h.nPeer, s.random)
+	usBig, err := mpc.ReceiverDotMany(h.conn, s.paiKey, a, nCand, s.random)
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced share phase: %w", err)
 	}
@@ -190,13 +217,13 @@ func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA 
 			}
 			return shareA.BatchLessEq(h.conn, vals)
 		}
-		kth, comparisons, err = kthSmallestBatch(h.nPeer, k, s.cfg.Selection, leb)
+		kth, comparisons, err = kthSmallestBatch(nCand, k, s.cfg.Selection, leb)
 	} else {
 		le := func(x, y int) (bool, error) {
 			// Dist_x ≤ Dist_y ⟺ u_x − u_y ≤ v_x − v_y.
 			return shareA.LessEq(h.conn, us[x]-us[y]+shift)
 		}
-		kth, comparisons, err = kthSmallest(h.nPeer, k, s.cfg.Selection, le)
+		kth, comparisons, err = kthSmallest(nCand, k, s.cfg.Selection, le)
 	}
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced selection: %w", err)
@@ -235,7 +262,13 @@ func enhancedPassResponder(s *session, conn transport.Conn, own [][]int64) error
 			if r.Err() != nil {
 				return r.Err()
 			}
-			if err := enhancedServeCore(s, conn, own, k, shareB, finalB); err != nil {
+			pts, nDummy := own, 0
+			if s.pruneOn {
+				if pts, nDummy, err = s.readPrunedOp(r, own); err != nil {
+					return err
+				}
+			}
+			if err := enhancedServeCore(s, conn, pts, nDummy, k, shareB, finalB); err != nil {
 				return err
 			}
 		case opDone:
@@ -246,9 +279,12 @@ func enhancedPassResponder(s *session, conn transport.Conn, own [][]int64) error
 	}
 }
 
-// enhancedServeCore answers one core query against the responder's points.
-func enhancedServeCore(s *session, conn transport.Conn, own [][]int64, k int, shareB compare.Bob, finalB compare.Bob) error {
-	n := len(own)
+// enhancedServeCore answers one core query against the given candidate
+// points plus nDummy padding entries. A dummy's data vector pins its
+// shared distance to the domain bound — strictly beyond Eps² whenever
+// pruning is active — so dummies can never be selected as within range.
+func enhancedServeCore(s *session, conn transport.Conn, pts [][]int64, nDummy, k int, shareB compare.Bob, finalB compare.Bob) error {
+	n := len(pts) + nDummy
 	if k < 1 || k > n {
 		return fmt.Errorf("core: driver requested k=%d of %d points", k, n)
 	}
@@ -268,7 +304,11 @@ func enhancedServeCore(s *session, conn transport.Conn, own [][]int64, k int, sh
 		}
 		vs[i] = v
 		vals[i] = v.Int64()
-		bs[i] = extendedDataVector(own[pi])
+		if pi < len(pts) {
+			bs[i] = extendedDataVector(pts[pi])
+		} else {
+			bs[i] = dummyDataVector(s.dim, s.bound)
+		}
 	}
 	if err := mpc.SenderDotMany(conn, s.peerPai, bs, vs, s.random); err != nil {
 		return fmt.Errorf("core: enhanced share phase: %w", err)
@@ -332,4 +372,15 @@ func extendedDataVector(p []int64) []int64 {
 		out = append(out, x)
 	}
 	return append(out, sq)
+}
+
+// dummyDataVector builds a padding data vector whose dot product with any
+// query vector a = (ΣA², −2A, 1) is exactly the domain bound: all-zero
+// except the trailing component. Its shared distance u − v = bound stays
+// inside the driver's range check and, because pruning only engages when
+// Eps² < bound, strictly outside the Eps ball.
+func dummyDataVector(m int, bound int64) []int64 {
+	out := make([]int64, m+2)
+	out[m+1] = bound
+	return out
 }

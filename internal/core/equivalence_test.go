@@ -165,6 +165,191 @@ func TestProtocolEquivalenceSequentialVsBatched(t *testing.T) {
 	}
 }
 
+// ---- Grid-pruning equivalence ----
+//
+// The pruning contract mirrors the batching one: Config.Pruning "grid"
+// versus "off" must produce byte-identical labels and cluster counts and
+// identical non-index Ledger classes on every protocol family and every
+// dataset shape, while performing at most as many secure comparisons —
+// strictly fewer on clustered data, where the candidate cells exclude the
+// other clusters. This is the contract that lets Pruning default to grid.
+
+// pruneDataset is one randomized dataset shape for the pruning harness.
+type pruneDataset struct {
+	name      string
+	clustered bool // expect a strict secure-comparison reduction
+	grid      int
+	points    [][]float64
+}
+
+func pruneDatasets() []pruneDataset {
+	blobs2, _ := dataset.Quantize(dataset.BlobsDim(24, 3, 2, 0.2, 11), 32)
+	uniform2, _ := dataset.Quantize(dataset.UniformNoiseDim(24, 2, 0, 1, 12), 32)
+	blobs3, _ := dataset.Quantize(dataset.BlobsDim(24, 2, 3, 0.2, 13), 16)
+	// Degenerate duplicates: coincident points in two far-apart piles plus
+	// a repeated mid straggler.
+	dupes := [][]float64{
+		{1, 1}, {1, 1}, {1, 1}, {1, 1}, {2, 1}, {1, 2},
+		{30, 30}, {30, 30}, {30, 30}, {30, 30}, {29, 30}, {30, 29},
+		{15, 15}, {15, 15},
+	}
+	return []pruneDataset{
+		{"blobs/d2", true, 32, blobs2.Points},
+		{"uniform/d2", false, 32, uniform2.Points},
+		{"dupes/d2", true, 32, dupes},
+		{"blobs/d3", true, 16, blobs3.Points},
+	}
+}
+
+// pruneCfg builds a configuration for the pruning harness on the given
+// grid; eps stays well below the grid span so candidate cells actually
+// exclude distant clusters.
+func pruneCfg(engine compare.EngineKind, grid int, batching BatchMode, pruning PruneMode) Config {
+	return Config{
+		Eps:           3,
+		MinPts:        5, // high enough that enhanced core queries go remote
+		MaxCoord:      int64(grid - 1),
+		PaillierBits:  256,
+		RSABits:       256,
+		Engine:        engine,
+		ShareMaskBits: 6,
+		Batching:      batching,
+		Pruning:       pruning,
+		Seed:          99,
+	}
+}
+
+// comparisons totals both parties' secure-comparison instances for one run.
+func comparisons(o eqOutcome) int64 {
+	return o.ra.SecureComparisons + o.rb.SecureComparisons
+}
+
+func indexDisclosed(l Ledger) bool {
+	return l.IndexCells+l.IndexPaddedPoints+l.IndexCellCoords+l.IndexQueryCells > 0
+}
+
+// prunedProtocols builds the protocol table over one dataset.
+func prunedProtocols(t *testing.T, d pruneDataset) []eqProtocol {
+	t.Helper()
+	hsplit, err := partition.HorizontalRandom(d.points, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsplit, err := partition.Vertical(d.points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asplit, err := partition.ArbitraryRandom(d.points, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []eqProtocol{
+		{"horizontal", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return HorizontalAlice(c, cfg, hsplit.Alice) },
+				func(c transport.Conn) (*Result, error) { return HorizontalBob(c, cfg, hsplit.Bob) })
+		}},
+		{"enhanced", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return EnhancedHorizontalAlice(c, cfg, hsplit.Alice) },
+				func(c transport.Conn) (*Result, error) { return EnhancedHorizontalBob(c, cfg, hsplit.Bob) })
+		}},
+		{"vertical", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return VerticalAlice(c, cfg, vsplit.Alice) },
+				func(c transport.Conn) (*Result, error) { return VerticalBob(c, cfg, vsplit.Bob) })
+		}},
+		{"arbitrary", func(t *testing.T, cfg Config) eqOutcome {
+			return runMeteredPair(t,
+				func(c transport.Conn) (*Result, error) { return ArbitraryAlice(c, cfg, asplit.Alice, asplit.Owners) },
+				func(c transport.Conn) (*Result, error) { return ArbitraryBob(c, cfg, asplit.Bob, asplit.Owners) })
+		}},
+	}
+}
+
+// assertPrunedOutcome checks one pruned-vs-exhaustive pair of runs.
+// enhanced protocols get the relaxed ledger check (their OrderBits and
+// CoreBits are mechanical counts that pruning strictly reduces).
+func assertPrunedOutcome(t *testing.T, proto string, clustered bool, off, on eqOutcome) {
+	t.Helper()
+	if !metrics.ExactMatch(on.ra.Labels, off.ra.Labels) {
+		t.Errorf("alice labels diverge: pruned %v, exhaustive %v", on.ra.Labels, off.ra.Labels)
+	}
+	if !metrics.ExactMatch(on.rb.Labels, off.rb.Labels) {
+		t.Errorf("bob labels diverge: pruned %v, exhaustive %v", on.rb.Labels, off.rb.Labels)
+	}
+	if on.ra.NumClusters != off.ra.NumClusters || on.rb.NumClusters != off.rb.NumClusters {
+		t.Errorf("cluster counts diverge: pruned %d/%d, exhaustive %d/%d",
+			on.ra.NumClusters, on.rb.NumClusters, off.ra.NumClusters, off.rb.NumClusters)
+	}
+	for side, pair := range map[string][2]*Result{"alice": {off.ra, on.ra}, "bob": {off.rb, on.rb}} {
+		offL, onL := pair[0].Leakage, pair[1].Leakage
+		if proto == "enhanced" {
+			if onL.OrderBits > offL.OrderBits || onL.CoreBits > offL.CoreBits {
+				t.Errorf("%s enhanced disclosure grew: pruned %v, exhaustive %v", side, onL, offL)
+			}
+		} else if onL.NonIndex() != offL.NonIndex() {
+			t.Errorf("%s non-index ledgers diverge: pruned %v, exhaustive %v", side, onL, offL)
+		}
+		if indexDisclosed(offL) {
+			t.Errorf("%s exhaustive run recorded index disclosure: %v", side, offL)
+		}
+		if !indexDisclosed(onL) {
+			t.Errorf("%s pruned run recorded no index disclosure: %v", side, onL)
+		}
+	}
+	offCmp, onCmp := comparisons(off), comparisons(on)
+	// The lockstep protocols prune pairs outright and the basic HDP query
+	// falls back to the exhaustive set whenever padding would not shrink
+	// it, so neither can ever compare more. The enhanced selection's
+	// comparison count is not exactly monotone in the candidate-set size
+	// (quickselect pivots shift), so its guarantee is the clustered-data
+	// reduction.
+	if proto != "enhanced" && onCmp > offCmp {
+		t.Errorf("pruned run used %d secure comparisons, exhaustive %d — want at most as many", onCmp, offCmp)
+	}
+	if clustered && onCmp >= offCmp {
+		t.Errorf("pruned run used %d secure comparisons on clustered data, exhaustive %d — want strictly fewer", onCmp, offCmp)
+	}
+}
+
+func TestPruningEquivalenceGridVsOff(t *testing.T) {
+	for _, d := range pruneDatasets() {
+		for _, proto := range prunedProtocols(t, d) {
+			t.Run(d.name+"/"+proto.name, func(t *testing.T) {
+				off := proto.run(t, pruneCfg(compare.EngineMasked, d.grid, BatchModeBatched, PruneOff))
+				on := proto.run(t, pruneCfg(compare.EngineMasked, d.grid, BatchModeBatched, PruneGrid))
+				assertPrunedOutcome(t, proto.name, d.clustered, off, on)
+			})
+		}
+	}
+}
+
+// TestPruningComposesWithRoundStructure spot-checks the four
+// batching×pruning combinations (and the YMPP engine) on the clustered
+// fixture: all must agree on labels, and pruning must cut comparisons
+// under either round structure.
+func TestPruningComposesWithRoundStructure(t *testing.T) {
+	d := pruneDatasets()[0]
+	for _, proto := range prunedProtocols(t, d)[:1] { // horizontal carries the HDP hot loop
+		for _, batching := range []BatchMode{BatchModeBatched, BatchModeSequential} {
+			t.Run(proto.name+"/"+string(batching), func(t *testing.T) {
+				off := proto.run(t, pruneCfg(compare.EngineMasked, d.grid, batching, PruneOff))
+				on := proto.run(t, pruneCfg(compare.EngineMasked, d.grid, batching, PruneGrid))
+				assertPrunedOutcome(t, proto.name, d.clustered, off, on)
+			})
+		}
+	}
+	t.Run("ympp", func(t *testing.T) {
+		d := pruneDatasets()[3] // the 16-grid keeps the YMPP domain small
+		for _, proto := range prunedProtocols(t, d)[:1] {
+			off := proto.run(t, pruneCfg(compare.EngineYMPP, d.grid, BatchModeBatched, PruneOff))
+			on := proto.run(t, pruneCfg(compare.EngineYMPP, d.grid, BatchModeBatched, PruneGrid))
+			assertPrunedOutcome(t, proto.name, d.clustered, off, on)
+		}
+	})
+}
+
 // TestHorizontalRegionQueryRoundBudget pins the headline number: with
 // batching on, the comparison phase of one HDP region query is at most 3
 // frames — independent of nPeer — versus 3·nPeer sequentially.

@@ -13,47 +13,67 @@ import (
 // for one driver point P and every point of the responder, whether
 // dist²(P, B) ≤ Eps². One region query costs:
 //
-//	MP phase:  O(c1·m·nPeer) bits — a batched Multiplication Protocol in
+//	MP phase:  O(c1·m·nCand) bits — a batched Multiplication Protocol in
 //	           which the responder (the receiver, holding its coordinates)
 //	           obtains the zero-sum-masked per-coordinate products
 //	           d_x,k·d_y,k + r_k. Because Σr_k = 0, the responder's sum is
 //	           the exact cross dot product (the paper's construction; the
 //	           privacy consequence is tracked in the Ledger). Always one
 //	           round trip (tag hdp.mp).
-//	Cmp phase: nPeer secure comparisons — dist² = i + j' ≤ Eps² with the
+//	Cmp phase: nCand secure comparisons — dist² = i + j' ≤ Eps² with the
 //	           driver holding i = Σd_x² and the responder holding
 //	           j' = Σd_y² − 2·dot (tag hdp.cmp).
 //
+// The candidate count nCand is every responder point when Config.Pruning
+// is off (the paper-literal exhaustive query), or the padded occupancy of
+// the ≤3^d grid cells adjacent to P's cell under the default grid pruning
+// — see prune.go. Pruned queries mix the real cell members with
+// always-out-of-range dummy entries up to the disclosed padded counts, so
+// the per-query batch size carries no information beyond the session's
+// index exchange.
+//
 // Round structure of the Cmp phase (Config.Batching):
 //
-//	batched (default): one BatchLess carrying all nPeer instances — 3
-//	    frames per query regardless of nPeer, so a full region query is
+//	batched (default): one BatchLess carrying all nCand instances — 3
+//	    frames per query regardless of nCand, so a full region query is
 //	    ≤ 3 hdp.cmp frames plus 2 hdp.mp frames and 1 hdp.op frame, and a
-//	    whole pass costs O(n) rather than O(n·nPeer) round trips. Bits are
+//	    whole pass costs O(n) rather than O(n·nCand) round trips. Bits are
 //	    unchanged: the same per-instance payloads travel, packed.
 //	sequential: one comparison sub-protocol (3 frames for the masked
-//	    engine, 3 for YMPP) per responder point — the paper-literal
-//	    schedule, kept for A/B measurement.
+//	    engine, 3 for YMPP) per candidate — the paper-literal schedule,
+//	    kept for A/B measurement.
 //
 // Both schedules decide identical predicates in identical order, so
 // labels and leakage Ledgers are byte-for-byte equal; only the frame
-// count differs. The responder permutes its points freshly per query
+// count differs. The responder permutes its candidates freshly per query
 // (Algorithm 4's SetOfPointsOfBobPermutation), so the driver learns only
 // how many peer points are in range, not which.
 
-// hdpQueryDriver runs the driver side of one region query and returns how
-// many responder points are within Eps of p.
+// hdpQueryDriver runs the driver side of one exhaustive region query and
+// returns how many responder points are within Eps of p.
 func hdpQueryDriver(conn transport.Conn, s *session, eng compare.Alice, p []int64, nPeer int) (int, error) {
 	if nPeer == 0 {
 		return 0, nil
 	}
+	count, err := hdpCompareDriver(conn, s, eng, p, nPeer)
+	if err != nil {
+		return 0, err
+	}
+	s.ledger.NeighborCounts++
+	s.ledger.MembershipBits += nPeer
+	return count, nil
+}
+
+// hdpCompareDriver runs the MP + comparison phases of one region query
+// over nCand candidate instances and counts the in-range results.
+func hdpCompareDriver(conn transport.Conn, s *session, eng compare.Alice, p []int64, nCand int) (int, error) {
 	setTag(conn, "hdp.mp")
-	// Batched MP: sender role. ys repeats p's coordinates once per peer
-	// point; masks are zero-sum within each point.
+	// Batched MP: sender role. ys repeats p's coordinates once per
+	// candidate; masks are zero-sum within each candidate.
 	m := len(p)
-	ys := make([]int64, 0, nPeer*m)
-	vs := make([]*big.Int, 0, nPeer*m)
-	for i := 0; i < nPeer; i++ {
+	ys := make([]int64, 0, nCand*m)
+	vs := make([]*big.Int, 0, nCand*m)
+	for i := 0; i < nCand; i++ {
 		masks, err := mpc.ZeroSumMasks(s.random, m, s.maskBound())
 		if err != nil {
 			return 0, err
@@ -72,7 +92,7 @@ func hdpQueryDriver(conn transport.Conn, s *session, eng compare.Alice, p []int6
 	}
 	count := 0
 	if s.batched() {
-		vs := make([]int64, nPeer)
+		vs := make([]int64, nCand)
 		for i := range vs {
 			vs[i] = ownSum
 		}
@@ -86,7 +106,7 @@ func hdpQueryDriver(conn transport.Conn, s *session, eng compare.Alice, p []int6
 			}
 		}
 	} else {
-		for i := 0; i < nPeer; i++ {
+		for i := 0; i < nCand; i++ {
 			in, err := distLessEqDriver(conn, eng, ownSum)
 			if err != nil {
 				return 0, fmt.Errorf("core: hdp comparison %d: %w", i, err)
@@ -96,26 +116,47 @@ func hdpQueryDriver(conn transport.Conn, s *session, eng compare.Alice, p []int6
 			}
 		}
 	}
-	s.ledger.NeighborCounts++
-	s.ledger.MembershipBits += nPeer
 	return count, nil
 }
 
-// hdpQueryResponder serves the responder side of one region query over its
-// own points. The driver's point never leaves the driver; the responder
-// learns, per its own point, whether some driver point is within Eps
-// (Algorithm 4 note: "Bob only knows there is a record owned by Alice in
-// the neighborhood").
+// hdpQueryResponder serves the responder side of one exhaustive region
+// query over its own points. The driver's point never leaves the driver;
+// the responder learns, per its own point, whether some driver point is
+// within Eps (Algorithm 4 note: "Bob only knows there is a record owned
+// by Alice in the neighborhood").
 func hdpQueryResponder(conn transport.Conn, s *session, eng compare.Bob, own [][]int64) error {
 	if len(own) == 0 {
 		return nil
 	}
+	if err := hdpServeCompare(conn, s, eng, own, 0); err != nil {
+		return err
+	}
+	s.ledger.DotProducts += len(own)
+	return nil
+}
+
+// hdpServeCompare serves the MP + comparison phases over the given real
+// candidate points plus nDummy always-out-of-range padding entries, all
+// freshly permuted together. Dummies enter the MP with zero coordinates
+// and answer every comparison with the out-of-domain operand 0, so they
+// are never counted in range and are indistinguishable from real
+// candidates on the wire.
+func hdpServeCompare(conn transport.Conn, s *session, eng compare.Bob, pts [][]int64, nDummy int) error {
+	total := len(pts) + nDummy
+	if total == 0 {
+		return nil
+	}
 	setTag(conn, "hdp.mp")
-	perm := s.rng.Perm(len(own))
-	m := len(own[0])
-	xs := make([]int64, 0, len(own)*m)
+	perm := s.rng.Perm(total)
+	m := s.dim
+	xs := make([]int64, 0, total*m)
+	zero := make([]int64, m)
 	for _, pi := range perm {
-		xs = append(xs, own[pi]...)
+		if pi < len(pts) {
+			xs = append(xs, pts[pi]...)
+		} else {
+			xs = append(xs, zero...)
+		}
 	}
 	us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random)
 	if err != nil {
@@ -123,9 +164,15 @@ func hdpQueryResponder(conn transport.Conn, s *session, eng compare.Bob, own [][
 	}
 
 	setTag(conn, "hdp.cmp")
-	peerSums := make([]int64, len(perm))
+	js := make([]int64, len(perm))
 	for i, pi := range perm {
-		pt := own[pi]
+		if pi >= len(pts) {
+			// Dummy: j = 0 makes the strict Less predicate false for every
+			// driver operand, i.e. "not in range".
+			js[i] = 0
+			continue
+		}
+		pt := pts[pi]
 		// peerSum = Σd_y² − 2·Σ(d_x·d_y + r) ; the zero-sum masks cancel.
 		dot := new(big.Int)
 		for k := 0; k < m; k++ {
@@ -138,23 +185,18 @@ func hdpQueryResponder(conn transport.Conn, s *session, eng compare.Bob, own [][
 		for _, x := range pt {
 			sq += x * x
 		}
-		peerSums[i] = sq - 2*dot.Int64()
+		js[i] = s.responderOperand(eng.Bound(), sq-2*dot.Int64())
 	}
 	if s.batched() {
-		js := make([]int64, len(peerSums))
-		for i, peerSum := range peerSums {
-			js[i] = s.responderOperand(eng.Bound(), peerSum)
-		}
 		if _, err := eng.BatchLess(conn, js); err != nil {
 			return fmt.Errorf("core: hdp batch comparison: %w", err)
 		}
 	} else {
-		for i, peerSum := range peerSums {
-			if _, err := distLessEqResponder(conn, eng, s, peerSum); err != nil {
+		for i, j := range js {
+			if _, err := eng.Less(conn, j); err != nil {
 				return fmt.Errorf("core: hdp comparison %d: %w", i, err)
 			}
 		}
 	}
-	s.ledger.DotProducts += len(perm)
 	return nil
 }

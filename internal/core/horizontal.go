@@ -6,6 +6,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/dbscan"
 	"repro/internal/fixedpoint"
+	"repro/internal/spatial"
 	"repro/internal/transport"
 )
 
@@ -75,6 +76,11 @@ func horizontalRun(conn transport.Conn, cfg Config, role Role, points [][]float6
 	if err := s.setDimension(dim); err != nil {
 		return nil, err
 	}
+	if s.pruneOn {
+		if err := s.exchangeIndex(conn, enc); err != nil {
+			return nil, err
+		}
+	}
 
 	var labels []int
 	var clusters int
@@ -95,7 +101,7 @@ func horizontalRun(conn transport.Conn, cfg Config, role Role, points [][]float6
 			return nil, err
 		}
 	}
-	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger}, nil
+	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger, SecureComparisons: s.cmpCount}, nil
 }
 
 // basicPassDriver implements Algorithm 3/4 from the driving party's side.
@@ -152,15 +158,45 @@ func (h *hPass) localRegionQuery(i int) []int {
 
 // remoteCount counts the peer's points within Eps of p via HDP
 // (seedsB := SetOfPointsOfBobPermutation.regionQuery — Algorithm 4 line 3).
+// Under grid pruning the query announces its candidate cells and runs the
+// cryptographic phases only over their padded occupancy; when padding
+// would make the candidate set at least as large as the exhaustive one,
+// the query falls back to the exhaustive set (flagged on the op frame),
+// so a pruned query never compares more than an unpruned one. The op
+// frame travels even for empty candidate sets, keeping the responder's
+// query-level accounting — and so the Ledger budget — identical across
+// modes.
 func (h *hPass) remoteCount(p []int64, eng compare.Alice) (int, error) {
+	s := h.s
 	if h.nPeer == 0 {
 		return 0, nil
+	}
+	if s.pruneOn {
+		cells, total := s.candidateCells(p)
+		s.ledger.NeighborCounts++
+		s.ledger.MembershipBits += h.nPeer
+		usePrune := total < h.nPeer
+		setTag(h.conn, "hdp.op")
+		msg := transport.NewBuilder().PutUint(opQuery).PutBool(usePrune)
+		if usePrune {
+			spatial.EncodeCells(msg, cells)
+		}
+		if err := transport.SendMsg(h.conn, msg); err != nil {
+			return 0, err
+		}
+		if !usePrune {
+			return hdpCompareDriver(h.conn, s, eng, p, h.nPeer)
+		}
+		if total == 0 {
+			return 0, nil
+		}
+		return hdpCompareDriver(h.conn, s, eng, p, total)
 	}
 	setTag(h.conn, "hdp.op")
 	if err := transport.SendMsg(h.conn, transport.NewBuilder().PutUint(opQuery)); err != nil {
 		return 0, err
 	}
-	return hdpQueryDriver(h.conn, h.s, eng, p, h.nPeer)
+	return hdpQueryDriver(h.conn, s, eng, p, h.nPeer)
 }
 
 // expandCluster is Algorithm 4. Only the driver's own points enter the
@@ -225,7 +261,16 @@ func basicPassResponder(s *session, conn transport.Conn, own [][]int64) error {
 		}
 		switch op {
 		case opQuery:
-			if err := hdpQueryResponder(conn, s, engB, own); err != nil {
+			if s.pruneOn {
+				pts, nDummy, err := s.readPrunedOp(r, own)
+				if err != nil {
+					return err
+				}
+				if err := hdpServeCompare(conn, s, engB, pts, nDummy); err != nil {
+					return err
+				}
+				s.ledger.DotProducts += len(own)
+			} else if err := hdpQueryResponder(conn, s, engB, own); err != nil {
 				return err
 			}
 		case opDone:

@@ -20,6 +20,38 @@ import (
 //   - DotProducts counts HDP invocations in which the zero-sum masks
 //     cancelled, handing the responder the exact cross dot product — the
 //     soundness gap discussed in DESIGN.md §4.
+//
+// # Accounting under grid pruning
+//
+// The non-index classes are decision-level budgets: they count the
+// predicates a run determined for this party, whether a predicate was
+// settled cryptographically or was already implied by the public candidate
+// index (a pruned point is guaranteed out of range by cell geometry). A
+// run with Config.Pruning "grid" therefore records exactly the same
+// NeighborCounts / MembershipBits / PairDecisions / DotProducts as the
+// same run with pruning off — the equivalence harness asserts this — while
+// its actual cryptographic exposure is strictly smaller (DotProducts in
+// particular upper-bounds the masked products a pruned responder really
+// received; the mechanical reduction is what experiment E14 measures).
+// What pruning adds is the index disclosure itself, tracked first-class in
+// the Index* entries:
+//
+//   - IndexCells / IndexPaddedPoints: the one-time candidate-index
+//     exchange — how many occupied Eps-grid cells the peer disclosed and
+//     their total occupancy, padded to the PruneQuantum so exact per-cell
+//     counts never leak.
+//   - IndexCellCoords: per-record cell coordinates received in the
+//     lockstep (vertical/arbitrary/ring) index exchange — coarse location
+//     of each shared record in the discloser's attribute subspace.
+//   - IndexQueryCells: per-query index signals received — one for each
+//     query's pruned/fallback flag (the flag alone places the query's
+//     cell neighbourhood above or below the exhaustive size) plus one per
+//     announced candidate cell, each revealing the querying point's cell
+//     neighbourhood.
+//
+// OrderBits stays mechanical (it counts selection comparisons actually
+// revealed); pruning strictly shrinks the selection set, so pruned runs
+// record at most the unpruned OrderBits.
 type Ledger struct {
 	NeighborCounts int
 	MembershipBits int
@@ -27,6 +59,11 @@ type Ledger struct {
 	OrderBits      int
 	CoreBits       int
 	DotProducts    int
+
+	IndexCells        int
+	IndexPaddedPoints int
+	IndexCellCoords   int
+	IndexQueryCells   int
 }
 
 // Add accumulates another ledger into l.
@@ -37,6 +74,20 @@ func (l *Ledger) Add(o Ledger) {
 	l.OrderBits += o.OrderBits
 	l.CoreBits += o.CoreBits
 	l.DotProducts += o.DotProducts
+	l.IndexCells += o.IndexCells
+	l.IndexPaddedPoints += o.IndexPaddedPoints
+	l.IndexCellCoords += o.IndexCellCoords
+	l.IndexQueryCells += o.IndexQueryCells
+}
+
+// NonIndex returns a copy with the Index* classes zeroed — the view the
+// pruning equivalence harness compares across modes.
+func (l Ledger) NonIndex() Ledger {
+	l.IndexCells = 0
+	l.IndexPaddedPoints = 0
+	l.IndexCellCoords = 0
+	l.IndexQueryCells = 0
+	return l
 }
 
 // String renders the non-zero entries compactly.
@@ -53,6 +104,10 @@ func (l Ledger) String() string {
 	add("orderBits", l.OrderBits)
 	add("coreBits", l.CoreBits)
 	add("dotProducts", l.DotProducts)
+	add("indexCells", l.IndexCells)
+	add("indexPaddedPoints", l.IndexPaddedPoints)
+	add("indexCellCoords", l.IndexCellCoords)
+	add("indexQueryCells", l.IndexQueryCells)
 	if len(parts) == 0 {
 		return "ledger{}"
 	}
@@ -69,4 +124,8 @@ type Result struct {
 	NumClusters int
 	// Leakage records the disclosures observed during the run.
 	Leakage Ledger
+	// SecureComparisons counts the comparison sub-protocol instances this
+	// party executed (one per decided predicate, batched or not) — the
+	// cryptographic-work metric the pruning ablation (E14) tracks.
+	SecureComparisons int64
 }

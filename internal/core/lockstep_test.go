@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/dbscan"
+)
+
+// plainPairOracle builds a lockstep pair oracle over plaintext points.
+func plainPairOracle(pts [][]int64, epsSq int64) func(i, j int) (bool, error) {
+	return func(i, j int) (bool, error) {
+		var d2 int64
+		for k := range pts[i] {
+			d := pts[i][k] - pts[j][k]
+			d2 += d * d
+		}
+		return d2 <= epsSq, nil
+	}
+}
+
+// TestLockstepMinPtsBoundary pins the self-inclusive MinPts semantics at
+// the exact boundary: a 3-point clique is all-core at MinPts=3 and
+// all-noise at MinPts=4.
+func TestLockstepMinPtsBoundary(t *testing.T) {
+	pts := [][]int64{{0, 0}, {1, 0}, {0, 1}}
+	oracle := plainPairOracle(pts, 2)
+	labels, k, err := LockstepCluster(len(pts), 3, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("MinPts=3 on a 3-clique: got %d clusters, want 1", k)
+	}
+	for i, l := range labels {
+		if l != 1 {
+			t.Errorf("MinPts=3 point %d labelled %d, want 1", i, l)
+		}
+	}
+	labels, k, err = LockstepCluster(len(pts), 4, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("MinPts=4 on a 3-clique: got %d clusters, want 0", k)
+	}
+	for i, l := range labels {
+		if l != dbscan.Noise {
+			t.Errorf("MinPts=4 point %d labelled %d, want noise", i, l)
+		}
+	}
+}
+
+// TestLockstepAllNoise: mutually distant points never form a cluster.
+func TestLockstepAllNoise(t *testing.T) {
+	pts := [][]int64{{0, 0}, {100, 0}, {0, 100}, {100, 100}}
+	labels, k, err := LockstepClusterBatch(len(pts), 2, func(pairs [][2]int) ([]bool, error) {
+		return make([]bool, len(pairs)), nil // nothing is within Eps
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("got %d clusters, want 0", k)
+	}
+	for i, l := range labels {
+		if l != dbscan.Noise {
+			t.Errorf("point %d labelled %d, want noise", i, l)
+		}
+	}
+}
+
+// TestLockstepTinyInputs: n=0 and n=1 terminate without touching the
+// oracle.
+func TestLockstepTinyInputs(t *testing.T) {
+	calls := 0
+	oracle := func(pairs [][2]int) ([]bool, error) {
+		calls++
+		return make([]bool, len(pairs)), nil
+	}
+	labels, k, err := LockstepClusterBatch(0, 2, oracle)
+	if err != nil || len(labels) != 0 || k != 0 {
+		t.Fatalf("n=0: labels=%v clusters=%d err=%v", labels, k, err)
+	}
+	labels, k, err = LockstepClusterBatch(1, 2, oracle)
+	if err != nil || k != 0 {
+		t.Fatalf("n=1: clusters=%d err=%v", k, err)
+	}
+	if len(labels) != 1 || labels[0] != dbscan.Noise {
+		t.Fatalf("n=1: labels=%v, want a single noise point", labels)
+	}
+	if calls != 0 {
+		t.Errorf("oracle consulted %d times for trivial inputs, want 0", calls)
+	}
+	// n=1 with MinPts=1: the singleton is its own cluster.
+	labels, k, err = LockstepClusterBatch(1, 1, oracle)
+	if err != nil || k != 1 || labels[0] != 1 {
+		t.Fatalf("n=1 MinPts=1: labels=%v clusters=%d err=%v", labels, k, err)
+	}
+	if _, _, err := LockstepClusterBatch(3, 0, oracle); err == nil {
+		t.Error("MinPts=0 accepted")
+	}
+}
+
+// TestLockstepShortBatchSliceErrors: a batch oracle that returns fewer
+// results than pairs must surface an error, never panic or mislabel.
+func TestLockstepShortBatchSliceErrors(t *testing.T) {
+	for _, short := range []int{0, 1} {
+		short := short
+		_, _, err := LockstepClusterBatch(4, 2, func(pairs [][2]int) ([]bool, error) {
+			return make([]bool, short), nil
+		})
+		if err == nil {
+			t.Fatalf("short oracle slice (%d results) accepted", short)
+		}
+	}
+	// Errors from the oracle propagate unchanged.
+	boom := errors.New("boom")
+	_, _, err := LockstepClusterBatch(4, 2, func(pairs [][2]int) ([]bool, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("oracle error not propagated: %v", err)
+	}
+}
+
+// TestPrunedOracleShortSliceErrors: the pruning wrapper re-validates the
+// inner oracle's result length for the live subset.
+func TestPrunedOracleShortSliceErrors(t *testing.T) {
+	cells := [][]int64{{0, 0}, {0, 1}, {9, 9}}
+	inner := func(pairs [][2]int) ([]bool, error) {
+		return make([]bool, len(pairs)+1), nil
+	}
+	oracle := PrunedBatchOracle(cells, nil, inner)
+	if _, err := oracle([][2]int{{0, 1}, {0, 2}}); err == nil {
+		t.Fatal("oversized inner result accepted")
+	}
+	// Pruned-only batches never reach the inner oracle.
+	oracle = PrunedBatchOracle(cells, nil, func(pairs [][2]int) ([]bool, error) {
+		return nil, fmt.Errorf("inner oracle must not run")
+	})
+	out, err := oracle([][2]int{{0, 2}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v {
+			t.Errorf("pruned pair %d decided in range", i)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/spatial"
+	"repro/internal/transport"
+)
+
+// Grid pruning (Config.Pruning = "grid") — the candidate-index layer.
+//
+// One index exchange per session replaces the exhaustive candidate sets of
+// the secure distance phases:
+//
+//   - Horizontal family: each party buckets its points into an Eps-width
+//     grid and sends the peer a padded occupancy directory (tag hdp.idx).
+//     A region query then announces the ≤3^d candidate cells adjacent to
+//     the query point's cell, and the MP + comparison phases run over the
+//     announced cells' padded occupancy only — real candidates plus
+//     always-out-of-range dummy entries, freshly permuted, so per-query
+//     batch sizes reveal nothing beyond the directory itself.
+//   - Lockstep family (vertical/arbitrary/ring): each party disclosed the
+//     per-record cell coordinates of the attributes it owns (tags
+//     vdp.idx/adp.idx); every participant assembles the same full cell
+//     matrix, and pairs in non-adjacent cells are decided out-of-range
+//     locally, never reaching the oracle. Batch boundaries stay identical
+//     on all sides because the matrix is shared.
+//
+// Soundness rests on spatial.CellWidth: within-Eps points are always in
+// adjacent cells, so pruning never flips a predicate — it only removes
+// cryptographic work whose outcome the index already implies. Every index
+// disclosure is accounted in the Ledger's Index* classes; the non-index
+// classes keep their decision-level budgets (see Ledger docs).
+
+// swapMsg exchanges one frame with the peer without a simultaneous-send
+// deadlock: Alice sends first while Bob receives first, so arbitrarily
+// large index frames never block both directions at once (the in-process
+// pipe is buffered, a TCP socket is not).
+func swapMsg(conn transport.Conn, role Role, msg *transport.Builder) (*transport.Reader, error) {
+	if role == RoleAlice {
+		if err := transport.SendMsg(conn, msg); err != nil {
+			return nil, err
+		}
+		return transport.RecvMsg(conn)
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.SendMsg(conn, msg); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// exchangeIndex runs the horizontal-family index exchange: both parties
+// send their padded Eps-grid directory and record what the peer disclosed.
+func (s *session) exchangeIndex(conn transport.Conn, enc [][]int64) error {
+	setTag(conn, "hdp.idx")
+	g, err := spatial.NewGrid(enc, s.cellW)
+	if err != nil {
+		return fmt.Errorf("core: index build: %w", err)
+	}
+	s.ownGrid = g
+	s.ownDir = g.Directory(s.cfg.PruneQuantum)
+	r, err := swapMsg(conn, s.role, s.ownDir.Encode(transport.NewBuilder()))
+	if err != nil {
+		return fmt.Errorf("core: index exchange: %w", err)
+	}
+	s.peerDir, err = spatial.DecodeDirectory(r, s.dim, s.cfg.PruneQuantum)
+	if err != nil {
+		return fmt.Errorf("core: index decode: %w", err)
+	}
+	s.ledger.IndexCells += len(s.peerDir.Cells)
+	s.ledger.IndexPaddedPoints += s.peerDir.PaddedTotal()
+	return nil
+}
+
+// candidateCells is the driver-side half of a pruned query: the peer's
+// occupied cells adjacent to p's cell, plus their padded occupancy total
+// (the exact number of MP/comparison instances the query will run).
+func (s *session) candidateCells(p []int64) (cells [][]int64, total int) {
+	return s.peerDir.Candidates(spatial.Bucket(p, s.cellW))
+}
+
+// readQueryCells is the responder-side half: parse an announced candidate
+// list, resolve it against our own directory (spatial.ResolveQuery does
+// the validation), and return the real member points (in cell order) plus
+// how many dummy entries pad the batch to the disclosed counts.
+func (s *session) readQueryCells(r *transport.Reader, own [][]int64) (pts [][]int64, nDummy int, err error) {
+	cells, err := spatial.DecodeCells(r, s.dim)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: query cells: %w", err)
+	}
+	members, nDummy, err := s.ownDir.ResolveQuery(s.ownGrid, cells)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: query cells: %w", err)
+	}
+	pts = make([][]int64, len(members))
+	for i, j := range members {
+		pts[i] = own[j]
+	}
+	s.ledger.IndexQueryCells += len(cells)
+	return pts, nDummy, nil
+}
+
+// readPrunedOp parses the pruning fields a driver appends to a region or
+// core query op frame when pruning is on: the exhaustive-fallback flag
+// and, for pruned queries, the candidate cells. Returns the candidate
+// points plus dummy count — the full own set with no dummies on fallback.
+// The flag itself is an index signal (it tells the responder whether the
+// query's candidate cells cover at least nPeer padded points), so it is
+// accounted in IndexQueryCells alongside any announced cells.
+func (s *session) readPrunedOp(r *transport.Reader, own [][]int64) (pts [][]int64, nDummy int, err error) {
+	pruned := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	s.ledger.IndexQueryCells++
+	if !pruned {
+		return own, 0, nil
+	}
+	return s.readQueryCells(r, own)
+}
+
+// ---- Lockstep cell matrices ----
+
+// verticalCellMatrix runs the vertical index exchange: each party
+// discloses the cell coordinates of every record over its own columns
+// (tag vdp.idx) and both assemble the full per-record cell rows, Alice's
+// columns leading — matching the virtual record layout.
+func verticalCellMatrix(conn transport.Conn, s *session, enc [][]int64, role Role, peerDim int) ([][]int64, error) {
+	setTag(conn, "vdp.idx")
+	own := make([][]int64, len(enc))
+	for i, p := range enc {
+		own[i] = spatial.Bucket(p, s.cellW)
+	}
+	r, err := swapMsg(conn, role, spatial.EncodeCells(transport.NewBuilder(), own))
+	if err != nil {
+		return nil, fmt.Errorf("core: vdp index exchange: %w", err)
+	}
+	peer, err := spatial.DecodeCells(r, peerDim)
+	if err != nil {
+		return nil, fmt.Errorf("core: vdp index decode: %w", err)
+	}
+	if len(peer) != len(enc) {
+		return nil, fmt.Errorf("core: vdp index has %d rows, want %d", len(peer), len(enc))
+	}
+	s.ledger.IndexCellCoords += len(peer) * peerDim
+	full := make([][]int64, len(enc))
+	for i := range enc {
+		row := make([]int64, 0, len(own[i])+peerDim)
+		if role == RoleAlice {
+			row = append(append(row, own[i]...), peer[i]...)
+		} else {
+			row = append(append(row, peer[i]...), own[i]...)
+		}
+		full[i] = row
+	}
+	return full, nil
+}
+
+// arbitraryCellMatrix runs the arbitrary-partition index exchange: each
+// party discloses, in ascending (record, attribute) order, the 1-D cell
+// coordinate of every value it owns (tag adp.idx); the public ownership
+// matrix routes the received stream into the full per-record cell rows.
+func arbitraryCellMatrix(conn transport.Conn, s *session, enc [][]int64, owners [][]partition.Owner, role Role) ([][]int64, error) {
+	setTag(conn, "adp.idx")
+	mine := partition.Alice
+	if role == RoleBob {
+		mine = partition.Bob
+	}
+	var ownCoords []int64
+	theirsWant := 0
+	for i := range enc {
+		for k := range enc[i] {
+			if owners[i][k] == mine {
+				ownCoords = append(ownCoords, spatial.BucketCoord(enc[i][k], s.cellW))
+			} else {
+				theirsWant++
+			}
+		}
+	}
+	r, err := swapMsg(conn, role, transport.NewBuilder().PutInts(ownCoords))
+	if err != nil {
+		return nil, fmt.Errorf("core: adp index exchange: %w", err)
+	}
+	theirs := r.Ints()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(theirs) != theirsWant {
+		return nil, fmt.Errorf("core: adp index carries %d coordinates, want %d", len(theirs), theirsWant)
+	}
+	s.ledger.IndexCellCoords += len(theirs)
+	full := make([][]int64, len(enc))
+	oi, ti := 0, 0
+	for i := range enc {
+		row := make([]int64, len(enc[i]))
+		for k := range enc[i] {
+			if owners[i][k] == mine {
+				row[k] = ownCoords[oi]
+				oi++
+			} else {
+				row[k] = theirs[ti]
+				ti++
+			}
+		}
+		full[i] = row
+	}
+	return full, nil
+}
+
+// ---- Pruned lockstep oracles ----
+
+// PrunedBatchOracle wraps a lockstep batch oracle with grid pruning:
+// pairs in non-adjacent cells are decided out-of-range locally (onPruned,
+// when non-nil, runs their Ledger budget accounting) and only the live
+// pairs reach the inner oracle. Every participant wraps identically over
+// the shared cell matrix, so batch boundaries stay in lock step.
+func PrunedBatchOracle(cells [][]int64, onPruned func(pr [2]int), inner func(pairs [][2]int) ([]bool, error)) func(pairs [][2]int) ([]bool, error) {
+	return func(pairs [][2]int) ([]bool, error) {
+		out := make([]bool, len(pairs))
+		var live [][2]int
+		var slots []int
+		for t, pr := range pairs {
+			if spatial.Adjacent(cells[pr[0]], cells[pr[1]]) {
+				live = append(live, pr)
+				slots = append(slots, t)
+			} else if onPruned != nil {
+				onPruned(pr)
+			}
+		}
+		if len(live) == 0 {
+			return out, nil
+		}
+		res, err := inner(live)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) != len(live) {
+			return nil, fmt.Errorf("core: pruned oracle got %d results for %d live pairs", len(res), len(live))
+		}
+		for u, t := range slots {
+			out[t] = res[u]
+		}
+		return out, nil
+	}
+}
+
+// PrunedPairOracle is the sequential counterpart of PrunedBatchOracle.
+func PrunedPairOracle(cells [][]int64, onPruned func(pr [2]int), inner func(i, j int) (bool, error)) func(i, j int) (bool, error) {
+	return func(i, j int) (bool, error) {
+		if !spatial.Adjacent(cells[i], cells[j]) {
+			if onPruned != nil {
+				onPruned([2]int{i, j})
+			}
+			return false, nil
+		}
+		return inner(i, j)
+	}
+}

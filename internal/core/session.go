@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/compare"
 	"repro/internal/paillier"
+	"repro/internal/spatial"
 	"repro/internal/transport"
 	"repro/internal/yao"
 )
@@ -41,8 +42,9 @@ func (r Role) peer() Role {
 }
 
 // handshakeVersion guards against protocol drift between binaries.
-// Version 2 added the Batching round-structure parameter.
-const handshakeVersion = 2
+// Version 2 added the Batching round-structure parameter; version 3 added
+// the Pruning candidate-set parameter and its padding quantum.
+const handshakeVersion = 3
 
 // ErrHandshake reports parameter disagreement between the parties.
 var ErrHandshake = errors.New("core: handshake parameter mismatch")
@@ -63,6 +65,21 @@ type session struct {
 
 	random io.Reader
 	rng    *mrand.Rand // permutation source (Algorithm 4's SetOfPointsOfBobPermutation)
+
+	// Grid-pruning state (Config.Pruning): cellW is the Eps-grid cell
+	// width; pruneOn reports whether pruning is active for this session —
+	// requested by config AND geometrically useful (epsSq < bound; at
+	// epsSq = bound a single cell covers the whole domain and dummy
+	// padding could not stay strictly out of range). The horizontal-family
+	// index state (own grid + exchanged directories) is populated by
+	// exchangeIndex.
+	cellW   int64
+	pruneOn bool
+	ownGrid *spatial.Grid
+	ownDir  spatial.Directory
+	peerDir spatial.Directory
+
+	cmpCount int64 // secure comparison instances executed by this party
 
 	ledger Ledger
 }
@@ -115,6 +132,8 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		PutUint(uint64(cfg.ShareMaskBits)).
 		PutString(string(cfg.Selection)).
 		PutString(string(cfg.Batching)).
+		PutString(string(cfg.Pruning)).
+		PutUint(uint64(cfg.PruneQuantum)).
 		PutUint(uint64(ownDim)).
 		PutUint(uint64(ownCount)).
 		PutBytes(paillier.MarshalPublicKey(&s.paiKey.PublicKey)).
@@ -138,6 +157,8 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 	pShareMask := int(r.Uint())
 	pSelection := r.String()
 	pBatching := r.String()
+	pPruning := r.String()
+	pQuantum := int(r.Uint())
 	pDim := int(r.Uint())
 	pCount := int(r.Uint())
 	paiB := r.Bytes()
@@ -170,6 +191,10 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		return nil, peerInfo{}, fmt.Errorf("%w: selection %q vs %q", ErrHandshake, cfg.Selection, pSelection)
 	case pBatching != string(cfg.Batching):
 		return nil, peerInfo{}, fmt.Errorf("%w: batching %q vs %q", ErrHandshake, cfg.Batching, pBatching)
+	case pPruning != string(cfg.Pruning):
+		return nil, peerInfo{}, fmt.Errorf("%w: pruning %q vs %q", ErrHandshake, cfg.Pruning, pPruning)
+	case pQuantum != cfg.PruneQuantum:
+		return nil, peerInfo{}, fmt.Errorf("%w: prune quantum %d vs %d", ErrHandshake, cfg.PruneQuantum, pQuantum)
 	}
 
 	s.peerPai, err = paillier.UnmarshalPublicKey(paiB)
@@ -215,6 +240,11 @@ func (s *session) setDimension(m int) error {
 	if s.epsSq > s.bound {
 		s.epsSq = s.bound
 	}
+	// Grid pruning engages only when the Eps ball is strictly smaller than
+	// the coordinate domain; both parties derive this from handshake-agreed
+	// values, so they agree on whether the index phases run.
+	s.cellW = spatial.CellWidth(s.epsSq)
+	s.pruneOn = s.cfg.Pruning == PruneGrid && s.epsSq < s.bound
 	return nil
 }
 
@@ -229,25 +259,85 @@ func (s *session) maskBound() *big.Int {
 // bound. The "alice" side (left-value holder, decryptor) uses this party's
 // private keys; the "bob" side uses the peer's public keys — so in any
 // sub-protocol, the party holding the left value uses its cmpAlice and the
-// peer simultaneously uses its cmpBob.
+// peer simultaneously uses its cmpBob. Both halves are wrapped in counters
+// feeding Result.SecureComparisons.
 func (s *session) engines(bound int64) (compare.Alice, compare.Bob, error) {
 	switch s.cfg.Engine {
 	case compare.EngineYMPP:
 		if bound+2 > yao.MaxDomain {
 			return nil, nil, fmt.Errorf("core: comparison domain %d exceeds YMPP limit %d; use Engine=masked or a smaller grid", bound+2, int64(yao.MaxDomain))
 		}
-		return &compare.YMPPAlice{Key: s.rsaKey, Max: bound, Random: s.random},
-			&compare.YMPPBob{Pub: s.peerRSA, Max: bound, Random: s.random}, nil
+		return &countingAlice{inner: &compare.YMPPAlice{Key: s.rsaKey, Max: bound, Random: s.random}, n: &s.cmpCount},
+			&countingBob{inner: &compare.YMPPBob{Pub: s.peerRSA, Max: bound, Random: s.random}, n: &s.cmpCount}, nil
 	case compare.EngineMasked:
 		limit := new(big.Int).Lsh(big.NewInt(bound+2), uint(s.cfg.CmpMaskBits))
 		if limit.Cmp(s.paiKey.PlaintextBound()) >= 0 || limit.Cmp(s.peerPai.PlaintextBound()) >= 0 {
 			return nil, nil, fmt.Errorf("core: bound %d with %d mask bits overflows the Paillier plaintext space", bound, s.cfg.CmpMaskBits)
 		}
-		return &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random},
-			&compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random}, nil
+		return &countingAlice{inner: &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random}, n: &s.cmpCount},
+			&countingBob{inner: &compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random}, n: &s.cmpCount}, nil
 	}
 	return nil, nil, fmt.Errorf("core: unknown engine %q", s.cfg.Engine)
 }
+
+// countingAlice/countingBob wrap a comparison engine and tally executed
+// instances (one per predicate, so a batch of k counts k) into the
+// session's cmpCount — the Result.SecureComparisons metric.
+type countingAlice struct {
+	inner compare.Alice
+	n     *int64
+}
+
+func (c *countingAlice) LessEq(conn transport.Conn, a int64) (bool, error) {
+	*c.n++
+	return c.inner.LessEq(conn, a)
+}
+
+func (c *countingAlice) Less(conn transport.Conn, a int64) (bool, error) {
+	*c.n++
+	return c.inner.Less(conn, a)
+}
+
+func (c *countingAlice) BatchLessEq(conn transport.Conn, as []int64) ([]bool, error) {
+	*c.n += int64(len(as))
+	return c.inner.BatchLessEq(conn, as)
+}
+
+func (c *countingAlice) BatchLess(conn transport.Conn, as []int64) ([]bool, error) {
+	*c.n += int64(len(as))
+	return c.inner.BatchLess(conn, as)
+}
+
+func (c *countingAlice) Bound() int64 { return c.inner.Bound() }
+func (c *countingAlice) Name() string { return c.inner.Name() }
+
+type countingBob struct {
+	inner compare.Bob
+	n     *int64
+}
+
+func (c *countingBob) LessEq(conn transport.Conn, b int64) (bool, error) {
+	*c.n++
+	return c.inner.LessEq(conn, b)
+}
+
+func (c *countingBob) Less(conn transport.Conn, b int64) (bool, error) {
+	*c.n++
+	return c.inner.Less(conn, b)
+}
+
+func (c *countingBob) BatchLessEq(conn transport.Conn, bs []int64) ([]bool, error) {
+	*c.n += int64(len(bs))
+	return c.inner.BatchLessEq(conn, bs)
+}
+
+func (c *countingBob) BatchLess(conn transport.Conn, bs []int64) ([]bool, error) {
+	*c.n += int64(len(bs))
+	return c.inner.BatchLess(conn, bs)
+}
+
+func (c *countingBob) Bound() int64 { return c.inner.Bound() }
+func (c *countingBob) Name() string { return c.inner.Name() }
 
 // distEngines returns comparators for the split-threshold predicate
 // a + b ≤ Eps² (driver holds a ∈ [0, bound], responder holds b ∈ [−bound,

@@ -66,6 +66,20 @@ func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) 
 	if err != nil {
 		return nil, err
 	}
+	// Grid pruning: both parties disclose per-record cell coordinates over
+	// their own columns and assemble the same full cell matrix, so pairs
+	// in non-adjacent cells are decided out of range locally — on both
+	// sides identically — and never reach the comparison oracle. Pruned
+	// pairs keep their PairDecisions budget entry (the index implies the
+	// decision; see Ledger docs).
+	var cellRows [][]int64
+	if s.pruneOn {
+		cellRows, err = verticalCellMatrix(conn, s, enc, role, peer.Dim)
+		if err != nil {
+			return nil, err
+		}
+	}
+	onPruned := func([2]int) { s.ledger.PairDecisions++ }
 	// Fixed comparison roles for the whole run: Alice always holds the
 	// left value (her partial sum PA), Bob the right (Eps² − PB).
 	pairLEBatch := func(pairs [][2]int) ([]bool, error) {
@@ -88,9 +102,13 @@ func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) 
 	var labels []int
 	var clusters int
 	if s.batched() {
-		labels, clusters, err = LockstepClusterBatch(len(enc), cfg.MinPts, pairLEBatch)
+		oracle := pairLEBatch
+		if s.pruneOn {
+			oracle = PrunedBatchOracle(cellRows, onPruned, pairLEBatch)
+		}
+		labels, clusters, err = LockstepClusterBatch(len(enc), cfg.MinPts, oracle)
 	} else {
-		labels, clusters, err = LockstepCluster(len(enc), cfg.MinPts, func(i, j int) (bool, error) {
+		pairLE := func(i, j int) (bool, error) {
 			setTag(conn, "vdp.cmp")
 			s.ledger.PairDecisions++
 			partial := partialDistSq(enc, i, j)
@@ -98,12 +116,16 @@ func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) 
 				return distLessEqDriver(conn, engA, partial)
 			}
 			return distLessEqResponder(conn, engB, s, partial)
-		})
+		}
+		if s.pruneOn {
+			pairLE = PrunedPairOracle(cellRows, onPruned, pairLE)
+		}
+		labels, clusters, err = LockstepCluster(len(enc), cfg.MinPts, pairLE)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger}, nil
+	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger, SecureComparisons: s.cmpCount}, nil
 }
 
 // partialDistSq sums squared differences over this party's own columns.

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// E14 — grid-pruning ablation. The candidate-index layer (Config.Pruning,
+// internal/spatial) must reproduce the exhaustive labels exactly and keep
+// every non-index Ledger class identical, while cutting the secure
+// comparisons of a pass from O(n·nPeer) toward O(n·k) on clustered data
+// — the cryptographic-work counterpart of E13's round-count collapse.
+// This experiment records both sides of that contract for the A/B record,
+// and BenchE14 emits the JSON rows `make bench` archives in
+// BENCH_E14.json.
+
+// e14Dataset builds the clustered E14 workload: tight, well-separated
+// blobs on a 64-cell grid, so each query's candidate cells hold one blob
+// and exclude the rest — the regime the candidate index is built for.
+func e14Dataset(opt Options) (dataset.Dataset, core.Config) {
+	n := 80
+	if opt.Quick {
+		n = 32
+	}
+	d := dataset.Blobs(n, 4, 0.05, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+	// MinPts above the per-party blob population keeps the enhanced
+	// protocol's core queries remote (k > 0) at either workload size.
+	cfg := qualityCfg(scaleEps(0.45), n/8+4, 63, opt.seed())
+	return q, cfg
+}
+
+// e14Row is one protocol × pruning-mode measurement.
+type e14Row struct {
+	protocol string
+	mode     core.PruneMode
+	run      commRun
+}
+
+func (r e14Row) comparisons() int64 {
+	return r.run.resA.SecureComparisons + r.run.resB.SecureComparisons
+}
+
+// runE14Protocols executes the E14 protocol families in both pruning
+// modes over one dataset.
+func runE14Protocols(q dataset.Dataset, base core.Config) ([]e14Row, error) {
+	hs, err := partition.HorizontalRandom(q.Points, 0.5, 7)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := partition.Vertical(q.Points, 1)
+	if err != nil {
+		return nil, err
+	}
+	var rows []e14Row
+	for _, mode := range []core.PruneMode{core.PruneOff, core.PruneGrid} {
+		cfg := base
+		cfg.Pruning = mode
+		hrun, err := runMeteredHorizontal(cfg, core.HorizontalAlice, core.HorizontalBob, hs.Alice, hs.Bob)
+		if err != nil {
+			return nil, fmt.Errorf("e14 horizontal/%s: %w", mode, err)
+		}
+		rows = append(rows, e14Row{"horizontal", mode, hrun})
+		erun, err := runMeteredHorizontal(cfg, core.EnhancedHorizontalAlice, core.EnhancedHorizontalBob, hs.Alice, hs.Bob)
+		if err != nil {
+			return nil, fmt.Errorf("e14 enhanced/%s: %w", mode, err)
+		}
+		rows = append(rows, e14Row{"enhanced", mode, erun})
+		vrun, err := runMeteredPair(
+			func(c transport.Conn) (*core.Result, error) { return core.VerticalAlice(c, cfg, vs.Alice) },
+			func(c transport.Conn) (*core.Result, error) { return core.VerticalBob(c, cfg, vs.Bob) },
+		)
+		if err != nil {
+			return nil, fmt.Errorf("e14 vertical/%s: %w", mode, err)
+		}
+		rows = append(rows, e14Row{"vertical", mode, vrun})
+	}
+	return rows, nil
+}
+
+// e14Check verifies the pruning contract between the off and grid rows of
+// one protocol: identical labels (NMI 1), and — for the non-enhanced
+// families — identical non-index Ledger classes.
+func e14Check(off, on e14Row) (nmi float64, err error) {
+	if !metrics.ExactMatch(on.run.resA.Labels, off.run.resA.Labels) ||
+		!metrics.ExactMatch(on.run.resB.Labels, off.run.resB.Labels) {
+		return 0, fmt.Errorf("e14 %s: labels diverge between pruning modes", off.protocol)
+	}
+	nmi, err = metrics.NMI(on.run.resA.Labels, off.run.resA.Labels)
+	if err != nil {
+		return 0, err
+	}
+	if off.protocol != "enhanced" {
+		if on.run.resA.Leakage.NonIndex() != off.run.resA.Leakage.NonIndex() ||
+			on.run.resB.Leakage.NonIndex() != off.run.resB.Leakage.NonIndex() {
+			return 0, fmt.Errorf("e14 %s: non-index Ledger classes diverge between pruning modes", off.protocol)
+		}
+	}
+	return nmi, nil
+}
+
+func runE14(w io.Writer, opt Options) error {
+	q, cfg := e14Dataset(opt)
+	rows, err := runE14Protocols(q, cfg)
+	if err != nil {
+		return err
+	}
+
+	var t table
+	t.add("protocol", "pruning", "wall", "msgs", "totalKB", "secureCmp", "cmpRatio", "NMI(off,grid)")
+	byProto := map[string][]e14Row{}
+	order := []string{}
+	for _, r := range rows {
+		if _, ok := byProto[r.protocol]; !ok {
+			order = append(order, r.protocol)
+		}
+		byProto[r.protocol] = append(byProto[r.protocol], r)
+	}
+	for _, proto := range order {
+		off, on := byProto[proto][0], byProto[proto][1]
+		nmi, err := e14Check(off, on)
+		if err != nil {
+			return err
+		}
+		for _, r := range []e14Row{off, on} {
+			ratio := float64(off.comparisons()) / float64(max(r.comparisons(), 1))
+			t.add(proto, string(r.mode), fmt.Sprint(r.run.wall.Round(time.Millisecond)),
+				fmt.Sprint(messages(r.run)), fmt.Sprintf("%.0f", float64(r.run.bytes)/1024),
+				fmt.Sprint(r.comparisons()), fmt.Sprintf("%.1fx", ratio), fmt.Sprintf("%.3f", nmi))
+		}
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Identical labels and non-index Ledger classes in both modes; the index exchange buys the comparison reduction.")
+	return nil
+}
+
+// BenchE14Row is one BenchE14 measurement, JSON-serializable for the perf
+// trajectory file (BENCH_E14.json, written by `make bench`).
+type BenchE14Row struct {
+	Protocol          string  `json:"protocol"`
+	Pruning           string  `json:"pruning"`
+	N                 int     `json:"n"`
+	WallMS            int64   `json:"wall_ms"`
+	Messages          int64   `json:"messages"`
+	Bytes             int64   `json:"bytes"`
+	SecureComparisons int64   `json:"secure_comparisons"`
+	NMIVsOff          float64 `json:"nmi_vs_off"`
+}
+
+// BenchE14 runs the pruning ablation and returns structured measurements,
+// erroring if any protocol family violates the pruning contract.
+func BenchE14(opt Options) ([]BenchE14Row, error) {
+	q, cfg := e14Dataset(opt)
+	rows, err := runE14Protocols(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	byProto := map[string][]e14Row{}
+	for _, r := range rows {
+		byProto[r.protocol] = append(byProto[r.protocol], r)
+	}
+	nmiByProto := map[string]float64{}
+	for proto, pair := range byProto {
+		nmi, err := e14Check(pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		nmiByProto[proto] = nmi
+	}
+	var out []BenchE14Row
+	for _, r := range rows {
+		out = append(out, BenchE14Row{
+			Protocol:          r.protocol,
+			Pruning:           string(r.mode),
+			N:                 len(q.Points),
+			WallMS:            r.run.wall.Milliseconds(),
+			Messages:          messages(r.run),
+			Bytes:             r.run.bytes,
+			SecureComparisons: r.comparisons(),
+			NMIVsOff:          nmiByProto[r.protocol],
+		})
+	}
+	return out, nil
+}

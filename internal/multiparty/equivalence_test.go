@@ -40,6 +40,79 @@ func TestRingBatchedMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRingPrunedMatchesExhaustive mirrors the core pruning harness for the
+// k-party ring: grid pruning must reproduce the exhaustive labels and pair
+// decisions exactly (pruned pairs still count — the index implies them),
+// while disclosing the index circulation it performed.
+func TestRingPrunedMatchesExhaustive(t *testing.T) {
+	points := gridData(t, 18, 3, 11)
+	for _, k := range []int{2, 3} {
+		offCfg := testCfg(compare.EngineMasked)
+		offCfg.Pruning = core.PruneOff
+		offResults, err := runRing(t, offCfg, splitColumns(points, k))
+		if err != nil {
+			t.Fatalf("k=%d exhaustive: %v", k, err)
+		}
+		onCfg := testCfg(compare.EngineMasked)
+		onCfg.Pruning = core.PruneGrid
+		onResults, err := runRing(t, onCfg, splitColumns(points, k))
+		if err != nil {
+			t.Fatalf("k=%d pruned: %v", k, err)
+		}
+		for p := range offResults {
+			if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
+				t.Errorf("k=%d party %d labels diverge: pruned %v, exhaustive %v",
+					k, p, onResults[p].Labels, offResults[p].Labels)
+			}
+			if onResults[p].PairDecisions != offResults[p].PairDecisions {
+				t.Errorf("k=%d party %d pair decisions: pruned %d, exhaustive %d",
+					k, p, onResults[p].PairDecisions, offResults[p].PairDecisions)
+			}
+			if offResults[p].IndexCellCoords != 0 {
+				t.Errorf("k=%d party %d exhaustive run disclosed index coords", k, p)
+			}
+			if onResults[p].IndexCellCoords == 0 {
+				t.Errorf("k=%d party %d pruned run recorded no index disclosure", k, p)
+			}
+		}
+	}
+}
+
+// TestHorizontalMeshPrunedMatchesExhaustive does the same for the k-party
+// horizontal mesh, under both round structures.
+func TestHorizontalMeshPrunedMatchesExhaustive(t *testing.T) {
+	for _, batching := range []core.BatchMode{core.BatchModeBatched, core.BatchModeSequential} {
+		offCfg := testCfg(compare.EngineMasked)
+		offCfg.Batching = batching
+		offCfg.Pruning = core.PruneOff
+		offResults, offErrs := runMesh(t, sameCfgs(3, offCfg), threePartyPoints)
+		for p, err := range offErrs {
+			if err != nil {
+				t.Fatalf("%s party %d exhaustive: %v", batching, p, err)
+			}
+		}
+		onCfg := testCfg(compare.EngineMasked)
+		onCfg.Batching = batching
+		onCfg.Pruning = core.PruneGrid
+		onResults, onErrs := runMesh(t, sameCfgs(3, onCfg), threePartyPoints)
+		for p, err := range onErrs {
+			if err != nil {
+				t.Fatalf("%s party %d pruned: %v", batching, p, err)
+			}
+		}
+		for p := range offResults {
+			if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
+				t.Errorf("%s party %d labels diverge: pruned %v, exhaustive %v",
+					batching, p, onResults[p].Labels, offResults[p].Labels)
+			}
+			if onResults[p].RegionQueries != offResults[p].RegionQueries {
+				t.Errorf("%s party %d region queries: pruned %d, exhaustive %d",
+					batching, p, onResults[p].RegionQueries, offResults[p].RegionQueries)
+			}
+		}
+	}
+}
+
 // TestHorizontalMeshBatchedMatchesSequential does the same for the k-party
 // horizontal mesh.
 func TestHorizontalMeshBatchedMatchesSequential(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fixedpoint"
 	"repro/internal/mpc"
 	"repro/internal/paillier"
+	"repro/internal/spatial"
 	"repro/internal/transport"
 	"repro/internal/yao"
 )
@@ -76,6 +77,7 @@ type pairSession struct {
 	cmpB    compare.Bob   // we respond: peer holds the left value
 	peerN   int           // peer's record count
 	rng     *mrand.Rand   // per-query permutation when we respond
+	peerDir spatial.Directory
 }
 
 // RunHorizontal executes the k-party horizontal protocol for one party.
@@ -132,6 +134,18 @@ func RunHorizontal(party HorizontalParty, cfg Config, points [][]float64) (*Hori
 	if h.epsSq > h.bound {
 		h.epsSq = h.bound
 	}
+	// Grid pruning engages as in the two-party protocol: config-requested
+	// and geometrically useful (see core/session).
+	h.pruneOn = cfg.Pruning == core.PruneGrid && h.epsSq < h.bound
+	if h.pruneOn {
+		h.cellW = spatial.CellWidth(h.epsSq)
+		grid, err := spatial.NewGrid(enc, h.cellW)
+		if err != nil {
+			return nil, err
+		}
+		h.ownGrid = grid
+		h.ownDir = grid.Directory(cfg.PruneQuantum)
+	}
 	if err := h.handshakeAll(); err != nil {
 		return nil, err
 	}
@@ -164,6 +178,11 @@ type hState struct {
 
 	sessions []*pairSession // indexed by peer
 	queries  int
+
+	pruneOn bool
+	cellW   int64
+	ownGrid *spatial.Grid
+	ownDir  spatial.Directory
 }
 
 // handshakeAll establishes a pairwise session with every peer: key
@@ -186,11 +205,14 @@ func (h *hState) handshakeAll() error {
 		}
 		rsaN, rsaE := yao.MarshalRSAPublicKey(&rsaKey.RSAPublicKey)
 		msg := transport.NewBuilder().
+			PutUint(meshHandshakeVersion).
 			PutInt(h.epsSq).
 			PutUint(uint64(h.cfg.MinPts)).
 			PutInt(h.cfg.MaxCoord).
 			PutString(string(h.cfg.Engine)).
 			PutString(string(h.cfg.Batching)).
+			PutString(string(h.cfg.Pruning)).
+			PutUint(uint64(h.cfg.PruneQuantum)).
 			PutUint(uint64(h.m)).
 			PutUint(uint64(len(h.enc))).
 			PutBytes(paillier.MarshalPublicKey(&paiKey.PublicKey)).
@@ -203,11 +225,14 @@ func (h *hState) handshakeAll() error {
 		if err != nil {
 			return fmt.Errorf("handshake with %d: %w", q, err)
 		}
+		pVersion := int(r.Uint())
 		pEpsSq := r.Int()
 		pMinPts := int(r.Uint())
 		pMaxCoord := r.Int()
 		pEngine := r.String()
 		pBatching := r.String()
+		pPruning := r.String()
+		pQuantum := int(r.Uint())
 		pM := int(r.Uint())
 		pN := int(r.Uint())
 		paiB := r.Bytes()
@@ -217,6 +242,8 @@ func (h *hState) handshakeAll() error {
 			return r.Err()
 		}
 		switch {
+		case pVersion != meshHandshakeVersion:
+			return fmt.Errorf("%w: version %d vs %d with party %d", ErrHandshake, meshHandshakeVersion, pVersion, q)
 		case pEpsSq != h.epsSq:
 			return fmt.Errorf("%w: Eps² %d vs %d with party %d", ErrHandshake, h.epsSq, pEpsSq, q)
 		case pMinPts != h.cfg.MinPts:
@@ -227,6 +254,10 @@ func (h *hState) handshakeAll() error {
 			return fmt.Errorf("%w: engine with party %d", ErrHandshake, q)
 		case pBatching != string(h.cfg.Batching):
 			return fmt.Errorf("%w: batching with party %d", ErrHandshake, q)
+		case pPruning != string(h.cfg.Pruning):
+			return fmt.Errorf("%w: pruning with party %d", ErrHandshake, q)
+		case pQuantum != h.cfg.PruneQuantum:
+			return fmt.Errorf("%w: prune quantum with party %d", ErrHandshake, q)
 		case pM != h.m:
 			return fmt.Errorf("%w: dimension %d vs %d with party %d", ErrHandshake, h.m, pM, q)
 		}
@@ -246,6 +277,31 @@ func (h *hState) handshakeAll() error {
 		sess.rng = mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(seedBytes[:]) >> 1)))
 		if err := h.buildPairEngines(sess); err != nil {
 			return err
+		}
+		if h.pruneOn {
+			// Candidate-index exchange, as in the two-party protocol
+			// (core.exchangeIndex): padded occupancy directories per pair.
+			// The lower-indexed party sends first so large directory frames
+			// cannot deadlock a real socket on simultaneous sends.
+			msg := h.ownDir.Encode(transport.NewBuilder())
+			var ir *transport.Reader
+			var err error
+			if p.Index < q {
+				if err = transport.SendMsg(conn, msg); err == nil {
+					ir, err = transport.RecvMsg(conn)
+				}
+			} else {
+				if ir, err = transport.RecvMsg(conn); err == nil {
+					err = transport.SendMsg(conn, msg)
+				}
+			}
+			if err != nil {
+				return fmt.Errorf("index exchange with %d: %w", q, err)
+			}
+			sess.peerDir, err = spatial.DecodeDirectory(ir, h.m, h.cfg.PruneQuantum)
+			if err != nil {
+				return fmt.Errorf("index exchange with %d: %w", q, err)
+			}
 		}
 		h.sessions[q] = sess
 	}
@@ -275,6 +331,10 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 	}
 	return nil
 }
+
+// meshHandshakeVersion guards against protocol drift between binaries;
+// version 2 added the Pruning parameters to the pairwise handshake.
+const meshHandshakeVersion = 2
 
 // Ops on the driver→responder control channel (per peer connection).
 const (
@@ -339,22 +399,40 @@ func (h *hState) totalCount(x []int64) (int, error) {
 	return total, nil
 }
 
-// queryPeer runs one two-party HDP region query against peer q.
+// queryPeer runs one two-party HDP region query against peer q. Under
+// grid pruning the query announces its candidate cells and runs only over
+// their padded occupancy; no candidates means no frames at all.
 func (h *hState) queryPeer(q int, x []int64) (int, error) {
 	sess := h.sessions[q]
 	conn := h.party.Conns[q]
 	if sess.peerN == 0 {
 		return 0, nil
 	}
-	if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(hOpQuery)); err != nil {
+	nCand := sess.peerN
+	msg := transport.NewBuilder().PutUint(hOpQuery)
+	if h.pruneOn {
+		cells, total := sess.peerDir.Candidates(spatial.Bucket(x, h.cellW))
+		usePrune := total < sess.peerN
+		msg.PutBool(usePrune)
+		if usePrune {
+			nCand = total
+			spatial.EncodeCells(msg, cells)
+		}
+		if err := transport.SendMsg(conn, msg); err != nil {
+			return 0, err
+		}
+		if nCand == 0 {
+			return 0, nil
+		}
+	} else if err := transport.SendMsg(conn, msg); err != nil {
 		return 0, err
 	}
 	// MP phase: we are the sender (peer receives masked products under its
 	// own key).
-	ys := make([]int64, 0, sess.peerN*h.m)
-	vs := make([]*big.Int, 0, sess.peerN*h.m)
+	ys := make([]int64, 0, nCand*h.m)
+	vs := make([]*big.Int, 0, nCand*h.m)
 	maskBound := new(big.Int).Lsh(big.NewInt(1), 62)
-	for i := 0; i < sess.peerN; i++ {
+	for i := 0; i < nCand; i++ {
 		masks, err := mpc.ZeroSumMasks(h.random, h.m, maskBound)
 		if err != nil {
 			return 0, err
@@ -372,7 +450,7 @@ func (h *hState) queryPeer(q int, x []int64) (int, error) {
 	}
 	count := 0
 	if h.cfg.Batching == core.BatchModeBatched {
-		vs := make([]int64, sess.peerN)
+		vs := make([]int64, nCand)
 		for i := range vs {
 			vs[i] = ownSum
 		}
@@ -387,7 +465,7 @@ func (h *hState) queryPeer(q int, x []int64) (int, error) {
 		}
 		return count, nil
 	}
-	for i := 0; i < sess.peerN; i++ {
+	for i := 0; i < nCand; i++ {
 		in, err := sess.cmpA.Less(conn, ownSum)
 		if err != nil {
 			return 0, err
@@ -457,7 +535,7 @@ func (h *hState) respond(driver int) error {
 		}
 		switch op {
 		case hOpQuery:
-			if err := h.serveQuery(sess, conn); err != nil {
+			if err := h.serveQuery(sess, conn, r); err != nil {
 				return err
 			}
 		case hOpDone:
@@ -469,11 +547,46 @@ func (h *hState) respond(driver int) error {
 }
 
 // serveQuery answers one HDP region query over our own (permuted) points.
-func (h *hState) serveQuery(sess *pairSession, conn transport.Conn) error {
-	perm := sess.rng.Perm(len(h.enc))
-	xs := make([]int64, 0, len(h.enc)*h.m)
+// Under grid pruning the op frame carries the candidate cells; we serve
+// their real members padded with always-out-of-range dummies to the
+// disclosed counts, exactly as core.hdpServeCompare.
+func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport.Reader) error {
+	pts := h.enc
+	nDummy := 0
+	if h.pruneOn {
+		usePrune := r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if usePrune {
+			cells, err := spatial.DecodeCells(r, h.m)
+			if err != nil {
+				return fmt.Errorf("multiparty: query cells: %w", err)
+			}
+			members, pad, err := h.ownDir.ResolveQuery(h.ownGrid, cells)
+			if err != nil {
+				return fmt.Errorf("multiparty: query cells: %w", err)
+			}
+			pts = make([][]int64, len(members))
+			for i, j := range members {
+				pts[i] = h.enc[j]
+			}
+			nDummy = pad
+		}
+	}
+	total := len(pts) + nDummy
+	if total == 0 {
+		return nil
+	}
+	perm := sess.rng.Perm(total)
+	xs := make([]int64, 0, total*h.m)
+	zero := make([]int64, h.m)
 	for _, pi := range perm {
-		xs = append(xs, h.enc[pi]...)
+		if pi < len(pts) {
+			xs = append(xs, pts[pi]...)
+		} else {
+			xs = append(xs, zero...)
+		}
 	}
 	us, err := mpc.ReceiverBatchMultiply(conn, sess.paiKey, xs, h.random)
 	if err != nil {
@@ -481,6 +594,10 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn) error {
 	}
 	js := make([]int64, len(perm))
 	for i, pi := range perm {
+		if pi >= len(pts) {
+			js[i] = 0 // dummy: strict Less is false for every driver operand
+			continue
+		}
 		dot := new(big.Int)
 		for k := 0; k < h.m; k++ {
 			dot.Add(dot, us[i*h.m+k])
@@ -489,7 +606,7 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn) error {
 			return fmt.Errorf("multiparty: hdp dot product overflow")
 		}
 		var sq int64
-		for _, v := range h.enc[pi] {
+		for _, v := range pts[pi] {
 			sq += v * v
 		}
 		peerSum := sq - 2*dot.Int64()

@@ -48,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fixedpoint"
 	"repro/internal/paillier"
+	"repro/internal/spatial"
 	"repro/internal/transport"
 	"repro/internal/yao"
 )
@@ -73,6 +74,17 @@ type Config struct {
 	// BatchLessEq, so a neighborhood costs O(k) messages instead of
 	// O(k·n). Sequential mode keeps one circulation per pair.
 	Batching core.BatchMode
+
+	// Pruning mirrors core.Config.Pruning: under the default grid mode
+	// each party discloses the Eps-grid cell coordinates of every record
+	// over its own columns (two ring circulations, tag ring.idx); all
+	// parties assemble the same full cell matrix and decide non-adjacent
+	// pairs out of range locally, so those pairs never circulate.
+	Pruning core.PruneMode
+
+	// PruneQuantum mirrors core.Config.PruneQuantum (used by the
+	// horizontal mesh's padded occupancy directories).
+	PruneQuantum int
 
 	Random io.Reader
 }
@@ -102,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.Batching == "" {
 		c.Batching = core.BatchModeBatched
 	}
+	if c.Pruning == "" {
+		c.Pruning = core.PruneGrid
+	}
+	if c.PruneQuantum == 0 {
+		c.PruneQuantum = core.DefaultPruneQuantum
+	}
 	return c
 }
 
@@ -123,6 +141,12 @@ func (c Config) validate() error {
 	}
 	if _, err := core.ParseBatchMode(string(c.Batching)); err != nil {
 		return err
+	}
+	if _, err := core.ParsePruneMode(string(c.Pruning)); err != nil {
+		return err
+	}
+	if c.PruneQuantum < 1 {
+		return fmt.Errorf("multiparty: PruneQuantum must be ≥ 1, got %d", c.PruneQuantum)
 	}
 	return nil
 }
@@ -154,18 +178,29 @@ type Result struct {
 	Labels        []int
 	NumClusters   int
 	PairDecisions int // pairwise within-Eps bits revealed to all parties
+	// IndexCellCoords counts the per-record cell coordinates this party
+	// received in the grid-pruning index circulation (0 with pruning off)
+	// — the ring analogue of core.Ledger.IndexCellCoords.
+	IndexCellCoords int
 }
 
 // ErrHandshake reports ring-wide parameter disagreement.
 var ErrHandshake = errors.New("multiparty: handshake parameter mismatch")
 
+// ringHandshakeVersion guards against protocol drift between binaries;
+// version 2 added the Pruning parameters to the token.
+const ringHandshakeVersion = 2
+
 // handshakeToken travels once around the ring accumulating checks.
 type handshakeToken struct {
+	version  int
 	epsSq    int64
 	minPts   int
 	maxCoord int64
 	engine   string
 	batching string
+	pruning  string
+	quantum  int
 	count    int // record count, must be identical everywhere
 	dimSum   int // Σ attribute counts
 	k        int
@@ -176,11 +211,14 @@ type handshakeToken struct {
 
 func encodeToken(t handshakeToken) *transport.Builder {
 	return transport.NewBuilder().
+		PutUint(uint64(t.version)).
 		PutInt(t.epsSq).
 		PutUint(uint64(t.minPts)).
 		PutInt(t.maxCoord).
 		PutString(t.engine).
 		PutString(t.batching).
+		PutString(t.pruning).
+		PutUint(uint64(t.quantum)).
 		PutUint(uint64(t.count)).
 		PutUint(uint64(t.dimSum)).
 		PutUint(uint64(t.k)).
@@ -191,11 +229,14 @@ func encodeToken(t handshakeToken) *transport.Builder {
 
 func decodeToken(r *transport.Reader) (handshakeToken, error) {
 	t := handshakeToken{
+		version:  int(r.Uint()),
 		epsSq:    r.Int(),
 		minPts:   int(r.Uint()),
 		maxCoord: r.Int(),
 		engine:   r.String(),
 		batching: r.String(),
+		pruning:  r.String(),
+		quantum:  int(r.Uint()),
 		count:    int(r.Uint()),
 		dimSum:   int(r.Uint()),
 		k:        int(r.Uint()),
@@ -261,18 +302,38 @@ func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
 	if err := st.buildEngines(); err != nil {
 		return nil, err
 	}
+	// Grid pruning: circulate the per-record cell matrix (each party's
+	// own-column cells, tag ring.idx), then decide non-adjacent pairs out
+	// of range locally on every party identically — those pairs never
+	// circulate. Pruned pairs still count as pair decisions (the index
+	// implies the bit), so PairDecisions is identical across modes.
+	var cellRows [][]int64
+	if cfg.Pruning == core.PruneGrid && st.epsSq < st.bound {
+		if cellRows, err = st.exchangeCells(); err != nil {
+			return nil, err
+		}
+	}
+	onPruned := func([2]int) { st.pairCount++ }
 
 	var labels []int
 	var clusters int
 	if cfg.Batching == core.BatchModeBatched {
-		labels, clusters, err = core.LockstepClusterBatch(len(enc), cfg.MinPts, st.pairLEBatch)
+		oracle := st.pairLEBatch
+		if cellRows != nil {
+			oracle = core.PrunedBatchOracle(cellRows, onPruned, oracle)
+		}
+		labels, clusters, err = core.LockstepClusterBatch(len(enc), cfg.MinPts, oracle)
 	} else {
-		labels, clusters, err = core.LockstepCluster(len(enc), cfg.MinPts, st.pairLE)
+		oracle := st.pairLE
+		if cellRows != nil {
+			oracle = core.PrunedPairOracle(cellRows, onPruned, oracle)
+		}
+		labels, clusters, err = core.LockstepCluster(len(enc), cfg.MinPts, oracle)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, NumClusters: clusters, PairDecisions: st.pairCount}, nil
+	return &Result{Labels: labels, NumClusters: clusters, PairDecisions: st.pairCount, IndexCellCoords: st.idxCoords}, nil
 }
 
 // state is one party's runtime for the ring protocol.
@@ -283,7 +344,8 @@ type state struct {
 	epsSq  int64
 	random io.Reader
 
-	bound  int64 // m·MaxCoord², m = total dimension
+	m      int   // total (virtual) record dimension
+	bound  int64 // m·MaxCoord²
 	shareV int64
 
 	// Coordinator-owned keys; every party holds the public halves.
@@ -296,6 +358,7 @@ type state struct {
 	cmpB compare.Bob   // last-party side
 
 	pairCount int
+	idxCoords int // cell coordinates received in the index circulation
 }
 
 func (st *state) isCoordinator() bool { return st.party.Index == 0 }
@@ -320,11 +383,14 @@ func (st *state) handshake() error {
 		st.rsaPub = &st.rsaKey.RSAPublicKey
 		rsaN, rsaE := yao.MarshalRSAPublicKey(st.rsaPub)
 		tok := handshakeToken{
+			version:  ringHandshakeVersion,
 			epsSq:    st.epsSq,
 			minPts:   st.cfg.MinPts,
 			maxCoord: st.cfg.MaxCoord,
 			engine:   string(st.cfg.Engine),
 			batching: string(st.cfg.Batching),
+			pruning:  string(st.cfg.Pruning),
+			quantum:  st.cfg.PruneQuantum,
 			count:    len(st.enc),
 			dimSum:   len(st.enc[0]),
 			k:        p.K,
@@ -363,6 +429,8 @@ func (st *state) handshake() error {
 		return err
 	}
 	switch {
+	case tok.version != ringHandshakeVersion:
+		return fmt.Errorf("%w: version %d vs %d", ErrHandshake, ringHandshakeVersion, tok.version)
 	case tok.epsSq != st.epsSq:
 		return fmt.Errorf("%w: Eps² %d vs %d", ErrHandshake, st.epsSq, tok.epsSq)
 	case tok.minPts != st.cfg.MinPts:
@@ -373,6 +441,10 @@ func (st *state) handshake() error {
 		return fmt.Errorf("%w: engine %q vs %q", ErrHandshake, st.cfg.Engine, tok.engine)
 	case tok.batching != string(st.cfg.Batching):
 		return fmt.Errorf("%w: batching %q vs %q", ErrHandshake, st.cfg.Batching, tok.batching)
+	case tok.pruning != string(st.cfg.Pruning):
+		return fmt.Errorf("%w: pruning %q vs %q", ErrHandshake, st.cfg.Pruning, tok.pruning)
+	case tok.quantum != st.cfg.PruneQuantum:
+		return fmt.Errorf("%w: prune quantum %d vs %d", ErrHandshake, st.cfg.PruneQuantum, tok.quantum)
 	case tok.count != len(st.enc):
 		return fmt.Errorf("%w: record count %d vs %d", ErrHandshake, len(st.enc), tok.count)
 	case tok.k != st.party.K:
@@ -409,6 +481,7 @@ func (st *state) finishDims(m int) error {
 	if m < 1 {
 		return fmt.Errorf("multiparty: total dimension %d < 1", m)
 	}
+	st.m = m
 	st.bound = int64(m) * st.cfg.MaxCoord * st.cfg.MaxCoord
 	if st.bound <= 0 || st.bound > int64(1)<<50 {
 		return fmt.Errorf("multiparty: dist² bound %d out of range", st.bound)
@@ -418,6 +491,89 @@ func (st *state) finishDims(m int) error {
 	}
 	st.shareV = int64(1) << uint(st.cfg.ShareMaskBits)
 	return nil
+}
+
+// exchangeCells circulates the grid-pruning index around the ring: lap 1
+// accumulates each party's own-column cell coordinates per record (in
+// party order, matching the virtual column order), lap 2 broadcasts the
+// completed matrix, so every party prunes over identical cell rows.
+func (st *state) exchangeCells() ([][]int64, error) {
+	p := st.party
+	w := spatial.CellWidth(st.epsSq)
+	own := make([][]int64, len(st.enc))
+	for i, row := range st.enc {
+		own[i] = spatial.Bucket(row, w)
+	}
+	encode := func(rows [][]int64) *transport.Builder {
+		return spatial.EncodeCells(transport.NewBuilder(), rows)
+	}
+	decode := func(r *transport.Reader, dim int) ([][]int64, error) {
+		rows, err := spatial.DecodeCells(r, dim)
+		if err != nil {
+			return nil, fmt.Errorf("multiparty: ring index: %w", err)
+		}
+		if len(rows) != len(st.enc) {
+			return nil, fmt.Errorf("multiparty: ring index has %d rows, want %d", len(rows), len(st.enc))
+		}
+		for i, row := range rows {
+			if len(row) != len(rows[0]) {
+				return nil, fmt.Errorf("multiparty: ring index row %d has %d cells, want %d", i, len(row), len(rows[0]))
+			}
+		}
+		return rows, nil
+	}
+	m := st.m
+	ownDim := len(st.enc[0])
+
+	var full [][]int64
+	if st.isCoordinator() {
+		if err := transport.SendMsg(p.Next, encode(own)); err != nil {
+			return nil, fmt.Errorf("multiparty: ring index send: %w", err)
+		}
+		r, err := transport.RecvMsg(p.Prev)
+		if err != nil {
+			return nil, fmt.Errorf("multiparty: ring index return: %w", err)
+		}
+		if full, err = decode(r, m); err != nil {
+			return nil, err
+		}
+		// Lap 2: broadcast the completed matrix.
+		if err := transport.SendMsg(p.Next, encode(full)); err != nil {
+			return nil, err
+		}
+		if _, err := transport.RecvMsg(p.Prev); err != nil {
+			return nil, err
+		}
+	} else {
+		r, err := transport.RecvMsg(p.Prev)
+		if err != nil {
+			return nil, fmt.Errorf("multiparty: ring index recv: %w", err)
+		}
+		soFar, err := decode(r, -1)
+		if err != nil {
+			return nil, err
+		}
+		appended := make([][]int64, len(st.enc))
+		for i := range st.enc {
+			appended[i] = append(append([]int64{}, soFar[i]...), own[i]...)
+		}
+		if err := transport.SendMsg(p.Next, encode(appended)); err != nil {
+			return nil, err
+		}
+		// Lap 2: learn the full matrix, forward it.
+		r2, err := transport.RecvMsg(p.Prev)
+		if err != nil {
+			return nil, err
+		}
+		if full, err = decode(r2, m); err != nil {
+			return nil, err
+		}
+		if err := transport.SendMsg(p.Next, encode(full)); err != nil {
+			return nil, err
+		}
+	}
+	st.idxCoords = len(st.enc) * (m - ownDim)
+	return full, nil
 }
 
 // buildEngines constructs the coordinator↔last comparison pair over the

@@ -1,0 +1,73 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGridBucket drives the bucketing and adjacency primitives with
+// arbitrary coordinates — huge magnitudes, both signs, fixed-point
+// extremes — and checks the invariants every pruning consumer relies on:
+//
+//  1. Bucket never panics and always places a point inside its own cell
+//     ([c·w, (c+1)·w) per axis).
+//  2. Adjacency is symmetric and reflexive.
+//  3. Two points whose per-axis gap is at most w land in adjacent cells
+//     (the soundness half of the pruning contract).
+func FuzzGridBucket(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(1), int64(1), uint8(2))
+	f.Add(int64(-1), int64(63), int64(math.MaxInt64), int64(math.MinInt64), uint8(25))
+	f.Add(int64(math.MaxInt64-1), int64(math.MaxInt64), int64(1)<<50, -(int64(1) << 50), uint8(1))
+	f.Add(int64(5), int64(-5), int64(4), int64(-4), uint8(3))
+
+	f.Fuzz(func(t *testing.T, x0, y0, x1, y1 int64, wRaw uint8) {
+		w := int64(wRaw)%64 + 1
+		p := []int64{x0, y0}
+		q := []int64{x1, y1}
+		cp := Bucket(p, w)
+		cq := Bucket(q, w)
+
+		// A point is inside its own cell on every axis: c·w ≤ x < (c+1)·w.
+		// Compare via the residue to stay overflow-safe at the extremes.
+		for i, x := range p {
+			r := x - cp[i]*w
+			if r < 0 || r >= w {
+				t.Fatalf("Bucket(%d, w=%d) = cell %d with residue %d outside [0,%d)", x, w, cp[i], r, w)
+			}
+		}
+
+		// Adjacency is reflexive and symmetric.
+		if !Adjacent(cp, cp) {
+			t.Fatalf("cell %v not adjacent to itself", cp)
+		}
+		if Adjacent(cp, cq) != Adjacent(cq, cp) {
+			t.Fatalf("asymmetric adjacency between %v and %v", cp, cq)
+		}
+
+		// Soundness: per-axis gap ≤ w ⇒ adjacent cells. Skip axes whose
+		// difference overflows int64 — they are farther than any width.
+		close := true
+		for i := range p {
+			d := p[i] - q[i]
+			if (p[i] >= 0) != (q[i] >= 0) && (d < 0) != (p[i] < q[i]) {
+				close = false // true distance exceeds int64: definitely > w
+				break
+			}
+			if d < 0 {
+				d = -d
+			}
+			if d > w {
+				close = false
+				break
+			}
+		}
+		if close && !Adjacent(cp, cq) {
+			t.Fatalf("points %v and %v within per-axis gap %d but cells %v,%v not adjacent", p, q, w, cp, cq)
+		}
+
+		// Key is injective on the pair (equal keys ⟺ equal cells).
+		if (Key(cp) == Key(cq)) != (cp[0] == cq[0] && cp[1] == cq[1]) {
+			t.Fatalf("Key collision or mismatch for %v vs %v", cp, cq)
+		}
+	})
+}
