@@ -1,23 +1,32 @@
 // Command ppdbscan runs privacy-preserving distributed DBSCAN clustering:
 // the paper's two-party protocols over in-process pipes (demo mode) or
-// real TCP between two processes (alice/bob modes), plus the full
-// experiment suite and a synthetic dataset generator.
+// real TCP between two processes (alice/bob modes for one-shot runs,
+// serve/client for long-lived sessions that amortize keygen, handshake,
+// and the grid-index exchange across many clustering requests), plus the
+// full experiment suite and a synthetic dataset generator.
 //
 // Usage:
 //
 //	ppdbscan demo        -mode horizontal|enhanced|vertical|arbitrary [flags]
 //	ppdbscan alice       -mode horizontal|enhanced|vertical -listen :9000 -data a.csv [flags]
 //	ppdbscan bob         -mode horizontal|enhanced|vertical -connect host:9000 -data b.csv [flags]
+//	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [flags]
+//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e14 [-quick] [-seed N]
-//	ppdbscan bench       [-suite e11|e14] [-quick] [-seed N] [-out BENCH_E11.json]
+//	ppdbscan experiments -id all|e1..e15 [-quick] [-seed N]
+//	ppdbscan bench       [-suite e11|e14|e15] [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
 
 	"repro/internal/compare"
 	"repro/internal/core"
@@ -40,6 +49,10 @@ func main() {
 		err = cmdParty(os.Args[1], os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "client":
+		err = cmdClient(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
 	case "bench":
@@ -64,22 +77,26 @@ func usage() {
 
 commands:
   demo         run a protocol between two in-process parties on synthetic data
-  alice, bob   run one party of a protocol over TCP
+  alice, bob   run one party of a one-shot protocol over TCP
+  serve        hold a long-lived session over TCP and answer clustering requests
+  client       drive a long-lived session: N clustering runs over one key exchange
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e14 or all)
-  bench        run a benchmark suite (-suite e11|e14) and write JSON measurements
+  experiments  regenerate the paper's evaluation tables (e1..e15 or all)
+  bench        run a benchmark suite (-suite e11|e14|e15) and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
 
 E14 is the grid-pruning ablation: -pruning grid (default) buckets each
 party's data into an Eps-width candidate index so secure region queries
 touch only neighboring cells; -pruning off keeps the paper's exhaustive
-candidate sets for A/B comparison.
+candidate sets for A/B comparison. E15 is the parallelism ablation:
+-parallel W > 1 multiplexes W worker channels over the connection and
+dispatches independent secure region queries concurrently.
 
 run 'ppdbscan <command> -h' for flags.
 `)
 }
 
-// protocolFlags carries the options shared by demo/alice/bob.
+// protocolFlags carries the options shared by demo/alice/bob/serve/client.
 type protocolFlags struct {
 	mode      string
 	eps       float64
@@ -89,6 +106,7 @@ type protocolFlags struct {
 	selection string
 	batching  string
 	pruning   string
+	parallel  int
 	seed      int64
 }
 
@@ -102,6 +120,7 @@ func addProtocolFlags(fs *flag.FlagSet) *protocolFlags {
 	fs.StringVar(&p.selection, "selection", "scan", "§5 selection strategy: scan|quickselect")
 	fs.StringVar(&p.batching, "batching", "batched", "comparison round structure: batched|sequential")
 	fs.StringVar(&p.pruning, "pruning", "grid", "candidate-set structure: grid (Eps-grid candidate index)|off (exhaustive)")
+	fs.IntVar(&p.parallel, "parallel", 1, "query scheduler worker width W (1 = sequential; >1 multiplexes W channels)")
 	fs.Int64Var(&p.seed, "seed", 1, "seed for datasets and permutations")
 	return p
 }
@@ -137,6 +156,7 @@ func (p *protocolFlags) config() (core.Config, error) {
 		Selection: selection,
 		Batching:  batching,
 		Pruning:   pruning,
+		Parallel:  p.parallel,
 		Seed:      p.seed,
 		// Demo/CLI runs favour responsiveness over key strength.
 		PaillierBits: 512,
@@ -327,6 +347,123 @@ func cmdParty(role string, args []string) error {
 	return nil
 }
 
+// sessionByMode builds the long-lived session for serve/client.
+func sessionByMode(mode string, conn transport.Conn, cfg core.Config, role core.Role, points [][]float64) (*core.Session, error) {
+	switch mode {
+	case "horizontal":
+		return core.NewHorizontalSession(conn, cfg, role, points)
+	case "enhanced":
+		return core.NewEnhancedHorizontalSession(conn, cfg, role, points)
+	case "vertical":
+		return core.NewVerticalSession(conn, cfg, role, points)
+	}
+	return nil, fmt.Errorf("mode %q not supported for sessions (use demo for arbitrary)", mode)
+}
+
+// cmdServe holds one long-lived session as the serving party (RoleBob):
+// keygen, handshake, and the grid-index exchange happen once at accept
+// time, then every clustering request from the client reuses them.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	p := addProtocolFlags(fs)
+	listen := fs.String("listen", ":9000", "address to listen on")
+	dataPath := fs.String("data", "", "CSV file with this party's points (one point per line)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return err
+	}
+	points, err := readCSV(*dataPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: listening on %s (mode %s, parallel %d)\n", *listen, p.mode, cfg.Parallel)
+	conn, _, err := transport.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	meter := transport.NewMeter(conn)
+	sess, err := sessionByMode(p.mode, meter, cfg, core.RoleBob, points)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: session established, setup leakage %v\n", sess.SetupLeakage())
+	for {
+		res, err := sess.Run()
+		if errors.Is(err, core.ErrSessionClosed) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serve: run %d: %d labels, %d clusters, run leakage %v\n",
+			sess.Runs(), len(res.Labels), res.NumClusters, res.Leakage)
+	}
+	fmt.Printf("serve: session closed after %d runs; traffic sent %d bytes, received %d bytes\n",
+		sess.Runs(), meter.Stats().BytesSent, meter.Stats().BytesRecv)
+	return nil
+}
+
+// cmdClient drives a long-lived session as the initiating party
+// (RoleAlice): -runs clustering requests over one key exchange + index.
+func cmdClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	p := addProtocolFlags(fs)
+	connect := fs.String("connect", "", "address of the serving party")
+	dataPath := fs.String("data", "", "CSV file with this party's points (one point per line)")
+	runs := fs.Int("runs", 1, "clustering runs to request over the session")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("client requires -connect host:port")
+	}
+	if *runs < 1 {
+		return fmt.Errorf("client requires -runs ≥ 1")
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return err
+	}
+	points, err := readCSV(*dataPath)
+	if err != nil {
+		return err
+	}
+	conn, err := transport.Dial(*connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	meter := transport.NewMeter(conn)
+	sess, err := sessionByMode(p.mode, meter, cfg, core.RoleAlice, points)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client: session established, setup leakage %v\n", sess.SetupLeakage())
+	var last *core.Result
+	for i := 0; i < *runs; i++ {
+		res, err := sess.Run()
+		if err != nil {
+			return err
+		}
+		last = res
+		fmt.Printf("client: run %d: %d labels, %d clusters, run leakage %v\n",
+			sess.Runs(), len(res.Labels), res.NumClusters, res.Leakage)
+	}
+	if err := sess.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("client: closed after %d runs; traffic sent %d bytes, received %d bytes\n",
+		sess.Runs(), meter.Stats().BytesSent, meter.Stats().BytesRecv)
+	for i, l := range last.Labels {
+		fmt.Printf("%d,%d\n", i, l)
+	}
+	return nil
+}
+
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	kind := fs.String("kind", "blobs", "dataset: blobs|moons|rings|bridged")
@@ -356,7 +493,7 @@ func cmdGen(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (e1..e13) or all")
+	id := fs.String("id", "all", "experiment id (e1..e15) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
@@ -365,16 +502,51 @@ func cmdExperiments(args []string) error {
 	return experiments.Run(*id, os.Stdout, experiments.Options{Quick: *quick, Seed: *seed})
 }
 
+// benchFile is the envelope every bench suite writes: the measurement
+// rows stamped with the commit hash and Go version that produced them,
+// so the perf-trajectory artifacts are attributable PR over PR.
+type benchFile struct {
+	Suite     string `json:"suite"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+	Rows      any    `json:"rows"`
+}
+
+// gitCommit resolves the commit that built this binary: the embedded VCS
+// stamp when present (installed binaries), else the working tree's HEAD
+// (`go run` from the repo, which embeds no stamp), else "unknown" (export
+// tarballs). The embedded stamp wins so a binary run from some unrelated
+// git repository is not mis-attributed to that repository's HEAD.
+func gitCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				if len(kv.Value) > 12 {
+					return kv.Value[:12]
+				}
+				return kv.Value
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+}
+
 // cmdBench measures a benchmark suite and writes the rows as JSON — the
 // perf-trajectory artifacts `make bench` stores in BENCH_E11.json (E11
-// end-to-end workload, both batching modes) and BENCH_E14.json (grid-
-// pruning ablation: secure comparisons, bytes, wall clock, both pruning
-// modes).
+// end-to-end workload, both batching modes), BENCH_E14.json (grid-pruning
+// ablation), and BENCH_E15.json (parallelism ablation: worker-width sweep
+// over a simulated WAN). Every file is stamped with the commit hash and
+// Go version that produced it.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller workload")
 	seed := fs.Int64("seed", 1, "bench seed")
-	suite := fs.String("suite", "e11", "benchmark suite: e11|e14")
+	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -387,13 +559,20 @@ func cmdBench(args []string) error {
 		rows, err = experiments.BenchE11(opt)
 	case "e14":
 		rows, err = experiments.BenchE14(opt)
+	case "e15":
+		rows, err = experiments.BenchE15(opt)
 	default:
-		return fmt.Errorf("unknown bench suite %q (want e11 or e14)", *suite)
+		return fmt.Errorf("unknown bench suite %q (want e11, e14, or e15)", *suite)
 	}
 	if err != nil {
 		return err
 	}
-	blob, err := json.MarshalIndent(rows, "", "  ")
+	blob, err := json.MarshalIndent(benchFile{
+		Suite:     *suite,
+		Commit:    gitCommit(),
+		GoVersion: runtime.Version(),
+		Rows:      rows,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}

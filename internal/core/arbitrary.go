@@ -32,16 +32,22 @@ import (
 // number of adp.mp/adp.cmp frames per neighborhood instead of one
 // exchange per pair, with identical per-pair algebra and Ledger entries.
 func ArbitraryAlice(conn transport.Conn, cfg Config, values [][]float64, owners [][]partition.Owner) (*Result, error) {
-	return arbitraryRun(conn, cfg, RoleAlice, values, owners)
+	return runOneShot(NewArbitrarySession(conn, cfg, RoleAlice, values, owners))
 }
 
 // ArbitraryBob is Alice's counterpart; see ArbitraryAlice.
 func ArbitraryBob(conn transport.Conn, cfg Config, values [][]float64, owners [][]partition.Owner) (*Result, error) {
-	return arbitraryRun(conn, cfg, RoleBob, values, owners)
+	return runOneShot(NewArbitrarySession(conn, cfg, RoleBob, values, owners))
 }
 
-func arbitraryRun(conn transport.Conn, cfg Config, role Role, values [][]float64, owners [][]partition.Owner) (*Result, error) {
+// NewArbitrarySession establishes a long-lived §4.4 session: handshake,
+// keys, ownership verification, and (under grid pruning) the cell-matrix
+// exchange happen once; each Run executes one lockstep clustering.
+func NewArbitrarySession(conn transport.Conn, cfg Config, role Role, values [][]float64, owners [][]partition.Owner) (*Session, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if len(values) == 0 {
 		return nil, fmt.Errorf("core: arbitrary protocol requires at least one record")
 	}
@@ -58,7 +64,8 @@ func arbitraryRun(conn transport.Conn, cfg Config, role Role, values [][]float64
 	if err != nil {
 		return nil, err
 	}
-	s, peer, err := newSession(conn, cfg, role, "arbitrary", m, len(values))
+	mux, conns := sessionChannels(conn, cfg.Parallel)
+	s, peer, err := newSession(conns[0], cfg, role, "arbitrary", m, len(values))
 	if err != nil {
 		return nil, err
 	}
@@ -68,66 +75,85 @@ func arbitraryRun(conn transport.Conn, cfg Config, role Role, values [][]float64
 	if err := s.setDimension(m); err != nil {
 		return nil, err
 	}
-	if err := verifyOwnership(conn, owners); err != nil {
+	if err := verifyOwnership(conns[0], owners); err != nil {
 		return nil, err
 	}
-
-	engA, engB, err := s.distEngines()
-	if err != nil {
-		return nil, err
-	}
-	a := &adpState{s: s, conn: conn, role: role, enc: enc, owners: owners}
+	a := &adpState{s: s, role: role, enc: enc, owners: owners}
 	// Grid pruning: every attribute cell coordinate is disclosed by the
 	// value's owner (adp.idx) and routed into full per-record cell rows via
 	// the public ownership matrix; non-adjacent pairs are decided locally.
 	// Pruned pairs keep their PairDecisions budget entry, and the Bob side
 	// keeps the DotProducts budget entry for pruned pairs with mixed cells
 	// (whose cross terms the index made unnecessary) — see Ledger docs.
+	// Session-level state: repeated Runs reuse the matrix.
 	var cellRows [][]int64
 	if s.pruneOn {
-		cellRows, err = arbitraryCellMatrix(conn, s, enc, owners, role)
+		cellRows, err = arbitraryCellMatrix(conns[0], s, enc, owners, role)
 		if err != nil {
 			return nil, err
 		}
 	}
+	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: "arbitrary"}
+	t.setup = s.takeLedger()
+	t.runOnce = func() (*Result, error) { return arbitraryRunOnce(t, a, cellRows) }
+	return t, nil
+}
+
+// arbitraryRunOnce executes one lockstep clustering over the established
+// session state.
+func arbitraryRunOnce(t *Session, a *adpState, cellRows [][]int64) (*Result, error) {
+	s := t.s
+	role := s.role
+	engA, engB, err := s.distEngines()
+	if err != nil {
+		return nil, err
+	}
+	n := len(a.enc)
 	onPruned := func(pr [2]int) {
-		s.ledger.PairDecisions++
-		if role == RoleBob && a.hasMixed(pr[0], pr[1]) {
-			s.ledger.DotProducts++
-		}
+		s.led(func(l *Ledger) {
+			l.PairDecisions++
+			if role == RoleBob && a.hasMixed(pr[0], pr[1]) {
+				l.DotProducts++
+			}
+		})
 	}
 	var labels []int
 	var clusters int
-	if s.batched() {
+	switch {
+	case s.parallel() > 1:
+		labels, clusters, err = LockstepClusterParallel(n, s.cfg.MinPts, s.parallel(),
+			PrunedLocalDecider(cellRows, onPruned),
+			func(ch int, pairs [][2]int) ([]bool, error) { return a.batchLE(t.conns[ch], pairs, engA, engB) })
+	case s.batched():
 		oracle := func(pairs [][2]int) ([]bool, error) {
-			return a.batchLE(pairs, engA, engB)
+			return a.batchLE(t.conns[0], pairs, engA, engB)
 		}
 		if s.pruneOn {
 			oracle = PrunedBatchOracle(cellRows, onPruned, oracle)
 		}
-		labels, clusters, err = LockstepClusterBatch(len(values), cfg.MinPts, oracle)
-	} else {
+		labels, clusters, err = LockstepClusterBatch(n, s.cfg.MinPts, oracle)
+	default:
 		pairLE := func(i, j int) (bool, error) {
-			ownSum, err := a.localAndCrossSum(i, j)
+			ownSum, err := a.localAndCrossSum(t.conns[0], i, j)
 			if err != nil {
 				return false, err
 			}
-			setTag(conn, "adp.cmp")
-			s.ledger.PairDecisions++
+			setTag(t.conns[0], "adp.cmp")
+			s.led(func(l *Ledger) { l.PairDecisions++ })
 			if role == RoleAlice {
-				return distLessEqDriver(conn, engA, ownSum)
+				return distLessEqDriver(t.conns[0], engA, ownSum)
 			}
-			return distLessEqResponder(conn, engB, s, ownSum)
+			return distLessEqResponder(t.conns[0], engB, s, ownSum)
 		}
 		if s.pruneOn {
 			pairLE = PrunedPairOracle(cellRows, onPruned, pairLE)
 		}
-		labels, clusters, err = LockstepCluster(len(values), cfg.MinPts, pairLE)
+		labels, clusters, err = LockstepCluster(n, s.cfg.MinPts, pairLE)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger, SecureComparisons: s.cmpCount}, nil
+	return t.result(labels, clusters), nil
 }
 
 // encodeOwnedCells fixed-point encodes only the cells this party owns;
@@ -191,10 +217,10 @@ func verifyOwnership(conn transport.Conn, owners [][]partition.Owner) error {
 }
 
 // adpState carries one party's view of the arbitrary-partition distance
-// computation.
+// computation; connections are supplied per call so the parallel
+// scheduler can run batches on any worker channel.
 type adpState struct {
 	s      *session
-	conn   transport.Conn
 	role   Role
 	enc    [][]int64
 	owners [][]partition.Owner
@@ -243,7 +269,7 @@ func (a *adpState) hasMixed(i, j int) bool {
 // localAndCrossSum computes this party's additive share of dist²(d_i, d_j):
 // locally-owned attribute terms plus this party's side of the mixed-cell
 // cross terms, running one Multiplication Protocol exchange per pair.
-func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
+func (a *adpState) localAndCrossSum(conn transport.Conn, i, j int) (int64, error) {
 	local, mixedVals := a.pairTerms(i, j)
 	if len(mixedVals) == 0 {
 		return local, nil
@@ -251,19 +277,19 @@ func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
 
 	// Cross terms −2ab, Bob receiving (the §4.4 convention: "use Protocol
 	// HDP to let Bob get" the horizontal part).
-	setTag(a.conn, "adp.mp")
+	setTag(conn, "adp.mp")
 	if a.role == RoleAlice {
 		masks, err := mpc.ZeroSumMasks(a.s.random, len(mixedVals), a.s.maskBound())
 		if err != nil {
 			return 0, err
 		}
-		if err := mpc.SenderBatchMultiply(a.conn, a.s.peerPai, mixedVals, masks, a.s.random); err != nil {
+		if err := mpc.SenderBatchMultiply(conn, a.s.peerPai, mixedVals, masks, a.s.random); err != nil {
 			return 0, fmt.Errorf("core: adp multiplication: %w", err)
 		}
 		// Zero-sum masks cancel: Alice's share needs no correction.
 		return local, nil
 	}
-	us, err := mpc.ReceiverBatchMultiply(a.conn, a.s.paiKey, mixedVals, a.s.random)
+	us, err := mpc.ReceiverBatchMultiply(conn, a.s.paiKey, mixedVals, a.s.random)
 	if err != nil {
 		return 0, fmt.Errorf("core: adp multiplication: %w", err)
 	}
@@ -271,7 +297,7 @@ func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	a.s.ledger.DotProducts++
+	a.s.led(func(l *Ledger) { l.DotProducts++ })
 	return local - 2*cross, nil
 }
 
@@ -280,7 +306,7 @@ func (a *adpState) localAndCrossSum(i, j int) (int64, error) {
 // Multiplication Protocol exchange (zero-sum masks stay per-pair, so each
 // pair's share algebra is exactly the sequential protocol's), then one
 // BatchLess settles all the threshold comparisons.
-func (a *adpState) batchLE(pairs [][2]int, engA compare.Alice, engB compare.Bob) ([]bool, error) {
+func (a *adpState) batchLE(conn transport.Conn, pairs [][2]int, engA compare.Alice, engB compare.Bob) ([]bool, error) {
 	s := a.s
 	ownSums := make([]int64, len(pairs))
 	mixedPerPair := make([][]int64, len(pairs))
@@ -293,7 +319,7 @@ func (a *adpState) batchLE(pairs [][2]int, engA compare.Alice, engB compare.Bob)
 	}
 
 	if totalMixed > 0 {
-		setTag(a.conn, "adp.mp")
+		setTag(conn, "adp.mp")
 		if a.role == RoleAlice {
 			ys := make([]int64, 0, totalMixed)
 			vs := make([]*big.Int, 0, totalMixed)
@@ -308,7 +334,7 @@ func (a *adpState) batchLE(pairs [][2]int, engA compare.Alice, engB compare.Bob)
 				ys = append(ys, mixedVals...)
 				vs = append(vs, masks...)
 			}
-			if err := mpc.SenderBatchMultiply(a.conn, s.peerPai, ys, vs, s.random); err != nil {
+			if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random); err != nil {
 				return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
 			}
 		} else {
@@ -316,7 +342,7 @@ func (a *adpState) batchLE(pairs [][2]int, engA compare.Alice, engB compare.Bob)
 			for _, mixedVals := range mixedPerPair {
 				xs = append(xs, mixedVals...)
 			}
-			us, err := mpc.ReceiverBatchMultiply(a.conn, s.paiKey, xs, s.random)
+			us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random)
 			if err != nil {
 				return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
 			}
@@ -331,21 +357,21 @@ func (a *adpState) batchLE(pairs [][2]int, engA compare.Alice, engB compare.Bob)
 				}
 				off += len(mixedVals)
 				ownSums[t] -= 2 * cross
-				s.ledger.DotProducts++
+				s.led(func(l *Ledger) { l.DotProducts++ })
 			}
 		}
 	}
 
-	setTag(a.conn, "adp.cmp")
-	s.ledger.PairDecisions += len(pairs)
+	setTag(conn, "adp.cmp")
+	s.led(func(l *Ledger) { l.PairDecisions += len(pairs) })
 	if a.role == RoleAlice {
-		return engA.BatchLess(a.conn, ownSums)
+		return engA.BatchLess(conn, ownSums)
 	}
 	js := make([]int64, len(ownSums))
 	for t, v := range ownSums {
 		js[t] = s.responderOperand(engB.Bound(), v)
 	}
-	return engB.BatchLess(a.conn, js)
+	return engB.BatchLess(conn, js)
 }
 
 // sumInt64 totals masked products, guarding against overflow.

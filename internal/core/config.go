@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/compare"
 	"repro/internal/fixedpoint"
+	"repro/internal/transport"
 )
 
 // Default parameter values; see Config.
@@ -84,6 +85,23 @@ type Config struct {
 	// agree (handshake-checked); default DefaultPruneQuantum.
 	PruneQuantum int
 
+	// Parallel is the query scheduler's worker width W. With W = 1 (the
+	// default) every sub-protocol runs on the session's single,
+	// unmultiplexed connection in the strictly sequential lockstep order —
+	// the exact sub-protocol schedule and frame sequence of the
+	// pre-scheduler code path (relative to other v4 builds; the handshake
+	// itself gained the Parallel field and the session control ops, so v3
+	// binaries do not interoperate). With W > 1 the session multiplexes W logical
+	// channels over the connection (transport.Mux) and dispatches
+	// independent secure region queries — HDP/enhanced core queries, and
+	// lockstep pair batches for the vertical/arbitrary families — across
+	// the W workers, overlapping their round trips. Labels and non-index
+	// Ledgers are identical to the sequential schedule (the parallel
+	// equivalence harness enforces this); only frame interleaving changes.
+	// Both parties must agree (handshake-checked). W > 1 requires the
+	// batched round structure.
+	Parallel int
+
 	// Seed, when non-zero, makes the per-query permutations of Algorithm 4
 	// deterministic for reproducible experiments. Zero draws them from
 	// crypto/rand.
@@ -128,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.PruneQuantum == 0 {
 		c.PruneQuantum = DefaultPruneQuantum
 	}
+	if c.Parallel == 0 {
+		c.Parallel = 1
+	}
 	return c
 }
 
@@ -159,6 +180,12 @@ func (c Config) validate() error {
 	}
 	if c.PruneQuantum < 1 {
 		return fmt.Errorf("core: PruneQuantum must be ≥ 1, got %d", c.PruneQuantum)
+	}
+	if c.Parallel < 1 || c.Parallel > transport.MaxMuxChannels {
+		return fmt.Errorf("core: Parallel %d outside [1,%d]", c.Parallel, transport.MaxMuxChannels)
+	}
+	if c.Parallel > 1 && c.Batching != BatchModeBatched {
+		return fmt.Errorf("core: Parallel %d requires Batching %q (the scheduler dispatches batched sub-protocols)", c.Parallel, BatchModeBatched)
 	}
 	return nil
 }

@@ -21,12 +21,60 @@
 //     comparison against Eps² decides core-ness, revealing the core bit
 //     instead of the neighbour count.
 //
+// # Layering
+//
+// The stack splits session lifetime from run lifetime and schedule from
+// protocol:
+//
+//	┌────────────────────────────────────────────────────────────┐
+//	│ protocol families     horizontal · enhanced · vertical ·   │
+//	│ (hdp/enhanced/        arbitrary (+ multiparty ring/mesh)   │
+//	│  vertical/arbitrary)  one Run = one clustering             │
+//	├────────────────────────────────────────────────────────────┤
+//	│ query scheduler       Config.Parallel: waves of W          │
+//	│ (parallel.go)         independent region queries /         │
+//	│                       lockstep pair batches, one worker    │
+//	│                       channel each; W=1 → the sequential   │
+//	│                       lockstep schedule                    │
+//	├────────────────────────────────────────────────────────────┤
+//	│ core.Session          keygen + handshake + grid-index      │
+//	│ (sess.go)             exchange once; many Run calls;       │
+//	│                       setup vs per-run Ledger split        │
+//	├────────────────────────────────────────────────────────────┤
+//	│ transport mux         transport.Mux: W channel-tagged      │
+//	│ (internal/transport)  logical channels over one Conn,      │
+//	│                       under a concurrent-writer-safe Meter │
+//	└────────────────────────────────────────────────────────────┘
+//
 // Every protocol runs over a transport.Conn; pair the two role functions
 // with transport.Run2 for in-process execution or TCP framing for real
-// two-process deployments. All traffic is attributable to protocol phases
-// via transport.Meter tags, which the communication experiments (E3–E5)
+// two-process deployments (`ppdbscan serve`/`client` hold a Session over
+// TCP). All traffic is attributable to protocol phases via
+// transport.Meter tags, which the communication experiments (E3–E5)
 // consume. Each result carries a leakage Ledger recording exactly what the
-// protocol disclosed beyond its output, mirroring Theorems 9–11.
+// protocol disclosed beyond its output, mirroring Theorems 9–11; the
+// one-time index disclosure of a long-lived session is reported once, via
+// Session.SetupLeakage.
+//
+// # Long-lived sessions and the parallel scheduler
+//
+// Config.Parallel = W > 1 turns the hand-rolled lockstep loops into a
+// shared wave scheduler: the horizontal families prefetch the remote
+// decisions of up to W seed-queue points concurrently (every queued point
+// is queried eventually, so prefetching reorders nothing), and the
+// lockstep families claim each still-undecided pair for exactly one of W
+// concurrent worker batches. Schedules are pure functions of shared
+// protocol state, so jointly-computed oracles stay in lock step; labels,
+// Ledgers, and comparison totals are identical to W=1 (the parallel
+// equivalence harness enforces this), and W=1 itself runs the exact
+// sequential sub-protocol schedule of the pre-scheduler code path over an
+// unmultiplexed connection (the handshake version and session control
+// ops changed, so the claim is schedule identity, not cross-release wire
+// compatibility). The win is round-trip
+// overlap — experiment E15 measures it over a simulated WAN. With
+// Selection=quickselect the per-channel permutation streams can shift
+// OrderBits relative to the shared sequential stream (labels and CoreBits
+// are unaffected); the scan default is permutation-invariant.
 //
 // # Round structure and batching
 //

@@ -40,14 +40,15 @@ import (
 // comparison count and OrderBits leakage.
 
 // EnhancedHorizontalAlice runs the §5 protocol as Alice. The peer must
-// concurrently run EnhancedHorizontalBob.
+// concurrently run EnhancedHorizontalBob. This is the one-shot form; see
+// NewEnhancedHorizontalSession for long-lived serving.
 func EnhancedHorizontalAlice(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
-	return horizontalRun(conn, cfg, RoleAlice, points, "enhanced-horizontal", enhancedPassDriver, enhancedPassResponder)
+	return runOneShot(NewEnhancedHorizontalSession(conn, cfg, RoleAlice, points))
 }
 
 // EnhancedHorizontalBob is Alice's counterpart; see EnhancedHorizontalAlice.
 func EnhancedHorizontalBob(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
-	return horizontalRun(conn, cfg, RoleBob, points, "enhanced-horizontal", enhancedPassDriver, enhancedPassResponder)
+	return runOneShot(NewEnhancedHorizontalSession(conn, cfg, RoleBob, points))
 }
 
 // enhancedEngines builds the two comparator pairs the §5 protocol needs:
@@ -74,7 +75,7 @@ func enhancedPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer in
 	if err != nil {
 		return nil, 0, err
 	}
-	h := &hPass{s: s, conn: conn, own: own, nPeer: nPeer}
+	h := &hPass{s: s, own: own, nPeer: nPeer}
 
 	labels := make([]int, len(own))
 	for i := range labels {
@@ -85,7 +86,7 @@ func enhancedPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer in
 		if labels[i] != dbscan.Unclassified {
 			continue
 		}
-		expanded, err := enhancedExpand(h, i, clusterID+1, labels, shareA, finalA)
+		expanded, err := enhancedExpand(h, conn, i, clusterID+1, labels, shareA, finalA)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -102,9 +103,9 @@ func enhancedPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer in
 
 // enhancedExpand is Algorithm 8: expansion walks only the driver's own
 // points; core-ness comes from the updated protocol.
-func enhancedExpand(h *hPass, point, clusterID int, labels []int, shareA compare.Alice, finalA compare.Alice) (bool, error) {
+func enhancedExpand(h *hPass, conn transport.Conn, point, clusterID int, labels []int, shareA compare.Alice, finalA compare.Alice) (bool, error) {
 	seedsA := h.localRegionQuery(point)
-	core, err := enhancedIsCore(h, point, len(seedsA), shareA, finalA)
+	core, err := enhancedIsCore(h, conn, point, len(seedsA), shareA, finalA)
 	if err != nil {
 		return false, err
 	}
@@ -125,7 +126,7 @@ func enhancedExpand(h *hPass, point, clusterID int, labels []int, shareA compare
 		current := queue[0]
 		queue = queue[1:]
 		resultA := h.localRegionQuery(current)
-		core, err := enhancedIsCore(h, current, len(resultA), shareA, finalA)
+		core, err := enhancedIsCore(h, conn, current, len(resultA), shareA, finalA)
 		if err != nil {
 			return false, err
 		}
@@ -151,7 +152,7 @@ func enhancedExpand(h *hPass, point, clusterID int, labels []int, shareA compare
 // occupancy of the query point's candidate cells instead of every peer
 // point, with dummy entries pinned to the maximal distance — a query
 // whose candidate cells cannot hold k points is decided locally.
-func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA compare.Alice) (bool, error) {
+func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA compare.Alice, finalA compare.Alice) (bool, error) {
 	s := h.s
 	k := s.cfg.MinPts - ownCount
 	if k <= 0 {
@@ -176,7 +177,7 @@ func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA 
 	if !usePrune && k > h.nPeer {
 		return false, nil
 	}
-	setTag(h.conn, "enh.op")
+	setTag(conn, "enh.op")
 	msg := transport.NewBuilder().PutUint(opCore).PutUint(uint64(k))
 	if s.pruneOn {
 		msg.PutBool(usePrune)
@@ -184,14 +185,14 @@ func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA 
 			spatial.EncodeCells(msg, cells)
 		}
 	}
-	if err := transport.SendMsg(h.conn, msg); err != nil {
+	if err := transport.SendMsg(conn, msg); err != nil {
 		return false, err
 	}
 
 	// Share phase: u_i = Dist²(A, B_i) + v_i.
-	setTag(h.conn, "enh.share")
+	setTag(conn, "enh.share")
 	a := extendedQueryVector(h.own[point])
-	usBig, err := mpc.ReceiverDotMany(h.conn, s.paiKey, a, nCand, s.random)
+	usBig, err := mpc.ReceiverDotMany(conn, s.paiKey, a, nCand, s.random)
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced share phase: %w", err)
 	}
@@ -205,7 +206,7 @@ func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA 
 	}
 
 	// Selection phase: index of the k-th smallest shared distance.
-	setTag(h.conn, "enh.select")
+	setTag(conn, "enh.select")
 	shift := s.bound + s.shareV
 	var kth, comparisons int
 	if s.batched() {
@@ -215,28 +216,28 @@ func enhancedIsCore(h *hPass, point, ownCount int, shareA compare.Alice, finalA 
 				// Dist_x ≤ Dist_y ⟺ u_x − u_y ≤ v_x − v_y.
 				vals[t] = us[pr[0]] - us[pr[1]] + shift
 			}
-			return shareA.BatchLessEq(h.conn, vals)
+			return shareA.BatchLessEq(conn, vals)
 		}
 		kth, comparisons, err = kthSmallestBatch(nCand, k, s.cfg.Selection, leb)
 	} else {
 		le := func(x, y int) (bool, error) {
 			// Dist_x ≤ Dist_y ⟺ u_x − u_y ≤ v_x − v_y.
-			return shareA.LessEq(h.conn, us[x]-us[y]+shift)
+			return shareA.LessEq(conn, us[x]-us[y]+shift)
 		}
 		kth, comparisons, err = kthSmallest(nCand, k, s.cfg.Selection, le)
 	}
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced selection: %w", err)
 	}
-	s.ledger.OrderBits += comparisons
+	s.led(func(l *Ledger) { l.OrderBits += comparisons })
 
 	// Final phase: Dist_κ ≤ Eps² ⟺ u_κ ≤ Eps² + v_κ.
-	setTag(h.conn, "enh.final")
-	core, err := finalA.LessEq(h.conn, us[kth])
+	setTag(conn, "enh.final")
+	core, err := finalA.LessEq(conn, us[kth])
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced final comparison: %w", err)
 	}
-	s.ledger.CoreBits++
+	s.led(func(l *Ledger) { l.CoreBits++ })
 	return core, nil
 }
 
@@ -258,17 +259,7 @@ func enhancedPassResponder(s *session, conn transport.Conn, own [][]int64) error
 		}
 		switch op {
 		case opCore:
-			k := int(r.Uint())
-			if r.Err() != nil {
-				return r.Err()
-			}
-			pts, nDummy := own, 0
-			if s.pruneOn {
-				if pts, nDummy, err = s.readPrunedOp(r, own); err != nil {
-					return err
-				}
-			}
-			if err := enhancedServeCore(s, conn, pts, nDummy, k, shareB, finalB); err != nil {
+			if err := serveEnhancedCore(s, conn, s.rng, shareB, finalB, own, r); err != nil {
 				return err
 			}
 		case opDone:
@@ -279,11 +270,28 @@ func enhancedPassResponder(s *session, conn transport.Conn, own [][]int64) error
 	}
 }
 
+// serveEnhancedCore parses one announced core query (k plus the pruning
+// fields) and answers it.
+func serveEnhancedCore(s *session, conn transport.Conn, rng permSource, shareB, finalB compare.Bob, own [][]int64, r *transport.Reader) error {
+	k := int(r.Uint())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	pts, nDummy := own, 0
+	if s.pruneOn {
+		var err error
+		if pts, nDummy, err = s.readPrunedOp(r, own); err != nil {
+			return err
+		}
+	}
+	return enhancedServeCore(s, conn, rng, pts, nDummy, k, shareB, finalB)
+}
+
 // enhancedServeCore answers one core query against the given candidate
 // points plus nDummy padding entries. A dummy's data vector pins its
 // shared distance to the domain bound — strictly beyond Eps² whenever
 // pruning is active — so dummies can never be selected as within range.
-func enhancedServeCore(s *session, conn transport.Conn, pts [][]int64, nDummy, k int, shareB compare.Bob, finalB compare.Bob) error {
+func enhancedServeCore(s *session, conn transport.Conn, rng permSource, pts [][]int64, nDummy, k int, shareB compare.Bob, finalB compare.Bob) error {
 	n := len(pts) + nDummy
 	if k < 1 || k > n {
 		return fmt.Errorf("core: driver requested k=%d of %d points", k, n)
@@ -291,7 +299,7 @@ func enhancedServeCore(s *session, conn transport.Conn, pts [][]int64, nDummy, k
 	// Fresh per-query permutation, as in Algorithm 4; the selection then
 	// operates on permuted indices on both sides consistently (the driver
 	// sees only the permuted order).
-	perm := s.rng.Perm(n)
+	perm := rng.Perm(n)
 
 	setTag(conn, "enh.share")
 	vs := make([]*big.Int, n)
@@ -336,13 +344,13 @@ func enhancedServeCore(s *session, conn transport.Conn, pts [][]int64, nDummy, k
 	if err != nil {
 		return fmt.Errorf("core: enhanced selection: %w", err)
 	}
-	s.ledger.OrderBits += comparisons
+	s.led(func(l *Ledger) { l.OrderBits += comparisons })
 
 	setTag(conn, "enh.final")
 	if _, err := finalB.LessEq(conn, s.epsSq+vals[kth]); err != nil {
 		return fmt.Errorf("core: enhanced final comparison: %w", err)
 	}
-	s.ledger.CoreBits++
+	s.led(func(l *Ledger) { l.CoreBits++ })
 	return nil
 }
 

@@ -59,8 +59,10 @@ func hdpQueryDriver(conn transport.Conn, s *session, eng compare.Alice, p []int6
 	if err != nil {
 		return 0, err
 	}
-	s.ledger.NeighborCounts++
-	s.ledger.MembershipBits += nPeer
+	s.led(func(l *Ledger) {
+		l.NeighborCounts++
+		l.MembershipBits += nPeer
+	})
 	return count, nil
 }
 
@@ -124,14 +126,14 @@ func hdpCompareDriver(conn transport.Conn, s *session, eng compare.Alice, p []in
 // the responder learns, per its own point, whether some driver point is
 // within Eps (Algorithm 4 note: "Bob only knows there is a record owned
 // by Alice in the neighborhood").
-func hdpQueryResponder(conn transport.Conn, s *session, eng compare.Bob, own [][]int64) error {
+func hdpQueryResponder(conn transport.Conn, s *session, rng permSource, eng compare.Bob, own [][]int64) error {
 	if len(own) == 0 {
 		return nil
 	}
-	if err := hdpServeCompare(conn, s, eng, own, 0); err != nil {
+	if err := hdpServeCompare(conn, s, rng, eng, own, 0); err != nil {
 		return err
 	}
-	s.ledger.DotProducts += len(own)
+	s.led(func(l *Ledger) { l.DotProducts += len(own) })
 	return nil
 }
 
@@ -141,13 +143,13 @@ func hdpQueryResponder(conn transport.Conn, s *session, eng compare.Bob, own [][
 // and answer every comparison with the out-of-domain operand 0, so they
 // are never counted in range and are indistinguishable from real
 // candidates on the wire.
-func hdpServeCompare(conn transport.Conn, s *session, eng compare.Bob, pts [][]int64, nDummy int) error {
+func hdpServeCompare(conn transport.Conn, s *session, rng permSource, eng compare.Bob, pts [][]int64, nDummy int) error {
 	total := len(pts) + nDummy
 	if total == 0 {
 		return nil
 	}
 	setTag(conn, "hdp.mp")
-	perm := s.rng.Perm(total)
+	perm := rng.Perm(total)
 	m := s.dim
 	xs := make([]int64, 0, total*m)
 	zero := make([]int64, m)

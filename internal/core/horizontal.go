@@ -13,11 +13,20 @@ import (
 // Op codes for the driver→responder control channel of the horizontal
 // protocols. The driver announces each region query (or enhanced core
 // query) before the corresponding sub-protocols begin; opDone releases the
-// responder at the end of a pass.
+// responder at the end of a pass (sent on every worker channel when the
+// parallel scheduler is active).
 const (
 	opQuery uint64 = 1
 	opDone  uint64 = 2
 	opCore  uint64 = 3
+)
+
+// hFamily selects the horizontal-family variant a session runs.
+type hFamily int
+
+const (
+	hBasic    hFamily = iota // §4.2, Algorithms 3–4 (HDP region counts)
+	hEnhanced                // §5, Algorithms 7–8 (core-point bits)
 )
 
 // HorizontalAlice runs the §4.2 protocol (Algorithms 3–4) as Alice over
@@ -28,28 +37,39 @@ const (
 // expands clusters only through her own points (the peer's points
 // contribute to density counts but not to connectivity), and the second
 // pass does the same for Bob.
+//
+// This is the one-shot form — one session, one run. Long-lived serving
+// uses NewHorizontalSession and calls Run repeatedly.
 func HorizontalAlice(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
-	return horizontalRun(conn, cfg, RoleAlice, points, "horizontal", basicPassDriver, basicPassResponder)
+	return runOneShot(NewHorizontalSession(conn, cfg, RoleAlice, points))
 }
 
 // HorizontalBob is Alice's counterpart; see HorizontalAlice.
 func HorizontalBob(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
-	return horizontalRun(conn, cfg, RoleBob, points, "horizontal", basicPassDriver, basicPassResponder)
+	return runOneShot(NewHorizontalSession(conn, cfg, RoleBob, points))
 }
 
-// passDriver runs one party's DBSCAN pass over its own points; passResponder
-// serves the peer's pass. The basic (§4.2) and enhanced (§5) protocols
-// plug different implementations into the shared two-pass runner.
-type passDriver func(s *session, conn transport.Conn, own [][]int64, nPeer int) ([]int, int, error)
-type passResponder func(s *session, conn transport.Conn, own [][]int64) error
+// NewHorizontalSession establishes a long-lived §4.2 session: keys,
+// handshake, and (under grid pruning) the candidate-index exchange happen
+// here, once; each subsequent Run executes one two-pass clustering over
+// the established state.
+func NewHorizontalSession(conn transport.Conn, cfg Config, role Role, points [][]float64) (*Session, error) {
+	return newHorizontalSession(conn, cfg, role, points, "horizontal", hBasic)
+}
 
-// horizontalRun is the shared two-pass orchestration: Alice drives pass 1
-// while Bob responds, then the roles swap ("Party B DOES: repeats step 1
-// to 12 by replacing Alice for Bob" — Algorithm 3).
-func horizontalRun(conn transport.Conn, cfg Config, role Role, points [][]float64, proto string,
-	driver passDriver, responder passResponder) (*Result, error) {
+// NewEnhancedHorizontalSession is NewHorizontalSession for the §5
+// enhanced protocol.
+func NewEnhancedHorizontalSession(conn transport.Conn, cfg Config, role Role, points [][]float64) (*Session, error) {
+	return newHorizontalSession(conn, cfg, role, points, "enhanced-horizontal", hEnhanced)
+}
 
+// newHorizontalSession is the shared session establishment of the
+// horizontal family.
+func newHorizontalSession(conn transport.Conn, cfg Config, role Role, points [][]float64, proto string, fam hFamily) (*Session, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if len(points) == 0 {
 		return nil, fmt.Errorf("core: %s protocol requires at least one point per party", proto)
 	}
@@ -63,7 +83,8 @@ func horizontalRun(conn transport.Conn, cfg Config, role Role, points [][]float6
 			return nil, fmt.Errorf("core: point %d has %d attributes, want %d", i, len(p), dim)
 		}
 	}
-	s, peer, err := newSession(conn, cfg, role, proto, dim, len(enc))
+	mux, conns := sessionChannels(conn, cfg.Parallel)
+	s, peer, err := newSession(conns[0], cfg, role, proto, dim, len(enc))
 	if err != nil {
 		return nil, err
 	}
@@ -77,31 +98,56 @@ func horizontalRun(conn transport.Conn, cfg Config, role Role, points [][]float6
 		return nil, err
 	}
 	if s.pruneOn {
-		if err := s.exchangeIndex(conn, enc); err != nil {
+		if err := s.exchangeIndex(conns[0], enc); err != nil {
 			return nil, err
 		}
+	}
+	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: proto}
+	t.setup = s.takeLedger()
+	t.runOnce = func() (*Result, error) { return horizontalRunOnce(t, enc, fam) }
+	return t, nil
+}
+
+// horizontalRunOnce is one two-pass execution: Alice drives pass 1 while
+// Bob responds, then the roles swap ("Party B DOES: repeats step 1 to 12
+// by replacing Alice for Bob" — Algorithm 3).
+func horizontalRunOnce(t *Session, enc [][]int64, fam hFamily) (*Result, error) {
+	s := t.s
+	var drive func() ([]int, int, error)
+	var respond func() error
+	if s.parallel() > 1 {
+		drive = func() ([]int, int, error) { return parallelHPassDriver(s, t.conns, enc, t.peer.Count, fam) }
+		respond = func() error { return parallelHPassResponder(s, t.conns, enc, fam) }
+	} else {
+		seqDriver, seqResponder := basicPassDriver, basicPassResponder
+		if fam == hEnhanced {
+			seqDriver, seqResponder = enhancedPassDriver, enhancedPassResponder
+		}
+		drive = func() ([]int, int, error) { return seqDriver(s, t.conns[0], enc, t.peer.Count) }
+		respond = func() error { return seqResponder(s, t.conns[0], enc) }
 	}
 
 	var labels []int
 	var clusters int
-	if role == RoleAlice {
-		labels, clusters, err = driver(s, conn, enc, peer.Count)
+	var err error
+	if s.role == RoleAlice {
+		labels, clusters, err = drive()
 		if err != nil {
 			return nil, err
 		}
-		if err := responder(s, conn, enc); err != nil {
+		if err := respond(); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := responder(s, conn, enc); err != nil {
+		if err := respond(); err != nil {
 			return nil, err
 		}
-		labels, clusters, err = driver(s, conn, enc, peer.Count)
+		labels, clusters, err = drive()
 		if err != nil {
 			return nil, err
 		}
 	}
-	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger, SecureComparisons: s.cmpCount}, nil
+	return t.result(labels, clusters), nil
 }
 
 // basicPassDriver implements Algorithm 3/4 from the driving party's side.
@@ -110,7 +156,7 @@ func basicPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer int) 
 	if err != nil {
 		return nil, 0, err
 	}
-	h := &hPass{s: s, conn: conn, own: own, nPeer: nPeer}
+	h := &hPass{s: s, own: own, nPeer: nPeer}
 
 	labels := make([]int, len(own))
 	for i := range labels {
@@ -121,7 +167,7 @@ func basicPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer int) 
 		if labels[i] != dbscan.Unclassified {
 			continue
 		}
-		expanded, err := h.expandCluster(i, clusterID+1, labels, engA)
+		expanded, err := h.expandCluster(conn, i, clusterID+1, labels, engA)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -136,10 +182,96 @@ func basicPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer int) 
 	return labels, clusterID, nil
 }
 
+// parallelHPassDriver is the scheduler-backed driving pass shared by the
+// basic and enhanced protocols: the per-query decision runs over whichever
+// worker channel the wave assigned.
+func parallelHPassDriver(s *session, conns []transport.Conn, own [][]int64, nPeer int, fam hFamily) ([]int, int, error) {
+	h := &hPass{s: s, own: own, nPeer: nPeer}
+	var decide decideFn
+	var opTag string
+	switch fam {
+	case hBasic:
+		engA, _, err := s.distEngines()
+		if err != nil {
+			return nil, 0, err
+		}
+		opTag = "hdp.op"
+		decide = func(conn transport.Conn, point, ownCount int) (bool, error) {
+			count, err := h.remoteCount(conn, own[point], engA)
+			if err != nil {
+				return false, err
+			}
+			return ownCount+count >= s.cfg.MinPts, nil
+		}
+	case hEnhanced:
+		shareA, _, finalA, _, err := s.enhancedEngines()
+		if err != nil {
+			return nil, 0, err
+		}
+		opTag = "enh.op"
+		decide = func(conn transport.Conn, point, ownCount int) (bool, error) {
+			return enhancedIsCore(h, conn, point, ownCount, shareA, finalA)
+		}
+	}
+	labels, clusters, err := parallelDrive(conns, own, h.localRegionQuery, decide)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := sendDoneAll(conns, opTag); err != nil {
+		return nil, 0, err
+	}
+	return labels, clusters, nil
+}
+
+// parallelHPassResponder serves a driving pass across the session's
+// worker channels, one responder worker per channel.
+func parallelHPassResponder(s *session, conns []transport.Conn, own [][]int64, fam hFamily) error {
+	switch fam {
+	case hBasic:
+		_, engB, err := s.distEngines()
+		if err != nil {
+			return err
+		}
+		return parallelServe(s, conns, "hdp.op", func(conn transport.Conn, rng permSource, op uint64, r *transport.Reader) error {
+			if op != opQuery {
+				return fmt.Errorf("core: responder got unexpected op %d", op)
+			}
+			return serveBasicQuery(s, conn, rng, engB, own, r)
+		})
+	case hEnhanced:
+		_, shareB, _, finalB, err := s.enhancedEngines()
+		if err != nil {
+			return err
+		}
+		return parallelServe(s, conns, "enh.op", func(conn transport.Conn, rng permSource, op uint64, r *transport.Reader) error {
+			if op != opCore {
+				return fmt.Errorf("core: enhanced responder got unexpected op %d", op)
+			}
+			return serveEnhancedCore(s, conn, rng, shareB, finalB, own, r)
+		})
+	}
+	return fmt.Errorf("core: unknown horizontal family %d", fam)
+}
+
+// serveBasicQuery answers one already-announced HDP region query.
+func serveBasicQuery(s *session, conn transport.Conn, rng permSource, engB compare.Bob, own [][]int64, r *transport.Reader) error {
+	if s.pruneOn {
+		pts, nDummy, err := s.readPrunedOp(r, own)
+		if err != nil {
+			return err
+		}
+		if err := hdpServeCompare(conn, s, rng, engB, pts, nDummy); err != nil {
+			return err
+		}
+		s.led(func(l *Ledger) { l.DotProducts += len(own) })
+		return nil
+	}
+	return hdpQueryResponder(conn, s, rng, engB, own)
+}
+
 // hPass bundles the state one driving pass needs.
 type hPass struct {
 	s     *session
-	conn  transport.Conn
 	own   [][]int64
 	nPeer int
 }
@@ -166,44 +298,46 @@ func (h *hPass) localRegionQuery(i int) []int {
 // frame travels even for empty candidate sets, keeping the responder's
 // query-level accounting — and so the Ledger budget — identical across
 // modes.
-func (h *hPass) remoteCount(p []int64, eng compare.Alice) (int, error) {
+func (h *hPass) remoteCount(conn transport.Conn, p []int64, eng compare.Alice) (int, error) {
 	s := h.s
 	if h.nPeer == 0 {
 		return 0, nil
 	}
 	if s.pruneOn {
 		cells, total := s.candidateCells(p)
-		s.ledger.NeighborCounts++
-		s.ledger.MembershipBits += h.nPeer
+		s.led(func(l *Ledger) {
+			l.NeighborCounts++
+			l.MembershipBits += h.nPeer
+		})
 		usePrune := total < h.nPeer
-		setTag(h.conn, "hdp.op")
+		setTag(conn, "hdp.op")
 		msg := transport.NewBuilder().PutUint(opQuery).PutBool(usePrune)
 		if usePrune {
 			spatial.EncodeCells(msg, cells)
 		}
-		if err := transport.SendMsg(h.conn, msg); err != nil {
+		if err := transport.SendMsg(conn, msg); err != nil {
 			return 0, err
 		}
 		if !usePrune {
-			return hdpCompareDriver(h.conn, s, eng, p, h.nPeer)
+			return hdpCompareDriver(conn, s, eng, p, h.nPeer)
 		}
 		if total == 0 {
 			return 0, nil
 		}
-		return hdpCompareDriver(h.conn, s, eng, p, total)
+		return hdpCompareDriver(conn, s, eng, p, total)
 	}
-	setTag(h.conn, "hdp.op")
-	if err := transport.SendMsg(h.conn, transport.NewBuilder().PutUint(opQuery)); err != nil {
+	setTag(conn, "hdp.op")
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(opQuery)); err != nil {
 		return 0, err
 	}
-	return hdpQueryDriver(h.conn, s, eng, p, h.nPeer)
+	return hdpQueryDriver(conn, s, eng, p, h.nPeer)
 }
 
 // expandCluster is Algorithm 4. Only the driver's own points enter the
 // seed queue; the peer's points contribute to the MinPts counts only.
-func (h *hPass) expandCluster(point, clusterID int, labels []int, eng compare.Alice) (bool, error) {
+func (h *hPass) expandCluster(conn transport.Conn, point, clusterID int, labels []int, eng compare.Alice) (bool, error) {
 	seedsA := h.localRegionQuery(point)
-	countB, err := h.remoteCount(h.own[point], eng)
+	countB, err := h.remoteCount(conn, h.own[point], eng)
 	if err != nil {
 		return false, err
 	}
@@ -224,7 +358,7 @@ func (h *hPass) expandCluster(point, clusterID int, labels []int, eng compare.Al
 		current := queue[0]
 		queue = queue[1:]
 		resultA := h.localRegionQuery(current)
-		countB, err := h.remoteCount(h.own[current], eng)
+		countB, err := h.remoteCount(conn, h.own[current], eng)
 		if err != nil {
 			return false, err
 		}
@@ -261,16 +395,7 @@ func basicPassResponder(s *session, conn transport.Conn, own [][]int64) error {
 		}
 		switch op {
 		case opQuery:
-			if s.pruneOn {
-				pts, nDummy, err := s.readPrunedOp(r, own)
-				if err != nil {
-					return err
-				}
-				if err := hdpServeCompare(conn, s, engB, pts, nDummy); err != nil {
-					return err
-				}
-				s.ledger.DotProducts += len(own)
-			} else if err := hdpQueryResponder(conn, s, engB, own); err != nil {
+			if err := serveBasicQuery(s, conn, s.rng, engB, own, r); err != nil {
 				return err
 			}
 		case opDone:

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dbscan"
+	"repro/internal/transport"
+)
+
+// The parallel query scheduler (Config.Parallel = W > 1). One shared
+// wave-based scheduler replaces the hand-rolled lockstep loops of every
+// protocol family: independent secure sub-protocols — HDP region queries
+// and enhanced core queries for the horizontal family, lockstep pair
+// batches for the vertical/arbitrary families and the multiparty ring —
+// are dispatched across W worker channels of the session's multiplexed
+// connection and execute concurrently, overlapping their round trips.
+//
+// Soundness rests on two invariants:
+//
+//   - Determinism of the schedule. Which queries form a wave, which pairs
+//     form a worker's batch, and which channel carries each batch are pure
+//     functions of shared protocol state (labels, the pair cache, the
+//     queue), never of goroutine timing — so in the jointly-computed
+//     families every participant runs the same wave schedule and the
+//     worker-channel traffic pairs up exactly.
+//   - Query independence. A wave only prefetches work whose execution is
+//     already inevitable in the sequential schedule: every point entering
+//     Algorithm 4's seed queue is eventually queried exactly once, and a
+//     lockstep wave claims each undecided pair for exactly one worker
+//     batch. The multiset of executed sub-protocols — and therefore every
+//     count-based Ledger class, the comparison totals, and the labels —
+//     is identical to the W = 1 schedule; only frame interleaving and the
+//     responder's permutation draws differ. The parallel equivalence
+//     harness enforces this.
+
+// runWave executes one wave of up to W jobs concurrently. It returns the
+// first root-cause error: when one worker fails and tears the channels
+// down (parallelServe's failAll), its siblings fail with induced
+// connection-closed errors, so non-ErrClosed errors take precedence.
+func runWave(n int, f func(t int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return f(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			errs[t] = f(t)
+		}(t)
+	}
+	wg.Wait()
+	var closed error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, transport.ErrClosed) {
+			if closed == nil {
+				closed = err
+			}
+			continue
+		}
+		return err
+	}
+	return closed
+}
+
+// decideFn answers the remote half of one core decision for the driver's
+// point index over one worker connection: given ownCount own-side
+// neighbours, is the point a core point? Basic HDP implements it with a
+// region-query count, the enhanced protocol with its share–select–compare
+// core bit.
+type decideFn func(conn transport.Conn, point, ownCount int) (bool, error)
+
+// parallelDrive runs one driving pass of the horizontal family with
+// wave-prefetched remote queries: the cluster-seed decision runs alone
+// (its successor is unknown until it settles), then each expansion round
+// takes up to W queue items — all of which the sequential schedule would
+// query anyway — and decides them concurrently, one worker channel each.
+// Queue pops, label writes, and appends happen in the sequential order,
+// so labels match the W = 1 pass exactly.
+func parallelDrive(conns []transport.Conn, own [][]int64, localRQ func(int) []int, decide decideFn) ([]int, int, error) {
+	labels := make([]int, len(own))
+	for i := range labels {
+		labels[i] = dbscan.Unclassified
+	}
+	clusterID := 0
+	for i := range own {
+		if labels[i] != dbscan.Unclassified {
+			continue
+		}
+		expanded, err := parallelExpand(conns, localRQ, decide, i, clusterID+1, labels)
+		if err != nil {
+			return nil, 0, err
+		}
+		if expanded {
+			clusterID++
+		}
+	}
+	return labels, clusterID, nil
+}
+
+// parallelExpand is Algorithm 4's expansion with wave prefetch.
+func parallelExpand(conns []transport.Conn, localRQ func(int) []int, decide decideFn, point, clusterID int, labels []int) (bool, error) {
+	seeds := localRQ(point)
+	core, err := decide(conns[0], point, len(seeds))
+	if err != nil {
+		return false, err
+	}
+	if !core {
+		labels[point] = dbscan.Noise
+		return false, nil
+	}
+	for _, sd := range seeds {
+		labels[sd] = clusterID
+	}
+	queue := make([]int, 0, len(seeds))
+	for _, sd := range seeds {
+		if sd != point {
+			queue = append(queue, sd)
+		}
+	}
+	for len(queue) > 0 {
+		w := len(conns)
+		if w > len(queue) {
+			w = len(queue)
+		}
+		wave := queue[:w:w]
+		queue = queue[w:]
+		rqs := make([][]int, w)
+		for t, pt := range wave {
+			rqs[t] = localRQ(pt)
+		}
+		cores := make([]bool, w)
+		if err := runWave(w, func(t int) error {
+			c, err := decide(conns[t], wave[t], len(rqs[t]))
+			cores[t] = c
+			return err
+		}); err != nil {
+			return false, err
+		}
+		for t := range wave {
+			if !cores[t] {
+				continue
+			}
+			for _, r := range rqs[t] {
+				if labels[r] == dbscan.Unclassified || labels[r] == dbscan.Noise {
+					if labels[r] == dbscan.Unclassified {
+						queue = append(queue, r)
+					}
+					labels[r] = clusterID
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// serveFn answers one already-parsed op frame on a responder worker
+// channel; rng is the worker's permutation source.
+type serveFn func(conn transport.Conn, rng permSource, op uint64, r *transport.Reader) error
+
+// parallelServe runs W responder workers, one per channel, each looping
+// until its channel's opDone. On a worker error every worker channel is
+// closed so siblings blocked in Recv unwind instead of deadlocking.
+func parallelServe(s *session, conns []transport.Conn, opTag string, serve serveFn) error {
+	var closeOnce sync.Once
+	failAll := func() {
+		closeOnce.Do(func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		})
+	}
+	return runWave(len(conns), func(w int) error {
+		rng, err := s.channelRng(w)
+		if err != nil {
+			failAll()
+			return err
+		}
+		conn := conns[w]
+		for {
+			setTag(conn, opTag)
+			r, err := transport.RecvMsg(conn)
+			if err != nil {
+				failAll()
+				return fmt.Errorf("core: responder recv op: %w", err)
+			}
+			op := r.Uint()
+			if r.Err() != nil {
+				failAll()
+				return r.Err()
+			}
+			if op == opDone {
+				return nil
+			}
+			if err := serve(conn, rng, op, r); err != nil {
+				failAll()
+				return err
+			}
+		}
+	})
+}
+
+// sendDoneAll releases every responder worker at the end of a driving
+// pass.
+func sendDoneAll(conns []transport.Conn, tag string) error {
+	for _, c := range conns {
+		setTag(c, tag)
+		if err := transport.SendMsg(c, transport.NewBuilder().PutUint(opDone)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Parallel lockstep ----
+
+// LockstepClusterParallel is LockstepClusterBatch with the neighborhood's
+// pair batches dispatched across W worker channels and the upcoming queue
+// items' batches prefetched into the same wave. decideLocal, when
+// non-nil, settles a pair without the oracle (the grid-pruning shortcut);
+// batchOn runs one worker's batch on the given channel. Every participant
+// derives identical waves, batches, and channel assignments from the
+// shared deterministic state, so the jointly-computed oracles stay in
+// lock step; the decided-pair multiset — and with it the labels and every
+// count-based Ledger class — matches the sequential driver's exactly.
+func LockstepClusterParallel(n, minPts, w int,
+	decideLocal func(pr [2]int) (value, decided bool),
+	batchOn func(ch int, pairs [][2]int) ([]bool, error)) ([]int, int, error) {
+	if minPts < 1 {
+		return nil, 0, fmt.Errorf("core: MinPts %d < 1", minPts)
+	}
+	if w < 1 {
+		return nil, 0, fmt.Errorf("core: worker width %d < 1", w)
+	}
+	cache := make(map[[2]int]bool)
+
+	// buildBatch collects point p's still-undecided pairs, settling
+	// locally-decidable ones and skipping pairs already claimed by an
+	// earlier batch of the same wave.
+	claimed := make(map[[2]int]bool)
+	buildBatch := func(p int) [][2]int {
+		var live [][2]int
+		for j := 0; j < n; j++ {
+			if j == p {
+				continue
+			}
+			a, b := p, j
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if _, ok := cache[key]; ok || claimed[key] {
+				continue
+			}
+			if decideLocal != nil {
+				if v, ok := decideLocal(key); ok {
+					cache[key] = v
+					continue
+				}
+			}
+			claimed[key] = true
+			live = append(live, key)
+		}
+		return live
+	}
+
+	// wave decides the missing pairs of up to W points concurrently, one
+	// worker channel per point, in wave order.
+	wave := func(points []int) error {
+		batches := make([][][2]int, len(points))
+		for t, p := range points {
+			batches[t] = buildBatch(p)
+		}
+		results := make([][]bool, len(points))
+		if err := runWave(len(points), func(t int) error {
+			if len(batches[t]) == 0 {
+				return nil
+			}
+			res, err := batchOn(t, batches[t])
+			if err != nil {
+				return err
+			}
+			if len(res) != len(batches[t]) {
+				return fmt.Errorf("core: parallel oracle returned %d results for %d pairs", len(res), len(batches[t]))
+			}
+			results[t] = res
+			return nil
+		}); err != nil {
+			return err
+		}
+		for t, batch := range batches {
+			for u, key := range batch {
+				cache[key] = results[t][u]
+				delete(claimed, key)
+			}
+		}
+		return nil
+	}
+
+	neighborsOf := func(i int) []int {
+		out := []int{}
+		for j := 0; j < n; j++ {
+			if j == i {
+				out = append(out, j) // a point is always in its own neighbourhood
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			if cache[[2]int{a, b}] {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = dbscan.Unclassified
+	}
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != dbscan.Unclassified {
+			continue
+		}
+		if err := wave([]int{i}); err != nil {
+			return nil, 0, err
+		}
+		seeds := neighborsOf(i)
+		if len(seeds) < minPts {
+			labels[i] = dbscan.Noise
+			continue
+		}
+		clusterID++
+		for _, sd := range seeds {
+			labels[sd] = clusterID
+		}
+		queue := make([]int, 0, len(seeds))
+		for _, sd := range seeds {
+			if sd != i {
+				queue = append(queue, sd)
+			}
+		}
+		for len(queue) > 0 {
+			step := w
+			if step > len(queue) {
+				step = len(queue)
+			}
+			items := queue[:step:step]
+			queue = queue[step:]
+			if err := wave(items); err != nil {
+				return nil, 0, err
+			}
+			for _, cur := range items {
+				result := neighborsOf(cur)
+				if len(result) < minPts {
+					continue
+				}
+				for _, r := range result {
+					if labels[r] == dbscan.Unclassified || labels[r] == dbscan.Noise {
+						if labels[r] == dbscan.Unclassified {
+							queue = append(queue, r)
+						}
+						labels[r] = clusterID
+					}
+				}
+			}
+		}
+	}
+	return labels, clusterID, nil
+}

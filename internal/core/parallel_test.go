@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// The parallel equivalence harness: every protocol family must produce
+// identical labels, cluster counts, full leakage Ledgers, and secure-
+// comparison totals whether its queries run on the single sequential
+// connection (W = 1) or across the scheduler's worker channels (W > 1).
+// The scheduler only prefetches work the sequential schedule would
+// execute anyway, so the executed sub-protocol multiset — and every
+// count-based observable — is invariant; this test pins that contract
+// across W and both pruning modes.
+
+func parallelCfg(engine compare.EngineKind, w int, pruning PruneMode) Config {
+	cfg := testCfg(engine)
+	cfg.Parallel = w
+	cfg.Pruning = pruning
+	return cfg
+}
+
+func TestParallelEquivalenceAcrossWorkerWidths(t *testing.T) {
+	for _, pruning := range []PruneMode{PruneGrid, PruneOff} {
+		for _, proto := range equivalenceProtocols(t) {
+			t.Run(string(pruning)+"/"+proto.name, func(t *testing.T) {
+				base := proto.run(t, parallelCfg(compare.EngineMasked, 1, pruning))
+				for _, w := range []int{2, 4} {
+					par := proto.run(t, parallelCfg(compare.EngineMasked, w, pruning))
+					if !metrics.ExactMatch(par.ra.Labels, base.ra.Labels) {
+						t.Errorf("W=%d: alice labels diverge: %v vs %v", w, par.ra.Labels, base.ra.Labels)
+					}
+					if !metrics.ExactMatch(par.rb.Labels, base.rb.Labels) {
+						t.Errorf("W=%d: bob labels diverge: %v vs %v", w, par.rb.Labels, base.rb.Labels)
+					}
+					if par.ra.NumClusters != base.ra.NumClusters || par.rb.NumClusters != base.rb.NumClusters {
+						t.Errorf("W=%d: cluster counts diverge: %d/%d vs %d/%d",
+							w, par.ra.NumClusters, par.rb.NumClusters, base.ra.NumClusters, base.rb.NumClusters)
+					}
+					if par.ra.Leakage != base.ra.Leakage {
+						t.Errorf("W=%d: alice ledgers diverge: %v vs %v", w, par.ra.Leakage, base.ra.Leakage)
+					}
+					if par.rb.Leakage != base.rb.Leakage {
+						t.Errorf("W=%d: bob ledgers diverge: %v vs %v", w, par.rb.Leakage, base.rb.Leakage)
+					}
+					if par.ra.SecureComparisons != base.ra.SecureComparisons ||
+						par.rb.SecureComparisons != base.rb.SecureComparisons {
+						t.Errorf("W=%d: comparison totals diverge: %d/%d vs %d/%d",
+							w, par.ra.SecureComparisons, par.rb.SecureComparisons,
+							base.ra.SecureComparisons, base.rb.SecureComparisons)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRequiresAgreement pins the handshake check: parties with
+// different scheduler widths must fail fast, not garble frames.
+func TestParallelRequiresAgreement(t *testing.T) {
+	cfgA := parallelCfg(compare.EngineMasked, 2, PruneGrid)
+	cfgB := parallelCfg(compare.EngineMasked, 4, PruneGrid)
+	ca, cb := transport.Pipe()
+	errc := make(chan error, 2)
+	go func() {
+		_, err := HorizontalAlice(ca, cfgA, testAlicePts)
+		ca.Close()
+		errc <- err
+	}()
+	go func() {
+		_, err := HorizontalBob(cb, cfgB, testBobPts)
+		cb.Close()
+		errc <- err
+	}()
+	err1, err2 := <-errc, <-errc
+	if err1 == nil && err2 == nil {
+		t.Fatal("mismatched Parallel widths succeeded")
+	}
+}
+
+// TestParallelRejectsSequentialBatching: the scheduler dispatches batched
+// sub-protocols; the config combination is rejected up front.
+func TestParallelRejectsSequentialBatching(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	cfg.Parallel = 4
+	cfg.Batching = BatchModeSequential
+	ca, _ := transport.Pipe()
+	if _, err := NewHorizontalSession(ca, cfg, RoleAlice, testAlicePts); err == nil {
+		t.Fatal("Parallel>1 with sequential batching accepted")
+	}
+}
+
+// TestLockstepClusterParallelMatchesBatch drives the parallel lockstep
+// scheduler against a local oracle and checks labels plus the decided-
+// pair multiset against the plain batch driver.
+func TestLockstepClusterParallelMatchesBatch(t *testing.T) {
+	pts := [][]int64{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {6, 5}, {5, 6}, {3, 3}, {9, 9}, {9, 8}, {8, 9}}
+	le := func(i, j int) bool {
+		dx := pts[i][0] - pts[j][0]
+		dy := pts[i][1] - pts[j][1]
+		return dx*dx+dy*dy <= 2
+	}
+	countSeq := map[[2]int]int{}
+	seqLabels, seqClusters, err := LockstepClusterBatch(len(pts), 3, func(pairs [][2]int) ([]bool, error) {
+		out := make([]bool, len(pairs))
+		for t, pr := range pairs {
+			countSeq[pr]++
+			out[t] = le(pr[0], pr[1])
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 3, 8} {
+		countPar := map[[2]int]int{}
+		var mu sync.Mutex // batchOn runs on concurrent workers
+		parLabels, parClusters, err := LockstepClusterParallel(len(pts), 3, w, nil,
+			func(ch int, pairs [][2]int) ([]bool, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				out := make([]bool, len(pairs))
+				for t, pr := range pairs {
+					countPar[pr]++
+					out[t] = le(pr[0], pr[1])
+				}
+				return out, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !metrics.ExactMatch(parLabels, seqLabels) || parClusters != seqClusters {
+			t.Errorf("W=%d: labels %v (%d clusters) vs sequential %v (%d)", w, parLabels, parClusters, seqLabels, seqClusters)
+		}
+		if len(countPar) != len(countSeq) {
+			t.Errorf("W=%d: decided %d distinct pairs, sequential %d", w, len(countPar), len(countSeq))
+		}
+		for pr, n := range countPar {
+			if n != 1 {
+				t.Errorf("W=%d: pair %v decided %d times", w, pr, n)
+			}
+			if countSeq[pr] != 1 {
+				t.Errorf("W=%d: pair %v not in sequential decision set", w, pr)
+			}
+		}
+	}
+}

@@ -70,7 +70,7 @@ func TestHDPSingleQuery(t *testing.T) {
 		var got int
 		errc := make(chan error, 1)
 		go func() {
-			errc <- hdpQueryResponder(cb, sB, engB, responderPts)
+			errc <- hdpQueryResponder(cb, sB, sB.rng, engB, responderPts)
 		}()
 		got, err = hdpQueryDriver(ca, sA, engA, driverPt, len(responderPts))
 		if err != nil {

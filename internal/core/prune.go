@@ -72,8 +72,10 @@ func (s *session) exchangeIndex(conn transport.Conn, enc [][]int64) error {
 	if err != nil {
 		return fmt.Errorf("core: index decode: %w", err)
 	}
-	s.ledger.IndexCells += len(s.peerDir.Cells)
-	s.ledger.IndexPaddedPoints += s.peerDir.PaddedTotal()
+	s.led(func(l *Ledger) {
+		l.IndexCells += len(s.peerDir.Cells)
+		l.IndexPaddedPoints += s.peerDir.PaddedTotal()
+	})
 	return nil
 }
 
@@ -101,7 +103,7 @@ func (s *session) readQueryCells(r *transport.Reader, own [][]int64) (pts [][]in
 	for i, j := range members {
 		pts[i] = own[j]
 	}
-	s.ledger.IndexQueryCells += len(cells)
+	s.led(func(l *Ledger) { l.IndexQueryCells += len(cells) })
 	return pts, nDummy, nil
 }
 
@@ -117,7 +119,7 @@ func (s *session) readPrunedOp(r *transport.Reader, own [][]int64) (pts [][]int6
 	if err := r.Err(); err != nil {
 		return nil, 0, err
 	}
-	s.ledger.IndexQueryCells++
+	s.led(func(l *Ledger) { l.IndexQueryCells++ })
 	if !pruned {
 		return own, 0, nil
 	}
@@ -147,7 +149,7 @@ func verticalCellMatrix(conn transport.Conn, s *session, enc [][]int64, role Rol
 	if len(peer) != len(enc) {
 		return nil, fmt.Errorf("core: vdp index has %d rows, want %d", len(peer), len(enc))
 	}
-	s.ledger.IndexCellCoords += len(peer) * peerDim
+	s.led(func(l *Ledger) { l.IndexCellCoords += len(peer) * peerDim })
 	full := make([][]int64, len(enc))
 	for i := range enc {
 		row := make([]int64, 0, len(own[i])+peerDim)
@@ -193,7 +195,7 @@ func arbitraryCellMatrix(conn transport.Conn, s *session, enc [][]int64, owners 
 	if len(theirs) != theirsWant {
 		return nil, fmt.Errorf("core: adp index carries %d coordinates, want %d", len(theirs), theirsWant)
 	}
-	s.ledger.IndexCellCoords += len(theirs)
+	s.led(func(l *Ledger) { l.IndexCellCoords += len(theirs) })
 	full := make([][]int64, len(enc))
 	oi, ti := 0, 0
 	for i := range enc {
@@ -246,6 +248,27 @@ func PrunedBatchOracle(cells [][]int64, onPruned func(pr [2]int), inner func(pai
 			out[t] = res[u]
 		}
 		return out, nil
+	}
+}
+
+// PrunedLocalDecider adapts a cell matrix to LockstepClusterParallel's
+// local decision hook: nil when pruning is off (cellRows == nil),
+// otherwise the same adjacency shortcut PrunedBatchOracle applies, with
+// identical budget accounting via onPruned. The vertical/arbitrary
+// families and the multiparty ring all share it, so the pruning contract
+// has one source of truth across schedulers.
+func PrunedLocalDecider(cellRows [][]int64, onPruned func(pr [2]int)) func(pr [2]int) (value, decided bool) {
+	if cellRows == nil {
+		return nil
+	}
+	return func(pr [2]int) (bool, bool) {
+		if spatial.Adjacent(cellRows[pr[0]], cellRows[pr[1]]) {
+			return false, false
+		}
+		if onPruned != nil {
+			onPruned(pr)
+		}
+		return false, true
 	}
 }
 

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Long-lived sessions. A Session amortizes the fixed per-run costs of the
+// paper's protocols — Paillier/RSA key generation, the parameter
+// handshake, and the grid-index exchange (Config.Pruning) — across many
+// Run invocations on the same data: handshake and keys are established
+// once at construction, and each Run executes one complete clustering
+// pass over the established state. This is the split the outsourced
+// multi-user clustering literature argues for (see PAPERS.md): session
+// lifetime ≠ run lifetime.
+//
+// The initiating party (RoleAlice) drives the session: each of its Run
+// calls sends a run op on the control channel before the protocol
+// traffic, and Close sends a close op. The serving party (RoleBob) calls
+// Run in a loop; a Run that receives the close op returns
+// ErrSessionClosed. `ppdbscan serve` / `ppdbscan client` expose exactly
+// this loop over TCP.
+//
+// Disclosure accounting splits accordingly: SetupLeakage returns the
+// one-time disclosures of the session establishment (the Index* classes
+// of the candidate-index exchange), while each Run's Result.Leakage
+// carries only that run's disclosures. Two Runs on one Session therefore
+// disclose the index once, where two fresh sessions disclose it twice —
+// the session-reuse tests pin this. The one-shot protocol entry points
+// (HorizontalAlice et al.) fold SetupLeakage back into their single
+// Result for continuity with the per-run API.
+//
+// When Config.Parallel > 1 the session multiplexes W worker channels
+// over the connection (transport.Mux) at construction, before the
+// handshake — both parties must therefore agree on Parallel out of band,
+// and the handshake (which runs on worker channel 0) verifies the
+// agreement like every other parameter.
+
+// Session op codes on the control channel (worker channel 0).
+const (
+	sessOpRun   uint64 = 1
+	sessOpClose uint64 = 2
+)
+
+// ErrSessionClosed reports that the initiating party ended the session;
+// the serving party's Run loop terminates on it.
+var ErrSessionClosed = errors.New("core: session closed by peer")
+
+// Session is one party's half of a long-lived protocol session. Create
+// one with NewHorizontalSession, NewEnhancedHorizontalSession,
+// NewVerticalSession, or NewArbitrarySession; both parties must construct
+// matching sessions concurrently (the constructor performs the blocking
+// handshake and index exchange).
+type Session struct {
+	s     *session
+	peer  peerInfo
+	mux   *transport.Mux
+	conns []transport.Conn // worker channels; conns[0] carries control ops
+	proto string
+
+	setup   Ledger // one-time disclosures recorded at construction
+	runOnce func() (*Result, error)
+	runs    int
+	closed  bool
+}
+
+// sessionChannels prepares the session's worker connections: the bare
+// connection itself for W = 1 (today's byte-identical wire behavior), or
+// W multiplexed channels for the parallel scheduler.
+func sessionChannels(conn transport.Conn, w int) (*transport.Mux, []transport.Conn) {
+	if w <= 1 {
+		return nil, []transport.Conn{conn}
+	}
+	m := transport.NewMux(conn)
+	conns := make([]transport.Conn, w)
+	for i := range conns {
+		conns[i] = m.Channel(uint32(i))
+	}
+	return m, conns
+}
+
+// Run executes one clustering pass over the session's established keys
+// and index. The initiating party announces the run on the control
+// channel; the serving party's Run blocks until the peer either runs
+// (returns this run's Result) or closes (returns ErrSessionClosed).
+// Result.Leakage covers this run only; see SetupLeakage.
+func (t *Session) Run() (*Result, error) {
+	if t.closed {
+		return nil, ErrSessionClosed
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	if t.s.role == RoleAlice {
+		if err := transport.SendMsg(ctrl, transport.NewBuilder().PutUint(sessOpRun)); err != nil {
+			return nil, fmt.Errorf("core: session run op: %w", err)
+		}
+	} else {
+		r, err := transport.RecvMsg(ctrl)
+		if err != nil {
+			return nil, fmt.Errorf("core: session op recv: %w", err)
+		}
+		op := r.Uint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		switch op {
+		case sessOpRun:
+		case sessOpClose:
+			t.closed = true
+			return nil, ErrSessionClosed
+		default:
+			return nil, fmt.Errorf("core: unexpected session op %d", op)
+		}
+	}
+	// Per-run accounting starts clean; the setup ledger was moved aside at
+	// construction.
+	t.s.cmpCount.Store(0)
+	t.s.takeLedger()
+	res, err := t.runOnce()
+	if err != nil {
+		// A failed run leaves the peer at an unknown point of the protocol;
+		// poison the session so a retry cannot inject a control frame into
+		// the peer's in-flight sub-protocol reads.
+		t.closed = true
+		return nil, err
+	}
+	t.runs++
+	return res, nil
+}
+
+// Close ends the session. The initiating party notifies the peer (whose
+// next Run returns ErrSessionClosed); the serving party's Close is local.
+// Close never closes the underlying connection — the caller owns it.
+func (t *Session) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.s.role == RoleAlice {
+		ctrl := t.conns[0]
+		setTag(ctrl, "session.op")
+		if err := transport.SendMsg(ctrl, transport.NewBuilder().PutUint(sessOpClose)); err != nil {
+			return fmt.Errorf("core: session close op: %w", err)
+		}
+	}
+	return nil
+}
+
+// SetupLeakage returns the one-time disclosures of session establishment
+// — the candidate-index exchange (Index* Ledger classes). Runs do not
+// repeat them; callers totalling a session's exposure add SetupLeakage
+// once to the sum of the per-run Leakage ledgers.
+func (t *Session) SetupLeakage() Ledger { return t.setup }
+
+// Runs reports how many completed Run calls this session has served.
+func (t *Session) Runs() int { return t.runs }
+
+// Parallel reports the session's scheduler width W.
+func (t *Session) Parallel() int { return t.s.parallel() }
+
+// result assembles a Result from the session's per-run accounting.
+func (t *Session) result(labels []int, clusters int) *Result {
+	return &Result{
+		Labels:            labels,
+		NumClusters:       clusters,
+		Leakage:           t.s.takeLedger(),
+		SecureComparisons: t.s.cmpCount.Load(),
+	}
+}
+
+// runOneShot adapts a session constructor to the single-run protocol
+// entry points: one Run, setup disclosures folded into the Result, close
+// op sent so the peer's wrapper (which never reads it) stays compatible
+// with a serving loop.
+func runOneShot(t *Session, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Leakage.Add(t.SetupLeakage())
+	// The peer of a one-shot run may already have hung up after its own
+	// single Run; a failed courtesy close is not a protocol failure.
+	_ = t.Close()
+	return res, nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// Session-reuse contract: two consecutive Run calls on one long-lived
+// Session must produce labels identical to two fresh sessions, while the
+// fixed establishment costs — key generation, handshake frames, and the
+// grid-index exchange — are paid and disclosed exactly once. The fresh-
+// session baseline pays them per run.
+
+// sessionPair constructs matched Alice/Bob sessions over metered pipes
+// using the given family constructor.
+type sessionFamily struct {
+	name string
+	newA func(conn transport.Conn, cfg Config) (*Session, error)
+	newB func(conn transport.Conn, cfg Config) (*Session, error)
+}
+
+func sessionFamilies() []sessionFamily {
+	return []sessionFamily{
+		{
+			name: "horizontal",
+			newA: func(c transport.Conn, cfg Config) (*Session, error) {
+				return NewHorizontalSession(c, cfg, RoleAlice, testAlicePts)
+			},
+			newB: func(c transport.Conn, cfg Config) (*Session, error) {
+				return NewHorizontalSession(c, cfg, RoleBob, testBobPts)
+			},
+		},
+		{
+			name: "enhanced",
+			newA: func(c transport.Conn, cfg Config) (*Session, error) {
+				return NewEnhancedHorizontalSession(c, cfg, RoleAlice, testAlicePts)
+			},
+			newB: func(c transport.Conn, cfg Config) (*Session, error) {
+				return NewEnhancedHorizontalSession(c, cfg, RoleBob, testBobPts)
+			},
+		},
+		{
+			name: "vertical",
+			newA: func(c transport.Conn, cfg Config) (*Session, error) {
+				return NewVerticalSession(c, cfg, RoleAlice, [][]float64{{0}, {1}, {0}, {1}, {6}, {3}, {4}, {7}})
+			},
+			newB: func(c transport.Conn, cfg Config) (*Session, error) {
+				return NewVerticalSession(c, cfg, RoleBob, [][]float64{{0}, {0}, {1}, {1}, {6}, {4}, {3}, {7}})
+			},
+		},
+	}
+}
+
+// runSessionN establishes one session pair and runs it n times,
+// returning per-run results, setup ledgers, and the handshake frame count
+// observed on the wire.
+func runSessionN(t *testing.T, fam sessionFamily, cfg Config, n int) (resA, resB []*Result, setupA, setupB Ledger, handshakeFrames int64) {
+	t.Helper()
+	ca, cb := transport.Pipe()
+	ma, mb := transport.NewMeter(ca), transport.NewMeter(cb)
+	var mu sync.Mutex
+	err := transport.RunPair(ma, mb,
+		func(transport.Conn) error {
+			sess, err := fam.newA(ma, cfg)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				r, err := sess.Run()
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				resA = append(resA, r)
+				mu.Unlock()
+			}
+			mu.Lock()
+			setupA = sess.SetupLeakage()
+			mu.Unlock()
+			return sess.Close()
+		},
+		func(transport.Conn) error {
+			sess, err := fam.newB(mb, cfg)
+			if err != nil {
+				return err
+			}
+			for {
+				r, err := sess.Run()
+				if errors.Is(err, ErrSessionClosed) {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				resB = append(resB, r)
+				mu.Unlock()
+			}
+			mu.Lock()
+			setupB = sess.SetupLeakage()
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := transport.Merge(ma, mb)
+	return resA, resB, setupA, setupB, merged["handshake"].MessagesSent
+}
+
+func TestSessionReuseMatchesFreshSessions(t *testing.T) {
+	for _, fam := range sessionFamilies() {
+		t.Run(fam.name, func(t *testing.T) {
+			cfg := testCfg(compare.EngineMasked)
+
+			reA, reB, setupA, setupB, reHs := runSessionN(t, fam, cfg, 2)
+			if len(reA) != 2 || len(reB) != 2 {
+				t.Fatalf("reused session ran %d/%d times, want 2/2", len(reA), len(reB))
+			}
+
+			f1A, f1B, fSetupA, fSetupB, fHs := runSessionN(t, fam, cfg, 1)
+			f2A, f2B, _, _, _ := runSessionN(t, fam, cfg, 1)
+
+			// Labels: each reused run matches the fresh runs.
+			for i, fresh := range [][]*Result{{f1A[0], f1B[0]}, {f2A[0], f2B[0]}} {
+				if !metrics.ExactMatch(reA[i].Labels, fresh[0].Labels) {
+					t.Errorf("run %d: alice labels %v, fresh session %v", i, reA[i].Labels, fresh[0].Labels)
+				}
+				if !metrics.ExactMatch(reB[i].Labels, fresh[1].Labels) {
+					t.Errorf("run %d: bob labels %v, fresh session %v", i, reB[i].Labels, fresh[1].Labels)
+				}
+			}
+
+			// Per-run disclosure is identical across runs and matches the
+			// fresh session's run-level ledger.
+			if reA[0].Leakage != reA[1].Leakage || reB[0].Leakage != reB[1].Leakage {
+				t.Errorf("per-run ledgers differ between runs: %v vs %v / %v vs %v",
+					reA[0].Leakage, reA[1].Leakage, reB[0].Leakage, reB[1].Leakage)
+			}
+
+			// Index rounds counted once: the one-time classes live in the
+			// setup ledger, not the per-run ledgers, so a 2-run session
+			// totals setup + 2·run while two fresh sessions total
+			// 2·(setup + run).
+			if cfg.withDefaults().Pruning == PruneGrid {
+				if !indexDisclosed(setupA) || !indexDisclosed(setupB) {
+					t.Errorf("setup ledger records no index exchange: %v / %v", setupA, setupB)
+				}
+			}
+			if setupA != fSetupA || setupB != fSetupB {
+				t.Errorf("setup ledgers diverge from fresh session: %v vs %v / %v vs %v",
+					setupA, fSetupA, setupB, fSetupB)
+			}
+			var reTotal, freshTotal Ledger
+			reTotal.Add(setupA)
+			reTotal.Add(reA[0].Leakage)
+			reTotal.Add(reA[1].Leakage)
+			freshTotal.Add(fSetupA)
+			freshTotal.Add(f1A[0].Leakage)
+			freshTotal.Add(fSetupA)
+			freshTotal.Add(f2A[0].Leakage)
+			if reTotal.IndexCells*2 != freshTotal.IndexCells || reTotal.IndexCellCoords*2 != freshTotal.IndexCellCoords {
+				t.Errorf("index not amortized: reused total %v, two fresh sessions %v", reTotal, freshTotal)
+			}
+
+			// Keygen rounds counted once: one handshake frame per party for
+			// the whole 2-run session, same as a single fresh run.
+			if reHs != fHs {
+				t.Errorf("2-run session exchanged %d handshake frames, fresh single-run session %d", reHs, fHs)
+			}
+		})
+	}
+}
+
+// TestSessionCloseEndsServingLoop: the serving party's Run returns
+// ErrSessionClosed once — and only once — the initiator closes.
+func TestSessionCloseEndsServingLoop(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	ca, cb := transport.Pipe()
+	err := transport.RunPair(ca, cb,
+		func(transport.Conn) error {
+			sess, err := NewHorizontalSession(ca, cfg, RoleAlice, testAlicePts)
+			if err != nil {
+				return err
+			}
+			return sess.Close()
+		},
+		func(transport.Conn) error {
+			sess, err := NewHorizontalSession(cb, cfg, RoleBob, testBobPts)
+			if err != nil {
+				return err
+			}
+			if _, err := sess.Run(); !errors.Is(err, ErrSessionClosed) {
+				t.Errorf("serving Run after close: %v, want ErrSessionClosed", err)
+			}
+			if _, err := sess.Run(); !errors.Is(err, ErrSessionClosed) {
+				t.Errorf("second Run on closed session: %v, want ErrSessionClosed", err)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math/big"
 	mrand "math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/compare"
 	"repro/internal/paillier"
@@ -43,8 +45,10 @@ func (r Role) peer() Role {
 
 // handshakeVersion guards against protocol drift between binaries.
 // Version 2 added the Batching round-structure parameter; version 3 added
-// the Pruning candidate-set parameter and its padding quantum.
-const handshakeVersion = 3
+// the Pruning candidate-set parameter and its padding quantum; version 4
+// added the Parallel scheduler width (which also pins whether the
+// connection is multiplexed) and the session run/close control ops.
+const handshakeVersion = 4
 
 // ErrHandshake reports parameter disagreement between the parties.
 var ErrHandshake = errors.New("core: handshake parameter mismatch")
@@ -79,9 +83,59 @@ type session struct {
 	ownDir  spatial.Directory
 	peerDir spatial.Directory
 
-	cmpCount int64 // secure comparison instances executed by this party
+	// cmpCount tallies secure comparison instances executed by this party;
+	// atomic because parallel workers (Config.Parallel > 1) count
+	// concurrently.
+	cmpCount atomic.Int64
 
+	// ledMu guards ledger once parallel workers record disclosures
+	// concurrently; every update goes through led().
+	ledMu  sync.Mutex
 	ledger Ledger
+}
+
+// led applies one ledger update under the session's ledger lock.
+func (s *session) led(f func(l *Ledger)) {
+	s.ledMu.Lock()
+	f(&s.ledger)
+	s.ledMu.Unlock()
+}
+
+// takeLedger returns the accumulated ledger and resets it — the per-run /
+// setup split the long-lived Session uses.
+func (s *session) takeLedger() Ledger {
+	s.ledMu.Lock()
+	defer s.ledMu.Unlock()
+	l := s.ledger
+	s.ledger = Ledger{}
+	return l
+}
+
+// parallel reports the scheduler width W (≥ 1).
+func (s *session) parallel() int { return s.cfg.Parallel }
+
+// permSource supplies the per-query candidate permutations (Algorithm
+// 4's SetOfPointsOfBobPermutation): the session's shared rng in the
+// sequential schedule, a per-channel derived rng under the parallel
+// scheduler.
+type permSource interface {
+	Perm(n int) []int
+}
+
+// channelRng derives the permutation source for one worker channel in
+// parallel mode. Worker channels consume permutations concurrently, so
+// each gets its own deterministic stream instead of sharing s.rng;
+// permutations only hide which peer point answered which slot, so labels
+// and count-based Ledger classes are unaffected by the split.
+func (s *session) channelRng(ch int) (*mrand.Rand, error) {
+	if s.cfg.Seed != 0 {
+		return mrand.New(mrand.NewSource(s.cfg.Seed + int64(s.role) + 1 + 7919*int64(ch+1))), nil
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(s.random, b[:]); err != nil {
+		return nil, err
+	}
+	return mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(b[:]) >> 1))), nil
 }
 
 // peerInfo is what the handshake learns about the other side.
@@ -106,6 +160,11 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 	random := cfg.Random
 	if random == nil {
 		random = rand.Reader
+	}
+	if cfg.Parallel > 1 {
+		// Parallel workers sample masks and nonces concurrently; the
+		// configured reader is not assumed goroutine-safe.
+		random = transport.LockedReader(random)
 	}
 
 	s := &session{cfg: cfg, role: role, epsSq: epsSq, random: random}
@@ -134,6 +193,7 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		PutString(string(cfg.Batching)).
 		PutString(string(cfg.Pruning)).
 		PutUint(uint64(cfg.PruneQuantum)).
+		PutUint(uint64(cfg.Parallel)).
 		PutUint(uint64(ownDim)).
 		PutUint(uint64(ownCount)).
 		PutBytes(paillier.MarshalPublicKey(&s.paiKey.PublicKey)).
@@ -159,6 +219,7 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 	pBatching := r.String()
 	pPruning := r.String()
 	pQuantum := int(r.Uint())
+	pParallel := int(r.Uint())
 	pDim := int(r.Uint())
 	pCount := int(r.Uint())
 	paiB := r.Bytes()
@@ -195,6 +256,8 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		return nil, peerInfo{}, fmt.Errorf("%w: pruning %q vs %q", ErrHandshake, cfg.Pruning, pPruning)
 	case pQuantum != cfg.PruneQuantum:
 		return nil, peerInfo{}, fmt.Errorf("%w: prune quantum %d vs %d", ErrHandshake, cfg.PruneQuantum, pQuantum)
+	case pParallel != cfg.Parallel:
+		return nil, peerInfo{}, fmt.Errorf("%w: parallel width %d vs %d", ErrHandshake, cfg.Parallel, pParallel)
 	}
 
 	s.peerPai, err = paillier.UnmarshalPublicKey(paiB)
@@ -285,26 +348,26 @@ func (s *session) engines(bound int64) (compare.Alice, compare.Bob, error) {
 // session's cmpCount — the Result.SecureComparisons metric.
 type countingAlice struct {
 	inner compare.Alice
-	n     *int64
+	n     *atomic.Int64
 }
 
 func (c *countingAlice) LessEq(conn transport.Conn, a int64) (bool, error) {
-	*c.n++
+	c.n.Add(1)
 	return c.inner.LessEq(conn, a)
 }
 
 func (c *countingAlice) Less(conn transport.Conn, a int64) (bool, error) {
-	*c.n++
+	c.n.Add(1)
 	return c.inner.Less(conn, a)
 }
 
 func (c *countingAlice) BatchLessEq(conn transport.Conn, as []int64) ([]bool, error) {
-	*c.n += int64(len(as))
+	c.n.Add(int64(len(as)))
 	return c.inner.BatchLessEq(conn, as)
 }
 
 func (c *countingAlice) BatchLess(conn transport.Conn, as []int64) ([]bool, error) {
-	*c.n += int64(len(as))
+	c.n.Add(int64(len(as)))
 	return c.inner.BatchLess(conn, as)
 }
 
@@ -313,26 +376,26 @@ func (c *countingAlice) Name() string { return c.inner.Name() }
 
 type countingBob struct {
 	inner compare.Bob
-	n     *int64
+	n     *atomic.Int64
 }
 
 func (c *countingBob) LessEq(conn transport.Conn, b int64) (bool, error) {
-	*c.n++
+	c.n.Add(1)
 	return c.inner.LessEq(conn, b)
 }
 
 func (c *countingBob) Less(conn transport.Conn, b int64) (bool, error) {
-	*c.n++
+	c.n.Add(1)
 	return c.inner.Less(conn, b)
 }
 
 func (c *countingBob) BatchLessEq(conn transport.Conn, bs []int64) ([]bool, error) {
-	*c.n += int64(len(bs))
+	c.n.Add(int64(len(bs)))
 	return c.inner.BatchLessEq(conn, bs)
 }
 
 func (c *countingBob) BatchLess(conn transport.Conn, bs []int64) ([]bool, error) {
-	*c.n += int64(len(bs))
+	c.n.Add(int64(len(bs)))
 	return c.inner.BatchLess(conn, bs)
 }
 

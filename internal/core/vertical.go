@@ -23,18 +23,30 @@ import (
 // query as a single BatchLess — 3 vdp.cmp frames per neighborhood, O(n)
 // round trips for the whole run instead of the sequential O(n²). The
 // per-pair payloads, the decided predicates, and the PairDecisions Ledger
-// count are identical in both modes.
+// count are identical in both modes. Under the parallel scheduler
+// (Config.Parallel = W > 1) the batches of up to W upcoming neighborhoods
+// ride separate worker channels concurrently (LockstepClusterParallel),
+// overlapping their round trips with identical decided pairs.
+//
+// This is the one-shot form; NewVerticalSession establishes a long-lived
+// session whose index exchange and keys serve many Run calls.
 func VerticalAlice(conn transport.Conn, cfg Config, attrs [][]float64) (*Result, error) {
-	return verticalRun(conn, cfg, RoleAlice, attrs)
+	return runOneShot(NewVerticalSession(conn, cfg, RoleAlice, attrs))
 }
 
 // VerticalBob is Alice's counterpart; see VerticalAlice.
 func VerticalBob(conn transport.Conn, cfg Config, attrs [][]float64) (*Result, error) {
-	return verticalRun(conn, cfg, RoleBob, attrs)
+	return runOneShot(NewVerticalSession(conn, cfg, RoleBob, attrs))
 }
 
-func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) (*Result, error) {
+// NewVerticalSession establishes a long-lived §4.3 session: handshake,
+// keys, and (under grid pruning) the per-record cell-matrix exchange
+// happen once; each Run executes one lockstep clustering.
+func NewVerticalSession(conn transport.Conn, cfg Config, role Role, attrs [][]float64) (*Session, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("core: vertical protocol requires at least one record")
 	}
@@ -48,7 +60,8 @@ func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) 
 			return nil, fmt.Errorf("core: record %d has %d attributes, want %d", i, len(p), ownDim)
 		}
 	}
-	s, peer, err := newSession(conn, cfg, role, "vertical", ownDim, len(enc))
+	mux, conns := sessionChannels(conn, cfg.Parallel)
+	s, peer, err := newSession(conns[0], cfg, role, "vertical", ownDim, len(enc))
 	if err != nil {
 		return nil, err
 	}
@@ -61,30 +74,41 @@ func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) 
 	if err := s.setDimension(ownDim + peer.Dim); err != nil {
 		return nil, err
 	}
-
-	engA, engB, err := s.distEngines()
-	if err != nil {
-		return nil, err
-	}
 	// Grid pruning: both parties disclose per-record cell coordinates over
 	// their own columns and assemble the same full cell matrix, so pairs
 	// in non-adjacent cells are decided out of range locally — on both
 	// sides identically — and never reach the comparison oracle. Pruned
 	// pairs keep their PairDecisions budget entry (the index implies the
-	// decision; see Ledger docs).
+	// decision; see Ledger docs). The exchange is session-level state:
+	// repeated Runs reuse the matrix without disclosing it again.
 	var cellRows [][]int64
 	if s.pruneOn {
-		cellRows, err = verticalCellMatrix(conn, s, enc, role, peer.Dim)
+		cellRows, err = verticalCellMatrix(conns[0], s, enc, role, peer.Dim)
 		if err != nil {
 			return nil, err
 		}
 	}
-	onPruned := func([2]int) { s.ledger.PairDecisions++ }
+	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: "vertical"}
+	t.setup = s.takeLedger()
+	t.runOnce = func() (*Result, error) { return verticalRunOnce(t, enc, cellRows) }
+	return t, nil
+}
+
+// verticalRunOnce executes one lockstep clustering over the established
+// session state.
+func verticalRunOnce(t *Session, enc [][]int64, cellRows [][]int64) (*Result, error) {
+	s := t.s
+	role := s.role
+	engA, engB, err := s.distEngines()
+	if err != nil {
+		return nil, err
+	}
+	onPruned := func([2]int) { s.led(func(l *Ledger) { l.PairDecisions++ }) }
 	// Fixed comparison roles for the whole run: Alice always holds the
 	// left value (her partial sum PA), Bob the right (Eps² − PB).
-	pairLEBatch := func(pairs [][2]int) ([]bool, error) {
+	pairLEBatchOn := func(conn transport.Conn, pairs [][2]int) ([]bool, error) {
 		setTag(conn, "vdp.cmp")
-		s.ledger.PairDecisions += len(pairs)
+		s.led(func(l *Ledger) { l.PairDecisions += len(pairs) })
 		vals := make([]int64, len(pairs))
 		for t, pr := range pairs {
 			partial := partialDistSq(enc, pr[0], pr[1])
@@ -99,33 +123,39 @@ func verticalRun(conn transport.Conn, cfg Config, role Role, attrs [][]float64) 
 		}
 		return engB.BatchLess(conn, vals)
 	}
+
 	var labels []int
 	var clusters int
-	if s.batched() {
-		oracle := pairLEBatch
+	switch {
+	case s.parallel() > 1:
+		labels, clusters, err = LockstepClusterParallel(len(enc), s.cfg.MinPts, s.parallel(),
+			PrunedLocalDecider(cellRows, onPruned),
+			func(ch int, pairs [][2]int) ([]bool, error) { return pairLEBatchOn(t.conns[ch], pairs) })
+	case s.batched():
+		oracle := func(pairs [][2]int) ([]bool, error) { return pairLEBatchOn(t.conns[0], pairs) }
 		if s.pruneOn {
-			oracle = PrunedBatchOracle(cellRows, onPruned, pairLEBatch)
+			oracle = PrunedBatchOracle(cellRows, onPruned, oracle)
 		}
-		labels, clusters, err = LockstepClusterBatch(len(enc), cfg.MinPts, oracle)
-	} else {
+		labels, clusters, err = LockstepClusterBatch(len(enc), s.cfg.MinPts, oracle)
+	default:
 		pairLE := func(i, j int) (bool, error) {
-			setTag(conn, "vdp.cmp")
-			s.ledger.PairDecisions++
+			setTag(t.conns[0], "vdp.cmp")
+			s.led(func(l *Ledger) { l.PairDecisions++ })
 			partial := partialDistSq(enc, i, j)
 			if role == RoleAlice {
-				return distLessEqDriver(conn, engA, partial)
+				return distLessEqDriver(t.conns[0], engA, partial)
 			}
-			return distLessEqResponder(conn, engB, s, partial)
+			return distLessEqResponder(t.conns[0], engB, s, partial)
 		}
 		if s.pruneOn {
 			pairLE = PrunedPairOracle(cellRows, onPruned, pairLE)
 		}
-		labels, clusters, err = LockstepCluster(len(enc), cfg.MinPts, pairLE)
+		labels, clusters, err = LockstepCluster(len(enc), s.cfg.MinPts, pairLE)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, NumClusters: clusters, Leakage: s.ledger, SecureComparisons: s.cmpCount}, nil
+	return t.result(labels, clusters), nil
 }
 
 // partialDistSq sums squared differences over this party's own columns.

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// E15 — parallelism ablation. The query scheduler (core.Config.Parallel)
+// dispatches independent secure region queries and lockstep pair batches
+// across W multiplexed worker channels, overlapping their round trips.
+// On a zero-latency in-process pipe the schedule change is invisible in
+// wall clock (the cryptography dominates and one core does all of it),
+// so the ablation runs over transport.LatencyPipe — a one-way WAN delay
+// per frame — where the lockstep schedule's round-trip serialization is
+// exactly the bottleneck ROADMAP.md names for the vertical family. The
+// contract half of the experiment re-checks label equality across W;
+// BenchE15 emits the JSON rows `make bench` archives in BENCH_E15.json.
+
+// e15Latency is the simulated one-way frame latency.
+func e15Latency(opt Options) time.Duration {
+	if opt.Quick {
+		return 3 * time.Millisecond
+	}
+	return 4 * time.Millisecond
+}
+
+// e15Workers is the ablation's worker-width sweep.
+var e15Workers = []int{1, 2, 4, 8}
+
+// e15Dataset builds the clustered workload: two tight blobs, so cluster
+// expansion keeps the seed queue — and with it the prefetch wave — full.
+func e15Dataset(opt Options) (dataset.Dataset, core.Config) {
+	n := 64
+	if opt.Quick {
+		n = 32
+	}
+	d := dataset.Blobs(n, 2, 0.08, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+	cfg := qualityCfg(scaleEps(0.4), 4, 63, opt.seed())
+	return q, cfg
+}
+
+// runLatencyPair executes two party functions over metered latency pipes.
+func runLatencyPair(d time.Duration, alice, bob func(transport.Conn) (*core.Result, error)) (commRun, error) {
+	ca, cb := transport.LatencyPipe(d)
+	ma, mb := transport.NewMeter(ca), transport.NewMeter(cb)
+	var out commRun
+	start := time.Now()
+	err := transport.RunPair(ma, mb,
+		func(transport.Conn) error {
+			r, err := alice(ma)
+			out.resA = r
+			return err
+		},
+		func(transport.Conn) error {
+			r, err := bob(mb)
+			out.resB = r
+			return err
+		},
+	)
+	out.wall = time.Since(start)
+	if err != nil {
+		return out, err
+	}
+	out.bytes = ma.Stats().BytesSent + mb.Stats().BytesSent
+	out.tags = transport.Merge(ma, mb)
+	return out, nil
+}
+
+// e15Row is one protocol × worker-width measurement.
+type e15Row struct {
+	protocol string
+	workers  int
+	run      commRun
+}
+
+// runE15Protocols sweeps worker widths over the vertical and horizontal
+// families on one latency-injected wire.
+func runE15Protocols(q dataset.Dataset, base core.Config, latency time.Duration) ([]e15Row, error) {
+	hs, err := partition.HorizontalRandom(q.Points, 0.5, 7)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := partition.Vertical(q.Points, 1)
+	if err != nil {
+		return nil, err
+	}
+	var rows []e15Row
+	for _, w := range e15Workers {
+		cfg := base
+		cfg.Parallel = w
+		vrun, err := runLatencyPair(latency,
+			func(c transport.Conn) (*core.Result, error) { return core.VerticalAlice(c, cfg, vs.Alice) },
+			func(c transport.Conn) (*core.Result, error) { return core.VerticalBob(c, cfg, vs.Bob) },
+		)
+		if err != nil {
+			return nil, fmt.Errorf("e15 vertical/W=%d: %w", w, err)
+		}
+		rows = append(rows, e15Row{"vertical", w, vrun})
+		hrun, err := runLatencyPair(latency,
+			func(c transport.Conn) (*core.Result, error) { return core.HorizontalAlice(c, cfg, hs.Alice) },
+			func(c transport.Conn) (*core.Result, error) { return core.HorizontalBob(c, cfg, hs.Bob) },
+		)
+		if err != nil {
+			return nil, fmt.Errorf("e15 horizontal/W=%d: %w", w, err)
+		}
+		rows = append(rows, e15Row{"horizontal", w, hrun})
+	}
+	return rows, nil
+}
+
+// e15Check verifies the scheduler contract between the W=1 baseline and a
+// W>1 run of one protocol: identical labels on both sides and identical
+// full Ledgers (the scheduler executes the same sub-protocol multiset).
+func e15Check(seq, par e15Row) error {
+	if !metrics.ExactMatch(par.run.resA.Labels, seq.run.resA.Labels) ||
+		!metrics.ExactMatch(par.run.resB.Labels, seq.run.resB.Labels) {
+		return fmt.Errorf("e15 %s: labels diverge between W=%d and W=%d", seq.protocol, seq.workers, par.workers)
+	}
+	if par.run.resA.Leakage != seq.run.resA.Leakage || par.run.resB.Leakage != seq.run.resB.Leakage {
+		return fmt.Errorf("e15 %s: Ledgers diverge between W=%d and W=%d", seq.protocol, seq.workers, par.workers)
+	}
+	return nil
+}
+
+// e15ByProto groups rows per protocol, preserving the sweep order, and
+// verifies the contract against each protocol's W=1 row.
+func e15ByProto(rows []e15Row) (map[string][]e15Row, []string, error) {
+	byProto := map[string][]e15Row{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byProto[r.protocol]; !ok {
+			order = append(order, r.protocol)
+		}
+		byProto[r.protocol] = append(byProto[r.protocol], r)
+	}
+	for _, proto := range order {
+		seq := byProto[proto][0]
+		for _, par := range byProto[proto][1:] {
+			if err := e15Check(seq, par); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return byProto, order, nil
+}
+
+func runE15(w io.Writer, opt Options) error {
+	q, cfg := e15Dataset(opt)
+	latency := e15Latency(opt)
+	rows, err := runE15Protocols(q, cfg, latency)
+	if err != nil {
+		return err
+	}
+	byProto, order, err := e15ByProto(rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "simulated one-way frame latency: %v, n=%d\n", latency, len(q.Points))
+	var t table
+	t.add("protocol", "schedule", "W", "wall", "msgs", "totalKB", "speedup")
+	for _, proto := range order {
+		seq := byProto[proto][0]
+		for _, r := range byProto[proto] {
+			schedule := "scheduler"
+			if r.workers == 1 {
+				schedule = "sequential"
+			}
+			speedup := float64(seq.run.wall) / float64(max(r.run.wall, 1))
+			t.add(proto, schedule, fmt.Sprint(r.workers), fmt.Sprint(r.run.wall.Round(time.Millisecond)),
+				fmt.Sprint(messages(r.run)), fmt.Sprintf("%.0f", float64(r.run.bytes)/1024),
+				fmt.Sprintf("%.2fx", speedup))
+		}
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Identical labels and Ledgers at every width; the scheduler overlaps round trips the lockstep schedule serializes.")
+	return nil
+}
+
+// BenchE15Row is one BenchE15 measurement, JSON-serializable for the perf
+// trajectory file (BENCH_E15.json, written by `make bench`).
+type BenchE15Row struct {
+	Protocol    string  `json:"protocol"`
+	Schedule    string  `json:"schedule"` // "sequential" (W=1) or "scheduler"
+	Workers     int     `json:"workers"`
+	N           int     `json:"n"`
+	LatencyMS   int64   `json:"latency_ms"`
+	WallMS      int64   `json:"wall_ms"`
+	Messages    int64   `json:"messages"`
+	Bytes       int64   `json:"bytes"`
+	SpeedupVsW1 float64 `json:"speedup_vs_w1"`
+}
+
+// BenchE15 runs the parallelism ablation and returns structured
+// measurements, erroring if any width changes labels or Ledgers.
+func BenchE15(opt Options) ([]BenchE15Row, error) {
+	q, cfg := e15Dataset(opt)
+	latency := e15Latency(opt)
+	rows, err := runE15Protocols(q, cfg, latency)
+	if err != nil {
+		return nil, err
+	}
+	byProto, order, err := e15ByProto(rows)
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchE15Row
+	for _, proto := range order {
+		seq := byProto[proto][0]
+		for _, r := range byProto[proto] {
+			schedule := "scheduler"
+			if r.workers == 1 {
+				schedule = "sequential"
+			}
+			out = append(out, BenchE15Row{
+				Protocol:    r.protocol,
+				Schedule:    schedule,
+				Workers:     r.workers,
+				N:           len(q.Points),
+				LatencyMS:   latency.Milliseconds(),
+				WallMS:      r.run.wall.Milliseconds(),
+				Messages:    messages(r.run),
+				Bytes:       r.run.bytes,
+				SpeedupVsW1: float64(seq.run.wall) / float64(max(r.run.wall, 1)),
+			})
+		}
+	}
+	return out, nil
+}

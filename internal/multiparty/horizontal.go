@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/big"
 	mrand "math/rand"
+	"sync"
 
 	"repro/internal/compare"
 	"repro/internal/core"
@@ -122,6 +123,11 @@ func RunHorizontal(party HorizontalParty, cfg Config, points [][]float64) (*Hori
 	if random == nil {
 		random = rand.Reader
 	}
+	if cfg.Parallel > 1 {
+		// The driving pass queries all peers concurrently; the configured
+		// reader is not assumed goroutine-safe.
+		random = transport.LockedReader(random)
+	}
 
 	h := &hState{
 		party: party, cfg: cfg, enc: enc, epsSq: epsSq, random: random,
@@ -213,6 +219,7 @@ func (h *hState) handshakeAll() error {
 			PutString(string(h.cfg.Batching)).
 			PutString(string(h.cfg.Pruning)).
 			PutUint(uint64(h.cfg.PruneQuantum)).
+			PutUint(uint64(h.cfg.Parallel)).
 			PutUint(uint64(h.m)).
 			PutUint(uint64(len(h.enc))).
 			PutBytes(paillier.MarshalPublicKey(&paiKey.PublicKey)).
@@ -233,6 +240,7 @@ func (h *hState) handshakeAll() error {
 		pBatching := r.String()
 		pPruning := r.String()
 		pQuantum := int(r.Uint())
+		pParallel := int(r.Uint())
 		pM := int(r.Uint())
 		pN := int(r.Uint())
 		paiB := r.Bytes()
@@ -258,6 +266,8 @@ func (h *hState) handshakeAll() error {
 			return fmt.Errorf("%w: pruning with party %d", ErrHandshake, q)
 		case pQuantum != h.cfg.PruneQuantum:
 			return fmt.Errorf("%w: prune quantum with party %d", ErrHandshake, q)
+		case pParallel != h.cfg.Parallel:
+			return fmt.Errorf("%w: parallel width with party %d", ErrHandshake, q)
 		case pM != h.m:
 			return fmt.Errorf("%w: dimension %d vs %d with party %d", ErrHandshake, h.m, pM, q)
 		}
@@ -333,8 +343,9 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 }
 
 // meshHandshakeVersion guards against protocol drift between binaries;
-// version 2 added the Pruning parameters to the pairwise handshake.
-const meshHandshakeVersion = 2
+// version 2 added the Pruning parameters to the pairwise handshake;
+// version 3 added the Parallel fan-out width.
+const meshHandshakeVersion = 3
 
 // Ops on the driver→responder control channel (per peer connection).
 const (
@@ -382,9 +393,38 @@ func (h *hState) localRegionQuery(i int) []int {
 	return out
 }
 
-// totalCount sums the query point's neighbours across all peers.
+// totalCount sums the query point's neighbours across all peers. With
+// Config.Parallel > 1 the per-peer HDP sub-queries — each a complete
+// two-party exchange on its own mesh edge — run concurrently, so one
+// region query costs the slowest peer's round trips instead of the sum;
+// the per-peer counts, and therefore the total and every disclosure, are
+// unchanged.
 func (h *hState) totalCount(x []int64) (int, error) {
 	h.queries++
+	if h.cfg.Parallel > 1 {
+		counts := make([]int, h.party.K)
+		errs := make([]error, h.party.K)
+		var wg sync.WaitGroup
+		for q := 0; q < h.party.K; q++ {
+			if q == h.party.Index {
+				continue
+			}
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				counts[q], errs[q] = h.queryPeer(q, x)
+			}(q)
+		}
+		wg.Wait()
+		total := 0
+		for q := 0; q < h.party.K; q++ {
+			if errs[q] != nil {
+				return 0, fmt.Errorf("querying party %d: %w", q, errs[q])
+			}
+			total += counts[q]
+		}
+		return total, nil
+	}
 	total := 0
 	for q := 0; q < h.party.K; q++ {
 		if q == h.party.Index {

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync/atomic"
 
 	"repro/internal/compare"
 	"repro/internal/core"
@@ -86,6 +87,18 @@ type Config struct {
 	// horizontal mesh's padded occupancy directories).
 	PruneQuantum int
 
+	// Parallel mirrors core.Config.Parallel: with W > 1 every ring edge is
+	// multiplexed into W worker channels (transport.Mux) and the shared
+	// parallel lockstep scheduler circulates up to W independent pair
+	// batches around the ring concurrently — per-worker accumulation,
+	// comparison, and broadcast — overlapping their round trips. In the
+	// horizontal mesh W > 1 fans each region query's per-peer HDP
+	// sub-queries out concurrently across the mesh edges. All parties must
+	// agree (checked by the ring token / mesh handshake); W > 1 requires
+	// the batched round structure. Labels and disclosure counts are
+	// identical to the sequential schedule.
+	Parallel int
+
 	Random io.Reader
 }
 
@@ -120,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.PruneQuantum == 0 {
 		c.PruneQuantum = core.DefaultPruneQuantum
 	}
+	if c.Parallel == 0 {
+		c.Parallel = 1
+	}
 	return c
 }
 
@@ -147,6 +163,12 @@ func (c Config) validate() error {
 	}
 	if c.PruneQuantum < 1 {
 		return fmt.Errorf("multiparty: PruneQuantum must be ≥ 1, got %d", c.PruneQuantum)
+	}
+	if c.Parallel < 1 || c.Parallel > transport.MaxMuxChannels {
+		return fmt.Errorf("multiparty: Parallel %d outside [1,%d]", c.Parallel, transport.MaxMuxChannels)
+	}
+	if c.Parallel > 1 && c.Batching != core.BatchModeBatched {
+		return fmt.Errorf("multiparty: Parallel %d requires Batching %q", c.Parallel, core.BatchModeBatched)
 	}
 	return nil
 }
@@ -188,8 +210,9 @@ type Result struct {
 var ErrHandshake = errors.New("multiparty: handshake parameter mismatch")
 
 // ringHandshakeVersion guards against protocol drift between binaries;
-// version 2 added the Pruning parameters to the token.
-const ringHandshakeVersion = 2
+// version 2 added the Pruning parameters to the token; version 3 added
+// the Parallel scheduler width (which also pins per-edge multiplexing).
+const ringHandshakeVersion = 3
 
 // handshakeToken travels once around the ring accumulating checks.
 type handshakeToken struct {
@@ -201,6 +224,7 @@ type handshakeToken struct {
 	batching string
 	pruning  string
 	quantum  int
+	parallel int
 	count    int // record count, must be identical everywhere
 	dimSum   int // Σ attribute counts
 	k        int
@@ -219,6 +243,7 @@ func encodeToken(t handshakeToken) *transport.Builder {
 		PutString(t.batching).
 		PutString(t.pruning).
 		PutUint(uint64(t.quantum)).
+		PutUint(uint64(t.parallel)).
 		PutUint(uint64(t.count)).
 		PutUint(uint64(t.dimSum)).
 		PutUint(uint64(t.k)).
@@ -237,6 +262,7 @@ func decodeToken(r *transport.Reader) (handshakeToken, error) {
 		batching: r.String(),
 		pruning:  r.String(),
 		quantum:  int(r.Uint()),
+		parallel: int(r.Uint()),
 		count:    int(r.Uint()),
 		dimSum:   int(r.Uint()),
 		k:        int(r.Uint()),
@@ -295,7 +321,12 @@ func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
 		random = rand.Reader
 	}
 
+	if cfg.Parallel > 1 {
+		random = transport.LockedReader(random)
+	}
 	st := &state{party: party, cfg: cfg, enc: enc, epsSq: epsSq, random: random}
+	st.prevs = edgeChannels(party.Prev, cfg.Parallel)
+	st.nexts = edgeChannels(party.Next, cfg.Parallel)
 	if err := st.handshake(); err != nil {
 		return nil, err
 	}
@@ -313,17 +344,21 @@ func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
 			return nil, err
 		}
 	}
-	onPruned := func([2]int) { st.pairCount++ }
+	onPruned := func([2]int) { st.pairCount.Add(1) }
 
 	var labels []int
 	var clusters int
-	if cfg.Batching == core.BatchModeBatched {
-		oracle := st.pairLEBatch
+	switch {
+	case cfg.Parallel > 1:
+		labels, clusters, err = core.LockstepClusterParallel(len(enc), cfg.MinPts, cfg.Parallel,
+			core.PrunedLocalDecider(cellRows, onPruned), st.pairLEBatchOn)
+	case cfg.Batching == core.BatchModeBatched:
+		oracle := func(pairs [][2]int) ([]bool, error) { return st.pairLEBatchOn(0, pairs) }
 		if cellRows != nil {
 			oracle = core.PrunedBatchOracle(cellRows, onPruned, oracle)
 		}
 		labels, clusters, err = core.LockstepClusterBatch(len(enc), cfg.MinPts, oracle)
-	} else {
+	default:
 		oracle := st.pairLE
 		if cellRows != nil {
 			oracle = core.PrunedPairOracle(cellRows, onPruned, oracle)
@@ -333,7 +368,7 @@ func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, NumClusters: clusters, PairDecisions: st.pairCount, IndexCellCoords: st.idxCoords}, nil
+	return &Result{Labels: labels, NumClusters: clusters, PairDecisions: int(st.pairCount.Load()), IndexCellCoords: st.idxCoords}, nil
 }
 
 // state is one party's runtime for the ring protocol.
@@ -343,6 +378,11 @@ type state struct {
 	enc    [][]int64
 	epsSq  int64
 	random io.Reader
+
+	// prevs/nexts are the per-worker ring edges: the bare connections for
+	// W = 1, or the W channels of the multiplexed edges (prevs[0]/nexts[0]
+	// carry the handshake and index circulation).
+	prevs, nexts []transport.Conn
 
 	m      int   // total (virtual) record dimension
 	bound  int64 // m·MaxCoord²
@@ -357,8 +397,22 @@ type state struct {
 	cmpA compare.Alice // coordinator side
 	cmpB compare.Bob   // last-party side
 
-	pairCount int
-	idxCoords int // cell coordinates received in the index circulation
+	pairCount atomic.Int64 // within-Eps bits revealed (workers count concurrently)
+	idxCoords int          // cell coordinates received in the index circulation
+}
+
+// edgeChannels splits one ring edge into W worker channels (or returns
+// the bare edge for W = 1).
+func edgeChannels(conn transport.Conn, w int) []transport.Conn {
+	if w <= 1 {
+		return []transport.Conn{conn}
+	}
+	m := transport.NewMux(conn)
+	out := make([]transport.Conn, w)
+	for i := range out {
+		out[i] = m.Channel(uint32(i))
+	}
+	return out
 }
 
 func (st *state) isCoordinator() bool { return st.party.Index == 0 }
@@ -369,6 +423,7 @@ func (st *state) isLast() bool        { return st.party.Index == st.party.K-1 }
 // the final dimension back out.
 func (st *state) handshake() error {
 	p := st.party
+	prev, next := st.prevs[0], st.nexts[0]
 	if st.isCoordinator() {
 		var err error
 		st.paiKey, err = paillier.GenerateKey(st.random, st.cfg.PaillierBits)
@@ -391,6 +446,7 @@ func (st *state) handshake() error {
 			batching: string(st.cfg.Batching),
 			pruning:  string(st.cfg.Pruning),
 			quantum:  st.cfg.PruneQuantum,
+			parallel: st.cfg.Parallel,
 			count:    len(st.enc),
 			dimSum:   len(st.enc[0]),
 			k:        p.K,
@@ -398,10 +454,10 @@ func (st *state) handshake() error {
 			rsaN:     rsaN,
 			rsaE:     rsaE,
 		}
-		if err := transport.SendMsg(p.Next, encodeToken(tok)); err != nil {
+		if err := transport.SendMsg(next, encodeToken(tok)); err != nil {
 			return fmt.Errorf("multiparty: handshake send: %w", err)
 		}
-		r, err := transport.RecvMsg(p.Prev)
+		r, err := transport.RecvMsg(prev)
 		if err != nil {
 			return fmt.Errorf("multiparty: handshake return: %w", err)
 		}
@@ -410,17 +466,17 @@ func (st *state) handshake() error {
 			return err
 		}
 		// Second lap: broadcast the final total dimension.
-		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutUint(uint64(got.dimSum))); err != nil {
+		if err := transport.SendMsg(next, transport.NewBuilder().PutUint(uint64(got.dimSum))); err != nil {
 			return err
 		}
-		if _, err := transport.RecvMsg(p.Prev); err != nil {
+		if _, err := transport.RecvMsg(prev); err != nil {
 			return err
 		}
 		return st.finishDims(got.dimSum)
 	}
 
 	// Non-coordinator: verify, accumulate own dimension, forward.
-	r, err := transport.RecvMsg(p.Prev)
+	r, err := transport.RecvMsg(prev)
 	if err != nil {
 		return fmt.Errorf("multiparty: handshake recv: %w", err)
 	}
@@ -445,6 +501,8 @@ func (st *state) handshake() error {
 		return fmt.Errorf("%w: pruning %q vs %q", ErrHandshake, st.cfg.Pruning, tok.pruning)
 	case tok.quantum != st.cfg.PruneQuantum:
 		return fmt.Errorf("%w: prune quantum %d vs %d", ErrHandshake, st.cfg.PruneQuantum, tok.quantum)
+	case tok.parallel != st.cfg.Parallel:
+		return fmt.Errorf("%w: parallel width %d vs %d", ErrHandshake, st.cfg.Parallel, tok.parallel)
 	case tok.count != len(st.enc):
 		return fmt.Errorf("%w: record count %d vs %d", ErrHandshake, len(st.enc), tok.count)
 	case tok.k != st.party.K:
@@ -459,11 +517,11 @@ func (st *state) handshake() error {
 		return err
 	}
 	tok.dimSum += len(st.enc[0])
-	if err := transport.SendMsg(p.Next, encodeToken(tok)); err != nil {
+	if err := transport.SendMsg(next, encodeToken(tok)); err != nil {
 		return err
 	}
 	// Second lap: learn the total dimension, forward it.
-	r2, err := transport.RecvMsg(p.Prev)
+	r2, err := transport.RecvMsg(prev)
 	if err != nil {
 		return err
 	}
@@ -471,7 +529,7 @@ func (st *state) handshake() error {
 	if r2.Err() != nil {
 		return r2.Err()
 	}
-	if err := transport.SendMsg(p.Next, transport.NewBuilder().PutUint(uint64(m))); err != nil {
+	if err := transport.SendMsg(next, transport.NewBuilder().PutUint(uint64(m))); err != nil {
 		return err
 	}
 	return st.finishDims(m)
@@ -498,7 +556,7 @@ func (st *state) finishDims(m int) error {
 // party order, matching the virtual column order), lap 2 broadcasts the
 // completed matrix, so every party prunes over identical cell rows.
 func (st *state) exchangeCells() ([][]int64, error) {
-	p := st.party
+	prev, next := st.prevs[0], st.nexts[0]
 	w := spatial.CellWidth(st.epsSq)
 	own := make([][]int64, len(st.enc))
 	for i, row := range st.enc {
@@ -527,10 +585,10 @@ func (st *state) exchangeCells() ([][]int64, error) {
 
 	var full [][]int64
 	if st.isCoordinator() {
-		if err := transport.SendMsg(p.Next, encode(own)); err != nil {
+		if err := transport.SendMsg(next, encode(own)); err != nil {
 			return nil, fmt.Errorf("multiparty: ring index send: %w", err)
 		}
-		r, err := transport.RecvMsg(p.Prev)
+		r, err := transport.RecvMsg(prev)
 		if err != nil {
 			return nil, fmt.Errorf("multiparty: ring index return: %w", err)
 		}
@@ -538,14 +596,14 @@ func (st *state) exchangeCells() ([][]int64, error) {
 			return nil, err
 		}
 		// Lap 2: broadcast the completed matrix.
-		if err := transport.SendMsg(p.Next, encode(full)); err != nil {
+		if err := transport.SendMsg(next, encode(full)); err != nil {
 			return nil, err
 		}
-		if _, err := transport.RecvMsg(p.Prev); err != nil {
+		if _, err := transport.RecvMsg(prev); err != nil {
 			return nil, err
 		}
 	} else {
-		r, err := transport.RecvMsg(p.Prev)
+		r, err := transport.RecvMsg(prev)
 		if err != nil {
 			return nil, fmt.Errorf("multiparty: ring index recv: %w", err)
 		}
@@ -557,18 +615,18 @@ func (st *state) exchangeCells() ([][]int64, error) {
 		for i := range st.enc {
 			appended[i] = append(append([]int64{}, soFar[i]...), own[i]...)
 		}
-		if err := transport.SendMsg(p.Next, encode(appended)); err != nil {
+		if err := transport.SendMsg(next, encode(appended)); err != nil {
 			return nil, err
 		}
 		// Lap 2: learn the full matrix, forward it.
-		r2, err := transport.RecvMsg(p.Prev)
+		r2, err := transport.RecvMsg(prev)
 		if err != nil {
 			return nil, err
 		}
 		if full, err = decode(r2, m); err != nil {
 			return nil, err
 		}
-		if err := transport.SendMsg(p.Next, encode(full)); err != nil {
+		if err := transport.SendMsg(next, encode(full)); err != nil {
 			return nil, err
 		}
 	}
@@ -622,8 +680,8 @@ func (st *state) partial(i, j int) int64 {
 // pairLE is the joint within-Eps oracle: ring accumulation, masked
 // decryption, coordinator↔last comparison, ring broadcast.
 func (st *state) pairLE(i, j int) (bool, error) {
-	st.pairCount++
-	p := st.party
+	st.pairCount.Add(1)
+	prev, next := st.prevs[0], st.nexts[0]
 	s := st.partial(i, j)
 
 	if st.isCoordinator() {
@@ -631,10 +689,10 @@ func (st *state) pairLE(i, j int) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBig(ct)); err != nil {
+		if err := transport.SendMsg(next, transport.NewBuilder().PutBig(ct)); err != nil {
 			return false, fmt.Errorf("multiparty: ring send: %w", err)
 		}
-		r, err := transport.RecvMsg(p.Prev)
+		r, err := transport.RecvMsg(prev)
 		if err != nil {
 			return false, fmt.Errorf("multiparty: ring return: %w", err)
 		}
@@ -650,19 +708,19 @@ func (st *state) pairLE(i, j int) (bool, error) {
 			return false, fmt.Errorf("multiparty: masked sum %v outside [0,%d)", t, st.bound+st.shareV)
 		}
 		// t = dist² + v ≤ Eps² + v ⟺ dist² ≤ Eps².
-		in, err := st.cmpA.LessEq(p.Prev, t.Int64())
+		in, err := st.cmpA.LessEq(prev, t.Int64())
 		if err != nil {
 			return false, err
 		}
 		// Broadcast the decision around the ring.
-		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBool(in)); err != nil {
+		if err := transport.SendMsg(next, transport.NewBuilder().PutBool(in)); err != nil {
 			return false, err
 		}
 		return in, nil
 	}
 
 	// Non-coordinator: accumulate and forward.
-	r, err := transport.RecvMsg(p.Prev)
+	r, err := transport.RecvMsg(prev)
 	if err != nil {
 		return false, fmt.Errorf("multiparty: ring recv: %w", err)
 	}
@@ -688,18 +746,18 @@ func (st *state) pairLE(i, j int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBig(acc)); err != nil {
+	if err := transport.SendMsg(next, transport.NewBuilder().PutBig(acc)); err != nil {
 		return false, fmt.Errorf("multiparty: ring forward: %w", err)
 	}
 	if st.isLast() {
 		// Participate in the comparison with right side Eps² + v.
-		if _, err := st.cmpB.LessEq(p.Next, st.epsSq+v); err != nil {
+		if _, err := st.cmpB.LessEq(next, st.epsSq+v); err != nil {
 			return false, err
 		}
 	}
 	// Receive the broadcast decision; forward unless the next hop is the
 	// coordinator (who originated it).
-	br, err := transport.RecvMsg(p.Prev)
+	br, err := transport.RecvMsg(prev)
 	if err != nil {
 		return false, fmt.Errorf("multiparty: broadcast recv: %w", err)
 	}
@@ -708,22 +766,25 @@ func (st *state) pairLE(i, j int) (bool, error) {
 		return false, br.Err()
 	}
 	if !st.isLast() {
-		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBool(in)); err != nil {
+		if err := transport.SendMsg(next, transport.NewBuilder().PutBool(in)); err != nil {
 			return false, err
 		}
 	}
 	return in, nil
 }
 
-// pairLEBatch is the batched ring oracle: one circulation accumulates the
-// ciphertexts of every pair in the batch (encrypted, added, and decrypted
-// on the parallel Paillier pool), one BatchLessEq settles all thresholds
-// between coordinator and last party, and one circulation broadcasts the
-// result bits. Message cost per neighborhood: ~2k ring frames + 3
-// comparison frames, versus the sequential path's per-pair circulations.
-func (st *state) pairLEBatch(pairs [][2]int) ([]bool, error) {
-	st.pairCount += len(pairs)
-	p := st.party
+// pairLEBatchOn is the batched ring oracle on worker channel ch: one
+// circulation accumulates the ciphertexts of every pair in the batch
+// (encrypted, added, and decrypted on the parallel Paillier pool), one
+// BatchLessEq settles all thresholds between coordinator and last party,
+// and one circulation broadcasts the result bits. Message cost per
+// neighborhood: ~2k ring frames + 3 comparison frames, versus the
+// sequential path's per-pair circulations. Under the parallel scheduler
+// (Config.Parallel) up to W such circulations — one per worker channel —
+// ride the multiplexed ring edges concurrently.
+func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
+	st.pairCount.Add(int64(len(pairs)))
+	prev, next := st.prevs[ch], st.nexts[ch]
 	partials := make([]int64, len(pairs))
 	for t, pr := range pairs {
 		partials[t] = st.partial(pr[0], pr[1])
@@ -734,10 +795,10 @@ func (st *state) pairLEBatch(pairs [][2]int) ([]bool, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBigs(cts)); err != nil {
+		if err := transport.SendMsg(next, transport.NewBuilder().PutBigs(cts)); err != nil {
 			return nil, fmt.Errorf("multiparty: ring batch send: %w", err)
 		}
-		r, err := transport.RecvMsg(p.Prev)
+		r, err := transport.RecvMsg(prev)
 		if err != nil {
 			return nil, fmt.Errorf("multiparty: ring batch return: %w", err)
 		}
@@ -760,19 +821,19 @@ func (st *state) pairLEBatch(pairs [][2]int) ([]bool, error) {
 			// t = dist² + v ≤ Eps² + v ⟺ dist² ≤ Eps².
 			vals[t] = ti.Int64()
 		}
-		ins, err := st.cmpA.BatchLessEq(p.Prev, vals)
+		ins, err := st.cmpA.BatchLessEq(prev, vals)
 		if err != nil {
 			return nil, err
 		}
 		// Broadcast the decisions around the ring.
-		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBools(ins)); err != nil {
+		if err := transport.SendMsg(next, transport.NewBuilder().PutBools(ins)); err != nil {
 			return nil, err
 		}
 		return ins, nil
 	}
 
 	// Non-coordinator: accumulate the whole batch and forward.
-	r, err := transport.RecvMsg(p.Prev)
+	r, err := transport.RecvMsg(prev)
 	if err != nil {
 		return nil, fmt.Errorf("multiparty: ring batch recv: %w", err)
 	}
@@ -809,7 +870,7 @@ func (st *state) pairLEBatch(pairs [][2]int) ([]bool, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBigs(accs)); err != nil {
+	if err := transport.SendMsg(next, transport.NewBuilder().PutBigs(accs)); err != nil {
 		return nil, fmt.Errorf("multiparty: ring batch forward: %w", err)
 	}
 	if st.isLast() {
@@ -818,13 +879,13 @@ func (st *state) pairLEBatch(pairs [][2]int) ([]bool, error) {
 		for t := range rights {
 			rights[t] = st.epsSq + masks[t]
 		}
-		if _, err := st.cmpB.BatchLessEq(p.Next, rights); err != nil {
+		if _, err := st.cmpB.BatchLessEq(next, rights); err != nil {
 			return nil, err
 		}
 	}
 	// Receive the broadcast decisions; forward unless the next hop is the
 	// coordinator (who originated them).
-	br, err := transport.RecvMsg(p.Prev)
+	br, err := transport.RecvMsg(prev)
 	if err != nil {
 		return nil, fmt.Errorf("multiparty: batch broadcast recv: %w", err)
 	}
@@ -836,7 +897,7 @@ func (st *state) pairLEBatch(pairs [][2]int) ([]bool, error) {
 		return nil, fmt.Errorf("multiparty: broadcast carried %d bits for %d pairs", len(ins), len(pairs))
 	}
 	if !st.isLast() {
-		if err := transport.SendMsg(p.Next, transport.NewBuilder().PutBools(ins)); err != nil {
+		if err := transport.SendMsg(next, transport.NewBuilder().PutBools(ins)); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,96 @@
+package multiparty
+
+import (
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// Parallel equivalence for the multiparty extensions: the ring's
+// per-worker batch circulations and the mesh's concurrent peer fan-out
+// must reproduce the sequential schedule's labels and disclosure counts
+// exactly.
+
+func TestRingParallelEquivalence(t *testing.T) {
+	d, _ := dataset.Quantize(dataset.BlobsDim(18, 2, 3, 0.3, 5), 16)
+	slices := splitColumns(d.Points, 3)
+
+	base := testCfg(compare.EngineMasked)
+	seqResults, err := runRing(t, base, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		cfg := base
+		cfg.Parallel = w
+		parResults, err := runRing(t, cfg, slices)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		for p := range parResults {
+			if !metrics.ExactMatch(parResults[p].Labels, seqResults[p].Labels) {
+				t.Errorf("W=%d: party %d labels diverge: %v vs %v", w, p, parResults[p].Labels, seqResults[p].Labels)
+			}
+			if parResults[p].NumClusters != seqResults[p].NumClusters {
+				t.Errorf("W=%d: party %d cluster count %d vs %d", w, p, parResults[p].NumClusters, seqResults[p].NumClusters)
+			}
+			if parResults[p].PairDecisions != seqResults[p].PairDecisions {
+				t.Errorf("W=%d: party %d pair decisions %d vs %d", w, p, parResults[p].PairDecisions, seqResults[p].PairDecisions)
+			}
+			if parResults[p].IndexCellCoords != seqResults[p].IndexCellCoords {
+				t.Errorf("W=%d: party %d index coords %d vs %d", w, p, parResults[p].IndexCellCoords, seqResults[p].IndexCellCoords)
+			}
+		}
+	}
+}
+
+// runMeshOne runs the mesh with one shared config and fails on any error.
+func runMeshOne(t *testing.T, cfg Config, slices [][][]float64) ([]*HorizontalResult, error) {
+	t.Helper()
+	results, errs := runMesh(t, sameCfgs(len(slices), cfg), slices)
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+func TestMeshParallelEquivalence(t *testing.T) {
+	d, _ := dataset.Quantize(dataset.Blobs(18, 2, 0.3, 9), 16)
+	split, err := partitionHorizontal3(d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := testCfg(compare.EngineMasked)
+	seqResults, err := runMeshOne(t, base, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Parallel = 4
+	parResults, err := runMeshOne(t, cfg, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range parResults {
+		if !metrics.ExactMatch(parResults[p].Labels, seqResults[p].Labels) {
+			t.Errorf("party %d labels diverge: %v vs %v", p, parResults[p].Labels, seqResults[p].Labels)
+		}
+		if parResults[p].RegionQueries != seqResults[p].RegionQueries {
+			t.Errorf("party %d region queries %d vs %d", p, parResults[p].RegionQueries, seqResults[p].RegionQueries)
+		}
+	}
+}
+
+// partitionHorizontal3 deals points round-robin into three parties.
+func partitionHorizontal3(points [][]float64) ([][][]float64, error) {
+	out := make([][][]float64, 3)
+	for i, pt := range points {
+		out[i%3] = append(out[i%3], pt)
+	}
+	return out, nil
+}

@@ -131,3 +131,38 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMuxFrame exercises the channel-tagged frame codec of the
+// multiplexed transport: every (channel, payload) pair must round-trip
+// exactly, and decoding arbitrary bytes must yield either a valid
+// in-range channel with an aliasing payload or an error — never a panic.
+func FuzzMuxFrame(f *testing.F) {
+	f.Add(uint32(0), []byte{})
+	f.Add(uint32(1), []byte("payload"))
+	f.Add(uint32(MaxMuxChannels-1), bytes.Repeat([]byte{0xfe}, 128))
+	f.Add(uint32(MaxMuxChannels), []byte{1})
+
+	f.Fuzz(func(t *testing.T, ch uint32, payload []byte) {
+		if ch < MaxMuxChannels {
+			frame := AppendMuxFrame(nil, ch, payload)
+			gotCh, gotPayload, err := DecodeMuxFrame(frame)
+			if err != nil {
+				t.Fatalf("round trip (%d, %d bytes): %v", ch, len(payload), err)
+			}
+			if gotCh != ch || !bytes.Equal(gotPayload, payload) {
+				t.Fatalf("round trip (%d, %v) became (%d, %v)", ch, payload, gotCh, gotPayload)
+			}
+		}
+
+		// Arbitrary bytes through the decoder: in-range channel or error.
+		gotCh, gotPayload, err := DecodeMuxFrame(payload)
+		if err == nil {
+			if gotCh >= MaxMuxChannels {
+				t.Fatalf("decoder accepted channel %d ≥ %d", gotCh, MaxMuxChannels)
+			}
+			if len(gotPayload) > len(payload) {
+				t.Fatalf("payload grew: %d > %d", len(gotPayload), len(payload))
+			}
+		}
+	})
+}

@@ -33,11 +33,18 @@ func (s Stats) add(o Stats) Stats {
 
 // Meter wraps a Conn and attributes every message to the currently active
 // protocol tag. Protocol implementations call SetTag before each phase;
-// the communication experiments then read per-tag totals. A Meter is used
-// by the single goroutine that owns the underlying Conn; the counters are
-// protected so that the driver can snapshot them concurrently.
+// the communication experiments then read per-tag totals. A Meter is safe
+// for concurrent writers — the multiplexed transport funnels every worker
+// channel through one Meter — and serializes access to the underlying
+// connection, so even a bare stream framing (which interleaves header and
+// body writes) stays intact under concurrency. With workers running
+// different phases simultaneously the tag is a best-effort label; the
+// aggregate counters stay exact.
 type Meter struct {
 	conn Conn
+
+	sendMu sync.Mutex // serializes conn.Send with its counter update
+	recvMu sync.Mutex // serializes conn.Recv with its counter update
 
 	mu     sync.Mutex
 	tag    string
@@ -68,6 +75,8 @@ func (m *Meter) Tag() string {
 }
 
 func (m *Meter) Send(b []byte) error {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
 	if err := m.conn.Send(b); err != nil {
 		return err
 	}
@@ -83,6 +92,8 @@ func (m *Meter) Send(b []byte) error {
 }
 
 func (m *Meter) Recv() ([]byte, error) {
+	m.recvMu.Lock()
+	defer m.recvMu.Unlock()
 	b, err := m.conn.Recv()
 	if err != nil {
 		return nil, err

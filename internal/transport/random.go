@@ -1,0 +1,25 @@
+package transport
+
+import (
+	"io"
+	"sync"
+)
+
+// LockedReader wraps a randomness source for use by concurrent protocol
+// workers. Nothing in this repository assumes a configured io.Reader is
+// goroutine-safe (tests pass deterministic readers), so the parallel
+// scheduler serializes every read through one of these.
+func LockedReader(r io.Reader) io.Reader {
+	return &lockedReader{r: r}
+}
+
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (l *lockedReader) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(p)
+}
