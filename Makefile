@@ -1,8 +1,9 @@
 # Build, verify, and benchmark targets. `make verify` is the full gate
 # (format, vet, build, race-enabled tests); `make bench` records the E11
 # end-to-end measurements to BENCH_E11.json, the E14 grid-pruning
-# ablation to BENCH_E14.json, and the E15 parallelism ablation to
-# BENCH_E15.json so the performance trajectory is tracked PR over PR.
+# ablation to BENCH_E14.json, the E15 parallelism ablation to
+# BENCH_E15.json, and the E16 session-concurrency sweep to
+# BENCH_E16.json so the performance trajectory is tracked PR over PR.
 # Every bench file is stamped with the commit hash and Go version.
 
 GO ?= go
@@ -30,7 +31,7 @@ fmt:
 verify: fmt vet build race
 
 # Quick-mode bench: small n, both batching and pruning modes plus the
-# worker-width sweep, JSON rows.
+# worker-width and session-concurrency sweeps, JSON rows.
 bench:
 	$(GO) run ./cmd/ppdbscan bench -quick -out BENCH_E11.json
 	@cat BENCH_E11.json
@@ -38,6 +39,8 @@ bench:
 	@cat BENCH_E14.json
 	$(GO) run ./cmd/ppdbscan bench -suite e15 -quick -out BENCH_E15.json
 	@cat BENCH_E15.json
+	$(GO) run ./cmd/ppdbscan bench -suite e16 -quick -out BENCH_E16.json
+	@cat BENCH_E16.json
 
 # Short fuzz pass over the wire, batch-frame, mux-frame, and spatial-grid
 # codecs.
@@ -48,4 +51,4 @@ fuzz:
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzGridBucket -fuzztime 10s
 
 clean:
-	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json
+	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json

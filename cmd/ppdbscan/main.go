@@ -3,23 +3,28 @@
 // real TCP between two processes (alice/bob modes for one-shot runs,
 // serve/client for long-lived sessions that amortize keygen, handshake,
 // and the grid-index exchange across many clustering requests), plus the
-// full experiment suite and a synthetic dataset generator.
+// full experiment suite and a synthetic dataset generator. `serve` is a
+// concurrent multi-session server: it accepts any number of clients,
+// gives each its own session goroutine and traffic meter, shares one
+// bounded crypto pool across them (-workers), survives individual client
+// failures, and drains gracefully on SIGINT; `loadgen` drives C
+// concurrent clients × R runs each against it.
 //
 // Usage:
 //
 //	ppdbscan demo        -mode horizontal|enhanced|vertical|arbitrary [flags]
 //	ppdbscan alice       -mode horizontal|enhanced|vertical -listen :9000 -data a.csv [flags]
 //	ppdbscan bob         -mode horizontal|enhanced|vertical -connect host:9000 -data b.csv [flags]
-//	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [flags]
+//	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [-workers N] [-drain 30s] [flags]
 //	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [flags]
+//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e15 [-quick] [-seed N]
-//	ppdbscan bench       [-suite e11|e14|e15] [-quick] [-seed N] [-out BENCH_E11.json]
+//	ppdbscan experiments -id all|e1..e16 [-quick] [-seed N]
+//	ppdbscan bench       [-suite e11|e14|e15|e16] [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +58,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "client":
 		err = cmdClient(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
 	case "bench":
@@ -78,11 +85,13 @@ func usage() {
 commands:
   demo         run a protocol between two in-process parties on synthetic data
   alice, bob   run one party of a one-shot protocol over TCP
-  serve        hold a long-lived session over TCP and answer clustering requests
+  serve        concurrent multi-session server: accept any number of clients,
+               one session each, over a shared bounded crypto pool; SIGINT drains
   client       drive a long-lived session: N clustering runs over one key exchange
+  loadgen      drive C concurrent client sessions x R runs each against a server
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e15 or all)
-  bench        run a benchmark suite (-suite e11|e14|e15) and write JSON measurements
+  experiments  regenerate the paper's evaluation tables (e1..e16 or all)
+  bench        run a benchmark suite (-suite e11|e14|e15|e16) and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
 
 E14 is the grid-pruning ablation: -pruning grid (default) buckets each
@@ -360,53 +369,6 @@ func sessionByMode(mode string, conn transport.Conn, cfg core.Config, role core.
 	return nil, fmt.Errorf("mode %q not supported for sessions (use demo for arbitrary)", mode)
 }
 
-// cmdServe holds one long-lived session as the serving party (RoleBob):
-// keygen, handshake, and the grid-index exchange happen once at accept
-// time, then every clustering request from the client reuses them.
-func cmdServe(args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	p := addProtocolFlags(fs)
-	listen := fs.String("listen", ":9000", "address to listen on")
-	dataPath := fs.String("data", "", "CSV file with this party's points (one point per line)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	cfg, err := p.config()
-	if err != nil {
-		return err
-	}
-	points, err := readCSV(*dataPath)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("serve: listening on %s (mode %s, parallel %d)\n", *listen, p.mode, cfg.Parallel)
-	conn, _, err := transport.Listen(*listen)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	meter := transport.NewMeter(conn)
-	sess, err := sessionByMode(p.mode, meter, cfg, core.RoleBob, points)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("serve: session established, setup leakage %v\n", sess.SetupLeakage())
-	for {
-		res, err := sess.Run()
-		if errors.Is(err, core.ErrSessionClosed) {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Printf("serve: run %d: %d labels, %d clusters, run leakage %v\n",
-			sess.Runs(), len(res.Labels), res.NumClusters, res.Leakage)
-	}
-	fmt.Printf("serve: session closed after %d runs; traffic sent %d bytes, received %d bytes\n",
-		sess.Runs(), meter.Stats().BytesSent, meter.Stats().BytesRecv)
-	return nil
-}
-
 // cmdClient drives a long-lived session as the initiating party
 // (RoleAlice): -runs clustering requests over one key exchange + index.
 func cmdClient(args []string) error {
@@ -493,7 +455,7 @@ func cmdGen(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (e1..e15) or all")
+	id := fs.String("id", "all", "experiment id (e1..e16) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
@@ -539,14 +501,15 @@ func gitCommit() string {
 // cmdBench measures a benchmark suite and writes the rows as JSON — the
 // perf-trajectory artifacts `make bench` stores in BENCH_E11.json (E11
 // end-to-end workload, both batching modes), BENCH_E14.json (grid-pruning
-// ablation), and BENCH_E15.json (parallelism ablation: worker-width sweep
-// over a simulated WAN). Every file is stamped with the commit hash and
-// Go version that produced it.
+// ablation), BENCH_E15.json (parallelism ablation: worker-width sweep
+// over a simulated WAN), and BENCH_E16.json (session-concurrency sweep:
+// C concurrent sessions on one shared-pool server). Every file is
+// stamped with the commit hash and Go version that produced it.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller workload")
 	seed := fs.Int64("seed", 1, "bench seed")
-	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15")
+	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -561,8 +524,10 @@ func cmdBench(args []string) error {
 		rows, err = experiments.BenchE14(opt)
 	case "e15":
 		rows, err = experiments.BenchE15(opt)
+	case "e16":
+		rows, err = experiments.BenchE16(opt)
 	default:
-		return fmt.Errorf("unknown bench suite %q (want e11, e14, or e15)", *suite)
+		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, or e16)", *suite)
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// The concurrent serving stack. `ppdbscan serve` is one server process
+// holding many independent privacy-preserving clustering sessions at
+// once: an accept loop hands every inbound client its own session
+// goroutine, session id, and traffic Meter (core.SessionManager), while
+// all sessions share one bounded crypto worker pool (-workers) so N
+// concurrent clients contend for the CPU instead of oversubscribing it.
+// One client's disconnect or failed handshake is logged and served
+// around — the process keeps accepting. SIGINT starts a graceful drain:
+// no new accepts, in-flight runs finish (up to -drain, then their
+// connections are force-closed), and the aggregate meter summary prints.
+//
+// `ppdbscan loadgen` is the matching load driver: C concurrent client
+// sessions × R clustering runs each against one serve process, reporting
+// wall clock, aggregate bytes, and runs/sec — the CLI face of experiment
+// E16's session-concurrency sweep.
+
+// cmdServe runs the concurrent session server as the serving party
+// (RoleBob): every accepted client gets its own session (keygen,
+// handshake, and grid-index exchange at accept time), and all sessions
+// share the process-wide crypto pool.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	p := addProtocolFlags(fs)
+	listen := fs.String("listen", ":9000", "address to listen on")
+	dataPath := fs.String("data", "", "CSV file with this party's points (one point per line)")
+	workers := fs.Int("workers", 0, "shared crypto pool size across all sessions (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown wait for in-flight sessions before force-closing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("serve requires -workers ≥ 0")
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return err
+	}
+	points, err := readCSV(*dataPath)
+	if err != nil {
+		return err
+	}
+	lis, err := transport.NewListener(*listen)
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	mgr := core.NewSessionManager(*workers)
+	cfg = mgr.Configure(cfg)
+	fmt.Printf("serve: listening on %s (mode %s, parallel %d, crypto pool %d workers)\n",
+		lis.Addr(), p.mode, cfg.Parallel, mgr.Pool().Workers())
+
+	// SIGINT/SIGTERM close the listener; the accept loop falls through to
+	// the drain.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; ok {
+			fmt.Println("serve: shutdown requested; refusing new sessions, draining in-flight runs")
+			lis.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for {
+		conn, err := lis.Accept()
+		if errors.Is(err, transport.ErrClosed) {
+			break
+		}
+		if err != nil {
+			// A failed accept is one peer's problem, not the server's; the
+			// pause keeps a persistent failure (e.g. fd exhaustion) from
+			// busy-spinning the loop.
+			fmt.Fprintf(os.Stderr, "serve: accept: %v\n", err)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		wg.Add(1)
+		go func(conn transport.Conn) {
+			defer wg.Done()
+			serveSession(mgr, conn, p.mode, cfg, points)
+		}(conn)
+	}
+	if !mgr.Drain(*drain) {
+		fmt.Println("serve: drain timed out; force-closed the remaining sessions")
+	}
+	wg.Wait()
+	snap := mgr.Snapshot()
+	fmt.Printf("serve: shut down after %d sessions (%d closed, %d failed), %d runs total\n",
+		snap.Opened, snap.Closed, snap.Failed, snap.Runs)
+	fmt.Printf("serve: aggregate traffic sent %d bytes, received %d bytes in %d messages\n",
+		snap.Traffic.BytesSent, snap.Traffic.BytesRecv, snap.Traffic.Messages())
+	return nil
+}
+
+// serveSession runs one client's whole session lifecycle on its own
+// goroutine. Errors — a refused registration, a failed handshake, a
+// mid-run disconnect — end this session only; the accept loop never
+// sees them.
+func serveSession(mgr *core.SessionManager, conn transport.Conn, mode string, cfg core.Config, points [][]float64) {
+	defer conn.Close()
+	h, err := mgr.Begin(conn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: refusing connection: %v\n", err)
+		return
+	}
+	sess, err := sessionByMode(mode, h.Meter(), cfg, core.RoleBob, points)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: session %d: establishment failed: %v\n", h.ID(), err)
+		h.End(err)
+		return
+	}
+	h.Activate()
+	fmt.Printf("serve: session %d established, setup leakage %v\n", h.ID(), sess.SetupLeakage())
+	for {
+		res, err := sess.Run()
+		if errors.Is(err, core.ErrSessionClosed) {
+			fmt.Printf("serve: session %d closed after %d runs\n", h.ID(), sess.Runs())
+			h.End(nil)
+			return
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: session %d: run failed: %v\n", h.ID(), err)
+			h.End(err)
+			return
+		}
+		h.RunDone()
+		fmt.Printf("serve: session %d run %d: %d labels, %d clusters, run leakage %v\n",
+			h.ID(), sess.Runs(), len(res.Labels), res.NumClusters, res.Leakage)
+	}
+}
+
+// cmdLoadgen drives C concurrent client sessions × R runs each against
+// one serve process and reports aggregate throughput.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	p := addProtocolFlags(fs)
+	connect := fs.String("connect", "", "address of the serving party")
+	dataPath := fs.String("data", "", "CSV file with the client-side points (one point per line)")
+	clients := fs.Int("clients", 2, "concurrent client sessions C")
+	runs := fs.Int("runs", 1, "clustering runs per client R")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("loadgen requires -connect host:port")
+	}
+	if *clients < 1 || *runs < 1 {
+		return fmt.Errorf("loadgen requires -clients ≥ 1 and -runs ≥ 1")
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return err
+	}
+	points, err := readCSV(*dataPath)
+	if err != nil {
+		return err
+	}
+
+	var group transport.MeterGroup
+	var runsDone atomic.Int64
+	errs := make([]error, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = driveClient(&group, *connect, p.mode, cfg, points, *runs, &runsDone)
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := 0
+	for c, err := range errs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "loadgen: client %d: %v\n", c, err)
+		}
+	}
+	agg := group.Stats()
+	done := runsDone.Load()
+	fmt.Printf("loadgen: %d clients × %d runs: %d/%d runs ok, %d clients failed\n",
+		*clients, *runs, done, int64(*clients)*int64(*runs), failed)
+	fmt.Printf("loadgen: wall %v, aggregate %d bytes in %d messages, %.2f runs/sec\n",
+		wall.Round(time.Millisecond), agg.Total(), agg.Messages(),
+		float64(done)/max(wall.Seconds(), 1e-9))
+	if failed > 0 {
+		return fmt.Errorf("loadgen: %d of %d clients failed", failed, *clients)
+	}
+	return nil
+}
+
+// driveClient runs one loadgen client: dial, establish a session, R
+// runs, close.
+func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, points [][]float64, runs int, runsDone *atomic.Int64) error {
+	conn, err := transport.Dial(connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	meter := group.New(conn)
+	sess, err := sessionByMode(mode, meter, cfg, core.RoleAlice, points)
+	if err != nil {
+		return fmt.Errorf("session establishment: %w", err)
+	}
+	for i := 0; i < runs; i++ {
+		if _, err := sess.Run(); err != nil {
+			return fmt.Errorf("run %d: %w", i+1, err)
+		}
+		runsDone.Add(1)
+	}
+	return sess.Close()
+}

@@ -24,7 +24,9 @@ import (
 //   - Masked: Alice packs E(a_1)…E(a_count) into one frame, Bob replies
 //     with the count masked differences computed on the parallel Paillier
 //     pool, and Alice returns the sign bits. O(count) ciphertexts in 3
-//     frames, with all modular exponentiation spread over GOMAXPROCS.
+//     frames, with all modular exponentiation spread over the engine's
+//     crypto pool (the process-shared bounded pool on a multi-session
+//     server; GOMAXPROCS for a solo run with a nil Pool).
 //
 // An empty batch returns immediately on both sides without touching the
 // connection. The parties must agree on batch length: a mismatch between
@@ -38,12 +40,12 @@ import (
 
 // BatchLessEq decides a_t ≤ b_t for the whole batch in three frames.
 func (a *YMPPAlice) BatchLessEq(conn transport.Conn, vs []int64) ([]bool, error) {
-	return yao.AliceLessEqBatch(conn, a.Key, vs, a.Max, a.Random)
+	return yao.AliceLessEqBatch(conn, a.Key, vs, a.Max, a.Random, a.Pool)
 }
 
 // BatchLess decides a_t < b_t for the whole batch in three frames.
 func (a *YMPPAlice) BatchLess(conn transport.Conn, vs []int64) ([]bool, error) {
-	return yao.AliceLessBatch(conn, a.Key, vs, a.Max, a.Random)
+	return yao.AliceLessBatch(conn, a.Key, vs, a.Max, a.Random, a.Pool)
 }
 
 // BatchLessEq is the Bob half of the Alice-side BatchLessEq.
@@ -74,7 +76,7 @@ func (a *MaskedAlice) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bo
 	if random == nil {
 		random = rand.Reader
 	}
-	cts, err := a.Key.EncryptInt64Batch(random, vs)
+	cts, err := a.Key.EncryptInt64Batch(a.Pool, random, vs)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +95,7 @@ func (a *MaskedAlice) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bo
 	if len(replies) != len(vs) {
 		return nil, fmt.Errorf("compare: batch sent %d values, got %d replies", len(vs), len(replies))
 	}
-	ts, err := a.Key.DecryptSignedBatch(replies)
+	ts, err := a.Key.DecryptSignedBatch(a.Pool, replies)
 	if err != nil {
 		return nil, err
 	}
@@ -180,12 +182,12 @@ func (b *MaskedBob) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool
 		plain.Add(plain, rPrime)
 		plains[t] = plain
 	}
-	term2s, err := b.Pub.EncryptBatch(random, plains)
+	term2s, err := b.Pub.EncryptBatch(b.Pool, random, plains)
 	if err != nil {
 		return nil, err
 	}
 	cts := make([]*big.Int, len(vs))
-	if err := paillier.ParallelFor(len(vs), func(t int) error {
+	if err := paillier.ParallelFor(b.Pool, len(vs), func(t int) error {
 		// E(t) = E(a)^(−r) · E(b·r + r′)
 		term1, err := b.Pub.Mul(cas[t], new(big.Int).Neg(rMasks[t]))
 		if err != nil {

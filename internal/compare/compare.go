@@ -88,14 +88,19 @@ func checkInput(v, bound int64) error {
 
 // ---- YMPP engine ----
 
-// YMPPAlice adapts the yao package to the Alice interface.
+// YMPPAlice adapts the yao package to the Alice interface. Pool, when
+// non-nil, bounds the O(Bound) local decryption fan-out on the
+// process-shared crypto pool (a multi-session server hands every engine
+// the same pool); nil keeps the per-call GOMAXPROCS fan-out.
 type YMPPAlice struct {
 	Key    *yao.RSAKey
 	Max    int64
 	Random io.Reader
+	Pool   *paillier.Pool
 }
 
-// YMPPBob adapts the yao package to the Bob interface.
+// YMPPBob adapts the yao package to the Bob interface. Bob's half does
+// no heavy local work, so it takes no pool handle.
 type YMPPBob struct {
 	Pub    *yao.RSAPublicKey
 	Max    int64
@@ -106,14 +111,14 @@ func (a *YMPPAlice) LessEq(conn transport.Conn, v int64) (bool, error) {
 	if err := checkInput(v, a.Max); err != nil {
 		return false, err
 	}
-	return yao.AliceLessEq(conn, a.Key, v, a.Max, a.Random)
+	return yao.AliceLessEq(conn, a.Key, v, a.Max, a.Random, a.Pool)
 }
 
 func (a *YMPPAlice) Less(conn transport.Conn, v int64) (bool, error) {
 	if err := checkInput(v, a.Max); err != nil {
 		return false, err
 	}
-	return yao.AliceLess(conn, a.Key, v, a.Max, a.Random)
+	return yao.AliceLess(conn, a.Key, v, a.Max, a.Random, a.Pool)
 }
 
 func (a *YMPPAlice) Bound() int64 { return a.Max }
@@ -150,19 +155,24 @@ const (
 // predicates (LessEq on one side, Less on the other).
 var ErrPredicateMismatch = errors.New("compare: parties invoked different predicates")
 
-// MaskedAlice is the decrypting side of the masked-sign engine.
+// MaskedAlice is the decrypting side of the masked-sign engine. Pool,
+// when non-nil, routes the batch decryptions over the process-shared
+// crypto pool; nil keeps the per-call GOMAXPROCS fan-out.
 type MaskedAlice struct {
 	Key    *paillier.PrivateKey
 	Max    int64
 	Random io.Reader
+	Pool   *paillier.Pool
 }
 
-// MaskedBob is the homomorphic side of the masked-sign engine.
+// MaskedBob is the homomorphic side of the masked-sign engine. Pool
+// mirrors MaskedAlice.Pool for the batched homomorphic arithmetic.
 type MaskedBob struct {
 	Pub      *paillier.PublicKey
 	Max      int64
 	MaskBits int
 	Random   io.Reader
+	Pool     *paillier.Pool
 }
 
 // NewMaskedPair builds both sides of a masked engine from one Paillier key

@@ -283,13 +283,13 @@ func (a *adpState) localAndCrossSum(conn transport.Conn, i, j int) (int64, error
 		if err != nil {
 			return 0, err
 		}
-		if err := mpc.SenderBatchMultiply(conn, a.s.peerPai, mixedVals, masks, a.s.random); err != nil {
+		if err := mpc.SenderBatchMultiply(conn, a.s.peerPai, mixedVals, masks, a.s.random, a.s.pool); err != nil {
 			return 0, fmt.Errorf("core: adp multiplication: %w", err)
 		}
 		// Zero-sum masks cancel: Alice's share needs no correction.
 		return local, nil
 	}
-	us, err := mpc.ReceiverBatchMultiply(conn, a.s.paiKey, mixedVals, a.s.random)
+	us, err := mpc.ReceiverBatchMultiply(conn, a.s.paiKey, mixedVals, a.s.random, a.s.pool)
 	if err != nil {
 		return 0, fmt.Errorf("core: adp multiplication: %w", err)
 	}
@@ -334,7 +334,7 @@ func (a *adpState) batchLE(conn transport.Conn, pairs [][2]int, engA compare.Ali
 				ys = append(ys, mixedVals...)
 				vs = append(vs, masks...)
 			}
-			if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random); err != nil {
+			if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random, s.pool); err != nil {
 				return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
 			}
 		} else {
@@ -342,7 +342,7 @@ func (a *adpState) batchLE(conn transport.Conn, pairs [][2]int, engA compare.Ali
 			for _, mixedVals := range mixedPerPair {
 				xs = append(xs, mixedVals...)
 			}
-			us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random)
+			us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random, s.pool)
 			if err != nil {
 				return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
 			}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/compare"
 	"repro/internal/fixedpoint"
+	"repro/internal/paillier"
 	"repro/internal/transport"
 )
 
@@ -102,6 +103,25 @@ type Config struct {
 	// batched round structure.
 	Parallel int
 
+	// ServerWorkers bounds this session's crypto worker fan-out when no
+	// shared Pool is injected: ServerWorkers > 0 gives the session its own
+	// bounded paillier.Pool of that size; zero keeps the legacy per-call
+	// GOMAXPROCS fan-out. A multi-session server instead passes the value
+	// to NewSessionManager, whose Configure injects one process-shared
+	// pool (Pool below, which takes precedence) so N concurrent sessions
+	// contend for ServerWorkers crypto goroutines rather than fanning out
+	// N·GOMAXPROCS. Local resource knob only — it never crosses the wire
+	// and the handshake does not compare it, so the two parties may
+	// differ freely.
+	ServerWorkers int
+
+	// Pool, when non-nil, is the process-shared crypto worker pool this
+	// session's Paillier/RSA batch arithmetic runs on — normally injected
+	// by SessionManager.Configure so all sessions of one server share one
+	// bounded pool. Nil keeps the solo-session default: per-call
+	// GOMAXPROCS fan-out. Local resource only; not handshake-checked.
+	Pool *paillier.Pool
+
 	// Seed, when non-zero, makes the per-query permutations of Algorithm 4
 	// deterministic for reproducible experiments. Zero draws them from
 	// crypto/rand.
@@ -186,6 +206,9 @@ func (c Config) validate() error {
 	}
 	if c.Parallel > 1 && c.Batching != BatchModeBatched {
 		return fmt.Errorf("core: Parallel %d requires Batching %q (the scheduler dispatches batched sub-protocols)", c.Parallel, BatchModeBatched)
+	}
+	if c.ServerWorkers < 0 {
+		return fmt.Errorf("core: ServerWorkers must be ≥ 0, got %d", c.ServerWorkers)
 	}
 	return nil
 }

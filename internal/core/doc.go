@@ -23,10 +23,17 @@
 //
 // # Layering
 //
-// The stack splits session lifetime from run lifetime and schedule from
-// protocol:
+// The stack splits server lifetime from session lifetime, session
+// lifetime from run lifetime, and schedule from protocol:
 //
 //	┌────────────────────────────────────────────────────────────┐
+//	│ session server        core.SessionManager: registry of N   │
+//	│ (registry.go)         concurrent sessions (ids, lifecycle  │
+//	│                       states, graceful drain, aggregate    │
+//	│                       snapshot) sharing one bounded crypto │
+//	│                       pool (Config.ServerWorkers); the     │
+//	│                       accept loop of `ppdbscan serve`      │
+//	├────────────────────────────────────────────────────────────┤
 //	│ protocol families     horizontal · enhanced · vertical ·   │
 //	│ (hdp/enhanced/        arbitrary (+ multiparty ring/mesh)   │
 //	│  vertical/arbitrary)  one Run = one clustering             │
@@ -39,11 +46,20 @@
 //	├────────────────────────────────────────────────────────────┤
 //	│ core.Session          keygen + handshake + grid-index      │
 //	│ (sess.go)             exchange once; many Run calls;       │
-//	│                       setup vs per-run Ledger split        │
+//	│                       setup vs per-run Ledger split;       │
+//	│                       concurrent-misuse guards             │
+//	├────────────────────────────────────────────────────────────┤
+//	│ crypto pool           paillier.Pool: bounded worker slots  │
+//	│ (internal/paillier)   for all batch encryption/decryption/ │
+//	│                       homomorphic arithmetic and YMPP's    │
+//	│                       decryption ranges; process-shared    │
+//	│                       across sessions, nil = GOMAXPROCS    │
 //	├────────────────────────────────────────────────────────────┤
 //	│ transport mux         transport.Mux: W channel-tagged      │
 //	│ (internal/transport)  logical channels over one Conn,      │
-//	│                       under a concurrent-writer-safe Meter │
+//	│                       under a concurrent-writer-safe Meter;│
+//	│                       transport.Listener accepts N conns,  │
+//	│                       one per session                      │
 //	└────────────────────────────────────────────────────────────┘
 //
 // Every protocol runs over a transport.Conn; pair the two role functions
@@ -76,6 +92,24 @@
 // OrderBits relative to the shared sequential stream (labels and CoreBits
 // are unaffected); the scan default is permutation-invariant.
 //
+// # Concurrent sessions and the shared crypto pool
+//
+// One server process holds many sessions at once: SessionManager is the
+// registry (accept-ordered ids, handshaking → active → closed/failed
+// lifecycle, ErrDraining once shutdown starts, a Drain that waits for
+// in-flight runs and force-closes hung connections at its timeout, and
+// an aggregate ManagerSnapshot over every session's Meter). Sessions
+// registered with one manager share exactly one resource — the bounded
+// paillier.Pool injected via SessionManager.Configure — and the pool
+// schedules only pure big-integer arithmetic, never protocol state, so
+// every concurrent session's labels and Ledgers are byte-identical to
+// the same run on a solo server. The concurrency-equivalence harness
+// (registry_test.go) pins this at C ∈ {2, 4}, and experiment E16
+// measures the aggregate-throughput win of concurrency over a simulated
+// WAN. Session itself rejects misuse under concurrency: a second Run
+// while one is in flight fails with ErrConcurrentRun, and Run after
+// Close fails with ErrSessionClosed.
+//
 // # Round structure and batching
 //
 // Config.Batching selects between two round structures with identical
@@ -89,9 +123,10 @@
 //     LockstepClusterBatch) costs a constant number of vdp.cmp/adp.cmp
 //     frames instead of 3 per pair; the enhanced selection runs tournament
 //     (scan) or per-pivot (quickselect) batches. Underneath, all Paillier
-//     work rides the parallel pool (paillier.EncryptBatch/DecryptBatch,
-//     GOMAXPROCS workers), so the round collapse comes with a wall-clock
-//     collapse on multi-core hosts.
+//     work rides the parallel pool (paillier.EncryptBatch/DecryptBatch on
+//     the session's paillier.Pool handle — process-shared and bounded on
+//     a server, GOMAXPROCS for a solo run), so the round collapse comes
+//     with a wall-clock collapse on multi-core hosts.
 //   - sequential: the paper-literal schedule — one comparison sub-protocol
 //     per candidate pair — retained for A/B measurement (experiment E13).
 //

@@ -192,7 +192,7 @@ func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA c
 	// Share phase: u_i = Dist²(A, B_i) + v_i.
 	setTag(conn, "enh.share")
 	a := extendedQueryVector(h.own[point])
-	usBig, err := mpc.ReceiverDotMany(conn, s.paiKey, a, nCand, s.random)
+	usBig, err := mpc.ReceiverDotMany(conn, s.paiKey, a, nCand, s.random, s.pool)
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced share phase: %w", err)
 	}
@@ -318,7 +318,7 @@ func enhancedServeCore(s *session, conn transport.Conn, rng permSource, pts [][]
 			bs[i] = dummyDataVector(s.dim, s.bound)
 		}
 	}
-	if err := mpc.SenderDotMany(conn, s.peerPai, bs, vs, s.random); err != nil {
+	if err := mpc.SenderDotMany(conn, s.peerPai, bs, vs, s.random, s.pool); err != nil {
 		return fmt.Errorf("core: enhanced share phase: %w", err)
 	}
 

@@ -83,7 +83,7 @@ func hdpCompareDriver(conn transport.Conn, s *session, eng compare.Alice, p []in
 		ys = append(ys, p...)
 		vs = append(vs, masks...)
 	}
-	if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random); err != nil {
+	if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random, s.pool); err != nil {
 		return 0, fmt.Errorf("core: hdp multiplication: %w", err)
 	}
 
@@ -160,7 +160,7 @@ func hdpServeCompare(conn transport.Conn, s *session, rng permSource, eng compar
 			xs = append(xs, zero...)
 		}
 	}
-	us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random)
+	us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random, s.pool)
 	if err != nil {
 		return fmt.Errorf("core: hdp multiplication: %w", err)
 	}

@@ -34,6 +34,17 @@ import (
 //     is identical to the W = 1 schedule; only frame interleaving and the
 //     responder's permutation draws differ. The parallel equivalence
 //     harness enforces this.
+//
+// Compute discipline: wave workers are I/O waiters — they MUST all run
+// concurrently (each worker channel's traffic pairs with the peer's
+// matching worker, so capping wave goroutines below W could deadlock the
+// lockstep families) and are therefore never scheduled on the crypto
+// pool. The CPU-heavy work inside a wave — batch encryption, decryption,
+// homomorphic arithmetic — reaches the pool through the engine and mpc
+// handles that carry session.pool: on a multi-session server all W
+// workers of all sessions contend for one bounded pool
+// (Config.ServerWorkers) instead of fanning out W·GOMAXPROCS goroutines
+// per session.
 
 // runWave executes one wave of up to W jobs concurrently. It returns the
 // first root-cause error: when one worker fails and tears the channels

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compare"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// The concurrency-equivalence harness and the Session misuse paths under
+// concurrency. Extends PR 3's parallel-equivalence pattern one level up:
+// where that harness pinned W worker channels inside one session to the
+// sequential schedule, this one pins C concurrent sessions on one
+// shared-pool SessionManager to the solo server — identical labels,
+// per-run Ledgers, and setup Ledgers, because registered sessions share
+// only the crypto pool, never protocol state.
+
+// runConcurrentSessions drives C concurrent session pairs (client =
+// RoleAlice, server = RoleBob registered with mgr) of runsEach runs over
+// in-process pipes, returning per-session outcomes indexed by session.
+type concurrentOutcome struct {
+	resA, resB     []*Result
+	setupA, setupB Ledger
+}
+
+func runConcurrentSessions(t *testing.T, mgr *SessionManager, fam sessionFamily, cfg Config, clients, runsEach int) []concurrentOutcome {
+	t.Helper()
+	cfg = mgr.Configure(cfg)
+	out := make([]concurrentOutcome, clients)
+	errc := make(chan error, 2*clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		ca, cb := transport.Pipe()
+		i := i
+		wg.Add(1)
+		go func() { // serving side
+			defer wg.Done()
+			h, err := mgr.Begin(cb)
+			if err != nil {
+				errc <- err
+				return
+			}
+			sess, err := fam.newB(h.Meter(), cfg)
+			if err != nil {
+				h.End(err)
+				errc <- err
+				return
+			}
+			h.Activate()
+			out[i].setupB = sess.SetupLeakage()
+			for {
+				r, err := sess.Run()
+				if errors.Is(err, ErrSessionClosed) {
+					h.End(nil)
+					return
+				}
+				if err != nil {
+					h.End(err)
+					errc <- err
+					return
+				}
+				h.RunDone()
+				out[i].resB = append(out[i].resB, r)
+			}
+		}()
+		wg.Add(1)
+		go func() { // client side
+			defer wg.Done()
+			m := transport.NewMeter(ca)
+			sess, err := fam.newA(m, cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			out[i].setupA = sess.SetupLeakage()
+			for r := 0; r < runsEach; r++ {
+				res, err := sess.Run()
+				if err != nil {
+					errc <- err
+					return
+				}
+				out[i].resA = append(out[i].resA, res)
+			}
+			if err := sess.Close(); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestConcurrencyEquivalence: C ∈ {2, 4} concurrent sessions on one
+// shared-pool server produce labels and Ledgers byte-identical to a solo
+// server, for every session family, and the registry retires every
+// session cleanly with the right aggregate counts.
+func TestConcurrencyEquivalence(t *testing.T) {
+	for _, fam := range sessionFamilies() {
+		t.Run(fam.name, func(t *testing.T) {
+			cfg := testCfg(compare.EngineMasked)
+
+			// Solo baseline: one session, one run, its own manager.
+			soloMgr := NewSessionManager(2)
+			solo := runConcurrentSessions(t, soloMgr, fam, cfg, 1, 1)[0]
+
+			for _, clients := range []int{2, 4} {
+				mgr := NewSessionManager(2) // 2 slots << clients: real pool contention
+				outs := runConcurrentSessions(t, mgr, fam, cfg, clients, 2)
+				for s, o := range outs {
+					if o.setupA != solo.setupA || o.setupB != solo.setupB {
+						t.Errorf("C=%d session %d: setup ledgers diverge from solo server", clients, s)
+					}
+					for r := range o.resA {
+						if !metrics.ExactMatch(o.resA[r].Labels, solo.resA[0].Labels) ||
+							!metrics.ExactMatch(o.resB[r].Labels, solo.resB[0].Labels) {
+							t.Errorf("C=%d session %d run %d: labels diverge from solo server", clients, s, r)
+						}
+						if o.resA[r].Leakage != solo.resA[0].Leakage || o.resB[r].Leakage != solo.resB[0].Leakage {
+							t.Errorf("C=%d session %d run %d: Ledgers diverge from solo server", clients, s, r)
+						}
+						if o.resA[r].SecureComparisons != solo.resA[0].SecureComparisons {
+							t.Errorf("C=%d session %d run %d: %d secure comparisons, solo %d",
+								clients, s, r, o.resA[r].SecureComparisons, solo.resA[0].SecureComparisons)
+						}
+					}
+				}
+				snap := mgr.Snapshot()
+				if snap.Opened != clients || snap.Closed != clients || snap.Failed != 0 || snap.Live != 0 {
+					t.Errorf("C=%d: snapshot %+v, want %d opened/closed, 0 failed/live", clients, snap, clients)
+				}
+				if snap.Runs != int64(clients*2) {
+					t.Errorf("C=%d: snapshot counted %d runs, want %d", clients, snap.Runs, clients*2)
+				}
+				if snap.Traffic.BytesSent == 0 || snap.Traffic.MessagesSent == 0 {
+					t.Errorf("C=%d: empty aggregate traffic %+v", clients, snap.Traffic)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionRunAfterClose: both roles reject Run once the session is
+// closed, with ErrSessionClosed.
+func TestSessionRunAfterClose(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	ca, cb := transport.Pipe()
+	err := transport.RunPair(ca, cb,
+		func(transport.Conn) error {
+			sess, err := NewHorizontalSession(ca, cfg, RoleAlice, testAlicePts)
+			if err != nil {
+				return err
+			}
+			if err := sess.Close(); err != nil {
+				return err
+			}
+			if _, err := sess.Run(); !errors.Is(err, ErrSessionClosed) {
+				t.Errorf("initiator Run after Close: %v, want ErrSessionClosed", err)
+			}
+			return nil
+		},
+		func(transport.Conn) error {
+			sess, err := NewHorizontalSession(cb, cfg, RoleBob, testBobPts)
+			if err != nil {
+				return err
+			}
+			if _, err := sess.Run(); !errors.Is(err, ErrSessionClosed) {
+				t.Errorf("server Run after peer close: %v, want ErrSessionClosed", err)
+			}
+			if _, err := sess.Run(); !errors.Is(err, ErrSessionClosed) {
+				t.Errorf("server second Run: %v, want ErrSessionClosed", err)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionConcurrentRunRejected: while one Run is in flight, a second
+// concurrent Run on the same Session fails fast with ErrConcurrentRun
+// instead of corrupting the protocol stream.
+func TestSessionConcurrentRunRejected(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	ca, cb := transport.Pipe()
+	var aliceSess, bobSess *Session
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var errA, errB error
+	go func() {
+		defer wg.Done()
+		aliceSess, errA = NewHorizontalSession(ca, cfg, RoleAlice, testAlicePts)
+	}()
+	go func() {
+		defer wg.Done()
+		bobSess, errB = NewHorizontalSession(cb, cfg, RoleBob, testBobPts)
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+
+	// Two contenders race Run on one session. The server never answers,
+	// so whichever wins the in-flight flag blocks mid-protocol — and the
+	// other must fail fast with ErrConcurrentRun rather than corrupting
+	// the protocol stream.
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := aliceSess.Run()
+			results <- err
+		}()
+	}
+	select {
+	case err := <-results:
+		if !errors.Is(err, ErrConcurrentRun) {
+			t.Fatalf("concurrent Run: %v, want ErrConcurrentRun", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("neither contender was rejected while the other was in flight")
+	}
+
+	// Unblock and drain the winner; it fails on the torn-down pipe.
+	ca.Close()
+	cb.Close()
+	if err := <-results; err == nil {
+		t.Error("in-flight Run succeeded against a server that never answered")
+	}
+	if _, err := bobSess.Run(); err == nil {
+		t.Error("server Run succeeded on a closed pipe")
+	}
+}
+
+// TestManagerDrainRefusesNew: once draining, Begin fails with
+// ErrDraining.
+func TestManagerDrainRefusesNew(t *testing.T) {
+	mgr := NewSessionManager(1)
+	if !mgr.Drain(time.Second) {
+		t.Fatal("drain of an idle manager should succeed immediately")
+	}
+	ca, _ := transport.Pipe()
+	if _, err := mgr.Begin(ca); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Begin while draining: %v, want ErrDraining", err)
+	}
+}
+
+// TestManagerDrainWithHungClient: a client that establishes a session
+// and then goes silent pins its serving goroutine inside Run; Drain's
+// timeout path force-closes the connection, the goroutine unwinds, and
+// the registry retires the session as failed.
+func TestManagerDrainWithHungClient(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	mgr := NewSessionManager(1)
+	ca, cb := transport.Pipe()
+
+	served := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // serving goroutine
+		defer wg.Done()
+		h, err := mgr.Begin(cb)
+		if err != nil {
+			served <- err
+			return
+		}
+		sess, err := NewHorizontalSession(h.Meter(), mgr.Configure(cfg), RoleBob, testBobPts)
+		if err != nil {
+			h.End(err)
+			served <- err
+			return
+		}
+		h.Activate()
+		_, err = sess.Run() // blocks: the client never runs nor closes
+		h.End(err)
+		served <- err
+	}()
+	go func() { // hung client: establishes, then silence
+		defer wg.Done()
+		_, err := NewHorizontalSession(transport.NewMeter(ca), cfg, RoleAlice, testAlicePts)
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Wait for establishment (the session registers and activates).
+	deadline := time.Now().Add(5 * time.Second)
+	for mgr.Live() == 0 || mgr.Snapshot().Lives[0].State != StateActive {
+		if time.Now().After(deadline) {
+			t.Fatal("session never activated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if mgr.Drain(50 * time.Millisecond) {
+		t.Error("Drain reported clean with a hung client")
+	}
+	err := <-served
+	if err == nil || errors.Is(err, ErrSessionClosed) {
+		t.Errorf("hung session ended with %v, want a transport error", err)
+	}
+	snap := mgr.Snapshot()
+	if snap.Live != 0 || snap.Failed != 1 {
+		t.Errorf("snapshot after drain: %+v, want 0 live / 1 failed", snap)
+	}
+	wg.Wait()
+}

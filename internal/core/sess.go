@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/transport"
 )
@@ -48,6 +49,11 @@ const (
 // the serving party's Run loop terminates on it.
 var ErrSessionClosed = errors.New("core: session closed by peer")
 
+// ErrConcurrentRun reports a second Run entered while one is in flight.
+// A Session serializes its protocol traffic; concurrent clustering runs
+// need concurrent sessions (see SessionManager).
+var ErrConcurrentRun = errors.New("core: concurrent Run calls on one session")
+
 // Session is one party's half of a long-lived protocol session. Create
 // one with NewHorizontalSession, NewEnhancedHorizontalSession,
 // NewVerticalSession, or NewArbitrarySession; both parties must construct
@@ -62,8 +68,16 @@ type Session struct {
 
 	setup   Ledger // one-time disclosures recorded at construction
 	runOnce func() (*Result, error)
-	runs    int
-	closed  bool
+
+	// Misuse guards, atomic so a server can observe a session's state
+	// while goroutines race Run/Close against it: runs counts completed
+	// Run calls, running flags an in-flight Run or Close (a concurrent
+	// Run or Close is rejected with ErrConcurrentRun rather than
+	// corrupting the protocol stream), closed latches once the session
+	// ended (Run after Close returns ErrSessionClosed).
+	runs    atomic.Int64
+	running atomic.Bool
+	closed  atomic.Bool
 }
 
 // sessionChannels prepares the session's worker connections: the bare
@@ -87,7 +101,11 @@ func sessionChannels(conn transport.Conn, w int) (*transport.Mux, []transport.Co
 // (returns this run's Result) or closes (returns ErrSessionClosed).
 // Result.Leakage covers this run only; see SetupLeakage.
 func (t *Session) Run() (*Result, error) {
-	if t.closed {
+	if !t.running.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentRun
+	}
+	defer t.running.Store(false)
+	if t.closed.Load() {
 		return nil, ErrSessionClosed
 	}
 	ctrl := t.conns[0]
@@ -108,7 +126,7 @@ func (t *Session) Run() (*Result, error) {
 		switch op {
 		case sessOpRun:
 		case sessOpClose:
-			t.closed = true
+			t.closed.Store(true)
 			return nil, ErrSessionClosed
 		default:
 			return nil, fmt.Errorf("core: unexpected session op %d", op)
@@ -123,21 +141,27 @@ func (t *Session) Run() (*Result, error) {
 		// A failed run leaves the peer at an unknown point of the protocol;
 		// poison the session so a retry cannot inject a control frame into
 		// the peer's in-flight sub-protocol reads.
-		t.closed = true
+		t.closed.Store(true)
 		return nil, err
 	}
-	t.runs++
+	t.runs.Add(1)
 	return res, nil
 }
 
 // Close ends the session. The initiating party notifies the peer (whose
 // next Run returns ErrSessionClosed); the serving party's Close is local.
 // Close never closes the underlying connection — the caller owns it.
+// Close while a Run is in flight is rejected with ErrConcurrentRun: the
+// close op would otherwise be injected into the peer's mid-protocol
+// reads on the control channel.
 func (t *Session) Close() error {
-	if t.closed {
+	if !t.running.CompareAndSwap(false, true) {
+		return ErrConcurrentRun
+	}
+	defer t.running.Store(false)
+	if t.closed.Swap(true) {
 		return nil
 	}
-	t.closed = true
 	if t.s.role == RoleAlice {
 		ctrl := t.conns[0]
 		setTag(ctrl, "session.op")
@@ -155,7 +179,7 @@ func (t *Session) Close() error {
 func (t *Session) SetupLeakage() Ledger { return t.setup }
 
 // Runs reports how many completed Run calls this session has served.
-func (t *Session) Runs() int { return t.runs }
+func (t *Session) Runs() int { return int(t.runs.Load()) }
 
 // Parallel reports the session's scheduler width W.
 func (t *Session) Parallel() int { return t.s.parallel() }

@@ -67,6 +67,12 @@ type session struct {
 	peerPai *paillier.PublicKey
 	peerRSA *yao.RSAPublicKey
 
+	// pool is the crypto worker pool every batch op of this session runs
+	// on: the process-shared bounded pool on a multi-session server
+	// (Config.Pool, injected by SessionManager.Configure), or nil for the
+	// solo-session GOMAXPROCS fan-out.
+	pool *paillier.Pool
+
 	random io.Reader
 	rng    *mrand.Rand // permutation source (Algorithm 4's SetOfPointsOfBobPermutation)
 
@@ -167,7 +173,15 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		random = transport.LockedReader(random)
 	}
 
-	s := &session{cfg: cfg, role: role, epsSq: epsSq, random: random}
+	// Crypto pool resolution: an injected shared pool (a multi-session
+	// server's SessionManager.Configure) wins; otherwise ServerWorkers > 0
+	// bounds this session's own fan-out; otherwise nil keeps the legacy
+	// per-call GOMAXPROCS behavior.
+	pool := cfg.Pool
+	if pool == nil && cfg.ServerWorkers > 0 {
+		pool = paillier.NewPool(cfg.ServerWorkers)
+	}
+	s := &session{cfg: cfg, role: role, epsSq: epsSq, random: random, pool: pool}
 	s.paiKey, err = paillier.GenerateKey(random, cfg.PaillierBits)
 	if err != nil {
 		return nil, peerInfo{}, err
@@ -330,15 +344,15 @@ func (s *session) engines(bound int64) (compare.Alice, compare.Bob, error) {
 		if bound+2 > yao.MaxDomain {
 			return nil, nil, fmt.Errorf("core: comparison domain %d exceeds YMPP limit %d; use Engine=masked or a smaller grid", bound+2, int64(yao.MaxDomain))
 		}
-		return &countingAlice{inner: &compare.YMPPAlice{Key: s.rsaKey, Max: bound, Random: s.random}, n: &s.cmpCount},
+		return &countingAlice{inner: &compare.YMPPAlice{Key: s.rsaKey, Max: bound, Random: s.random, Pool: s.pool}, n: &s.cmpCount},
 			&countingBob{inner: &compare.YMPPBob{Pub: s.peerRSA, Max: bound, Random: s.random}, n: &s.cmpCount}, nil
 	case compare.EngineMasked:
 		limit := new(big.Int).Lsh(big.NewInt(bound+2), uint(s.cfg.CmpMaskBits))
 		if limit.Cmp(s.paiKey.PlaintextBound()) >= 0 || limit.Cmp(s.peerPai.PlaintextBound()) >= 0 {
 			return nil, nil, fmt.Errorf("core: bound %d with %d mask bits overflows the Paillier plaintext space", bound, s.cfg.CmpMaskBits)
 		}
-		return &countingAlice{inner: &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random}, n: &s.cmpCount},
-			&countingBob{inner: &compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random}, n: &s.cmpCount}, nil
+		return &countingAlice{inner: &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random, Pool: s.pool}, n: &s.cmpCount},
+			&countingBob{inner: &compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random, Pool: s.pool}, n: &s.cmpCount}, nil
 	}
 	return nil, nil, fmt.Errorf("core: unknown engine %q", s.cfg.Engine)
 }

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// E16 — session-concurrency sweep. One server process (a
+// core.SessionManager sharing its bounded crypto pool) concurrently
+// holds C ∈ {1, 2, 4, 8} independent clustering sessions, each driven by
+// its own client over a latency-injected wire, at a fixed total number
+// of clustering runs. Aggregate throughput (runs/sec) rises with C
+// because concurrent sessions overlap the WAN round trips a solo session
+// serializes — and the shared pool keeps the crypto fan-out bounded
+// while they do. The contract half of the experiment is the
+// concurrency-equivalence bar: every concurrent session's labels,
+// per-run Ledgers, and setup Ledgers must be byte-identical to the same
+// run on a solo (C = 1) server. BenchE16 emits the JSON rows `make
+// bench` archives in BENCH_E16.json.
+
+// e16Clients is the sweep's concurrency ladder.
+var e16Clients = []int{1, 2, 4, 8}
+
+// e16TotalRuns is the fixed cross-sweep workload: every C divides it, so
+// each client performs totalRuns/C runs and all sweep points do equal
+// protocol work.
+const e16TotalRuns = 8
+
+// e16Latency is the simulated one-way frame latency.
+func e16Latency(opt Options) time.Duration {
+	if opt.Quick {
+		return 3 * time.Millisecond
+	}
+	return 4 * time.Millisecond
+}
+
+// e16Dataset builds the workload: the E15 clustered shape, horizontally
+// split between the serving party and every client.
+func e16Dataset(opt Options) (dataset.Dataset, core.Config) {
+	n := 48
+	if opt.Quick {
+		n = 32
+	}
+	d := dataset.Blobs(n, 2, 0.08, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+	cfg := qualityCfg(scaleEps(0.4), 4, 63, opt.seed())
+	return q, cfg
+}
+
+// e16SessionRun is one session's observable outcome: per-run results on
+// both sides plus the one-time setup ledgers.
+type e16SessionRun struct {
+	resA, resB     []*core.Result
+	setupA, setupB core.Ledger
+}
+
+// e16Row is one concurrency measurement.
+type e16Row struct {
+	clients  int
+	perRuns  int
+	wall     time.Duration
+	bytes    int64
+	sessions []e16SessionRun
+	snap     core.ManagerSnapshot
+}
+
+// runE16Sweep executes the sweep: for each C, one SessionManager serves
+// C concurrent horizontal sessions of totalRuns/C runs each over
+// latency pipes.
+func runE16Sweep(q dataset.Dataset, cfg core.Config, latency time.Duration) ([]e16Row, error) {
+	hs, err := partition.HorizontalRandom(q.Points, 0.5, 7)
+	if err != nil {
+		return nil, err
+	}
+	var rows []e16Row
+	for _, c := range e16Clients {
+		row, err := runE16Point(hs, cfg, latency, c, e16TotalRuns/c)
+		if err != nil {
+			return nil, fmt.Errorf("e16 C=%d: %w", c, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runE16Point measures one sweep point: C concurrent sessions ×
+// perRuns runs each on one shared-pool server.
+func runE16Point(hs partition.HorizontalSplit, cfg core.Config, latency time.Duration, clients, perRuns int) (e16Row, error) {
+	mgr := core.NewSessionManager(0)
+	cfg = mgr.Configure(cfg)
+	var clientGroup transport.MeterGroup
+
+	sessions := make([]e16SessionRun, clients)
+	errc := make(chan error, 2*clients)
+	// The wall clock covers the run phase only: every session establishes
+	// (keygen, handshake, index exchange) before the timer starts, so each
+	// sweep point measures the same protocol work — e16TotalRuns runs —
+	// and runs/sec compares concurrency schedules, not setup counts.
+	var established, wg sync.WaitGroup
+	startRuns := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		ca, cb := transport.LatencyPipe(latency)
+		i := i
+		// Serving side: register with the manager, serve until the client
+		// closes — the in-process image of one `ppdbscan serve` session
+		// goroutine.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Closing the pipe on any exit keeps an asymmetric failure from
+			// deadlocking the peer goroutine mid-Recv (queued frames are
+			// still drained by the peer before it sees ErrClosed).
+			defer cb.Close()
+			h, err := mgr.Begin(cb)
+			if err != nil {
+				errc <- err
+				return
+			}
+			sess, err := core.NewHorizontalSession(h.Meter(), cfg, core.RoleBob, hs.Bob)
+			if err != nil {
+				h.End(err)
+				errc <- err
+				return
+			}
+			h.Activate()
+			sessions[i].setupB = sess.SetupLeakage()
+			for {
+				r, err := sess.Run()
+				if err == core.ErrSessionClosed {
+					h.End(nil)
+					return
+				}
+				if err != nil {
+					h.End(err)
+					errc <- err
+					return
+				}
+				h.RunDone()
+				sessions[i].resB = append(sessions[i].resB, r)
+			}
+		}()
+		// Client side: one session, perRuns runs after the barrier.
+		wg.Add(1)
+		established.Add(1)
+		go func() {
+			defer wg.Done()
+			defer ca.Close()
+			m := clientGroup.New(ca)
+			sess, err := core.NewHorizontalSession(m, cfg, core.RoleAlice, hs.Alice)
+			established.Done()
+			if err != nil {
+				errc <- err
+				return
+			}
+			sessions[i].setupA = sess.SetupLeakage()
+			<-startRuns
+			for r := 0; r < perRuns; r++ {
+				res, err := sess.Run()
+				if err != nil {
+					errc <- err
+					return
+				}
+				sessions[i].resA = append(sessions[i].resA, res)
+			}
+			if err := sess.Close(); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	established.Wait()
+	start := time.Now()
+	close(startRuns)
+	wg.Wait()
+	wall := time.Since(start)
+	mgr.Drain(time.Second)
+	close(errc)
+	for err := range errc {
+		return e16Row{}, err
+	}
+	snap := mgr.Snapshot()
+	return e16Row{
+		clients:  clients,
+		perRuns:  perRuns,
+		wall:     wall,
+		bytes:    clientGroup.Stats().BytesSent + snap.Traffic.BytesSent,
+		sessions: sessions,
+		snap:     snap,
+	}, nil
+}
+
+// e16Check enforces the concurrency-equivalence bar: every session of
+// every sweep point matches the solo server's labels and Ledgers
+// run for run.
+func e16Check(rows []e16Row) error {
+	solo := rows[0]
+	if solo.clients != 1 {
+		return fmt.Errorf("e16: sweep must start at C=1, got C=%d", solo.clients)
+	}
+	ref := solo.sessions[0]
+	for _, row := range rows {
+		for s, sess := range row.sessions {
+			if sess.setupA != ref.setupA || sess.setupB != ref.setupB {
+				return fmt.Errorf("e16 C=%d session %d: setup ledger diverges from solo server", row.clients, s)
+			}
+			if len(sess.resA) != row.perRuns || len(sess.resB) != row.perRuns {
+				return fmt.Errorf("e16 C=%d session %d: %d/%d results for %d runs", row.clients, s, len(sess.resA), len(sess.resB), row.perRuns)
+			}
+			for r := range sess.resA {
+				if !metrics.ExactMatch(sess.resA[r].Labels, ref.resA[0].Labels) ||
+					!metrics.ExactMatch(sess.resB[r].Labels, ref.resB[0].Labels) {
+					return fmt.Errorf("e16 C=%d session %d run %d: labels diverge from solo server", row.clients, s, r)
+				}
+				if sess.resA[r].Leakage != ref.resA[0].Leakage || sess.resB[r].Leakage != ref.resB[0].Leakage {
+					return fmt.Errorf("e16 C=%d session %d run %d: Ledgers diverge from solo server", row.clients, s, r)
+				}
+			}
+		}
+		if row.snap.Failed != 0 || row.snap.Closed != row.clients {
+			return fmt.Errorf("e16 C=%d: registry retired %d closed / %d failed, want %d/0",
+				row.clients, row.snap.Closed, row.snap.Failed, row.clients)
+		}
+		if row.snap.Runs != int64(e16TotalRuns) {
+			return fmt.Errorf("e16 C=%d: registry counted %d runs, want %d", row.clients, row.snap.Runs, e16TotalRuns)
+		}
+	}
+	return nil
+}
+
+// e16RunsPerSec is the aggregate throughput of one sweep point.
+func e16RunsPerSec(row e16Row) float64 {
+	return float64(e16TotalRuns) / max(row.wall.Seconds(), 1e-9)
+}
+
+func runE16(w io.Writer, opt Options) error {
+	q, cfg := e16Dataset(opt)
+	latency := e16Latency(opt)
+	rows, err := runE16Sweep(q, cfg, latency)
+	if err != nil {
+		return err
+	}
+	if err := e16Check(rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "simulated one-way frame latency: %v, n=%d, total runs per sweep point: %d\n",
+		latency, len(q.Points), e16TotalRuns)
+	var t table
+	t.add("clients", "runs/client", "wall", "totalKB", "runs/sec", "speedup")
+	solo := rows[0]
+	for _, r := range rows {
+		t.add(fmt.Sprint(r.clients), fmt.Sprint(r.perRuns),
+			fmt.Sprint(r.wall.Round(time.Millisecond)),
+			fmt.Sprintf("%.0f", float64(r.bytes)/1024),
+			fmt.Sprintf("%.2f", e16RunsPerSec(r)),
+			fmt.Sprintf("%.2fx", float64(solo.wall)/float64(max(r.wall, 1))))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Every concurrent session's labels and Ledgers are byte-identical to the solo server; concurrency overlaps the round trips a solo session serializes.")
+	return nil
+}
+
+// BenchE16Row is one BenchE16 measurement, JSON-serializable for the
+// perf trajectory file (BENCH_E16.json, written by `make bench`).
+type BenchE16Row struct {
+	Protocol    string  `json:"protocol"`
+	Clients     int     `json:"clients"`
+	RunsPer     int     `json:"runs_per_client"`
+	TotalRuns   int     `json:"total_runs"`
+	N           int     `json:"n"`
+	LatencyMS   int64   `json:"latency_ms"`
+	WallMS      int64   `json:"wall_ms"`
+	Bytes       int64   `json:"bytes"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	SpeedupVsC1 float64 `json:"speedup_vs_c1"`
+}
+
+// BenchE16 runs the session-concurrency sweep and returns structured
+// measurements, erroring if any concurrent session diverges from the
+// solo server.
+func BenchE16(opt Options) ([]BenchE16Row, error) {
+	q, cfg := e16Dataset(opt)
+	latency := e16Latency(opt)
+	rows, err := runE16Sweep(q, cfg, latency)
+	if err != nil {
+		return nil, err
+	}
+	if err := e16Check(rows); err != nil {
+		return nil, err
+	}
+	solo := rows[0]
+	var out []BenchE16Row
+	for _, r := range rows {
+		out = append(out, BenchE16Row{
+			Protocol:    "horizontal",
+			Clients:     r.clients,
+			RunsPer:     r.perRuns,
+			TotalRuns:   e16TotalRuns,
+			N:           len(q.Points),
+			LatencyMS:   latency.Milliseconds(),
+			WallMS:      r.wall.Milliseconds(),
+			Bytes:       r.bytes,
+			RunsPerSec:  e16RunsPerSec(r),
+			SpeedupVsC1: float64(solo.wall) / float64(max(r.wall, 1)),
+		})
+	}
+	return out, nil
+}

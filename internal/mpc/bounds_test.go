@@ -79,11 +79,11 @@ func TestNegativeMasksCancelExactly(t *testing.T) {
 	err = transport.Run2(
 		func(c transport.Conn) error {
 			var err error
-			us, err = ReceiverBatchMultiply(c, k, xs, rand.Reader)
+			us, err = ReceiverBatchMultiply(c, k, xs, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
-			return SenderBatchMultiply(c, &k.PublicKey, ys, masks, rand.Reader)
+			return SenderBatchMultiply(c, &k.PublicKey, ys, masks, rand.Reader, nil)
 		},
 	)
 	if err != nil {
@@ -115,11 +115,11 @@ func BenchmarkBatchMultiply8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		err := transport.Run2(
 			func(c transport.Conn) error {
-				_, err := ReceiverBatchMultiply(c, k, xs, rand.Reader)
+				_, err := ReceiverBatchMultiply(c, k, xs, rand.Reader, nil)
 				return err
 			},
 			func(c transport.Conn) error {
-				return SenderBatchMultiply(c, &k.PublicKey, ys, vs, rand.Reader)
+				return SenderBatchMultiply(c, &k.PublicKey, ys, vs, rand.Reader, nil)
 			},
 		)
 		if err != nil {
@@ -144,11 +144,11 @@ func BenchmarkDotMany16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		err := transport.Run2(
 			func(c transport.Conn) error {
-				_, err := ReceiverDotMany(c, k, a, 16, rand.Reader)
+				_, err := ReceiverDotMany(c, k, a, 16, rand.Reader, nil)
 				return err
 			},
 			func(c transport.Conn) error {
-				return SenderDotMany(c, &k.PublicKey, bs, vs, rand.Reader)
+				return SenderDotMany(c, &k.PublicKey, bs, vs, rand.Reader, nil)
 			},
 		)
 		if err != nil {

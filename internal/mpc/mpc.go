@@ -11,9 +11,11 @@
 //     single ciphertext per point.
 //
 // All batch forms route their Paillier arithmetic through the parallel
-// layer (paillier.EncryptBatch / DecryptSignedBatch / ParallelFor), so a
-// batch of m instances costs one round trip and m/GOMAXPROCS sequential
-// modular exponentiations.
+// layer (paillier.EncryptBatch / DecryptSignedBatch / ParallelFor) via an
+// explicit *paillier.Pool handle, so a batch of m instances costs one
+// round trip and m/workers sequential modular exponentiations. A server
+// process holding many sessions passes its shared bounded pool; a nil
+// pool keeps the per-call GOMAXPROCS fan-out.
 //
 // Fidelity note (documented in DESIGN.md): Algorithm 2 step 3 literally
 // says Alice sends the encryption nonce r to Bob. Publishing a Paillier
@@ -41,7 +43,7 @@ var ErrLengthMismatch = errors.New("mpc: parties supplied different vector lengt
 // ReceiverMultiply runs the receiving half of Algorithm 2: the caller
 // holds x and the key pair, and obtains u = x·y + v.
 func ReceiverMultiply(conn transport.Conn, key *paillier.PrivateKey, x int64, random io.Reader) (*big.Int, error) {
-	us, err := ReceiverBatchMultiply(conn, key, []int64{x}, random)
+	us, err := ReceiverBatchMultiply(conn, key, []int64{x}, random, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -51,16 +53,18 @@ func ReceiverMultiply(conn transport.Conn, key *paillier.PrivateKey, x int64, ra
 // SenderMultiply runs the sending half of Algorithm 2 with a caller-chosen
 // mask v (the HDP zero-sum masks need exactly this control).
 func SenderMultiply(conn transport.Conn, pub *paillier.PublicKey, y int64, v *big.Int, random io.Reader) error {
-	return SenderBatchMultiply(conn, pub, []int64{y}, []*big.Int{v}, random)
+	return SenderBatchMultiply(conn, pub, []int64{y}, []*big.Int{v}, random, nil)
 }
 
 // ReceiverBatchMultiply performs m independent multiplications in one
 // round trip: the receiver holds xs and obtains u_k = xs[k]·ys[k] + vs[k].
-func ReceiverBatchMultiply(conn transport.Conn, key *paillier.PrivateKey, xs []int64, random io.Reader) ([]*big.Int, error) {
+// pool routes the Paillier arithmetic over the process-shared crypto pool
+// (nil: per-call GOMAXPROCS fan-out), as on every batch form below.
+func ReceiverBatchMultiply(conn transport.Conn, key *paillier.PrivateKey, xs []int64, random io.Reader, pool *paillier.Pool) ([]*big.Int, error) {
 	if random == nil {
 		random = rand.Reader
 	}
-	cts, err := key.EncryptInt64Batch(random, xs)
+	cts, err := key.EncryptInt64Batch(pool, random, xs)
 	if err != nil {
 		return nil, fmt.Errorf("mpc: encrypting xs: %w", err)
 	}
@@ -79,7 +83,7 @@ func ReceiverBatchMultiply(conn transport.Conn, key *paillier.PrivateKey, xs []i
 	if len(replies) != len(xs) {
 		return nil, fmt.Errorf("%w: sent %d, got %d", ErrLengthMismatch, len(xs), len(replies))
 	}
-	us, err := key.DecryptSignedBatch(replies)
+	us, err := key.DecryptSignedBatch(pool, replies)
 	if err != nil {
 		return nil, fmt.Errorf("mpc: decrypting us: %w", err)
 	}
@@ -89,7 +93,7 @@ func ReceiverBatchMultiply(conn transport.Conn, key *paillier.PrivateKey, xs []i
 // SenderBatchMultiply is the sending half of ReceiverBatchMultiply: for
 // each k it computes E(x_k)^{y_k} · E(v_k), i.e. an encryption of
 // x_k·y_k + v_k under the receiver's key.
-func SenderBatchMultiply(conn transport.Conn, pub *paillier.PublicKey, ys []int64, vs []*big.Int, random io.Reader) error {
+func SenderBatchMultiply(conn transport.Conn, pub *paillier.PublicKey, ys []int64, vs []*big.Int, random io.Reader, pool *paillier.Pool) error {
 	if len(ys) != len(vs) {
 		return fmt.Errorf("%w: %d multiplicands, %d masks", ErrLengthMismatch, len(ys), len(vs))
 	}
@@ -109,12 +113,12 @@ func SenderBatchMultiply(conn transport.Conn, pub *paillier.PublicKey, ys []int6
 	}
 	// Masks first (sequential randomness), then the homomorphic arithmetic
 	// on the worker pool.
-	masks, err := pub.EncryptBatch(random, vs)
+	masks, err := pub.EncryptBatch(pool, random, vs)
 	if err != nil {
 		return fmt.Errorf("mpc: encrypting masks: %w", err)
 	}
 	replies := make([]*big.Int, len(ys))
-	if err := paillier.ParallelFor(len(ys), func(k int) error {
+	if err := paillier.ParallelFor(pool, len(ys), func(k int) error {
 		prod, err := pub.Mul(cts[k], big.NewInt(ys[k]))
 		if err != nil {
 			return fmt.Errorf("mpc: homomorphic multiply [%d]: %w", k, err)
@@ -136,7 +140,7 @@ func SenderBatchMultiply(conn transport.Conn, pub *paillier.PublicKey, ys []int6
 // so a session that scores n sender points against the same a should use
 // ReceiverDotMany instead.
 func ReceiverDot(conn transport.Conn, key *paillier.PrivateKey, a []int64, random io.Reader) (*big.Int, error) {
-	us, err := ReceiverDotMany(conn, key, a, 1, random)
+	us, err := ReceiverDotMany(conn, key, a, 1, random, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -145,21 +149,21 @@ func ReceiverDot(conn transport.Conn, key *paillier.PrivateKey, a []int64, rando
 
 // SenderDot is the sending half of ReceiverDot.
 func SenderDot(conn transport.Conn, pub *paillier.PublicKey, b []int64, v *big.Int, random io.Reader) error {
-	return SenderDotMany(conn, pub, [][]int64{b}, []*big.Int{v}, random)
+	return SenderDotMany(conn, pub, [][]int64{b}, []*big.Int{v}, random, nil)
 }
 
 // ReceiverDotMany sends the encrypted coordinates of a once and receives
 // `count` masked dot products u_i = a·b_i + v_i. This is the §5 pattern:
 // Alice publishes E(a) for her extended point vector and Bob returns one
 // ciphertext per point B_i, costing O(m + count) ciphertexts total.
-func ReceiverDotMany(conn transport.Conn, key *paillier.PrivateKey, a []int64, count int, random io.Reader) ([]*big.Int, error) {
+func ReceiverDotMany(conn transport.Conn, key *paillier.PrivateKey, a []int64, count int, random io.Reader, pool *paillier.Pool) ([]*big.Int, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("mpc: count %d < 1", count)
 	}
 	if random == nil {
 		random = rand.Reader
 	}
-	cts, err := key.EncryptInt64Batch(random, a)
+	cts, err := key.EncryptInt64Batch(pool, random, a)
 	if err != nil {
 		return nil, fmt.Errorf("mpc: encrypting a: %w", err)
 	}
@@ -178,7 +182,7 @@ func ReceiverDotMany(conn transport.Conn, key *paillier.PrivateKey, a []int64, c
 	if len(replies) != count {
 		return nil, fmt.Errorf("%w: want %d dot products, got %d", ErrLengthMismatch, count, len(replies))
 	}
-	us, err := key.DecryptSignedBatch(replies)
+	us, err := key.DecryptSignedBatch(pool, replies)
 	if err != nil {
 		return nil, fmt.Errorf("mpc: decrypting us: %w", err)
 	}
@@ -187,7 +191,7 @@ func ReceiverDotMany(conn transport.Conn, key *paillier.PrivateKey, a []int64, c
 
 // SenderDotMany is the sending half of ReceiverDotMany: bs[i] is the i-th
 // vector, vs[i] its mask. All vectors must match the receiver's dimension.
-func SenderDotMany(conn transport.Conn, pub *paillier.PublicKey, bs [][]int64, vs []*big.Int, random io.Reader) error {
+func SenderDotMany(conn transport.Conn, pub *paillier.PublicKey, bs [][]int64, vs []*big.Int, random io.Reader, pool *paillier.Pool) error {
 	if len(bs) != len(vs) {
 		return fmt.Errorf("%w: %d vectors, %d masks", ErrLengthMismatch, len(bs), len(vs))
 	}
@@ -213,12 +217,12 @@ func SenderDotMany(conn transport.Conn, pub *paillier.PublicKey, bs [][]int64, v
 	}
 	// Masks first (sequential randomness), then one worker-pool task per
 	// output ciphertext: E(a·b_i + v_i) = Π_k E(a_k)^{b_ik} · E(v_i).
-	masks, err := pub.EncryptBatch(random, vs)
+	masks, err := pub.EncryptBatch(pool, random, vs)
 	if err != nil {
 		return fmt.Errorf("mpc: encrypting masks: %w", err)
 	}
 	replies := make([]*big.Int, len(bs))
-	if err := paillier.ParallelFor(len(bs), func(i int) error {
+	if err := paillier.ParallelFor(pool, len(bs), func(i int) error {
 		acc := masks[i]
 		for k, ct := range cts {
 			if bs[i][k] == 0 {

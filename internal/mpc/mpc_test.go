@@ -104,11 +104,11 @@ func TestBatchMultiply(t *testing.T) {
 	err := transport.Run2(
 		func(c transport.Conn) error {
 			var err error
-			us, err = ReceiverBatchMultiply(c, k, xs, rand.Reader)
+			us, err = ReceiverBatchMultiply(c, k, xs, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
-			return SenderBatchMultiply(c, &k.PublicKey, ys, vs, rand.Reader)
+			return SenderBatchMultiply(c, &k.PublicKey, ys, vs, rand.Reader, nil)
 		},
 	)
 	if err != nil {
@@ -126,12 +126,12 @@ func TestBatchMultiplyLengthMismatch(t *testing.T) {
 	k := testKey(t)
 	err := transport.Run2(
 		func(c transport.Conn) error {
-			_, err := ReceiverBatchMultiply(c, k, []int64{1, 2, 3}, rand.Reader)
+			_, err := ReceiverBatchMultiply(c, k, []int64{1, 2, 3}, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
 			return SenderBatchMultiply(c, &k.PublicKey, []int64{1, 2},
-				[]*big.Int{big.NewInt(0), big.NewInt(0)}, rand.Reader)
+				[]*big.Int{big.NewInt(0), big.NewInt(0)}, rand.Reader, nil)
 		},
 	)
 	if !errors.Is(err, ErrLengthMismatch) {
@@ -144,7 +144,7 @@ func TestSenderMaskCountMismatch(t *testing.T) {
 	conn, peer := transport.Pipe()
 	defer conn.Close()
 	defer peer.Close()
-	err := SenderBatchMultiply(conn, &k.PublicKey, []int64{1, 2}, []*big.Int{big.NewInt(0)}, rand.Reader)
+	err := SenderBatchMultiply(conn, &k.PublicKey, []int64{1, 2}, []*big.Int{big.NewInt(0)}, rand.Reader, nil)
 	if !errors.Is(err, ErrLengthMismatch) {
 		t.Errorf("err = %v, want ErrLengthMismatch", err)
 	}
@@ -195,11 +195,11 @@ func TestDotManySharesDistances(t *testing.T) {
 	err := transport.Run2(
 		func(c transport.Conn) error {
 			var err error
-			us, err = ReceiverDotMany(c, k, a, len(Bs), rand.Reader)
+			us, err = ReceiverDotMany(c, k, a, len(Bs), rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
-			return SenderDotMany(c, &k.PublicKey, bs, vs, rand.Reader)
+			return SenderDotMany(c, &k.PublicKey, bs, vs, rand.Reader, nil)
 		},
 	)
 	if err != nil {
@@ -219,11 +219,11 @@ func TestDotManyDimensionMismatch(t *testing.T) {
 	k := testKey(t)
 	err := transport.Run2(
 		func(c transport.Conn) error {
-			_, err := ReceiverDotMany(c, k, []int64{1, 2, 3}, 1, rand.Reader)
+			_, err := ReceiverDotMany(c, k, []int64{1, 2, 3}, 1, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
-			return SenderDotMany(c, &k.PublicKey, [][]int64{{1, 2}}, []*big.Int{big.NewInt(0)}, rand.Reader)
+			return SenderDotMany(c, &k.PublicKey, [][]int64{{1, 2}}, []*big.Int{big.NewInt(0)}, rand.Reader, nil)
 		},
 	)
 	if !errors.Is(err, ErrLengthMismatch) {
@@ -235,11 +235,11 @@ func TestDotManyCountMismatch(t *testing.T) {
 	k := testKey(t)
 	err := transport.Run2(
 		func(c transport.Conn) error {
-			_, err := ReceiverDotMany(c, k, []int64{1}, 3, rand.Reader)
+			_, err := ReceiverDotMany(c, k, []int64{1}, 3, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
-			return SenderDotMany(c, &k.PublicKey, [][]int64{{1}}, []*big.Int{big.NewInt(0)}, rand.Reader)
+			return SenderDotMany(c, &k.PublicKey, [][]int64{{1}}, []*big.Int{big.NewInt(0)}, rand.Reader, nil)
 		},
 	)
 	if !errors.Is(err, ErrLengthMismatch) {
@@ -252,7 +252,7 @@ func TestReceiverDotManyRejectsZeroCount(t *testing.T) {
 	conn, peer := transport.Pipe()
 	defer conn.Close()
 	defer peer.Close()
-	if _, err := ReceiverDotMany(conn, k, []int64{1}, 0, rand.Reader); err == nil {
+	if _, err := ReceiverDotMany(conn, k, []int64{1}, 0, rand.Reader, nil); err == nil {
 		t.Error("count 0 accepted")
 	}
 }
@@ -326,11 +326,11 @@ func TestZeroSumMasksCancelInBatch(t *testing.T) {
 	err = transport.Run2(
 		func(c transport.Conn) error {
 			var err error
-			us, err = ReceiverBatchMultiply(c, k, dy, rand.Reader)
+			us, err = ReceiverBatchMultiply(c, k, dy, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
-			return SenderBatchMultiply(c, &k.PublicKey, dx, masks, rand.Reader)
+			return SenderBatchMultiply(c, &k.PublicKey, dx, masks, rand.Reader, nil)
 		},
 	)
 	if err != nil {
@@ -367,11 +367,11 @@ func TestBatchCommunicationShape(t *testing.T) {
 	}
 	err := transport.RunPair(ma, mb,
 		func(c transport.Conn) error {
-			_, err := ReceiverBatchMultiply(c, k, xs, rand.Reader)
+			_, err := ReceiverBatchMultiply(c, k, xs, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
-			return SenderBatchMultiply(c, &k.PublicKey, ys, vs, rand.Reader)
+			return SenderBatchMultiply(c, &k.PublicKey, ys, vs, rand.Reader, nil)
 		},
 	)
 	if err != nil {

@@ -327,15 +327,15 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 		if bound+2 > yao.MaxDomain {
 			return fmt.Errorf("multiparty: comparison domain %d exceeds YMPP limit; use Engine=masked", bound+2)
 		}
-		sess.cmpA = &compare.YMPPAlice{Key: sess.rsaKey, Max: bound, Random: h.random}
+		sess.cmpA = &compare.YMPPAlice{Key: sess.rsaKey, Max: bound, Random: h.random, Pool: h.cfg.Pool}
 		sess.cmpB = &compare.YMPPBob{Pub: sess.peerRSA, Max: bound, Random: h.random}
 	case compare.EngineMasked:
 		limit := new(big.Int).Lsh(big.NewInt(bound+2), uint(h.cfg.CmpMaskBits))
 		if limit.Cmp(sess.paiKey.PlaintextBound()) >= 0 || limit.Cmp(sess.peerPai.PlaintextBound()) >= 0 {
 			return fmt.Errorf("multiparty: comparison bound overflows the Paillier plaintext space")
 		}
-		sess.cmpA = &compare.MaskedAlice{Key: sess.paiKey, Max: bound, Random: h.random}
-		sess.cmpB = &compare.MaskedBob{Pub: sess.peerPai, Max: bound, MaskBits: h.cfg.CmpMaskBits, Random: h.random}
+		sess.cmpA = &compare.MaskedAlice{Key: sess.paiKey, Max: bound, Random: h.random, Pool: h.cfg.Pool}
+		sess.cmpB = &compare.MaskedBob{Pub: sess.peerPai, Max: bound, MaskBits: h.cfg.CmpMaskBits, Random: h.random, Pool: h.cfg.Pool}
 	default:
 		return fmt.Errorf("multiparty: unknown engine %q", h.cfg.Engine)
 	}
@@ -480,7 +480,7 @@ func (h *hState) queryPeer(q int, x []int64) (int, error) {
 		ys = append(ys, x...)
 		vs = append(vs, masks...)
 	}
-	if err := mpc.SenderBatchMultiply(conn, sess.peerPai, ys, vs, h.random); err != nil {
+	if err := mpc.SenderBatchMultiply(conn, sess.peerPai, ys, vs, h.random, h.cfg.Pool); err != nil {
 		return 0, err
 	}
 	// Comparison phase: we hold the left value Σx².
@@ -628,7 +628,7 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport
 			xs = append(xs, zero...)
 		}
 	}
-	us, err := mpc.ReceiverBatchMultiply(conn, sess.paiKey, xs, h.random)
+	us, err := mpc.ReceiverBatchMultiply(conn, sess.paiKey, xs, h.random, h.cfg.Pool)
 	if err != nil {
 		return err
 	}

@@ -99,6 +99,14 @@ type Config struct {
 	// identical to the sequential schedule.
 	Parallel int
 
+	// Pool, when non-nil, routes this party's Paillier/RSA batch
+	// arithmetic over a process-shared bounded worker pool instead of a
+	// per-call GOMAXPROCS fan-out — the knob a host process serving many
+	// concurrent clustering sessions uses to keep the CPU subscribed
+	// rather than oversubscribed. Local resource only; the ring handshake
+	// does not (and must not) compare it.
+	Pool *paillier.Pool
+
 	Random io.Reader
 }
 
@@ -324,7 +332,7 @@ func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
 	if cfg.Parallel > 1 {
 		random = transport.LockedReader(random)
 	}
-	st := &state{party: party, cfg: cfg, enc: enc, epsSq: epsSq, random: random}
+	st := &state{party: party, cfg: cfg, enc: enc, epsSq: epsSq, random: random, pool: cfg.Pool}
 	st.prevs = edgeChannels(party.Prev, cfg.Parallel)
 	st.nexts = edgeChannels(party.Next, cfg.Parallel)
 	if err := st.handshake(); err != nil {
@@ -378,6 +386,7 @@ type state struct {
 	enc    [][]int64
 	epsSq  int64
 	random io.Reader
+	pool   *paillier.Pool
 
 	// prevs/nexts are the per-worker ring edges: the bare connections for
 	// W = 1, or the W channels of the multiplexed edges (prevs[0]/nexts[0]
@@ -644,7 +653,7 @@ func (st *state) buildEngines() error {
 			return fmt.Errorf("multiparty: comparison domain %d exceeds YMPP limit; use Engine=masked", bound+2)
 		}
 		if st.isCoordinator() {
-			st.cmpA = &compare.YMPPAlice{Key: st.rsaKey, Max: bound, Random: st.random}
+			st.cmpA = &compare.YMPPAlice{Key: st.rsaKey, Max: bound, Random: st.random, Pool: st.pool}
 		}
 		if st.isLast() {
 			st.cmpB = &compare.YMPPBob{Pub: st.rsaPub, Max: bound, Random: st.random}
@@ -655,10 +664,10 @@ func (st *state) buildEngines() error {
 			return fmt.Errorf("multiparty: bound %d with %d mask bits overflows the Paillier plaintext space", bound, st.cfg.CmpMaskBits)
 		}
 		if st.isCoordinator() {
-			st.cmpA = &compare.MaskedAlice{Key: st.paiKey, Max: bound, Random: st.random}
+			st.cmpA = &compare.MaskedAlice{Key: st.paiKey, Max: bound, Random: st.random, Pool: st.pool}
 		}
 		if st.isLast() {
-			st.cmpB = &compare.MaskedBob{Pub: st.paiPub, Max: bound, MaskBits: st.cfg.CmpMaskBits, Random: st.random}
+			st.cmpB = &compare.MaskedBob{Pub: st.paiPub, Max: bound, MaskBits: st.cfg.CmpMaskBits, Random: st.random, Pool: st.pool}
 		}
 	default:
 		return fmt.Errorf("multiparty: unknown engine %q", st.cfg.Engine)
@@ -791,7 +800,7 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 	}
 
 	if st.isCoordinator() {
-		cts, err := st.paiPub.EncryptInt64Batch(st.random, partials)
+		cts, err := st.paiPub.EncryptInt64Batch(st.pool, st.random, partials)
 		if err != nil {
 			return nil, err
 		}
@@ -809,7 +818,7 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 		if len(accs) != len(pairs) {
 			return nil, fmt.Errorf("multiparty: ring returned %d ciphertexts for %d pairs", len(accs), len(pairs))
 		}
-		ts, err := st.paiKey.DecryptSignedBatch(accs)
+		ts, err := st.paiKey.DecryptSignedBatch(st.pool, accs)
 		if err != nil {
 			return nil, err
 		}
@@ -856,11 +865,11 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 			adds[t] += masks[t]
 		}
 	}
-	terms, err := st.paiPub.EncryptInt64Batch(st.random, adds)
+	terms, err := st.paiPub.EncryptInt64Batch(st.pool, st.random, adds)
 	if err != nil {
 		return nil, err
 	}
-	if err := paillier.ParallelFor(len(accs), func(t int) error {
+	if err := paillier.ParallelFor(st.pool, len(accs), func(t int) error {
 		acc, err := st.paiPub.Add(accs[t], terms[t])
 		if err != nil {
 			return err

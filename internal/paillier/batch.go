@@ -3,78 +3,27 @@ package paillier
 import (
 	"io"
 	"math/big"
-	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // Batch operations: the parallel Paillier layer. One protocol message in
 // the batched sub-protocols carries many independent ciphertexts, and the
 // per-ciphertext work — the r^n and c^{p−1} modular exponentiations — is
-// embarrassingly parallel. ParallelFor is the shared worker pool, sized by
-// GOMAXPROCS; EncryptBatch and DecryptBatch (and their signed variants)
-// are the entry points the MPC and comparison layers use.
+// embarrassingly parallel. Every batch op takes an explicit *Pool handle:
+// a server process shares one bounded Pool across all of its sessions
+// (core.SessionManager), while a nil pool keeps the legacy per-call
+// GOMAXPROCS fan-out for solo runs. EncryptBatch and DecryptBatch (and
+// their signed variants) are the entry points the MPC and comparison
+// layers use.
 //
 // Randomness discipline: the io.Reader supplying nonces is not assumed to
 // be safe for concurrent use (tests pass deterministic readers), so all
 // random sampling happens sequentially on the calling goroutine; only the
 // deterministic big-integer arithmetic fans out to the pool.
 
-// ParallelFor runs fn(0..n-1) across min(GOMAXPROCS, n) workers and
-// returns the first error (remaining work is abandoned on error). fn must
-// not touch shared mutable state; index-sliced outputs are safe.
-func ParallelFor(n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		mu      sync.Mutex
-		firstEr error
-		wg      sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if firstEr == nil {
-						firstEr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstEr
-}
-
 // EncryptBatch encrypts every plaintext under pk with fresh nonces.
 // Nonce sampling is sequential (random need not be goroutine-safe); the
 // modular exponentiations run on the worker pool.
-func (pk *PublicKey) EncryptBatch(random io.Reader, ms []*big.Int) ([]*big.Int, error) {
+func (pk *PublicKey) EncryptBatch(pool *Pool, random io.Reader, ms []*big.Int) ([]*big.Int, error) {
 	enc := make([]*big.Int, len(ms))
 	rs := make([]*big.Int, len(ms))
 	for i, m := range ms {
@@ -90,7 +39,7 @@ func (pk *PublicKey) EncryptBatch(random io.Reader, ms []*big.Int) ([]*big.Int, 
 		rs[i] = r
 	}
 	out := make([]*big.Int, len(ms))
-	if err := ParallelFor(len(ms), func(i int) error {
+	if err := ParallelFor(pool, len(ms), func(i int) error {
 		out[i] = pk.encryptEncoded(enc[i], rs[i])
 		return nil
 	}); err != nil {
@@ -101,18 +50,18 @@ func (pk *PublicKey) EncryptBatch(random io.Reader, ms []*big.Int) ([]*big.Int, 
 
 // EncryptInt64Batch is EncryptBatch over int64 plaintexts — the common
 // case for protocol values.
-func (pk *PublicKey) EncryptInt64Batch(random io.Reader, vs []int64) ([]*big.Int, error) {
+func (pk *PublicKey) EncryptInt64Batch(pool *Pool, random io.Reader, vs []int64) ([]*big.Int, error) {
 	ms := make([]*big.Int, len(vs))
 	for i, v := range vs {
 		ms[i] = big.NewInt(v)
 	}
-	return pk.EncryptBatch(random, ms)
+	return pk.EncryptBatch(pool, random, ms)
 }
 
 // DecryptBatch decrypts every ciphertext on the worker pool.
-func (sk *PrivateKey) DecryptBatch(cs []*big.Int) ([]*big.Int, error) {
+func (sk *PrivateKey) DecryptBatch(pool *Pool, cs []*big.Int) ([]*big.Int, error) {
 	out := make([]*big.Int, len(cs))
-	if err := ParallelFor(len(cs), func(i int) error {
+	if err := ParallelFor(pool, len(cs), func(i int) error {
 		m, err := sk.Decrypt(cs[i])
 		if err != nil {
 			return err
@@ -127,9 +76,9 @@ func (sk *PrivateKey) DecryptBatch(cs []*big.Int) ([]*big.Int, error) {
 
 // DecryptSignedBatch decrypts every ciphertext under the centered signed
 // encoding on the worker pool.
-func (sk *PrivateKey) DecryptSignedBatch(cs []*big.Int) ([]*big.Int, error) {
+func (sk *PrivateKey) DecryptSignedBatch(pool *Pool, cs []*big.Int) ([]*big.Int, error) {
 	out := make([]*big.Int, len(cs))
-	if err := ParallelFor(len(cs), func(i int) error {
+	if err := ParallelFor(pool, len(cs), func(i int) error {
 		m, err := sk.DecryptSigned(cs[i])
 		if err != nil {
 			return err

@@ -1,0 +1,44 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+)
+
+// Listener is the multi-accept counterpart of Listen: it binds once and
+// hands out one framed Conn per inbound peer, the accept loop of a
+// server that concurrently holds many sessions. Close unblocks a
+// pending Accept with ErrClosed — the SIGINT path of `ppdbscan serve`.
+type Listener struct {
+	l net.Listener
+}
+
+// NewListener binds addr for repeated accepts.
+func NewListener(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address (useful when addr had port 0).
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept blocks for the next inbound peer and returns its framed
+// connection. After Close it returns ErrClosed.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewFrameConn(c), nil
+}
+
+// Close stops accepting; a blocked Accept returns ErrClosed. Already
+// accepted connections are unaffected.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestListenerAcceptsManyPeers: the multi-accept listener serves several
+// sequential and concurrent dials, and the MeterGroup aggregate equals
+// the sum of the per-connection traffic.
+func TestListenerAcceptsManyPeers(t *testing.T) {
+	lis, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	const peers = 3
+	var group MeterGroup
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < peers; i++ {
+			conn, err := lis.Accept()
+			if err != nil {
+				t.Errorf("accept %d: %v", i, err)
+				return
+			}
+			wg.Add(1)
+			go func(conn Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				m := group.New(conn)
+				b, err := m.Recv()
+				if err != nil {
+					t.Errorf("server recv: %v", err)
+					return
+				}
+				if err := m.Send(append([]byte("ack:"), b...)); err != nil {
+					t.Errorf("server send: %v", err)
+				}
+			}(conn)
+		}
+	}()
+
+	for i := 0; i < peers; i++ {
+		c, err := Dial(lis.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte(fmt.Sprintf("hello-%d", i))
+		if err := c.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != "ack:"+string(msg) {
+			t.Errorf("peer %d: reply %q", i, b)
+		}
+		c.Close()
+	}
+	wg.Wait()
+
+	if group.Len() != peers {
+		t.Errorf("group tracked %d meters, want %d", group.Len(), peers)
+	}
+	agg := group.Stats()
+	if agg.MessagesRecv != peers || agg.MessagesSent != peers {
+		t.Errorf("aggregate messages %d/%d, want %d/%d", agg.MessagesSent, agg.MessagesRecv, peers, peers)
+	}
+	if agg.BytesRecv == 0 || agg.BytesSent <= agg.BytesRecv {
+		t.Errorf("aggregate bytes sent %d recv %d look wrong", agg.BytesSent, agg.BytesRecv)
+	}
+}
+
+// TestListenerCloseUnblocksAccept: Close maps the pending Accept to
+// ErrClosed — the SIGINT path of the serve loop.
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	lis, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := lis.Accept()
+		done <- err
+	}()
+	if err := lis.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Accept after Close = %v, want ErrClosed", err)
+	}
+}

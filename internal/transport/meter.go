@@ -22,7 +22,8 @@ func (s Stats) Total() int64 { return s.BytesSent + s.BytesRecv }
 // Messages returns messages sent plus received.
 func (s Stats) Messages() int64 { return s.MessagesSent + s.MessagesRecv }
 
-func (s Stats) add(o Stats) Stats {
+// Add returns the field-wise sum of two Stats views.
+func (s Stats) Add(o Stats) Stats {
 	return Stats{
 		MessagesSent: s.MessagesSent + o.MessagesSent,
 		MessagesRecv: s.MessagesRecv + o.MessagesRecv,
@@ -136,10 +137,54 @@ func Merge(ms ...*Meter) map[string]Stats {
 	out := make(map[string]Stats)
 	for _, m := range ms {
 		for k, v := range m.TagStats() {
-			out[k] = out[k].add(v)
+			out[k] = out[k].Add(v)
 		}
 	}
 	return out
+}
+
+// MeterGroup tracks the per-connection Meters a multi-session endpoint
+// hands out — one per accepted peer on a server, one per concurrent
+// client in a load generator — and produces aggregate snapshots across
+// all of them. Safe for concurrent use.
+type MeterGroup struct {
+	mu     sync.Mutex
+	meters []*Meter
+}
+
+// New wraps conn in a fresh Meter registered with the group.
+func (g *MeterGroup) New(conn Conn) *Meter {
+	m := NewMeter(conn)
+	g.mu.Lock()
+	g.meters = append(g.meters, m)
+	g.mu.Unlock()
+	return m
+}
+
+// Len reports how many meters the group has handed out.
+func (g *MeterGroup) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.meters)
+}
+
+// Stats returns the aggregate counters summed over every meter.
+func (g *MeterGroup) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var total Stats
+	for _, m := range g.meters {
+		total = total.Add(m.Stats())
+	}
+	return total
+}
+
+// TagStats returns the merged per-tag counters across every meter.
+func (g *MeterGroup) TagStats() map[string]Stats {
+	g.mu.Lock()
+	ms := append([]*Meter(nil), g.meters...)
+	g.mu.Unlock()
+	return Merge(ms...)
 }
 
 // FormatTagStats renders per-tag stats as an aligned table, sorted by tag.

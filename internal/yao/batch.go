@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/big"
 
+	"repro/internal/paillier"
 	"repro/internal/transport"
 )
 
@@ -17,13 +18,13 @@ import (
 //	Alice → Bob: p_1 ‖ w_1,1..w_1,n0 ‖ … ‖ p_count ‖ w_count,1..w_count,n0
 //	Bob → Alice: result bits
 //
-// Local work is unchanged — O(count·n0) RSA decryptions, already spread
-// over GOMAXPROCS workers by decryptRange — only the round count drops
-// from 3·count messages to 3.
+// Local work is unchanged — O(count·n0) RSA decryptions, spread over the
+// shared crypto pool by decryptRange — only the round count drops from
+// 3·count messages to 3.
 
 // AliceCompareBatch runs Alice's side of `len(is)` batched Algorithm 1
 // instances; is[t] pairs with Bob's js[t]. Returns i_t < j_t for every t.
-func AliceCompareBatch(conn transport.Conn, key *RSAKey, is []int64, n0 int64, random io.Reader) ([]bool, error) {
+func AliceCompareBatch(conn transport.Conn, key *RSAKey, is []int64, n0 int64, random io.Reader, pool *paillier.Pool) ([]bool, error) {
 	for t, i := range is {
 		if err := checkDomain(i, n0); err != nil {
 			return nil, fmt.Errorf("yao: batch[%d]: %w", t, err)
@@ -58,7 +59,7 @@ func AliceCompareBatch(conn transport.Conn, key *RSAKey, is []int64, n0 int64, r
 		if base.Sign() < 0 || base.Cmp(key.N) >= 0 {
 			return nil, fmt.Errorf("yao: batch[%d] round-1 value outside Z_N", t)
 		}
-		ys := decryptRange(key, base, int(n0))
+		ys := decryptRange(pool, key, base, int(n0))
 		p, zs, err := findSeparatingPrime(random, key.N.BitLen()/2, ys)
 		if err != nil {
 			return nil, fmt.Errorf("yao: batch[%d]: %w", t, err)
@@ -169,12 +170,12 @@ func shiftAll(vs []int64, bound, delta int64) ([]int64, error) {
 
 // AliceLessEqBatch decides a_t ≤ b_t for every a_t ∈ [0, bound]; pairs
 // with BobLessEqBatch. Same embedding as AliceLessEq.
-func AliceLessEqBatch(conn transport.Conn, key *RSAKey, as []int64, bound int64, random io.Reader) ([]bool, error) {
+func AliceLessEqBatch(conn transport.Conn, key *RSAKey, as []int64, bound int64, random io.Reader, pool *paillier.Pool) ([]bool, error) {
 	is, err := shiftAll(as, bound, 1)
 	if err != nil {
 		return nil, err
 	}
-	return AliceCompareBatch(conn, key, is, bound+2, random)
+	return AliceCompareBatch(conn, key, is, bound+2, random, pool)
 }
 
 // BobLessEqBatch is the Bob half of AliceLessEqBatch.
@@ -187,12 +188,12 @@ func BobLessEqBatch(conn transport.Conn, pub *RSAPublicKey, bs []int64, bound in
 }
 
 // AliceLessBatch decides a_t < b_t strictly; pairs with BobLessBatch.
-func AliceLessBatch(conn transport.Conn, key *RSAKey, as []int64, bound int64, random io.Reader) ([]bool, error) {
+func AliceLessBatch(conn transport.Conn, key *RSAKey, as []int64, bound int64, random io.Reader, pool *paillier.Pool) ([]bool, error) {
 	is, err := shiftAll(as, bound, 1)
 	if err != nil {
 		return nil, err
 	}
-	return AliceCompareBatch(conn, key, is, bound+1, random)
+	return AliceCompareBatch(conn, key, is, bound+1, random, pool)
 }
 
 // BobLessBatch is the Bob half of AliceLessBatch.

@@ -95,7 +95,7 @@ func runYMPP(t testing.TB, i, j, n0 int64) (aliceGot, bobGot bool) {
 	err := transport.Run2(
 		func(c transport.Conn) error {
 			var err error
-			aRes, err = AliceCompare(c, k, i, n0, rand.Reader)
+			aRes, err = AliceCompare(c, k, i, n0, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
@@ -148,10 +148,10 @@ func TestYMPPInputValidation(t *testing.T) {
 	conn, peer := transport.Pipe()
 	defer conn.Close()
 	defer peer.Close()
-	if _, err := AliceCompare(conn, k, 0, 10, rand.Reader); err == nil {
+	if _, err := AliceCompare(conn, k, 0, 10, rand.Reader, nil); err == nil {
 		t.Error("i=0 accepted")
 	}
-	if _, err := AliceCompare(conn, k, 11, 10, rand.Reader); err == nil {
+	if _, err := AliceCompare(conn, k, 11, 10, rand.Reader, nil); err == nil {
 		t.Error("i>n0 accepted")
 	}
 	if _, err := BobCompare(conn, &k.RSAPublicKey, 5, MaxDomain+1, rand.Reader); err == nil {
@@ -163,7 +163,7 @@ func TestYMPPDomainMismatchDetected(t *testing.T) {
 	k := testRSAKey(t)
 	err := transport.Run2(
 		func(c transport.Conn) error {
-			_, err := AliceCompare(c, k, 3, 10, rand.Reader)
+			_, err := AliceCompare(c, k, 3, 10, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
@@ -185,7 +185,7 @@ func TestLessEqWrappers(t *testing.T) {
 			err := transport.Run2(
 				func(c transport.Conn) error {
 					var err error
-					aGot, err = AliceLessEq(c, k, a, bound, rand.Reader)
+					aGot, err = AliceLessEq(c, k, a, bound, rand.Reader, nil)
 					return err
 				},
 				func(c transport.Conn) error {
@@ -214,7 +214,7 @@ func TestLessWrappers(t *testing.T) {
 		err := transport.Run2(
 			func(c transport.Conn) error {
 				var err error
-				aGot, err = AliceLess(c, k, a, bound, rand.Reader)
+				aGot, err = AliceLess(c, k, a, bound, rand.Reader, nil)
 				return err
 			},
 			func(c transport.Conn) error {
@@ -236,13 +236,13 @@ func TestWrapperInputValidation(t *testing.T) {
 	conn, peer := transport.Pipe()
 	defer conn.Close()
 	defer peer.Close()
-	if _, err := AliceLessEq(conn, k, -1, 10, rand.Reader); err == nil {
+	if _, err := AliceLessEq(conn, k, -1, 10, rand.Reader, nil); err == nil {
 		t.Error("negative value accepted")
 	}
 	if _, err := BobLessEq(conn, &k.RSAPublicKey, 11, 10, rand.Reader); err == nil {
 		t.Error("out-of-bound value accepted")
 	}
-	if _, err := AliceLess(conn, k, 11, 10, rand.Reader); err == nil {
+	if _, err := AliceLess(conn, k, 11, 10, rand.Reader, nil); err == nil {
 		t.Error("out-of-bound value accepted by AliceLess")
 	}
 	if _, err := BobLess(conn, &k.RSAPublicKey, -2, 10, rand.Reader); err == nil {
@@ -262,7 +262,7 @@ func TestYMPPProperty(t *testing.T) {
 		err := transport.Run2(
 			func(c transport.Conn) error {
 				var err error
-				got, err = AliceLessEq(c, k, a, bound, rand.Reader)
+				got, err = AliceLessEq(c, k, a, bound, rand.Reader, nil)
 				return err
 			},
 			func(c transport.Conn) error {
@@ -286,7 +286,7 @@ func TestYMPPCommunicationShape(t *testing.T) {
 	const n0 = 50
 	err := transport.RunPair(ma, mb,
 		func(c transport.Conn) error {
-			_, err := AliceCompare(c, k, 25, n0, rand.Reader)
+			_, err := AliceCompare(c, k, 25, n0, rand.Reader, nil)
 			return err
 		},
 		func(c transport.Conn) error {
@@ -319,7 +319,7 @@ func BenchmarkYMPPDomain256(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		err := transport.Run2(
 			func(c transport.Conn) error {
-				_, err := AliceCompare(c, k, 100, 256, rand.Reader)
+				_, err := AliceCompare(c, k, 100, 256, rand.Reader, nil)
 				return err
 			},
 			func(c transport.Conn) error {

@@ -6,10 +6,9 @@ import (
 	"fmt"
 	"io"
 	"math/big"
-	"runtime"
 	"sort"
-	"sync"
 
+	"repro/internal/paillier"
 	"repro/internal/transport"
 )
 
@@ -44,8 +43,10 @@ func checkDomain(v, n0 int64) error {
 }
 
 // AliceCompare runs Alice's side of Algorithm 1. Alice holds i ∈ [1, n0]
-// and the RSA key pair. Returns whether i < j.
-func AliceCompare(conn transport.Conn, key *RSAKey, i, n0 int64, random io.Reader) (bool, error) {
+// and the RSA key pair. Returns whether i < j. pool bounds the local
+// decryption fan-out (nil: GOMAXPROCS); only Alice does O(n0) local
+// work, so Bob's half takes no pool handle.
+func AliceCompare(conn transport.Conn, key *RSAKey, i, n0 int64, random io.Reader, pool *paillier.Pool) (bool, error) {
 	if err := checkDomain(i, n0); err != nil {
 		return false, err
 	}
@@ -71,7 +72,7 @@ func AliceCompare(conn transport.Conn, key *RSAKey, i, n0 int64, random io.Reade
 	}
 
 	// Step 3: y_u = Da(k − j + u) for u = 1..n0.
-	ys := decryptRange(key, base, int(n0))
+	ys := decryptRange(pool, key, base, int(n0))
 
 	// Step 4: find a prime p with all z_u = y_u mod p pairwise ≥ 2 apart
 	// in the mod-p sense.
@@ -161,41 +162,18 @@ func BobCompare(conn transport.Conn, pub *RSAPublicKey, j, n0 int64, random io.R
 	return iLessJ, nil
 }
 
-// decryptRange computes Da(base + t mod N) for t = 0..count−1 in parallel.
-func decryptRange(key *RSAKey, base *big.Int, count int) []*big.Int {
+// decryptRange computes Da(base + t mod N) for t = 0..count−1 on the
+// shared crypto pool (nil pool: GOMAXPROCS fan-out).
+func decryptRange(pool *paillier.Pool, key *RSAKey, base *big.Int, count int) []*big.Int {
 	ys := make([]*big.Int, count)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > count {
-		workers = count
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (count + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > count {
-			hi = count
+	_ = paillier.ParallelFor(pool, count, func(t int) error {
+		v := new(big.Int).Add(base, big.NewInt(int64(t)))
+		if v.Cmp(key.N) >= 0 {
+			v.Sub(v, key.N)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			v := new(big.Int)
-			for t := lo; t < hi; t++ {
-				v.Add(base, big.NewInt(int64(t)))
-				if v.Cmp(key.N) >= 0 {
-					v.Sub(v, key.N)
-				}
-				ys[t] = key.Decrypt(v)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		ys[t] = key.Decrypt(v)
+		return nil
+	})
 	return ys
 }
 
@@ -252,12 +230,12 @@ var two = big.NewInt(2)
 // over [1, n0]. Each call still costs O(n0) = O(bound) work and bits.
 
 // AliceLessEq decides a ≤ b for a ∈ [0, bound]; pairs with BobLessEq.
-func AliceLessEq(conn transport.Conn, key *RSAKey, a, bound int64, random io.Reader) (bool, error) {
+func AliceLessEq(conn transport.Conn, key *RSAKey, a, bound int64, random io.Reader, pool *paillier.Pool) (bool, error) {
 	if a < 0 || a > bound {
 		return false, fmt.Errorf("yao: value %d outside [0,%d]", a, bound)
 	}
 	// a ≤ b  ⟺  a+1 < b+2  over n0 = bound+2.
-	return AliceCompare(conn, key, a+1, bound+2, random)
+	return AliceCompare(conn, key, a+1, bound+2, random, pool)
 }
 
 // BobLessEq is the Bob half of AliceLessEq; b ∈ [0, bound].
@@ -269,12 +247,12 @@ func BobLessEq(conn transport.Conn, pub *RSAPublicKey, b, bound int64, random io
 }
 
 // AliceLess decides a < b strictly; pairs with BobLess.
-func AliceLess(conn transport.Conn, key *RSAKey, a, bound int64, random io.Reader) (bool, error) {
+func AliceLess(conn transport.Conn, key *RSAKey, a, bound int64, random io.Reader, pool *paillier.Pool) (bool, error) {
 	if a < 0 || a > bound {
 		return false, fmt.Errorf("yao: value %d outside [0,%d]", a, bound)
 	}
 	// a < b ⟺ a+1 < b+1 over n0 = bound+1.
-	return AliceCompare(conn, key, a+1, bound+1, random)
+	return AliceCompare(conn, key, a+1, bound+1, random, pool)
 }
 
 // BobLess is the Bob half of AliceLess.
