@@ -15,12 +15,12 @@
 //	ppdbscan demo        -mode horizontal|enhanced|vertical|arbitrary [flags]
 //	ppdbscan alice       -mode horizontal|enhanced|vertical -listen :9000 -data a.csv [flags]
 //	ppdbscan bob         -mode horizontal|enhanced|vertical -connect host:9000 -data b.csv [flags]
-//	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [-workers N] [-drain 30s] [flags]
-//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [flags]
-//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [flags]
+//	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [-workers N] [-drain 30s] [-max-sessions N] [-idle-timeout 2m] [flags]
+//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [-appends K -append-batch B] [flags]
+//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [-appends K -append-batch B] [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e16 [-quick] [-seed N]
-//	ppdbscan bench       [-suite e11|e14|e15|e16] [-quick] [-seed N] [-out BENCH_E11.json]
+//	ppdbscan experiments -id all|e1..e17 [-quick] [-seed N]
+//	ppdbscan bench       [-suite e11|e14|e15|e16|e17] [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
@@ -90,8 +90,8 @@ commands:
   client       drive a long-lived session: N clustering runs over one key exchange
   loadgen      drive C concurrent client sessions x R runs each against a server
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e16 or all)
-  bench        run a benchmark suite (-suite e11|e14|e15|e16) and write JSON measurements
+  experiments  regenerate the paper's evaluation tables (e1..e17 or all)
+  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17) and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
 
 E14 is the grid-pruning ablation: -pruning grid (default) buckets each
@@ -99,7 +99,10 @@ party's data into an Eps-width candidate index so secure region queries
 touch only neighboring cells; -pruning off keeps the paper's exhaustive
 candidate sets for A/B comparison. E15 is the parallelism ablation:
 -parallel W > 1 multiplexes W worker channels over the connection and
-dispatches independent secure region queries concurrently.
+dispatches independent secure region queries concurrently. E17 is the
+streaming ablation: client/loadgen -appends K -append-batch B feed a
+live session new points between runs; re-clustering reuses the session's
+cross-run comparison cache and exchanges only index deltas.
 
 run 'ppdbscan <command> -h' for flags.
 `)
@@ -377,6 +380,8 @@ func cmdClient(args []string) error {
 	connect := fs.String("connect", "", "address of the serving party")
 	dataPath := fs.String("data", "", "CSV file with this party's points (one point per line)")
 	runs := fs.Int("runs", 1, "clustering runs to request over the session")
+	appends := fs.Int("appends", 0, "streaming appends after the initial runs, each followed by a re-clustering run (horizontal modes)")
+	appendBatch := fs.Int("append-batch", 0, "points per appended batch, taken from the tail of -data")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -394,6 +399,11 @@ func cmdClient(args []string) error {
 	if err != nil {
 		return err
 	}
+	initial, batches, err := splitAppends(points, *appends, *appendBatch)
+	if err != nil {
+		return err
+	}
+	points = initial
 	conn, err := transport.Dial(*connect)
 	if err != nil {
 		return err
@@ -406,20 +416,36 @@ func cmdClient(args []string) error {
 	}
 	fmt.Printf("client: session established, setup leakage %v\n", sess.SetupLeakage())
 	var last *core.Result
-	for i := 0; i < *runs; i++ {
+	run := func() error {
 		res, err := sess.Run()
 		if err != nil {
 			return err
 		}
 		last = res
-		fmt.Printf("client: run %d: %d labels, %d clusters, run leakage %v\n",
-			sess.Runs(), len(res.Labels), res.NumClusters, res.Leakage)
+		fmt.Printf("client: run %d (%d appends): %d labels, %d clusters, %d secure / %d cached cmps, run leakage %v\n",
+			sess.Runs(), sess.Appends(), len(res.Labels), res.NumClusters,
+			res.SecureComparisons, res.CachedComparisons, res.Leakage)
+		return nil
+	}
+	for i := 0; i < *runs; i++ {
+		if err := run(); err != nil {
+			return err
+		}
+	}
+	for i, batch := range batches {
+		if err := sess.Append(batch); err != nil {
+			return fmt.Errorf("append %d: %w", i+1, err)
+		}
+		fmt.Printf("client: appended batch %d (%d points), total setup leakage now %v\n", i+1, len(batch), sess.SetupLeakage())
+		if err := run(); err != nil {
+			return err
+		}
 	}
 	if err := sess.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("client: closed after %d runs; traffic sent %d bytes, received %d bytes\n",
-		sess.Runs(), meter.Stats().BytesSent, meter.Stats().BytesRecv)
+	fmt.Printf("client: closed after %d runs, %d appends; traffic sent %d bytes, received %d bytes\n",
+		sess.Runs(), sess.Appends(), meter.Stats().BytesSent, meter.Stats().BytesRecv)
 	for i, l := range last.Labels {
 		fmt.Printf("%d,%d\n", i, l)
 	}
@@ -455,7 +481,7 @@ func cmdGen(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (e1..e16) or all")
+	id := fs.String("id", "all", "experiment id (e1..e17) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
@@ -509,7 +535,7 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller workload")
 	seed := fs.Int64("seed", 1, "bench seed")
-	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16")
+	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -526,8 +552,10 @@ func cmdBench(args []string) error {
 		rows, err = experiments.BenchE15(opt)
 	case "e16":
 		rows, err = experiments.BenchE16(opt)
+	case "e17":
+		rows, err = experiments.BenchE17(opt)
 	default:
-		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, or e16)", *suite)
+		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, or e17)", *suite)
 	}
 	if err != nil {
 		return err

@@ -42,11 +42,17 @@ func cmdServe(args []string) error {
 	dataPath := fs.String("data", "", "CSV file with this party's points (one point per line)")
 	workers := fs.Int("workers", 0, "shared crypto pool size across all sessions (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown wait for in-flight sessions before force-closing")
+	maxSessions := fs.Int("max-sessions", 0, "admission bound on concurrently live sessions (0 = unlimited); excess connections are refused before the handshake")
+	idle := fs.Duration("idle-timeout", 0, "per-session read deadline: a client silent this long mid-session is dropped (0 = off)")
+	keepalive := fs.Duration("keepalive", 3*time.Minute, "TCP keepalive probe period on session connections (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 0 {
 		return fmt.Errorf("serve requires -workers ≥ 0")
+	}
+	if *maxSessions < 0 {
+		return fmt.Errorf("serve requires -max-sessions ≥ 0")
 	}
 	cfg, err := p.config()
 	if err != nil {
@@ -61,10 +67,12 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer lis.Close()
+	lis.SetConnOptions(*idle, *keepalive)
 	mgr := core.NewSessionManager(*workers)
+	mgr.SetMaxSessions(*maxSessions)
 	cfg = mgr.Configure(cfg)
-	fmt.Printf("serve: listening on %s (mode %s, parallel %d, crypto pool %d workers)\n",
-		lis.Addr(), p.mode, cfg.Parallel, mgr.Pool().Workers())
+	fmt.Printf("serve: listening on %s (mode %s, parallel %d, crypto pool %d workers, max sessions %d, idle timeout %v)\n",
+		lis.Addr(), p.mode, cfg.Parallel, mgr.Pool().Workers(), *maxSessions, *idle)
 
 	// SIGINT/SIGTERM close the listener; the accept loop falls through to
 	// the drain.
@@ -132,7 +140,7 @@ func serveSession(mgr *core.SessionManager, conn transport.Conn, mode string, cf
 	for {
 		res, err := sess.Run()
 		if errors.Is(err, core.ErrSessionClosed) {
-			fmt.Printf("serve: session %d closed after %d runs\n", h.ID(), sess.Runs())
+			fmt.Printf("serve: session %d closed after %d runs, %d appends\n", h.ID(), sess.Runs(), sess.Appends())
 			h.End(nil)
 			return
 		}
@@ -142,8 +150,8 @@ func serveSession(mgr *core.SessionManager, conn transport.Conn, mode string, cf
 			return
 		}
 		h.RunDone()
-		fmt.Printf("serve: session %d run %d: %d labels, %d clusters, run leakage %v\n",
-			h.ID(), sess.Runs(), len(res.Labels), res.NumClusters, res.Leakage)
+		fmt.Printf("serve: session %d run %d (%d appends): %d labels, %d clusters, %d cached cmps, run leakage %v\n",
+			h.ID(), sess.Runs(), sess.Appends(), len(res.Labels), res.NumClusters, res.CachedComparisons, res.Leakage)
 	}
 }
 
@@ -156,6 +164,8 @@ func cmdLoadgen(args []string) error {
 	dataPath := fs.String("data", "", "CSV file with the client-side points (one point per line)")
 	clients := fs.Int("clients", 2, "concurrent client sessions C")
 	runs := fs.Int("runs", 1, "clustering runs per client R")
+	appends := fs.Int("appends", 0, "streaming appends per client after the initial runs (horizontal modes; the server side appends nothing)")
+	appendBatch := fs.Int("append-batch", 0, "points per appended batch, taken from the tail of -data")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,6 +183,10 @@ func cmdLoadgen(args []string) error {
 	if err != nil {
 		return err
 	}
+	initial, batches, err := splitAppends(points, *appends, *appendBatch)
+	if err != nil {
+		return err
+	}
 
 	var group transport.MeterGroup
 	var runsDone atomic.Int64
@@ -183,7 +197,7 @@ func cmdLoadgen(args []string) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs[c] = driveClient(&group, *connect, p.mode, cfg, points, *runs, &runsDone)
+			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, &runsDone)
 		}(c)
 	}
 	wg.Wait()
@@ -198,8 +212,9 @@ func cmdLoadgen(args []string) error {
 	}
 	agg := group.Stats()
 	done := runsDone.Load()
-	fmt.Printf("loadgen: %d clients × %d runs: %d/%d runs ok, %d clients failed\n",
-		*clients, *runs, done, int64(*clients)*int64(*runs), failed)
+	totalRuns := int64(*clients) * int64(*runs+len(batches))
+	fmt.Printf("loadgen: %d clients × %d runs + %d appends: %d/%d runs ok, %d clients failed\n",
+		*clients, *runs, len(batches), done, totalRuns, failed)
 	fmt.Printf("loadgen: wall %v, aggregate %d bytes in %d messages, %.2f runs/sec\n",
 		wall.Round(time.Millisecond), agg.Total(), agg.Messages(),
 		float64(done)/max(wall.Seconds(), 1e-9))
@@ -209,16 +224,16 @@ func cmdLoadgen(args []string) error {
 	return nil
 }
 
-// driveClient runs one loadgen client: dial, establish a session, R
-// runs, close.
-func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, points [][]float64, runs int, runsDone *atomic.Int64) error {
+// driveClient runs one loadgen client: dial, establish a session over
+// the initial points, R runs, then one append+run per batch, close.
+func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, runsDone *atomic.Int64) error {
 	conn, err := transport.Dial(connect)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	meter := group.New(conn)
-	sess, err := sessionByMode(mode, meter, cfg, core.RoleAlice, points)
+	sess, err := sessionByMode(mode, meter, cfg, core.RoleAlice, initial)
 	if err != nil {
 		return fmt.Errorf("session establishment: %w", err)
 	}
@@ -228,5 +243,35 @@ func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Con
 		}
 		runsDone.Add(1)
 	}
+	for i, batch := range batches {
+		if err := sess.Append(batch); err != nil {
+			return fmt.Errorf("append %d: %w", i+1, err)
+		}
+		if _, err := sess.Run(); err != nil {
+			return fmt.Errorf("post-append run %d: %w", i+1, err)
+		}
+		runsDone.Add(1)
+	}
 	return sess.Close()
+}
+
+// splitAppends carves K append batches of B points off the tail of the
+// dataset, leaving the head as the session's initial data.
+func splitAppends(points [][]float64, appends, batch int) (initial [][]float64, batches [][][]float64, err error) {
+	if appends < 0 || batch < 0 || (appends > 0) != (batch > 0) {
+		return nil, nil, fmt.Errorf("streaming needs both -appends ≥ 1 and -append-batch ≥ 1 (or neither)")
+	}
+	if appends == 0 {
+		return points, nil, nil
+	}
+	tail := appends * batch
+	if len(points) <= tail {
+		return nil, nil, fmt.Errorf("dataset of %d points cannot seed a session and feed %d appends × %d points", len(points), appends, batch)
+	}
+	initial = points[:len(points)-tail]
+	for i := 0; i < appends; i++ {
+		start := len(points) - tail + i*batch
+		batches = append(batches, points[start:start+batch])
+	}
+	return initial, batches, nil
 }

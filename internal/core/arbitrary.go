@@ -8,6 +8,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/mpc"
 	"repro/internal/partition"
+	"repro/internal/spatial"
 	"repro/internal/transport"
 )
 
@@ -85,7 +86,8 @@ func NewArbitrarySession(conn transport.Conn, cfg Config, role Role, values [][]
 	// Pruned pairs keep their PairDecisions budget entry, and the Bob side
 	// keeps the DotProducts budget entry for pruned pairs with mixed cells
 	// (whose cross terms the index made unnecessary) — see Ledger docs.
-	// Session-level state: repeated Runs reuse the matrix.
+	// Session-level state: repeated Runs reuse the matrix, and an
+	// AppendOwned extends it by the new records' coordinates only.
 	var cellRows [][]int64
 	if s.pruneOn {
 		cellRows, err = arbitraryCellMatrix(conns[0], s, enc, owners, role)
@@ -93,17 +95,220 @@ func NewArbitrarySession(conn transport.Conn, cfg Config, role Role, values [][]
 			return nil, err
 		}
 	}
+	as := &aStream{a: a, cellRows: cellRows, cache: NewPairCache()}
 	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: "arbitrary"}
 	t.setup = s.takeLedger()
-	t.runOnce = func() (*Result, error) { return arbitraryRunOnce(t, a, cellRows) }
+	t.runOnce = func() (*Result, error) { return arbitraryRunOnce(t, as) }
+	t.appendInit = func(values [][]float64, owners [][]partition.Owner) (bool, error) {
+		return arbitraryAppendInit(t, as, values, owners)
+	}
+	t.appendServe = func(r *transport.Reader) error { return arbitraryAppendServe(t, as, r) }
 	return t, nil
 }
 
+// aStream is the arbitrary family's mutable session state: the growing
+// (values, owners) matrices inside adpState, the shared cell matrix under
+// pruning, and the cross-run pair-decision cache (pair bits are public to
+// both parties, so the caches agree and the seeded lockstep drivers stay
+// in lock step).
+type aStream struct {
+	a        *adpState
+	cellRows [][]int64
+	cache    *PairCache
+}
+
+// arbitraryAppendInit announces the appended records — their public
+// ownership rows travel with the count; the values never do — and
+// completes the per-cell coordinate swap under pruning.
+func arbitraryAppendInit(t *Session, as *aStream, values [][]float64, owners [][]partition.Owner) (sent bool, err error) {
+	s := t.s
+	if owners == nil {
+		return false, fmt.Errorf("core: arbitrary protocol takes AppendOwned, not Append")
+	}
+	if len(owners) != len(values) {
+		return false, fmt.Errorf("core: %d appended records but %d ownership rows", len(values), len(owners))
+	}
+	for i := range values {
+		if len(values[i]) != s.dim || len(owners[i]) != s.dim {
+			return false, fmt.Errorf("core: appended record %d has inconsistent width (want %d)", i, s.dim)
+		}
+	}
+	batch, err := s.cfg.encodeOwnedCells(values, owners, s.role)
+	if err != nil {
+		return false, err
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpAppend).PutUint(uint64(len(batch)))
+	msg.PutBytes(flattenOwners(owners))
+	appendACoords(s, msg, batch, owners)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session append op: %w", err)
+	}
+	r, err := transport.RecvMsg(ctrl)
+	if err != nil {
+		return true, fmt.Errorf("core: session append reply: %w", err)
+	}
+	peerCount := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return true, err
+	}
+	return true, finishAAppend(t, as, batch, owners, peerCount, r)
+}
+
+// arbitraryAppendServe is the serving side: parse the announced ownership
+// rows, obtain our cells of the new records from the append source, and
+// swap coordinates.
+func arbitraryAppendServe(t *Session, as *aStream, r *transport.Reader) error {
+	s := t.s
+	peerCount := int(r.Uint())
+	ownersFlat := r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// Validate by division: a hostile count near 2^63 would wrap the
+	// product peerCount·dim and slip past an equality check.
+	if peerCount < 0 || len(ownersFlat)%s.dim != 0 || len(ownersFlat)/s.dim != peerCount {
+		return fmt.Errorf("core: append announces %d records with %d ownership cells", peerCount, len(ownersFlat))
+	}
+	owners := make([][]partition.Owner, peerCount)
+	for i := range owners {
+		row := make([]partition.Owner, s.dim)
+		for k := range row {
+			o := partition.Owner(ownersFlat[i*s.dim+k])
+			if o != partition.Alice && o != partition.Bob {
+				return fmt.Errorf("core: append ownership cell (%d,%d) is %d", i, k, o)
+			}
+			row[k] = o
+		}
+		owners[i] = row
+	}
+	values, err := t.appendSource()(AppendRequest{PeerCount: peerCount, Owners: owners})
+	if err != nil {
+		return fmt.Errorf("core: append source: %w", err)
+	}
+	if len(values) != peerCount {
+		return fmt.Errorf("core: append source returned %d records, want %d (arbitrary records are shared)", len(values), peerCount)
+	}
+	for i := range values {
+		if len(values[i]) != s.dim {
+			return fmt.Errorf("core: append source record %d has %d attributes, want %d", i, len(values[i]), s.dim)
+		}
+	}
+	batch, err := s.cfg.encodeOwnedCells(values, owners, s.role)
+	if err != nil {
+		return err
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(uint64(len(batch)))
+	appendACoords(s, msg, batch, owners)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return fmt.Errorf("core: session append reply: %w", err)
+	}
+	return finishAAppend(t, as, batch, owners, peerCount, r)
+}
+
+// flattenOwners serializes ownership rows for the wire (one byte per
+// cell, row-major — the verifyOwnership encoding).
+func flattenOwners(owners [][]partition.Owner) []byte {
+	if len(owners) == 0 {
+		return nil
+	}
+	flat := make([]byte, 0, len(owners)*len(owners[0]))
+	for _, row := range owners {
+		for _, o := range row {
+			flat = append(flat, byte(o))
+		}
+	}
+	return flat
+}
+
+// appendACoords attaches the 1-D cell coordinates of the cells this party
+// owns among the appended records, ascending (record, attribute) order —
+// the per-record payload of the construction-time adp.idx exchange.
+func appendACoords(s *session, msg *transport.Builder, batch [][]int64, owners [][]partition.Owner) {
+	if !s.pruneOn {
+		return
+	}
+	mine := partition.Alice
+	if s.role == RoleBob {
+		mine = partition.Bob
+	}
+	var coords []int64
+	for i := range batch {
+		for k := range batch[i] {
+			if owners[i][k] == mine {
+				coords = append(coords, spatial.BucketCoord(batch[i][k], s.cellW))
+			}
+		}
+	}
+	msg.PutInts(coords)
+}
+
+// finishAAppend validates the peer half (the already-parsed count; under
+// pruning its cell coordinates, routed through the appended ownership
+// rows — r is positioned at them) and extends the session state.
+func finishAAppend(t *Session, as *aStream, batch [][]int64, owners [][]partition.Owner, peerCount int, r *transport.Reader) error {
+	s := t.s
+	a := as.a
+	if peerCount != len(batch) {
+		return fmt.Errorf("core: append count %d vs peer %d (arbitrary records are shared)", len(batch), peerCount)
+	}
+	if s.pruneOn {
+		theirs := r.Ints()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		mine := partition.Alice
+		if s.role == RoleBob {
+			mine = partition.Bob
+		}
+		theirsWant := 0
+		for i := range owners {
+			for k := range owners[i] {
+				if owners[i][k] != mine {
+					theirsWant++
+				}
+			}
+		}
+		if len(theirs) != theirsWant {
+			return fmt.Errorf("core: adp index delta carries %d coordinates, want %d", len(theirs), theirsWant)
+		}
+		s.led(func(l *Ledger) {
+			l.IndexCellCoords += len(theirs)
+			l.IndexDeltaCells += len(theirs)
+		})
+		ti := 0
+		for i := range batch {
+			row := make([]int64, len(batch[i]))
+			for k := range batch[i] {
+				if owners[i][k] == mine {
+					row[k] = spatial.BucketCoord(batch[i][k], s.cellW)
+				} else {
+					row[k] = theirs[ti]
+					ti++
+				}
+			}
+			as.cellRows = append(as.cellRows, row)
+		}
+	}
+	a.enc = append(a.enc, batch...)
+	a.owners = append(a.owners, owners...)
+	return nil
+}
+
 // arbitraryRunOnce executes one lockstep clustering over the established
-// session state.
-func arbitraryRunOnce(t *Session, a *adpState, cellRows [][]int64) (*Result, error) {
+// session state, seeded with the cross-run pair cache. A cached pair
+// records the same decision-level budget the oracle would have: one
+// PairDecisions entry, plus the Bob-side DotProducts entry when the pair
+// has mixed cells (whose cross terms an earlier run's Multiplication
+// Protocol already paid for).
+func arbitraryRunOnce(t *Session, as *aStream) (*Result, error) {
 	s := t.s
 	role := s.role
+	a := as.a
+	cellRows := as.cellRows
 	engA, engB, err := s.distEngines()
 	if err != nil {
 		return nil, err
@@ -117,11 +322,21 @@ func arbitraryRunOnce(t *Session, a *adpState, cellRows [][]int64) (*Result, err
 			}
 		})
 	}
+	onCached := func(pr [2]int, in bool) {
+		s.led(func(l *Ledger) {
+			l.PairDecisions++
+			if role == RoleBob && a.hasMixed(pr[0], pr[1]) {
+				l.DotProducts++
+			}
+		})
+		s.cmpCached.Add(1)
+	}
 	var labels []int
 	var clusters int
 	switch {
 	case s.parallel() > 1:
-		labels, clusters, err = LockstepClusterParallel(n, s.cfg.MinPts, s.parallel(),
+		labels, clusters, err = LockstepClusterParallelCached(n, s.cfg.MinPts, s.parallel(),
+			as.cache, onCached,
 			PrunedLocalDecider(cellRows, onPruned),
 			func(ch int, pairs [][2]int) ([]bool, error) { return a.batchLE(t.conns[ch], pairs, engA, engB) })
 	case s.batched():
@@ -131,7 +346,7 @@ func arbitraryRunOnce(t *Session, a *adpState, cellRows [][]int64) (*Result, err
 		if s.pruneOn {
 			oracle = PrunedBatchOracle(cellRows, onPruned, oracle)
 		}
-		labels, clusters, err = LockstepClusterBatch(n, s.cfg.MinPts, oracle)
+		labels, clusters, err = LockstepClusterBatchCached(n, s.cfg.MinPts, as.cache, onCached, oracle)
 	default:
 		pairLE := func(i, j int) (bool, error) {
 			ownSum, err := a.localAndCrossSum(t.conns[0], i, j)
@@ -148,7 +363,7 @@ func arbitraryRunOnce(t *Session, a *adpState, cellRows [][]int64) (*Result, err
 		if s.pruneOn {
 			pairLE = PrunedPairOracle(cellRows, onPruned, pairLE)
 		}
-		labels, clusters, err = LockstepCluster(n, s.cfg.MinPts, pairLE)
+		labels, clusters, err = LockstepClusterCached(n, s.cfg.MinPts, as.cache, onCached, pairLE)
 	}
 	if err != nil {
 		return nil, err
@@ -193,12 +408,7 @@ func (c Config) encodeOwnedCells(values [][]float64, owners [][]partition.Owner,
 // disagreement is a configuration error, not a privacy event.
 func verifyOwnership(conn transport.Conn, owners [][]partition.Owner) error {
 	setTag(conn, "adp.owners")
-	flat := make([]byte, 0, len(owners)*len(owners[0]))
-	for _, row := range owners {
-		for _, o := range row {
-			flat = append(flat, byte(o))
-		}
-	}
+	flat := flattenOwners(owners)
 	if err := transport.SendMsg(conn, transport.NewBuilder().PutBytes(flat)); err != nil {
 		return err
 	}

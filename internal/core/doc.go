@@ -46,6 +46,10 @@
 //	├────────────────────────────────────────────────────────────┤
 //	│ core.Session          keygen + handshake + grid-index      │
 //	│ (sess.go)             exchange once; many Run calls;       │
+//	│                       Append absorbs new points (index     │
+//	│                       deltas only on the wire) and the     │
+//	│                       cross-run comparison cache makes     │
+//	│                       re-clustering O(Δ·candidates);       │
 //	│                       setup vs per-run Ledger split;       │
 //	│                       concurrent-misuse guards             │
 //	├────────────────────────────────────────────────────────────┤
@@ -167,7 +171,40 @@
 // exhaustive run — the pruning equivalence harness enforces this together
 // with identical non-index Ledger classes. The index disclosure itself is
 // first-class Ledger state (IndexCells, IndexPaddedPoints,
-// IndexCellCoords, IndexQueryCells; see Ledger docs for the budget
-// semantics), and experiment E14 records the resulting secure-comparison
-// reduction (≥3× on clustered data) against the "off" baseline.
+// IndexCellCoords, IndexQueryCells, IndexDeltaCells; see Ledger docs for
+// the budget semantics), and experiment E14 records the resulting
+// secure-comparison reduction (≥3× on clustered data) against the "off"
+// baseline.
+//
+// # Streaming appends and the cross-run comparison cache
+//
+// A live Session absorbs new points between runs: the initiating party
+// calls Append (AppendOwned for the arbitrary family), the serving
+// party's AppendSource contributes its own share of the batch, and the
+// append exchange ships counts plus — under pruning — one
+// spatial.GridDelta per side naming only the index cells the batch
+// touched (each append is a new generation of the session's
+// spatial.Stack; the delta is recorded in IndexDeltaCells). The data
+// itself never crosses the wire.
+//
+// Re-clustering after an append is incremental because decided
+// predicates are immutable — appends only add points, so a pairwise
+// within-Eps bit, a region count against a fixed peer prefix, and a true
+// core bit (counts are monotone) never change. Each family keeps the
+// matching cross-run cache: the lockstep families seed their drivers
+// with a PairCache (identical on all sides, since pair bits are public
+// to every participant, so oracle batch boundaries stay in lock step);
+// the basic horizontal family caches per-point prefix counts and scopes
+// each region query to the peer's uncached suffix generations (the
+// fromGen watermark on the op frame — the responder serves only those
+// generations, padded to their stacked counts); the enhanced family
+// skips whole core queries whose cached bit is still valid. Budget
+// accounting follows the pruning convention: a cache-served predicate
+// still records its decision-level Ledger entries, so an incremental
+// run's labels and non-index classes are byte-identical to a fresh
+// session over the concatenated data (the incremental-equivalence
+// harness pins all four families plus the multiparty ring/mesh at
+// W ∈ {1, 4}), while Result.SecureComparisons shrinks toward
+// O(Δ·candidates) and Result.CachedComparisons records the reuse —
+// experiment E17 measures both against per-stage rebuilds.
 package core

@@ -70,12 +70,13 @@ func (s *session) enhancedEngines() (shareA compare.Alice, shareB compare.Bob, f
 // DBSCAN control flow is Algorithm 4's, but the core decision is the
 // share–select–compare protocol above and the peer's points contribute
 // nothing but that bit.
-func enhancedPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer int) ([]int, int, error) {
+func enhancedPassDriver(s *session, conn transport.Conn, hs *hStream) ([]int, int, error) {
 	shareA, _, finalA, _, err := s.enhancedEngines()
 	if err != nil {
 		return nil, 0, err
 	}
-	h := &hPass{s: s, own: own, nPeer: nPeer}
+	h := &hPass{s: s, hs: hs, own: hs.enc, nPeer: hs.nPeer}
+	own := h.own
 
 	labels := make([]int, len(own))
 	for i := range labels {
@@ -152,17 +153,32 @@ func enhancedExpand(h *hPass, conn transport.Conn, point, clusterID int, labels 
 // occupancy of the query point's candidate cells instead of every peer
 // point, with dummy entries pinned to the maximal distance — a query
 // whose candidate cells cannot hold k points is decided locally.
+//
+// The cross-run cache short-circuits the whole exchange when it can:
+// neighbour counts only grow under appends, so a cached true bit is valid
+// forever, and any cached bit is valid while both datasets are unchanged.
+// A cached skip issues no frames at all — like the trivial local cases —
+// so the enhanced protocol's mechanical OrderBits/CoreBits record at most
+// a fresh run's (the pruning-equivalence convention).
 func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA compare.Alice, finalA compare.Alice) (bool, error) {
 	s := h.s
 	k := s.cfg.MinPts - ownCount
 	if k <= 0 {
 		return true, nil
 	}
+	if h.hs != nil {
+		if e, ok := h.hs.getEnh(point); ok {
+			if e.core || (e.ownN == len(h.own) && e.peerN == h.nPeer) {
+				s.cmpCached.Add(1)
+				return e.core, nil
+			}
+		}
+	}
 	var cells [][]int64
 	nCand := h.nPeer
 	usePrune := false
 	if s.pruneOn {
-		c, total := s.candidateCells(h.own[point])
+		c, total := s.candidateCells(h.own[point], 0)
 		// Prune only when the padded candidate set is actually smaller;
 		// otherwise fall back to the exhaustive query (flagged on the op
 		// frame) so pruning never enlarges the selection.
@@ -238,11 +254,23 @@ func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA c
 		return false, fmt.Errorf("core: enhanced final comparison: %w", err)
 	}
 	s.led(func(l *Ledger) { l.CoreBits++ })
+	h.putEnhCache(point, core)
 	return core, nil
 }
 
+// putEnhCache records a network-decided core bit for cross-run reuse
+// (locally decided bits are free to re-derive and are not cached); the
+// entry carries the dataset sizes so a false bit is reused only while
+// both datasets are unchanged.
+func (h *hPass) putEnhCache(point int, core bool) {
+	if h.hs != nil {
+		h.hs.putEnh(point, core, len(h.own), h.nPeer)
+	}
+}
+
 // enhancedPassResponder serves the peer's Algorithm 7/8 pass.
-func enhancedPassResponder(s *session, conn transport.Conn, own [][]int64) error {
+func enhancedPassResponder(s *session, conn transport.Conn, hs *hStream) error {
+	own := hs.enc
 	_, shareB, _, finalB, err := s.enhancedEngines()
 	if err != nil {
 		return err
@@ -280,7 +308,7 @@ func serveEnhancedCore(s *session, conn transport.Conn, rng permSource, shareB, 
 	pts, nDummy := own, 0
 	if s.pruneOn {
 		var err error
-		if pts, nDummy, err = s.readPrunedOp(r, own); err != nil {
+		if pts, nDummy, err = s.readPrunedOp(r, own, 0); err != nil {
 			return err
 		}
 	}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/compare"
 	"repro/internal/dbscan"
 	"repro/internal/fixedpoint"
+	"repro/internal/partition"
 	"repro/internal/spatial"
 	"repro/internal/transport"
 )
@@ -29,6 +31,106 @@ const (
 	hEnhanced                // §5, Algorithms 7–8 (core-point bits)
 )
 
+// hStream is the horizontal family's mutable session state: both parties'
+// generation structure (appends extend it) plus the cross-run comparison
+// caches that make incremental runs cheap.
+//
+// Cache soundness rests on distance immutability and count monotonicity:
+// appends only add points, so (a) the number of peer points within Eps of
+// an unchanged point, restricted to an unchanged peer prefix, never
+// changes — hdpCache entries are permanently valid for the generations
+// they cover — and (b) neighbour counts only grow, so a core bit that was
+// true stays true forever, while a false bit is reusable only while both
+// datasets are unchanged (enhCache entries carry the sizes they were
+// decided under).
+type hStream struct {
+	fam hFamily
+	enc [][]int64 // own points, all generations, append order
+
+	ownGenStart []int // global index of each own generation's first point
+	peerGenCnt  []int // per-generation peer point counts
+	nPeer       int   // total peer count (Σ peerGenCnt)
+
+	// mu guards the caches: parallel waves (Config.Parallel > 1) decide
+	// distinct points concurrently but share the maps.
+	mu       sync.Mutex
+	hdpCache map[int]hdpEntry
+	enhCache map[int]enhEntry
+}
+
+// hdpEntry caches one driver point's region-count prefix: count peer
+// points within Eps among the peer's generations [0, gens).
+type hdpEntry struct {
+	count int
+	gens  int
+}
+
+// enhEntry caches one driver point's core bit plus the dataset sizes it
+// was decided under (see hStream's monotonicity note).
+type enhEntry struct {
+	core  bool
+	ownN  int
+	peerN int
+}
+
+func newHStream(fam hFamily, enc [][]int64, nPeer int) *hStream {
+	return &hStream{
+		fam:         fam,
+		enc:         enc,
+		ownGenStart: []int{0},
+		peerGenCnt:  []int{nPeer},
+		nPeer:       nPeer,
+		hdpCache:    make(map[int]hdpEntry),
+		enhCache:    make(map[int]enhEntry),
+	}
+}
+
+// peerGens reports the number of peer generations.
+func (hs *hStream) peerGens() int { return len(hs.peerGenCnt) }
+
+// peerSuffix counts the peer points in generations [from, …).
+func (hs *hStream) peerSuffix(from int) int {
+	n := 0
+	for g := from; g < len(hs.peerGenCnt); g++ {
+		n += hs.peerGenCnt[g]
+	}
+	return n
+}
+
+// appendLocal absorbs one append on this side's bookkeeping.
+func (hs *hStream) appendLocal(ownBatch [][]int64, peerCount int) {
+	hs.ownGenStart = append(hs.ownGenStart, len(hs.enc))
+	hs.enc = append(hs.enc, ownBatch...)
+	hs.peerGenCnt = append(hs.peerGenCnt, peerCount)
+	hs.nPeer += peerCount
+}
+
+func (hs *hStream) getHdp(i int) (hdpEntry, bool) {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	e, ok := hs.hdpCache[i]
+	return e, ok
+}
+
+func (hs *hStream) putHdp(i, count, gens int) {
+	hs.mu.Lock()
+	hs.hdpCache[i] = hdpEntry{count: count, gens: gens}
+	hs.mu.Unlock()
+}
+
+func (hs *hStream) getEnh(i int) (enhEntry, bool) {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	e, ok := hs.enhCache[i]
+	return e, ok
+}
+
+func (hs *hStream) putEnh(i int, core bool, ownN, peerN int) {
+	hs.mu.Lock()
+	hs.enhCache[i] = enhEntry{core: core, ownN: ownN, peerN: peerN}
+	hs.mu.Unlock()
+}
+
 // HorizontalAlice runs the §4.2 protocol (Algorithms 3–4) as Alice over
 // her complete records. It returns cluster labels for Alice's own points;
 // the peer must concurrently run HorizontalBob.
@@ -39,7 +141,8 @@ const (
 // pass does the same for Bob.
 //
 // This is the one-shot form — one session, one run. Long-lived serving
-// uses NewHorizontalSession and calls Run repeatedly.
+// uses NewHorizontalSession and calls Run repeatedly; streaming arrival
+// uses Session.Append between runs.
 func HorizontalAlice(conn transport.Conn, cfg Config, points [][]float64) (*Result, error) {
 	return runOneShot(NewHorizontalSession(conn, cfg, RoleAlice, points))
 }
@@ -52,7 +155,9 @@ func HorizontalBob(conn transport.Conn, cfg Config, points [][]float64) (*Result
 // NewHorizontalSession establishes a long-lived §4.2 session: keys,
 // handshake, and (under grid pruning) the candidate-index exchange happen
 // here, once; each subsequent Run executes one two-pass clustering over
-// the established state.
+// the established state, and Append absorbs new points at incremental
+// cost (only delta index cells cross the wire, and re-clustering reuses
+// every cached region-count prefix).
 func NewHorizontalSession(conn transport.Conn, cfg Config, role Role, points [][]float64) (*Session, error) {
 	return newHorizontalSession(conn, cfg, role, points, "horizontal", hBasic)
 }
@@ -102,29 +207,123 @@ func newHorizontalSession(conn transport.Conn, cfg Config, role Role, points [][
 			return nil, err
 		}
 	}
+	hs := newHStream(fam, enc, peer.Count)
 	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: proto}
 	t.setup = s.takeLedger()
-	t.runOnce = func() (*Result, error) { return horizontalRunOnce(t, enc, fam) }
+	t.runOnce = func() (*Result, error) { return horizontalRunOnce(t, hs, fam) }
+	t.appendInit = func(values [][]float64, owners [][]partition.Owner) (bool, error) {
+		return horizontalAppendInit(t, hs, values, owners)
+	}
+	t.appendServe = func(r *transport.Reader) error { return horizontalAppendServe(t, hs, r) }
 	return t, nil
+}
+
+// horizontalAppendInit is the initiating side of one horizontal-family
+// append: announce our batch size, learn the peer's, and (under pruning)
+// swap index deltas. The batches themselves never cross the wire.
+func horizontalAppendInit(t *Session, hs *hStream, values [][]float64, owners [][]partition.Owner) (sent bool, err error) {
+	s := t.s
+	if owners != nil {
+		return false, fmt.Errorf("core: %s protocol takes Append, not AppendOwned", t.proto)
+	}
+	batch, err := encodeHBatch(s, values)
+	if err != nil {
+		return false, err
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpAppend).PutUint(uint64(len(batch)))
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session append op: %w", err)
+	}
+	r, err := transport.RecvMsg(ctrl)
+	if err != nil {
+		return true, fmt.Errorf("core: session append reply: %w", err)
+	}
+	peerCount := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return true, err
+	}
+	if peerCount < 0 {
+		return true, fmt.Errorf("core: peer append count %d", peerCount)
+	}
+	return true, finishHAppend(t, hs, batch, peerCount)
+}
+
+// horizontalAppendServe is the serving side: the peer announced an
+// append; ask the session's append source for our own batch, reply with
+// its size, and complete the index-delta exchange.
+func horizontalAppendServe(t *Session, hs *hStream, r *transport.Reader) error {
+	s := t.s
+	peerCount := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if peerCount < 0 {
+		return fmt.Errorf("core: peer append count %d", peerCount)
+	}
+	values, err := t.appendSource()(AppendRequest{PeerCount: peerCount})
+	if err != nil {
+		return fmt.Errorf("core: append source: %w", err)
+	}
+	batch, err := encodeHBatch(s, values)
+	if err != nil {
+		return err
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	if err := transport.SendMsg(ctrl, transport.NewBuilder().PutUint(uint64(len(batch)))); err != nil {
+		return fmt.Errorf("core: session append reply: %w", err)
+	}
+	return finishHAppend(t, hs, batch, peerCount)
+}
+
+// finishHAppend runs the symmetric tail of an append on either side:
+// index-delta swap under pruning, then local bookkeeping.
+func finishHAppend(t *Session, hs *hStream, batch [][]int64, peerCount int) error {
+	s := t.s
+	if s.pruneOn {
+		if err := s.appendIndexDelta(t.conns[0], batch); err != nil {
+			return err
+		}
+	}
+	hs.appendLocal(batch, peerCount)
+	return nil
+}
+
+// encodeHBatch validates and fixed-point encodes one appended batch of
+// this party's points (possibly empty) against the session's established
+// dimension.
+func encodeHBatch(s *session, values [][]float64) ([][]int64, error) {
+	batch, err := s.cfg.encodePoints(values)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range batch {
+		if len(p) != s.dim {
+			return nil, fmt.Errorf("core: appended point %d has %d attributes, want %d", i, len(p), s.dim)
+		}
+	}
+	return batch, nil
 }
 
 // horizontalRunOnce is one two-pass execution: Alice drives pass 1 while
 // Bob responds, then the roles swap ("Party B DOES: repeats step 1 to 12
 // by replacing Alice for Bob" — Algorithm 3).
-func horizontalRunOnce(t *Session, enc [][]int64, fam hFamily) (*Result, error) {
+func horizontalRunOnce(t *Session, hs *hStream, fam hFamily) (*Result, error) {
 	s := t.s
 	var drive func() ([]int, int, error)
 	var respond func() error
 	if s.parallel() > 1 {
-		drive = func() ([]int, int, error) { return parallelHPassDriver(s, t.conns, enc, t.peer.Count, fam) }
-		respond = func() error { return parallelHPassResponder(s, t.conns, enc, fam) }
+		drive = func() ([]int, int, error) { return parallelHPassDriver(s, t.conns, hs, fam) }
+		respond = func() error { return parallelHPassResponder(s, t.conns, hs, fam) }
 	} else {
 		seqDriver, seqResponder := basicPassDriver, basicPassResponder
 		if fam == hEnhanced {
 			seqDriver, seqResponder = enhancedPassDriver, enhancedPassResponder
 		}
-		drive = func() ([]int, int, error) { return seqDriver(s, t.conns[0], enc, t.peer.Count) }
-		respond = func() error { return seqResponder(s, t.conns[0], enc) }
+		drive = func() ([]int, int, error) { return seqDriver(s, t.conns[0], hs) }
+		respond = func() error { return seqResponder(s, t.conns[0], hs) }
 	}
 
 	var labels []int
@@ -151,19 +350,19 @@ func horizontalRunOnce(t *Session, enc [][]int64, fam hFamily) (*Result, error) 
 }
 
 // basicPassDriver implements Algorithm 3/4 from the driving party's side.
-func basicPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer int) ([]int, int, error) {
+func basicPassDriver(s *session, conn transport.Conn, hs *hStream) ([]int, int, error) {
 	engA, _, err := s.distEngines()
 	if err != nil {
 		return nil, 0, err
 	}
-	h := &hPass{s: s, own: own, nPeer: nPeer}
+	h := &hPass{s: s, hs: hs, own: hs.enc, nPeer: hs.nPeer}
 
-	labels := make([]int, len(own))
+	labels := make([]int, len(h.own))
 	for i := range labels {
 		labels[i] = dbscan.Unclassified
 	}
 	clusterID := 0
-	for i := range own {
+	for i := range h.own {
 		if labels[i] != dbscan.Unclassified {
 			continue
 		}
@@ -185,8 +384,8 @@ func basicPassDriver(s *session, conn transport.Conn, own [][]int64, nPeer int) 
 // parallelHPassDriver is the scheduler-backed driving pass shared by the
 // basic and enhanced protocols: the per-query decision runs over whichever
 // worker channel the wave assigned.
-func parallelHPassDriver(s *session, conns []transport.Conn, own [][]int64, nPeer int, fam hFamily) ([]int, int, error) {
-	h := &hPass{s: s, own: own, nPeer: nPeer}
+func parallelHPassDriver(s *session, conns []transport.Conn, hs *hStream, fam hFamily) ([]int, int, error) {
+	h := &hPass{s: s, hs: hs, own: hs.enc, nPeer: hs.nPeer}
 	var decide decideFn
 	var opTag string
 	switch fam {
@@ -197,7 +396,7 @@ func parallelHPassDriver(s *session, conns []transport.Conn, own [][]int64, nPee
 		}
 		opTag = "hdp.op"
 		decide = func(conn transport.Conn, point, ownCount int) (bool, error) {
-			count, err := h.remoteCount(conn, own[point], engA)
+			count, err := h.remoteCount(conn, point, engA)
 			if err != nil {
 				return false, err
 			}
@@ -213,7 +412,7 @@ func parallelHPassDriver(s *session, conns []transport.Conn, own [][]int64, nPee
 			return enhancedIsCore(h, conn, point, ownCount, shareA, finalA)
 		}
 	}
-	labels, clusters, err := parallelDrive(conns, own, h.localRegionQuery, decide)
+	labels, clusters, err := parallelDrive(conns, h.own, h.localRegionQuery, decide)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -225,7 +424,7 @@ func parallelHPassDriver(s *session, conns []transport.Conn, own [][]int64, nPee
 
 // parallelHPassResponder serves a driving pass across the session's
 // worker channels, one responder worker per channel.
-func parallelHPassResponder(s *session, conns []transport.Conn, own [][]int64, fam hFamily) error {
+func parallelHPassResponder(s *session, conns []transport.Conn, hs *hStream, fam hFamily) error {
 	switch fam {
 	case hBasic:
 		_, engB, err := s.distEngines()
@@ -236,7 +435,7 @@ func parallelHPassResponder(s *session, conns []transport.Conn, own [][]int64, f
 			if op != opQuery {
 				return fmt.Errorf("core: responder got unexpected op %d", op)
 			}
-			return serveBasicQuery(s, conn, rng, engB, own, r)
+			return serveBasicQuery(s, conn, rng, engB, hs, r)
 		})
 	case hEnhanced:
 		_, shareB, _, finalB, err := s.enhancedEngines()
@@ -247,31 +446,60 @@ func parallelHPassResponder(s *session, conns []transport.Conn, own [][]int64, f
 			if op != opCore {
 				return fmt.Errorf("core: enhanced responder got unexpected op %d", op)
 			}
-			return serveEnhancedCore(s, conn, rng, shareB, finalB, own, r)
+			return serveEnhancedCore(s, conn, rng, shareB, finalB, hs.enc, r)
 		})
 	}
 	return fmt.Errorf("core: unknown horizontal family %d", fam)
 }
 
-// serveBasicQuery answers one already-announced HDP region query.
-func serveBasicQuery(s *session, conn transport.Conn, rng permSource, engB compare.Bob, own [][]int64, r *transport.Reader) error {
+// serveBasicQuery answers one already-announced HDP region query. The op
+// frame opens with the driver's generation watermark: the cryptographic
+// phases cover only our generations [fromGen, …) — the driver's cache
+// already answers the prefix — while the query-level disclosure budget
+// (DotProducts over the full own set, matching what a fresh session's
+// exhaustive accounting would record) is kept for every query, including
+// fully-cached ones that carry no crypto at all.
+func serveBasicQuery(s *session, conn transport.Conn, rng permSource, engB compare.Bob, hs *hStream, r *transport.Reader) error {
+	own := hs.enc
+	fromGen := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	gens := len(hs.ownGenStart)
+	if fromGen < 0 || fromGen > gens {
+		return fmt.Errorf("core: query watermark %d of %d generations", fromGen, gens)
+	}
+	account := func() { s.led(func(l *Ledger) { l.DotProducts += len(own) }) }
+	if fromGen == gens {
+		// Fully cached on the driver side: nothing to serve.
+		account()
+		return nil
+	}
 	if s.pruneOn {
-		pts, nDummy, err := s.readPrunedOp(r, own)
+		pts, nDummy, err := s.readPrunedOp(r, own, fromGen)
 		if err != nil {
 			return err
 		}
 		if err := hdpServeCompare(conn, s, rng, engB, pts, nDummy); err != nil {
 			return err
 		}
-		s.led(func(l *Ledger) { l.DotProducts += len(own) })
+		account()
 		return nil
 	}
-	return hdpQueryResponder(conn, s, rng, engB, own)
+	suffix := own[hs.ownGenStart[fromGen]:]
+	if len(suffix) > 0 {
+		if err := hdpServeCompare(conn, s, rng, engB, suffix, 0); err != nil {
+			return err
+		}
+	}
+	account()
+	return nil
 }
 
 // hPass bundles the state one driving pass needs.
 type hPass struct {
 	s     *session
+	hs    *hStream
 	own   [][]int64
 	nPeer int
 }
@@ -288,56 +516,98 @@ func (h *hPass) localRegionQuery(i int) []int {
 	return out
 }
 
-// remoteCount counts the peer's points within Eps of p via HDP
+// remoteCount counts the peer's points within Eps of our point i via HDP
 // (seedsB := SetOfPointsOfBobPermutation.regionQuery — Algorithm 4 line 3).
-// Under grid pruning the query announces its candidate cells and runs the
-// cryptographic phases only over their padded occupancy; when padding
-// would make the candidate set at least as large as the exhaustive one,
-// the query falls back to the exhaustive set (flagged on the op frame),
-// so a pruned query never compares more than an unpruned one. The op
-// frame travels even for empty candidate sets, keeping the responder's
-// query-level accounting — and so the Ledger budget — identical across
-// modes.
-func (h *hPass) remoteCount(conn transport.Conn, p []int64, eng compare.Alice) (int, error) {
+//
+// The cross-run cache splits the query at a generation watermark: the
+// count over the peer's generations [0, fromGen) comes from a previous
+// run of this session (distances are immutable, so it is permanently
+// exact), and only the suffix [fromGen, …) enters the cryptographic
+// phases. Under grid pruning the suffix query announces its candidate
+// cells out of the peer's suffix directories and runs over their padded
+// occupancy; when padding would make the candidate set at least as large
+// as the exhaustive suffix, the query falls back to the exhaustive
+// suffix (flagged on the op frame), so a pruned query never compares
+// more than an unpruned one. The op frame travels even for fully-cached
+// queries, keeping the responder's query-level accounting — and so the
+// Ledger budget — identical to a fresh session's.
+func (h *hPass) remoteCount(conn transport.Conn, i int, eng compare.Alice) (int, error) {
 	s := h.s
 	if h.nPeer == 0 {
 		return 0, nil
 	}
-	if s.pruneOn {
-		cells, total := s.candidateCells(p)
-		s.led(func(l *Ledger) {
-			l.NeighborCounts++
-			l.MembershipBits += h.nPeer
-		})
-		usePrune := total < h.nPeer
+	base, fromGen := 0, 0
+	if e, ok := h.hs.getHdp(i); ok {
+		base, fromGen = e.count, e.gens
+	}
+	gens := h.hs.peerGens()
+	prefix := h.nPeer - h.hs.peerSuffix(fromGen)
+	s.led(func(l *Ledger) {
+		l.NeighborCounts++
+		l.MembershipBits += h.nPeer
+	})
+	s.cmpCached.Add(int64(prefix))
+
+	p := h.own[i]
+	var count int
+	switch {
+	case fromGen == gens:
+		// Fully cached: announce the query for budget parity, run nothing.
 		setTag(conn, "hdp.op")
-		msg := transport.NewBuilder().PutUint(opQuery).PutBool(usePrune)
+		if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(opQuery).PutUint(uint64(fromGen))); err != nil {
+			return 0, err
+		}
+		count = base
+	case s.pruneOn:
+		cells, total := s.candidateCells(p, fromGen)
+		suffix := h.hs.peerSuffix(fromGen)
+		usePrune := total < suffix
+		setTag(conn, "hdp.op")
+		msg := transport.NewBuilder().PutUint(opQuery).PutUint(uint64(fromGen)).PutBool(usePrune)
 		if usePrune {
 			spatial.EncodeCells(msg, cells)
 		}
 		if err := transport.SendMsg(conn, msg); err != nil {
 			return 0, err
 		}
-		if !usePrune {
-			return hdpCompareDriver(conn, s, eng, p, h.nPeer)
+		nCand := suffix
+		if usePrune {
+			nCand = total
 		}
-		if total == 0 {
-			return 0, nil
+		fresh := 0
+		if nCand > 0 {
+			var err error
+			fresh, err = hdpCompareDriver(conn, s, eng, p, nCand)
+			if err != nil {
+				return 0, err
+			}
 		}
-		return hdpCompareDriver(conn, s, eng, p, total)
+		count = base + fresh
+	default:
+		suffix := h.hs.peerSuffix(fromGen)
+		setTag(conn, "hdp.op")
+		if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(opQuery).PutUint(uint64(fromGen))); err != nil {
+			return 0, err
+		}
+		fresh := 0
+		if suffix > 0 {
+			var err error
+			fresh, err = hdpCompareDriver(conn, s, eng, p, suffix)
+			if err != nil {
+				return 0, err
+			}
+		}
+		count = base + fresh
 	}
-	setTag(conn, "hdp.op")
-	if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(opQuery)); err != nil {
-		return 0, err
-	}
-	return hdpQueryDriver(conn, s, eng, p, h.nPeer)
+	h.hs.putHdp(i, count, gens)
+	return count, nil
 }
 
 // expandCluster is Algorithm 4. Only the driver's own points enter the
 // seed queue; the peer's points contribute to the MinPts counts only.
 func (h *hPass) expandCluster(conn transport.Conn, point, clusterID int, labels []int, eng compare.Alice) (bool, error) {
 	seedsA := h.localRegionQuery(point)
-	countB, err := h.remoteCount(conn, h.own[point], eng)
+	countB, err := h.remoteCount(conn, point, eng)
 	if err != nil {
 		return false, err
 	}
@@ -358,7 +628,7 @@ func (h *hPass) expandCluster(conn transport.Conn, point, clusterID int, labels 
 		current := queue[0]
 		queue = queue[1:]
 		resultA := h.localRegionQuery(current)
-		countB, err := h.remoteCount(conn, h.own[current], eng)
+		countB, err := h.remoteCount(conn, current, eng)
 		if err != nil {
 			return false, err
 		}
@@ -378,7 +648,7 @@ func (h *hPass) expandCluster(conn transport.Conn, point, clusterID int, labels 
 }
 
 // basicPassResponder serves the peer's Algorithm 3/4 pass.
-func basicPassResponder(s *session, conn transport.Conn, own [][]int64) error {
+func basicPassResponder(s *session, conn transport.Conn, hs *hStream) error {
 	_, engB, err := s.distEngines()
 	if err != nil {
 		return err
@@ -395,7 +665,7 @@ func basicPassResponder(s *session, conn transport.Conn, own [][]int64) error {
 		}
 		switch op {
 		case opQuery:
-			if err := serveBasicQuery(s, conn, s.rng, engB, own, r); err != nil {
+			if err := serveBasicQuery(s, conn, s.rng, engB, hs, r); err != nil {
 				return err
 			}
 		case opDone:

@@ -48,10 +48,34 @@ import (
 //     cell neighbourhood above or below the exhaustive size) plus one per
 //     announced candidate cell, each revealing the querying point's cell
 //     neighbourhood.
+//   - IndexDeltaCells: cells received in a streaming index delta — each
+//     Session.Append discloses, per party, the padded occupancy of just
+//     the cells the appended batch touched (one generation of the
+//     spatial.Stack), so IndexDeltaCells is the incremental analogue of
+//     IndexCells. Delta padded counts also accumulate into
+//     IndexPaddedPoints.
 //
 // OrderBits stays mechanical (it counts selection comparisons actually
 // revealed); pruning strictly shrinks the selection set, so pruned runs
 // record at most the unpruned OrderBits.
+//
+// # Accounting under the cross-run comparison cache
+//
+// A long-lived Session additionally caches decided predicates across
+// runs (pair bits for the lockstep families, per-point prefix counts for
+// the horizontal region queries): distances between unchanged points are
+// immutable, so an incremental run re-issues secure comparisons only for
+// predicates the cache cannot answer. The budget convention extends
+// unchanged: a predicate served from the cache still records its
+// decision-level entries (PairDecisions, NeighborCounts, MembershipBits,
+// DotProducts) the moment the run first consults it, so an incremental
+// run's non-index classes are byte-identical to a fresh session over the
+// concatenated data — the incremental-equivalence harness enforces this —
+// while Result.SecureComparisons (actual cryptographic work) shrinks and
+// Result.CachedComparisons records what the cache supplied. The enhanced
+// protocol is the exception, as under pruning: a cached core bit skips
+// the whole share–select–compare exchange, so its mechanical OrderBits /
+// CoreBits record at most the fresh run's.
 type Ledger struct {
 	NeighborCounts int
 	MembershipBits int
@@ -64,6 +88,7 @@ type Ledger struct {
 	IndexPaddedPoints int
 	IndexCellCoords   int
 	IndexQueryCells   int
+	IndexDeltaCells   int
 }
 
 // Add accumulates another ledger into l.
@@ -78,6 +103,7 @@ func (l *Ledger) Add(o Ledger) {
 	l.IndexPaddedPoints += o.IndexPaddedPoints
 	l.IndexCellCoords += o.IndexCellCoords
 	l.IndexQueryCells += o.IndexQueryCells
+	l.IndexDeltaCells += o.IndexDeltaCells
 }
 
 // NonIndex returns a copy with the Index* classes zeroed — the view the
@@ -87,6 +113,7 @@ func (l Ledger) NonIndex() Ledger {
 	l.IndexPaddedPoints = 0
 	l.IndexCellCoords = 0
 	l.IndexQueryCells = 0
+	l.IndexDeltaCells = 0
 	return l
 }
 
@@ -108,6 +135,7 @@ func (l Ledger) String() string {
 	add("indexPaddedPoints", l.IndexPaddedPoints)
 	add("indexCellCoords", l.IndexCellCoords)
 	add("indexQueryCells", l.IndexQueryCells)
+	add("indexDeltaCells", l.IndexDeltaCells)
 	if len(parts) == 0 {
 		return "ledger{}"
 	}
@@ -128,4 +156,11 @@ type Result struct {
 	// party executed (one per decided predicate, batched or not) — the
 	// cryptographic-work metric the pruning ablation (E14) tracks.
 	SecureComparisons int64
+	// CachedComparisons counts the predicates this run answered from the
+	// session's cross-run comparison cache instead of executing a secure
+	// comparison: reused pair bits in the lockstep families, cached
+	// prefix memberships in the horizontal region queries, and reused
+	// core bits in the enhanced protocol. Zero on a session's first run;
+	// the streaming ablation (E17) tracks it against SecureComparisons.
+	CachedComparisons int64
 }

@@ -17,7 +17,13 @@ import (
 // under the normalized pair so each pair is decided at most once, on all
 // sides consistently.
 func LockstepCluster(n, minPts int, pairLE func(i, j int) (bool, error)) ([]int, int, error) {
-	return LockstepClusterBatch(n, minPts, func(pairs [][2]int) ([]bool, error) {
+	return LockstepClusterCached(n, minPts, nil, nil, pairLE)
+}
+
+// LockstepClusterCached is LockstepCluster seeded with a cross-run
+// PairCache; see LockstepClusterBatchCached for the cache contract.
+func LockstepClusterCached(n, minPts int, prior *PairCache, onCached func(pr [2]int, in bool), pairLE func(i, j int) (bool, error)) ([]int, int, error) {
+	return LockstepClusterBatchCached(n, minPts, prior, onCached, func(pairs [][2]int) ([]bool, error) {
 		out := make([]bool, len(pairs))
 		for t, pr := range pairs {
 			v, err := pairLE(pr[0], pr[1])
@@ -30,6 +36,28 @@ func LockstepCluster(n, minPts int, pairLE func(i, j int) (bool, error)) ([]int,
 	})
 }
 
+// PairCache is a session's cross-run pair-decision cache: pairwise
+// within-Eps bits are immutable once decided (appends only add points, so
+// a decided pair's distance never changes), and in the lockstep families
+// every participant learns every decided bit, so all sides hold identical
+// caches and the seeded drivers below stay in lock step by construction.
+// A PairCache is confined to its session's serialized Run calls — the
+// drivers read and write it from the scheduling goroutine only.
+type PairCache struct {
+	m map[[2]int]bool
+}
+
+// NewPairCache returns an empty cross-run pair cache.
+func NewPairCache() *PairCache { return &PairCache{m: make(map[[2]int]bool)} }
+
+// Len reports the number of cached pair decisions.
+func (c *PairCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.m)
+}
+
 // LockstepClusterBatch is LockstepCluster with a batched decision oracle:
 // all yet-undecided pairs of one neighborhood query are submitted in a
 // single call, so an oracle backed by compare.BatchLessEq resolves them in
@@ -39,6 +67,20 @@ func LockstepCluster(n, minPts int, pairLE func(i, j int) (bool, error)) ([]int,
 // all sides. The set and order of decided pairs is the same as the
 // sequential driver's, so leakage Ledgers match entry for entry.
 func LockstepClusterBatch(n, minPts int, pairLEBatch func(pairs [][2]int) ([]bool, error)) ([]int, int, error) {
+	return LockstepClusterBatchCached(n, minPts, nil, nil, pairLEBatch)
+}
+
+// LockstepClusterBatchCached is LockstepClusterBatch seeded with a
+// cross-run PairCache. A pair already in prior never reaches the oracle:
+// the first time a run consults it, onCached fires (the hook records the
+// decision-level Ledger budget and the cached-comparison counter) and the
+// cached bit enters the per-run view. Oracle-decided pairs are written
+// back into prior, so the next run of the same session starts warmer.
+// Because every participant holds an identical prior (pair bits are
+// public to all lockstep participants), the oracle batch boundaries stay
+// identical on all sides — the incremental-equivalence harness pins the
+// resulting labels and budgets to a fresh session's.
+func LockstepClusterBatchCached(n, minPts int, prior *PairCache, onCached func(pr [2]int, in bool), pairLEBatch func(pairs [][2]int) ([]bool, error)) ([]int, int, error) {
 	if minPts < 1 {
 		return nil, 0, fmt.Errorf("core: MinPts %d < 1", minPts)
 	}
@@ -55,9 +97,19 @@ func LockstepClusterBatch(n, minPts int, pairLEBatch func(pairs [][2]int) ([]boo
 				a, b = b, a
 			}
 			key := [2]int{a, b}
-			if _, ok := cache[key]; !ok {
-				missing = append(missing, key)
+			if _, ok := cache[key]; ok {
+				continue
 			}
+			if prior != nil {
+				if v, ok := prior.m[key]; ok {
+					cache[key] = v
+					if onCached != nil {
+						onCached(key, v)
+					}
+					continue
+				}
+			}
+			missing = append(missing, key)
 		}
 		if len(missing) > 0 {
 			res, err := pairLEBatch(missing)
@@ -69,6 +121,9 @@ func LockstepClusterBatch(n, minPts int, pairLEBatch func(pairs [][2]int) ([]boo
 			}
 			for t, key := range missing {
 				cache[key] = res[t]
+				if prior != nil {
+					prior.m[key] = res[t]
+				}
 			}
 		}
 		out := []int{}

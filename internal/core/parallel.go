@@ -246,6 +246,20 @@ func sendDoneAll(conns []transport.Conn, tag string) error {
 func LockstepClusterParallel(n, minPts, w int,
 	decideLocal func(pr [2]int) (value, decided bool),
 	batchOn func(ch int, pairs [][2]int) ([]bool, error)) ([]int, int, error) {
+	return LockstepClusterParallelCached(n, minPts, w, nil, nil, decideLocal, batchOn)
+}
+
+// LockstepClusterParallelCached is LockstepClusterParallel seeded with a
+// cross-run PairCache (see LockstepClusterBatchCached for the cache
+// contract). Prior hits are folded in while batches are built — before a
+// pair could be claimed for a worker — and oracle results are written
+// back after each wave, both on the scheduling goroutine, so the cache
+// needs no locking and every participant derives identical waves from
+// its identical prior.
+func LockstepClusterParallelCached(n, minPts, w int,
+	prior *PairCache, onCached func(pr [2]int, in bool),
+	decideLocal func(pr [2]int) (value, decided bool),
+	batchOn func(ch int, pairs [][2]int) ([]bool, error)) ([]int, int, error) {
 	if minPts < 1 {
 		return nil, 0, fmt.Errorf("core: MinPts %d < 1", minPts)
 	}
@@ -275,6 +289,15 @@ func LockstepClusterParallel(n, minPts, w int,
 			if decideLocal != nil {
 				if v, ok := decideLocal(key); ok {
 					cache[key] = v
+					continue
+				}
+			}
+			if prior != nil {
+				if v, ok := prior.m[key]; ok {
+					cache[key] = v
+					if onCached != nil {
+						onCached(key, v)
+					}
 					continue
 				}
 			}
@@ -311,6 +334,9 @@ func LockstepClusterParallel(n, minPts, w int,
 		for t, batch := range batches {
 			for u, key := range batch {
 				cache[key] = results[t][u]
+				if prior != nil {
+					prior.m[key] = results[t][u]
+				}
 				delete(claimed, key)
 			}
 		}

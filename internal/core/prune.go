@@ -55,47 +55,86 @@ func swapMsg(conn transport.Conn, role Role, msg *transport.Builder) (*transport
 }
 
 // exchangeIndex runs the horizontal-family index exchange: both parties
-// send their padded Eps-grid directory and record what the peer disclosed.
+// bucket their construction-time dataset as generation 0 of their
+// spatial.Stack, send its padded directory, and record what the peer
+// disclosed. Appends extend both sides one generation at a time via
+// appendIndexDelta.
 func (s *session) exchangeIndex(conn transport.Conn, enc [][]int64) error {
 	setTag(conn, "hdp.idx")
-	g, err := spatial.NewGrid(enc, s.cellW)
+	st, err := spatial.NewStack(s.cellW, s.dim, s.cfg.PruneQuantum)
 	if err != nil {
 		return fmt.Errorf("core: index build: %w", err)
 	}
-	s.ownGrid = g
-	s.ownDir = g.Directory(s.cfg.PruneQuantum)
-	r, err := swapMsg(conn, s.role, s.ownDir.Encode(transport.NewBuilder()))
+	ownDir, err := st.Append(enc)
+	if err != nil {
+		return fmt.Errorf("core: index build: %w", err)
+	}
+	s.ownStack = st
+	r, err := swapMsg(conn, s.role, ownDir.Encode(transport.NewBuilder()))
 	if err != nil {
 		return fmt.Errorf("core: index exchange: %w", err)
 	}
-	s.peerDir, err = spatial.DecodeDirectory(r, s.dim, s.cfg.PruneQuantum)
+	peerDir, err := spatial.DecodeDirectory(r, s.dim, s.cfg.PruneQuantum)
 	if err != nil {
 		return fmt.Errorf("core: index decode: %w", err)
 	}
+	s.peerDirs = []spatial.Directory{peerDir}
 	s.led(func(l *Ledger) {
-		l.IndexCells += len(s.peerDir.Cells)
-		l.IndexPaddedPoints += s.peerDir.PaddedTotal()
+		l.IndexCells += len(peerDir.Cells)
+		l.IndexPaddedPoints += peerDir.PaddedTotal()
 	})
 	return nil
 }
 
-// candidateCells is the driver-side half of a pruned query: the peer's
-// occupied cells adjacent to p's cell, plus their padded occupancy total
-// (the exact number of MP/comparison instances the query will run).
-func (s *session) candidateCells(p []int64) (cells [][]int64, total int) {
-	return s.peerDir.Candidates(spatial.Bucket(p, s.cellW))
+// appendIndexDelta runs one streaming index round: each party appends its
+// batch as the next generation of its own stack and the parties swap
+// GridDeltas naming only the touched cells. The received delta extends
+// peerDirs; the disclosure is recorded in the delta-index classes.
+func (s *session) appendIndexDelta(conn transport.Conn, batch [][]int64) error {
+	setTag(conn, "hdp.idx")
+	ownDelta, err := s.ownStack.Append(batch)
+	if err != nil {
+		return fmt.Errorf("core: index delta build: %w", err)
+	}
+	gen := s.ownStack.Gens()
+	msg := spatial.GridDelta{Gen: gen, Dir: ownDelta}.Encode(transport.NewBuilder())
+	r, err := swapMsg(conn, s.role, msg)
+	if err != nil {
+		return fmt.Errorf("core: index delta exchange: %w", err)
+	}
+	peerDelta, err := spatial.DecodeGridDelta(r, s.dim, s.cfg.PruneQuantum, len(s.peerDirs)+1)
+	if err != nil {
+		return fmt.Errorf("core: index delta decode: %w", err)
+	}
+	s.peerDirs = append(s.peerDirs, peerDelta.Dir)
+	s.led(func(l *Ledger) {
+		l.IndexDeltaCells += len(peerDelta.Dir.Cells)
+		l.IndexPaddedPoints += peerDelta.Dir.PaddedTotal()
+	})
+	return nil
+}
+
+// candidateCells is the driver-side half of a pruned query scoped to the
+// peer's generations [fromGen, …): their occupied cells adjacent to p's
+// cell, plus the stacked padded occupancy total (the exact number of
+// MP/comparison instances the query will run). fromGen 0 is the full
+// index; a query whose prefix is answered by the cross-run cache passes
+// the first uncached generation.
+func (s *session) candidateCells(p []int64, fromGen int) (cells [][]int64, total int) {
+	return spatial.CandidatesRange(s.peerDirs, fromGen, spatial.Bucket(p, s.cellW))
 }
 
 // readQueryCells is the responder-side half: parse an announced candidate
-// list, resolve it against our own directory (spatial.ResolveQuery does
-// the validation), and return the real member points (in cell order) plus
-// how many dummy entries pad the batch to the disclosed counts.
-func (s *session) readQueryCells(r *transport.Reader, own [][]int64) (pts [][]int64, nDummy int, err error) {
+// list, resolve it against our own generations [fromGen, …)
+// (spatial.Stack.ResolveRange does the validation), and return the real
+// member points (generation-major) plus how many dummy entries pad the
+// batch to the disclosed stacked counts.
+func (s *session) readQueryCells(r *transport.Reader, own [][]int64, fromGen int) (pts [][]int64, nDummy int, err error) {
 	cells, err := spatial.DecodeCells(r, s.dim)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: query cells: %w", err)
 	}
-	members, nDummy, err := s.ownDir.ResolveQuery(s.ownGrid, cells)
+	members, nDummy, err := s.ownStack.ResolveRange(fromGen, cells)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: query cells: %w", err)
 	}
@@ -110,20 +149,21 @@ func (s *session) readQueryCells(r *transport.Reader, own [][]int64) (pts [][]in
 // readPrunedOp parses the pruning fields a driver appends to a region or
 // core query op frame when pruning is on: the exhaustive-fallback flag
 // and, for pruned queries, the candidate cells. Returns the candidate
-// points plus dummy count — the full own set with no dummies on fallback.
-// The flag itself is an index signal (it tells the responder whether the
-// query's candidate cells cover at least nPeer padded points), so it is
-// accounted in IndexQueryCells alongside any announced cells.
-func (s *session) readPrunedOp(r *transport.Reader, own [][]int64) (pts [][]int64, nDummy int, err error) {
+// points plus dummy count — on fallback, the own points of generations
+// [fromGen, …) with no dummies. The flag itself is an index signal (it
+// tells the responder whether the query's candidate cells cover at least
+// the exhaustive suffix), so it is accounted in IndexQueryCells alongside
+// any announced cells.
+func (s *session) readPrunedOp(r *transport.Reader, own [][]int64, fromGen int) (pts [][]int64, nDummy int, err error) {
 	pruned := r.Bool()
 	if err := r.Err(); err != nil {
 		return nil, 0, err
 	}
 	s.led(func(l *Ledger) { l.IndexQueryCells++ })
 	if !pruned {
-		return own, 0, nil
+		return own[s.ownStack.GenStart(fromGen):], 0, nil
 	}
-	return s.readQueryCells(r, own)
+	return s.readQueryCells(r, own, fromGen)
 }
 
 // ---- Lockstep cell matrices ----

@@ -31,6 +31,11 @@ import (
 // sessions.
 var ErrDraining = errors.New("core: session manager draining; not accepting new sessions")
 
+// ErrServerFull reports that the manager's admission bound
+// (SetMaxSessions) is reached; the connection is refused before any
+// handshake work is spent on it.
+var ErrServerFull = errors.New("core: session manager at max sessions; refusing new session")
+
 // SessionState is one registered session's lifecycle position.
 type SessionState int32
 
@@ -143,10 +148,11 @@ func (h *SessionHandle) End(err error) {
 type SessionManager struct {
 	pool *paillier.Pool
 
-	mu       sync.Mutex
-	next     uint64
-	live     map[uint64]*SessionHandle
-	draining bool
+	mu          sync.Mutex
+	next        uint64
+	live        map[uint64]*SessionHandle
+	draining    bool
+	maxSessions int // admission bound; 0 = unlimited
 
 	// Aggregate counters over retired sessions; Snapshot adds the live
 	// sessions' current view on top.
@@ -168,6 +174,16 @@ func NewSessionManager(workers int) *SessionManager {
 // Pool returns the process-shared crypto pool.
 func (m *SessionManager) Pool() *paillier.Pool { return m.pool }
 
+// SetMaxSessions bounds the number of concurrently live sessions (0 =
+// unlimited, the default): once the bound is reached, Begin fails with
+// ErrServerFull until a session retires — admission control that keeps
+// an overloaded server from accepting handshakes it cannot serve.
+func (m *SessionManager) SetMaxSessions(n int) {
+	m.mu.Lock()
+	m.maxSessions = n
+	m.mu.Unlock()
+}
+
 // Configure returns cfg with the shared pool injected — the Config every
 // session constructed under this manager must use.
 func (m *SessionManager) Configure(cfg Config) Config {
@@ -183,6 +199,9 @@ func (m *SessionManager) Begin(conn transport.Conn) (*SessionHandle, error) {
 	defer m.mu.Unlock()
 	if m.draining {
 		return nil, ErrDraining
+	}
+	if m.maxSessions > 0 && len(m.live) >= m.maxSessions {
+		return nil, ErrServerFull
 	}
 	m.next++
 	m.opened++

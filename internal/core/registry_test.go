@@ -107,9 +107,13 @@ func TestConcurrencyEquivalence(t *testing.T) {
 		t.Run(fam.name, func(t *testing.T) {
 			cfg := testCfg(compare.EngineMasked)
 
-			// Solo baseline: one session, one run, its own manager.
+			// Solo baseline: one session, two runs, its own manager. Two
+			// runs because sessions now carry a cross-run comparison
+			// cache: run r of every concurrent session must match run r
+			// of the solo session (the second run everywhere is served
+			// largely from cache).
 			soloMgr := NewSessionManager(2)
-			solo := runConcurrentSessions(t, soloMgr, fam, cfg, 1, 1)[0]
+			solo := runConcurrentSessions(t, soloMgr, fam, cfg, 1, 2)[0]
 
 			for _, clients := range []int{2, 4} {
 				mgr := NewSessionManager(2) // 2 slots << clients: real pool contention
@@ -119,16 +123,18 @@ func TestConcurrencyEquivalence(t *testing.T) {
 						t.Errorf("C=%d session %d: setup ledgers diverge from solo server", clients, s)
 					}
 					for r := range o.resA {
-						if !metrics.ExactMatch(o.resA[r].Labels, solo.resA[0].Labels) ||
-							!metrics.ExactMatch(o.resB[r].Labels, solo.resB[0].Labels) {
+						if !metrics.ExactMatch(o.resA[r].Labels, solo.resA[r].Labels) ||
+							!metrics.ExactMatch(o.resB[r].Labels, solo.resB[r].Labels) {
 							t.Errorf("C=%d session %d run %d: labels diverge from solo server", clients, s, r)
 						}
-						if o.resA[r].Leakage != solo.resA[0].Leakage || o.resB[r].Leakage != solo.resB[0].Leakage {
+						if o.resA[r].Leakage != solo.resA[r].Leakage || o.resB[r].Leakage != solo.resB[r].Leakage {
 							t.Errorf("C=%d session %d run %d: Ledgers diverge from solo server", clients, s, r)
 						}
-						if o.resA[r].SecureComparisons != solo.resA[0].SecureComparisons {
-							t.Errorf("C=%d session %d run %d: %d secure comparisons, solo %d",
-								clients, s, r, o.resA[r].SecureComparisons, solo.resA[0].SecureComparisons)
+						if o.resA[r].SecureComparisons != solo.resA[r].SecureComparisons ||
+							o.resA[r].CachedComparisons != solo.resA[r].CachedComparisons {
+							t.Errorf("C=%d session %d run %d: %d secure / %d cached comparisons, solo %d / %d",
+								clients, s, r, o.resA[r].SecureComparisons, o.resA[r].CachedComparisons,
+								solo.resA[r].SecureComparisons, solo.resA[r].CachedComparisons)
 						}
 					}
 				}
@@ -310,4 +316,55 @@ func TestManagerDrainWithHungClient(t *testing.T) {
 		t.Errorf("snapshot after drain: %+v, want 0 live / 1 failed", snap)
 	}
 	wg.Wait()
+}
+
+// TestManagerMaxSessions: the admission bound refuses registrations with
+// ErrServerFull before any handshake work, and frees slots as sessions
+// retire.
+func TestManagerMaxSessions(t *testing.T) {
+	mgr := NewSessionManager(1)
+	mgr.SetMaxSessions(2)
+
+	conns := make([]transport.Conn, 3)
+	for i := range conns {
+		a, b := transport.Pipe()
+		conns[i] = a
+		defer a.Close()
+		defer b.Close()
+	}
+	h1, err := mgr.Begin(conns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := mgr.Begin(conns[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Begin(conns[2]); !errors.Is(err, ErrServerFull) {
+		t.Fatalf("third Begin at max 2: %v, want ErrServerFull", err)
+	}
+	// Retiring one session frees an admission slot.
+	h1.End(nil)
+	h3, err := mgr.Begin(conns[2])
+	if err != nil {
+		t.Fatalf("Begin after retirement: %v", err)
+	}
+	h3.End(nil)
+	h2.End(nil)
+	snap := mgr.Snapshot()
+	if snap.Opened != 3 || snap.Closed != 3 || snap.Live != 0 {
+		t.Fatalf("snapshot %+v, want 3 opened/closed, 0 live", snap)
+	}
+	// Unlimited (0) remains the default semantics.
+	mgr.SetMaxSessions(0)
+	for i := 0; i < 3; i++ {
+		a, b := transport.Pipe()
+		defer a.Close()
+		defer b.Close()
+		h, err := mgr.Begin(a)
+		if err != nil {
+			t.Fatalf("unlimited Begin %d: %v", i, err)
+		}
+		defer h.End(nil)
+	}
 }

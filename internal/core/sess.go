@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/partition"
 	"repro/internal/transport"
 )
 
@@ -41,8 +42,9 @@ import (
 
 // Session op codes on the control channel (worker channel 0).
 const (
-	sessOpRun   uint64 = 1
-	sessOpClose uint64 = 2
+	sessOpRun    uint64 = 1
+	sessOpClose  uint64 = 2
+	sessOpAppend uint64 = 3
 )
 
 // ErrSessionClosed reports that the initiating party ended the session;
@@ -51,8 +53,15 @@ var ErrSessionClosed = errors.New("core: session closed by peer")
 
 // ErrConcurrentRun reports a second Run entered while one is in flight.
 // A Session serializes its protocol traffic; concurrent clustering runs
-// need concurrent sessions (see SessionManager).
+// need concurrent sessions (see SessionManager). Append and Close share
+// the guard: any overlap of Run/Append/Close on one session is rejected
+// with this error rather than corrupting the protocol stream.
 var ErrConcurrentRun = errors.New("core: concurrent Run calls on one session")
+
+// ErrAppendRole reports an Append call on the serving party: only the
+// initiating party (RoleAlice) drives the control channel; the serving
+// party contributes its own batches through SetAppendSource.
+var ErrAppendRole = errors.New("core: only the initiating party may call Append; the serving party supplies batches via SetAppendSource")
 
 // Session is one party's half of a long-lived protocol session. Create
 // one with NewHorizontalSession, NewEnhancedHorizontalSession,
@@ -68,6 +77,18 @@ type Session struct {
 
 	setup   Ledger // one-time disclosures recorded at construction
 	runOnce func() (*Result, error)
+
+	// Streaming hooks, wired by the family constructors. appendInit is the
+	// initiating side of one append exchange (announce + swap); its sent
+	// flag reports whether any frame reached the wire, so purely local
+	// validation failures do not poison the session. appendServe is the
+	// serving side, entered from Run's control loop when the peer
+	// announces an append. appendSrc supplies this party's own batch when
+	// the peer initiates (see SetAppendSource).
+	appendInit  func(values [][]float64, owners [][]partition.Owner) (sent bool, err error)
+	appendServe func(r *transport.Reader) error
+	appendSrc   AppendSource
+	appends     atomic.Int64
 
 	// Misuse guards, atomic so a server can observe a session's state
 	// while goroutines race Run/Close against it: runs counts completed
@@ -95,10 +116,114 @@ func sessionChannels(conn transport.Conn, w int) (*transport.Mux, []transport.Co
 	return m, conns
 }
 
+// AppendRequest describes a peer-initiated append the serving party must
+// answer with its own batch (possibly empty).
+type AppendRequest struct {
+	// PeerCount is the number of points/records the initiating party is
+	// appending.
+	PeerCount int
+	// Owners carries the public ownership rows of the appended records in
+	// the arbitrary-partition family (nil elsewhere).
+	Owners [][]partition.Owner
+}
+
+// AppendSource supplies the serving party's own share of an append batch
+// whenever the peer initiates one. Horizontal-family sources may return
+// any batch (including none); the vertical and arbitrary families must
+// return exactly the announced record count (their columns/cells of the
+// same new records).
+type AppendSource func(req AppendRequest) ([][]float64, error)
+
+// SetAppendSource registers the serving party's append source. Call it
+// before entering the serving Run loop; the default source appends
+// nothing for the horizontal families and rejects appends for the
+// vertical and arbitrary families (which cannot proceed without this
+// party's share of the new records).
+func (t *Session) SetAppendSource(fn AppendSource) { t.appendSrc = fn }
+
+// appendSource resolves the configured source or the family default.
+func (t *Session) appendSource() AppendSource {
+	if t.appendSrc != nil {
+		return t.appendSrc
+	}
+	return func(req AppendRequest) ([][]float64, error) {
+		switch t.proto {
+		case "horizontal", "enhanced-horizontal":
+			return nil, nil
+		}
+		if req.PeerCount == 0 {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("core: %s session needs an AppendSource to serve %d appended records", t.proto, req.PeerCount)
+	}
+}
+
+// Append absorbs a batch of this party's new points into the live
+// session at incremental cost: no keys, no handshake, and — under grid
+// pruning — only the index cells the batch touched cross the wire (one
+// spatial.GridDelta each way). The serving peer contributes its own
+// batch through its AppendSource. The next Run re-clusters the full
+// concatenated dataset, reusing every comparison the session already
+// paid for; labels and decision-level Ledger budgets are byte-identical
+// to a fresh session over the concatenated data (the
+// incremental-equivalence harness enforces this).
+//
+// Only the initiating party (RoleAlice) may call Append — it drives the
+// control channel — and never concurrently with Run or Close
+// (ErrConcurrentRun) or after Close (ErrSessionClosed). The arbitrary
+// family appends via AppendOwned.
+func (t *Session) Append(points [][]float64) error {
+	return t.append(points, nil)
+}
+
+// AppendOwned is Append for the arbitrary-partition family: values holds
+// the full rows of the appended records (only this party's cells are
+// read) and owners their public ownership rows, identical on both sides
+// (the serving party's AppendSource receives them in its AppendRequest).
+func (t *Session) AppendOwned(values [][]float64, owners [][]partition.Owner) error {
+	if owners == nil {
+		return fmt.Errorf("core: AppendOwned requires ownership rows")
+	}
+	return t.append(values, owners)
+}
+
+func (t *Session) append(values [][]float64, owners [][]partition.Owner) error {
+	if !t.running.CompareAndSwap(false, true) {
+		return ErrConcurrentRun
+	}
+	defer t.running.Store(false)
+	if t.closed.Load() {
+		return ErrSessionClosed
+	}
+	if t.s.role != RoleAlice {
+		return ErrAppendRole
+	}
+	sent, err := t.appendInit(values, owners)
+	if err != nil {
+		if sent {
+			// The peer is mid-exchange at an unknown point; a later op would
+			// land inside its partial append reads.
+			t.closed.Store(true)
+		}
+		return err
+	}
+	// Append disclosures (index deltas) are setup-class state: they are
+	// paid once, not per run, so they accumulate alongside the
+	// construction-time index exchange.
+	t.setup.Add(t.s.takeLedger())
+	t.appends.Add(1)
+	return nil
+}
+
+// Appends reports how many append exchanges this session has absorbed.
+func (t *Session) Appends() int { return int(t.appends.Load()) }
+
 // Run executes one clustering pass over the session's established keys
 // and index. The initiating party announces the run on the control
 // channel; the serving party's Run blocks until the peer either runs
-// (returns this run's Result) or closes (returns ErrSessionClosed).
+// (returns this run's Result), appends (the exchange is absorbed
+// transparently — this party's AppendSource supplies its own batch — and
+// the wait resumes), or closes (returns ErrSessionClosed).
 // Result.Leakage covers this run only; see SetupLeakage.
 func (t *Session) Run() (*Result, error) {
 	if !t.running.CompareAndSwap(false, true) {
@@ -115,26 +240,39 @@ func (t *Session) Run() (*Result, error) {
 			return nil, fmt.Errorf("core: session run op: %w", err)
 		}
 	} else {
-		r, err := transport.RecvMsg(ctrl)
-		if err != nil {
-			return nil, fmt.Errorf("core: session op recv: %w", err)
-		}
-		op := r.Uint()
-		if r.Err() != nil {
-			return nil, r.Err()
-		}
-		switch op {
-		case sessOpRun:
-		case sessOpClose:
-			t.closed.Store(true)
-			return nil, ErrSessionClosed
-		default:
-			return nil, fmt.Errorf("core: unexpected session op %d", op)
+	ops:
+		for {
+			r, err := transport.RecvMsg(ctrl)
+			if err != nil {
+				return nil, fmt.Errorf("core: session op recv: %w", err)
+			}
+			op := r.Uint()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			switch op {
+			case sessOpRun:
+				break ops
+			case sessOpClose:
+				t.closed.Store(true)
+				return nil, ErrSessionClosed
+			case sessOpAppend:
+				if err := t.appendServe(r); err != nil {
+					t.closed.Store(true)
+					return nil, err
+				}
+				t.setup.Add(t.s.takeLedger())
+				t.appends.Add(1)
+				setTag(ctrl, "session.op")
+			default:
+				return nil, fmt.Errorf("core: unexpected session op %d", op)
+			}
 		}
 	}
 	// Per-run accounting starts clean; the setup ledger was moved aside at
 	// construction.
 	t.s.cmpCount.Store(0)
+	t.s.cmpCached.Store(0)
 	t.s.takeLedger()
 	res, err := t.runOnce()
 	if err != nil {
@@ -173,9 +311,11 @@ func (t *Session) Close() error {
 }
 
 // SetupLeakage returns the one-time disclosures of session establishment
-// — the candidate-index exchange (Index* Ledger classes). Runs do not
-// repeat them; callers totalling a session's exposure add SetupLeakage
-// once to the sum of the per-run Leakage ledgers.
+// and of every absorbed append — the candidate-index exchange plus the
+// index deltas (Index* Ledger classes). Runs do not repeat them; callers
+// totalling a session's exposure add SetupLeakage once to the sum of the
+// per-run Leakage ledgers. Read it between operations, not concurrently
+// with a Run or Append in flight.
 func (t *Session) SetupLeakage() Ledger { return t.setup }
 
 // Runs reports how many completed Run calls this session has served.
@@ -191,6 +331,7 @@ func (t *Session) result(labels []int, clusters int) *Result {
 		NumClusters:       clusters,
 		Leakage:           t.s.takeLedger(),
 		SecureComparisons: t.s.cmpCount.Load(),
+		CachedComparisons: t.s.cmpCached.Load(),
 	}
 }
 
@@ -211,4 +352,54 @@ func runOneShot(t *Session, err error) (*Result, error) {
 	// single Run; a failed courtesy close is not a protocol failure.
 	_ = t.Close()
 	return res, nil
+}
+
+// RunStream is the streaming variant of the one-shot wrappers for the
+// initiating party: it composes with any session constructor, executes an
+// initial Run, then one Append + Run per batch, and closes the session.
+// Results arrive in run order (len(batches)+1 of them). The serving peer
+// runs ServeStream (or any Run loop with an AppendSource).
+func RunStream(t *Session, err error, batches [][][]float64) ([]*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := []*Result{res}
+	for i, batch := range batches {
+		if err := t.Append(batch); err != nil {
+			return out, fmt.Errorf("core: stream append %d: %w", i+1, err)
+		}
+		res, err := t.Run()
+		if err != nil {
+			return out, fmt.Errorf("core: stream run %d: %w", i+1, err)
+		}
+		out = append(out, res)
+	}
+	// The peer of a short stream may already have hung up after its last
+	// Run; a failed courtesy close is not a protocol failure.
+	_ = t.Close()
+	return out, nil
+}
+
+// ServeStream is RunStream's serving counterpart: it serves Run requests
+// (absorbing appends through the session's AppendSource) until the
+// initiating party closes, returning the per-run results in order.
+func ServeStream(t *Session, err error) ([]*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for {
+		res, err := t.Run()
+		if errors.Is(err, ErrSessionClosed) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
 }

@@ -14,7 +14,12 @@ import (
 // Session must produce labels identical to two fresh sessions, while the
 // fixed establishment costs — key generation, handshake frames, and the
 // grid-index exchange — are paid and disclosed exactly once. The fresh-
-// session baseline pays them per run.
+// session baseline pays them per run. Since the cross-run comparison
+// cache, the second run additionally reuses every predicate the first
+// run decided: its SecureComparisons drop (to zero when no points were
+// appended) while its decision-level Ledger budget stays byte-identical
+// for the basic families (the enhanced protocol's mechanical
+// OrderBits/CoreBits shrink instead, as under pruning).
 
 // sessionPair constructs matched Alice/Bob sessions over metered pipes
 // using the given family constructor.
@@ -136,11 +141,37 @@ func TestSessionReuseMatchesFreshSessions(t *testing.T) {
 				}
 			}
 
-			// Per-run disclosure is identical across runs and matches the
-			// fresh session's run-level ledger.
-			if reA[0].Leakage != reA[1].Leakage || reB[0].Leakage != reB[1].Leakage {
-				t.Errorf("per-run ledgers differ between runs: %v vs %v / %v vs %v",
+			// Per-run disclosure budget: the cached second run keeps the
+			// decision-level (non-index) classes of the first, except the
+			// enhanced family whose mechanical OrderBits/CoreBits may only
+			// shrink when cached core bits skip whole queries.
+			if fam.name == "enhanced" {
+				for _, pair := range [][2]*Result{{reA[0], reA[1]}, {reB[0], reB[1]}} {
+					if pair[1].Leakage.OrderBits > pair[0].Leakage.OrderBits ||
+						pair[1].Leakage.CoreBits > pair[0].Leakage.CoreBits {
+						t.Errorf("enhanced disclosure grew across runs: %v then %v", pair[0].Leakage, pair[1].Leakage)
+					}
+				}
+			} else if reA[0].Leakage.NonIndex() != reA[1].Leakage.NonIndex() ||
+				reB[0].Leakage.NonIndex() != reB[1].Leakage.NonIndex() {
+				t.Errorf("per-run budgets differ between runs: %v vs %v / %v vs %v",
 					reA[0].Leakage, reA[1].Leakage, reB[0].Leakage, reB[1].Leakage)
+			}
+
+			// The comparison cache is actually hit on the second run: the
+			// cached counter is positive on both sides and the second
+			// run's cryptographic work is strictly below the first's.
+			for side, runs := range map[string][]*Result{"alice": reA, "bob": reB} {
+				if runs[0].CachedComparisons != 0 {
+					t.Errorf("%s first run reports %d cached comparisons, want 0", side, runs[0].CachedComparisons)
+				}
+				if runs[1].CachedComparisons == 0 {
+					t.Errorf("%s second run hit the cache 0 times", side)
+				}
+				if runs[1].SecureComparisons >= runs[0].SecureComparisons {
+					t.Errorf("%s second run used %d secure comparisons, first %d — want strictly fewer",
+						side, runs[1].SecureComparisons, runs[0].SecureComparisons)
+				}
 			}
 
 			// Index rounds counted once: the one-time classes live in the

@@ -47,8 +47,10 @@ func (r Role) peer() Role {
 // Version 2 added the Batching round-structure parameter; version 3 added
 // the Pruning candidate-set parameter and its padding quantum; version 4
 // added the Parallel scheduler width (which also pins whether the
-// connection is multiplexed) and the session run/close control ops.
-const handshakeVersion = 4
+// connection is multiplexed) and the session run/close control ops;
+// version 5 added the append control op, the streaming index-delta
+// rounds, and the generation watermark on horizontal query op frames.
+const handshakeVersion = 5
 
 // ErrHandshake reports parameter disagreement between the parties.
 var ErrHandshake = errors.New("core: handshake parameter mismatch")
@@ -81,18 +83,23 @@ type session struct {
 	// requested by config AND geometrically useful (epsSq < bound; at
 	// epsSq = bound a single cell covers the whole domain and dummy
 	// padding could not stay strictly out of range). The horizontal-family
-	// index state (own grid + exchanged directories) is populated by
-	// exchangeIndex.
-	cellW   int64
-	pruneOn bool
-	ownGrid *spatial.Grid
-	ownDir  spatial.Directory
-	peerDir spatial.Directory
+	// index state is generational to support streaming appends: ownStack
+	// holds this party's per-generation grids and directories (generation
+	// 0 is the construction-time dataset, one more per append), and
+	// peerDirs mirrors the peer's disclosed per-generation directories.
+	// Both are populated by exchangeIndex and extended by the index-delta
+	// exchange of each append.
+	cellW    int64
+	pruneOn  bool
+	ownStack *spatial.Stack
+	peerDirs []spatial.Directory
 
 	// cmpCount tallies secure comparison instances executed by this party;
-	// atomic because parallel workers (Config.Parallel > 1) count
-	// concurrently.
-	cmpCount atomic.Int64
+	// cmpCached tallies predicates answered from the session's cross-run
+	// comparison cache instead. Atomic because parallel workers
+	// (Config.Parallel > 1) count concurrently.
+	cmpCount  atomic.Int64
+	cmpCached atomic.Int64
 
 	// ledMu guards ledger once parallel workers record disclosures
 	// concurrently; every update goes through led().

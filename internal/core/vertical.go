@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/partition"
+	"repro/internal/spatial"
 	"repro/internal/transport"
 )
 
@@ -80,7 +82,8 @@ func NewVerticalSession(conn transport.Conn, cfg Config, role Role, attrs [][]fl
 	// sides identically — and never reach the comparison oracle. Pruned
 	// pairs keep their PairDecisions budget entry (the index implies the
 	// decision; see Ledger docs). The exchange is session-level state:
-	// repeated Runs reuse the matrix without disclosing it again.
+	// repeated Runs reuse the matrix without disclosing it again, and an
+	// Append extends it by the new rows only.
 	var cellRows [][]int64
 	if s.pruneOn {
 		cellRows, err = verticalCellMatrix(conns[0], s, enc, role, peer.Dim)
@@ -88,22 +91,170 @@ func NewVerticalSession(conn transport.Conn, cfg Config, role Role, attrs [][]fl
 			return nil, err
 		}
 	}
+	vs := &vStream{enc: enc, cellRows: cellRows, peerDim: peer.Dim, cache: NewPairCache()}
 	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: "vertical"}
 	t.setup = s.takeLedger()
-	t.runOnce = func() (*Result, error) { return verticalRunOnce(t, enc, cellRows) }
+	t.runOnce = func() (*Result, error) { return verticalRunOnce(t, vs) }
+	t.appendInit = func(values [][]float64, owners [][]partition.Owner) (bool, error) {
+		return verticalAppendInit(t, vs, values, owners)
+	}
+	t.appendServe = func(r *transport.Reader) error { return verticalAppendServe(t, vs, r) }
 	return t, nil
 }
 
+// vStream is the vertical family's mutable session state: the growing
+// record matrix (this party's columns), the shared cell matrix under
+// pruning, and the cross-run pair-decision cache — pair bits are public
+// to both parties (Theorem 10), so both hold identical caches and the
+// seeded lockstep drivers stay in lock step.
+type vStream struct {
+	enc      [][]int64
+	cellRows [][]int64
+	peerDim  int
+	cache    *PairCache
+}
+
+// verticalAppendInit announces this party's columns of the appended
+// records and completes the cell-coordinate swap; the record count must
+// match on both sides (the records are shared, column-split).
+func verticalAppendInit(t *Session, vs *vStream, values [][]float64, owners [][]partition.Owner) (sent bool, err error) {
+	s := t.s
+	if owners != nil {
+		return false, fmt.Errorf("core: vertical protocol takes Append, not AppendOwned")
+	}
+	batch, err := encodeVBatch(s, values, len(vs.enc[0]))
+	if err != nil {
+		return false, err
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpAppend).PutUint(uint64(len(batch)))
+	appendVCoords(s, msg, batch)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session append op: %w", err)
+	}
+	r, err := transport.RecvMsg(ctrl)
+	if err != nil {
+		return true, fmt.Errorf("core: session append reply: %w", err)
+	}
+	peerCount := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return true, err
+	}
+	return true, finishVAppend(t, vs, batch, peerCount, r)
+}
+
+// verticalAppendServe is the serving side: the source must supply this
+// party's columns of exactly the announced records.
+func verticalAppendServe(t *Session, vs *vStream, r *transport.Reader) error {
+	s := t.s
+	peerCount := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	values, err := t.appendSource()(AppendRequest{PeerCount: peerCount})
+	if err != nil {
+		return fmt.Errorf("core: append source: %w", err)
+	}
+	if len(values) != peerCount {
+		return fmt.Errorf("core: append source returned %d records, want %d (vertical records are shared)", len(values), peerCount)
+	}
+	batch, err := encodeVBatch(s, values, len(vs.enc[0]))
+	if err != nil {
+		return err
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(uint64(len(batch)))
+	appendVCoords(s, msg, batch)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return fmt.Errorf("core: session append reply: %w", err)
+	}
+	return finishVAppend(t, vs, batch, peerCount, r)
+}
+
+// appendVCoords attaches this party's own-column cell coordinates of the
+// appended rows when pruning is on (tagged index disclosure, exactly the
+// per-row payload of the construction-time exchange).
+func appendVCoords(s *session, msg *transport.Builder, batch [][]int64) {
+	if !s.pruneOn {
+		return
+	}
+	rows := make([][]int64, len(batch))
+	for i, p := range batch {
+		rows[i] = spatial.Bucket(p, s.cellW)
+	}
+	spatial.EncodeCells(msg, rows)
+}
+
+// finishVAppend validates the peer half of the exchange (the already-
+// parsed count, and under pruning the peer's cell coordinates of the
+// same rows — r is positioned at them) and extends the session state.
+func finishVAppend(t *Session, vs *vStream, batch [][]int64, peerCount int, r *transport.Reader) error {
+	s := t.s
+	if peerCount != len(batch) {
+		return fmt.Errorf("core: append count %d vs peer %d (vertical records are shared)", len(batch), peerCount)
+	}
+	if s.pruneOn {
+		peerRows, err := spatial.DecodeCells(r, vs.peerDim)
+		if err != nil {
+			return fmt.Errorf("core: vdp index delta: %w", err)
+		}
+		if len(peerRows) != len(batch) {
+			return fmt.Errorf("core: vdp index delta has %d rows, want %d", len(peerRows), len(batch))
+		}
+		s.led(func(l *Ledger) {
+			l.IndexCellCoords += len(peerRows) * vs.peerDim
+			l.IndexDeltaCells += len(peerRows)
+		})
+		for i, p := range batch {
+			own := spatial.Bucket(p, s.cellW)
+			row := make([]int64, 0, len(own)+vs.peerDim)
+			if s.role == RoleAlice {
+				row = append(append(row, own...), peerRows[i]...)
+			} else {
+				row = append(append(row, peerRows[i]...), own...)
+			}
+			vs.cellRows = append(vs.cellRows, row)
+		}
+	}
+	vs.enc = append(vs.enc, batch...)
+	return nil
+}
+
+// encodeVBatch validates and encodes appended rows of this party's
+// columns.
+func encodeVBatch(s *session, values [][]float64, ownDim int) ([][]int64, error) {
+	batch, err := s.cfg.encodePoints(values)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range batch {
+		if len(p) != ownDim {
+			return nil, fmt.Errorf("core: appended record %d has %d attributes, want %d", i, len(p), ownDim)
+		}
+	}
+	return batch, nil
+}
+
 // verticalRunOnce executes one lockstep clustering over the established
-// session state.
-func verticalRunOnce(t *Session, enc [][]int64, cellRows [][]int64) (*Result, error) {
+// session state, seeded with the cross-run pair cache: pairs decided in
+// earlier runs never reach the comparison oracle again, but still record
+// their decision-level budget the first time each run consults them.
+func verticalRunOnce(t *Session, vs *vStream) (*Result, error) {
 	s := t.s
 	role := s.role
+	enc := vs.enc
+	cellRows := vs.cellRows
 	engA, engB, err := s.distEngines()
 	if err != nil {
 		return nil, err
 	}
 	onPruned := func([2]int) { s.led(func(l *Ledger) { l.PairDecisions++ }) }
+	onCached := func(pr [2]int, in bool) {
+		s.led(func(l *Ledger) { l.PairDecisions++ })
+		s.cmpCached.Add(1)
+	}
 	// Fixed comparison roles for the whole run: Alice always holds the
 	// left value (her partial sum PA), Bob the right (Eps² − PB).
 	pairLEBatchOn := func(conn transport.Conn, pairs [][2]int) ([]bool, error) {
@@ -128,7 +279,8 @@ func verticalRunOnce(t *Session, enc [][]int64, cellRows [][]int64) (*Result, er
 	var clusters int
 	switch {
 	case s.parallel() > 1:
-		labels, clusters, err = LockstepClusterParallel(len(enc), s.cfg.MinPts, s.parallel(),
+		labels, clusters, err = LockstepClusterParallelCached(len(enc), s.cfg.MinPts, s.parallel(),
+			vs.cache, onCached,
 			PrunedLocalDecider(cellRows, onPruned),
 			func(ch int, pairs [][2]int) ([]bool, error) { return pairLEBatchOn(t.conns[ch], pairs) })
 	case s.batched():
@@ -136,7 +288,7 @@ func verticalRunOnce(t *Session, enc [][]int64, cellRows [][]int64) (*Result, er
 		if s.pruneOn {
 			oracle = PrunedBatchOracle(cellRows, onPruned, oracle)
 		}
-		labels, clusters, err = LockstepClusterBatch(len(enc), s.cfg.MinPts, oracle)
+		labels, clusters, err = LockstepClusterBatchCached(len(enc), s.cfg.MinPts, vs.cache, onCached, oracle)
 	default:
 		pairLE := func(i, j int) (bool, error) {
 			setTag(t.conns[0], "vdp.cmp")
@@ -150,7 +302,7 @@ func verticalRunOnce(t *Session, enc [][]int64, cellRows [][]int64) (*Result, er
 		if s.pruneOn {
 			pairLE = PrunedPairOracle(cellRows, onPruned, pairLE)
 		}
-		labels, clusters, err = LockstepCluster(len(enc), s.cfg.MinPts, pairLE)
+		labels, clusters, err = LockstepClusterCached(len(enc), s.cfg.MinPts, vs.cache, onCached, pairLE)
 	}
 	if err != nil {
 		return nil, err

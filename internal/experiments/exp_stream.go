@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// E17 — streaming append-batch sweep. A long-lived session absorbs a
+// stream of appended points in batches of B and re-clusters after each
+// batch; the baseline rebuild re-runs a fresh session over the
+// concatenated data at every stage (what the pre-streaming stack had to
+// do). Distances between unchanged points are immutable, so the
+// incremental runs answer every previously-decided predicate from the
+// session's cross-run comparison cache and pay secure comparisons only
+// for (new × candidate) work: comparisons per stage drop from
+// O(n·candidates) toward O(Δ·candidates), and over a simulated WAN the
+// saved round trips translate into wall clock. The contract half is the
+// incremental-equivalence bar (labels byte-identical to the rebuild at
+// every stage) plus the delta index disclosure being first-class Ledger
+// state (IndexDeltaCells in the incremental session's setup leakage).
+// BenchE17 emits the JSON rows `make bench` archives in BENCH_E17.json.
+
+// e17Latency is the simulated one-way frame latency.
+func e17Latency(opt Options) time.Duration {
+	if opt.Quick {
+		return 2 * time.Millisecond
+	}
+	return 3 * time.Millisecond
+}
+
+// e17Batches is the append-batch sweep ladder; every B divides the
+// append stream, so all sweep points absorb the same points.
+func e17Batches(opt Options) (initial, appendTotal int, batches []int) {
+	if opt.Quick {
+		return 20, 8, []int{4, 8}
+	}
+	return 28, 16, []int{2, 4, 8}
+}
+
+// e17Stream builds the workload: a clustered point stream of
+// initial+appendTotal rows in arrival order.
+func e17Stream(opt Options) ([][]float64, core.Config) {
+	initial, appendTotal, _ := e17Batches(opt)
+	d := dataset.Blobs(initial+appendTotal, 3, 0.07, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+	cfg := qualityCfg(scaleEps(0.4), 4, 63, opt.seed())
+	return q.Points, cfg
+}
+
+// e17Split carves the arrival-ordered stream into the initial dataset
+// plus appends of size batch.
+func e17Split(stream [][]float64, initial, batch int) (init [][]float64, appends [][][]float64) {
+	init = stream[:initial]
+	for start := initial; start < len(stream); start += batch {
+		end := start + batch
+		if end > len(stream) {
+			end = len(stream)
+		}
+		appends = append(appends, stream[start:end])
+	}
+	return init, appends
+}
+
+// interleave splits rows between the two parties deterministically
+// (alternating), so every append batch lands on both sides.
+func interleave(rows [][]float64) (alice, bob [][]float64) {
+	for i, r := range rows {
+		if i%2 == 0 {
+			alice = append(alice, r)
+		} else {
+			bob = append(bob, r)
+		}
+	}
+	return alice, bob
+}
+
+// e17Family abstracts the two protocol families the sweep measures.
+type e17Family struct {
+	name string
+	// newSess constructs one side's session over the stage-0 data.
+	newSess func(conn transport.Conn, cfg core.Config, role core.Role, init [][]float64) (*core.Session, error)
+	// sideData projects one party's share of a row batch.
+	sideData func(rows [][]float64, role core.Role) [][]float64
+}
+
+func e17Families() []e17Family {
+	return []e17Family{
+		{
+			name: "horizontal",
+			newSess: func(conn transport.Conn, cfg core.Config, role core.Role, init [][]float64) (*core.Session, error) {
+				return core.NewHorizontalSession(conn, cfg, role, init)
+			},
+			sideData: func(rows [][]float64, role core.Role) [][]float64 {
+				a, b := interleave(rows)
+				if role == core.RoleAlice {
+					return a
+				}
+				return b
+			},
+		},
+		{
+			name: "vertical",
+			newSess: func(conn transport.Conn, cfg core.Config, role core.Role, init [][]float64) (*core.Session, error) {
+				return core.NewVerticalSession(conn, cfg, role, init)
+			},
+			sideData: func(rows [][]float64, role core.Role) [][]float64 {
+				col := 0
+				if role == core.RoleBob {
+					col = 1
+				}
+				out := make([][]float64, len(rows))
+				for i, r := range rows {
+					out[i] = []float64{r[col]}
+				}
+				return out
+			},
+		},
+	}
+}
+
+// e17Stage is one re-clustering stage's observables.
+type e17Stage struct {
+	resA, resB *core.Result
+	wall       time.Duration
+}
+
+// e17SessionPair runs matched Alice/Bob closures over latency pipes.
+func e17SessionPair(latency time.Duration,
+	aliceFn func(conn transport.Conn) error, bobFn func(conn transport.Conn) error) error {
+	ca, cb := transport.LatencyPipe(latency)
+	return transport.RunPair(ca, cb,
+		func(transport.Conn) error { return aliceFn(ca) },
+		func(transport.Conn) error { return bobFn(cb) })
+}
+
+// runE17Incremental drives one streaming session across all appends and
+// returns the per-stage outcomes plus the final setup ledgers.
+func runE17Incremental(fam e17Family, cfg core.Config, latency time.Duration, init [][]float64, appends [][][]float64) ([]e17Stage, core.Ledger, core.Ledger, error) {
+	var resA, resB []*core.Result
+	var walls []time.Duration
+	var setupA, setupB core.Ledger
+	var mu sync.Mutex
+	err := e17SessionPair(latency,
+		func(conn transport.Conn) error {
+			sess, err := fam.newSess(conn, cfg, core.RoleAlice, fam.sideData(init, core.RoleAlice))
+			if err != nil {
+				return err
+			}
+			drive := func() error {
+				start := time.Now()
+				res, err := sess.Run()
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				resA = append(resA, res)
+				walls = append(walls, time.Since(start))
+				mu.Unlock()
+				return nil
+			}
+			if err := drive(); err != nil {
+				return err
+			}
+			for _, batch := range appends {
+				if err := sess.Append(fam.sideData(batch, core.RoleAlice)); err != nil {
+					return err
+				}
+				if err := drive(); err != nil {
+					return err
+				}
+			}
+			mu.Lock()
+			setupA = sess.SetupLeakage()
+			mu.Unlock()
+			return sess.Close()
+		},
+		func(conn transport.Conn) error {
+			sess, err := fam.newSess(conn, cfg, core.RoleBob, fam.sideData(init, core.RoleBob))
+			if err != nil {
+				return err
+			}
+			stage := 0
+			sess.SetAppendSource(func(req core.AppendRequest) ([][]float64, error) {
+				if stage >= len(appends) {
+					return nil, fmt.Errorf("e17: unexpected append %d", stage)
+				}
+				b := fam.sideData(appends[stage], core.RoleBob)
+				stage++
+				return b, nil
+			})
+			for {
+				res, err := sess.Run()
+				if errors.Is(err, core.ErrSessionClosed) {
+					mu.Lock()
+					setupB = sess.SetupLeakage()
+					mu.Unlock()
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				resB = append(resB, res)
+				mu.Unlock()
+			}
+		})
+	if err != nil {
+		return nil, setupA, setupB, err
+	}
+	if len(resA) != len(resB) {
+		return nil, setupA, setupB, fmt.Errorf("e17: %d alice stages vs %d bob stages", len(resA), len(resB))
+	}
+	stages := make([]e17Stage, len(resA))
+	for i := range resA {
+		stages[i] = e17Stage{resA: resA[i], resB: resB[i], wall: walls[i]}
+	}
+	return stages, setupA, setupB, nil
+}
+
+// runE17Rebuild runs the per-stage fresh-session baseline: one new
+// session per stage over the concatenated prefix, timing only the run
+// (establishment excluded, so the comparison is run-work against
+// run-work — the rebuild is charged nothing for its repeated keygen and
+// index exchange).
+func runE17Rebuild(fam e17Family, cfg core.Config, latency time.Duration, init [][]float64, appends [][][]float64) ([]e17Stage, error) {
+	concat := append([][]float64{}, init...)
+	stages := make([]e17Stage, 0, len(appends)+1)
+	for s := 0; s <= len(appends); s++ {
+		if s > 0 {
+			concat = append(concat, appends[s-1]...)
+		}
+		var st e17Stage
+		var mu sync.Mutex
+		err := e17SessionPair(latency,
+			func(conn transport.Conn) error {
+				sess, err := fam.newSess(conn, cfg, core.RoleAlice, fam.sideData(concat, core.RoleAlice))
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				res, err := sess.Run()
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				st.resA = res
+				st.wall = time.Since(start)
+				mu.Unlock()
+				return sess.Close()
+			},
+			func(conn transport.Conn) error {
+				sess, err := fam.newSess(conn, cfg, core.RoleBob, fam.sideData(concat, core.RoleBob))
+				if err != nil {
+					return err
+				}
+				for {
+					res, err := sess.Run()
+					if errors.Is(err, core.ErrSessionClosed) {
+						return nil
+					}
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					st.resB = res
+					mu.Unlock()
+				}
+			})
+		if err != nil {
+			return nil, fmt.Errorf("e17 rebuild stage %d: %w", s, err)
+		}
+		stages = append(stages, st)
+	}
+	return stages, nil
+}
+
+func (s e17Stage) comparisons() int64 {
+	return s.resA.SecureComparisons + s.resB.SecureComparisons
+}
+
+func (s e17Stage) cached() int64 {
+	return s.resA.CachedComparisons + s.resB.CachedComparisons
+}
+
+// e17Point is one (family, batch size) sweep measurement.
+type e17Point struct {
+	family     string
+	batch      int
+	inc        []e17Stage
+	rebuild    []e17Stage
+	setupA     core.Ledger
+	setupB     core.Ledger
+	wallInc    time.Duration
+	wallReb    time.Duration
+	cmpInc     int64
+	cmpReb     int64
+	cachedHits int64
+}
+
+// e17Check enforces the sweep point's contract: per-stage labels match
+// the rebuild on both sides, every incremental stage after the first
+// issues strictly fewer secure comparisons, and the delta disclosure is
+// recorded.
+func (pt e17Point) check() error {
+	if len(pt.inc) != len(pt.rebuild) {
+		return fmt.Errorf("e17 %s B=%d: %d incremental stages vs %d rebuilds", pt.family, pt.batch, len(pt.inc), len(pt.rebuild))
+	}
+	for s := range pt.inc {
+		if !metrics.ExactMatch(pt.inc[s].resA.Labels, pt.rebuild[s].resA.Labels) ||
+			!metrics.ExactMatch(pt.inc[s].resB.Labels, pt.rebuild[s].resB.Labels) {
+			return fmt.Errorf("e17 %s B=%d stage %d: labels diverge from rebuild", pt.family, pt.batch, s)
+		}
+		if s > 0 && pt.inc[s].comparisons() >= pt.rebuild[s].comparisons() {
+			return fmt.Errorf("e17 %s B=%d stage %d: incremental %d comparisons, rebuild %d — want strictly fewer",
+				pt.family, pt.batch, s, pt.inc[s].comparisons(), pt.rebuild[s].comparisons())
+		}
+	}
+	if pt.setupA.IndexDeltaCells == 0 || pt.setupB.IndexDeltaCells == 0 {
+		return fmt.Errorf("e17 %s B=%d: no IndexDeltaCells recorded (setup %v / %v)", pt.family, pt.batch, pt.setupA, pt.setupB)
+	}
+	return nil
+}
+
+// runE17Sweep measures every (family, batch) point.
+func runE17Sweep(opt Options) ([]e17Point, error) {
+	stream, cfg := e17Stream(opt)
+	initial, _, batches := e17Batches(opt)
+	latency := e17Latency(opt)
+	var points []e17Point
+	for _, fam := range e17Families() {
+		for _, b := range batches {
+			init, appends := e17Split(stream, initial, b)
+			inc, setupA, setupB, err := runE17Incremental(fam, cfg, latency, init, appends)
+			if err != nil {
+				return nil, fmt.Errorf("e17 %s B=%d incremental: %w", fam.name, b, err)
+			}
+			reb, err := runE17Rebuild(fam, cfg, latency, init, appends)
+			if err != nil {
+				return nil, fmt.Errorf("e17 %s B=%d: %w", fam.name, b, err)
+			}
+			pt := e17Point{family: fam.name, batch: b, inc: inc, rebuild: reb, setupA: setupA, setupB: setupB}
+			// Stage 0 is identical work in both arms; the sweep aggregates
+			// the streaming stages, where the arms actually differ.
+			for s := 1; s < len(inc); s++ {
+				pt.wallInc += inc[s].wall
+				pt.wallReb += reb[s].wall
+				pt.cmpInc += inc[s].comparisons()
+				pt.cmpReb += reb[s].comparisons()
+				pt.cachedHits += inc[s].cached()
+			}
+			if err := pt.check(); err != nil {
+				return nil, err
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+func runE17(w io.Writer, opt Options) error {
+	points, err := runE17Sweep(opt)
+	if err != nil {
+		return err
+	}
+	initial, appendTotal, _ := e17Batches(opt)
+	fmt.Fprintf(w, "simulated one-way frame latency: %v; stream: %d initial + %d appended points\n",
+		e17Latency(opt), initial, appendTotal)
+	var t table
+	t.add("protocol", "batch", "appends", "cmp(incr)", "cmp(rebuild)", "reduction", "cached", "wall(incr)", "wall(rebuild)", "speedup")
+	for _, pt := range points {
+		t.add(pt.family, fmt.Sprint(pt.batch), fmt.Sprint(len(pt.inc)-1),
+			fmt.Sprint(pt.cmpInc), fmt.Sprint(pt.cmpReb),
+			fmt.Sprintf("%.2fx", float64(pt.cmpReb)/float64(max(pt.cmpInc, 1))),
+			fmt.Sprint(pt.cachedHits),
+			fmt.Sprint(pt.wallInc.Round(time.Millisecond)),
+			fmt.Sprint(pt.wallReb.Round(time.Millisecond)),
+			fmt.Sprintf("%.2fx", float64(pt.wallReb)/float64(max(pt.wallInc, 1))))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Every incremental stage's labels are byte-identical to a fresh session over the concatenated data; the cross-run cache answers previously-decided predicates, so streaming stages pay only (new × candidate) secure comparisons, and the index deltas are first-class Ledger state (IndexDeltaCells).")
+	return nil
+}
+
+// BenchE17Row is one BenchE17 measurement, JSON-serializable for the
+// perf trajectory file (BENCH_E17.json, written by `make bench`).
+type BenchE17Row struct {
+	Protocol        string  `json:"protocol"`
+	Batch           int     `json:"append_batch"`
+	Appends         int     `json:"appends"`
+	InitialN        int     `json:"initial_n"`
+	FinalN          int     `json:"final_n"`
+	LatencyMS       int64   `json:"latency_ms"`
+	CmpIncremental  int64   `json:"comparisons_incremental"`
+	CmpRebuild      int64   `json:"comparisons_rebuild"`
+	CmpReduction    float64 `json:"comparison_reduction"`
+	CachedHits      int64   `json:"cached_comparisons"`
+	WallIncMS       int64   `json:"wall_incremental_ms"`
+	WallRebuildMS   int64   `json:"wall_rebuild_ms"`
+	Speedup         float64 `json:"speedup_vs_rebuild"`
+	IndexDeltaCells int     `json:"index_delta_cells"`
+}
+
+// BenchE17 runs the streaming append sweep and returns structured
+// measurements, erroring if any stage diverges from its rebuild.
+func BenchE17(opt Options) ([]BenchE17Row, error) {
+	points, err := runE17Sweep(opt)
+	if err != nil {
+		return nil, err
+	}
+	initial, appendTotal, _ := e17Batches(opt)
+	var rows []BenchE17Row
+	for _, pt := range points {
+		rows = append(rows, BenchE17Row{
+			Protocol:        pt.family,
+			Batch:           pt.batch,
+			Appends:         len(pt.inc) - 1,
+			InitialN:        initial,
+			FinalN:          initial + appendTotal,
+			LatencyMS:       e17Latency(opt).Milliseconds(),
+			CmpIncremental:  pt.cmpInc,
+			CmpRebuild:      pt.cmpReb,
+			CmpReduction:    float64(pt.cmpReb) / float64(max(pt.cmpInc, 1)),
+			CachedHits:      pt.cachedHits,
+			WallIncMS:       pt.wallInc.Milliseconds(),
+			WallRebuildMS:   pt.wallReb.Milliseconds(),
+			Speedup:         float64(pt.wallReb) / float64(max(pt.wallInc, 1)),
+			IndexDeltaCells: pt.setupA.IndexDeltaCells + pt.setupB.IndexDeltaCells,
+		})
+	}
+	return rows, nil
+}

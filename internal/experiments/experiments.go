@@ -57,6 +57,7 @@ func All() []Experiment {
 		{"e14", "Grid-pruning ablation", "the Eps-grid candidate index cuts secure comparisons ≥3× on clustered data with identical labels and non-index Ledger classes", runE14},
 		{"e15", "Parallelism ablation", "the W-worker query scheduler overlaps round trips the lockstep schedule serializes — ≥1.5× wall clock on the vertical family at W=4 over a simulated WAN, with identical labels and Ledgers", runE15},
 		{"e16", "Session-concurrency sweep", "one server holding C concurrent sessions over a shared bounded crypto pool raises aggregate runs/sec from C=1 to C=4 over a simulated WAN, with every session byte-identical to the solo server", runE16},
+		{"e17", "Streaming append sweep", "a live session absorbing appended batches re-clusters at O(\u0394\u00b7candidates) cost: the cross-run comparison cache and delta index exchange cut secure comparisons and WAN wall clock vs per-stage rebuilds, with byte-identical labels at every stage", runE17},
 	}
 }
 
@@ -67,7 +68,7 @@ func (e ErrUnknownExperiment) Error() string {
 	return fmt.Sprintf("experiments: unknown experiment %q", e.ID)
 }
 
-// Run executes one experiment by id ("e1".."e16") or "all".
+// Run executes one experiment by id ("e1".."e17") or "all".
 func Run(id string, w io.Writer, opt Options) error {
 	id = strings.ToLower(strings.TrimSpace(id))
 	if id == "all" {

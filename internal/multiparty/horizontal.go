@@ -8,6 +8,7 @@ import (
 	"math/big"
 	mrand "math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/compare"
 	"repro/internal/core"
@@ -64,11 +65,20 @@ type HorizontalResult struct {
 	Labels      []int
 	NumClusters int
 	// RegionQueries counts the driving-side region queries this party
-	// issued (each reveals k−1 per-peer neighbour counts to it).
+	// issued (each reveals k−1 per-peer neighbour counts to it); cached
+	// queries count too — the decision-level budget convention.
 	RegionQueries int
+	// CachedCounts counts the per-peer membership predicates a
+	// MeshSession run answered from its cross-run cache instead of
+	// running HDP — zero for one-shot runs and a session's first run.
+	CachedCounts int64
 }
 
-// pairSession holds the cryptographic state shared with one specific peer.
+// pairSession holds the cryptographic state shared with one specific
+// peer, including the streaming structures: the peer's per-generation
+// directories, per-generation counts, and the driver-side cache mapping
+// our point index to the neighbour count over the peer's generation
+// prefix (permanently exact — distances are immutable).
 type pairSession struct {
 	paiKey  *paillier.PrivateKey
 	rsaKey  *yao.RSAKey
@@ -76,14 +86,173 @@ type pairSession struct {
 	peerRSA *yao.RSAPublicKey
 	cmpA    compare.Alice // we drive: we hold the left value
 	cmpB    compare.Bob   // we respond: peer holds the left value
-	peerN   int           // peer's record count
+	peerN   int           // peer's total record count
 	rng     *mrand.Rand   // per-query permutation when we respond
-	peerDir spatial.Directory
+
+	peerDirs   []spatial.Directory // per-generation padded directories (pruning)
+	peerGenCnt []int               // per-generation peer counts
+	cache      map[int]meshEntry   // own point → cached prefix count
+}
+
+// meshEntry caches one (own point, peer) region count over the peer's
+// generations [0, gens).
+type meshEntry struct {
+	count int
+	gens  int
+}
+
+// peerSuffix counts the peer's points in generations [from, …).
+func (sess *pairSession) peerSuffix(from int) int {
+	n := 0
+	for g := from; g < len(sess.peerGenCnt); g++ {
+		n += sess.peerGenCnt[g]
+	}
+	return n
 }
 
 // RunHorizontal executes the k-party horizontal protocol for one party.
-// All parties must call it concurrently over a consistent mesh.
+// All parties must call it concurrently over a consistent mesh. This is
+// the one-shot form; NewMeshSession adds streaming appends and cross-run
+// caching.
 func RunHorizontal(party HorizontalParty, cfg Config, points [][]float64) (*HorizontalResult, error) {
+	ms, err := NewMeshSession(party, cfg, points)
+	if err != nil {
+		return nil, err
+	}
+	return ms.Run()
+}
+
+// MeshSession is one party's long-lived mesh (k-party horizontal)
+// session: establishment once, many Run calls, Append between them —
+// every party calls the same method sequence concurrently.
+type MeshSession struct {
+	h    *hState
+	runs int
+}
+
+// NewMeshSession establishes the pairwise key/handshake/index state with
+// every peer.
+func NewMeshSession(party HorizontalParty, cfg Config, points [][]float64) (*MeshSession, error) {
+	h, err := newMeshState(party, cfg, points)
+	if err != nil {
+		return nil, err
+	}
+	return &MeshSession{h: h}, nil
+}
+
+// Runs reports the completed Run calls.
+func (ms *MeshSession) Runs() int { return ms.runs }
+
+// Run executes one k-pass clustering (each party drives once, in index
+// order) over the session state, reusing every cached region-count
+// prefix.
+func (ms *MeshSession) Run() (*HorizontalResult, error) {
+	h := ms.h
+	h.queries = 0
+	h.cached.Store(0)
+	var labels []int
+	var clusters int
+	var err error
+	for pass := 0; pass < h.party.K; pass++ {
+		if pass == h.party.Index {
+			labels, clusters, err = h.drive()
+		} else {
+			err = h.respond(pass)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("multiparty: pass %d: %w", pass, err)
+		}
+	}
+	ms.runs++
+	return &HorizontalResult{Labels: labels, NumClusters: clusters, RegionQueries: h.queries, CachedCounts: h.cached.Load()}, nil
+}
+
+// Append absorbs this party's appended batch: every party calls Append
+// concurrently with its own new points (any count, including none). Each
+// mesh edge swaps the batch count plus — under pruning — a
+// spatial.GridDelta of the touched cells; the points themselves never
+// cross the wire, and cached prefix counts stay valid because appended
+// generations only extend the suffix.
+func (ms *MeshSession) Append(points [][]float64) error {
+	h := ms.h
+	for i, row := range points {
+		if len(row) != h.m {
+			return fmt.Errorf("multiparty: appended point %d has %d attributes, want %d", i, len(row), h.m)
+		}
+	}
+	codec, err := fixedpoint.New(h.cfg.Scale, h.cfg.Offset)
+	if err != nil {
+		return err
+	}
+	enc, err := codec.EncodePoints(points)
+	if err != nil {
+		return err
+	}
+	for i, row := range enc {
+		for j, v := range row {
+			if v > h.cfg.MaxCoord {
+				return fmt.Errorf("multiparty: appended point %d attribute %d encodes to %d > MaxCoord %d", i, j, v, h.cfg.MaxCoord)
+			}
+		}
+	}
+	var delta spatial.Directory
+	if h.pruneOn {
+		if delta, err = h.ownStack.Append(enc); err != nil {
+			return err
+		}
+	}
+	gen := len(h.ownGenStart) + 1 // 1-based generation number of this delta
+	p := h.party
+	for q := 0; q < p.K; q++ {
+		if q == p.Index {
+			continue
+		}
+		sess := h.sessions[q]
+		conn := p.Conns[q]
+		msg := transport.NewBuilder().PutUint(uint64(len(enc)))
+		if h.pruneOn {
+			spatial.GridDelta{Gen: gen, Dir: delta}.Encode(msg)
+		}
+		// The lower-indexed party sends first, as in the establishment
+		// index exchange, so simultaneous appends cannot deadlock a real
+		// socket.
+		var r *transport.Reader
+		if p.Index < q {
+			if err = transport.SendMsg(conn, msg); err == nil {
+				r, err = transport.RecvMsg(conn)
+			}
+		} else {
+			if r, err = transport.RecvMsg(conn); err == nil {
+				err = transport.SendMsg(conn, msg)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("multiparty: append exchange with %d: %w", q, err)
+		}
+		peerCount := int(r.Uint())
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if peerCount < 0 {
+			return fmt.Errorf("multiparty: party %d appends %d points", q, peerCount)
+		}
+		if h.pruneOn {
+			peerDelta, err := spatial.DecodeGridDelta(r, h.m, h.cfg.PruneQuantum, len(sess.peerDirs)+1)
+			if err != nil {
+				return fmt.Errorf("multiparty: append delta from %d: %w", q, err)
+			}
+			sess.peerDirs = append(sess.peerDirs, peerDelta.Dir)
+		}
+		sess.peerGenCnt = append(sess.peerGenCnt, peerCount)
+		sess.peerN += peerCount
+	}
+	h.ownGenStart = append(h.ownGenStart, len(h.enc))
+	h.enc = append(h.enc, enc...)
+	return nil
+}
+
+// newMeshState performs the mesh establishment.
+func newMeshState(party HorizontalParty, cfg Config, points [][]float64) (*hState, error) {
 	if err := party.validate(); err != nil {
 		return nil, err
 	}
@@ -131,8 +300,9 @@ func RunHorizontal(party HorizontalParty, cfg Config, points [][]float64) (*Hori
 
 	h := &hState{
 		party: party, cfg: cfg, enc: enc, epsSq: epsSq, random: random,
-		bound: int64(m) * cfg.MaxCoord * cfg.MaxCoord,
-		m:     m,
+		bound:       int64(m) * cfg.MaxCoord * cfg.MaxCoord,
+		m:           m,
+		ownGenStart: []int{0},
 	}
 	if h.bound <= 0 || h.bound > int64(1)<<50 {
 		return nil, fmt.Errorf("multiparty: dist² bound %d out of range", h.bound)
@@ -145,31 +315,19 @@ func RunHorizontal(party HorizontalParty, cfg Config, points [][]float64) (*Hori
 	h.pruneOn = cfg.Pruning == core.PruneGrid && h.epsSq < h.bound
 	if h.pruneOn {
 		h.cellW = spatial.CellWidth(h.epsSq)
-		grid, err := spatial.NewGrid(enc, h.cellW)
+		st, err := spatial.NewStack(h.cellW, h.m, cfg.PruneQuantum)
 		if err != nil {
 			return nil, err
 		}
-		h.ownGrid = grid
-		h.ownDir = grid.Directory(cfg.PruneQuantum)
+		if _, err := st.Append(enc); err != nil {
+			return nil, err
+		}
+		h.ownStack = st
 	}
 	if err := h.handshakeAll(); err != nil {
 		return nil, err
 	}
-
-	// Passes in party-index order; everyone agrees on the schedule.
-	var labels []int
-	var clusters int
-	for pass := 0; pass < party.K; pass++ {
-		if pass == party.Index {
-			labels, clusters, err = h.drive()
-		} else {
-			err = h.respond(pass)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("multiparty: pass %d: %w", pass, err)
-		}
-	}
-	return &HorizontalResult{Labels: labels, NumClusters: clusters, RegionQueries: h.queries}, nil
+	return h, nil
 }
 
 // hState is one party's runtime for the k-party horizontal protocol.
@@ -184,11 +342,12 @@ type hState struct {
 
 	sessions []*pairSession // indexed by peer
 	queries  int
+	cached   atomic.Int64 // membership predicates served from cache this run
 
-	pruneOn bool
-	cellW   int64
-	ownGrid *spatial.Grid
-	ownDir  spatial.Directory
+	pruneOn     bool
+	cellW       int64
+	ownStack    *spatial.Stack // own per-generation grids/directories (pruning)
+	ownGenStart []int          // global index of each own generation's first point
 }
 
 // handshakeAll establishes a pairwise session with every peer: key
@@ -271,7 +430,8 @@ func (h *hState) handshakeAll() error {
 		case pM != h.m:
 			return fmt.Errorf("%w: dimension %d vs %d with party %d", ErrHandshake, h.m, pM, q)
 		}
-		sess := &pairSession{paiKey: paiKey, rsaKey: rsaKey, peerN: pN}
+		sess := &pairSession{paiKey: paiKey, rsaKey: rsaKey, peerN: pN,
+			peerGenCnt: []int{pN}, cache: make(map[int]meshEntry)}
 		sess.peerPai, err = paillier.UnmarshalPublicKey(paiB)
 		if err != nil {
 			return err
@@ -293,7 +453,7 @@ func (h *hState) handshakeAll() error {
 			// (core.exchangeIndex): padded occupancy directories per pair.
 			// The lower-indexed party sends first so large directory frames
 			// cannot deadlock a real socket on simultaneous sends.
-			msg := h.ownDir.Encode(transport.NewBuilder())
+			msg := h.ownStack.Dir(0).Encode(transport.NewBuilder())
 			var ir *transport.Reader
 			var err error
 			if p.Index < q {
@@ -308,10 +468,11 @@ func (h *hState) handshakeAll() error {
 			if err != nil {
 				return fmt.Errorf("index exchange with %d: %w", q, err)
 			}
-			sess.peerDir, err = spatial.DecodeDirectory(ir, h.m, h.cfg.PruneQuantum)
+			dir, err := spatial.DecodeDirectory(ir, h.m, h.cfg.PruneQuantum)
 			if err != nil {
 				return fmt.Errorf("index exchange with %d: %w", q, err)
 			}
+			sess.peerDirs = []spatial.Directory{dir}
 		}
 		h.sessions[q] = sess
 	}
@@ -344,8 +505,9 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 
 // meshHandshakeVersion guards against protocol drift between binaries;
 // version 2 added the Pruning parameters to the pairwise handshake;
-// version 3 added the Parallel fan-out width.
-const meshHandshakeVersion = 3
+// version 3 added the Parallel fan-out width; version 4 added the
+// generation watermark on query op frames and the append delta exchange.
+const meshHandshakeVersion = 4
 
 // Ops on the driver→responder control channel (per peer connection).
 const (
@@ -399,7 +561,7 @@ func (h *hState) localRegionQuery(i int) []int {
 // region query costs the slowest peer's round trips instead of the sum;
 // the per-peer counts, and therefore the total and every disclosure, are
 // unchanged.
-func (h *hState) totalCount(x []int64) (int, error) {
+func (h *hState) totalCount(i int) (int, error) {
 	h.queries++
 	if h.cfg.Parallel > 1 {
 		counts := make([]int, h.party.K)
@@ -412,7 +574,7 @@ func (h *hState) totalCount(x []int64) (int, error) {
 			wg.Add(1)
 			go func(q int) {
 				defer wg.Done()
-				counts[q], errs[q] = h.queryPeer(q, x)
+				counts[q], errs[q] = h.queryPeer(q, i)
 			}(q)
 		}
 		wg.Wait()
@@ -430,7 +592,7 @@ func (h *hState) totalCount(x []int64) (int, error) {
 		if q == h.party.Index {
 			continue
 		}
-		c, err := h.queryPeer(q, x)
+		c, err := h.queryPeer(q, i)
 		if err != nil {
 			return 0, fmt.Errorf("querying party %d: %w", q, err)
 		}
@@ -439,20 +601,45 @@ func (h *hState) totalCount(x []int64) (int, error) {
 	return total, nil
 }
 
-// queryPeer runs one two-party HDP region query against peer q. Under
-// grid pruning the query announces its candidate cells and runs only over
-// their padded occupancy; no candidates means no frames at all.
-func (h *hState) queryPeer(q int, x []int64) (int, error) {
+// queryPeer runs one two-party HDP region query against peer q for our
+// point i. The cross-run cache splits the count at a generation
+// watermark: the prefix comes from an earlier run, and only the peer's
+// suffix generations enter the cryptographic phases (announced as
+// fromGen on the op frame). A fully-cached query — or one whose suffix
+// candidate set is empty — issues no frames at all. Under grid pruning
+// the suffix query announces candidate cells out of the peer's suffix
+// directories and runs over their padded occupancy.
+func (h *hState) queryPeer(q, i int) (int, error) {
 	sess := h.sessions[q]
 	conn := h.party.Conns[q]
 	if sess.peerN == 0 {
 		return 0, nil
 	}
-	nCand := sess.peerN
-	msg := transport.NewBuilder().PutUint(hOpQuery)
+	base, fromGen := 0, 0
+	if e, ok := sess.cache[i]; ok {
+		base, fromGen = e.count, e.gens
+	}
+	gens := len(sess.peerGenCnt)
+	suffix := sess.peerSuffix(fromGen)
+	h.cached.Add(int64(sess.peerN - suffix))
+	finish := func(count int) int {
+		sess.cache[i] = meshEntry{count: count, gens: gens}
+		return count
+	}
+	if suffix == 0 {
+		return finish(base), nil
+	}
+	x := h.enc[i]
+	nCand := suffix
+	msg := transport.NewBuilder().PutUint(hOpQuery).PutUint(uint64(fromGen))
 	if h.pruneOn {
-		cells, total := sess.peerDir.Candidates(spatial.Bucket(x, h.cellW))
-		usePrune := total < sess.peerN
+		cells, total := spatial.CandidatesRange(sess.peerDirs, fromGen, spatial.Bucket(x, h.cellW))
+		usePrune := total < suffix
+		if usePrune && total == 0 {
+			// No candidate cells in the suffix: the index already implies
+			// zero suffix neighbours; nothing to announce.
+			return finish(base), nil
+		}
 		msg.PutBool(usePrune)
 		if usePrune {
 			nCand = total
@@ -460,9 +647,6 @@ func (h *hState) queryPeer(q int, x []int64) (int, error) {
 		}
 		if err := transport.SendMsg(conn, msg); err != nil {
 			return 0, err
-		}
-		if nCand == 0 {
-			return 0, nil
 		}
 	} else if err := transport.SendMsg(conn, msg); err != nil {
 		return 0, err
@@ -491,8 +675,8 @@ func (h *hState) queryPeer(q int, x []int64) (int, error) {
 	count := 0
 	if h.cfg.Batching == core.BatchModeBatched {
 		vs := make([]int64, nCand)
-		for i := range vs {
-			vs[i] = ownSum
+		for t := range vs {
+			vs[t] = ownSum
 		}
 		ins, err := sess.cmpA.BatchLess(conn, vs)
 		if err != nil {
@@ -503,9 +687,9 @@ func (h *hState) queryPeer(q int, x []int64) (int, error) {
 				count++
 			}
 		}
-		return count, nil
+		return finish(base + count), nil
 	}
-	for i := 0; i < nCand; i++ {
+	for t := 0; t < nCand; t++ {
 		in, err := sess.cmpA.Less(conn, ownSum)
 		if err != nil {
 			return 0, err
@@ -514,13 +698,13 @@ func (h *hState) queryPeer(q int, x []int64) (int, error) {
 			count++
 		}
 	}
-	return count, nil
+	return finish(base + count), nil
 }
 
 // expand is Algorithm 4 with multi-peer counts.
 func (h *hState) expand(point, clusterID int, labels []int) (bool, error) {
 	seeds := h.localRegionQuery(point)
-	remote, err := h.totalCount(h.enc[point])
+	remote, err := h.totalCount(point)
 	if err != nil {
 		return false, err
 	}
@@ -541,7 +725,7 @@ func (h *hState) expand(point, clusterID int, labels []int) (bool, error) {
 		cur := queue[0]
 		queue = queue[1:]
 		result := h.localRegionQuery(cur)
-		remote, err := h.totalCount(h.enc[cur])
+		remote, err := h.totalCount(cur)
 		if err != nil {
 			return false, err
 		}
@@ -586,12 +770,22 @@ func (h *hState) respond(driver int) error {
 	}
 }
 
-// serveQuery answers one HDP region query over our own (permuted) points.
-// Under grid pruning the op frame carries the candidate cells; we serve
-// their real members padded with always-out-of-range dummies to the
-// disclosed counts, exactly as core.hdpServeCompare.
+// serveQuery answers one HDP region query over our own (permuted) points
+// of the generations the driver's fromGen watermark names — its cache
+// already covers the prefix. Under grid pruning the op frame carries the
+// candidate cells; we serve their real members padded with
+// always-out-of-range dummies to the disclosed stacked counts, exactly
+// as core.hdpServeCompare.
 func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport.Reader) error {
-	pts := h.enc
+	fromGen := int(r.Uint())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	gens := len(h.ownGenStart)
+	if fromGen < 0 || fromGen >= gens {
+		return fmt.Errorf("multiparty: query watermark %d of %d generations", fromGen, gens)
+	}
+	pts := h.enc[h.ownGenStart[fromGen]:]
 	nDummy := 0
 	if h.pruneOn {
 		usePrune := r.Bool()
@@ -603,7 +797,7 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport
 			if err != nil {
 				return fmt.Errorf("multiparty: query cells: %w", err)
 			}
-			members, pad, err := h.ownDir.ResolveQuery(h.ownGrid, cells)
+			members, pad, err := h.ownStack.ResolveRange(fromGen, cells)
 			if err != nil {
 				return fmt.Errorf("multiparty: query cells: %w", err)
 			}

@@ -208,9 +208,15 @@ type Result struct {
 	Labels        []int
 	NumClusters   int
 	PairDecisions int // pairwise within-Eps bits revealed to all parties
+	// CachedPairs counts the pair decisions a RingSession run answered
+	// from its cross-run cache instead of circulating — zero for one-shot
+	// runs and for a session's first run. Cached pairs still count in
+	// PairDecisions (the decision-level budget), mirroring
+	// core.Result.CachedComparisons.
+	CachedPairs int
 	// IndexCellCoords counts the per-record cell coordinates this party
-	// received in the grid-pruning index circulation (0 with pruning off)
-	// — the ring analogue of core.Ledger.IndexCellCoords.
+	// received in the grid-pruning index circulations so far (0 with
+	// pruning off) — the ring analogue of core.Ledger.IndexCellCoords.
 	IndexCellCoords int
 }
 
@@ -283,46 +289,59 @@ func decodeToken(r *transport.Reader) (handshakeToken, error) {
 
 // Run executes the k-party vertical protocol for one party. attrs is this
 // party's n × ownDim column slice. Every party must call Run concurrently
-// with a consistent ring.
+// with a consistent ring. This is the one-shot form — streaming arrival
+// uses NewRingSession, whose Append absorbs new records and whose
+// repeated Run calls reuse the cross-run pair cache.
 func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
-	if err := party.validate(); err != nil {
+	rs, err := NewRingSession(party, cfg, attrs)
+	if err != nil {
 		return nil, err
+	}
+	return rs.Run()
+}
+
+// newRingState performs the ring session establishment: validation,
+// encoding, handshake, engines, and (under pruning) the initial cell
+// circulation.
+func newRingState(party Party, cfg Config, attrs [][]float64) (*state, [][]int64, error) {
+	if err := party.validate(); err != nil {
+		return nil, nil, err
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(attrs) == 0 {
-		return nil, fmt.Errorf("multiparty: party %d holds no records", party.Index)
+		return nil, nil, fmt.Errorf("multiparty: party %d holds no records", party.Index)
 	}
 	ownDim := len(attrs[0])
 	for i, row := range attrs {
 		if len(row) != ownDim {
-			return nil, fmt.Errorf("multiparty: record %d has %d attributes, want %d", i, len(row), ownDim)
+			return nil, nil, fmt.Errorf("multiparty: record %d has %d attributes, want %d", i, len(row), ownDim)
 		}
 	}
 	if ownDim < 1 {
-		return nil, fmt.Errorf("multiparty: party %d owns no attributes", party.Index)
+		return nil, nil, fmt.Errorf("multiparty: party %d owns no attributes", party.Index)
 	}
 
 	codec, err := fixedpoint.New(cfg.Scale, cfg.Offset)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	enc, err := codec.EncodePoints(attrs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i, row := range enc {
 		for j, v := range row {
 			if v > cfg.MaxCoord {
-				return nil, fmt.Errorf("multiparty: record %d attribute %d encodes to %d > MaxCoord %d", i, j, v, cfg.MaxCoord)
+				return nil, nil, fmt.Errorf("multiparty: record %d attribute %d encodes to %d > MaxCoord %d", i, j, v, cfg.MaxCoord)
 			}
 		}
 	}
 	epsSq, err := codec.EpsSquared(cfg.Eps)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	random := cfg.Random
 	if random == nil {
@@ -336,10 +355,10 @@ func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
 	st.prevs = edgeChannels(party.Prev, cfg.Parallel)
 	st.nexts = edgeChannels(party.Next, cfg.Parallel)
 	if err := st.handshake(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := st.buildEngines(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Grid pruning: circulate the per-record cell matrix (each party's
 	// own-column cells, tag ring.idx), then decide non-adjacent pairs out
@@ -347,36 +366,23 @@ func Run(party Party, cfg Config, attrs [][]float64) (*Result, error) {
 	// circulate. Pruned pairs still count as pair decisions (the index
 	// implies the bit), so PairDecisions is identical across modes.
 	var cellRows [][]int64
-	if cfg.Pruning == core.PruneGrid && st.epsSq < st.bound {
+	if st.pruneOn() {
 		if cellRows, err = st.exchangeCells(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	onPruned := func([2]int) { st.pairCount.Add(1) }
+	return st, cellRows, nil
+}
 
-	var labels []int
-	var clusters int
-	switch {
-	case cfg.Parallel > 1:
-		labels, clusters, err = core.LockstepClusterParallel(len(enc), cfg.MinPts, cfg.Parallel,
-			core.PrunedLocalDecider(cellRows, onPruned), st.pairLEBatchOn)
-	case cfg.Batching == core.BatchModeBatched:
-		oracle := func(pairs [][2]int) ([]bool, error) { return st.pairLEBatchOn(0, pairs) }
-		if cellRows != nil {
-			oracle = core.PrunedBatchOracle(cellRows, onPruned, oracle)
-		}
-		labels, clusters, err = core.LockstepClusterBatch(len(enc), cfg.MinPts, oracle)
-	default:
-		oracle := st.pairLE
-		if cellRows != nil {
-			oracle = core.PrunedPairOracle(cellRows, onPruned, oracle)
-		}
-		labels, clusters, err = core.LockstepCluster(len(enc), cfg.MinPts, oracle)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Labels: labels, NumClusters: clusters, PairDecisions: int(st.pairCount.Load()), IndexCellCoords: st.idxCoords}, nil
+// pruneOn mirrors the two-party criterion: requested and geometrically
+// useful.
+func (st *state) pruneOn() bool {
+	return st.cfg.Pruning == core.PruneGrid && st.epsSq < st.bound
+}
+
+// codec rebuilds the fixed-point codec of the session's configuration.
+func (st *state) codec() (*fixedpoint.Codec, error) {
+	return fixedpoint.New(st.cfg.Scale, st.cfg.Offset)
 }
 
 // state is one party's runtime for the ring protocol.
@@ -565,12 +571,21 @@ func (st *state) finishDims(m int) error {
 // party order, matching the virtual column order), lap 2 broadcasts the
 // completed matrix, so every party prunes over identical cell rows.
 func (st *state) exchangeCells() ([][]int64, error) {
-	prev, next := st.prevs[0], st.nexts[0]
 	w := spatial.CellWidth(st.epsSq)
 	own := make([][]int64, len(st.enc))
 	for i, row := range st.enc {
 		own[i] = spatial.Bucket(row, w)
 	}
+	return st.circulateCells(own)
+}
+
+// circulateCells runs the two-lap cell circulation over one batch of
+// rows (the whole dataset at establishment; just the appended rows for a
+// streaming delta). Row-count validation doubles as the ring-wide
+// agreement check that every party appended the same records.
+func (st *state) circulateCells(own [][]int64) ([][]int64, error) {
+	prev, next := st.prevs[0], st.nexts[0]
+	nRows := len(own)
 	encode := func(rows [][]int64) *transport.Builder {
 		return spatial.EncodeCells(transport.NewBuilder(), rows)
 	}
@@ -579,8 +594,8 @@ func (st *state) exchangeCells() ([][]int64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("multiparty: ring index: %w", err)
 		}
-		if len(rows) != len(st.enc) {
-			return nil, fmt.Errorf("multiparty: ring index has %d rows, want %d", len(rows), len(st.enc))
+		if len(rows) != nRows {
+			return nil, fmt.Errorf("multiparty: ring index has %d rows, want %d", len(rows), nRows)
 		}
 		for i, row := range rows {
 			if len(row) != len(rows[0]) {
@@ -593,6 +608,9 @@ func (st *state) exchangeCells() ([][]int64, error) {
 	ownDim := len(st.enc[0])
 
 	var full [][]int64
+	if nRows == 0 {
+		return nil, nil
+	}
 	if st.isCoordinator() {
 		if err := transport.SendMsg(next, encode(own)); err != nil {
 			return nil, fmt.Errorf("multiparty: ring index send: %w", err)
@@ -620,8 +638,8 @@ func (st *state) exchangeCells() ([][]int64, error) {
 		if err != nil {
 			return nil, err
 		}
-		appended := make([][]int64, len(st.enc))
-		for i := range st.enc {
+		appended := make([][]int64, nRows)
+		for i := 0; i < nRows; i++ {
 			appended[i] = append(append([]int64{}, soFar[i]...), own[i]...)
 		}
 		if err := transport.SendMsg(next, encode(appended)); err != nil {
@@ -639,7 +657,7 @@ func (st *state) exchangeCells() ([][]int64, error) {
 			return nil, err
 		}
 	}
-	st.idxCoords = len(st.enc) * (m - ownDim)
+	st.idxCoords += nRows * (m - ownDim)
 	return full, nil
 }
 

@@ -1,0 +1,194 @@
+// Streaming sessions for the multiparty extensions. NewRingSession and
+// NewMeshSession split establishment (handshake, keys, index
+// circulation) from runs exactly like core.Session, and add Append: all
+// k parties call the same method sequence concurrently — Run/Append are
+// ring- (or mesh-) synchronous group operations, the k-party analogue of
+// the two-party control channel. Across runs each session keeps the
+// cross-run comparison caches of the two-party stack: the ring reuses
+// pair bits (public to every party, so all caches agree and the seeded
+// lockstep drivers stay in lock step), the mesh reuses per-(point, peer)
+// region-count prefixes with generation-scoped suffix queries.
+package multiparty
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/spatial"
+	"repro/internal/transport"
+)
+
+// RingSession is one party's half of a long-lived ring (k-party
+// vertical) session.
+type RingSession struct {
+	st       *state
+	cellRows [][]int64
+	cache    *core.PairCache
+	cached   atomic.Int64
+	runs     int
+}
+
+// NewRingSession establishes the ring session; every party must
+// construct its session concurrently with a consistent ring.
+func NewRingSession(party Party, cfg Config, attrs [][]float64) (*RingSession, error) {
+	st, cellRows, err := newRingState(party, cfg, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &RingSession{st: st, cellRows: cellRows, cache: core.NewPairCache()}, nil
+}
+
+// Runs reports the completed Run calls.
+func (rs *RingSession) Runs() int { return rs.runs }
+
+// Append absorbs one batch of appended records: every party calls Append
+// concurrently with its own column slice of the same new records (counts
+// are verified ring-wide). Under pruning the new rows' cell coordinates
+// circulate exactly like the establishment matrix, extending every
+// party's copy identically; decided-pair bits for existing records stay
+// valid (distances are immutable), so the next Run pays only for pairs
+// involving new records.
+func (rs *RingSession) Append(attrs [][]float64) error {
+	st := rs.st
+	ownDim := len(st.enc[0])
+	for i, row := range attrs {
+		if len(row) != ownDim {
+			return fmt.Errorf("multiparty: appended record %d has %d attributes, want %d", i, len(row), ownDim)
+		}
+	}
+	codec, err := st.codec()
+	if err != nil {
+		return err
+	}
+	enc, err := codec.EncodePoints(attrs)
+	if err != nil {
+		return err
+	}
+	for i, row := range enc {
+		for j, v := range row {
+			if v > st.cfg.MaxCoord {
+				return fmt.Errorf("multiparty: appended record %d attribute %d encodes to %d > MaxCoord %d", i, j, v, st.cfg.MaxCoord)
+			}
+		}
+	}
+	if err := st.circulateCount(len(enc)); err != nil {
+		return err
+	}
+	if st.pruneOn() && len(enc) > 0 {
+		w := spatial.CellWidth(st.epsSq)
+		own := make([][]int64, len(enc))
+		for i, row := range enc {
+			own[i] = spatial.Bucket(row, w)
+		}
+		rows, err := st.circulateCells(own)
+		if err != nil {
+			return err
+		}
+		rs.cellRows = append(rs.cellRows, rows...)
+	}
+	st.enc = append(st.enc, enc...)
+	return nil
+}
+
+// Run executes one lockstep clustering over the session state, seeded
+// with the cross-run pair cache. Result.PairDecisions covers this run
+// only (cached pairs included — the decision-level budget convention);
+// Result.CachedPairs reports the cache's contribution.
+func (rs *RingSession) Run() (*Result, error) {
+	st := rs.st
+	cfg := st.cfg
+	startPairs := st.pairCount.Load()
+	rs.cached.Store(0)
+	onPruned := func([2]int) { st.pairCount.Add(1) }
+	onCached := func(pr [2]int, in bool) {
+		st.pairCount.Add(1)
+		rs.cached.Add(1)
+	}
+
+	var labels []int
+	var clusters int
+	var err error
+	switch {
+	case cfg.Parallel > 1:
+		labels, clusters, err = core.LockstepClusterParallelCached(len(st.enc), cfg.MinPts, cfg.Parallel,
+			rs.cache, onCached,
+			core.PrunedLocalDecider(rs.cellRows, onPruned), st.pairLEBatchOn)
+	case cfg.Batching == core.BatchModeBatched:
+		oracle := func(pairs [][2]int) ([]bool, error) { return st.pairLEBatchOn(0, pairs) }
+		if rs.cellRows != nil {
+			oracle = core.PrunedBatchOracle(rs.cellRows, onPruned, oracle)
+		}
+		labels, clusters, err = core.LockstepClusterBatchCached(len(st.enc), cfg.MinPts, rs.cache, onCached, oracle)
+	default:
+		oracle := st.pairLE
+		if rs.cellRows != nil {
+			oracle = core.PrunedPairOracle(rs.cellRows, onPruned, oracle)
+		}
+		labels, clusters, err = core.LockstepClusterCached(len(st.enc), cfg.MinPts, rs.cache, onCached, oracle)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rs.runs++
+	return &Result{
+		Labels:          labels,
+		NumClusters:     clusters,
+		PairDecisions:   int(st.pairCount.Load() - startPairs),
+		CachedPairs:     int(rs.cached.Load()),
+		IndexCellCoords: st.idxCoords,
+	}, nil
+}
+
+// circulateCount verifies ring-wide agreement on an appended record
+// count: lap 1 carries the coordinator's count for everyone to check,
+// lap 2 acknowledges, so no party proceeds into the cell circulation (or
+// grows its matrix) on a mismatched batch.
+func (st *state) circulateCount(n int) error {
+	prev, next := st.prevs[0], st.nexts[0]
+	if st.isCoordinator() {
+		if err := transport.SendMsg(next, transport.NewBuilder().PutUint(uint64(n))); err != nil {
+			return fmt.Errorf("multiparty: append count send: %w", err)
+		}
+		r, err := transport.RecvMsg(prev)
+		if err != nil {
+			return fmt.Errorf("multiparty: append count return: %w", err)
+		}
+		got := int(r.Uint())
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if got != n {
+			return fmt.Errorf("multiparty: append count disagreement: %d vs %d", n, got)
+		}
+		// Lap 2: release the ring.
+		if err := transport.SendMsg(next, transport.NewBuilder().PutUint(uint64(n))); err != nil {
+			return err
+		}
+		_, err = transport.RecvMsg(prev)
+		return err
+	}
+	r, err := transport.RecvMsg(prev)
+	if err != nil {
+		return fmt.Errorf("multiparty: append count recv: %w", err)
+	}
+	got := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if got != n {
+		return fmt.Errorf("multiparty: append count disagreement: %d vs %d (records are shared)", n, got)
+	}
+	if err := transport.SendMsg(next, transport.NewBuilder().PutUint(uint64(n))); err != nil {
+		return err
+	}
+	// Lap 2.
+	r2, err := transport.RecvMsg(prev)
+	if err != nil {
+		return err
+	}
+	if int(r2.Uint()) != n || r2.Err() != nil {
+		return fmt.Errorf("multiparty: append count release mismatch")
+	}
+	return transport.SendMsg(next, transport.NewBuilder().PutUint(uint64(n)))
+}

@@ -1,0 +1,268 @@
+package multiparty
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// The multiparty incremental-equivalence harness: a ring (or mesh)
+// session absorbing appended batches must, after each append, produce
+// labels and decision-level disclosure counts byte-identical to a
+// one-shot run over the concatenated data — on every party — while
+// actually reusing its cross-run cache.
+
+// streamRows is the shared record stream of the ring case: initial rows
+// plus two appended batches (3-D records so a 3-party ring owns one
+// column each).
+var streamRows = struct {
+	init    [][]float64
+	batches [][][]float64
+}{
+	init: [][]float64{
+		{1, 1, 1}, {2, 1, 1}, {1, 2, 1}, {2, 2, 2},
+		{9, 9, 9}, {9, 8, 9}, {8, 9, 8}, {5, 5, 5},
+	},
+	batches: [][][]float64{
+		{{2, 2, 1}, {9, 9, 8}},
+		{{1, 1, 2}, {8, 8, 9}, {12, 2, 7}},
+	},
+}
+
+func streamConcat(stage int) [][]float64 {
+	out := append([][]float64{}, streamRows.init...)
+	for i := 0; i < stage; i++ {
+		out = append(out, streamRows.batches[i]...)
+	}
+	return out
+}
+
+// runRingStream drives k concurrent RingSessions through an initial run
+// plus one append+run per stage, returning per-stage results per party.
+func runRingStream(t *testing.T, cfg Config, k, stages int) [][]*Result {
+	t.Helper()
+	parties := NewLocalRing(k)
+	out := make([][]*Result, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer parties[p].Next.Close()
+			defer parties[p].Prev.Close()
+			slices := splitColumns(streamRows.init, k)
+			rs, err := NewRingSession(parties[p], cfg, slices[p])
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			res, err := rs.Run()
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			out[p] = append(out[p], res)
+			for stage := 0; stage < stages; stage++ {
+				batch := splitColumns(streamRows.batches[stage], k)
+				if err := rs.Append(batch[p]); err != nil {
+					errs[p] = err
+					return
+				}
+				res, err := rs.Run()
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				out[p] = append(out[p], res)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func testRingIncremental(t *testing.T, cfg Config) {
+	t.Helper()
+	const k, stages = 3, 2
+	inc := runRingStream(t, cfg, k, stages)
+	for stage := 0; stage <= stages; stage++ {
+		fresh, err := runRing(t, cfg, splitColumns(streamConcat(stage), k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < k; p++ {
+			got := inc[p][stage]
+			if !metrics.ExactMatch(got.Labels, fresh[p].Labels) {
+				t.Errorf("stage %d party %d: labels %v, fresh ring %v", stage, p, got.Labels, fresh[p].Labels)
+			}
+			if got.PairDecisions != fresh[p].PairDecisions {
+				t.Errorf("stage %d party %d: %d pair decisions, fresh ring %d", stage, p, got.PairDecisions, fresh[p].PairDecisions)
+			}
+			if stage > 0 && got.CachedPairs == 0 {
+				t.Errorf("stage %d party %d: cache never hit", stage, p)
+			}
+			if stage == 0 && got.CachedPairs != 0 {
+				t.Errorf("stage %d party %d: first run reports %d cached pairs", stage, p, got.CachedPairs)
+			}
+		}
+	}
+}
+
+func TestRingIncrementalEquivalence(t *testing.T) {
+	testRingIncremental(t, testCfg(compare.EngineMasked))
+}
+
+func TestRingIncrementalEquivalenceParallel(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	cfg.Parallel = 4
+	testRingIncremental(t, cfg)
+}
+
+func TestRingIncrementalEquivalencePruningOff(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	cfg.Pruning = core.PruneOff
+	testRingIncremental(t, cfg)
+}
+
+// Mesh: every party holds complete records; appends are per-party.
+var meshStream = struct {
+	init    [][][]float64
+	batches [][][][]float64 // [stage][party]
+}{
+	init: [][][]float64{
+		{{1, 1}, {2, 1}, {9, 9}},
+		{{1, 2}, {9, 8}, {5, 5}},
+		{{2, 2}, {8, 9}, {12, 2}},
+	},
+	batches: [][][][]float64{
+		{{{2, 3}}, {{8, 8}}, {}},
+		{{{9, 7}}, {{3, 2}}, {{7, 9}, {1, 3}}},
+	},
+}
+
+func meshConcat(party, stage int) [][]float64 {
+	out := append([][]float64{}, meshStream.init[party]...)
+	for i := 0; i < stage; i++ {
+		out = append(out, meshStream.batches[i][party]...)
+	}
+	return out
+}
+
+// runMeshOnce runs the one-shot mesh protocol over the concatenated data
+// of one stage.
+func runMeshOnce(t *testing.T, cfg Config, stage int) []*HorizontalResult {
+	t.Helper()
+	const k = 3
+	mesh := NewLocalMesh(k)
+	out := make([]*HorizontalResult, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out[p], errs[p] = RunHorizontal(
+				HorizontalParty{Index: p, K: k, Conns: mesh[p]}, cfg, meshConcat(p, stage))
+			for q, c := range mesh[p] {
+				if q != p {
+					c.Close()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func testMeshIncremental(t *testing.T, cfg Config) {
+	t.Helper()
+	const k, stages = 3, 2
+	mesh := NewLocalMesh(k)
+	inc := make([][]*HorizontalResult, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				for q, c := range mesh[p] {
+					if q != p {
+						c.Close()
+					}
+				}
+			}()
+			ms, err := NewMeshSession(HorizontalParty{Index: p, K: k, Conns: mesh[p]}, cfg, meshStream.init[p])
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			res, err := ms.Run()
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			inc[p] = append(inc[p], res)
+			for stage := 0; stage < stages; stage++ {
+				if err := ms.Append(meshStream.batches[stage][p]); err != nil {
+					errs[p] = err
+					return
+				}
+				res, err := ms.Run()
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				inc[p] = append(inc[p], res)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for stage := 0; stage <= stages; stage++ {
+		fresh := runMeshOnce(t, cfg, stage)
+		for p := 0; p < k; p++ {
+			got := inc[p][stage]
+			if !metrics.ExactMatch(got.Labels, fresh[p].Labels) {
+				t.Errorf("stage %d party %d: labels %v, fresh mesh %v", stage, p, got.Labels, fresh[p].Labels)
+			}
+			if got.RegionQueries != fresh[p].RegionQueries {
+				t.Errorf("stage %d party %d: %d region queries, fresh mesh %d", stage, p, got.RegionQueries, fresh[p].RegionQueries)
+			}
+			if stage > 0 && got.CachedCounts == 0 {
+				t.Errorf("stage %d party %d: cache never hit", stage, p)
+			}
+			if stage == 0 && got.CachedCounts != 0 {
+				t.Errorf("stage %d party %d: first run reports %d cached counts", stage, p, got.CachedCounts)
+			}
+		}
+	}
+}
+
+func TestMeshIncrementalEquivalence(t *testing.T) {
+	testMeshIncremental(t, testCfg(compare.EngineMasked))
+}
+
+func TestMeshIncrementalEquivalenceParallel(t *testing.T) {
+	cfg := testCfg(compare.EngineMasked)
+	cfg.Parallel = 4
+	testMeshIncremental(t, cfg)
+}

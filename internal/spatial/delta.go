@@ -1,0 +1,214 @@
+package spatial
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// Incremental (streaming) support for the candidate index. A long-lived
+// session that absorbs appended points must not rebuild and re-exchange
+// its whole directory per batch: instead each append becomes one
+// *generation* — an immutable grid + padded directory over just that
+// batch — and what crosses the wire is a GridDelta naming only the cells
+// the batch touched. The effective index is the generation stack: a
+// cell's disclosed occupancy is the sum of its per-generation padded
+// counts, and a region query that already holds cached answers for
+// generations [0, from) runs its cryptographic phases against
+// generations [from, …) only.
+//
+// Padding is per generation by construction: a batch of b points
+// discloses pad(b_c) per touched cell c, exactly what a fresh directory
+// over that batch alone would disclose — so the delta leaks occupancy at
+// the same quantum granularity as the initial exchange, never finer.
+// The cost is that the stacked padded total can exceed the single-grid
+// padded total (each generation rounds up separately); the equivalence
+// harness therefore treats padded sizes as index-class state, while
+// labels and decision-level budgets stay byte-identical.
+
+// Stack is one party's generational view of its own data: an append-only
+// sequence of (grid, directory) pairs over batches of points, with global
+// point indices assigned contiguously in append order.
+type Stack struct {
+	W       int64
+	Dim     int
+	Quantum int
+
+	gens []stackGen
+}
+
+type stackGen struct {
+	start int // global index of the generation's first point
+	n     int
+	grid  *Grid
+	dir   Directory
+}
+
+// NewStack builds an empty generation stack for points of the given
+// dimension on a grid of side w with the given padding quantum.
+func NewStack(w int64, dim, quantum int) (*Stack, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("spatial: cell width %d < 1", w)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("spatial: dimension %d < 1", dim)
+	}
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &Stack{W: w, Dim: dim, Quantum: quantum}, nil
+}
+
+// Gens reports the number of generations appended so far.
+func (s *Stack) Gens() int { return len(s.gens) }
+
+// Total reports the total point count across all generations.
+func (s *Stack) Total() int {
+	if len(s.gens) == 0 {
+		return 0
+	}
+	last := s.gens[len(s.gens)-1]
+	return last.start + last.n
+}
+
+// Dir returns generation g's padded directory — the exact payload the
+// owning party disclosed for that generation.
+func (s *Stack) Dir(g int) Directory { return s.gens[g].dir }
+
+// GenStart returns the global index of generation g's first point;
+// GenStart(Gens()) is Total(), so [GenStart(g), GenStart(g+1)) always
+// spans generation g.
+func (s *Stack) GenStart(g int) int {
+	if g >= len(s.gens) {
+		return s.Total()
+	}
+	return s.gens[g].start
+}
+
+// Append buckets one batch of points (possibly empty) as the next
+// generation and returns its padded directory — the delta the owning
+// party sends to its peers. Point indices continue from the previous
+// generation's end.
+func (s *Stack) Append(points [][]int64) (Directory, error) {
+	for i, p := range points {
+		if len(p) != s.Dim {
+			return Directory{}, fmt.Errorf("spatial: append point %d has %d coordinates, want %d", i, len(p), s.Dim)
+		}
+	}
+	g, err := NewGrid(points, s.W)
+	if err != nil {
+		return Directory{}, err
+	}
+	d := g.Directory(s.Quantum)
+	// An empty batch yields a dimensionless grid; pin the directory to the
+	// stack's dimension so the wire codec stays self-consistent.
+	d.Dim = s.Dim
+	if d.byKey == nil {
+		d.byKey = map[string]int{}
+	}
+	s.gens = append(s.gens, stackGen{start: s.Total(), n: len(points), grid: g, dir: d})
+	return d, nil
+}
+
+// ResolveRange is the responder half of a generation-scoped pruned query:
+// it validates an announced candidate-cell list against the generations
+// [from, Gens()) and resolves it to the member point indices (global,
+// generation-major) plus the number of dummy entries padding the batch to
+// the disclosed stacked counts. A cell must be occupied in at least one
+// generation of the range, mirroring Directory.ResolveQuery's occupancy
+// check on the full index.
+func (s *Stack) ResolveRange(from int, cells [][]int64) (members []int, nDummy int, err error) {
+	if from < 0 || from > len(s.gens) {
+		return nil, 0, fmt.Errorf("spatial: resolve range from generation %d of %d", from, len(s.gens))
+	}
+	prev := ""
+	padded := 0
+	for i, c := range cells {
+		k := Key(c)
+		if len(c) != s.Dim {
+			return nil, 0, fmt.Errorf("spatial: query cell %d has %d coordinates, want %d", i, len(c), s.Dim)
+		}
+		if i > 0 && k <= prev {
+			return nil, 0, fmt.Errorf("spatial: query cells out of canonical order")
+		}
+		prev = k
+		occupied := false
+		for g := from; g < len(s.gens); g++ {
+			gen := s.gens[g]
+			if p := gen.dir.Count(c); p > 0 {
+				occupied = true
+				padded += p
+				for _, j := range gen.grid.PointsIn(c) {
+					members = append(members, gen.start+j)
+				}
+			}
+		}
+		if !occupied {
+			return nil, 0, fmt.Errorf("spatial: query names cell %v unoccupied in generations %d..%d", c, from, len(s.gens))
+		}
+	}
+	return members, padded - len(members), nil
+}
+
+// CandidatesRange is the driver half over a peer's generation
+// directories: the union of the per-generation candidate cells adjacent
+// to the query cell across dirs[from:], in canonical order, plus their
+// stacked padded total — the exact number of MP/comparison instances a
+// generation-scoped pruned query will run.
+func CandidatesRange(dirs []Directory, from int, cell []int64) (cells [][]int64, total int) {
+	seen := make(map[string][]int64)
+	for g := from; g < len(dirs); g++ {
+		cs, t := dirs[g].Candidates(cell)
+		total += t
+		for _, c := range cs {
+			seen[Key(c)] = c
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cells = make([][]int64, len(keys))
+	for i, k := range keys {
+		cells[i] = seen[k]
+	}
+	return cells, total
+}
+
+// GridDelta is the wire form of one index append: the 1-based generation
+// number it creates plus the padded directory of just the appended batch.
+// The generation number pins ordering — a delta applied out of sequence
+// is a protocol error, not a silent index divergence.
+type GridDelta struct {
+	Gen int
+	Dir Directory
+}
+
+// Encode appends the delta to a wire message.
+func (d GridDelta) Encode(b *transport.Builder) *transport.Builder {
+	b.PutUint(uint64(d.Gen))
+	return d.Dir.Encode(b)
+}
+
+// DecodeGridDelta parses and validates a delta: the generation number
+// must be exactly wantGen (the receiver's next expected generation), and
+// the embedded directory must satisfy every invariant of the initial
+// index exchange (dimension, canonical cell order, positive
+// quantum-multiple counts). An empty directory is valid — a party may
+// append no points of its own while its peer appends.
+func DecodeGridDelta(r *transport.Reader, dim, quantum, wantGen int) (GridDelta, error) {
+	gen := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return GridDelta{}, err
+	}
+	if gen != wantGen {
+		return GridDelta{}, fmt.Errorf("spatial: delta for generation %d, want %d", gen, wantGen)
+	}
+	d, err := DecodeDirectory(r, dim, quantum)
+	if err != nil {
+		return GridDelta{}, fmt.Errorf("spatial: delta directory: %w", err)
+	}
+	return GridDelta{Gen: gen, Dir: d}, nil
+}

@@ -1,0 +1,141 @@
+package spatial
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func mkStack(t *testing.T, w int64, dim, quantum int) *Stack {
+	t.Helper()
+	s, err := NewStack(w, dim, quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStackAppendAssignsGlobalIndices(t *testing.T) {
+	s := mkStack(t, 4, 2, 2)
+	if _, err := s.Append([][]int64{{0, 0}, {1, 1}, {9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([][]int64{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Gens() != 2 || s.Total() != 4 {
+		t.Fatalf("gens=%d total=%d, want 2/4", s.Gens(), s.Total())
+	}
+	// Cell (0,0) holds points 0,1 from gen 0 and point 3 from gen 1.
+	members, dummy, err := s.ResolveRange(0, [][]int64{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 1: true, 3: true}
+	if len(members) != 3 {
+		t.Fatalf("members %v, want 3 of %v", members, want)
+	}
+	for _, m := range members {
+		if !want[m] {
+			t.Fatalf("unexpected member %d in %v", m, members)
+		}
+	}
+	// Quantum 2: gen 0 pads 2→2, gen 1 pads 1→2, so one dummy entry.
+	if dummy != 1 {
+		t.Fatalf("dummy=%d, want 1", dummy)
+	}
+
+	// Range [1, 2): only the generation-1 member, padded to the quantum.
+	members, dummy, err = s.ResolveRange(1, [][]int64{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0] != 3 || dummy != 1 {
+		t.Fatalf("suffix resolve = %v/%d, want [3]/1", members, dummy)
+	}
+}
+
+func TestStackResolveRangeRejectsBadQueries(t *testing.T) {
+	s := mkStack(t, 4, 2, 1)
+	if _, err := s.Append([][]int64{{0, 0}, {9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ResolveRange(0, [][]int64{{5, 5}}); err == nil {
+		t.Error("unoccupied cell accepted")
+	}
+	if _, _, err := s.ResolveRange(0, [][]int64{{2, 2}, {0, 0}}); err == nil {
+		t.Error("out-of-order cells accepted")
+	}
+	if _, _, err := s.ResolveRange(3, nil); err == nil {
+		t.Error("out-of-range generation accepted")
+	}
+	if _, _, err := s.ResolveRange(1, [][]int64{{0, 0}}); err == nil {
+		t.Error("cell occupied only before the range accepted")
+	}
+	if _, err := s.Append([][]int64{{1, 1, 1}}); err == nil {
+		t.Error("wrong-dimension append accepted")
+	}
+}
+
+func TestCandidatesRangeUnionsGenerations(t *testing.T) {
+	s := mkStack(t, 4, 2, 2)
+	d0, _ := s.Append([][]int64{{0, 0}, {0, 1}}) // cell (0,0), padded 2
+	d1, _ := s.Append([][]int64{{5, 5}})         // cell (1,1), padded 2
+	d2, _ := s.Append([][]int64{{20, 20}})       // cell (5,5): not adjacent to (0,0)
+	dirs := []Directory{d0, d1, d2}
+
+	cells, total := CandidatesRange(dirs, 0, []int64{0, 0})
+	if len(cells) != 2 || total != 4 {
+		t.Fatalf("full range candidates=%v total=%d, want 2 cells / 4", cells, total)
+	}
+	cells, total = CandidatesRange(dirs, 1, []int64{0, 0})
+	if len(cells) != 1 || total != 2 {
+		t.Fatalf("suffix candidates=%v total=%d, want cell (1,1) / 2", cells, total)
+	}
+	cells, total = CandidatesRange(dirs, 2, []int64{0, 0})
+	if len(cells) != 0 || total != 0 {
+		t.Fatalf("disjoint suffix candidates=%v total=%d, want none", cells, total)
+	}
+}
+
+func TestGridDeltaCodecRoundTrip(t *testing.T) {
+	s := mkStack(t, 3, 2, 4)
+	for gen, batch := range [][][]int64{
+		{{0, 0}, {1, 2}, {8, 8}},
+		{}, // a party may append nothing while its peer appends
+		{{-5, -5}},
+	} {
+		d, err := s.Append(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := GridDelta{Gen: gen + 1, Dir: d}
+		b := delta.Encode(transport.NewBuilder())
+		got, err := DecodeGridDelta(transport.NewReader(b.Bytes()), 2, 4, gen+1)
+		if err != nil {
+			t.Fatalf("gen %d: %v", gen+1, err)
+		}
+		if got.Gen != gen+1 || got.Dir.Dim != 2 || len(got.Dir.Cells) != len(d.Cells) {
+			t.Fatalf("gen %d round trip mismatch: %+v vs %+v", gen+1, got, delta)
+		}
+		for i := range d.Cells {
+			if Key(got.Dir.Cells[i].Coord) != Key(d.Cells[i].Coord) || got.Dir.Cells[i].Count != d.Cells[i].Count {
+				t.Fatalf("gen %d cell %d mismatch", gen+1, i)
+			}
+		}
+	}
+}
+
+func TestGridDeltaRejectsWrongGeneration(t *testing.T) {
+	s := mkStack(t, 3, 2, 1)
+	d, _ := s.Append([][]int64{{0, 0}})
+	b := GridDelta{Gen: 2, Dir: d}.Encode(transport.NewBuilder())
+	if _, err := DecodeGridDelta(transport.NewReader(b.Bytes()), 2, 1, 1); err == nil {
+		t.Error("out-of-sequence delta accepted")
+	}
+	// Wrong quantum in the embedded directory is also rejected.
+	b = GridDelta{Gen: 1, Dir: d}.Encode(transport.NewBuilder())
+	if _, err := DecodeGridDelta(transport.NewReader(b.Bytes()), 2, 4, 1); err == nil {
+		t.Error("quantum-violating delta accepted")
+	}
+}

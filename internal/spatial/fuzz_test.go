@@ -3,6 +3,8 @@ package spatial
 import (
 	"math"
 	"testing"
+
+	"repro/internal/transport"
 )
 
 // FuzzGridBucket drives the bucketing and adjacency primitives with
@@ -70,4 +72,76 @@ func FuzzGridBucket(f *testing.F) {
 			t.Fatalf("Key collision or mismatch for %v vs %v", cp, cq)
 		}
 	})
+}
+
+// FuzzGridDelta drives the delta wire codec two ways. Structured inputs
+// exercise the honest path: a batch bucketed by Stack.Append must encode
+// to a delta that decodes back to the same cells and padded counts, and
+// the decoded directory must satisfy every invariant DecodeDirectory
+// enforces. The raw bytes (reinterpreted as a hostile frame) exercise the
+// defensive path: DecodeGridDelta must reject or parse — never panic,
+// never accept a directory violating canonical order or the quantum.
+func FuzzGridDelta(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(7), int64(7), uint8(2), uint8(1), []byte{})
+	f.Add(int64(-9), int64(40), int64(40), int64(-9), uint8(5), uint8(4), []byte{1, 0, 0})
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64), int64(1), int64(2), uint8(63), uint8(8), []byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, x0, y0, x1, y1 int64, wRaw, qRaw uint8, raw []byte) {
+		w := int64(wRaw)%64 + 1
+		quantum := int(qRaw)%8 + 1
+
+		// Honest path: append → encode → decode round trip.
+		s, err := NewStack(w, 2, quantum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := [][]int64{{x0, y0}, {x1, y1}}
+		d, err := s.Append(batch)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		b := GridDelta{Gen: 1, Dir: d}.Encode(transport.NewBuilder())
+		got, err := DecodeGridDelta(transport.NewReader(b.Bytes()), 2, quantum, 1)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(got.Dir.Cells) != len(d.Cells) || got.Dir.PaddedTotal() != d.PaddedTotal() {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got.Dir, d)
+		}
+		// The batch members must resolve against the stacked index with
+		// exactly the padded counts the delta disclosed.
+		members, dummy, err := s.ResolveRange(0, dirCoords(d))
+		if err != nil {
+			t.Fatalf("resolve over own delta cells: %v", err)
+		}
+		if len(members)+dummy != d.PaddedTotal() {
+			t.Fatalf("resolve %d members + %d dummies ≠ padded total %d", len(members), dummy, d.PaddedTotal())
+		}
+
+		// Hostile path: arbitrary bytes must never panic the decoder, and
+		// anything it accepts must satisfy the directory invariants.
+		hd, err := DecodeGridDelta(transport.NewReader(raw), 2, quantum, 1)
+		if err == nil {
+			prev := ""
+			for i, c := range hd.Dir.Cells {
+				if len(c.Coord) != 2 || c.Count < 1 || c.Count%quantum != 0 {
+					t.Fatalf("decoder accepted invalid cell %+v", c)
+				}
+				if k := Key(c.Coord); i > 0 && k <= prev {
+					t.Fatalf("decoder accepted out-of-order cells")
+				} else {
+					prev = k
+				}
+			}
+		}
+	})
+}
+
+// dirCoords lists a directory's cell coordinates in canonical order.
+func dirCoords(d Directory) [][]int64 {
+	out := make([][]int64, len(d.Cells))
+	for i, c := range d.Cells {
+		out[i] = c.Coord
+	}
+	return out
 }

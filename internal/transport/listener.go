@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 )
 
 // Listener is the multi-accept counterpart of Listen: it binds once and
@@ -11,7 +12,9 @@ import (
 // server that concurrently holds many sessions. Close unblocks a
 // pending Accept with ErrClosed — the SIGINT path of `ppdbscan serve`.
 type Listener struct {
-	l net.Listener
+	l         net.Listener
+	idle      time.Duration
+	keepalive time.Duration
 }
 
 // NewListener binds addr for repeated accepts.
@@ -23,11 +26,25 @@ func NewListener(addr string) (*Listener, error) {
 	return &Listener{l: l}, nil
 }
 
+// SetConnOptions configures the per-connection hardening applied to
+// every subsequently accepted peer: idle > 0 arms a read deadline of
+// that duration before each Recv (a peer that goes silent mid-session —
+// a hung client, a dead NAT entry — surfaces as a timeout error instead
+// of a goroutine parked forever), and keepalive > 0 enables TCP
+// keepalive probes at that period so dead peers are detected even
+// between protocol reads. Zero disables either. Call before the accept
+// loop starts.
+func (l *Listener) SetConnOptions(idle, keepalive time.Duration) {
+	l.idle = idle
+	l.keepalive = keepalive
+}
+
 // Addr returns the bound address (useful when addr had port 0).
 func (l *Listener) Addr() string { return l.l.Addr().String() }
 
 // Accept blocks for the next inbound peer and returns its framed
-// connection. After Close it returns ErrClosed.
+// connection with the configured conn options applied. After Close it
+// returns ErrClosed.
 func (l *Listener) Accept() (Conn, error) {
 	c, err := l.l.Accept()
 	if err != nil {
@@ -36,8 +53,38 @@ func (l *Listener) Accept() (Conn, error) {
 		}
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return NewFrameConn(c), nil
+	if l.keepalive > 0 {
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetKeepAlive(true)
+			_ = tc.SetKeepAlivePeriod(l.keepalive)
+		}
+	}
+	conn := NewFrameConn(c)
+	if l.idle > 0 {
+		conn = &idleConn{inner: conn, nc: c, idle: l.idle}
+	}
+	return conn, nil
 }
+
+// idleConn wraps a framed connection with a rolling read deadline: each
+// Recv re-arms the underlying net.Conn's deadline, so only silence
+// longer than idle — not a long session — trips it.
+type idleConn struct {
+	inner Conn
+	nc    net.Conn
+	idle  time.Duration
+}
+
+func (c *idleConn) Send(b []byte) error { return c.inner.Send(b) }
+
+func (c *idleConn) Recv() ([]byte, error) {
+	if err := c.nc.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+		return nil, fmt.Errorf("transport: arm read deadline: %w", err)
+	}
+	return c.inner.Recv()
+}
+
+func (c *idleConn) Close() error { return c.inner.Close() }
 
 // Close stops accepting; a blocked Accept returns ErrClosed. Already
 // accepted connections are unaffected.

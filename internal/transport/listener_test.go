@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestListenerAcceptsManyPeers: the multi-accept listener serves several
@@ -95,5 +96,89 @@ func TestListenerCloseUnblocksAccept(t *testing.T) {
 	}
 	if err := <-done; !errors.Is(err, ErrClosed) {
 		t.Fatalf("Accept after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestListenerIdleTimeout: a peer that connects and goes silent must
+// surface as a Recv error within the configured idle window instead of
+// parking the serving goroutine forever.
+func TestListenerIdleTimeout(t *testing.T) {
+	lis, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	lis.SetConnOptions(100*time.Millisecond, time.Second)
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = conn.Recv()
+		done <- err
+	}()
+
+	peer, err := Dial(lis.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("silent peer's Recv returned without error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle read deadline never fired")
+	}
+}
+
+// TestListenerIdleTimeoutRearms: traffic inside the idle window keeps
+// the connection alive — the deadline is per-Recv, not per-session.
+func TestListenerIdleTimeoutRearms(t *testing.T) {
+	lis, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	lis.SetConnOptions(250*time.Millisecond, 0)
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < 4; i++ {
+			if _, err := conn.Recv(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	peer, err := Dial(lis.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	// Four sends 100ms apart: total elapsed exceeds one idle window, but
+	// no single gap does.
+	for i := 0; i < 4; i++ {
+		time.Sleep(100 * time.Millisecond)
+		if err := peer.Send([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("re-armed idle deadline tripped on a live session: %v", err)
 	}
 }
