@@ -517,3 +517,106 @@ func TestAppendMisuse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSessionCacheReducesFrames pins the wire-level half of the cache
+// contract on both round structures: with no appends between runs, run 2
+// of a session exchanges strictly fewer frames than run 1 (fully-cached
+// region queries carry the budget-parity op frame but no MP/comparison
+// traffic), while labels stay identical.
+func TestSessionCacheReducesFrames(t *testing.T) {
+	for _, batching := range []BatchMode{BatchModeBatched, BatchModeSequential} {
+		batching := batching
+		t.Run(string(batching), func(t *testing.T) {
+			cfg := testCfg(compare.EngineMasked)
+			cfg.Batching = batching
+			ca, cb := transport.Pipe()
+			ma, mb := transport.NewMeter(ca), transport.NewMeter(cb)
+
+			resA := make(chan *Result, 1)
+			resB := make(chan *Result, 1)
+			proceedA := make(chan struct{})
+			proceedB := make(chan struct{})
+			errc := make(chan error, 2)
+			go func() {
+				// Closing the pipe on any exit unblocks the peer's Recv, so
+				// an error surfaces instead of deadlocking the harness.
+				defer ca.Close()
+				sess, err := NewHorizontalSession(ma, cfg, RoleAlice, testAlicePts)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i := 0; i < 2; i++ {
+					r, err := sess.Run()
+					if err != nil {
+						errc <- err
+						return
+					}
+					resA <- r
+					<-proceedA
+				}
+				errc <- sess.Close()
+			}()
+			go func() {
+				defer cb.Close()
+				sess, err := NewHorizontalSession(mb, cfg, RoleBob, testBobPts)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for {
+					r, err := sess.Run()
+					if errors.Is(err, ErrSessionClosed) {
+						errc <- nil
+						return
+					}
+					if err != nil {
+						errc <- err
+						return
+					}
+					resB <- r
+					<-proceedB
+				}
+			}()
+
+			// Snapshot the cumulative frame count after each run; both
+			// parties are parked on the proceed channels while we read.
+			var frames [2]int64
+			var labels [2][]int
+			total := func() int64 {
+				return ma.Stats().MessagesSent + mb.Stats().MessagesSent
+			}
+			prev := int64(0)
+			for run := 0; run < 2; run++ {
+				var ra *Result
+				select {
+				case ra = <-resA:
+				case err := <-errc:
+					t.Fatalf("session ended before run %d: %v", run+1, err)
+				}
+				select {
+				case <-resB:
+				case err := <-errc:
+					t.Fatalf("serving session ended before run %d: %v", run+1, err)
+				}
+				cur := total()
+				frames[run] = cur - prev
+				prev = cur
+				labels[run] = ra.Labels
+				proceedA <- struct{}{}
+				proceedB <- struct{}{}
+			}
+			for i := 0; i < 2; i++ {
+				if err := <-errc; err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !metrics.ExactMatch(labels[0], labels[1]) {
+				t.Errorf("cached run changed labels: %v vs %v", labels[0], labels[1])
+			}
+			if frames[1] >= frames[0] {
+				t.Errorf("run 2 exchanged %d frames, run 1 %d — want strictly fewer", frames[1], frames[0])
+			}
+		})
+	}
+}
