@@ -3,13 +3,14 @@
 # end-to-end measurements to BENCH_E11.json, the E14 grid-pruning
 # ablation to BENCH_E14.json, the E15 parallelism ablation to
 # BENCH_E15.json, the E16 session-concurrency sweep to BENCH_E16.json,
-# and the E17 streaming append sweep to BENCH_E17.json so the
+# and the E17 streaming append sweep to BENCH_E17.json and the E18
+# sliding-window expiry sweep to BENCH_E18.json so the
 # performance trajectory is tracked PR over PR. Every bench file is
 # stamped with the commit hash and Go version.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt verify bench bench-e17 fuzz clean
+.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 fuzz clean
 
 all: build
 
@@ -44,11 +45,18 @@ bench:
 	@cat BENCH_E16.json
 	$(GO) run ./cmd/ppdbscan bench -suite e17 -quick -out BENCH_E17.json
 	@cat BENCH_E17.json
+	$(GO) run ./cmd/ppdbscan bench -suite e18 -quick -out BENCH_E18.json
+	@cat BENCH_E18.json
 
 # Streaming append sweep only (BENCH_E17.json).
 bench-e17:
 	$(GO) run ./cmd/ppdbscan bench -suite e17 -quick -out BENCH_E17.json
 	@cat BENCH_E17.json
+
+# Sliding-window expiry sweep only (BENCH_E18.json).
+bench-e18:
+	$(GO) run ./cmd/ppdbscan bench -suite e18 -quick -out BENCH_E18.json
+	@cat BENCH_E18.json
 
 # Short fuzz pass over the wire, batch-frame, mux-frame, and spatial-grid
 # codecs.
@@ -58,6 +66,7 @@ fuzz:
 	$(GO) test ./internal/transport -run NONE -fuzz FuzzMuxFrame -fuzztime 10s
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzGridBucket -fuzztime 10s
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzGridDelta -fuzztime 10s
+	$(GO) test ./internal/spatial -run NONE -fuzz FuzzTombstoneDelta -fuzztime 10s
 
 clean:
-	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json
+	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json

@@ -16,11 +16,11 @@
 //	ppdbscan alice       -mode horizontal|enhanced|vertical -listen :9000 -data a.csv [flags]
 //	ppdbscan bob         -mode horizontal|enhanced|vertical -connect host:9000 -data b.csv [flags]
 //	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [-workers N] [-drain 30s] [-max-sessions N] [-idle-timeout 2m] [flags]
-//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [-appends K -append-batch B] [flags]
-//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [-appends K -append-batch B] [flags]
+//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [-appends K -append-batch B [-window]] [flags]
+//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [-appends K -append-batch B [-window]] [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e17 [-quick] [-seed N]
-//	ppdbscan bench       [-suite e11|e14|e15|e16|e17] [-quick] [-seed N] [-out BENCH_E11.json]
+//	ppdbscan experiments -id all|e1..e18 [-quick] [-seed N]
+//	ppdbscan bench       [-suite e11|e14|e15|e16|e17|e18] [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
@@ -90,8 +90,8 @@ commands:
   client       drive a long-lived session: N clustering runs over one key exchange
   loadgen      drive C concurrent client sessions x R runs each against a server
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e17 or all)
-  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17) and write JSON measurements
+  experiments  regenerate the paper's evaluation tables (e1..e18 or all)
+  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17|e18) and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
 
 E14 is the grid-pruning ablation: -pruning grid (default) buckets each
@@ -102,7 +102,10 @@ candidate sets for A/B comparison. E15 is the parallelism ablation:
 dispatches independent secure region queries concurrently. E17 is the
 streaming ablation: client/loadgen -appends K -append-batch B feed a
 live session new points between runs; re-clustering reuses the session's
-cross-run comparison cache and exchanges only index deltas.
+cross-run comparison cache and exchanges only index deltas. E18 is the
+sliding-window ablation: adding -window makes every appended batch also
+expire the oldest live generation (tombstoned in both indices), so the
+session clusters a fixed-width window at incremental cost.
 
 run 'ppdbscan <command> -h' for flags.
 `)
@@ -382,6 +385,7 @@ func cmdClient(args []string) error {
 	runs := fs.Int("runs", 1, "clustering runs to request over the session")
 	appends := fs.Int("appends", 0, "streaming appends after the initial runs, each followed by a re-clustering run (horizontal modes)")
 	appendBatch := fs.Int("append-batch", 0, "points per appended batch, taken from the tail of -data")
+	window := fs.Bool("window", false, "slide a fixed-width window: every appended batch also expires the oldest live generation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -433,10 +437,18 @@ func cmdClient(args []string) error {
 		}
 	}
 	for i, batch := range batches {
-		if err := sess.Append(batch); err != nil {
-			return fmt.Errorf("append %d: %w", i+1, err)
+		if *window {
+			if err := sess.WindowAppend(batch); err != nil {
+				return fmt.Errorf("window append %d: %w", i+1, err)
+			}
+			fmt.Printf("client: slid window %d (%d points in, oldest generation expired; %d expiries), total setup leakage now %v\n",
+				i+1, len(batch), sess.Expires(), sess.SetupLeakage())
+		} else {
+			if err := sess.Append(batch); err != nil {
+				return fmt.Errorf("append %d: %w", i+1, err)
+			}
+			fmt.Printf("client: appended batch %d (%d points), total setup leakage now %v\n", i+1, len(batch), sess.SetupLeakage())
 		}
-		fmt.Printf("client: appended batch %d (%d points), total setup leakage now %v\n", i+1, len(batch), sess.SetupLeakage())
 		if err := run(); err != nil {
 			return err
 		}
@@ -481,7 +493,7 @@ func cmdGen(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (e1..e17) or all")
+	id := fs.String("id", "all", "experiment id (e1..e18) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
@@ -535,7 +547,7 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller workload")
 	seed := fs.Int64("seed", 1, "bench seed")
-	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17")
+	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17|e18")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -554,8 +566,10 @@ func cmdBench(args []string) error {
 		rows, err = experiments.BenchE16(opt)
 	case "e17":
 		rows, err = experiments.BenchE17(opt)
+	case "e18":
+		rows, err = experiments.BenchE18(opt)
 	default:
-		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, or e17)", *suite)
+		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, e17, or e18)", *suite)
 	}
 	if err != nil {
 		return err

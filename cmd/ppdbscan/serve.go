@@ -166,6 +166,7 @@ func cmdLoadgen(args []string) error {
 	runs := fs.Int("runs", 1, "clustering runs per client R")
 	appends := fs.Int("appends", 0, "streaming appends per client after the initial runs (horizontal modes; the server side appends nothing)")
 	appendBatch := fs.Int("append-batch", 0, "points per appended batch, taken from the tail of -data")
+	window := fs.Bool("window", false, "slide a fixed-width window: every appended batch also expires the oldest live generation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -197,7 +198,7 @@ func cmdLoadgen(args []string) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, &runsDone)
+			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, *window, &runsDone)
 		}(c)
 	}
 	wg.Wait()
@@ -225,8 +226,9 @@ func cmdLoadgen(args []string) error {
 }
 
 // driveClient runs one loadgen client: dial, establish a session over
-// the initial points, R runs, then one append+run per batch, close.
-func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, runsDone *atomic.Int64) error {
+// the initial points, R runs, then one append+run (or, with window set,
+// window-slide+run) per batch, close.
+func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, runsDone *atomic.Int64) error {
 	conn, err := transport.Dial(connect)
 	if err != nil {
 		return err
@@ -244,7 +246,11 @@ func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Con
 		runsDone.Add(1)
 	}
 	for i, batch := range batches {
-		if err := sess.Append(batch); err != nil {
+		if window {
+			if err := sess.WindowAppend(batch); err != nil {
+				return fmt.Errorf("window append %d: %w", i+1, err)
+			}
+		} else if err := sess.Append(batch); err != nil {
 			return fmt.Errorf("append %d: %w", i+1, err)
 		}
 		if _, err := sess.Run(); err != nil {

@@ -95,14 +95,17 @@ func NewArbitrarySession(conn transport.Conn, cfg Config, role Role, values [][]
 			return nil, err
 		}
 	}
-	as := &aStream{a: a, cellRows: cellRows, cache: NewPairCache()}
+	as := &aStream{a: a, cellRows: cellRows, batches: []int{len(values)}, cache: NewPairCache()}
 	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: "arbitrary"}
+	t.idleCtl, _ = conn.(idleController)
 	t.setup = s.takeLedger()
 	t.runOnce = func() (*Result, error) { return arbitraryRunOnce(t, as) }
 	t.appendInit = func(values [][]float64, owners [][]partition.Owner) (bool, error) {
 		return arbitraryAppendInit(t, as, values, owners)
 	}
 	t.appendServe = func(r *transport.Reader) error { return arbitraryAppendServe(t, as, r) }
+	t.expireInit = func(gens int) (bool, error) { return arbitraryExpireInit(t, as, gens) }
+	t.expireServe = func(r *transport.Reader) error { return arbitraryExpireServe(t, as, r) }
 	return t, nil
 }
 
@@ -110,11 +113,64 @@ func NewArbitrarySession(conn transport.Conn, cfg Config, role Role, values [][]
 // (values, owners) matrices inside adpState, the shared cell matrix under
 // pruning, and the cross-run pair-decision cache (pair bits are public to
 // both parties, so the caches agree and the seeded lockstep drivers stay
-// in lock step).
+// in lock step). batches records each generation's record count; an
+// expiry compacts the oldest live generations out of every matrix and
+// remaps the cache.
 type aStream struct {
 	a        *adpState
 	cellRows [][]int64
+	batches  []int // record count per generation, dead prefix retained
+	dead     int   // expired generations
 	cache    *PairCache
+}
+
+// arbitraryExpireInit is the initiating side of one arbitrary-partition
+// expiry: announce the tombstone and apply it locally. The records are
+// shared, so both sides compact the same row prefix.
+func arbitraryExpireInit(t *Session, as *aStream, gens int) (sent bool, err error) {
+	live := len(as.batches) - as.dead
+	if gens < 1 || gens > live {
+		return false, fmt.Errorf("core: expire %d of %d live generations", gens, live)
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpExpire)
+	spatial.TombstoneDelta{From: as.dead, N: gens}.Encode(msg)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session expire op: %w", err)
+	}
+	finishAExpire(t, as, gens)
+	return true, nil
+}
+
+// arbitraryExpireServe validates the announced tombstone against this
+// side's generation ledger and applies it.
+func arbitraryExpireServe(t *Session, as *aStream, r *transport.Reader) error {
+	live := len(as.batches) - as.dead
+	td, err := spatial.DecodeTombstoneDelta(r, as.dead, live)
+	if err != nil {
+		return fmt.Errorf("core: session expire op: %w", err)
+	}
+	finishAExpire(t, as, td.N)
+	return nil
+}
+
+// finishAExpire compacts the expired rows out of the value, ownership,
+// and cell matrices and remaps the pair cache — bits touching expired
+// records are invalidated; survivors shift onto the compacted indices.
+func finishAExpire(t *Session, as *aStream, gens int) {
+	rows := 0
+	for g := as.dead; g < as.dead+gens; g++ {
+		rows += as.batches[g]
+	}
+	as.a.enc = as.a.enc[rows:]
+	as.a.owners = as.a.owners[rows:]
+	if as.cellRows != nil {
+		as.cellRows = as.cellRows[rows:]
+	}
+	as.cache.Expire(rows)
+	as.dead += gens
+	t.s.led(func(l *Ledger) { l.IndexTombstones += gens })
 }
 
 // arbitraryAppendInit announces the appended records — their public
@@ -295,6 +351,7 @@ func finishAAppend(t *Session, as *aStream, batch [][]int64, owners [][]partitio
 	}
 	a.enc = append(a.enc, batch...)
 	a.owners = append(a.owners, owners...)
+	as.batches = append(as.batches, len(batch))
 	return nil
 }
 

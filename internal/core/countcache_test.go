@@ -1,0 +1,122 @@
+package core
+
+import "testing"
+
+// Unit coverage for the sliding-window cache invalidation primitives:
+// the CountCache's segment chain under expiry (trim, straddle, holes,
+// own-index remap) and the PairCache's expire-and-remap. The windowed
+// harness proves these end to end; these tests pin the exact edge
+// semantics the protocols rely on.
+
+func TestCountCacheCoveredChain(t *testing.T) {
+	c := NewCountCache()
+	c.Extend(3, 0, 1, 2)
+	c.Extend(3, 1, 2, 5)
+	c.Extend(3, 2, 4, 1)
+
+	if count, upto := c.Covered(3, 0); count != 8 || upto != 4 {
+		t.Errorf("full chain: count %d upto %d, want 8 upto 4", count, upto)
+	}
+	// Expire generation 0: its segment is dropped, the rest keep serving.
+	if count, upto := c.Covered(3, 1); count != 6 || upto != 4 {
+		t.Errorf("after expiry at 1: count %d upto %d, want 6 upto 4", count, upto)
+	}
+	// The live edge moved past generation 1's segment too.
+	if count, upto := c.Covered(3, 2); count != 1 || upto != 4 {
+		t.Errorf("after expiry at 2: count %d upto %d, want 1 upto 4", count, upto)
+	}
+	// An uncached point answers nothing.
+	if count, upto := c.Covered(9, 2); count != 0 || upto != 2 {
+		t.Errorf("uncached point: count %d upto %d, want 0 upto 2", count, upto)
+	}
+}
+
+// A segment that straddles the new live edge includes dead points and
+// cannot be split — it must be dropped whole, not partially served.
+func TestCountCacheStraddleDropped(t *testing.T) {
+	c := NewCountCache()
+	c.Extend(0, 0, 2, 7)
+	c.Extend(0, 2, 3, 4)
+	if count, upto := c.Covered(0, 1); count != 0 || upto != 1 {
+		t.Errorf("straddling segment served: count %d upto %d, want 0 upto 1", count, upto)
+	}
+	// The aligned tail segment survives the trim and becomes the chain
+	// head once the live edge reaches it.
+	if count, upto := c.Covered(0, 2); count != 4 || upto != 3 {
+		t.Errorf("tail segment lost: count %d upto %d, want 4 upto 3", count, upto)
+	}
+}
+
+// A hole in the chain stops coverage at the hole; the segment beyond it
+// is retained for a future live edge, not summed early.
+func TestCountCacheHole(t *testing.T) {
+	c := NewCountCache()
+	c.Extend(1, 1, 2, 3)
+	// Skip generation 2, cache generation 3 — as after an expiry killed a
+	// middle segment.
+	c.m[1] = append(c.m[1], CountSeg{From: 3, To: 4, Count: 9})
+	if count, upto := c.Covered(1, 1); count != 3 || upto != 2 {
+		t.Errorf("hole: count %d upto %d, want 3 upto 2", count, upto)
+	}
+	if count, upto := c.Covered(1, 3); count != 9 || upto != 4 {
+		t.Errorf("post-hole head: count %d upto %d, want 9 upto 4", count, upto)
+	}
+}
+
+// Extend subsumes any segment starting at or after its own start, so a
+// re-queried range never double-counts.
+func TestCountCacheExtendSubsumes(t *testing.T) {
+	c := NewCountCache()
+	c.Extend(2, 1, 2, 3)
+	c.Extend(2, 2, 4, 5)
+	c.Extend(2, 2, 5, 6) // re-query over a wider range replaces [2,4)
+	if count, upto := c.Covered(2, 1); count != 9 || upto != 5 {
+		t.Errorf("subsume: count %d upto %d, want 9 upto 5", count, upto)
+	}
+	// Empty ranges record nothing.
+	c.Extend(4, 3, 3, 1)
+	if c.Len() != 1 {
+		t.Errorf("empty-range Extend created an entry: %d points cached, want 1", c.Len())
+	}
+}
+
+// Remap drops expired own points' entries and shifts the survivors onto
+// the compacted indices; peer-generation ranges are untouched.
+func TestCountCacheRemap(t *testing.T) {
+	c := NewCountCache()
+	c.Extend(0, 1, 2, 4)
+	c.Extend(2, 1, 2, 6)
+	c.Remap(2)
+	if c.Len() != 1 {
+		t.Fatalf("remap kept %d points, want 1", c.Len())
+	}
+	if count, upto := c.Covered(0, 1); count != 6 || upto != 2 {
+		t.Errorf("remapped point 2→0: count %d upto %d, want 6 upto 2", count, upto)
+	}
+	c.Remap(0) // no-op
+	if count, _ := c.Covered(0, 1); count != 6 {
+		t.Errorf("Remap(0) disturbed the cache: count %d, want 6", count)
+	}
+}
+
+// PairCache.Expire drops every bit touching an expired record and
+// shifts the survivors; a nil cache tolerates the call.
+func TestPairCacheExpire(t *testing.T) {
+	c := NewPairCache()
+	c.m[[2]int{0, 3}] = true  // touches expired record 0 — dropped
+	c.m[[2]int{1, 2}] = false // touches expired record 1 — dropped
+	c.m[[2]int{2, 4}] = true  // survives as {0, 2}
+	c.m[[2]int{3, 4}] = false // survives as {1, 2}
+	c.Expire(2)
+	if c.Len() != 2 {
+		t.Fatalf("expire kept %d pairs, want 2", c.Len())
+	}
+	if v, ok := c.m[[2]int{0, 2}]; !ok || !v {
+		t.Errorf("pair {2,4} did not survive as {0,2}=true: %v %v", v, ok)
+	}
+	if v, ok := c.m[[2]int{1, 2}]; !ok || v {
+		t.Errorf("pair {3,4} did not survive as {1,2}=false: %v %v", v, ok)
+	}
+	var nilCache *PairCache
+	nilCache.Expire(1) // must not panic
+}

@@ -207,4 +207,43 @@
 // W ∈ {1, 4}), while Result.SecureComparisons shrinks toward
 // O(Δ·candidates) and Result.CachedComparisons records the reuse —
 // experiment E17 measures both against per-stage rebuilds.
+//
+// # Sliding windows: expiry, tombstones, and cache invalidation
+//
+// Appends alone grow a session without bound; Session.Expire(gens)
+// retires the oldest gens append generations, and
+// Session.WindowAppend(batch) is the steady state of a sliding-window
+// feed (append one generation, expire the oldest). The point lifecycle
+// is: constructed or appended as a generation of the session's
+// spatial.Stack → live across any number of runs → tombstoned by an
+// expiry → compacted away once part of the dead prefix. Generation
+// numbering is absolute for the session's lifetime: wire frames carry
+// absolute generation spans, tombstoned generations answer as empty
+// husks, and a dead prefix is physically dropped with live indices
+// rebased, so a long-lived window stays O(window), not O(stream).
+//
+// Only the initiating party may expire (ErrExpireRole); the exchange
+// ships one spatial.TombstoneDelta each way so both sides agree on
+// exactly which prefix died (a disagreement is a loud protocol error,
+// not divergence), and the disclosure is first-class setup-Ledger state
+// (IndexTombstones, one per expired generation on each side).
+//
+// Expiry is the one operation that breaks the append-only monotonicity
+// the cross-run caches rely on, so each cache invalidates exactly the
+// entries an expired point touches: the lockstep PairCache drops every
+// pair bit naming an expired record and remaps the survivors onto the
+// compacted indices (identically on all participants, keeping the
+// seeded drivers in lock step); the basic horizontal family's count
+// cache stores per-generation segments — region queries sweep one
+// sub-query per live generation so cached segments align with
+// generation boundaries — and expiry trims dead and straddling segments
+// while the surviving chain keeps serving; the enhanced family's core
+// bits are cleared outright (a count that was ≥ MinPts may not be after
+// points leave). The windowed-equivalence harness pins the contract:
+// after any slide, labels and non-index Ledger classes are
+// byte-identical to a fresh session over exactly the window contents,
+// and slides cost strictly fewer secure comparisons than per-window
+// rebuilds (except the enhanced family, whose cleared cache makes a
+// slide cost exactly a rebuild) — experiment E18 measures the
+// reduction.
 package core

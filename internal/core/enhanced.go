@@ -178,7 +178,7 @@ func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA c
 	nCand := h.nPeer
 	usePrune := false
 	if s.pruneOn {
-		c, total := s.candidateCells(h.own[point], 0)
+		c, total := s.candidateCells(h.own[point], 0, len(s.peerDirs))
 		// Prune only when the padded candidate set is actually smaller;
 		// otherwise fall back to the exhaustive query (flagged on the op
 		// frame) so pruning never enlarges the selection.
@@ -308,7 +308,7 @@ func serveEnhancedCore(s *session, conn transport.Conn, rng permSource, shareB, 
 	pts, nDummy := own, 0
 	if s.pruneOn {
 		var err error
-		if pts, nDummy, err = s.readPrunedOp(r, own, 0); err != nil {
+		if pts, nDummy, err = s.readPrunedOp(r, own, 0, s.ownStack.Gens()); err != nil {
 			return err
 		}
 	}

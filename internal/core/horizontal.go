@@ -32,37 +32,36 @@ const (
 )
 
 // hStream is the horizontal family's mutable session state: both parties'
-// generation structure (appends extend it) plus the cross-run comparison
-// caches that make incremental runs cheap.
+// generation structure (appends extend it, expiries tombstone its oldest
+// prefix) plus the cross-run comparison caches that make incremental runs
+// cheap.
 //
 // Cache soundness rests on distance immutability and count monotonicity:
 // appends only add points, so (a) the number of peer points within Eps of
-// an unchanged point, restricted to an unchanged peer prefix, never
-// changes — hdpCache entries are permanently valid for the generations
-// they cover — and (b) neighbour counts only grow, so a core bit that was
-// true stays true forever, while a false bit is reusable only while both
-// datasets are unchanged (enhCache entries carry the sizes they were
-// decided under).
+// an unchanged point, restricted to an unchanged peer generation range,
+// never changes — the hdp CountCache's per-run segments are permanently
+// valid for the ranges they cover — and (b) neighbour counts only grow
+// under appends, so a core bit that was true stays true, while a false
+// bit is reusable only while both datasets are unchanged (enhCache
+// entries carry the sizes they were decided under). Expiry breaks the
+// monotone direction — removing points can flip a true core bit false —
+// so Expire clears enhCache entirely, drops hdp segments that include
+// dead generations, and remaps both sides' point indices onto the
+// compacted live window.
 type hStream struct {
 	fam hFamily
-	enc [][]int64 // own points, all generations, append order
+	enc [][]int64 // own live points, window generations, append order
 
-	ownGenStart []int // global index of each own generation's first point
-	peerGenCnt  []int // per-generation peer point counts
-	nPeer       int   // total peer count (Σ peerGenCnt)
+	dead        int   // expired generations (both sides expire in lockstep)
+	ownGenStart []int // per-generation start in enc (dead gens clamped to 0)
+	peerGenCnt  []int // per-generation peer point counts (dead gens zeroed)
+	nPeer       int   // live peer count (Σ peerGenCnt)
 
 	// mu guards the caches: parallel waves (Config.Parallel > 1) decide
 	// distinct points concurrently but share the maps.
 	mu       sync.Mutex
-	hdpCache map[int]hdpEntry
+	hdp      *CountCache
 	enhCache map[int]enhEntry
-}
-
-// hdpEntry caches one driver point's region-count prefix: count peer
-// points within Eps among the peer's generations [0, gens).
-type hdpEntry struct {
-	count int
-	gens  int
 }
 
 // enhEntry caches one driver point's core bit plus the dataset sizes it
@@ -80,21 +79,31 @@ func newHStream(fam hFamily, enc [][]int64, nPeer int) *hStream {
 		ownGenStart: []int{0},
 		peerGenCnt:  []int{nPeer},
 		nPeer:       nPeer,
-		hdpCache:    make(map[int]hdpEntry),
+		hdp:         NewCountCache(),
 		enhCache:    make(map[int]enhEntry),
 	}
 }
 
-// peerGens reports the number of peer generations.
+// peerGens reports the number of peer generations, dead ones included —
+// generation numbering is absolute for the session's life.
 func (hs *hStream) peerGens() int { return len(hs.peerGenCnt) }
 
-// peerSuffix counts the peer points in generations [from, …).
+// peerSuffix counts the live peer points in generations [from, …).
 func (hs *hStream) peerSuffix(from int) int {
 	n := 0
 	for g := from; g < len(hs.peerGenCnt); g++ {
 		n += hs.peerGenCnt[g]
 	}
 	return n
+}
+
+// ownSpanEnd returns the enc index one past generation to-1 — the end of
+// the own-point span [ownGenStart[from], ownSpanEnd(to)).
+func (hs *hStream) ownSpanEnd(to int) int {
+	if to >= len(hs.ownGenStart) {
+		return len(hs.enc)
+	}
+	return hs.ownGenStart[to]
 }
 
 // appendLocal absorbs one append on this side's bookkeeping.
@@ -105,16 +114,60 @@ func (hs *hStream) appendLocal(ownBatch [][]int64, peerCount int) {
 	hs.nPeer += peerCount
 }
 
-func (hs *hStream) getHdp(i int) (hdpEntry, bool) {
+// expireLocal absorbs one expiry on this side's bookkeeping: the gens
+// oldest live generations die. Dead generations keep their slots (the
+// numbering is absolute) but answer as empty; the surviving own points
+// compact to the front of enc and every cache is invalidated or remapped
+// accordingly.
+func (hs *hStream) expireLocal(gens int) {
+	end := hs.dead + gens
+	for g := hs.dead; g < end; g++ {
+		hs.nPeer -= hs.peerGenCnt[g]
+		hs.peerGenCnt[g] = 0
+	}
+	ownRemoved := len(hs.enc)
+	if end < len(hs.ownGenStart) {
+		ownRemoved = hs.ownGenStart[end]
+	}
+	hs.enc = hs.enc[ownRemoved:]
+	for g := range hs.ownGenStart {
+		if g < end {
+			hs.ownGenStart[g] = 0
+		} else {
+			hs.ownGenStart[g] -= ownRemoved
+		}
+	}
+	hs.dead = end
 	hs.mu.Lock()
-	defer hs.mu.Unlock()
-	e, ok := hs.hdpCache[i]
-	return e, ok
+	hs.hdp.Remap(ownRemoved)
+	// Expiry can flip a true core bit false (counts shrink) and a false
+	// bit's recorded sizes no longer describe the window: clear it all.
+	hs.enhCache = make(map[int]enhEntry)
+	hs.mu.Unlock()
 }
 
-func (hs *hStream) putHdp(i, count, gens int) {
+// ownExpired reports how many own points the gens oldest live
+// generations hold — what expireLocal would compact away.
+func (hs *hStream) ownExpired(gens int) int {
+	end := hs.dead + gens
+	if end < len(hs.ownGenStart) {
+		return hs.ownGenStart[end]
+	}
+	return len(hs.enc)
+}
+
+// hdpCovered reads the hdp cache for point i: the cached count over the
+// live generation prefix plus the first uncovered generation.
+func (hs *hStream) hdpCovered(i int) (count, upto int) {
 	hs.mu.Lock()
-	hs.hdpCache[i] = hdpEntry{count: count, gens: gens}
+	defer hs.mu.Unlock()
+	return hs.hdp.Covered(i, hs.dead)
+}
+
+// hdpExtend records a fresh count for point i over generations [from, to).
+func (hs *hStream) hdpExtend(i, from, to, count int) {
+	hs.mu.Lock()
+	hs.hdp.Extend(i, from, to, count)
 	hs.mu.Unlock()
 }
 
@@ -209,13 +262,68 @@ func newHorizontalSession(conn transport.Conn, cfg Config, role Role, points [][
 	}
 	hs := newHStream(fam, enc, peer.Count)
 	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: proto}
+	t.idleCtl, _ = conn.(idleController)
 	t.setup = s.takeLedger()
 	t.runOnce = func() (*Result, error) { return horizontalRunOnce(t, hs, fam) }
 	t.appendInit = func(values [][]float64, owners [][]partition.Owner) (bool, error) {
 		return horizontalAppendInit(t, hs, values, owners)
 	}
 	t.appendServe = func(r *transport.Reader) error { return horizontalAppendServe(t, hs, r) }
+	t.expireInit = func(gens int) (bool, error) { return horizontalExpireInit(t, hs, gens) }
+	t.expireServe = func(r *transport.Reader) error { return horizontalExpireServe(t, hs, r) }
 	return t, nil
+}
+
+// horizontalExpireInit is the initiating side of one horizontal-family
+// expiry: announce the tombstone (which generations die — their contents
+// were disclosed at append time, so the tombstone itself adds only the
+// window movement) and apply it locally. Expiry is one-way: the receiving
+// side holds the same generation ledger, so the tombstone either applies
+// identically there or surfaces as a protocol error on its next decode.
+func horizontalExpireInit(t *Session, hs *hStream, gens int) (sent bool, err error) {
+	live := hs.peerGens() - hs.dead
+	if gens < 1 || gens > live {
+		return false, fmt.Errorf("core: expire %d of %d live generations", gens, live)
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpExpire)
+	spatial.TombstoneDelta{From: hs.dead, N: gens}.Encode(msg)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session expire op: %w", err)
+	}
+	return true, finishHExpire(t, hs, gens)
+}
+
+// horizontalExpireServe is the serving side: validate the announced
+// tombstone against our own generation ledger and apply it.
+func horizontalExpireServe(t *Session, hs *hStream, r *transport.Reader) error {
+	live := hs.peerGens() - hs.dead
+	td, err := spatial.DecodeTombstoneDelta(r, hs.dead, live)
+	if err != nil {
+		return fmt.Errorf("core: session expire op: %w", err)
+	}
+	return finishHExpire(t, hs, td.N)
+}
+
+// finishHExpire runs the symmetric tail of an expiry on either side:
+// tombstone the own index generations, husk the peer's dead directories
+// (their cells no longer answer candidate queries), and compact the
+// stream state + caches. The Ledger records one IndexTombstones entry
+// per dead generation — the only disclosure an expiry makes.
+func finishHExpire(t *Session, hs *hStream, gens int) error {
+	s := t.s
+	if s.pruneOn {
+		if _, err := s.ownStack.Expire(gens); err != nil {
+			return fmt.Errorf("core: expire index: %w", err)
+		}
+		for g := hs.dead; g < hs.dead+gens; g++ {
+			s.peerDirs[g] = spatial.Directory{Dim: s.dim}
+		}
+	}
+	hs.expireLocal(gens)
+	s.led(func(l *Ledger) { l.IndexTombstones += gens })
+	return nil
 }
 
 // horizontalAppendInit is the initiating side of one horizontal-family
@@ -452,48 +560,48 @@ func parallelHPassResponder(s *session, conns []transport.Conn, hs *hStream, fam
 	return fmt.Errorf("core: unknown horizontal family %d", fam)
 }
 
-// serveBasicQuery answers one already-announced HDP region query. The op
-// frame opens with the driver's generation watermark: the cryptographic
-// phases cover only our generations [fromGen, …) — the driver's cache
-// already answers the prefix — while the query-level disclosure budget
-// (DotProducts over the full own set, matching what a fresh session's
-// exhaustive accounting would record) is kept for every query, including
-// fully-cached ones that carry no crypto at all.
+// serveBasicQuery answers one already-announced HDP region sub-query.
+// The op frame opens with the driver's generation span [fromGen, toGen):
+// the cryptographic phases cover only our generations in the span — the
+// driver's cache already answers everything below it, and a sliding-
+// window driver sweeps one sub-query per generation so its cached
+// segments align with generation boundaries. The query-level disclosure
+// budget (DotProducts over the full own set, matching what a fresh
+// session's exhaustive accounting would record) fires once per logical
+// query, on the sub-query that closes the sweep (toGen == gens) — every
+// sweep ends there, including fully-cached ones whose single parity
+// frame carries an empty span and no crypto at all.
 func serveBasicQuery(s *session, conn transport.Conn, rng permSource, engB compare.Bob, hs *hStream, r *transport.Reader) error {
 	own := hs.enc
 	fromGen := int(r.Uint())
+	toGen := int(r.Uint())
 	if err := r.Err(); err != nil {
 		return err
 	}
 	gens := len(hs.ownGenStart)
-	if fromGen < 0 || fromGen > gens {
-		return fmt.Errorf("core: query watermark %d of %d generations", fromGen, gens)
+	if fromGen < 0 || toGen > gens || fromGen > toGen {
+		return fmt.Errorf("core: query span %d..%d of %d generations", fromGen, toGen, gens)
 	}
-	account := func() { s.led(func(l *Ledger) { l.DotProducts += len(own) }) }
-	if fromGen == gens {
-		// Fully cached on the driver side: nothing to serve.
-		account()
+	if toGen == gens {
+		defer s.led(func(l *Ledger) { l.DotProducts += len(own) })
+	}
+	if fromGen == toGen {
+		// Empty span: the sweep-closing parity frame of a fully-cached
+		// query. Nothing to serve.
 		return nil
 	}
 	if s.pruneOn {
-		pts, nDummy, err := s.readPrunedOp(r, own, fromGen)
+		pts, nDummy, err := s.readPrunedOp(r, own, fromGen, toGen)
 		if err != nil {
 			return err
 		}
-		if err := hdpServeCompare(conn, s, rng, engB, pts, nDummy); err != nil {
-			return err
-		}
-		account()
+		return hdpServeCompare(conn, s, rng, engB, pts, nDummy)
+	}
+	span := own[hs.ownGenStart[fromGen]:hs.ownSpanEnd(toGen)]
+	if len(span) == 0 {
 		return nil
 	}
-	suffix := own[hs.ownGenStart[fromGen]:]
-	if len(suffix) > 0 {
-		if err := hdpServeCompare(conn, s, rng, engB, suffix, 0); err != nil {
-			return err
-		}
-	}
-	account()
-	return nil
+	return hdpServeCompare(conn, s, rng, engB, span, 0)
 }
 
 // hPass bundles the state one driving pass needs.
@@ -520,26 +628,30 @@ func (h *hPass) localRegionQuery(i int) []int {
 // (seedsB := SetOfPointsOfBobPermutation.regionQuery — Algorithm 4 line 3).
 //
 // The cross-run cache splits the query at a generation watermark: the
-// count over the peer's generations [0, fromGen) comes from a previous
-// run of this session (distances are immutable, so it is permanently
-// exact), and only the suffix [fromGen, …) enters the cryptographic
-// phases. Under grid pruning the suffix query announces its candidate
-// cells out of the peer's suffix directories and runs over their padded
-// occupancy; when padding would make the candidate set at least as large
-// as the exhaustive suffix, the query falls back to the exhaustive
-// suffix (flagged on the op frame), so a pruned query never compares
-// more than an unpruned one. The op frame travels even for fully-cached
-// queries, keeping the responder's query-level accounting — and so the
-// Ledger budget — identical to a fresh session's.
+// count over the peer's live generations [dead, fromGen) comes from
+// previous runs of this session (distances are immutable, so the cached
+// segments are permanently exact for the ranges they cover), and the
+// uncovered tail is swept one generation per sub-query, each caching its
+// own [g, g+1) segment. Per-generation segments are what make the cache
+// survive a sliding window: an expiry drops exactly the dead
+// generations' segments and every survivor stays contiguous from the new
+// window edge — a single suffix-wide segment would straddle every expiry
+// boundary and die with it. Under grid pruning each sub-query announces
+// its candidate cells out of the peer's directory for that generation
+// and runs over their padded occupancy; when padding would make the
+// candidate set at least as large as the generation's exhaustive count,
+// the sub-query falls back to the exhaustive generation (flagged on the
+// op frame), so a pruned sweep never compares more than an unpruned one.
+// Every sweep ends with a sub-query whose span closes at the last
+// generation — an empty-span parity frame when everything is cached — so
+// the responder's query-level accounting, and with it the Ledger budget,
+// stays identical to a fresh session's.
 func (h *hPass) remoteCount(conn transport.Conn, i int, eng compare.Alice) (int, error) {
 	s := h.s
 	if h.nPeer == 0 {
 		return 0, nil
 	}
-	base, fromGen := 0, 0
-	if e, ok := h.hs.getHdp(i); ok {
-		base, fromGen = e.count, e.gens
-	}
+	base, fromGen := h.hs.hdpCovered(i)
 	gens := h.hs.peerGens()
 	prefix := h.nPeer - h.hs.peerSuffix(fromGen)
 	s.led(func(l *Ledger) {
@@ -549,30 +661,41 @@ func (h *hPass) remoteCount(conn transport.Conn, i int, eng compare.Alice) (int,
 	s.cmpCached.Add(int64(prefix))
 
 	p := h.own[i]
-	var count int
-	switch {
-	case fromGen == gens:
-		// Fully cached: announce the query for budget parity, run nothing.
+	count := base
+	if fromGen == gens {
+		// Fully cached: announce the empty-span query for budget parity,
+		// run nothing.
 		setTag(conn, "hdp.op")
-		if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(opQuery).PutUint(uint64(fromGen))); err != nil {
-			return 0, err
-		}
-		count = base
-	case s.pruneOn:
-		cells, total := s.candidateCells(p, fromGen)
-		suffix := h.hs.peerSuffix(fromGen)
-		usePrune := total < suffix
-		setTag(conn, "hdp.op")
-		msg := transport.NewBuilder().PutUint(opQuery).PutUint(uint64(fromGen)).PutBool(usePrune)
-		if usePrune {
-			spatial.EncodeCells(msg, cells)
-		}
+		msg := transport.NewBuilder().PutUint(opQuery).PutUint(uint64(gens)).PutUint(uint64(gens))
 		if err := transport.SendMsg(conn, msg); err != nil {
 			return 0, err
 		}
-		nCand := suffix
-		if usePrune {
-			nCand = total
+		return count, nil
+	}
+	for g := fromGen; g < gens; g++ {
+		genCnt := h.hs.peerGenCnt[g]
+		if genCnt == 0 && g < gens-1 {
+			// A dead or empty generation needs no wire work; record the
+			// zero segment so the sweep stays contiguous. The final
+			// generation always goes to the wire — its sub-query closes
+			// the sweep for the responder's budget parity.
+			h.hs.hdpExtend(i, g, g+1, 0)
+			continue
+		}
+		setTag(conn, "hdp.op")
+		msg := transport.NewBuilder().PutUint(opQuery).PutUint(uint64(g)).PutUint(uint64(g + 1))
+		nCand := genCnt
+		if s.pruneOn {
+			cells, total := s.candidateCells(p, g, g+1)
+			usePrune := total < genCnt
+			msg.PutBool(usePrune)
+			if usePrune {
+				nCand = total
+				spatial.EncodeCells(msg, cells)
+			}
+		}
+		if err := transport.SendMsg(conn, msg); err != nil {
+			return 0, err
 		}
 		fresh := 0
 		if nCand > 0 {
@@ -582,24 +705,9 @@ func (h *hPass) remoteCount(conn transport.Conn, i int, eng compare.Alice) (int,
 				return 0, err
 			}
 		}
-		count = base + fresh
-	default:
-		suffix := h.hs.peerSuffix(fromGen)
-		setTag(conn, "hdp.op")
-		if err := transport.SendMsg(conn, transport.NewBuilder().PutUint(opQuery).PutUint(uint64(fromGen))); err != nil {
-			return 0, err
-		}
-		fresh := 0
-		if suffix > 0 {
-			var err error
-			fresh, err = hdpCompareDriver(conn, s, eng, p, suffix)
-			if err != nil {
-				return 0, err
-			}
-		}
-		count = base + fresh
+		count += fresh
+		h.hs.hdpExtend(i, g, g+1, fresh)
 	}
-	h.hs.putHdp(i, count, gens)
 	return count, nil
 }
 

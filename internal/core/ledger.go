@@ -54,6 +54,15 @@ import (
 //     spatial.Stack), so IndexDeltaCells is the incremental analogue of
 //     IndexCells. Delta padded counts also accumulate into
 //     IndexPaddedPoints.
+//   - IndexTombstones: generations tombstoned by Session.Expire — one
+//     entry per expired generation. A tombstone names only *which*
+//     generations left the sliding window; their per-cell padded
+//     occupancy was disclosed once at append time, so expiry adds no
+//     finer-grained information, just the window movement itself. Like
+//     index deltas, tombstones are setup-class disclosures (recorded in
+//     SetupLeakage, not per run) and travel on every session regardless
+//     of pruning — the generation ledger is what keeps both parties'
+//     caches invalidating in lockstep.
 //
 // OrderBits stays mechanical (it counts selection comparisons actually
 // revealed); pruning strictly shrinks the selection set, so pruned runs
@@ -89,6 +98,7 @@ type Ledger struct {
 	IndexCellCoords   int
 	IndexQueryCells   int
 	IndexDeltaCells   int
+	IndexTombstones   int
 }
 
 // Add accumulates another ledger into l.
@@ -104,6 +114,7 @@ func (l *Ledger) Add(o Ledger) {
 	l.IndexCellCoords += o.IndexCellCoords
 	l.IndexQueryCells += o.IndexQueryCells
 	l.IndexDeltaCells += o.IndexDeltaCells
+	l.IndexTombstones += o.IndexTombstones
 }
 
 // NonIndex returns a copy with the Index* classes zeroed — the view the
@@ -114,6 +125,7 @@ func (l Ledger) NonIndex() Ledger {
 	l.IndexCellCoords = 0
 	l.IndexQueryCells = 0
 	l.IndexDeltaCells = 0
+	l.IndexTombstones = 0
 	return l
 }
 
@@ -136,6 +148,7 @@ func (l Ledger) String() string {
 	add("indexCellCoords", l.IndexCellCoords)
 	add("indexQueryCells", l.IndexQueryCells)
 	add("indexDeltaCells", l.IndexDeltaCells)
+	add("indexTombstones", l.IndexTombstones)
 	if len(parts) == 0 {
 		return "ledger{}"
 	}

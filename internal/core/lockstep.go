@@ -58,6 +58,27 @@ func (c *PairCache) Len() int {
 	return len(c.m)
 }
 
+// Expire invalidates and remaps the cache after the n oldest records
+// leave a sliding window: every pair touching an expired record is
+// dropped — its bit describes a point that no longer exists — and the
+// surviving pairs, whose distances are immutable, shift down onto the
+// compacted indices. Every lockstep participant applies the identical
+// remap, so all sides' caches stay equal and the seeded drivers remain
+// in lock step across expiries.
+func (c *PairCache) Expire(n int) {
+	if c == nil || n == 0 {
+		return
+	}
+	next := make(map[[2]int]bool, len(c.m))
+	for k, v := range c.m {
+		if k[0] < n || k[1] < n {
+			continue
+		}
+		next[[2]int{k[0] - n, k[1] - n}] = v
+	}
+	c.m = next
+}
+
 // LockstepClusterBatch is LockstepCluster with a batched decision oracle:
 // all yet-undecided pairs of one neighborhood query are submitted in a
 // single call, so an oracle backed by compare.BatchLessEq resolves them in

@@ -115,26 +115,28 @@ func (s *session) appendIndexDelta(conn transport.Conn, batch [][]int64) error {
 }
 
 // candidateCells is the driver-side half of a pruned query scoped to the
-// peer's generations [fromGen, …): their occupied cells adjacent to p's
+// peer's generations [from, to): their occupied cells adjacent to p's
 // cell, plus the stacked padded occupancy total (the exact number of
-// MP/comparison instances the query will run). fromGen 0 is the full
-// index; a query whose prefix is answered by the cross-run cache passes
-// the first uncached generation.
-func (s *session) candidateCells(p []int64, fromGen int) (cells [][]int64, total int) {
-	return spatial.CandidatesRange(s.peerDirs, fromGen, spatial.Bucket(p, s.cellW))
+// MP/comparison instances the query will run). The full index is
+// (0, len(peerDirs)); a query whose prefix is answered by the cross-run
+// cache starts at the first uncached generation, and the per-generation
+// sub-queries of a sliding-window sweep bound both ends so cached
+// segments align with generation boundaries.
+func (s *session) candidateCells(p []int64, from, to int) (cells [][]int64, total int) {
+	return spatial.CandidatesSpan(s.peerDirs, from, to, spatial.Bucket(p, s.cellW))
 }
 
 // readQueryCells is the responder-side half: parse an announced candidate
-// list, resolve it against our own generations [fromGen, …)
-// (spatial.Stack.ResolveRange does the validation), and return the real
+// list, resolve it against our own generations [from, to)
+// (spatial.Stack.ResolveSpan does the validation), and return the real
 // member points (generation-major) plus how many dummy entries pad the
 // batch to the disclosed stacked counts.
-func (s *session) readQueryCells(r *transport.Reader, own [][]int64, fromGen int) (pts [][]int64, nDummy int, err error) {
+func (s *session) readQueryCells(r *transport.Reader, own [][]int64, from, to int) (pts [][]int64, nDummy int, err error) {
 	cells, err := spatial.DecodeCells(r, s.dim)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: query cells: %w", err)
 	}
-	members, nDummy, err := s.ownStack.ResolveRange(fromGen, cells)
+	members, nDummy, err := s.ownStack.ResolveSpan(from, to, cells)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: query cells: %w", err)
 	}
@@ -150,20 +152,28 @@ func (s *session) readQueryCells(r *transport.Reader, own [][]int64, fromGen int
 // core query op frame when pruning is on: the exhaustive-fallback flag
 // and, for pruned queries, the candidate cells. Returns the candidate
 // points plus dummy count — on fallback, the own points of generations
-// [fromGen, …) with no dummies. The flag itself is an index signal (it
+// [from, to) with no dummies. The flag itself is an index signal (it
 // tells the responder whether the query's candidate cells cover at least
-// the exhaustive suffix), so it is accounted in IndexQueryCells alongside
+// the exhaustive span), so it is accounted in IndexQueryCells alongside
 // any announced cells.
-func (s *session) readPrunedOp(r *transport.Reader, own [][]int64, fromGen int) (pts [][]int64, nDummy int, err error) {
+func (s *session) readPrunedOp(r *transport.Reader, own [][]int64, from, to int) (pts [][]int64, nDummy int, err error) {
 	pruned := r.Bool()
 	if err := r.Err(); err != nil {
 		return nil, 0, err
 	}
 	s.led(func(l *Ledger) { l.IndexQueryCells++ })
 	if !pruned {
-		return own[s.ownStack.GenStart(fromGen):], 0, nil
+		start, err := s.ownStack.GenStart(from)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: query watermark: %w", err)
+		}
+		end, err := s.ownStack.GenStart(to)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: query watermark: %w", err)
+		}
+		return own[start:end], 0, nil
 	}
-	return s.readQueryCells(r, own, fromGen)
+	return s.readQueryCells(r, own, from, to)
 }
 
 // ---- Lockstep cell matrices ----

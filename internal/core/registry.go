@@ -249,36 +249,41 @@ func (m *SessionManager) Draining() bool {
 const drainPoll = 5 * time.Millisecond
 
 // Drain starts graceful shutdown: new Begin calls fail with ErrDraining,
-// and Drain waits up to timeout for the in-flight sessions to retire.
-// If some are still live at the deadline — the hung-client path — their
-// connections are force-closed so the serving goroutines unwind with a
-// transport error, and Drain keeps waiting until they retire. Returns
-// true when every session retired within the timeout, false when the
+// and Drain waits up to timeout — total, wall-clock — for the in-flight
+// sessions to retire. The budget is split: most of it is spent waiting
+// for graceful retirement, with a tail reserved for the hung-client
+// path, where the remaining sessions' connections are force-closed so
+// the serving goroutines unwind with a transport error and Drain waits
+// out the rest of the budget for them to retire. Drain never blocks for
+// more than the documented timeout (plus one poll interval). Returns
+// true when every session retired gracefully, false when the
 // force-close path was taken.
 func (m *SessionManager) Drain(timeout time.Duration) bool {
 	m.mu.Lock()
 	m.draining = true
 	m.mu.Unlock()
 	deadline := time.Now().Add(timeout)
-	for {
-		if m.Live() == 0 {
-			return true
-		}
-		if !time.Now().Before(deadline) {
-			break
-		}
+	// Reserve a slice of the budget for the force-close tail so a hung
+	// client still gets its connection torn down inside the timeout.
+	grace := timeout / 5
+	if grace < drainPoll {
+		grace = drainPoll
+	}
+	for m.Live() > 0 && time.Now().Before(deadline.Add(-grace)) {
 		time.Sleep(drainPoll)
+	}
+	if m.Live() == 0 {
+		return true
 	}
 	m.mu.Lock()
 	for _, h := range m.live {
 		h.conn.Close()
 	}
 	m.mu.Unlock()
-	// The force-closed sessions unwind promptly (their Recv fails); give
-	// them one more timeout window to retire so the caller's aggregate is
-	// as complete as it can be, but never hang shutdown on a goroutine
-	// that won't End.
-	deadline = time.Now().Add(timeout)
+	// The force-closed sessions unwind promptly (their Recv fails); spend
+	// the reserved tail of the same budget waiting for them to retire so
+	// the caller's aggregate is as complete as it can be, but never hang
+	// shutdown on a goroutine that won't End.
 	for m.Live() > 0 && time.Now().Before(deadline) {
 		time.Sleep(drainPoll)
 	}

@@ -318,6 +318,36 @@ func TestManagerDrainWithHungClient(t *testing.T) {
 	wg.Wait()
 }
 
+// TestManagerDrainBudget: Drain's timeout is a total wall-clock budget,
+// not per-phase. A registered session that never retires — not even
+// after its connection is force-closed — used to make Drain wait two
+// full timeout windows (one graceful, one post-close); the budget must
+// cover both phases.
+func TestManagerDrainBudget(t *testing.T) {
+	mgr := NewSessionManager(1)
+	ca, _ := transport.Pipe()
+	if _, err := mgr.Begin(ca); err != nil {
+		t.Fatal(err)
+	}
+	// No serving goroutine: the handle never calls End, so the session
+	// stays live through the graceful wait, the force-close, and the tail.
+	const timeout = 100 * time.Millisecond
+	start := time.Now()
+	ok := mgr.Drain(timeout)
+	elapsed := time.Since(start)
+	if ok {
+		t.Error("Drain reported clean with a session that never retired")
+	}
+	if mgr.Live() != 1 {
+		t.Errorf("live after drain: %d, want 1 (handle never ended)", mgr.Live())
+	}
+	// The old two-window bug took ≈ 2× timeout; allow generous scheduler
+	// slack but stay clearly below that.
+	if elapsed > timeout+timeout/2 {
+		t.Errorf("Drain(%v) blocked for %v; budget must bound both phases", timeout, elapsed)
+	}
+}
+
 // TestManagerMaxSessions: the admission bound refuses registrations with
 // ErrServerFull before any handshake work, and frees slots as sessions
 // retire.

@@ -45,6 +45,7 @@ const (
 	sessOpRun    uint64 = 1
 	sessOpClose  uint64 = 2
 	sessOpAppend uint64 = 3
+	sessOpExpire uint64 = 4
 )
 
 // ErrSessionClosed reports that the initiating party ended the session;
@@ -62,6 +63,19 @@ var ErrConcurrentRun = errors.New("core: concurrent Run calls on one session")
 // initiating party (RoleAlice) drives the control channel; the serving
 // party contributes its own batches through SetAppendSource.
 var ErrAppendRole = errors.New("core: only the initiating party may call Append; the serving party supplies batches via SetAppendSource")
+
+// ErrExpireRole reports an Expire call on the serving party: like
+// appends, expiries are driven by the initiating party over the control
+// channel; the serving party absorbs them inside its Run loop.
+var ErrExpireRole = errors.New("core: only the initiating party may call Expire; the serving party absorbs expiries from the control channel")
+
+// idleController is implemented by server-side connections whose idle
+// read deadline can be switched off for the duration of a protocol run:
+// a client doing long local cryptography between frames is healthy, not
+// idle, and must not trip the -idle-timeout mid-run. The deadline stays
+// armed while the serving Run loop waits for control ops — the state in
+// which peer silence really does mean a hung client.
+type idleController interface{ SetIdleArmed(bool) }
 
 // Session is one party's half of a long-lived protocol session. Create
 // one with NewHorizontalSession, NewEnhancedHorizontalSession,
@@ -89,6 +103,19 @@ type Session struct {
 	appendServe func(r *transport.Reader) error
 	appendSrc   AppendSource
 	appends     atomic.Int64
+
+	// Expiry hooks mirror the append hooks: expireInit announces and
+	// applies one window expiry from the initiating side, expireServe
+	// validates and applies the tombstone on the serving side. Families
+	// that do not support expiry leave them nil.
+	expireInit  func(gens int) (sent bool, err error)
+	expireServe func(r *transport.Reader) error
+	expires     atomic.Int64
+
+	// idleCtl, when non-nil, is the serving connection's idle-deadline
+	// switch (see idleController); the Run loop disarms it for the
+	// duration of each protocol run.
+	idleCtl idleController
 
 	// Misuse guards, atomic so a server can observe a session's state
 	// while goroutines race Run/Close against it: runs counts completed
@@ -218,6 +245,74 @@ func (t *Session) append(values [][]float64, owners [][]partition.Owner) error {
 // Appends reports how many append exchanges this session has absorbed.
 func (t *Session) Appends() int { return int(t.appends.Load()) }
 
+// Expire slides the session's window forward by tombstoning its gens
+// oldest live generations: their points leave both parties' datasets,
+// every cross-run cache entry touching them is invalidated (a stale
+// cached bit would silently corrupt labels), and the next Run clusters
+// exactly the surviving window — labels and decision-level Ledger
+// budgets byte-identical to a fresh session over the window contents
+// (the windowed-equivalence harness enforces this). The only disclosure
+// is the tombstone itself: *which* generations died, never which points
+// they held (their padded cell counts were public since append time);
+// it is recorded in the setup ledger's IndexTombstones class.
+//
+// Like Append, Expire is driven by the initiating party (RoleAlice) over
+// the control channel — the serving party absorbs it inside its Run loop
+// — and never concurrently with Run, Append, or Close
+// (ErrConcurrentRun) or after Close (ErrSessionClosed). Expiring every
+// live generation leaves a valid empty window; expiring more is an
+// error.
+func (t *Session) Expire(gens int) error {
+	if !t.running.CompareAndSwap(false, true) {
+		return ErrConcurrentRun
+	}
+	defer t.running.Store(false)
+	if t.closed.Load() {
+		return ErrSessionClosed
+	}
+	if t.s.role != RoleAlice {
+		return ErrExpireRole
+	}
+	if t.expireInit == nil {
+		return fmt.Errorf("core: %s session does not support expiry", t.proto)
+	}
+	sent, err := t.expireInit(gens)
+	if err != nil {
+		if sent {
+			// The peer may have applied the tombstone we failed to finish;
+			// the generation ledgers can no longer be trusted to agree.
+			t.closed.Store(true)
+		}
+		return err
+	}
+	// Expiry disclosures (tombstones) are setup-class state, like the
+	// index deltas of the appends that created the generations.
+	t.setup.Add(t.s.takeLedger())
+	t.expires.Add(1)
+	return nil
+}
+
+// WindowAppend slides the window one step: append points as the newest
+// generation, then expire the oldest live one. The steady state of a
+// sliding-window feed — window width constant, one tombstone per batch.
+func (t *Session) WindowAppend(points [][]float64) error {
+	if err := t.Append(points); err != nil {
+		return err
+	}
+	return t.Expire(1)
+}
+
+// Expires reports how many expiries this session has absorbed.
+func (t *Session) Expires() int { return int(t.expires.Load()) }
+
+// setIdleArmed flips the serving connection's idle deadline, when the
+// session sits on one (see idleController).
+func (t *Session) setIdleArmed(on bool) {
+	if t.idleCtl != nil {
+		t.idleCtl.SetIdleArmed(on)
+	}
+}
+
 // Run executes one clustering pass over the session's established keys
 // and index. The initiating party announces the run on the control
 // channel; the serving party's Run blocks until the peer either runs
@@ -240,6 +335,13 @@ func (t *Session) Run() (*Result, error) {
 			return nil, fmt.Errorf("core: session run op: %w", err)
 		}
 	} else {
+		// Waiting for a control op is the one state where peer silence
+		// means a hung client: arm the idle deadline here and disarm it
+		// for the protocol run itself, whose frames may lag behind the
+		// client's local cryptography without the session being idle.
+		// (Each Recv inside an append/expire exchange re-arms the rolling
+		// deadline on its own.)
+		t.setIdleArmed(true)
 	ops:
 		for {
 			r, err := transport.RecvMsg(ctrl)
@@ -252,6 +354,7 @@ func (t *Session) Run() (*Result, error) {
 			}
 			switch op {
 			case sessOpRun:
+				t.setIdleArmed(false)
 				break ops
 			case sessOpClose:
 				t.closed.Store(true)
@@ -263,6 +366,17 @@ func (t *Session) Run() (*Result, error) {
 				}
 				t.setup.Add(t.s.takeLedger())
 				t.appends.Add(1)
+				setTag(ctrl, "session.op")
+			case sessOpExpire:
+				if t.expireServe == nil {
+					return nil, fmt.Errorf("core: %s session does not support expiry", t.proto)
+				}
+				if err := t.expireServe(r); err != nil {
+					t.closed.Store(true)
+					return nil, err
+				}
+				t.setup.Add(t.s.takeLedger())
+				t.expires.Add(1)
 				setTag(ctrl, "session.op")
 			default:
 				return nil, fmt.Errorf("core: unexpected session op %d", op)

@@ -49,8 +49,10 @@ func (r Role) peer() Role {
 // added the Parallel scheduler width (which also pins whether the
 // connection is multiplexed) and the session run/close control ops;
 // version 5 added the append control op, the streaming index-delta
-// rounds, and the generation watermark on horizontal query op frames.
-const handshakeVersion = 5
+// rounds, and the generation watermark on horizontal query op frames;
+// version 6 added the expire control op and the generation tombstone
+// exchange (sliding windows).
+const handshakeVersion = 6
 
 // ErrHandshake reports parameter disagreement between the parties.
 var ErrHandshake = errors.New("core: handshake parameter mismatch")

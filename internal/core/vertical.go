@@ -91,14 +91,17 @@ func NewVerticalSession(conn transport.Conn, cfg Config, role Role, attrs [][]fl
 			return nil, err
 		}
 	}
-	vs := &vStream{enc: enc, cellRows: cellRows, peerDim: peer.Dim, cache: NewPairCache()}
+	vs := &vStream{enc: enc, cellRows: cellRows, peerDim: peer.Dim, batches: []int{len(enc)}, cache: NewPairCache()}
 	t := &Session{s: s, peer: peer, mux: mux, conns: conns, proto: "vertical"}
+	t.idleCtl, _ = conn.(idleController)
 	t.setup = s.takeLedger()
 	t.runOnce = func() (*Result, error) { return verticalRunOnce(t, vs) }
 	t.appendInit = func(values [][]float64, owners [][]partition.Owner) (bool, error) {
 		return verticalAppendInit(t, vs, values, owners)
 	}
 	t.appendServe = func(r *transport.Reader) error { return verticalAppendServe(t, vs, r) }
+	t.expireInit = func(gens int) (bool, error) { return verticalExpireInit(t, vs, gens) }
+	t.expireServe = func(r *transport.Reader) error { return verticalExpireServe(t, vs, r) }
 	return t, nil
 }
 
@@ -106,11 +109,16 @@ func NewVerticalSession(conn transport.Conn, cfg Config, role Role, attrs [][]fl
 // record matrix (this party's columns), the shared cell matrix under
 // pruning, and the cross-run pair-decision cache — pair bits are public
 // to both parties (Theorem 10), so both hold identical caches and the
-// seeded lockstep drivers stay in lock step.
+// seeded lockstep drivers stay in lock step. batches records each
+// generation's record count (the establishment batch first); expiries
+// tombstone the oldest live generations, compact the matrices, and
+// remap the cache onto the surviving rows.
 type vStream struct {
 	enc      [][]int64
 	cellRows [][]int64
 	peerDim  int
+	batches  []int // record count per generation, dead prefix retained
+	dead     int   // expired generations
 	cache    *PairCache
 }
 
@@ -122,7 +130,7 @@ func verticalAppendInit(t *Session, vs *vStream, values [][]float64, owners [][]
 	if owners != nil {
 		return false, fmt.Errorf("core: vertical protocol takes Append, not AppendOwned")
 	}
-	batch, err := encodeVBatch(s, values, len(vs.enc[0]))
+	batch, err := encodeVBatch(s, values, s.dim-vs.peerDim)
 	if err != nil {
 		return false, err
 	}
@@ -159,7 +167,7 @@ func verticalAppendServe(t *Session, vs *vStream, r *transport.Reader) error {
 	if len(values) != peerCount {
 		return fmt.Errorf("core: append source returned %d records, want %d (vertical records are shared)", len(values), peerCount)
 	}
-	batch, err := encodeVBatch(s, values, len(vs.enc[0]))
+	batch, err := encodeVBatch(s, values, s.dim-vs.peerDim)
 	if err != nil {
 		return err
 	}
@@ -219,7 +227,56 @@ func finishVAppend(t *Session, vs *vStream, batch [][]int64, peerCount int, r *t
 		}
 	}
 	vs.enc = append(vs.enc, batch...)
+	vs.batches = append(vs.batches, len(batch))
 	return nil
+}
+
+// verticalExpireInit is the initiating side of one vertical expiry:
+// announce the tombstone and apply it locally. The records are shared,
+// so both sides compact the same row prefix.
+func verticalExpireInit(t *Session, vs *vStream, gens int) (sent bool, err error) {
+	live := len(vs.batches) - vs.dead
+	if gens < 1 || gens > live {
+		return false, fmt.Errorf("core: expire %d of %d live generations", gens, live)
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpExpire)
+	spatial.TombstoneDelta{From: vs.dead, N: gens}.Encode(msg)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session expire op: %w", err)
+	}
+	finishVExpire(t, vs, gens)
+	return true, nil
+}
+
+// verticalExpireServe validates the announced tombstone against this
+// side's generation ledger and applies it.
+func verticalExpireServe(t *Session, vs *vStream, r *transport.Reader) error {
+	live := len(vs.batches) - vs.dead
+	td, err := spatial.DecodeTombstoneDelta(r, vs.dead, live)
+	if err != nil {
+		return fmt.Errorf("core: session expire op: %w", err)
+	}
+	finishVExpire(t, vs, td.N)
+	return nil
+}
+
+// finishVExpire compacts the expired rows out of the record and cell
+// matrices and remaps the pair cache — every bit touching an expired
+// record is invalidated; survivors shift onto the compacted indices.
+func finishVExpire(t *Session, vs *vStream, gens int) {
+	rows := 0
+	for g := vs.dead; g < vs.dead+gens; g++ {
+		rows += vs.batches[g]
+	}
+	vs.enc = vs.enc[rows:]
+	if vs.cellRows != nil {
+		vs.cellRows = vs.cellRows[rows:]
+	}
+	vs.cache.Expire(rows)
+	vs.dead += gens
+	t.s.led(func(l *Ledger) { l.IndexTombstones += gens })
 }
 
 // encodeVBatch validates and encodes appended rows of this party's

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// E18 — sliding-window expiry sweep. A long-lived session holds a
+// window of W generations and slides it one generation per stage:
+// WindowAppend absorbs a fresh batch and expires the oldest live one
+// (tombstone exchange + dead-prefix compaction), then Run re-clusters
+// the window. The baseline tears the session down and rebuilds it at
+// every stage: a fresh session fed the same window stream (construct
+// over the oldest generation, append the rest) and run once — identical
+// generational index, no establishment charged, but an empty cache.
+// Distances among the W-1 surviving generations are already decided, so
+// the incremental runs pay secure comparisons only for (new generation
+// × candidate) work while every cache entry touching an expired point
+// is invalidated — the correctness half is the windowed-equivalence bar
+// (labels byte-identical to the rebuild at every stage; the core
+// windowed harness separately pins them to a flat session over the
+// window) plus the expiry disclosure being first-class Ledger state
+// (IndexTombstones in both setup ledgers). BenchE18 emits the JSON rows
+// `make bench` archives in BENCH_E18.json.
+
+// e18Shape is the sweep ladder: window widths in generations, the
+// generation (batch) size, and how many slides each point performs.
+func e18Shape(opt Options) (windows []int, batch, slides int) {
+	if opt.Quick {
+		return []int{2}, 6, 2
+	}
+	return []int{2, 3}, 8, 3
+}
+
+// e18Gens builds one sweep point's workload: win+slides generations of
+// batch clustered rows each, in arrival order.
+func e18Gens(opt Options, win, batch, slides int) ([][][]float64, core.Config) {
+	d := dataset.Blobs((win+slides)*batch, 3, 0.07, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+	cfg := qualityCfg(scaleEps(0.4), 4, 63, opt.seed())
+	gens := make([][][]float64, win+slides)
+	for g := range gens {
+		gens[g] = q.Points[g*batch : (g+1)*batch]
+	}
+	return gens, cfg
+}
+
+// runE18Incremental drives one windowed session: fill the window
+// (construct + win-1 appends), run, then WindowAppend+run per slide.
+func runE18Incremental(fam e17Family, cfg core.Config, latency time.Duration, gens [][][]float64, win int) ([]e17Stage, core.Ledger, core.Ledger, error) {
+	var resA, resB []*core.Result
+	var walls []time.Duration
+	var setupA, setupB core.Ledger
+	var mu sync.Mutex
+	err := e17SessionPair(latency,
+		func(conn transport.Conn) error {
+			sess, err := fam.newSess(conn, cfg, core.RoleAlice, fam.sideData(gens[0], core.RoleAlice))
+			if err != nil {
+				return err
+			}
+			for g := 1; g < win; g++ {
+				if err := sess.Append(fam.sideData(gens[g], core.RoleAlice)); err != nil {
+					return err
+				}
+			}
+			drive := func() error {
+				start := time.Now()
+				res, err := sess.Run()
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				resA = append(resA, res)
+				walls = append(walls, time.Since(start))
+				mu.Unlock()
+				return nil
+			}
+			if err := drive(); err != nil {
+				return err
+			}
+			for g := win; g < len(gens); g++ {
+				if err := sess.WindowAppend(fam.sideData(gens[g], core.RoleAlice)); err != nil {
+					return err
+				}
+				if err := drive(); err != nil {
+					return err
+				}
+			}
+			mu.Lock()
+			setupA = sess.SetupLeakage()
+			mu.Unlock()
+			return sess.Close()
+		},
+		func(conn transport.Conn) error {
+			sess, err := fam.newSess(conn, cfg, core.RoleBob, fam.sideData(gens[0], core.RoleBob))
+			if err != nil {
+				return err
+			}
+			next := 1
+			sess.SetAppendSource(func(req core.AppendRequest) ([][]float64, error) {
+				if next >= len(gens) {
+					return nil, fmt.Errorf("e18: unexpected append %d", next)
+				}
+				b := fam.sideData(gens[next], core.RoleBob)
+				next++
+				return b, nil
+			})
+			for {
+				res, err := sess.Run()
+				if errors.Is(err, core.ErrSessionClosed) {
+					mu.Lock()
+					setupB = sess.SetupLeakage()
+					mu.Unlock()
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				resB = append(resB, res)
+				mu.Unlock()
+			}
+		})
+	if err != nil {
+		return nil, setupA, setupB, err
+	}
+	if len(resA) != len(resB) {
+		return nil, setupA, setupB, fmt.Errorf("e18: %d alice stages vs %d bob stages", len(resA), len(resB))
+	}
+	stages := make([]e17Stage, len(resA))
+	for i := range resA {
+		stages[i] = e17Stage{resA: resA[i], resB: resB[i], wall: walls[i]}
+	}
+	return stages, setupA, setupB, nil
+}
+
+// runE18Rebuild runs the per-stage baseline: a fresh session per window
+// position fed the same generational stream — construct over the oldest
+// window generation, append the remaining W-1, run once — timing only
+// the run (the rebuild is charged nothing for its repeated
+// establishment; what it cannot reuse is the comparison cache).
+func runE18Rebuild(fam e17Family, cfg core.Config, latency time.Duration, gens [][][]float64, win int) ([]e17Stage, error) {
+	slides := len(gens) - win
+	stages := make([]e17Stage, 0, slides+1)
+	for s := 0; s <= slides; s++ {
+		var st e17Stage
+		var mu sync.Mutex
+		err := e17SessionPair(latency,
+			func(conn transport.Conn) error {
+				sess, err := fam.newSess(conn, cfg, core.RoleAlice, fam.sideData(gens[s], core.RoleAlice))
+				if err != nil {
+					return err
+				}
+				for g := s + 1; g < s+win; g++ {
+					if err := sess.Append(fam.sideData(gens[g], core.RoleAlice)); err != nil {
+						return err
+					}
+				}
+				start := time.Now()
+				res, err := sess.Run()
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				st.resA = res
+				st.wall = time.Since(start)
+				mu.Unlock()
+				return sess.Close()
+			},
+			func(conn transport.Conn) error {
+				sess, err := fam.newSess(conn, cfg, core.RoleBob, fam.sideData(gens[s], core.RoleBob))
+				if err != nil {
+					return err
+				}
+				next := s + 1
+				sess.SetAppendSource(func(core.AppendRequest) ([][]float64, error) {
+					if next >= s+win {
+						return nil, fmt.Errorf("e18 rebuild: unexpected append %d", next)
+					}
+					b := fam.sideData(gens[next], core.RoleBob)
+					next++
+					return b, nil
+				})
+				for {
+					res, err := sess.Run()
+					if errors.Is(err, core.ErrSessionClosed) {
+						return nil
+					}
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					st.resB = res
+					mu.Unlock()
+				}
+			})
+		if err != nil {
+			return nil, fmt.Errorf("e18 rebuild stage %d: %w", s, err)
+		}
+		stages = append(stages, st)
+	}
+	return stages, nil
+}
+
+// e18Point is one (family, window width) sweep measurement.
+type e18Point struct {
+	family     string
+	win        int
+	inc        []e17Stage
+	rebuild    []e17Stage
+	setupA     core.Ledger
+	setupB     core.Ledger
+	wallInc    time.Duration
+	wallReb    time.Duration
+	cmpInc     int64
+	cmpReb     int64
+	cachedHits int64
+}
+
+// check enforces the sweep point's contract: per-stage labels match the
+// fresh-window rebuild on both sides, every slide stage issues strictly
+// fewer secure comparisons than its rebuild with a live cache, and the
+// expiry disclosure is on both setup ledgers.
+func (pt e18Point) check(slides int) error {
+	if len(pt.inc) != len(pt.rebuild) {
+		return fmt.Errorf("e18 %s W=%d: %d incremental stages vs %d rebuilds", pt.family, pt.win, len(pt.inc), len(pt.rebuild))
+	}
+	for s := range pt.inc {
+		if !metrics.ExactMatch(pt.inc[s].resA.Labels, pt.rebuild[s].resA.Labels) ||
+			!metrics.ExactMatch(pt.inc[s].resB.Labels, pt.rebuild[s].resB.Labels) {
+			return fmt.Errorf("e18 %s W=%d stage %d: labels diverge from the fresh window", pt.family, pt.win, s)
+		}
+		if s > 0 && pt.inc[s].comparisons() >= pt.rebuild[s].comparisons() {
+			return fmt.Errorf("e18 %s W=%d stage %d: incremental %d comparisons, rebuild %d — want strictly fewer",
+				pt.family, pt.win, s, pt.inc[s].comparisons(), pt.rebuild[s].comparisons())
+		}
+		if s > 0 && pt.inc[s].cached() == 0 {
+			return fmt.Errorf("e18 %s W=%d stage %d: cache never hit across the expiry", pt.family, pt.win, s)
+		}
+	}
+	if pt.setupA.IndexTombstones != slides || pt.setupB.IndexTombstones != slides {
+		return fmt.Errorf("e18 %s W=%d: IndexTombstones %d/%d, want %d on both sides",
+			pt.family, pt.win, pt.setupA.IndexTombstones, pt.setupB.IndexTombstones, slides)
+	}
+	return nil
+}
+
+// runE18Sweep measures every (family, window width) point.
+func runE18Sweep(opt Options) ([]e18Point, error) {
+	windows, batch, slides := e18Shape(opt)
+	latency := e17Latency(opt)
+	var points []e18Point
+	for _, fam := range e17Families() {
+		for _, win := range windows {
+			gens, cfg := e18Gens(opt, win, batch, slides)
+			inc, setupA, setupB, err := runE18Incremental(fam, cfg, latency, gens, win)
+			if err != nil {
+				return nil, fmt.Errorf("e18 %s W=%d incremental: %w", fam.name, win, err)
+			}
+			reb, err := runE18Rebuild(fam, cfg, latency, gens, win)
+			if err != nil {
+				return nil, fmt.Errorf("e18 %s W=%d: %w", fam.name, win, err)
+			}
+			pt := e18Point{family: fam.name, win: win, inc: inc, rebuild: reb, setupA: setupA, setupB: setupB}
+			// Stage 0 fills the window identically in both arms; the sweep
+			// aggregates the slide stages, where expiry is in play.
+			for s := 1; s < len(inc); s++ {
+				pt.wallInc += inc[s].wall
+				pt.wallReb += reb[s].wall
+				pt.cmpInc += inc[s].comparisons()
+				pt.cmpReb += reb[s].comparisons()
+				pt.cachedHits += inc[s].cached()
+			}
+			if err := pt.check(slides); err != nil {
+				return nil, err
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+func runE18(w io.Writer, opt Options) error {
+	points, err := runE18Sweep(opt)
+	if err != nil {
+		return err
+	}
+	windows, batch, slides := e18Shape(opt)
+	fmt.Fprintf(w, "simulated one-way frame latency: %v; windows of %v generations × %d points, %d slides each\n",
+		e17Latency(opt), windows, batch, slides)
+	var t table
+	t.add("protocol", "window", "slides", "cmp(incr)", "cmp(rebuild)", "reduction", "cached", "wall(incr)", "wall(rebuild)", "speedup")
+	for _, pt := range points {
+		t.add(pt.family, fmt.Sprint(pt.win), fmt.Sprint(len(pt.inc)-1),
+			fmt.Sprint(pt.cmpInc), fmt.Sprint(pt.cmpReb),
+			fmt.Sprintf("%.2fx", float64(pt.cmpReb)/float64(max(pt.cmpInc, 1))),
+			fmt.Sprint(pt.cachedHits),
+			fmt.Sprint(pt.wallInc.Round(time.Millisecond)),
+			fmt.Sprint(pt.wallReb.Round(time.Millisecond)),
+			fmt.Sprintf("%.2fx", float64(pt.wallReb)/float64(max(pt.wallInc, 1))))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Every slide's labels are byte-identical to a fresh session over exactly the window contents; expiry tombstones the oldest generation, invalidates every cache entry touching it, and is first-class Ledger state (IndexTombstones) — the surviving generations' cache entries keep answering, so slides pay only (new generation × candidate) secure comparisons.")
+	return nil
+}
+
+// BenchE18Row is one BenchE18 measurement, JSON-serializable for the
+// perf trajectory file (BENCH_E18.json, written by `make bench`).
+type BenchE18Row struct {
+	Protocol        string  `json:"protocol"`
+	Window          int     `json:"window_gens"`
+	Batch           int     `json:"gen_batch"`
+	Slides          int     `json:"slides"`
+	WindowN         int     `json:"window_n"`
+	LatencyMS       int64   `json:"latency_ms"`
+	CmpIncremental  int64   `json:"comparisons_incremental"`
+	CmpRebuild      int64   `json:"comparisons_rebuild"`
+	CmpReduction    float64 `json:"comparison_reduction"`
+	CachedHits      int64   `json:"cached_comparisons"`
+	WallIncMS       int64   `json:"wall_incremental_ms"`
+	WallRebuildMS   int64   `json:"wall_rebuild_ms"`
+	Speedup         float64 `json:"speedup_vs_rebuild"`
+	IndexTombstones int     `json:"index_tombstones"`
+}
+
+// BenchE18 runs the sliding-window sweep and returns structured
+// measurements, erroring if any slide diverges from its fresh window.
+func BenchE18(opt Options) ([]BenchE18Row, error) {
+	points, err := runE18Sweep(opt)
+	if err != nil {
+		return nil, err
+	}
+	_, batch, slides := e18Shape(opt)
+	var rows []BenchE18Row
+	for _, pt := range points {
+		rows = append(rows, BenchE18Row{
+			Protocol:        pt.family,
+			Window:          pt.win,
+			Batch:           batch,
+			Slides:          slides,
+			WindowN:         pt.win * batch,
+			LatencyMS:       e17Latency(opt).Milliseconds(),
+			CmpIncremental:  pt.cmpInc,
+			CmpRebuild:      pt.cmpReb,
+			CmpReduction:    float64(pt.cmpReb) / float64(max(pt.cmpInc, 1)),
+			CachedHits:      pt.cachedHits,
+			WallIncMS:       pt.wallInc.Milliseconds(),
+			WallRebuildMS:   pt.wallReb.Milliseconds(),
+			Speedup:         float64(pt.wallReb) / float64(max(pt.wallInc, 1)),
+			IndexTombstones: pt.setupA.IndexTombstones + pt.setupB.IndexTombstones,
+		})
+	}
+	return rows, nil
+}

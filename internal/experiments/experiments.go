@@ -58,6 +58,7 @@ func All() []Experiment {
 		{"e15", "Parallelism ablation", "the W-worker query scheduler overlaps round trips the lockstep schedule serializes — ≥1.5× wall clock on the vertical family at W=4 over a simulated WAN, with identical labels and Ledgers", runE15},
 		{"e16", "Session-concurrency sweep", "one server holding C concurrent sessions over a shared bounded crypto pool raises aggregate runs/sec from C=1 to C=4 over a simulated WAN, with every session byte-identical to the solo server", runE16},
 		{"e17", "Streaming append sweep", "a live session absorbing appended batches re-clusters at O(\u0394\u00b7candidates) cost: the cross-run comparison cache and delta index exchange cut secure comparisons and WAN wall clock vs per-stage rebuilds, with byte-identical labels at every stage", runE17},
+		{"e18", "Sliding-window expiry sweep", "a live session sliding a W-generation window (WindowAppend = append + expire-oldest) re-clusters with strictly fewer secure comparisons than fresh per-window rebuilds: tombstoned generations compact away, caches invalidate only entries touching expired points, and labels stay byte-identical to a session over exactly the window contents", runE18},
 	}
 }
 

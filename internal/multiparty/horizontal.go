@@ -76,9 +76,12 @@ type HorizontalResult struct {
 
 // pairSession holds the cryptographic state shared with one specific
 // peer, including the streaming structures: the peer's per-generation
-// directories, per-generation counts, and the driver-side cache mapping
-// our point index to the neighbour count over the peer's generation
-// prefix (permanently exact — distances are immutable).
+// directories, per-generation counts, and the driver-side cache of
+// region-count segments keyed by our point index (permanently exact over
+// live generations — distances are immutable). Expired generations stay
+// in place as husks — empty directories, zeroed counts — so generation
+// numbers are stable for the session's life and both edge endpoints
+// agree on any watermark, even one below the dead prefix.
 type pairSession struct {
 	paiKey  *paillier.PrivateKey
 	rsaKey  *yao.RSAKey
@@ -86,19 +89,12 @@ type pairSession struct {
 	peerRSA *yao.RSAPublicKey
 	cmpA    compare.Alice // we drive: we hold the left value
 	cmpB    compare.Bob   // we respond: peer holds the left value
-	peerN   int           // peer's total record count
+	peerN   int           // peer's live record count
 	rng     *mrand.Rand   // per-query permutation when we respond
 
 	peerDirs   []spatial.Directory // per-generation padded directories (pruning)
-	peerGenCnt []int               // per-generation peer counts
-	cache      map[int]meshEntry   // own point → cached prefix count
-}
-
-// meshEntry caches one (own point, peer) region count over the peer's
-// generations [0, gens).
-type meshEntry struct {
-	count int
-	gens  int
+	peerGenCnt []int               // per-generation peer counts (dead gens zeroed)
+	cache      *core.CountCache    // own point → cached count segments over peer gens
 }
 
 // peerSuffix counts the peer's points in generations [from, …).
@@ -251,6 +247,92 @@ func (ms *MeshSession) Append(points [][]float64) error {
 	return nil
 }
 
+// Expire slides the mesh window: the oldest gens generations leave on
+// every party at once. All parties must call Expire concurrently with
+// the same argument — like Append, the exchange is symmetric. Each mesh
+// edge swaps a spatial.TombstoneDelta pinned to the shared dead prefix,
+// so an endpoint that drifted out of generation lockstep fails loudly
+// instead of silently diverging. Locally the expired generations become
+// husks: own points are compacted out, the peer's per-generation counts
+// zero, its directories empty, and every cached region-count segment is
+// rebased onto the surviving own indices (segments over expired peer
+// generations are trimmed lazily at the next query). Generation numbers
+// are never reused.
+func (ms *MeshSession) Expire(gens int) error {
+	h := ms.h
+	live := len(h.ownGenStart) - h.dead
+	if gens < 1 || gens > live {
+		return fmt.Errorf("multiparty: expire %d of %d live generations", gens, live)
+	}
+	td := spatial.TombstoneDelta{From: h.dead, N: gens}
+	p := h.party
+	for q := 0; q < p.K; q++ {
+		if q == p.Index {
+			continue
+		}
+		conn := p.Conns[q]
+		msg := td.Encode(transport.NewBuilder())
+		// Lower-indexed party sends first, as in Append, so simultaneous
+		// expiries cannot deadlock a real socket.
+		var r *transport.Reader
+		var err error
+		if p.Index < q {
+			if err = transport.SendMsg(conn, msg); err == nil {
+				r, err = transport.RecvMsg(conn)
+			}
+		} else {
+			if r, err = transport.RecvMsg(conn); err == nil {
+				err = transport.SendMsg(conn, msg)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("multiparty: tombstone exchange with %d: %w", q, err)
+		}
+		peerTd, err := spatial.DecodeTombstoneDelta(r, h.dead, live)
+		if err != nil {
+			return fmt.Errorf("multiparty: tombstone from %d: %w", q, err)
+		}
+		if peerTd.N != gens {
+			return fmt.Errorf("multiparty: party %d expires %d generations, we expire %d", q, peerTd.N, gens)
+		}
+	}
+	// Every edge agreed; apply the expiry locally.
+	end := h.dead + gens
+	ownRemoved := len(h.enc)
+	if end < len(h.ownGenStart) {
+		ownRemoved = h.ownGenStart[end]
+	}
+	h.enc = h.enc[ownRemoved:]
+	for g := range h.ownGenStart {
+		if g < end {
+			h.ownGenStart[g] = 0
+		} else {
+			h.ownGenStart[g] -= ownRemoved
+		}
+	}
+	if h.pruneOn {
+		if _, err := h.ownStack.Expire(gens); err != nil {
+			return err
+		}
+	}
+	for q := 0; q < p.K; q++ {
+		if q == p.Index {
+			continue
+		}
+		sess := h.sessions[q]
+		for g := h.dead; g < end; g++ {
+			sess.peerN -= sess.peerGenCnt[g]
+			sess.peerGenCnt[g] = 0
+			if sess.peerDirs != nil {
+				sess.peerDirs[g] = spatial.Directory{Dim: h.m}
+			}
+		}
+		sess.cache.Remap(ownRemoved)
+	}
+	h.dead = end
+	return nil
+}
+
 // newMeshState performs the mesh establishment.
 func newMeshState(party HorizontalParty, cfg Config, points [][]float64) (*hState, error) {
 	if err := party.validate(); err != nil {
@@ -347,7 +429,8 @@ type hState struct {
 	pruneOn     bool
 	cellW       int64
 	ownStack    *spatial.Stack // own per-generation grids/directories (pruning)
-	ownGenStart []int          // global index of each own generation's first point
+	ownGenStart []int          // live index of each own generation's first point (dead gens clamped to 0)
+	dead        int            // generations expired out of the sliding window
 }
 
 // handshakeAll establishes a pairwise session with every peer: key
@@ -431,7 +514,7 @@ func (h *hState) handshakeAll() error {
 			return fmt.Errorf("%w: dimension %d vs %d with party %d", ErrHandshake, h.m, pM, q)
 		}
 		sess := &pairSession{paiKey: paiKey, rsaKey: rsaKey, peerN: pN,
-			peerGenCnt: []int{pN}, cache: make(map[int]meshEntry)}
+			peerGenCnt: []int{pN}, cache: core.NewCountCache()}
 		sess.peerPai, err = paillier.UnmarshalPublicKey(paiB)
 		if err != nil {
 			return err
@@ -453,9 +536,12 @@ func (h *hState) handshakeAll() error {
 			// (core.exchangeIndex): padded occupancy directories per pair.
 			// The lower-indexed party sends first so large directory frames
 			// cannot deadlock a real socket on simultaneous sends.
-			msg := h.ownStack.Dir(0).Encode(transport.NewBuilder())
+			dir0, err := h.ownStack.Dir(0)
+			if err != nil {
+				return err
+			}
+			msg := dir0.Encode(transport.NewBuilder())
 			var ir *transport.Reader
-			var err error
 			if p.Index < q {
 				if err = transport.SendMsg(conn, msg); err == nil {
 					ir, err = transport.RecvMsg(conn)
@@ -506,8 +592,9 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 // meshHandshakeVersion guards against protocol drift between binaries;
 // version 2 added the Pruning parameters to the pairwise handshake;
 // version 3 added the Parallel fan-out width; version 4 added the
-// generation watermark on query op frames and the append delta exchange.
-const meshHandshakeVersion = 4
+// generation watermark on query op frames and the append delta exchange;
+// version 5 added the generation tombstone exchange (sliding windows).
+const meshHandshakeVersion = 5
 
 // Ops on the driver→responder control channel (per peer connection).
 const (
@@ -601,54 +688,65 @@ func (h *hState) totalCount(i int) (int, error) {
 	return total, nil
 }
 
-// queryPeer runs one two-party HDP region query against peer q for our
-// point i. The cross-run cache splits the count at a generation
-// watermark: the prefix comes from an earlier run, and only the peer's
-// suffix generations enter the cryptographic phases (announced as
-// fromGen on the op frame). A fully-cached query — or one whose suffix
-// candidate set is empty — issues no frames at all. Under grid pruning
-// the suffix query announces candidate cells out of the peer's suffix
-// directories and runs over their padded occupancy.
+// queryPeer runs one HDP region query against peer q for our point i as
+// a sweep of per-generation sub-queries. The cross-run cache answers the
+// prefix (from the window's dead boundary up); each uncached generation
+// then runs the cryptographic phases on its own, announced as the span
+// [g, g+1) on the op frame, and its fresh count is cached as a segment
+// aligned with the generation boundary — so an expiry drops exactly the
+// dead generations' segments and every survivor stays contiguous from
+// the new window edge, where a single suffix-wide segment would straddle
+// every expiry boundary and die with it. A fully-cached query, an empty
+// generation, or a sub-query whose candidate cells are empty issues no
+// frames at all.
 func (h *hState) queryPeer(q, i int) (int, error) {
 	sess := h.sessions[q]
 	conn := h.party.Conns[q]
 	if sess.peerN == 0 {
 		return 0, nil
 	}
-	base, fromGen := 0, 0
-	if e, ok := sess.cache[i]; ok {
-		base, fromGen = e.count, e.gens
-	}
+	base, fromGen := sess.cache.Covered(i, h.dead)
 	gens := len(sess.peerGenCnt)
-	suffix := sess.peerSuffix(fromGen)
-	h.cached.Add(int64(sess.peerN - suffix))
-	finish := func(count int) int {
-		sess.cache[i] = meshEntry{count: count, gens: gens}
-		return count
-	}
-	if suffix == 0 {
-		return finish(base), nil
-	}
+	h.cached.Add(int64(sess.peerN - sess.peerSuffix(fromGen)))
 	x := h.enc[i]
-	nCand := suffix
-	msg := transport.NewBuilder().PutUint(hOpQuery).PutUint(uint64(fromGen))
+	count := base
+	for g := fromGen; g < gens; g++ {
+		fresh := 0
+		if sess.peerGenCnt[g] > 0 {
+			var err error
+			if fresh, err = h.queryGen(sess, conn, x, g, sess.peerGenCnt[g]); err != nil {
+				return 0, err
+			}
+		}
+		count += fresh
+		sess.cache.Extend(i, g, g+1, fresh)
+	}
+	return count, nil
+}
+
+// queryGen runs the cryptographic phases of one sub-query over peer q's
+// generation g, which holds genCnt points. Under grid pruning it
+// announces candidate cells out of the peer's generation-g directory and
+// runs over their padded occupancy; an empty candidate set is decided
+// locally with no frames.
+func (h *hState) queryGen(sess *pairSession, conn transport.Conn, x []int64, g, genCnt int) (int, error) {
+	nCand := genCnt
+	msg := transport.NewBuilder().PutUint(hOpQuery).PutUint(uint64(g)).PutUint(uint64(g + 1))
 	if h.pruneOn {
-		cells, total := spatial.CandidatesRange(sess.peerDirs, fromGen, spatial.Bucket(x, h.cellW))
-		usePrune := total < suffix
+		cells, total := spatial.CandidatesSpan(sess.peerDirs, g, g+1, spatial.Bucket(x, h.cellW))
+		usePrune := total < genCnt
 		if usePrune && total == 0 {
-			// No candidate cells in the suffix: the index already implies
-			// zero suffix neighbours; nothing to announce.
-			return finish(base), nil
+			// No candidate cells in this generation: the index already
+			// implies zero neighbours here; nothing to announce.
+			return 0, nil
 		}
 		msg.PutBool(usePrune)
 		if usePrune {
 			nCand = total
 			spatial.EncodeCells(msg, cells)
 		}
-		if err := transport.SendMsg(conn, msg); err != nil {
-			return 0, err
-		}
-	} else if err := transport.SendMsg(conn, msg); err != nil {
+	}
+	if err := transport.SendMsg(conn, msg); err != nil {
 		return 0, err
 	}
 	// MP phase: we are the sender (peer receives masked products under its
@@ -687,7 +785,7 @@ func (h *hState) queryPeer(q, i int) (int, error) {
 				count++
 			}
 		}
-		return finish(base + count), nil
+		return count, nil
 	}
 	for t := 0; t < nCand; t++ {
 		in, err := sess.cmpA.Less(conn, ownSum)
@@ -698,7 +796,7 @@ func (h *hState) queryPeer(q, i int) (int, error) {
 			count++
 		}
 	}
-	return finish(base + count), nil
+	return count, nil
 }
 
 // expand is Algorithm 4 with multi-peer counts.
@@ -770,22 +868,27 @@ func (h *hState) respond(driver int) error {
 	}
 }
 
-// serveQuery answers one HDP region query over our own (permuted) points
-// of the generations the driver's fromGen watermark names — its cache
-// already covers the prefix. Under grid pruning the op frame carries the
-// candidate cells; we serve their real members padded with
-// always-out-of-range dummies to the disclosed stacked counts, exactly
-// as core.hdpServeCompare.
+// serveQuery answers one HDP sub-query over our own (permuted) points of
+// the generation span [fromGen, toGen) the driver announced — its cache
+// already covers everything outside the span. Under grid pruning the op
+// frame carries the candidate cells; we serve their real members padded
+// with always-out-of-range dummies to the disclosed stacked counts,
+// exactly as core.hdpServeCompare.
 func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport.Reader) error {
 	fromGen := int(r.Uint())
+	toGen := int(r.Uint())
 	if r.Err() != nil {
 		return r.Err()
 	}
 	gens := len(h.ownGenStart)
-	if fromGen < 0 || fromGen >= gens {
-		return fmt.Errorf("multiparty: query watermark %d of %d generations", fromGen, gens)
+	if fromGen < h.dead || toGen > gens || fromGen >= toGen {
+		return fmt.Errorf("multiparty: query span %d..%d of %d generations (%d dead)", fromGen, toGen, gens, h.dead)
 	}
-	pts := h.enc[h.ownGenStart[fromGen]:]
+	end := len(h.enc)
+	if toGen < gens {
+		end = h.ownGenStart[toGen]
+	}
+	pts := h.enc[h.ownGenStart[fromGen]:end]
 	nDummy := 0
 	if h.pruneOn {
 		usePrune := r.Bool()
@@ -797,7 +900,7 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport
 			if err != nil {
 				return fmt.Errorf("multiparty: query cells: %w", err)
 			}
-			members, pad, err := h.ownStack.ResolveRange(fromGen, cells)
+			members, pad, err := h.ownStack.ResolveSpan(fromGen, toGen, cells)
 			if err != nil {
 				return fmt.Errorf("multiparty: query cells: %w", err)
 			}

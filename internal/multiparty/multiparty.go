@@ -225,8 +225,10 @@ var ErrHandshake = errors.New("multiparty: handshake parameter mismatch")
 
 // ringHandshakeVersion guards against protocol drift between binaries;
 // version 2 added the Pruning parameters to the token; version 3 added
-// the Parallel scheduler width (which also pins per-edge multiplexing).
-const ringHandshakeVersion = 3
+// the Parallel scheduler width (which also pins per-edge multiplexing);
+// version 4 added the generation tombstone circulation (sliding
+// windows).
+const ringHandshakeVersion = 4
 
 // handshakeToken travels once around the ring accumulating checks.
 type handshakeToken struct {

@@ -27,6 +27,8 @@ type RingSession struct {
 	cache    *core.PairCache
 	cached   atomic.Int64
 	runs     int
+	batches  []int // record count of each append generation (establishment is generation 0)
+	dead     int   // generations expired out of the sliding window
 }
 
 // NewRingSession establishes the ring session; every party must
@@ -36,7 +38,7 @@ func NewRingSession(party Party, cfg Config, attrs [][]float64) (*RingSession, e
 	if err != nil {
 		return nil, err
 	}
-	return &RingSession{st: st, cellRows: cellRows, cache: core.NewPairCache()}, nil
+	return &RingSession{st: st, cellRows: cellRows, cache: core.NewPairCache(), batches: []int{len(st.enc)}}, nil
 }
 
 // Runs reports the completed Run calls.
@@ -88,7 +90,97 @@ func (rs *RingSession) Append(attrs [][]float64) error {
 		rs.cellRows = append(rs.cellRows, rows...)
 	}
 	st.enc = append(st.enc, enc...)
+	rs.batches = append(rs.batches, len(enc))
 	return nil
+}
+
+// Expire slides the ring window: the oldest gens append generations —
+// and every record they hold — leave on all parties at once. Every
+// party must call Expire concurrently with the same argument; a
+// spatial.TombstoneDelta circulates like an append count (two laps,
+// coordinator first) so the ring agrees on exactly which generations
+// die before anyone mutates state. Locally the expired records are
+// compacted out of the attribute matrix and the pruning cell rows, and
+// the cross-run pair cache drops every bit touching an expired record
+// while remapping the survivors — all parties hold identical caches, so
+// the seeded lockstep drivers stay in lock step across expiries.
+func (rs *RingSession) Expire(gens int) error {
+	st := rs.st
+	live := len(rs.batches) - rs.dead
+	if gens < 1 || gens > live {
+		return fmt.Errorf("multiparty: expire %d of %d live generations", gens, live)
+	}
+	if err := st.circulateExpire(rs.dead, gens, live); err != nil {
+		return err
+	}
+	rows := 0
+	for g := rs.dead; g < rs.dead+gens; g++ {
+		rows += rs.batches[g]
+		rs.batches[g] = 0
+	}
+	st.enc = st.enc[rows:]
+	if rs.cellRows != nil {
+		rs.cellRows = rs.cellRows[rows:]
+	}
+	rs.cache.Expire(rows)
+	rs.dead += gens
+	return nil
+}
+
+// circulateExpire verifies ring-wide agreement on an expiry: lap 1
+// carries the coordinator's tombstone for everyone to check against its
+// own window position and Expire argument, lap 2 releases the ring, so
+// no party compacts state the others are not also retiring.
+func (st *state) circulateExpire(dead, gens, live int) error {
+	prev, next := st.prevs[0], st.nexts[0]
+	td := spatial.TombstoneDelta{From: dead, N: gens}
+	check := func(r *transport.Reader) error {
+		got, err := spatial.DecodeTombstoneDelta(r, dead, live)
+		if err != nil {
+			return fmt.Errorf("multiparty: expire circulation: %w", err)
+		}
+		if got.N != gens {
+			return fmt.Errorf("multiparty: expire disagreement: %d vs %d generations", gens, got.N)
+		}
+		return nil
+	}
+	if st.isCoordinator() {
+		if err := transport.SendMsg(next, td.Encode(transport.NewBuilder())); err != nil {
+			return fmt.Errorf("multiparty: expire send: %w", err)
+		}
+		r, err := transport.RecvMsg(prev)
+		if err != nil {
+			return fmt.Errorf("multiparty: expire return: %w", err)
+		}
+		if err := check(r); err != nil {
+			return err
+		}
+		// Lap 2: release the ring.
+		if err := transport.SendMsg(next, td.Encode(transport.NewBuilder())); err != nil {
+			return err
+		}
+		_, err = transport.RecvMsg(prev)
+		return err
+	}
+	r, err := transport.RecvMsg(prev)
+	if err != nil {
+		return fmt.Errorf("multiparty: expire recv: %w", err)
+	}
+	if err := check(r); err != nil {
+		return err
+	}
+	if err := transport.SendMsg(next, td.Encode(transport.NewBuilder())); err != nil {
+		return err
+	}
+	// Lap 2.
+	r2, err := transport.RecvMsg(prev)
+	if err != nil {
+		return err
+	}
+	if err := check(r2); err != nil {
+		return fmt.Errorf("multiparty: expire release mismatch: %w", err)
+	}
+	return transport.SendMsg(next, td.Encode(transport.NewBuilder()))
 }
 
 // Run executes one lockstep clustering over the session state, seeded

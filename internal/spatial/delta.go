@@ -1,6 +1,7 @@
 package spatial
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -26,15 +27,33 @@ import (
 // padded total (each generation rounds up separately); the equivalence
 // harness therefore treats padded sizes as index-class state, while
 // labels and decision-level budgets stay byte-identical.
+//
+// Sliding windows age generations out the other end: Expire tombstones
+// the oldest k generations and compacts them away. Generation numbering
+// stays absolute — generation g keeps its number for the stack's whole
+// life — but expired generations answer like empty ones (a husk
+// directory, a zero-width index range), and the global point indices of
+// the surviving points are rebased to 0 so the live window is always a
+// contiguous [0, Total()) range. Expiry discloses only which
+// generations died (their padded sizes were already public from the
+// original delta), never which points they held.
+
+// ErrGenRange reports a generation index outside the stack's absolute
+// range. A malformed peer watermark surfaces as this error on the
+// serving goroutine, never as a panic.
+var ErrGenRange = errors.New("spatial: generation index out of range")
 
 // Stack is one party's generational view of its own data: an append-only
 // sequence of (grid, directory) pairs over batches of points, with global
-// point indices assigned contiguously in append order.
+// point indices assigned contiguously in append order. Expire removes the
+// oldest generations; the survivors' indices are rebased so [0, Total())
+// always spans exactly the live window.
 type Stack struct {
 	W       int64
 	Dim     int
 	Quantum int
 
+	dead int // expired prefix generations, compacted away
 	gens []stackGen
 }
 
@@ -60,10 +79,16 @@ func NewStack(w int64, dim, quantum int) (*Stack, error) {
 	return &Stack{W: w, Dim: dim, Quantum: quantum}, nil
 }
 
-// Gens reports the number of generations appended so far.
-func (s *Stack) Gens() int { return len(s.gens) }
+// Gens reports the number of generations appended so far, including
+// expired ones — generation numbering is absolute for the stack's life.
+func (s *Stack) Gens() int { return s.dead + len(s.gens) }
 
-// Total reports the total point count across all generations.
+// Dead reports how many prefix generations have been expired.
+func (s *Stack) Dead() int { return s.dead }
+
+// Total reports the live point count: expired generations' points are
+// compacted away and the survivors rebased, so indices [0, Total())
+// always name exactly the window's points.
 func (s *Stack) Total() int {
 	if len(s.gens) == 0 {
 		return 0
@@ -73,17 +98,34 @@ func (s *Stack) Total() int {
 }
 
 // Dir returns generation g's padded directory — the exact payload the
-// owning party disclosed for that generation.
-func (s *Stack) Dir(g int) Directory { return s.gens[g].dir }
-
-// GenStart returns the global index of generation g's first point;
-// GenStart(Gens()) is Total(), so [GenStart(g), GenStart(g+1)) always
-// spans generation g.
-func (s *Stack) GenStart(g int) int {
-	if g >= len(s.gens) {
-		return s.Total()
+// owning party disclosed for that generation. An expired generation
+// returns an empty husk (it no longer occupies any cell); an index
+// outside [0, Gens()) returns ErrGenRange.
+func (s *Stack) Dir(g int) (Directory, error) {
+	if g < 0 || g >= s.Gens() {
+		return Directory{}, fmt.Errorf("%w: directory %d of %d", ErrGenRange, g, s.Gens())
 	}
-	return s.gens[g].start
+	if g < s.dead {
+		return Directory{Dim: s.Dim, byKey: map[string]int{}}, nil
+	}
+	return s.gens[g-s.dead].dir, nil
+}
+
+// GenStart returns the global index of generation g's first live point;
+// GenStart(Gens()) is Total(), so [GenStart(g), GenStart(g+1)) always
+// spans generation g. Expired generations are empty ranges at index 0.
+// An index outside [0, Gens()] returns ErrGenRange.
+func (s *Stack) GenStart(g int) (int, error) {
+	if g < 0 || g > s.Gens() {
+		return 0, fmt.Errorf("%w: start of generation %d of %d", ErrGenRange, g, s.Gens())
+	}
+	if g <= s.dead {
+		return 0, nil
+	}
+	if g == s.Gens() {
+		return s.Total(), nil
+	}
+	return s.gens[g-s.dead].start, nil
 }
 
 // Append buckets one batch of points (possibly empty) as the next
@@ -111,16 +153,51 @@ func (s *Stack) Append(points [][]int64) (Directory, error) {
 	return d, nil
 }
 
-// ResolveRange is the responder half of a generation-scoped pruned query:
+// Expire tombstones the oldest k live generations and compacts them
+// away: their points vanish, the surviving points are rebased to start
+// at 0, and the dead generations thereafter answer as empty (husk
+// directories, zero-width ranges). Returns how many points were
+// removed. Expiring all live generations leaves a valid empty window.
+func (s *Stack) Expire(k int) (removed int, err error) {
+	if k < 0 || k > len(s.gens) {
+		return 0, fmt.Errorf("%w: expire %d of %d live generations", ErrGenRange, k, len(s.gens))
+	}
+	for g := 0; g < k; g++ {
+		removed += s.gens[g].n
+	}
+	live := make([]stackGen, len(s.gens)-k)
+	copy(live, s.gens[k:])
+	for i := range live {
+		live[i].start -= removed
+	}
+	s.gens = live
+	s.dead += k
+	return removed, nil
+}
+
+// ResolveRange is ResolveSpan over the open suffix [from, Gens()).
+func (s *Stack) ResolveRange(from int, cells [][]int64) (members []int, nDummy int, err error) {
+	return s.ResolveSpan(from, s.Gens(), cells)
+}
+
+// ResolveSpan is the responder half of a generation-scoped pruned query:
 // it validates an announced candidate-cell list against the generations
-// [from, Gens()) and resolves it to the member point indices (global,
+// [from, to) and resolves it to the member point indices (global,
 // generation-major) plus the number of dummy entries padding the batch to
 // the disclosed stacked counts. A cell must be occupied in at least one
-// generation of the range, mirroring Directory.ResolveQuery's occupancy
-// check on the full index.
-func (s *Stack) ResolveRange(from int, cells [][]int64) (members []int, nDummy int, err error) {
-	if from < 0 || from > len(s.gens) {
-		return nil, 0, fmt.Errorf("spatial: resolve range from generation %d of %d", from, len(s.gens))
+// live generation of the span, mirroring Directory.ResolveQuery's
+// occupancy check on the full index; expired generations contribute
+// nothing. from and to are absolute, with 0 ≤ from ≤ to ≤ Gens().
+func (s *Stack) ResolveSpan(from, to int, cells [][]int64) (members []int, nDummy int, err error) {
+	if from < 0 || to > s.Gens() || from > to {
+		return nil, 0, fmt.Errorf("spatial: resolve span %d..%d of %d generations", from, to, s.Gens())
+	}
+	first, last := from-s.dead, to-s.dead
+	if first < 0 {
+		first = 0
+	}
+	if last < 0 {
+		last = 0
 	}
 	prev := ""
 	padded := 0
@@ -134,7 +211,7 @@ func (s *Stack) ResolveRange(from int, cells [][]int64) (members []int, nDummy i
 		}
 		prev = k
 		occupied := false
-		for g := from; g < len(s.gens); g++ {
+		for g := first; g < last; g++ {
 			gen := s.gens[g]
 			if p := gen.dir.Count(c); p > 0 {
 				occupied = true
@@ -145,20 +222,26 @@ func (s *Stack) ResolveRange(from int, cells [][]int64) (members []int, nDummy i
 			}
 		}
 		if !occupied {
-			return nil, 0, fmt.Errorf("spatial: query names cell %v unoccupied in generations %d..%d", c, from, len(s.gens))
+			return nil, 0, fmt.Errorf("spatial: query names cell %v unoccupied in generations %d..%d", c, from, to)
 		}
 	}
 	return members, padded - len(members), nil
 }
 
-// CandidatesRange is the driver half over a peer's generation
-// directories: the union of the per-generation candidate cells adjacent
-// to the query cell across dirs[from:], in canonical order, plus their
-// stacked padded total — the exact number of MP/comparison instances a
-// generation-scoped pruned query will run.
+// CandidatesRange is CandidatesSpan over the open suffix [from, len(dirs)).
 func CandidatesRange(dirs []Directory, from int, cell []int64) (cells [][]int64, total int) {
+	return CandidatesSpan(dirs, from, len(dirs), cell)
+}
+
+// CandidatesSpan is the driver half over a peer's generation
+// directories: the union of the per-generation candidate cells adjacent
+// to the query cell across dirs[from:to], in canonical order, plus their
+// stacked padded total — the exact number of MP/comparison instances a
+// generation-scoped pruned query will run. Expired generations are kept
+// in dirs as empty husks, so they contribute no candidates.
+func CandidatesSpan(dirs []Directory, from, to int, cell []int64) (cells [][]int64, total int) {
 	seen := make(map[string][]int64)
-	for g := from; g < len(dirs); g++ {
+	for g := from; g < to; g++ {
 		cs, t := dirs[g].Candidates(cell)
 		total += t
 		for _, c := range cs {
@@ -211,4 +294,40 @@ func DecodeGridDelta(r *transport.Reader, dim, quantum, wantGen int) (GridDelta,
 		return GridDelta{}, fmt.Errorf("spatial: delta directory: %w", err)
 	}
 	return GridDelta{Gen: gen, Dir: d}, nil
+}
+
+// TombstoneDelta is the wire form of one window expiry: the 0-based
+// absolute index of the first expired generation (which must equal the
+// receiver's current dead count — expiry is strictly prefix-order) plus
+// how many generations die. Only generation identities cross the wire;
+// their contents were disclosed once, at append time, and the tombstone
+// adds nothing at finer granularity.
+type TombstoneDelta struct {
+	From int
+	N    int
+}
+
+// Encode appends the tombstone to a wire message.
+func (d TombstoneDelta) Encode(b *transport.Builder) *transport.Builder {
+	return b.PutUint(uint64(d.From)).PutUint(uint64(d.N))
+}
+
+// DecodeTombstoneDelta parses and validates a tombstone: From must be
+// exactly wantFrom (the receiver's current dead-generation count, so
+// expiries apply in prefix order), and N must name between 1 and
+// liveGens generations — a peer cannot expire generations it never
+// appended, nor more than the live window holds.
+func DecodeTombstoneDelta(r *transport.Reader, wantFrom, liveGens int) (TombstoneDelta, error) {
+	from := int(r.Uint())
+	n := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return TombstoneDelta{}, err
+	}
+	if from != wantFrom {
+		return TombstoneDelta{}, fmt.Errorf("spatial: tombstone from generation %d, want %d", from, wantFrom)
+	}
+	if n < 1 || n > liveGens {
+		return TombstoneDelta{}, fmt.Errorf("spatial: tombstone for %d of %d live generations", n, liveGens)
+	}
+	return TombstoneDelta{From: from, N: n}, nil
 }

@@ -1,6 +1,7 @@
 package spatial
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/transport"
@@ -95,6 +96,136 @@ func TestCandidatesRangeUnionsGenerations(t *testing.T) {
 	cells, total = CandidatesRange(dirs, 2, []int64{0, 0})
 	if len(cells) != 0 || total != 0 {
 		t.Fatalf("disjoint suffix candidates=%v total=%d, want none", cells, total)
+	}
+}
+
+func TestStackDirGenStartBounds(t *testing.T) {
+	s := mkStack(t, 4, 2, 1)
+	if _, err := s.Append([][]int64{{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{-1, 1, 7} {
+		if _, err := s.Dir(g); !errors.Is(err, ErrGenRange) {
+			t.Errorf("Dir(%d) err = %v, want ErrGenRange", g, err)
+		}
+	}
+	for _, g := range []int{-1, 2, 7} {
+		if _, err := s.GenStart(g); !errors.Is(err, ErrGenRange) {
+			t.Errorf("GenStart(%d) err = %v, want ErrGenRange", g, err)
+		}
+	}
+	// GenStart(Gens()) is Total(), not an error.
+	if n, err := s.GenStart(1); err != nil || n != 1 {
+		t.Fatalf("GenStart(Gens()) = %d, %v, want 1, nil", n, err)
+	}
+	// ResolveRange with from == Gens() accepts an empty query.
+	if _, _, err := s.ResolveRange(s.Gens(), nil); err != nil {
+		t.Fatalf("ResolveRange(Gens(), nil): %v", err)
+	}
+}
+
+func TestStackExpireRebasesSurvivors(t *testing.T) {
+	s := mkStack(t, 4, 2, 2)
+	if _, err := s.Append([][]int64{{0, 0}, {1, 1}, {9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([][]int64{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([][]int64{{1, 0}, {9, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.Expire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 || s.Dead() != 1 || s.Gens() != 3 || s.Total() != 3 {
+		t.Fatalf("expire: removed=%d dead=%d gens=%d total=%d", removed, s.Dead(), s.Gens(), s.Total())
+	}
+	// The expired generation answers as empty.
+	d, err := s.Dir(0)
+	if err != nil || len(d.Cells) != 0 || d.Dim != 2 {
+		t.Fatalf("dead Dir(0) = %+v, %v", d, err)
+	}
+	if n, err := s.GenStart(0); err != nil || n != 0 {
+		t.Fatalf("dead GenStart(0) = %d, %v", n, err)
+	}
+	if n, err := s.GenStart(1); err != nil || n != 0 {
+		t.Fatalf("survivor GenStart(1) = %d, %v, want rebased 0", n, err)
+	}
+	if n, err := s.GenStart(2); err != nil || n != 1 {
+		t.Fatalf("survivor GenStart(2) = %d, %v, want rebased 1", n, err)
+	}
+	// Cell (0,0): gen-1 point (now index 0) + gen-2 point (now index 1);
+	// the expired gen-0 members are gone. Quantum 2 pads each live
+	// generation's single member to 2.
+	members, dummy, err := s.ResolveRange(0, [][]int64{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || dummy != 2 {
+		t.Fatalf("post-expiry resolve = %v/%d, want 2 members / 2 dummies", members, dummy)
+	}
+	for _, m := range members {
+		if m != 0 && m != 1 {
+			t.Fatalf("post-expiry member %d outside rebased window", m)
+		}
+	}
+	// A from inside the dead prefix behaves like from == dead.
+	m2, d2, err := s.ResolveRange(1, [][]int64{{0, 0}})
+	if err != nil || len(m2) != len(members) || d2 != dummy {
+		t.Fatalf("from inside dead prefix: %v/%d, %v", m2, d2, err)
+	}
+	// Expiring more than the live window is rejected.
+	if _, err := s.Expire(3); !errors.Is(err, ErrGenRange) {
+		t.Fatalf("over-expire err = %v, want ErrGenRange", err)
+	}
+}
+
+func TestStackExpireAllAndEmptyBatches(t *testing.T) {
+	s := mkStack(t, 4, 2, 1)
+	if _, err := s.Append([][]int64{}); err != nil {
+		t.Fatal(err) // empty-batch generation
+	}
+	if _, err := s.Append([][]int64{{2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.Expire(2)
+	if err != nil || removed != 1 {
+		t.Fatalf("expire all: removed=%d err=%v", removed, err)
+	}
+	if s.Total() != 0 || s.Dead() != 2 || s.Gens() != 2 {
+		t.Fatalf("empty window: total=%d dead=%d gens=%d", s.Total(), s.Dead(), s.Gens())
+	}
+	// The empty window still accepts appends with absolute numbering.
+	if _, err := s.Append([][]int64{{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Gens() != 3 || s.Total() != 1 {
+		t.Fatalf("append after expire-all: gens=%d total=%d", s.Gens(), s.Total())
+	}
+	if n, err := s.GenStart(2); err != nil || n != 0 {
+		t.Fatalf("new generation start = %d, %v", n, err)
+	}
+}
+
+func TestTombstoneDeltaCodec(t *testing.T) {
+	b := TombstoneDelta{From: 2, N: 1}.Encode(transport.NewBuilder())
+	got, err := DecodeTombstoneDelta(transport.NewReader(b.Bytes()), 2, 3)
+	if err != nil || got.From != 2 || got.N != 1 {
+		t.Fatalf("round trip = %+v, %v", got, err)
+	}
+	// Prefix-order pin: From must match the receiver's dead count.
+	b = TombstoneDelta{From: 1, N: 1}.Encode(transport.NewBuilder())
+	if _, err := DecodeTombstoneDelta(transport.NewReader(b.Bytes()), 2, 3); err == nil {
+		t.Error("out-of-order tombstone accepted")
+	}
+	// N outside [1, liveGens] is rejected.
+	for _, n := range []int{0, 4} {
+		b = TombstoneDelta{From: 2, N: n}.Encode(transport.NewBuilder())
+		if _, err := DecodeTombstoneDelta(transport.NewReader(b.Bytes()), 2, 3); err == nil {
+			t.Errorf("tombstone N=%d accepted", n)
+		}
 	}
 }
 

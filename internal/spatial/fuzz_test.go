@@ -137,6 +137,64 @@ func FuzzGridDelta(f *testing.F) {
 	})
 }
 
+// FuzzTombstoneDelta drives the tombstone wire codec two ways, mirroring
+// FuzzGridDelta. The honest path round-trips a structured expiry against
+// a live stack and checks Expire agrees with what the codec accepted; the
+// hostile path feeds raw bytes to DecodeTombstoneDelta, which must reject
+// or parse — never panic, never accept an expiry outside the receiver's
+// prefix-order window.
+func FuzzTombstoneDelta(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(3), []byte{})
+	f.Add(uint8(2), uint8(2), uint8(4), []byte{0, 0})
+	f.Add(uint8(5), uint8(1), uint8(1), []byte{0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, deadRaw, nRaw, liveRaw uint8, raw []byte) {
+		dead := int(deadRaw) % 8
+		live := int(liveRaw)%8 + 1
+		n := int(nRaw)%live + 1
+
+		// Honest path: a stack with the claimed shape accepts the
+		// tombstone and Expire applies it.
+		s, err := NewStack(4, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < dead+live; g++ {
+			if _, err := s.Append([][]int64{{int64(g), int64(g)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.Expire(dead); err != nil {
+			t.Fatalf("expire prefix: %v", err)
+		}
+		b := TombstoneDelta{From: dead, N: n}.Encode(transport.NewBuilder())
+		got, err := DecodeTombstoneDelta(transport.NewReader(b.Bytes()), dead, live)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if got.From != dead || got.N != n {
+			t.Fatalf("round trip mismatch: %+v", got)
+		}
+		removed, err := s.Expire(got.N)
+		if err != nil {
+			t.Fatalf("expire decoded tombstone: %v", err)
+		}
+		if removed != n || s.Dead() != dead+n || s.Total() != live-n {
+			t.Fatalf("expire removed %d (dead %d, total %d), want %d/%d/%d",
+				removed, s.Dead(), s.Total(), n, dead+n, live-n)
+		}
+
+		// Hostile path: arbitrary bytes must never panic the decoder, and
+		// anything it accepts must be a valid prefix-order expiry.
+		hd, err := DecodeTombstoneDelta(transport.NewReader(raw), dead, live)
+		if err == nil {
+			if hd.From != dead || hd.N < 1 || hd.N > live {
+				t.Fatalf("decoder accepted invalid tombstone %+v (dead %d, live %d)", hd, dead, live)
+			}
+		}
+	})
+}
+
 // dirCoords lists a directory's cell coordinates in canonical order.
 func dirCoords(d Directory) [][]int64 {
 	out := make([][]int64, len(d.Cells))

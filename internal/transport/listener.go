@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -68,20 +69,42 @@ func (l *Listener) Accept() (Conn, error) {
 
 // idleConn wraps a framed connection with a rolling read deadline: each
 // Recv re-arms the underlying net.Conn's deadline, so only silence
-// longer than idle — not a long session — trips it.
+// longer than idle — not a long session — trips it. SetIdleArmed can
+// switch the deadline off entirely for phases where peer silence is
+// expected (a client computing locally mid-run); the serving session
+// loop drives it.
 type idleConn struct {
-	inner Conn
-	nc    net.Conn
-	idle  time.Duration
+	inner    Conn
+	nc       net.Conn
+	idle     time.Duration
+	disarmed atomic.Bool
 }
 
 func (c *idleConn) Send(b []byte) error { return c.inner.Send(b) }
 
 func (c *idleConn) Recv() ([]byte, error) {
-	if err := c.nc.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
-		return nil, fmt.Errorf("transport: arm read deadline: %w", err)
+	if !c.disarmed.Load() {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+			return nil, fmt.Errorf("transport: arm read deadline: %w", err)
+		}
 	}
 	return c.inner.Recv()
+}
+
+// SetIdleArmed switches the idle deadline on or off. Both directions
+// take effect immediately, even for a Read already blocked on the
+// socket (net.Conn deadlines apply to pending calls), so a session
+// loop can disarm around a long-running protocol phase and re-arm when
+// it goes back to waiting for control traffic. Re-arming starts a
+// fresh idle window.
+func (c *idleConn) SetIdleArmed(on bool) {
+	if on {
+		c.disarmed.Store(false)
+		_ = c.nc.SetReadDeadline(time.Now().Add(c.idle))
+	} else {
+		c.disarmed.Store(true)
+		_ = c.nc.SetReadDeadline(time.Time{})
+	}
 }
 
 func (c *idleConn) Close() error { return c.inner.Close() }

@@ -182,3 +182,93 @@ func TestListenerIdleTimeoutRearms(t *testing.T) {
 		t.Fatalf("re-armed idle deadline tripped on a live session: %v", err)
 	}
 }
+
+// TestListenerIdleDisarmed: SetIdleArmed(false) suspends the deadline —
+// a peer silent for longer than the idle window does not trip a
+// disarmed Recv, and the frame sent after the silence arrives intact.
+func TestListenerIdleDisarmed(t *testing.T) {
+	lis, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	lis.SetConnOptions(100*time.Millisecond, 0)
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		conn.(*idleConn).SetIdleArmed(false)
+		b, err := conn.Recv()
+		if err == nil && string(b) != "late" {
+			err = fmt.Errorf("recv %q, want %q", b, "late")
+		}
+		done <- err
+	}()
+
+	peer, err := Dial(lis.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	// Stay silent for several idle windows, then send.
+	time.Sleep(400 * time.Millisecond)
+	if err := peer.Send([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("disarmed Recv tripped during expected silence: %v", err)
+	}
+}
+
+// TestListenerIdleRearmBlockedRead: SetIdleArmed(true) applies to a Recv
+// already parked on the socket — net.Conn deadlines cover pending reads
+// — so a session loop can re-arm after a compute phase without waiting
+// for the next frame.
+func TestListenerIdleRearmBlockedRead(t *testing.T) {
+	lis, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	lis.SetConnOptions(150*time.Millisecond, 0)
+
+	accepted := make(chan Conn, 1)
+	done := make(chan error, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		accepted <- conn
+		defer conn.Close()
+		conn.(*idleConn).SetIdleArmed(false)
+		_, err = conn.Recv()
+		done <- err
+	}()
+
+	peer, err := Dial(lis.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	conn := <-accepted
+	// Give the disarmed Recv time to park on the socket, then re-arm: the
+	// fresh idle window must start ticking for the pending read.
+	time.Sleep(50 * time.Millisecond)
+	conn.(*idleConn).SetIdleArmed(true)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("re-armed Recv returned without error on a silent peer")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-armed idle deadline never reached the blocked read")
+	}
+}
