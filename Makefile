@@ -3,14 +3,15 @@
 # end-to-end measurements to BENCH_E11.json, the E14 grid-pruning
 # ablation to BENCH_E14.json, the E15 parallelism ablation to
 # BENCH_E15.json, the E16 session-concurrency sweep to BENCH_E16.json,
-# and the E17 streaming append sweep to BENCH_E17.json and the E18
-# sliding-window expiry sweep to BENCH_E18.json so the
+# and the E17 streaming append sweep to BENCH_E17.json, the E18
+# sliding-window expiry sweep to BENCH_E18.json, and the E19 retraction
+# sweep to BENCH_E19.json so the
 # performance trajectory is tracked PR over PR. Every bench file is
 # stamped with the commit hash and Go version.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 fuzz clean
+.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 bench-e19 fuzz clean
 
 all: build
 
@@ -47,6 +48,8 @@ bench:
 	@cat BENCH_E17.json
 	$(GO) run ./cmd/ppdbscan bench -suite e18 -quick -out BENCH_E18.json
 	@cat BENCH_E18.json
+	$(GO) run ./cmd/ppdbscan bench -suite e19 -quick -out BENCH_E19.json
+	@cat BENCH_E19.json
 
 # Streaming append sweep only (BENCH_E17.json).
 bench-e17:
@@ -58,6 +61,11 @@ bench-e18:
 	$(GO) run ./cmd/ppdbscan bench -suite e18 -quick -out BENCH_E18.json
 	@cat BENCH_E18.json
 
+# Retraction sweep only (BENCH_E19.json).
+bench-e19:
+	$(GO) run ./cmd/ppdbscan bench -suite e19 -quick -out BENCH_E19.json
+	@cat BENCH_E19.json
+
 # Short fuzz pass over the wire, batch-frame, mux-frame, and spatial-grid
 # codecs.
 fuzz:
@@ -67,6 +75,7 @@ fuzz:
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzGridBucket -fuzztime 10s
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzGridDelta -fuzztime 10s
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzTombstoneDelta -fuzztime 10s
+	$(GO) test ./internal/spatial -run NONE -fuzz FuzzPointTombstone -fuzztime 10s
 
 clean:
-	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json
+	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json BENCH_E19.json

@@ -16,11 +16,11 @@
 //	ppdbscan alice       -mode horizontal|enhanced|vertical -listen :9000 -data a.csv [flags]
 //	ppdbscan bob         -mode horizontal|enhanced|vertical -connect host:9000 -data b.csv [flags]
 //	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [-workers N] [-drain 30s] [-max-sessions N] [-idle-timeout 2m] [flags]
-//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [-appends K -append-batch B [-window]] [flags]
-//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [-appends K -append-batch B [-window]] [flags]
+//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [-appends K -append-batch B [-window]] [-retract N] [flags]
+//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [-appends K -append-batch B [-window]] [-retract N] [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e18 [-quick] [-seed N]
-//	ppdbscan bench       [-suite e11|e14|e15|e16|e17|e18] [-quick] [-seed N] [-out BENCH_E11.json]
+//	ppdbscan experiments -id all|e1..e19 [-quick] [-seed N]
+//	ppdbscan bench       [-suite e11|e14|e15|e16|e17|e18|e19] [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -90,8 +91,8 @@ commands:
   client       drive a long-lived session: N clustering runs over one key exchange
   loadgen      drive C concurrent client sessions x R runs each against a server
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e18 or all)
-  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17|e18) and write JSON measurements
+  experiments  regenerate the paper's evaluation tables (e1..e19 or all)
+  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17|e18|e19) and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
 
 E14 is the grid-pruning ablation: -pruning grid (default) buckets each
@@ -105,7 +106,10 @@ live session new points between runs; re-clustering reuses the session's
 cross-run comparison cache and exchanges only index deltas. E18 is the
 sliding-window ablation: adding -window makes every appended batch also
 expire the oldest live generation (tombstoned in both indices), so the
-session clusters a fixed-width window at incremental cost.
+session clusters a fixed-width window at incremental cost. E19 is the
+retraction ablation: client/loadgen -retract N withdraw the N oldest
+live points after the runs and re-cluster; masked slots keep their
+padded index footprint, so the peer never learns which cells shrank.
 
 run 'ppdbscan <command> -h' for flags.
 `)
@@ -386,11 +390,15 @@ func cmdClient(args []string) error {
 	appends := fs.Int("appends", 0, "streaming appends after the initial runs, each followed by a re-clustering run (horizontal modes)")
 	appendBatch := fs.Int("append-batch", 0, "points per appended batch, taken from the tail of -data")
 	window := fs.Bool("window", false, "slide a fixed-width window: every appended batch also expires the oldest live generation")
+	retract := fs.Int("retract", 0, "after the runs and appends, retract this many of the oldest live points and re-cluster")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *connect == "" {
 		return fmt.Errorf("client requires -connect host:port")
+	}
+	if *retract < 0 {
+		return fmt.Errorf("client requires -retract ≥ 0")
 	}
 	if *runs < 1 {
 		return fmt.Errorf("client requires -runs ≥ 1")
@@ -453,6 +461,20 @@ func cmdClient(args []string) error {
 			return err
 		}
 	}
+	if *retract > 0 {
+		ids := make([]int, *retract)
+		for i := range ids {
+			ids[i] = i
+		}
+		if err := sess.Retract(ids); err != nil {
+			return fmt.Errorf("retract: %w", err)
+		}
+		fmt.Printf("client: retracted %d points (%d retractions), total setup leakage now %v\n",
+			*retract, sess.Retracts(), sess.SetupLeakage())
+		if err := run(); err != nil {
+			return err
+		}
+	}
 	if err := sess.Close(); err != nil {
 		return err
 	}
@@ -493,7 +515,7 @@ func cmdGen(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (e1..e18) or all")
+	id := fs.String("id", "all", "experiment id (e1..e19) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
@@ -547,7 +569,7 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller workload")
 	seed := fs.Int64("seed", 1, "bench seed")
-	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17|e18")
+	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17|e18|e19")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -568,11 +590,13 @@ func cmdBench(args []string) error {
 		rows, err = experiments.BenchE17(opt)
 	case "e18":
 		rows, err = experiments.BenchE18(opt)
+	case "e19":
+		rows, err = experiments.BenchE19(opt)
 	default:
-		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, e17, or e18)", *suite)
+		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, e17, e18, or e19)", *suite)
 	}
 	if err != nil {
-		return err
+		return fmt.Errorf("bench suite %s failed: %w", *suite, err)
 	}
 	blob, err := json.MarshalIndent(benchFile{
 		Suite:     *suite,
@@ -585,10 +609,34 @@ func cmdBench(args []string) error {
 	}
 	blob = append(blob, '\n')
 	if *out != "" {
-		return os.WriteFile(*out, blob, 0o644)
+		return writeFileAtomic(*out, blob)
 	}
 	_, err = os.Stdout.Write(blob)
 	return err
+}
+
+// writeFileAtomic writes blob to a temp file in the target's directory
+// and renames it into place, so the bench artifact on disk is always
+// either the complete new measurement or the untouched previous one —
+// a failed run never leaves a torn JSON behind for the perf-trajectory
+// tooling to choke on.
+func writeFileAtomic(path string, blob []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func makeDataset(kind string, n int, seed int64) (dataset.Dataset, error) {

@@ -167,6 +167,7 @@ func cmdLoadgen(args []string) error {
 	appends := fs.Int("appends", 0, "streaming appends per client after the initial runs (horizontal modes; the server side appends nothing)")
 	appendBatch := fs.Int("append-batch", 0, "points per appended batch, taken from the tail of -data")
 	window := fs.Bool("window", false, "slide a fixed-width window: every appended batch also expires the oldest live generation")
+	retract := fs.Int("retract", 0, "after the runs and appends, each client retracts this many of its oldest live points and re-clusters")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,6 +176,9 @@ func cmdLoadgen(args []string) error {
 	}
 	if *clients < 1 || *runs < 1 {
 		return fmt.Errorf("loadgen requires -clients ≥ 1 and -runs ≥ 1")
+	}
+	if *retract < 0 {
+		return fmt.Errorf("loadgen requires -retract ≥ 0")
 	}
 	cfg, err := p.config()
 	if err != nil {
@@ -198,7 +202,7 @@ func cmdLoadgen(args []string) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, *window, &runsDone)
+			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, *window, *retract, &runsDone)
 		}(c)
 	}
 	wg.Wait()
@@ -213,7 +217,11 @@ func cmdLoadgen(args []string) error {
 	}
 	agg := group.Stats()
 	done := runsDone.Load()
-	totalRuns := int64(*clients) * int64(*runs+len(batches))
+	extraRuns := len(batches)
+	if *retract > 0 {
+		extraRuns++
+	}
+	totalRuns := int64(*clients) * int64(*runs+extraRuns)
 	fmt.Printf("loadgen: %d clients × %d runs + %d appends: %d/%d runs ok, %d clients failed\n",
 		*clients, *runs, len(batches), done, totalRuns, failed)
 	fmt.Printf("loadgen: wall %v, aggregate %d bytes in %d messages, %.2f runs/sec\n",
@@ -227,8 +235,8 @@ func cmdLoadgen(args []string) error {
 
 // driveClient runs one loadgen client: dial, establish a session over
 // the initial points, R runs, then one append+run (or, with window set,
-// window-slide+run) per batch, close.
-func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, runsDone *atomic.Int64) error {
+// window-slide+run) per batch, an optional retract+run, close.
+func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, retract int, runsDone *atomic.Int64) error {
 	conn, err := transport.Dial(connect)
 	if err != nil {
 		return err
@@ -255,6 +263,19 @@ func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Con
 		}
 		if _, err := sess.Run(); err != nil {
 			return fmt.Errorf("post-append run %d: %w", i+1, err)
+		}
+		runsDone.Add(1)
+	}
+	if retract > 0 {
+		ids := make([]int, retract)
+		for i := range ids {
+			ids[i] = i
+		}
+		if err := sess.Retract(ids); err != nil {
+			return fmt.Errorf("retract: %w", err)
+		}
+		if _, err := sess.Run(); err != nil {
+			return fmt.Errorf("post-retract run: %w", err)
 		}
 		runsDone.Add(1)
 	}

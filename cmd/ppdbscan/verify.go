@@ -3,7 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"strings"
 	"sync"
 
 	"repro/internal/compare"
@@ -52,14 +52,14 @@ func cmdVerify(args []string) error {
 		return err
 	}
 
-	failures := 0
+	var failed []string
 	check := func(name string, ok bool, err error) {
 		switch {
 		case err != nil:
-			failures++
+			failed = append(failed, name)
 			fmt.Printf("FAIL  %-32s %v\n", name, err)
 		case !ok:
-			failures++
+			failed = append(failed, name)
 			fmt.Printf("FAIL  %-32s output diverges from oracle\n", name)
 		default:
 			fmt.Printf("PASS  %s\n", name)
@@ -187,8 +187,11 @@ func cmdVerify(args []string) error {
 	}
 	check("3-party vertical ring (ext)", ringOK, ringErr)
 
-	if failures > 0 {
-		os.Exit(1)
+	// Surface failures as an error (main exits non-zero naming the
+	// checks) rather than os.Exit here, so deferred cleanup still runs
+	// and callers embedding cmdVerify see a real error value.
+	if len(failed) > 0 {
+		return fmt.Errorf("verify failed: %s", strings.Join(failed, ", "))
 	}
 	fmt.Println("all protocol families verified against their oracles")
 	return nil

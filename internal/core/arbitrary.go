@@ -106,6 +106,8 @@ func NewArbitrarySession(conn transport.Conn, cfg Config, role Role, values [][]
 	t.appendServe = func(r *transport.Reader) error { return arbitraryAppendServe(t, as, r) }
 	t.expireInit = func(gens int) (bool, error) { return arbitraryExpireInit(t, as, gens) }
 	t.expireServe = func(r *transport.Reader) error { return arbitraryExpireServe(t, as, r) }
+	t.retractInit = func(ids []int) (bool, error) { return arbitraryRetractInit(t, as, ids) }
+	t.retractServe = func(r *transport.Reader) error { return arbitraryRetractServe(t, as, r) }
 	return t, nil
 }
 
@@ -171,6 +173,79 @@ func finishAExpire(t *Session, as *aStream, gens int) {
 	as.cache.Expire(rows)
 	as.dead += gens
 	t.s.led(func(l *Ledger) { l.IndexTombstones += gens })
+}
+
+// arbitraryRetractInit is the initiating side of one arbitrary-partition
+// retraction: the records are shared, so the initiator's point tombstone
+// binds both sides — no reply is needed, exactly as with expiry.
+func arbitraryRetractInit(t *Session, as *aStream, ids []int) (sent bool, err error) {
+	if err := spatial.ValidateRetractIDs(ids, len(as.a.enc)); err != nil {
+		return false, fmt.Errorf("core: retract: %w", err)
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpRetract)
+	spatial.PointTombstone{IDs: ids}.Encode(msg)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session retract op: %w", err)
+	}
+	finishARetract(t, as, ids)
+	return true, nil
+}
+
+// arbitraryRetractServe validates the announced tombstone against this
+// side's live row count and applies it.
+func arbitraryRetractServe(t *Session, as *aStream, r *transport.Reader) error {
+	tomb, err := spatial.DecodePointTombstone(r, len(as.a.enc))
+	if err != nil {
+		return fmt.Errorf("core: session retract op: %w", err)
+	}
+	finishARetract(t, as, tomb.IDs)
+	return nil
+}
+
+// finishARetract compacts the retracted rows out of the value,
+// ownership, and cell matrices, decrements their generations' live
+// counts, and remaps the pair cache, identically on both sides. The
+// Ledger records one IndexRetractions entry per retracted record.
+func finishARetract(t *Session, as *aStream, ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	dec := make(map[int]int)
+	g, cum := as.dead, 0
+	for _, id := range ids {
+		for g < len(as.batches) && id >= cum+as.batches[g] {
+			cum += as.batches[g]
+			g++
+		}
+		dec[g]++
+	}
+	for g, d := range dec {
+		as.batches[g] -= d
+	}
+	remap := retractRemap(ids)
+	enc := as.a.enc[:0]
+	owners := as.a.owners[:0]
+	for i := range as.a.enc {
+		if _, ok := remap(i); ok {
+			enc = append(enc, as.a.enc[i])
+			owners = append(owners, as.a.owners[i])
+		}
+	}
+	as.a.enc = enc
+	as.a.owners = owners
+	if as.cellRows != nil {
+		cells := as.cellRows[:0]
+		for i, row := range as.cellRows {
+			if _, ok := remap(i); ok {
+				cells = append(cells, row)
+			}
+		}
+		as.cellRows = cells
+	}
+	as.cache.Retract(ids)
+	t.s.led(func(l *Ledger) { l.IndexRetractions += len(ids) })
 }
 
 // arbitraryAppendInit announces the appended records — their public

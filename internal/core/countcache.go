@@ -106,5 +106,57 @@ func (c *CountCache) Remap(drop int) {
 	c.m = next
 }
 
+// RetractOwn rewrites the cache after a point-level retraction on the
+// *own* side: the entries of the retracted own points vanish (their
+// counts describe records that no longer exist) and every surviving
+// point's entry shifts down by its rank, mirroring the global index
+// compaction. ids are strictly ascending in the pre-retraction live
+// numbering.
+func (c *CountCache) RetractOwn(ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	remap := retractRemap(ids)
+	next := make(map[int][]CountSeg, len(c.m))
+	for i, segs := range c.m {
+		if j, ok := remap(i); ok {
+			next[j] = segs
+		}
+	}
+	c.m = next
+}
+
+// DropGens invalidates every segment whose range covers a generation in
+// gens — the peer-side half of retraction invalidation. A cached count
+// over [From, To) silently includes any peer point retracted from a
+// generation inside that range, so the whole segment is stale; unlike
+// expiry there is no live-edge ordering to exploit, the affected
+// segments simply die and the next query re-derives those generations.
+func (c *CountCache) DropGens(gens map[int]bool) {
+	if len(gens) == 0 {
+		return
+	}
+	for i, segs := range c.m {
+		keep := segs[:0]
+		for _, s := range segs {
+			stale := false
+			for g := s.From; g < s.To; g++ {
+				if gens[g] {
+					stale = true
+					break
+				}
+			}
+			if !stale {
+				keep = append(keep, s)
+			}
+		}
+		if len(keep) == 0 {
+			delete(c.m, i)
+		} else {
+			c.m[i] = keep
+		}
+	}
+}
+
 // Len reports how many own points have cached segments.
 func (c *CountCache) Len() int { return len(c.m) }

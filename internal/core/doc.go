@@ -246,4 +246,59 @@
 // rebuilds (except the enhanced family, whose cleared cache makes a
 // slide cost exactly a rebuild) — experiment E18 measures the
 // reduction.
+//
+// # Retraction: point tombstones, masked slots, and compaction
+//
+// Expiry forgets whole generations; Session.Retract(ids) withdraws
+// individual points from generations still live. The full point
+// lifecycle becomes: constructed or appended as a generation slot →
+// live across runs → either tombstoned with its whole generation by an
+// expiry, or masked individually by a retraction → compacted away once
+// its generation's occupancy drops below half (or once the generation
+// joins the dead prefix). ids name live points in the caller's current
+// compacted numbering — the caller's own rows for the horizontal
+// families (the serving side contributes its own ids through
+// SetRetractSource), shared record rows for the vertical/arbitrary
+// lockstep families. Only the initiating party may call Retract
+// (ErrRetractRole); the exchange ships one validated
+// spatial.PointTombstone each way, ids are range- and order-checked
+// before any frame is sent (a bad argument is a local error, not a
+// poisoned session), and the ring/mesh sessions demand id-for-id
+// agreement (same ids everywhere on the ring, each mesh party
+// retracting its own).
+//
+// A masked slot is not erased from the disclosed index: the directory
+// keeps the padded counts announced at append time, and the slot keeps
+// answering region queries as a maximal-distance dummy, so per-query
+// wire sizes never change and the peer cannot tell which cells lost
+// points — that silence is the privacy property. Compaction below the
+// half-occupancy threshold drops masked slots from the local grid and
+// rebases the live numbering (subsequent Retract ids address the
+// rebased indices), while the disclosed directory still never shrinks.
+// Cache invalidation is exact, as for expiry: the lockstep PairCache
+// drops pairs naming a retracted record and remaps survivors
+// identically on all sides, the basic horizontal count segments are
+// re-derived for generations with masked slots, and the enhanced core
+// bits are cleared. The retraction-equivalence harness pins the
+// contract: post-retraction labels are byte-identical to a fresh
+// session over exactly the surviving points, the counting families'
+// non-index Ledger classes match a fresh rebuild, and re-clustering
+// costs strictly fewer secure comparisons than rebuilding (the
+// enhanced family under pruning is the deliberate exception — masked
+// dummies keep participating in its selection until compaction, so its
+// cost is bounded below by the rebuild's) — experiment E19 measures
+// the reduction.
+//
+// The setup-class Ledger entries that record the streaming lifecycle,
+// side by side:
+//
+//	class             unit                 disclosed by         discloses
+//	IndexCells        occupied grid cell   initial exchange     cell coords + padded occupancy
+//	IndexDeltaCells   occupied grid cell   Session.Append       delta cells + padded occupancy
+//	IndexTombstones   expired generation   Session.Expire       which generations left the window
+//	IndexRetractions  retracted point id   Session.Retract      which live records were withdrawn
+//
+// Tombstones and retractions ride the same generation ledger that keeps
+// both parties' caches invalidating in lockstep; neither adds spatial
+// information beyond what the append-time directory already disclosed.
 package core

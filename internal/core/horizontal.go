@@ -156,6 +156,76 @@ func (hs *hStream) ownExpired(gens int) int {
 	return len(hs.enc)
 }
 
+// retractLocal absorbs one retraction on this side's bookkeeping: our
+// own retracted rows leave enc (the live numbering compacts onto exactly
+// the numbering a fresh session over the survivors would use), the
+// peer's retracted points decrement their generations' live counts, and
+// every cache entry touching a retracted point dies — our hdp entries
+// remap by survivor rank, cached segments covering a peer generation
+// that lost points are dropped for re-derivation, and the enhanced core
+// bits, which are not monotone under deletion, clear entirely. Both id
+// lists are validated (strictly ascending, in live range) before this is
+// called.
+func (hs *hStream) retractLocal(ownIDs, peerIDs []int) {
+	if len(ownIDs) == 0 && len(peerIDs) == 0 {
+		return
+	}
+	if len(ownIDs) > 0 {
+		remap := retractRemap(ownIDs)
+		out := hs.enc[:0]
+		for i, row := range hs.enc {
+			if _, ok := remap(i); ok {
+				out = append(out, row)
+			}
+		}
+		hs.enc = out
+		for g, start := range hs.ownGenStart {
+			if g < hs.dead {
+				continue
+			}
+			hs.ownGenStart[g] = start - countBelow(ownIDs, start)
+		}
+	}
+	// Map each retracted peer id (pre-retraction live numbering, which
+	// concatenates the live generations in order) to its generation.
+	dec := make(map[int]int)
+	g, cum := 0, 0
+	for _, id := range peerIDs {
+		for g < len(hs.peerGenCnt) && id >= cum+hs.peerGenCnt[g] {
+			cum += hs.peerGenCnt[g]
+			g++
+		}
+		dec[g]++
+	}
+	affected := make(map[int]bool, len(dec))
+	for g, d := range dec {
+		hs.peerGenCnt[g] -= d
+		hs.nPeer -= d
+		affected[g] = true
+	}
+	hs.mu.Lock()
+	hs.hdp.RetractOwn(ownIDs)
+	hs.hdp.DropGens(affected)
+	// Deletion can flip a true core bit false and invalidates every
+	// entry's recorded dataset sizes: clear it all, as expiry does.
+	hs.enhCache = make(map[int]enhEntry)
+	hs.mu.Unlock()
+}
+
+// countBelow reports how many of the sorted ids are strictly below v.
+func countBelow(ids []int, v int) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // hdpCovered reads the hdp cache for point i: the cached count over the
 // live generation prefix plus the first uncovered generation.
 func (hs *hStream) hdpCovered(i int) (count, upto int) {
@@ -271,6 +341,8 @@ func newHorizontalSession(conn transport.Conn, cfg Config, role Role, points [][
 	t.appendServe = func(r *transport.Reader) error { return horizontalAppendServe(t, hs, r) }
 	t.expireInit = func(gens int) (bool, error) { return horizontalExpireInit(t, hs, gens) }
 	t.expireServe = func(r *transport.Reader) error { return horizontalExpireServe(t, hs, r) }
+	t.retractInit = func(ids []int) (bool, error) { return horizontalRetractInit(t, hs, ids) }
+	t.retractServe = func(r *transport.Reader) error { return horizontalRetractServe(t, hs, r) }
 	return t, nil
 }
 
@@ -323,6 +395,77 @@ func finishHExpire(t *Session, hs *hStream, gens int) error {
 	}
 	hs.expireLocal(gens)
 	s.led(func(l *Ledger) { l.IndexTombstones += gens })
+	return nil
+}
+
+// horizontalRetractInit is the initiating side of one horizontal-family
+// retraction: announce the point tombstone of our own retracted live
+// indices, receive the peer's (possibly empty) tombstone of its own
+// points in return, and apply both. Invalid ids fail locally before any
+// frame is sent, so they do not poison the session.
+func horizontalRetractInit(t *Session, hs *hStream, ids []int) (sent bool, err error) {
+	if err := spatial.ValidateRetractIDs(ids, len(hs.enc)); err != nil {
+		return false, fmt.Errorf("core: retract: %w", err)
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpRetract)
+	spatial.PointTombstone{IDs: ids}.Encode(msg)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session retract op: %w", err)
+	}
+	r, err := transport.RecvMsg(ctrl)
+	if err != nil {
+		return true, fmt.Errorf("core: session retract reply: %w", err)
+	}
+	peerTomb, err := spatial.DecodePointTombstone(r, hs.nPeer)
+	if err != nil {
+		return true, fmt.Errorf("core: session retract reply: %w", err)
+	}
+	return true, finishHRetract(t, hs, ids, peerTomb.IDs)
+}
+
+// horizontalRetractServe is the serving side: validate the announced
+// tombstone against the peer's live count, ask the session's retract
+// source for our own retraction ids, reply with them, and apply both.
+func horizontalRetractServe(t *Session, hs *hStream, r *transport.Reader) error {
+	peerTomb, err := spatial.DecodePointTombstone(r, hs.nPeer)
+	if err != nil {
+		return fmt.Errorf("core: session retract op: %w", err)
+	}
+	ownIDs, err := t.retractSource()(RetractRequest{PeerIDs: peerTomb.IDs})
+	if err != nil {
+		return fmt.Errorf("core: retract source: %w", err)
+	}
+	if err := spatial.ValidateRetractIDs(ownIDs, len(hs.enc)); err != nil {
+		return fmt.Errorf("core: retract source: %w", err)
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder()
+	spatial.PointTombstone{IDs: ownIDs}.Encode(msg)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return fmt.Errorf("core: session retract reply: %w", err)
+	}
+	return finishHRetract(t, hs, ownIDs, peerTomb.IDs)
+}
+
+// finishHRetract runs the symmetric tail of a retraction on either side:
+// mask the retracted own points inside the index (their padded cells
+// keep answering as if they were dummies, so per-query wire sizes never
+// change), compact the stream state, and invalidate every cache entry a
+// retracted point touched. The Ledger records one IndexRetractions entry
+// per retracted point on both sides — the only disclosure a retraction
+// makes.
+func finishHRetract(t *Session, hs *hStream, ownIDs, peerIDs []int) error {
+	s := t.s
+	if s.pruneOn && len(ownIDs) > 0 {
+		if err := s.ownStack.Retract(ownIDs); err != nil {
+			return fmt.Errorf("core: retract index: %w", err)
+		}
+	}
+	hs.retractLocal(ownIDs, peerIDs)
+	s.led(func(l *Ledger) { l.IndexRetractions += len(ownIDs) + len(peerIDs) })
 	return nil
 }
 

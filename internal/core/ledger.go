@@ -63,6 +63,15 @@ import (
 //     SetupLeakage, not per run) and travel on every session regardless
 //     of pruning — the generation ledger is what keeps both parties'
 //     caches invalidating in lockstep.
+//   - IndexRetractions: individual records deleted by Session.Retract —
+//     one entry per retracted point, on both sides. A point tombstone
+//     names only the live index of a record that is leaving (an identity
+//     the receiver already tracked); coordinates were never disclosed
+//     and the record's padded cell footprint keeps answering as a dummy,
+//     so retraction adds no spatial information. Like generation
+//     tombstones, retractions are setup-class disclosures (recorded in
+//     SetupLeakage, not per run) and travel on every session regardless
+//     of pruning.
 //
 // OrderBits stays mechanical (it counts selection comparisons actually
 // revealed); pruning strictly shrinks the selection set, so pruned runs
@@ -99,6 +108,7 @@ type Ledger struct {
 	IndexQueryCells   int
 	IndexDeltaCells   int
 	IndexTombstones   int
+	IndexRetractions  int
 }
 
 // Add accumulates another ledger into l.
@@ -115,6 +125,7 @@ func (l *Ledger) Add(o Ledger) {
 	l.IndexQueryCells += o.IndexQueryCells
 	l.IndexDeltaCells += o.IndexDeltaCells
 	l.IndexTombstones += o.IndexTombstones
+	l.IndexRetractions += o.IndexRetractions
 }
 
 // NonIndex returns a copy with the Index* classes zeroed — the view the
@@ -126,6 +137,7 @@ func (l Ledger) NonIndex() Ledger {
 	l.IndexQueryCells = 0
 	l.IndexDeltaCells = 0
 	l.IndexTombstones = 0
+	l.IndexRetractions = 0
 	return l
 }
 
@@ -149,6 +161,7 @@ func (l Ledger) String() string {
 	add("indexQueryCells", l.IndexQueryCells)
 	add("indexDeltaCells", l.IndexDeltaCells)
 	add("indexTombstones", l.IndexTombstones)
+	add("indexRetractions", l.IndexRetractions)
 	if len(parts) == 0 {
 		return "ledger{}"
 	}

@@ -79,6 +79,52 @@ func (c *PairCache) Expire(n int) {
 	c.m = next
 }
 
+// Retract invalidates and remaps the cache after a point-level
+// retraction: ids (strictly ascending, in the current live numbering)
+// name the records deleted from the middle of the window. Every pair
+// touching a retracted record is dropped, and the surviving pairs —
+// whose distances are immutable — shift down by their rank onto the
+// compacted indices. Like Expire, every lockstep participant applies
+// the identical remap, so all sides' caches stay equal and the seeded
+// drivers remain in lock step across retractions.
+func (c *PairCache) Retract(ids []int) {
+	if c == nil || len(ids) == 0 {
+		return
+	}
+	remap := retractRemap(ids)
+	next := make(map[[2]int]bool, len(c.m))
+	for k, v := range c.m {
+		i, okI := remap(k[0])
+		j, okJ := remap(k[1])
+		if !okI || !okJ {
+			continue
+		}
+		next[[2]int{i, j}] = v
+	}
+	c.m = next
+}
+
+// retractRemap builds the survivor renumbering for a sorted retraction
+// id list: retracted indices map to (0, false); a survivor maps to
+// itself minus the number of retracted indices below it.
+func retractRemap(ids []int) func(int) (int, bool) {
+	return func(i int) (int, bool) {
+		lo, hi := 0, len(ids)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ids[mid] < i {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(ids) && ids[lo] == i {
+			return 0, false
+		}
+		return i - lo, true
+	}
+}
+
 // LockstepClusterBatch is LockstepCluster with a batched decision oracle:
 // all yet-undecided pairs of one neighborhood query are submitted in a
 // single call, so an oracle backed by compare.BatchLessEq resolves them in

@@ -275,19 +275,28 @@ func (m *SessionManager) Drain(timeout time.Duration) bool {
 	if m.Live() == 0 {
 		return true
 	}
-	m.mu.Lock()
-	for _, h := range m.live {
-		h.conn.Close()
-	}
-	m.mu.Unlock()
-	// The force-closed sessions unwind promptly (their Recv fails); spend
-	// the reserved tail of the same budget waiting for them to retire so
-	// the caller's aggregate is as complete as it can be, but never hang
-	// shutdown on a goroutine that won't End.
-	for m.Live() > 0 && time.Now().Before(deadline) {
+	// Force-close tail: tear down every remaining session's connection so
+	// its serving goroutine unwinds with a transport error, then spend the
+	// reserved rest of the budget waiting for those sessions to retire so
+	// the caller's aggregate is as complete as it can be — but never hang
+	// shutdown on a goroutine that won't End. The sweep repeats every poll
+	// instead of snapshotting the live set once: a session whose Begin
+	// raced the draining cutover (admitted after a sweep took its
+	// snapshot) is caught by the next sweep rather than keeping its
+	// connection open past the drain deadline. Close is idempotent, so
+	// re-sweeping an already-closed handle is free.
+	for {
+		m.mu.Lock()
+		for _, h := range m.live {
+			h.conn.Close()
+		}
+		remaining := len(m.live)
+		m.mu.Unlock()
+		if remaining == 0 || !time.Now().Before(deadline) {
+			return false
+		}
 		time.Sleep(drainPoll)
 	}
-	return false
 }
 
 // SessionInfo is one session's row in a Snapshot.

@@ -348,6 +348,92 @@ func TestManagerDrainBudget(t *testing.T) {
 	}
 }
 
+// TestManagerDrainUnderAcceptLoop: Drain racing a live accept loop.
+// Sessions are admitted right up to the draining cutover while every
+// serving goroutine plays a hung client (blocked reading a connection
+// its peer never writes), so only the force-close sweep can unwind
+// them. The invariants: Drain returns within its budget, no admission
+// succeeds after Drain returns, and no session outlives the drain —
+// every admitted handle retires once its connection is swept closed.
+func TestManagerDrainUnderAcceptLoop(t *testing.T) {
+	mgr := NewSessionManager(1)
+	stop := make(chan struct{})
+	admitted := make(chan int, 1)
+	var sessions sync.WaitGroup
+
+	// Accept loop: admit hung sessions as fast as the scheduler allows
+	// until draining refuses one.
+	var acceptLoop sync.WaitGroup
+	acceptLoop.Add(1)
+	go func() {
+		defer acceptLoop.Done()
+		n := 0
+		defer func() { admitted <- n }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ca, cb := transport.Pipe()
+			h, err := mgr.Begin(cb)
+			if errors.Is(err, ErrDraining) {
+				ca.Close()
+				cb.Close()
+				return
+			}
+			if err != nil {
+				t.Errorf("Begin: %v", err)
+				return
+			}
+			n++
+			sessions.Add(1)
+			go func() {
+				defer sessions.Done()
+				defer ca.Close()
+				// Hung client: the peer never sends, so this read only
+				// returns when Drain force-closes the registered conn.
+				_, err := transport.RecvMsg(cb)
+				h.End(err)
+			}()
+		}
+	}()
+
+	// Let the loop pile up some live sessions before draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for mgr.Live() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("accept loop never admitted sessions")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const budget = 200 * time.Millisecond
+	start := time.Now()
+	ok := mgr.Drain(budget)
+	elapsed := time.Since(start)
+	close(stop)
+	acceptLoop.Wait()
+	if ok {
+		t.Error("Drain reported clean with hung sessions live")
+	}
+	if elapsed > budget+budget/2 {
+		t.Errorf("Drain(%v) blocked for %v", budget, elapsed)
+	}
+	sessions.Wait() // every admitted session's goroutine unwound
+	if live := mgr.Live(); live != 0 {
+		t.Errorf("%d sessions outlived the drain", live)
+	}
+	ca, _ := transport.Pipe()
+	if _, err := mgr.Begin(ca); !errors.Is(err, ErrDraining) {
+		t.Errorf("Begin after drain: %v, want ErrDraining", err)
+	}
+	snap := mgr.Snapshot()
+	if n := <-admitted; snap.Opened != n {
+		t.Errorf("snapshot opened %d, accept loop admitted %d", snap.Opened, n)
+	}
+}
+
 // TestManagerMaxSessions: the admission bound refuses registrations with
 // ErrServerFull before any handshake work, and frees slots as sessions
 // retire.

@@ -42,10 +42,11 @@ import (
 
 // Session op codes on the control channel (worker channel 0).
 const (
-	sessOpRun    uint64 = 1
-	sessOpClose  uint64 = 2
-	sessOpAppend uint64 = 3
-	sessOpExpire uint64 = 4
+	sessOpRun     uint64 = 1
+	sessOpClose   uint64 = 2
+	sessOpAppend  uint64 = 3
+	sessOpExpire  uint64 = 4
+	sessOpRetract uint64 = 5
 )
 
 // ErrSessionClosed reports that the initiating party ended the session;
@@ -68,6 +69,12 @@ var ErrAppendRole = errors.New("core: only the initiating party may call Append;
 // appends, expiries are driven by the initiating party over the control
 // channel; the serving party absorbs them inside its Run loop.
 var ErrExpireRole = errors.New("core: only the initiating party may call Expire; the serving party absorbs expiries from the control channel")
+
+// ErrRetractRole reports a Retract call on the serving party: like
+// appends and expiries, retractions are driven by the initiating party
+// over the control channel; the serving party contributes its own
+// retraction ids through SetRetractSource.
+var ErrRetractRole = errors.New("core: only the initiating party may call Retract; the serving party supplies ids via SetRetractSource")
 
 // idleController is implemented by server-side connections whose idle
 // read deadline can be switched off for the duration of a protocol run:
@@ -111,6 +118,16 @@ type Session struct {
 	expireInit  func(gens int) (sent bool, err error)
 	expireServe func(r *transport.Reader) error
 	expires     atomic.Int64
+
+	// Retraction hooks follow the same shape: retractInit announces this
+	// party's point tombstone and swaps for the peer's (possibly empty)
+	// one; retractServe answers a peer-initiated retraction, consulting
+	// retractSrc for this party's own ids. Families that do not support
+	// point-level retraction leave them nil.
+	retractInit  func(ids []int) (sent bool, err error)
+	retractServe func(r *transport.Reader) error
+	retractSrc   RetractSource
+	retracts     atomic.Int64
 
 	// idleCtl, when non-nil, is the serving connection's idle-deadline
 	// switch (see idleController); the Run loop disarms it for the
@@ -183,6 +200,36 @@ func (t *Session) appendSource() AppendSource {
 		}
 		return nil, fmt.Errorf("core: %s session needs an AppendSource to serve %d appended records", t.proto, req.PeerCount)
 	}
+}
+
+// RetractRequest describes a peer-initiated retraction the serving party
+// may answer with retractions of its own.
+type RetractRequest struct {
+	// PeerIDs are the live indices the initiating party is retracting:
+	// its own points for the horizontal families, shared record indices
+	// for the vertical and arbitrary families (where both parties delete
+	// the same rows).
+	PeerIDs []int
+}
+
+// RetractSource supplies the serving party's own retraction ids whenever
+// the peer initiates one. Only the horizontal families consult it (their
+// parties own disjoint point sets); the default source retracts nothing.
+// The vertical and arbitrary families share rows, so the initiator's ids
+// bind both sides and the source is never called.
+type RetractSource func(req RetractRequest) ([]int, error)
+
+// SetRetractSource registers the serving party's retraction source. Call
+// it before entering the serving Run loop.
+func (t *Session) SetRetractSource(fn RetractSource) { t.retractSrc = fn }
+
+// retractSource resolves the configured source or the default (retract
+// nothing of our own).
+func (t *Session) retractSource() RetractSource {
+	if t.retractSrc != nil {
+		return t.retractSrc
+	}
+	return func(RetractRequest) ([]int, error) { return nil, nil }
 }
 
 // Append absorbs a batch of this party's new points into the live
@@ -305,6 +352,72 @@ func (t *Session) WindowAppend(points [][]float64) error {
 // Expires reports how many expiries this session has absorbed.
 func (t *Session) Expires() int { return int(t.expires.Load()) }
 
+// Retract deletes individual live records from the session — the
+// point-level generalization of Expire for GDPR-style deletes and fraud
+// corrections. ids are this party's live point indices for the
+// horizontal families (the serving peer may retract its own points in
+// the same exchange via SetRetractSource) or shared record indices for
+// the vertical and arbitrary families (both parties delete the same
+// rows); they must be strictly ascending and in range. Retracted points
+// are masked inside their generations — the padded index disclosed at
+// append time keeps answering as if they were dummies, so per-query wire
+// sizes do not change — and every cross-run cache entry touching them is
+// invalidated exactly, so the next Run's labels are byte-identical to a
+// fresh session over the surviving points, as are the counting families'
+// decision-level Ledger budgets (the retraction-equivalence harness
+// enforces this). The one deliberate cost asymmetry: under grid pruning
+// the enhanced family's selection keeps running over the padded
+// footprint disclosed at append time, so masked dummies still
+// participate (at pinned maximal distance) until their generation
+// compacts or expires — the price of not disclosing which cells lost
+// points.
+// A generation whose occupancy falls below the compaction threshold is
+// rewritten in place over its survivors. The only disclosure is the
+// point tombstone itself — *which* live indices left, never their
+// coordinates — recorded in the setup ledger's IndexRetractions class
+// on both sides.
+//
+// Like Append and Expire, Retract is driven by the initiating party
+// (RoleAlice) over the control channel — the serving party absorbs it
+// inside its Run loop — and never concurrently with Run, Append, Expire,
+// or Close (ErrConcurrentRun) or after Close (ErrSessionClosed).
+// Invalid ids (out of range, unsorted, duplicated, or more than the
+// live count) fail with a local validation error before any frame is
+// sent, so they do not poison the session.
+func (t *Session) Retract(ids []int) error {
+	if !t.running.CompareAndSwap(false, true) {
+		return ErrConcurrentRun
+	}
+	defer t.running.Store(false)
+	if t.closed.Load() {
+		return ErrSessionClosed
+	}
+	if t.s.role != RoleAlice {
+		return ErrRetractRole
+	}
+	if t.retractInit == nil {
+		return fmt.Errorf("core: %s session does not support retraction", t.proto)
+	}
+	sent, err := t.retractInit(ids)
+	if err != nil {
+		if sent {
+			// The peer may have applied a tombstone we failed to finish;
+			// the generation ledgers can no longer be trusted to agree.
+			t.closed.Store(true)
+		}
+		return err
+	}
+	// Retraction disclosures (point tombstones) are setup-class state,
+	// like the generation tombstones of Expire.
+	t.setup.Add(t.s.takeLedger())
+	t.retracts.Add(1)
+	return nil
+}
+
+// Retracts reports how many retraction exchanges this session has
+// absorbed.
+func (t *Session) Retracts() int { return int(t.retracts.Load()) }
+
 // setIdleArmed flips the serving connection's idle deadline, when the
 // session sits on one (see idleController).
 func (t *Session) setIdleArmed(on bool) {
@@ -377,6 +490,17 @@ func (t *Session) Run() (*Result, error) {
 				}
 				t.setup.Add(t.s.takeLedger())
 				t.expires.Add(1)
+				setTag(ctrl, "session.op")
+			case sessOpRetract:
+				if t.retractServe == nil {
+					return nil, fmt.Errorf("core: %s session does not support retraction", t.proto)
+				}
+				if err := t.retractServe(r); err != nil {
+					t.closed.Store(true)
+					return nil, err
+				}
+				t.setup.Add(t.s.takeLedger())
+				t.retracts.Add(1)
 				setTag(ctrl, "session.op")
 			default:
 				return nil, fmt.Errorf("core: unexpected session op %d", op)

@@ -2,12 +2,10 @@ package core
 
 import (
 	"crypto/rand"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
-	mrand "math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -51,8 +49,9 @@ func (r Role) peer() Role {
 // version 5 added the append control op, the streaming index-delta
 // rounds, and the generation watermark on horizontal query op frames;
 // version 6 added the expire control op and the generation tombstone
-// exchange (sliding windows).
-const handshakeVersion = 6
+// exchange (sliding windows); version 7 added the retract control op and
+// the point tombstone exchange (point-level deletion).
+const handshakeVersion = 7
 
 // ErrHandshake reports parameter disagreement between the parties.
 var ErrHandshake = errors.New("core: handshake parameter mismatch")
@@ -78,7 +77,7 @@ type session struct {
 	pool *paillier.Pool
 
 	random io.Reader
-	rng    *mrand.Rand // permutation source (Algorithm 4's SetOfPointsOfBobPermutation)
+	rng    permSource // permutation source (Algorithm 4's SetOfPointsOfBobPermutation)
 
 	// Grid-pruning state (Config.Pruning): cellW is the Eps-grid cell
 	// width; pruneOn reports whether pruning is active for this session —
@@ -130,27 +129,27 @@ func (s *session) takeLedger() Ledger {
 func (s *session) parallel() int { return s.cfg.Parallel }
 
 // permSource supplies the per-query candidate permutations (Algorithm
-// 4's SetOfPointsOfBobPermutation): the session's shared rng in the
-// sequential schedule, a per-channel derived rng under the parallel
-// scheduler.
+// 4's SetOfPointsOfBobPermutation): the session's shared source in the
+// sequential schedule, a per-channel derived source under the parallel
+// scheduler. The production source is a crypto/rand-backed Fisher–Yates
+// shuffle (see perm.go) — response permutations are responder-hiding
+// state, so they must not come from a generator whose future output is
+// predictable from observations. Seeded sessions (tests) substitute a
+// deterministic splitmix64-backed source.
 type permSource interface {
 	Perm(n int) []int
 }
 
 // channelRng derives the permutation source for one worker channel in
 // parallel mode. Worker channels consume permutations concurrently, so
-// each gets its own deterministic stream instead of sharing s.rng;
-// permutations only hide which peer point answered which slot, so labels
-// and count-based Ledger classes are unaffected by the split.
-func (s *session) channelRng(ch int) (*mrand.Rand, error) {
+// each gets its own source instead of sharing s.rng; permutations only
+// hide which peer point answered which slot, so labels and count-based
+// Ledger classes are unaffected by the split.
+func (s *session) channelRng(ch int) (permSource, error) {
 	if s.cfg.Seed != 0 {
-		return mrand.New(mrand.NewSource(s.cfg.Seed + int64(s.role) + 1 + 7919*int64(ch+1))), nil
+		return newSeededPerm(uint64(s.cfg.Seed+int64(s.role)+1) + 7919*uint64(ch+1)), nil
 	}
-	var b [8]byte
-	if _, err := io.ReadFull(s.random, b[:]); err != nil {
-		return nil, err
-	}
-	return mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(b[:]) >> 1))), nil
+	return cryptoPerm{r: s.random}, nil
 }
 
 // peerInfo is what the handshake learns about the other side.
@@ -292,15 +291,13 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		return nil, peerInfo{}, err
 	}
 
-	// Permutation source: deterministic when seeded, else from crypto/rand.
+	// Permutation source: deterministic when seeded (tests), else a
+	// crypto/rand-backed Fisher–Yates — never math/rand, whose output is
+	// predictable from observations and would weaken responder hiding.
 	if cfg.Seed != 0 {
-		s.rng = mrand.New(mrand.NewSource(cfg.Seed + int64(role) + 1))
+		s.rng = newSeededPerm(uint64(cfg.Seed + int64(role) + 1))
 	} else {
-		var b [8]byte
-		if _, err := io.ReadFull(random, b[:]); err != nil {
-			return nil, peerInfo{}, err
-		}
-		s.rng = mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(b[:]) >> 1)))
+		s.rng = cryptoPerm{r: random}
 	}
 
 	s.shareV = int64(1) << uint(cfg.ShareMaskBits)

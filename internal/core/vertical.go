@@ -102,6 +102,8 @@ func NewVerticalSession(conn transport.Conn, cfg Config, role Role, attrs [][]fl
 	t.appendServe = func(r *transport.Reader) error { return verticalAppendServe(t, vs, r) }
 	t.expireInit = func(gens int) (bool, error) { return verticalExpireInit(t, vs, gens) }
 	t.expireServe = func(r *transport.Reader) error { return verticalExpireServe(t, vs, r) }
+	t.retractInit = func(ids []int) (bool, error) { return verticalRetractInit(t, vs, ids) }
+	t.retractServe = func(r *transport.Reader) error { return verticalRetractServe(t, vs, r) }
 	return t, nil
 }
 
@@ -277,6 +279,82 @@ func finishVExpire(t *Session, vs *vStream, gens int) {
 	vs.cache.Expire(rows)
 	vs.dead += gens
 	t.s.led(func(l *Ledger) { l.IndexTombstones += gens })
+}
+
+// verticalRetractInit is the initiating side of one vertical retraction:
+// the records are shared (column-split), so the initiator's point
+// tombstone binds both sides — no reply is needed, exactly as with
+// expiry. Invalid ids fail locally before any frame is sent.
+func verticalRetractInit(t *Session, vs *vStream, ids []int) (sent bool, err error) {
+	if err := spatial.ValidateRetractIDs(ids, len(vs.enc)); err != nil {
+		return false, fmt.Errorf("core: retract: %w", err)
+	}
+	ctrl := t.conns[0]
+	setTag(ctrl, "session.op")
+	msg := transport.NewBuilder().PutUint(sessOpRetract)
+	spatial.PointTombstone{IDs: ids}.Encode(msg)
+	if err := transport.SendMsg(ctrl, msg); err != nil {
+		return true, fmt.Errorf("core: session retract op: %w", err)
+	}
+	finishVRetract(t, vs, ids)
+	return true, nil
+}
+
+// verticalRetractServe validates the announced tombstone against this
+// side's live row count and applies it.
+func verticalRetractServe(t *Session, vs *vStream, r *transport.Reader) error {
+	tomb, err := spatial.DecodePointTombstone(r, len(vs.enc))
+	if err != nil {
+		return fmt.Errorf("core: session retract op: %w", err)
+	}
+	finishVRetract(t, vs, tomb.IDs)
+	return nil
+}
+
+// finishVRetract compacts the retracted rows out of the record and cell
+// matrices, decrements their generations' live counts, and remaps the
+// pair cache — every bit touching a retracted record is dropped, the
+// survivors shift by rank onto the compacted indices, identically on
+// both sides. The Ledger records one IndexRetractions entry per
+// retracted record.
+func finishVRetract(t *Session, vs *vStream, ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	// Map each retracted row (live numbering concatenates the live
+	// generations in order, pre-retraction counts) to its generation,
+	// then shrink the affected batches.
+	dec := make(map[int]int)
+	g, cum := vs.dead, 0
+	for _, id := range ids {
+		for g < len(vs.batches) && id >= cum+vs.batches[g] {
+			cum += vs.batches[g]
+			g++
+		}
+		dec[g]++
+	}
+	for g, d := range dec {
+		vs.batches[g] -= d
+	}
+	remap := retractRemap(ids)
+	out := vs.enc[:0]
+	for i, row := range vs.enc {
+		if _, ok := remap(i); ok {
+			out = append(out, row)
+		}
+	}
+	vs.enc = out
+	if vs.cellRows != nil {
+		cells := vs.cellRows[:0]
+		for i, row := range vs.cellRows {
+			if _, ok := remap(i); ok {
+				cells = append(cells, row)
+			}
+		}
+		vs.cellRows = cells
+	}
+	vs.cache.Retract(ids)
+	t.s.led(func(l *Ledger) { l.IndexRetractions += len(ids) })
 }
 
 // encodeVBatch validates and encodes appended rows of this party's

@@ -1,0 +1,470 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// E19 — point-retraction sweep. A long-lived session built from several
+// append generations retracts individual records from its newest
+// generation (Retract → point tombstone exchange, masked index slots,
+// exact cache invalidation) and re-clusters. The baseline tears the
+// session down per retraction: a fresh session constructed over exactly
+// the surviving points and run once — same data, no establishment
+// charged, but an empty cache. A retraction confined to one generation
+// invalidates only the cache state that could have touched the
+// retracted records (the other generations' entries keep answering), so
+// the incremental run must issue strictly fewer secure comparisons than
+// the rebuild while producing byte-identical labels — and the retraction
+// disclosure is first-class Ledger state (IndexRetractions on both
+// setup ledgers). BenchE19 emits the JSON rows `make bench` archives in
+// BENCH_E19.json.
+
+// e19Shape is the sweep workload: append generations of batch rows
+// each, and how many retraction stages of perStage records (per holder)
+// the session performs against its newest generation.
+func e19Shape(opt Options) (gens, batch, stages, perStage int) {
+	if opt.Quick {
+		return 3, 8, 2, 1
+	}
+	return 3, 12, 2, 2
+}
+
+// e19Gens builds the workload: gens generations of batch clustered rows
+// each, in arrival order.
+func e19Gens(opt Options) ([][][]float64, core.Config) {
+	gens, batch, _, _ := e19Shape(opt)
+	d := dataset.Blobs(gens*batch, 3, 0.07, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+	cfg := qualityCfg(scaleEps(0.4), 4, 63, opt.seed())
+	out := make([][][]float64, gens)
+	for g := range out {
+		out[g] = q.Points[g*batch : (g+1)*batch]
+	}
+	return out, cfg
+}
+
+// e19Family wraps the streaming family with its retraction shape.
+type e19Family struct {
+	e17Family
+	// shared marks families whose records are shared rows (vertical):
+	// the initiating party's ids bind both sides and the serving party
+	// needs no RetractSource.
+	shared bool
+}
+
+func e19Families() []e19Family {
+	var out []e19Family
+	for _, fam := range e17Families() {
+		out = append(out, e19Family{e17Family: fam, shared: fam.name == "vertical"})
+	}
+	return out
+}
+
+// e19Step is one precomputed retraction stage: the ids each holder
+// retracts (in its own live numbering at that stage) and the surviving
+// per-side data afterwards, which the rebuild baseline clusters fresh.
+type e19Step struct {
+	initIDs []int // ids the initiating party passes to Retract
+	srcIDs  []int // ids the serving party's RetractSource supplies (nil when rows are shared)
+
+	aliceRows, bobRows [][]float64
+}
+
+// e19PickLast spreads k ids over the live span of the final generation
+// ([total-lastLive, total)).
+func e19PickLast(total, lastLive, k int) []int {
+	start := total - lastLive
+	step := lastLive / k
+	ids := make([]int, k)
+	for i := range ids {
+		ids[i] = start + i*step
+	}
+	return ids
+}
+
+// e19Filter drops the (strictly ascending) ids from rows.
+func e19Filter(rows [][]float64, ids []int) [][]float64 {
+	out := make([][]float64, 0, len(rows)-len(ids))
+	next := 0
+	for i, r := range rows {
+		if next < len(ids) && ids[next] == i {
+			next++
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// e19BuildPlan precomputes every retraction stage deterministically, so
+// both session closures and the rebuild baseline agree on exactly which
+// records die at each stage without any cross-goroutine coordination.
+func e19BuildPlan(fam e19Family, gens [][][]float64, stages, perStage int) []e19Step {
+	last := gens[len(gens)-1]
+	plan := make([]e19Step, stages)
+	if fam.shared {
+		var rows [][]float64
+		for _, g := range gens {
+			rows = append(rows, g...)
+		}
+		lastLive := len(last)
+		for s := range plan {
+			ids := e19PickLast(len(rows), lastLive, perStage)
+			rows = e19Filter(rows, ids)
+			lastLive -= perStage
+			plan[s] = e19Step{
+				initIDs:   ids,
+				aliceRows: fam.sideData(rows, core.RoleAlice),
+				bobRows:   fam.sideData(rows, core.RoleBob),
+			}
+		}
+		return plan
+	}
+	var alice, bob [][]float64
+	for _, g := range gens {
+		alice = append(alice, fam.sideData(g, core.RoleAlice)...)
+		bob = append(bob, fam.sideData(g, core.RoleBob)...)
+	}
+	aLast := len(fam.sideData(last, core.RoleAlice))
+	bLast := len(fam.sideData(last, core.RoleBob))
+	for s := range plan {
+		aIDs := e19PickLast(len(alice), aLast, perStage)
+		bIDs := e19PickLast(len(bob), bLast, perStage)
+		alice = e19Filter(alice, aIDs)
+		bob = e19Filter(bob, bIDs)
+		aLast -= perStage
+		bLast -= perStage
+		plan[s] = e19Step{
+			initIDs:   aIDs,
+			srcIDs:    bIDs,
+			aliceRows: append([][]float64{}, alice...),
+			bobRows:   append([][]float64{}, bob...),
+		}
+	}
+	return plan
+}
+
+// runE19Incremental drives one session: fill the generations (construct
+// + appends), run, then Retract+run per stage.
+func runE19Incremental(fam e19Family, cfg core.Config, latency time.Duration, gens [][][]float64, plan []e19Step) ([]e17Stage, core.Ledger, core.Ledger, error) {
+	var resA, resB []*core.Result
+	var walls []time.Duration
+	var setupA, setupB core.Ledger
+	var mu sync.Mutex
+	err := e17SessionPair(latency,
+		func(conn transport.Conn) error {
+			sess, err := fam.newSess(conn, cfg, core.RoleAlice, fam.sideData(gens[0], core.RoleAlice))
+			if err != nil {
+				return err
+			}
+			for g := 1; g < len(gens); g++ {
+				if err := sess.Append(fam.sideData(gens[g], core.RoleAlice)); err != nil {
+					return err
+				}
+			}
+			drive := func() error {
+				start := time.Now()
+				res, err := sess.Run()
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				resA = append(resA, res)
+				walls = append(walls, time.Since(start))
+				mu.Unlock()
+				return nil
+			}
+			if err := drive(); err != nil {
+				return err
+			}
+			for _, step := range plan {
+				if err := sess.Retract(step.initIDs); err != nil {
+					return err
+				}
+				if err := drive(); err != nil {
+					return err
+				}
+			}
+			mu.Lock()
+			setupA = sess.SetupLeakage()
+			mu.Unlock()
+			return sess.Close()
+		},
+		func(conn transport.Conn) error {
+			sess, err := fam.newSess(conn, cfg, core.RoleBob, fam.sideData(gens[0], core.RoleBob))
+			if err != nil {
+				return err
+			}
+			next := 1
+			sess.SetAppendSource(func(core.AppendRequest) ([][]float64, error) {
+				if next >= len(gens) {
+					return nil, fmt.Errorf("e19: unexpected append %d", next)
+				}
+				b := fam.sideData(gens[next], core.RoleBob)
+				next++
+				return b, nil
+			})
+			if !fam.shared {
+				stage := 0
+				sess.SetRetractSource(func(core.RetractRequest) ([]int, error) {
+					if stage >= len(plan) {
+						return nil, fmt.Errorf("e19: unexpected retraction %d", stage)
+					}
+					ids := plan[stage].srcIDs
+					stage++
+					return ids, nil
+				})
+			}
+			for {
+				res, err := sess.Run()
+				if errors.Is(err, core.ErrSessionClosed) {
+					mu.Lock()
+					setupB = sess.SetupLeakage()
+					mu.Unlock()
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				resB = append(resB, res)
+				mu.Unlock()
+			}
+		})
+	if err != nil {
+		return nil, setupA, setupB, err
+	}
+	if len(resA) != len(resB) {
+		return nil, setupA, setupB, fmt.Errorf("e19: %d alice stages vs %d bob stages", len(resA), len(resB))
+	}
+	stages := make([]e17Stage, len(resA))
+	for i := range resA {
+		stages[i] = e17Stage{resA: resA[i], resB: resB[i], wall: walls[i]}
+	}
+	return stages, setupA, setupB, nil
+}
+
+// runE19Rebuild runs one baseline stage: a fresh session constructed
+// over exactly the given surviving per-side data, run once — what it
+// cannot reuse is the comparison cache.
+func runE19Rebuild(fam e19Family, cfg core.Config, latency time.Duration, alice, bob [][]float64) (e17Stage, error) {
+	var st e17Stage
+	var mu sync.Mutex
+	err := e17SessionPair(latency,
+		func(conn transport.Conn) error {
+			sess, err := fam.newSess(conn, cfg, core.RoleAlice, alice)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := sess.Run()
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			st.resA = res
+			st.wall = time.Since(start)
+			mu.Unlock()
+			return sess.Close()
+		},
+		func(conn transport.Conn) error {
+			sess, err := fam.newSess(conn, cfg, core.RoleBob, bob)
+			if err != nil {
+				return err
+			}
+			for {
+				res, err := sess.Run()
+				if errors.Is(err, core.ErrSessionClosed) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				st.resB = res
+				mu.Unlock()
+			}
+		})
+	return st, err
+}
+
+// e19Point is one family's sweep measurement.
+type e19Point struct {
+	family     string
+	inc        []e17Stage // stage 0 is the pre-retraction run
+	rebuild    []e17Stage
+	setupA     core.Ledger
+	setupB     core.Ledger
+	wallInc    time.Duration
+	wallReb    time.Duration
+	cmpInc     int64
+	cmpReb     int64
+	cachedHits int64
+}
+
+// check enforces the sweep point's contract: per-stage labels match the
+// fresh rebuild over exactly the surviving points on both sides, every
+// retraction stage issues strictly fewer secure comparisons than its
+// rebuild with a live cache, and the retraction disclosure is on both
+// setup ledgers.
+func (pt e19Point) check(want int) error {
+	if len(pt.inc) != len(pt.rebuild) {
+		return fmt.Errorf("e19 %s: %d incremental stages vs %d rebuilds", pt.family, len(pt.inc), len(pt.rebuild))
+	}
+	for s := range pt.inc {
+		if !metrics.ExactMatch(pt.inc[s].resA.Labels, pt.rebuild[s].resA.Labels) ||
+			!metrics.ExactMatch(pt.inc[s].resB.Labels, pt.rebuild[s].resB.Labels) {
+			return fmt.Errorf("e19 %s stage %d: labels diverge from a fresh session over the survivors", pt.family, s)
+		}
+		if s > 0 && pt.inc[s].comparisons() >= pt.rebuild[s].comparisons() {
+			return fmt.Errorf("e19 %s stage %d: incremental %d comparisons, rebuild %d — want strictly fewer",
+				pt.family, s, pt.inc[s].comparisons(), pt.rebuild[s].comparisons())
+		}
+		if s > 0 && pt.inc[s].cached() == 0 {
+			return fmt.Errorf("e19 %s stage %d: cache never hit across the retraction", pt.family, s)
+		}
+	}
+	if pt.setupA.IndexRetractions != want || pt.setupB.IndexRetractions != want {
+		return fmt.Errorf("e19 %s: IndexRetractions %d/%d, want %d on both sides",
+			pt.family, pt.setupA.IndexRetractions, pt.setupB.IndexRetractions, want)
+	}
+	return nil
+}
+
+// runE19Sweep measures every family's point.
+func runE19Sweep(opt Options) ([]e19Point, error) {
+	_, _, stages, perStage := e19Shape(opt)
+	latency := e17Latency(opt)
+	var points []e19Point
+	for _, fam := range e19Families() {
+		gens, cfg := e19Gens(opt)
+		plan := e19BuildPlan(fam, gens, stages, perStage)
+		inc, setupA, setupB, err := runE19Incremental(fam, cfg, latency, gens, plan)
+		if err != nil {
+			return nil, fmt.Errorf("e19 %s incremental: %w", fam.name, err)
+		}
+		var aliceFull, bobFull [][]float64
+		for _, g := range gens {
+			aliceFull = append(aliceFull, fam.sideData(g, core.RoleAlice)...)
+			bobFull = append(bobFull, fam.sideData(g, core.RoleBob)...)
+		}
+		reb := make([]e17Stage, 0, len(plan)+1)
+		st, err := runE19Rebuild(fam, cfg, latency, aliceFull, bobFull)
+		if err != nil {
+			return nil, fmt.Errorf("e19 %s rebuild stage 0: %w", fam.name, err)
+		}
+		reb = append(reb, st)
+		for s, step := range plan {
+			st, err := runE19Rebuild(fam, cfg, latency, step.aliceRows, step.bobRows)
+			if err != nil {
+				return nil, fmt.Errorf("e19 %s rebuild stage %d: %w", fam.name, s+1, err)
+			}
+			reb = append(reb, st)
+		}
+		pt := e19Point{family: fam.name, inc: inc, rebuild: reb, setupA: setupA, setupB: setupB}
+		// Stage 0 builds identical state in both arms; the sweep
+		// aggregates the retraction stages, where invalidation is in play.
+		for s := 1; s < len(inc); s++ {
+			pt.wallInc += inc[s].wall
+			pt.wallReb += reb[s].wall
+			pt.cmpInc += inc[s].comparisons()
+			pt.cmpReb += reb[s].comparisons()
+			pt.cachedHits += inc[s].cached()
+		}
+		// Each stage retracts perStage records per holder: one holder for
+		// shared rows, two for horizontal splits — and both setup ledgers
+		// record every retracted record.
+		want := stages * perStage
+		if !fam.shared {
+			want *= 2
+		}
+		if err := pt.check(want); err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func runE19(w io.Writer, opt Options) error {
+	points, err := runE19Sweep(opt)
+	if err != nil {
+		return err
+	}
+	gens, batch, stages, perStage := e19Shape(opt)
+	fmt.Fprintf(w, "simulated one-way frame latency: %v; %d generations × %d points, %d retraction stages × %d records per holder\n",
+		e17Latency(opt), gens, batch, stages, perStage)
+	var t table
+	t.add("protocol", "stages", "cmp(incr)", "cmp(rebuild)", "reduction", "cached", "wall(incr)", "wall(rebuild)", "speedup")
+	for _, pt := range points {
+		t.add(pt.family, fmt.Sprint(len(pt.inc)-1),
+			fmt.Sprint(pt.cmpInc), fmt.Sprint(pt.cmpReb),
+			fmt.Sprintf("%.2fx", float64(pt.cmpReb)/float64(max(pt.cmpInc, 1))),
+			fmt.Sprint(pt.cachedHits),
+			fmt.Sprint(pt.wallInc.Round(time.Millisecond)),
+			fmt.Sprint(pt.wallReb.Round(time.Millisecond)),
+			fmt.Sprintf("%.2fx", float64(pt.wallReb)/float64(max(pt.wallInc, 1))))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Every retraction's labels are byte-identical to a fresh session over exactly the surviving points; the point tombstone masks index slots in place (per-query wire sizes are unchanged), invalidates only the cache state that could have touched a retracted record, and is first-class Ledger state (IndexRetractions) — so a retraction costs strictly fewer secure comparisons than rebuilding the session without it.")
+	return nil
+}
+
+// BenchE19Row is one BenchE19 measurement, JSON-serializable for the
+// perf trajectory file (BENCH_E19.json, written by `make bench`).
+type BenchE19Row struct {
+	Protocol         string  `json:"protocol"`
+	Generations      int     `json:"generations"`
+	Batch            int     `json:"gen_batch"`
+	Stages           int     `json:"retraction_stages"`
+	PerStage         int     `json:"retracted_per_holder"`
+	LatencyMS        int64   `json:"latency_ms"`
+	CmpIncremental   int64   `json:"comparisons_incremental"`
+	CmpRebuild       int64   `json:"comparisons_rebuild"`
+	CmpReduction     float64 `json:"comparison_reduction"`
+	CachedHits       int64   `json:"cached_comparisons"`
+	WallIncMS        int64   `json:"wall_incremental_ms"`
+	WallRebuildMS    int64   `json:"wall_rebuild_ms"`
+	Speedup          float64 `json:"speedup_vs_rebuild"`
+	IndexRetractions int     `json:"index_retractions"`
+}
+
+// BenchE19 runs the retraction sweep and returns structured
+// measurements, erroring if any stage diverges from its fresh rebuild
+// or fails to beat it.
+func BenchE19(opt Options) ([]BenchE19Row, error) {
+	points, err := runE19Sweep(opt)
+	if err != nil {
+		return nil, err
+	}
+	gens, batch, stages, perStage := e19Shape(opt)
+	var rows []BenchE19Row
+	for _, pt := range points {
+		rows = append(rows, BenchE19Row{
+			Protocol:         pt.family,
+			Generations:      gens,
+			Batch:            batch,
+			Stages:           stages,
+			PerStage:         perStage,
+			LatencyMS:        e17Latency(opt).Milliseconds(),
+			CmpIncremental:   pt.cmpInc,
+			CmpRebuild:       pt.cmpReb,
+			CmpReduction:     float64(pt.cmpReb) / float64(max(pt.cmpInc, 1)),
+			CachedHits:       pt.cachedHits,
+			WallIncMS:        pt.wallInc.Milliseconds(),
+			WallRebuildMS:    pt.wallReb.Milliseconds(),
+			Speedup:          float64(pt.wallReb) / float64(max(pt.wallInc, 1)),
+			IndexRetractions: pt.setupA.IndexRetractions + pt.setupB.IndexRetractions,
+		})
+	}
+	return rows, nil
+}

@@ -2,11 +2,9 @@ package multiparty
 
 import (
 	"crypto/rand"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"math/big"
-	mrand "math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -87,10 +85,10 @@ type pairSession struct {
 	rsaKey  *yao.RSAKey
 	peerPai *paillier.PublicKey
 	peerRSA *yao.RSAPublicKey
-	cmpA    compare.Alice // we drive: we hold the left value
-	cmpB    compare.Bob   // we respond: peer holds the left value
-	peerN   int           // peer's live record count
-	rng     *mrand.Rand   // per-query permutation when we respond
+	cmpA    compare.Alice   // we drive: we hold the left value
+	cmpB    compare.Bob     // we respond: peer holds the left value
+	peerN   int             // peer's live record count
+	rng     core.PermSource // per-query permutation when we respond
 
 	peerDirs   []spatial.Directory // per-generation padded directories (pruning)
 	peerGenCnt []int               // per-generation peer counts (dead gens zeroed)
@@ -333,6 +331,120 @@ func (ms *MeshSession) Expire(gens int) error {
 	return nil
 }
 
+// Retract deletes individual records from the live mesh window: every
+// party calls Retract concurrently with the strictly ascending live
+// indices of its *own* points to delete (any count, including none —
+// a party with nothing to retract participates with an empty list).
+// Each mesh edge swaps a validated spatial.PointTombstone, lower-indexed
+// party first; the retraction applies only after every edge agreed, so a
+// malformed tombstone fails the exchange loudly before any state
+// changes. Locally the own retracted rows compact out of enc (the
+// numbering a fresh session over the survivors would use), the index
+// stack masks their slots (disclosed directories are untouched — masked
+// slots keep answering as dummies, so per-query wire sizes never
+// change), each peer's per-generation counts shrink, and the cached
+// region-count segments die exactly where a retracted point could sit
+// inside them: our own retracted points' entries vanish and survivors
+// remap by rank, and segments covering a peer generation that lost
+// points are dropped for re-derivation.
+func (ms *MeshSession) Retract(ids []int) error {
+	h := ms.h
+	if err := spatial.ValidateRetractIDs(ids, len(h.enc)); err != nil {
+		return fmt.Errorf("multiparty: retract: %w", err)
+	}
+	p := h.party
+	peerIDs := make([][]int, p.K)
+	for q := 0; q < p.K; q++ {
+		if q == p.Index {
+			continue
+		}
+		sess := h.sessions[q]
+		conn := p.Conns[q]
+		msg := spatial.PointTombstone{IDs: ids}.Encode(transport.NewBuilder())
+		// Lower-indexed party sends first, as in Append, so simultaneous
+		// retractions cannot deadlock a real socket.
+		var r *transport.Reader
+		var err error
+		if p.Index < q {
+			if err = transport.SendMsg(conn, msg); err == nil {
+				r, err = transport.RecvMsg(conn)
+			}
+		} else {
+			if r, err = transport.RecvMsg(conn); err == nil {
+				err = transport.SendMsg(conn, msg)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("multiparty: retract exchange with %d: %w", q, err)
+		}
+		tomb, err := spatial.DecodePointTombstone(r, sess.peerN)
+		if err != nil {
+			return fmt.Errorf("multiparty: retract tombstone from %d: %w", q, err)
+		}
+		peerIDs[q] = tomb.IDs
+	}
+	// Every edge agreed; apply the retraction locally.
+	if len(ids) > 0 {
+		if h.pruneOn {
+			if err := h.ownStack.Retract(ids); err != nil {
+				return err
+			}
+		}
+		kept := h.enc[:0]
+		next := 0
+		for i, row := range h.enc {
+			if next < len(ids) && ids[next] == i {
+				next++
+				continue
+			}
+			kept = append(kept, row)
+		}
+		h.enc = kept
+		for g, start := range h.ownGenStart {
+			if g < h.dead {
+				continue
+			}
+			n := 0
+			for _, id := range ids {
+				if id < start {
+					n++
+				}
+			}
+			h.ownGenStart[g] = start - n
+		}
+	}
+	for q := 0; q < p.K; q++ {
+		if q == p.Index {
+			continue
+		}
+		sess := h.sessions[q]
+		sess.cache.RetractOwn(ids)
+		pids := peerIDs[q]
+		if len(pids) == 0 {
+			continue
+		}
+		// Map each retracted peer id (pre-retraction live numbering) to
+		// its generation, then shrink the counts and drop stale segments.
+		dec := make(map[int]int)
+		g, cum := 0, 0
+		for _, id := range pids {
+			for g < len(sess.peerGenCnt) && id >= cum+sess.peerGenCnt[g] {
+				cum += sess.peerGenCnt[g]
+				g++
+			}
+			dec[g]++
+		}
+		affected := make(map[int]bool, len(dec))
+		for g, d := range dec {
+			sess.peerGenCnt[g] -= d
+			sess.peerN -= d
+			affected[g] = true
+		}
+		sess.cache.DropGens(affected)
+	}
+	return nil
+}
+
 // newMeshState performs the mesh establishment.
 func newMeshState(party HorizontalParty, cfg Config, points [][]float64) (*hState, error) {
 	if err := party.validate(); err != nil {
@@ -523,11 +635,11 @@ func (h *hState) handshakeAll() error {
 		if err != nil {
 			return err
 		}
-		var seedBytes [8]byte
-		if _, err := io.ReadFull(h.random, seedBytes[:]); err != nil {
-			return err
-		}
-		sess.rng = mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(seedBytes[:]) >> 1)))
+		// Response permutations hide which of our points answered which
+		// slot; they come from the session's randomness source (crypto/rand
+		// unless a test injects a deterministic reader), never math/rand,
+		// whose future output is predictable from observations.
+		sess.rng = core.CryptoPerm(h.random)
 		if err := h.buildPairEngines(sess); err != nil {
 			return err
 		}
@@ -593,8 +705,9 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 // version 2 added the Pruning parameters to the pairwise handshake;
 // version 3 added the Parallel fan-out width; version 4 added the
 // generation watermark on query op frames and the append delta exchange;
-// version 5 added the generation tombstone exchange (sliding windows).
-const meshHandshakeVersion = 5
+// version 5 added the generation tombstone exchange (sliding windows);
+// version 6 added the point tombstone exchange (point-level retraction).
+const meshHandshakeVersion = 6
 
 // Ops on the driver→responder control channel (per peer connection).
 const (

@@ -227,8 +227,9 @@ var ErrHandshake = errors.New("multiparty: handshake parameter mismatch")
 // version 2 added the Pruning parameters to the token; version 3 added
 // the Parallel scheduler width (which also pins per-edge multiplexing);
 // version 4 added the generation tombstone circulation (sliding
-// windows).
-const ringHandshakeVersion = 4
+// windows); version 5 added the point tombstone circulation
+// (point-level retraction).
+const ringHandshakeVersion = 5
 
 // handshakeToken travels once around the ring accumulating checks.
 type handshakeToken struct {

@@ -183,6 +183,132 @@ func (st *state) circulateExpire(dead, gens, live int) error {
 	return transport.SendMsg(next, td.Encode(transport.NewBuilder()))
 }
 
+// Retract removes individual live records from the ring window:
+// records are shared rows under vertical partitioning, so every party
+// must call Retract concurrently with the same strictly ascending list
+// of live record indices. A spatial.PointTombstone circulates like an
+// expiry tombstone (two laps, coordinator first) and each party checks
+// the circulated ids id-for-id against its own argument before anyone
+// mutates state — no party compacts rows the others are keeping.
+// Locally the retracted rows are compacted out of the attribute matrix,
+// the pruning cell rows, and the per-generation window counts
+// (surviving indices renumber immediately), and the cross-run pair
+// cache drops every bit touching a retracted record while remapping the
+// survivors identically on all parties, so the seeded lockstep drivers
+// stay in lock step across retractions.
+func (rs *RingSession) Retract(ids []int) error {
+	st := rs.st
+	if len(ids) == 0 {
+		return fmt.Errorf("multiparty: retract needs at least one record")
+	}
+	if err := spatial.ValidateRetractIDs(ids, len(st.enc)); err != nil {
+		return err
+	}
+	if err := st.circulateRetract(ids, len(st.enc)); err != nil {
+		return err
+	}
+	// Map each id to its live generation using the pre-retraction window
+	// counts, then apply the decrements afterwards (ids are numbered
+	// before any of them are removed).
+	dec := make(map[int]int)
+	g, upto := rs.dead, 0
+	if g < len(rs.batches) {
+		upto = rs.batches[g]
+	}
+	for _, id := range ids {
+		for id >= upto && g < len(rs.batches)-1 {
+			g++
+			upto += rs.batches[g]
+		}
+		dec[g]++
+	}
+	for gen, d := range dec {
+		rs.batches[gen] -= d
+	}
+	next := 0
+	enc := st.enc[:0]
+	var cells [][]int64
+	if rs.cellRows != nil {
+		cells = rs.cellRows[:0]
+	}
+	for i, row := range st.enc {
+		if next < len(ids) && ids[next] == i {
+			next++
+			continue
+		}
+		enc = append(enc, row)
+		if rs.cellRows != nil {
+			cells = append(cells, rs.cellRows[i])
+		}
+	}
+	st.enc = enc
+	if rs.cellRows != nil {
+		rs.cellRows = cells
+	}
+	rs.cache.Retract(ids)
+	return nil
+}
+
+// circulateRetract verifies ring-wide agreement on a retraction: lap 1
+// carries the coordinator's point tombstone for every party to check
+// id-for-id against its own Retract argument, lap 2 releases the ring.
+func (st *state) circulateRetract(ids []int, total int) error {
+	prev, next := st.prevs[0], st.nexts[0]
+	pt := spatial.PointTombstone{IDs: ids}
+	check := func(r *transport.Reader) error {
+		got, err := spatial.DecodePointTombstone(r, total)
+		if err != nil {
+			return fmt.Errorf("multiparty: retract circulation: %w", err)
+		}
+		if len(got.IDs) != len(ids) {
+			return fmt.Errorf("multiparty: retract disagreement: %d vs %d records (records are shared)", len(ids), len(got.IDs))
+		}
+		for i := range ids {
+			if got.IDs[i] != ids[i] {
+				return fmt.Errorf("multiparty: retract disagreement at position %d: id %d vs %d", i, ids[i], got.IDs[i])
+			}
+		}
+		return nil
+	}
+	if st.isCoordinator() {
+		if err := transport.SendMsg(next, pt.Encode(transport.NewBuilder())); err != nil {
+			return fmt.Errorf("multiparty: retract send: %w", err)
+		}
+		r, err := transport.RecvMsg(prev)
+		if err != nil {
+			return fmt.Errorf("multiparty: retract return: %w", err)
+		}
+		if err := check(r); err != nil {
+			return err
+		}
+		// Lap 2: release the ring.
+		if err := transport.SendMsg(next, pt.Encode(transport.NewBuilder())); err != nil {
+			return err
+		}
+		_, err = transport.RecvMsg(prev)
+		return err
+	}
+	r, err := transport.RecvMsg(prev)
+	if err != nil {
+		return fmt.Errorf("multiparty: retract recv: %w", err)
+	}
+	if err := check(r); err != nil {
+		return err
+	}
+	if err := transport.SendMsg(next, pt.Encode(transport.NewBuilder())); err != nil {
+		return err
+	}
+	// Lap 2.
+	r2, err := transport.RecvMsg(prev)
+	if err != nil {
+		return err
+	}
+	if err := check(r2); err != nil {
+		return fmt.Errorf("multiparty: retract release mismatch: %w", err)
+	}
+	return transport.SendMsg(next, pt.Encode(transport.NewBuilder()))
+}
+
 // Run executes one lockstep clustering over the session state, seeded
 // with the cross-run pair cache. Result.PairDecisions covers this run
 // only (cached pairs included — the decision-level budget convention);

@@ -37,6 +37,17 @@ import (
 // contiguous [0, Total()) range. Expiry discloses only which
 // generations died (their padded sizes were already public from the
 // original delta), never which points they held.
+//
+// Point-level retraction deletes individual records from the middle of
+// live generations: Retract masks the named slots, the surviving global
+// indices compact immediately (so [0, Total()) always spans exactly the
+// surviving points), and the generation's *disclosed* directory is left
+// untouched — a masked slot simply answers as one more dummy in pruned
+// queries, so per-query wire sizes never change and the only disclosure
+// is the PointTombstone itself. Once a generation's occupancy falls
+// below compactOccupancy, its grid is compacted in place (masked slots
+// dropped, survivors renumbered) while the directory keeps disclosing
+// the original padded counts.
 
 // ErrGenRange reports a generation index outside the stack's absolute
 // range. A malformed peer watermark surfaces as this error on the
@@ -59,9 +70,68 @@ type Stack struct {
 
 type stackGen struct {
 	start int // global index of the generation's first point
-	n     int
-	grid  *Grid
-	dir   Directory
+	n     int // slots (original batch size, until compaction)
+	live  int // unmasked slots still serving
+	// masked marks retracted slots; nil when every slot is live. rank is
+	// the live renumbering per slot (number of live slots before it),
+	// maintained whenever masked is non-nil.
+	masked []bool
+	rank   []int
+	grid   *Grid
+	dir    Directory
+}
+
+// liveSlots returns the slot indices of the generation's live points in
+// live order.
+func (g *stackGen) liveSlots() []int {
+	out := make([]int, 0, g.live)
+	for j := 0; j < g.n; j++ {
+		if g.masked == nil || !g.masked[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// rerank rebuilds the live renumbering after masking changed.
+func (g *stackGen) rerank() {
+	g.rank = make([]int, g.n)
+	r := 0
+	for j := 0; j < g.n; j++ {
+		g.rank[j] = r
+		if !g.masked[j] {
+			r++
+		}
+	}
+}
+
+// compactOccupancy is the occupancy threshold below which a retraction
+// compacts the generation in place: once fewer than half the slots are
+// live, the grid drops its masked slots and renumbers the survivors
+// contiguously. The disclosed directory is never rebuilt — its padded
+// counts stay exactly what the append-time delta disclosed.
+const compactOccupancy = 0.5
+
+// compact drops the masked slots from the generation's grid and
+// renumbers the survivors; the directory is deliberately untouched.
+func (g *stackGen) compact() {
+	for k, js := range g.grid.cells {
+		kept := make([]int, 0, len(js))
+		for _, j := range js {
+			if !g.masked[j] {
+				kept = append(kept, g.rank[j])
+			}
+		}
+		if len(kept) == 0 {
+			delete(g.grid.cells, k)
+			delete(g.grid.coord, k)
+		} else {
+			g.grid.cells[k] = kept
+		}
+	}
+	g.n = g.live
+	g.masked = nil
+	g.rank = nil
 }
 
 // NewStack builds an empty generation stack for points of the given
@@ -94,7 +164,7 @@ func (s *Stack) Total() int {
 		return 0
 	}
 	last := s.gens[len(s.gens)-1]
-	return last.start + last.n
+	return last.start + last.live
 }
 
 // Dir returns generation g's padded directory — the exact payload the
@@ -149,7 +219,7 @@ func (s *Stack) Append(points [][]int64) (Directory, error) {
 	if d.byKey == nil {
 		d.byKey = map[string]int{}
 	}
-	s.gens = append(s.gens, stackGen{start: s.Total(), n: len(points), grid: g, dir: d})
+	s.gens = append(s.gens, stackGen{start: s.Total(), n: len(points), live: len(points), grid: g, dir: d})
 	return d, nil
 }
 
@@ -163,7 +233,7 @@ func (s *Stack) Expire(k int) (removed int, err error) {
 		return 0, fmt.Errorf("%w: expire %d of %d live generations", ErrGenRange, k, len(s.gens))
 	}
 	for g := 0; g < k; g++ {
-		removed += s.gens[g].n
+		removed += s.gens[g].live
 	}
 	live := make([]stackGen, len(s.gens)-k)
 	copy(live, s.gens[k:])
@@ -173,6 +243,104 @@ func (s *Stack) Expire(k int) (removed int, err error) {
 	s.gens = live
 	s.dead += k
 	return removed, nil
+}
+
+// ValidateRetractIDs checks a retraction id list against a live point
+// count: strictly ascending indices inside [0, total). Every retraction
+// consumer — Stack.Retract, the wire decoder, and the protocol layers
+// without a stack of their own (pruning off, lockstep families) — shares
+// this rule, so over-retraction surfaces as the same typed error
+// everywhere.
+func ValidateRetractIDs(ids []int, total int) error {
+	if len(ids) > total {
+		return fmt.Errorf("%w: retract %d of %d live points", ErrGenRange, len(ids), total)
+	}
+	for i, id := range ids {
+		if id < 0 || id >= total {
+			return fmt.Errorf("%w: retract index %d outside live range [0,%d)", ErrGenRange, id, total)
+		}
+		if i > 0 && id <= ids[i-1] {
+			return fmt.Errorf("spatial: retract indices not strictly ascending at %d", id)
+		}
+	}
+	return nil
+}
+
+// Retract masks the given live point indices (strictly ascending, in the
+// current [0, Total()) numbering) out of their generations. The
+// surviving indices compact immediately — after Retract, [0, Total())
+// spans exactly the surviving points — while each generation's disclosed
+// directory is untouched: a masked slot keeps its padded footprint and
+// answers as a dummy, so retraction changes no per-query wire sizes.
+// A generation whose occupancy drops below compactOccupancy is compacted
+// in place. Retracting every point of a generation leaves a valid
+// zero-occupancy generation that serves all-dummy answers.
+func (s *Stack) Retract(ids []int) error {
+	if err := ValidateRetractIDs(ids, s.Total()); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	// Partition ids by generation against the pre-retraction numbering,
+	// then mask via each generation's pre-retraction live slot order.
+	next := 0
+	for gi := range s.gens {
+		gen := &s.gens[gi]
+		end := gen.start + gen.live
+		if next >= len(ids) || ids[next] >= end {
+			continue
+		}
+		slots := gen.liveSlots()
+		if gen.masked == nil {
+			gen.masked = make([]bool, gen.n)
+		}
+		for next < len(ids) && ids[next] < end {
+			gen.masked[slots[ids[next]-gen.start]] = true
+			gen.live--
+			next++
+		}
+		gen.rerank()
+		if float64(gen.live) < compactOccupancy*float64(gen.n) {
+			gen.compact()
+		}
+	}
+	// Rebase the surviving global indices to a contiguous [0, Total()).
+	start := 0
+	for gi := range s.gens {
+		s.gens[gi].start = start
+		start += s.gens[gi].live
+	}
+	return nil
+}
+
+// GenOccupancy reports generation g's live and slot counts — the
+// occupancy retraction tracks. Expired generations report 0/0; an index
+// outside [0, Gens()) returns ErrGenRange. After a compaction the two
+// counts re-converge (masked slots are physically dropped).
+func (s *Stack) GenOccupancy(g int) (live, slots int, err error) {
+	if g < 0 || g >= s.Gens() {
+		return 0, 0, fmt.Errorf("%w: occupancy of generation %d of %d", ErrGenRange, g, s.Gens())
+	}
+	if g < s.dead {
+		return 0, 0, nil
+	}
+	gen := s.gens[g-s.dead]
+	return gen.live, gen.n, nil
+}
+
+// GenOf maps a live global index to its generation's absolute number —
+// how a retraction id names the generation whose caches it invalidates.
+func (s *Stack) GenOf(id int) (int, error) {
+	if id < 0 || id >= s.Total() {
+		return 0, fmt.Errorf("%w: point %d outside live range [0,%d)", ErrGenRange, id, s.Total())
+	}
+	for gi := range s.gens {
+		if id < s.gens[gi].start+s.gens[gi].live {
+			return s.dead + gi, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: point %d outside live range [0,%d)", ErrGenRange, id, s.Total())
 }
 
 // ResolveRange is ResolveSpan over the open suffix [from, Gens()).
@@ -217,6 +385,12 @@ func (s *Stack) ResolveSpan(from, to int, cells [][]int64) (members []int, nDumm
 				occupied = true
 				padded += p
 				for _, j := range gen.grid.PointsIn(c) {
+					if gen.masked != nil {
+						if gen.masked[j] {
+							continue // retracted: answers as one more dummy
+						}
+						j = gen.rank[j]
+					}
 					members = append(members, gen.start+j)
 				}
 			}
@@ -330,4 +504,53 @@ func DecodeTombstoneDelta(r *transport.Reader, wantFrom, liveGens int) (Tombston
 		return TombstoneDelta{}, fmt.Errorf("spatial: tombstone for %d of %d live generations", n, liveGens)
 	}
 	return TombstoneDelta{From: from, N: n}, nil
+}
+
+// PointTombstone is the wire form of one point-level retraction: the
+// strictly ascending live global indices (in the sender's current
+// [0, Total()) numbering) of the records being deleted. Only identities
+// cross the wire — coordinates were never disclosed and stay that way;
+// the receiver derives each id's generation from the public per-
+// generation counts and masks its caches accordingly. An empty tombstone
+// is valid (a party participating in a symmetric retraction exchange
+// with nothing of its own to delete).
+type PointTombstone struct {
+	IDs []int
+}
+
+// Encode appends the tombstone to a wire message.
+func (d PointTombstone) Encode(b *transport.Builder) *transport.Builder {
+	b.PutUint(uint64(len(d.IDs)))
+	for _, id := range d.IDs {
+		b.PutUint(uint64(id))
+	}
+	return b
+}
+
+// DecodePointTombstone parses and validates a point tombstone against
+// the sender's live point count as the receiver tracks it: at most total
+// ids, strictly ascending, inside [0, total). A hostile or stale frame
+// surfaces as an error on the serving goroutine, never as a panic or a
+// silent index divergence.
+func DecodePointTombstone(r *transport.Reader, total int) (PointTombstone, error) {
+	n := int(r.Uint())
+	if err := r.Err(); err != nil {
+		return PointTombstone{}, err
+	}
+	// Each id needs at least one byte, so a count beyond the buffer is a
+	// corrupt frame, not a giant allocation.
+	if n < 0 || n > r.Remaining() {
+		return PointTombstone{}, fmt.Errorf("spatial: tombstone id count %d exceeds message size", n)
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = int(r.Uint())
+	}
+	if err := r.Err(); err != nil {
+		return PointTombstone{}, err
+	}
+	if err := ValidateRetractIDs(ids, total); err != nil {
+		return PointTombstone{}, err
+	}
+	return PointTombstone{IDs: ids}, nil
 }
