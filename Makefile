@@ -4,14 +4,15 @@
 # ablation to BENCH_E14.json, the E15 parallelism ablation to
 # BENCH_E15.json, the E16 session-concurrency sweep to BENCH_E16.json,
 # and the E17 streaming append sweep to BENCH_E17.json, the E18
-# sliding-window expiry sweep to BENCH_E18.json, and the E19 retraction
-# sweep to BENCH_E19.json so the
+# sliding-window expiry sweep to BENCH_E18.json, the E19 retraction
+# sweep to BENCH_E19.json, and the E20 plaintext-packing ablation to
+# BENCH_E20.json so the
 # performance trajectory is tracked PR over PR. Every bench file is
 # stamped with the commit hash and Go version.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 bench-e19 fuzz clean
+.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 bench-e19 bench-e20 fuzz clean
 
 all: build
 
@@ -33,8 +34,8 @@ fmt:
 
 verify: fmt vet build race
 
-# Quick-mode bench: small n, both batching and pruning modes plus the
-# worker-width and session-concurrency sweeps, JSON rows.
+# Quick-mode bench: small n, both batching, pruning, and packing modes
+# plus the worker-width and session-concurrency sweeps, JSON rows.
 bench:
 	$(GO) run ./cmd/ppdbscan bench -quick -out BENCH_E11.json
 	@cat BENCH_E11.json
@@ -50,6 +51,8 @@ bench:
 	@cat BENCH_E18.json
 	$(GO) run ./cmd/ppdbscan bench -suite e19 -quick -out BENCH_E19.json
 	@cat BENCH_E19.json
+	$(GO) run ./cmd/ppdbscan bench -suite e20 -quick -out BENCH_E20.json
+	@cat BENCH_E20.json
 
 # Streaming append sweep only (BENCH_E17.json).
 bench-e17:
@@ -66,6 +69,13 @@ bench-e19:
 	$(GO) run ./cmd/ppdbscan bench -suite e19 -quick -out BENCH_E19.json
 	@cat BENCH_E19.json
 
+# Plaintext-packing ablation only (BENCH_E20.json). Full-size rows: the
+# packing gain is the headline number, so this one records the n=48
+# workload rather than the quick smoke.
+bench-e20:
+	$(GO) run ./cmd/ppdbscan bench -suite e20 -out BENCH_E20.json
+	@cat BENCH_E20.json
+
 # Short fuzz pass over the wire, batch-frame, mux-frame, and spatial-grid
 # codecs.
 fuzz:
@@ -76,6 +86,7 @@ fuzz:
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzGridDelta -fuzztime 10s
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzTombstoneDelta -fuzztime 10s
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzPointTombstone -fuzztime 10s
+	$(GO) test ./internal/encoding -run NONE -fuzz FuzzSlotPack -fuzztime 10s
 
 clean:
-	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json BENCH_E19.json
+	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json BENCH_E19.json BENCH_E20.json

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -28,8 +30,8 @@ import (
 //
 // `ppdbscan loadgen` is the matching load driver: C concurrent client
 // sessions × R clustering runs each against one serve process, reporting
-// wall clock, aggregate bytes, and runs/sec — the CLI face of experiment
-// E16's session-concurrency sweep.
+// wall clock, aggregate bytes, runs/sec, and p50/p95 per-run latency —
+// the CLI face of experiment E16's session-concurrency sweep.
 
 // cmdServe runs the concurrent session server as the serving party
 // (RoleBob): every accepted client gets its own session (keygen,
@@ -155,8 +157,45 @@ func serveSession(mgr *core.SessionManager, conn transport.Conn, mode string, cf
 	}
 }
 
+// latencyRecorder collects per-run wall-clock latencies across the
+// concurrent loadgen clients.
+type latencyRecorder struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (l *latencyRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.durs = append(l.durs, d)
+	l.mu.Unlock()
+}
+
+func (l *latencyRecorder) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.durs)
+}
+
+// percentile returns the nearest-rank p-th percentile of the recorded
+// latencies (0 with none recorded).
+func (l *latencyRecorder) percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration{}, l.durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
 // cmdLoadgen drives C concurrent client sessions × R runs each against
-// one serve process and reports aggregate throughput.
+// one serve process and reports aggregate throughput plus per-run
+// latency percentiles.
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	p := addProtocolFlags(fs)
@@ -195,6 +234,7 @@ func cmdLoadgen(args []string) error {
 
 	var group transport.MeterGroup
 	var runsDone atomic.Int64
+	var lat latencyRecorder
 	errs := make([]error, *clients)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -202,7 +242,7 @@ func cmdLoadgen(args []string) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, *window, *retract, &runsDone)
+			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, *window, *retract, &runsDone, &lat)
 		}(c)
 	}
 	wg.Wait()
@@ -227,6 +267,10 @@ func cmdLoadgen(args []string) error {
 	fmt.Printf("loadgen: wall %v, aggregate %d bytes in %d messages, %.2f runs/sec\n",
 		wall.Round(time.Millisecond), agg.Total(), agg.Messages(),
 		float64(done)/max(wall.Seconds(), 1e-9))
+	if lat.count() > 0 {
+		fmt.Printf("loadgen: per-run latency p50 %v, p95 %v over %d runs\n",
+			lat.percentile(50).Round(time.Millisecond), lat.percentile(95).Round(time.Millisecond), lat.count())
+	}
 	if failed > 0 {
 		return fmt.Errorf("loadgen: %d of %d clients failed", failed, *clients)
 	}
@@ -236,7 +280,7 @@ func cmdLoadgen(args []string) error {
 // driveClient runs one loadgen client: dial, establish a session over
 // the initial points, R runs, then one append+run (or, with window set,
 // window-slide+run) per batch, an optional retract+run, close.
-func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, retract int, runsDone *atomic.Int64) error {
+func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, retract int, runsDone *atomic.Int64, lat *latencyRecorder) error {
 	conn, err := transport.Dial(connect)
 	if err != nil {
 		return err
@@ -247,11 +291,19 @@ func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Con
 	if err != nil {
 		return fmt.Errorf("session establishment: %w", err)
 	}
-	for i := 0; i < runs; i++ {
+	timedRun := func() error {
+		runStart := time.Now()
 		if _, err := sess.Run(); err != nil {
+			return err
+		}
+		lat.add(time.Since(runStart))
+		runsDone.Add(1)
+		return nil
+	}
+	for i := 0; i < runs; i++ {
+		if err := timedRun(); err != nil {
 			return fmt.Errorf("run %d: %w", i+1, err)
 		}
-		runsDone.Add(1)
 	}
 	for i, batch := range batches {
 		if window {
@@ -261,10 +313,9 @@ func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Con
 		} else if err := sess.Append(batch); err != nil {
 			return fmt.Errorf("append %d: %w", i+1, err)
 		}
-		if _, err := sess.Run(); err != nil {
+		if err := timedRun(); err != nil {
 			return fmt.Errorf("post-append run %d: %w", i+1, err)
 		}
-		runsDone.Add(1)
 	}
 	if retract > 0 {
 		ids := make([]int, retract)
@@ -274,10 +325,9 @@ func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Con
 		if err := sess.Retract(ids); err != nil {
 			return fmt.Errorf("retract: %w", err)
 		}
-		if _, err := sess.Run(); err != nil {
+		if err := timedRun(); err != nil {
 			return fmt.Errorf("post-retract run: %w", err)
 		}
-		runsDone.Add(1)
 	}
 	return sess.Close()
 }

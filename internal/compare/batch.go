@@ -92,17 +92,43 @@ func (a *MaskedAlice) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bo
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	if len(replies) != len(vs) {
-		return nil, fmt.Errorf("compare: batch sent %d values, got %d replies", len(vs), len(replies))
-	}
-	ts, err := a.Key.DecryptSignedBatch(a.Pool, replies)
-	if err != nil {
-		return nil, err
-	}
-	les := make([]bool, len(ts))
-	for t, ti := range ts {
-		// t_i = r·(b′_i−a_i) + r′ with 0 ≤ r′ < r, so t_i ≥ 0 ⟺ a_i ≤ b′_i.
-		les[t] = ti.Sign() >= 0
+	var les []bool
+	if a.Packer != nil {
+		// Packed replies: ⌈count/S⌉ ciphertexts, each carrying S biased
+		// masked differences. The packed value is non-negative by
+		// construction (< n/2), so plain decryption applies; Unpack
+		// removes the bias and restores each difference's sign.
+		if groups := a.Packer.Groups(len(vs)); len(replies) != groups {
+			return nil, fmt.Errorf("compare: batch sent %d values, got %d packed replies (want %d)", len(vs), len(replies), groups)
+		}
+		packed, err := a.Key.DecryptBatch(a.Pool, replies)
+		if err != nil {
+			return nil, err
+		}
+		les = make([]bool, len(vs))
+		for g, pv := range packed {
+			slots, err := a.Packer.Unpack(pv, a.Packer.GroupLen(len(vs), g))
+			if err != nil {
+				return nil, fmt.Errorf("compare: packed reply %d: %w", g, err)
+			}
+			for s, ti := range slots {
+				// t_i = r·(b′_i−a_i) + r′ with 0 ≤ r′ < r, so t_i ≥ 0 ⟺ a_i ≤ b′_i.
+				les[g*a.Packer.Slots()+s] = ti.Sign() >= 0
+			}
+		}
+	} else {
+		if len(replies) != len(vs) {
+			return nil, fmt.Errorf("compare: batch sent %d values, got %d replies", len(vs), len(replies))
+		}
+		ts, err := a.Key.DecryptSignedBatch(a.Pool, replies)
+		if err != nil {
+			return nil, err
+		}
+		les = make([]bool, len(ts))
+		for t, ti := range ts {
+			// t_i = r·(b′_i−a_i) + r′ with 0 ≤ r′ < r, so t_i ≥ 0 ⟺ a_i ≤ b′_i.
+			les[t] = ti.Sign() >= 0
+		}
 	}
 	if err := transport.SendMsg(conn, transport.NewBuilder().PutBools(les)); err != nil {
 		return nil, fmt.Errorf("compare: alice batch send result: %w", err)
@@ -182,25 +208,70 @@ func (b *MaskedBob) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool
 		plain.Add(plain, rPrime)
 		plains[t] = plain
 	}
-	term2s, err := b.Pub.EncryptBatch(b.Pool, random, plains)
-	if err != nil {
-		return nil, err
-	}
-	cts := make([]*big.Int, len(vs))
-	if err := paillier.ParallelFor(b.Pool, len(vs), func(t int) error {
-		// E(t) = E(a)^(−r) · E(b·r + r′)
-		term1, err := b.Pub.Mul(cas[t], new(big.Int).Neg(rMasks[t]))
-		if err != nil {
-			return err
+	var cts []*big.Int
+	if b.Packer != nil {
+		// Packed replies: one ciphertext per slot group. The plaintext
+		// part packs the S values b·r + r′ with the per-slot bias; each
+		// uplink ciphertext is then scaled by −r shifted into its slot,
+		// so slot s of group g decrypts to r·(b−a) + r′ + bias — always
+		// non-negative, never carrying into the neighbouring slot. The
+		// masks r, r′ stay independent per instance exactly as in the
+		// unpacked path; packing compresses the frame, not the masking.
+		pk := b.Packer
+		groups := pk.Groups(len(vs))
+		packedPlains := make([]*big.Int, groups)
+		for g := range packedPlains {
+			n := pk.GroupLen(len(vs), g)
+			packed, err := pk.Pack(plains[g*pk.Slots() : g*pk.Slots()+n])
+			if err != nil {
+				return nil, fmt.Errorf("compare: packing reply group %d: %w", g, err)
+			}
+			packedPlains[g] = packed
 		}
-		ct, err := b.Pub.Add(term1, term2s[t])
+		term2s, err := b.Pub.EncryptBatch(b.Pool, random, packedPlains)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		cts[t] = ct
-		return nil
-	}); err != nil {
-		return nil, err
+		cts = make([]*big.Int, groups)
+		if err := paillier.ParallelFor(b.Pool, groups, func(g int) error {
+			ct := term2s[g]
+			for s := 0; s < pk.GroupLen(len(vs), g); s++ {
+				t := g*pk.Slots() + s
+				// E(a_t)^(−r_t·2^{w·s}) places −r_t·a_t into slot s.
+				term, err := b.Pub.Mul(cas[t], new(big.Int).Neg(pk.Shift(rMasks[t], s)))
+				if err != nil {
+					return err
+				}
+				if ct, err = b.Pub.Add(ct, term); err != nil {
+					return err
+				}
+			}
+			cts[g] = ct
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		term2s, err := b.Pub.EncryptBatch(b.Pool, random, plains)
+		if err != nil {
+			return nil, err
+		}
+		cts = make([]*big.Int, len(vs))
+		if err := paillier.ParallelFor(b.Pool, len(vs), func(t int) error {
+			// E(t) = E(a)^(−r) · E(b·r + r′)
+			term1, err := b.Pub.Mul(cas[t], new(big.Int).Neg(rMasks[t]))
+			if err != nil {
+				return err
+			}
+			ct, err := b.Pub.Add(term1, term2s[t])
+			if err != nil {
+				return err
+			}
+			cts[t] = ct
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
 	if err := transport.SendMsg(conn, transport.NewBuilder().PutBigs(cts)); err != nil {
 		return nil, fmt.Errorf("compare: bob batch send: %w", err)

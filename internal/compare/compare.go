@@ -27,6 +27,7 @@ import (
 	"io"
 	"math/big"
 
+	"repro/internal/encoding"
 	"repro/internal/paillier"
 	"repro/internal/transport"
 	"repro/internal/yao"
@@ -158,21 +159,34 @@ var ErrPredicateMismatch = errors.New("compare: parties invoked different predic
 // MaskedAlice is the decrypting side of the masked-sign engine. Pool,
 // when non-nil, routes the batch decryptions over the process-shared
 // crypto pool; nil keeps the per-call GOMAXPROCS fan-out.
+//
+// Packer, when non-nil, makes batch replies arrive slot-packed: Bob
+// packs S masked differences per ciphertext (encoding.NewComparePacker
+// over the same key and bound derives identical packers on both sides).
+// Only the reply direction packs — the E(a_t) uplink stays one
+// ciphertext per instance, because the masking multiplier r must be
+// independent per instance; sharing one r across a packed slot group
+// would hand Alice the exact magnitude ratios of the differences.
+// Scalar calls ignore the Packer.
 type MaskedAlice struct {
 	Key    *paillier.PrivateKey
 	Max    int64
 	Random io.Reader
 	Pool   *paillier.Pool
+	Packer *encoding.Packer
 }
 
 // MaskedBob is the homomorphic side of the masked-sign engine. Pool
-// mirrors MaskedAlice.Pool for the batched homomorphic arithmetic.
+// mirrors MaskedAlice.Pool for the batched homomorphic arithmetic;
+// Packer mirrors MaskedAlice.Packer and must agree with the peer's
+// (both derive from handshake-checked parameters).
 type MaskedBob struct {
 	Pub      *paillier.PublicKey
 	Max      int64
 	MaskBits int
 	Random   io.Reader
 	Pool     *paillier.Pool
+	Packer   *encoding.Packer
 }
 
 // NewMaskedPair builds both sides of a masked engine from one Paillier key

@@ -665,29 +665,63 @@ func (a *adpState) batchLE(conn transport.Conn, pairs [][2]int, engA compare.Ali
 		if a.role == RoleAlice {
 			ys := make([]int64, 0, totalMixed)
 			vs := make([]*big.Int, 0, totalMixed)
+			mb := s.maskBound()
+			if s.packing() {
+				mb = s.packedMaskBound()
+			}
 			for _, mixedVals := range mixedPerPair {
 				if len(mixedVals) == 0 {
 					continue
 				}
-				masks, err := mpc.ZeroSumMasks(s.random, len(mixedVals), s.maskBound())
+				masks, err := mpc.ZeroSumMasks(s.random, len(mixedVals), mb)
 				if err != nil {
 					return nil, err
 				}
 				ys = append(ys, mixedVals...)
 				vs = append(vs, masks...)
 			}
-			if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random, s.pool); err != nil {
-				return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
+			if s.packing() {
+				// Scatter shape: the per-element scalars differ, so only
+				// the reply direction packs.
+				pk, err := s.productPacker(s.peerPai, s.cfg.MaxCoord*s.cfg.MaxCoord)
+				if err != nil {
+					return nil, err
+				}
+				if err := mpc.SenderScatterMultiply(conn, s.peerPai, ys, vs, pk, s.random, s.pool); err != nil {
+					return nil, fmt.Errorf("core: adp packed multiplication: %w", err)
+				}
+				s.ctsSent.Add(int64(pk.Groups(totalMixed)))
+			} else {
+				if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random, s.pool); err != nil {
+					return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
+				}
+				s.ctsSent.Add(int64(totalMixed))
 			}
 		} else {
 			xs := make([]int64, 0, totalMixed)
 			for _, mixedVals := range mixedPerPair {
 				xs = append(xs, mixedVals...)
 			}
-			us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random, s.pool)
-			if err != nil {
-				return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
+			var us []*big.Int
+			var err error
+			if s.packing() {
+				pk, perr := s.productPacker(&s.paiKey.PublicKey, s.cfg.MaxCoord*s.cfg.MaxCoord)
+				if perr != nil {
+					return nil, perr
+				}
+				us, err = mpc.ReceiverScatterMultiply(conn, s.paiKey, xs, pk, s.random, s.pool)
+				if err != nil {
+					return nil, fmt.Errorf("core: adp packed multiplication: %w", err)
+				}
+			} else {
+				us, err = mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random, s.pool)
+				if err != nil {
+					return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
+				}
 			}
+			// The receiver's uplink is one ciphertext per mixed value in
+			// both modes.
+			s.ctsSent.Add(int64(totalMixed))
 			off := 0
 			for t, mixedVals := range mixedPerPair {
 				if len(mixedVals) == 0 {

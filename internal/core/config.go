@@ -86,6 +86,21 @@ type Config struct {
 	// agree (handshake-checked); default DefaultPruneQuantum.
 	PruneQuantum int
 
+	// Packing selects the plaintext encoding of the Paillier phases. Under
+	// the default slots mode each batched masked-product reply (HDP grid
+	// queries, the arbitrary family's cross terms, the enhanced dot
+	// products, the masked comparison engine's replies, and the ring's
+	// accumulated shares) packs S values into one ciphertext via the
+	// slot-shifted encoding of internal/encoding, cutting ciphertexts and
+	// bytes on the wire by up to S× per frame; S derives from the session
+	// key's plaintext space and the handshake-agreed value/mask magnitudes,
+	// so both parties compute it identically. "off" keeps the one-value-
+	// per-ciphertext wire format for A/B measurement (experiment E20).
+	// Labels and non-index Ledgers are identical in both modes — the
+	// packing equivalence harness enforces this. Requires the batched
+	// round structure; the sequential path always runs unpacked.
+	Packing PackMode
+
 	// Parallel is the query scheduler's worker width W. With W = 1 (the
 	// default) every sub-protocol runs on the session's single,
 	// unmultiplexed connection in the strictly sequential lockstep order —
@@ -166,6 +181,13 @@ func (c Config) withDefaults() Config {
 	if c.PruneQuantum == 0 {
 		c.PruneQuantum = DefaultPruneQuantum
 	}
+	if c.Packing == "" {
+		if c.Batching == BatchModeSequential {
+			c.Packing = PackOff
+		} else {
+			c.Packing = PackSlots
+		}
+	}
 	if c.Parallel == 0 {
 		c.Parallel = 1
 	}
@@ -206,6 +228,12 @@ func (c Config) validate() error {
 	}
 	if c.Parallel > 1 && c.Batching != BatchModeBatched {
 		return fmt.Errorf("core: Parallel %d requires Batching %q (the scheduler dispatches batched sub-protocols)", c.Parallel, BatchModeBatched)
+	}
+	if _, err := ParsePackMode(string(c.Packing)); err != nil {
+		return err
+	}
+	if c.Packing == PackSlots && c.Batching != BatchModeBatched {
+		return fmt.Errorf("core: Packing %q requires Batching %q (only batched frames carry packed plaintexts)", PackSlots, BatchModeBatched)
 	}
 	if c.ServerWorkers < 0 {
 		return fmt.Errorf("core: ServerWorkers must be ≥ 0, got %d", c.ServerWorkers)
@@ -259,6 +287,29 @@ func ParsePruneMode(s string) (PruneMode, error) {
 		return PruneMode(s), nil
 	}
 	return "", fmt.Errorf("core: unknown pruning mode %q (want %q or %q)", s, PruneGrid, PruneOff)
+}
+
+// PackMode selects the plaintext encoding of the Paillier phases.
+type PackMode string
+
+// The two packing modes.
+const (
+	// PackSlots packs S values per Paillier plaintext via the slot-shifted
+	// encoding (internal/encoding): masked-product and comparison reply
+	// frames carry ⌈n/S⌉ ciphertexts instead of n.
+	PackSlots PackMode = "slots"
+	// PackOff keeps one value per ciphertext — the A/B baseline the
+	// packing ablation (E20) measures against.
+	PackOff PackMode = "off"
+)
+
+// ParsePackMode validates a packing mode name from flags or config.
+func ParsePackMode(s string) (PackMode, error) {
+	switch PackMode(s) {
+	case PackSlots, PackOff:
+		return PackMode(s), nil
+	}
+	return "", fmt.Errorf("core: unknown packing mode %q (want %q or %q)", s, PackSlots, PackOff)
 }
 
 // codec builds the fixed-point codec for this configuration.

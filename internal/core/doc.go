@@ -138,6 +138,45 @@
 // modes produce identical labels, cluster counts, and Ledger entries on
 // every protocol family, with strictly fewer frames in batched mode.
 //
+// # Plaintext packing and the encoding layer
+//
+// Batching collapses frames; Config.Packing collapses the ciphertexts
+// inside them. Under the default "slots" mode (internal/encoding) S
+// fixed-point values share one Paillier plaintext, each in a fixed-width
+// bit slot: slot width w is sized for the largest value a slot can reach
+// after all homomorphic arithmetic plus a per-slot bias and one
+// carry-guard bit (2·slotMax < 2^{w−1}), and S = ⌊(|n/2|−1)/w⌋ follows
+// from the key's plaintext space — see the encoding package doc for the
+// derivation and the no-carry argument. Both parties derive identical
+// Packers from handshake-agreed parameters (Packing travels in the
+// handshake; a mismatch is ErrHandshake) and the exchanged public keys,
+// so the packed layout needs no extra wire state.
+//
+// Three hot paths run over packed frames, each with its own slot sizing:
+//
+//   - Masked-product grids (hdp/adp): the responder's per-candidate
+//     coordinate products plus zero-sum mask shares ride
+//     mpc.SenderGridMultiply/ReceiverGridMultiply (and the scatter forms
+//     for the arbitrary family) as ⌈nCand/S⌉·m ciphertexts instead of
+//     nCand·m, in both directions.
+//   - Dot products (enhanced/vertical): mpc.SenderDotManyPacked packs the
+//     per-pair share accumulation, whose small per-slot range gives the
+//     largest S.
+//   - Masked-comparison replies: the oracle's masked differences return as
+//     ⌈n/S⌉ ciphertexts. The querying direction stays unpacked
+//     deliberately — each comparison instance needs its own fresh
+//     multiplier r_i, and sharing one r across a packed slot group would
+//     disclose magnitude ratios between instances.
+//
+// Packing changes the frame layout only: labels, cluster counts, and the
+// full disclosure Ledger are byte-identical to Packing "off" (the packing
+// equivalence harness pins all four core families plus the multiparty
+// ring/mesh, W ∈ {1, 4}, pruning on/off, across Append/Expire/Retract),
+// and Result.CiphertextsSent records the compression — experiment E20
+// measures the ciphertext and bytes-on-wire reduction at production key
+// sizes. "off" (one value per ciphertext) is retained for A/B
+// measurement; packing requires the batched round structure.
+//
 // # Candidate pruning and the grid index
 //
 // Config.Pruning selects the candidate sets those comparisons run over.

@@ -208,10 +208,23 @@ func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA c
 	// Share phase: u_i = Dist²(A, B_i) + v_i.
 	setTag(conn, "enh.share")
 	a := extendedQueryVector(h.own[point])
-	usBig, err := mpc.ReceiverDotMany(conn, s.paiKey, a, nCand, s.random, s.pool)
+	var usBig []*big.Int
+	var err error
+	if s.packing() {
+		pk, perr := s.dotPacker(&s.paiKey.PublicKey)
+		if perr != nil {
+			return false, perr
+		}
+		usBig, err = mpc.ReceiverDotManyPacked(conn, s.paiKey, a, nCand, pk, s.random, s.pool)
+	} else {
+		usBig, err = mpc.ReceiverDotMany(conn, s.paiKey, a, nCand, s.random, s.pool)
+	}
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced share phase: %w", err)
 	}
+	// The E(a) uplink is m+2 ciphertexts in both modes; only the replies
+	// pack.
+	s.ctsSent.Add(int64(len(a)))
 	us := make([]int64, len(usBig))
 	maxShare := s.bound + s.shareV
 	for i, u := range usBig {
@@ -346,8 +359,20 @@ func enhancedServeCore(s *session, conn transport.Conn, rng permSource, pts [][]
 			bs[i] = dummyDataVector(s.dim, s.bound)
 		}
 	}
-	if err := mpc.SenderDotMany(conn, s.peerPai, bs, vs, s.random, s.pool); err != nil {
-		return fmt.Errorf("core: enhanced share phase: %w", err)
+	if s.packing() {
+		pk, err := s.dotPacker(s.peerPai)
+		if err != nil {
+			return err
+		}
+		if err := mpc.SenderDotManyPacked(conn, s.peerPai, bs, vs, pk, s.random, s.pool); err != nil {
+			return fmt.Errorf("core: enhanced packed share phase: %w", err)
+		}
+		s.ctsSent.Add(int64(pk.Groups(n)))
+	} else {
+		if err := mpc.SenderDotMany(conn, s.peerPai, bs, vs, s.random, s.pool); err != nil {
+			return fmt.Errorf("core: enhanced share phase: %w", err)
+		}
+		s.ctsSent.Add(int64(n))
 	}
 
 	setTag(conn, "enh.select")

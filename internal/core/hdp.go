@@ -70,21 +70,43 @@ func hdpQueryDriver(conn transport.Conn, s *session, eng compare.Alice, p []int6
 // over nCand candidate instances and counts the in-range results.
 func hdpCompareDriver(conn transport.Conn, s *session, eng compare.Alice, p []int64, nCand int) (int, error) {
 	setTag(conn, "hdp.mp")
-	// Batched MP: sender role. ys repeats p's coordinates once per
-	// candidate; masks are zero-sum within each candidate.
+	// Batched MP: sender role. Masks are zero-sum within each candidate;
+	// the packed path draws them from the handshake-derivable bound that
+	// sizes the slot width (packedMaskBound), the unpacked path keeps the
+	// legacy 2^62 magnitude.
 	m := len(p)
-	ys := make([]int64, 0, nCand*m)
+	mb := s.maskBound()
+	if s.packing() {
+		mb = s.packedMaskBound()
+	}
 	vs := make([]*big.Int, 0, nCand*m)
 	for i := 0; i < nCand; i++ {
-		masks, err := mpc.ZeroSumMasks(s.random, m, s.maskBound())
+		masks, err := mpc.ZeroSumMasks(s.random, m, mb)
 		if err != nil {
 			return 0, err
 		}
-		ys = append(ys, p...)
 		vs = append(vs, masks...)
 	}
-	if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random, s.pool); err != nil {
-		return 0, fmt.Errorf("core: hdp multiplication: %w", err)
+	if s.packing() {
+		// Grid shape: p's coordinate y_k is constant down column k, so
+		// both directions pack rows into slot groups.
+		pk, err := s.productPacker(s.peerPai, s.cfg.MaxCoord*s.cfg.MaxCoord)
+		if err != nil {
+			return 0, err
+		}
+		if err := mpc.SenderGridMultiply(conn, s.peerPai, p, vs, nCand, m, pk, s.random, s.pool); err != nil {
+			return 0, fmt.Errorf("core: hdp packed multiplication: %w", err)
+		}
+		s.ctsSent.Add(int64(pk.Groups(nCand) * m))
+	} else {
+		ys := make([]int64, 0, nCand*m)
+		for i := 0; i < nCand; i++ {
+			ys = append(ys, p...)
+		}
+		if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random, s.pool); err != nil {
+			return 0, fmt.Errorf("core: hdp multiplication: %w", err)
+		}
+		s.ctsSent.Add(int64(nCand * m))
 	}
 
 	setTag(conn, "hdp.cmp")
@@ -160,9 +182,24 @@ func hdpServeCompare(conn transport.Conn, s *session, rng permSource, eng compar
 			xs = append(xs, zero...)
 		}
 	}
-	us, err := mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random, s.pool)
-	if err != nil {
-		return fmt.Errorf("core: hdp multiplication: %w", err)
+	var us []*big.Int
+	var err error
+	if s.packing() {
+		pk, perr := s.productPacker(&s.paiKey.PublicKey, s.cfg.MaxCoord*s.cfg.MaxCoord)
+		if perr != nil {
+			return perr
+		}
+		us, err = mpc.ReceiverGridMultiply(conn, s.paiKey, xs, total, m, pk, s.random, s.pool)
+		if err != nil {
+			return fmt.Errorf("core: hdp packed multiplication: %w", err)
+		}
+		s.ctsSent.Add(int64(pk.Groups(total) * m))
+	} else {
+		us, err = mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random, s.pool)
+		if err != nil {
+			return fmt.Errorf("core: hdp multiplication: %w", err)
+		}
+		s.ctsSent.Add(int64(total * m))
 	}
 
 	setTag(conn, "hdp.cmp")

@@ -189,4 +189,11 @@ type Result struct {
 	// core bits in the enhanced protocol. Zero on a session's first run;
 	// the streaming ablation (E17) tracks it against SecureComparisons.
 	CachedComparisons int64
+	// CiphertextsSent counts the Paillier ciphertexts this party put on
+	// the wire during the run — homomorphic payloads of the masked
+	// comparison engine and the masked-product/dot-product exchanges.
+	// This is the quantity slot packing (Config.Packing) compresses and
+	// the metric the packing ablation (E20) tracks alongside bytes on the
+	// wire. YMPP RSA payloads are not counted.
+	CiphertextsSent int64
 }

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/metrics"
+)
+
+// The packing-equivalence harness: every protocol family runs the same
+// seeded datasets with Config.Packing "off" and "slots", and the two
+// executions must be observably identical — byte-identical labels,
+// cluster counts, full leakage Ledgers, and comparison counts — while
+// the packed run sends strictly fewer Paillier ciphertexts and strictly
+// fewer bytes. Packing compresses ciphertext frames; it never changes
+// which predicates are decided, in what order, or what they disclose.
+// This is the contract that lets Config.Packing default to slots.
+
+// packingCfg builds the harness configuration on the given grid.
+func packingCfg(grid int, pruning PruneMode, packing PackMode) Config {
+	cfg := pruneCfg(compare.EngineMasked, grid, BatchModeBatched, pruning)
+	cfg.Packing = packing
+	return cfg
+}
+
+// sentBytes totals both parties' bytes on the wire for one run.
+func sentBytes(o eqOutcome) int64 {
+	var n int64
+	for _, st := range o.tagStats {
+		n += st.BytesSent
+	}
+	return n
+}
+
+// ciphertexts totals both parties' Paillier ciphertexts for one run.
+func ciphertexts(o eqOutcome) int64 {
+	return o.ra.CiphertextsSent + o.rb.CiphertextsSent
+}
+
+// assertPackedOutcome checks one packed-vs-unpacked pair of runs.
+func assertPackedOutcome(t *testing.T, off, on eqOutcome) {
+	t.Helper()
+	if !metrics.ExactMatch(on.ra.Labels, off.ra.Labels) {
+		t.Errorf("alice labels diverge: packed %v, unpacked %v", on.ra.Labels, off.ra.Labels)
+	}
+	if !metrics.ExactMatch(on.rb.Labels, off.rb.Labels) {
+		t.Errorf("bob labels diverge: packed %v, unpacked %v", on.rb.Labels, off.rb.Labels)
+	}
+	if on.ra.NumClusters != off.ra.NumClusters || on.rb.NumClusters != off.rb.NumClusters {
+		t.Errorf("cluster counts diverge: packed %d/%d, unpacked %d/%d",
+			on.ra.NumClusters, on.rb.NumClusters, off.ra.NumClusters, off.rb.NumClusters)
+	}
+	// Packing decides the same predicates in the same order, so the whole
+	// Ledger — index classes included — and the comparison counts must
+	// match exactly, not just the non-index view.
+	if on.ra.Leakage != off.ra.Leakage {
+		t.Errorf("alice ledgers diverge: packed %v, unpacked %v", on.ra.Leakage, off.ra.Leakage)
+	}
+	if on.rb.Leakage != off.rb.Leakage {
+		t.Errorf("bob ledgers diverge: packed %v, unpacked %v", on.rb.Leakage, off.rb.Leakage)
+	}
+	if on.ra.SecureComparisons != off.ra.SecureComparisons || on.rb.SecureComparisons != off.rb.SecureComparisons {
+		t.Errorf("comparison counts diverge: packed %d/%d, unpacked %d/%d",
+			on.ra.SecureComparisons, on.rb.SecureComparisons, off.ra.SecureComparisons, off.rb.SecureComparisons)
+	}
+	if onCts, offCts := ciphertexts(on), ciphertexts(off); onCts >= offCts {
+		t.Errorf("packed run sent %d ciphertexts, unpacked %d — want strictly fewer", onCts, offCts)
+	}
+	if onB, offB := sentBytes(on), sentBytes(off); onB >= offB {
+		t.Errorf("packed run sent %d bytes, unpacked %d — want strictly fewer", onB, offB)
+	}
+}
+
+func TestPackingEquivalenceSlotsVsOff(t *testing.T) {
+	for _, d := range pruneDatasets()[:2] { // clustered blobs + uniform noise
+		for _, pruning := range []PruneMode{PruneOff, PruneGrid} {
+			for _, proto := range prunedProtocols(t, d) {
+				t.Run(d.name+"/"+proto.name+"/pruning="+string(pruning), func(t *testing.T) {
+					off := proto.run(t, packingCfg(d.grid, pruning, PackOff))
+					on := proto.run(t, packingCfg(d.grid, pruning, PackSlots))
+					assertPackedOutcome(t, off, on)
+				})
+			}
+		}
+	}
+}
+
+// TestPackingEquivalenceParallel re-runs the harness under the W = 4
+// wave scheduler: worker channels carry packed frames independently and
+// the outcome contract is unchanged.
+func TestPackingEquivalenceParallel(t *testing.T) {
+	d := pruneDatasets()[0]
+	for _, proto := range prunedProtocols(t, d) {
+		t.Run(proto.name, func(t *testing.T) {
+			cfgOff := packingCfg(d.grid, PruneGrid, PackOff)
+			cfgOff.Parallel = 4
+			cfgOn := packingCfg(d.grid, PruneGrid, PackSlots)
+			cfgOn.Parallel = 4
+			assertPackedOutcome(t, proto.run(t, cfgOff), proto.run(t, cfgOn))
+		})
+	}
+}
+
+// assertPackedStages compares two session lifecycles (packing off vs
+// slots) stage by stage: every Run's labels, ledgers, and comparison
+// counts must match, and every packed stage must send fewer
+// ciphertexts.
+func assertPackedStages(t *testing.T, off, on streamOutcome) {
+	t.Helper()
+	if len(on.resA) != len(off.resA) || len(on.resB) != len(off.resB) {
+		t.Fatalf("stage counts diverge: packed %d/%d, unpacked %d/%d",
+			len(on.resA), len(on.resB), len(off.resA), len(off.resB))
+	}
+	var onTotal, offTotal int64
+	for stage := range off.resA {
+		offO := eqOutcome{ra: off.resA[stage], rb: off.resB[stage]}
+		onO := eqOutcome{ra: on.resA[stage], rb: on.resB[stage]}
+		if !metrics.ExactMatch(onO.ra.Labels, offO.ra.Labels) || !metrics.ExactMatch(onO.rb.Labels, offO.rb.Labels) {
+			t.Errorf("stage %d: labels diverge between packed and unpacked lifecycles", stage)
+		}
+		if onO.ra.Leakage != offO.ra.Leakage || onO.rb.Leakage != offO.rb.Leakage {
+			t.Errorf("stage %d: ledgers diverge: packed %v/%v, unpacked %v/%v",
+				stage, onO.ra.Leakage, onO.rb.Leakage, offO.ra.Leakage, offO.rb.Leakage)
+		}
+		if onO.ra.SecureComparisons != offO.ra.SecureComparisons ||
+			onO.ra.CachedComparisons != offO.ra.CachedComparisons {
+			t.Errorf("stage %d: comparison accounting diverges: packed %d+%d, unpacked %d+%d",
+				stage, onO.ra.SecureComparisons, onO.ra.CachedComparisons,
+				offO.ra.SecureComparisons, offO.ra.CachedComparisons)
+		}
+		// A late stage over a handful of survivors can tie (nothing left
+		// to group), so the per-stage bound is no-growth; the strict
+		// reduction is asserted on the lifecycle aggregate below.
+		onCts, offCts := ciphertexts(onO), ciphertexts(offO)
+		if onCts > offCts {
+			t.Errorf("stage %d: packed run sent %d ciphertexts, unpacked %d — must never send more", stage, onCts, offCts)
+		}
+		onTotal += onCts
+		offTotal += offCts
+	}
+	if onTotal >= offTotal {
+		t.Errorf("packed lifecycle sent %d ciphertexts, unpacked %d — want strictly fewer", onTotal, offTotal)
+	}
+	if on.setupA != off.setupA || on.setupB != off.setupB {
+		t.Errorf("setup ledgers diverge: packed %v/%v, unpacked %v/%v",
+			on.setupA, on.setupB, off.setupA, off.setupB)
+	}
+}
+
+// TestPackingLifecycleEquivalence runs the full session lifecycle —
+// construction, Append, Expire (sliding windows), and Retract — under
+// both packing modes and requires stage-identical outcomes: cache
+// invalidation, tombstones, and generation compaction all compose with
+// packed frames.
+func TestPackingLifecycleEquivalence(t *testing.T) {
+	lifeCfg := func(packing PackMode) Config {
+		cfg := testCfg(compare.EngineMasked)
+		cfg.Packing = packing
+		return cfg
+	}
+	t.Run("window", func(t *testing.T) {
+		// Covers Append + Expire on the horizontal family.
+		off := runWindowed(t, windowHorizontalCase("horizontal", false), lifeCfg(PackOff))
+		on := runWindowed(t, windowHorizontalCase("horizontal", false), lifeCfg(PackSlots))
+		assertPackedStages(t, off, on)
+	})
+	t.Run("retract", func(t *testing.T) {
+		for _, rc := range retractCases() {
+			rc := rc
+			t.Run(rc.name, func(t *testing.T) {
+				cfgOff, cfgOn := lifeCfg(PackOff), lifeCfg(PackSlots)
+				if rc.tweak != nil {
+					cfgOff, cfgOn = rc.tweak(cfgOff), rc.tweak(cfgOn)
+				}
+				off := runRetracted(t, rc, cfgOff)
+				on := runRetracted(t, rc, cfgOn)
+				assertPackedStages(t, off, on)
+			})
+		}
+	})
+}

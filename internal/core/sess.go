@@ -511,6 +511,7 @@ func (t *Session) Run() (*Result, error) {
 	// construction.
 	t.s.cmpCount.Store(0)
 	t.s.cmpCached.Store(0)
+	t.s.ctsSent.Store(0)
 	t.s.takeLedger()
 	res, err := t.runOnce()
 	if err != nil {
@@ -570,6 +571,7 @@ func (t *Session) result(labels []int, clusters int) *Result {
 		Leakage:           t.s.takeLedger(),
 		SecureComparisons: t.s.cmpCount.Load(),
 		CachedComparisons: t.s.cmpCached.Load(),
+		CiphertextsSent:   t.s.ctsSent.Load(),
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/compare"
+	"repro/internal/encoding"
 	"repro/internal/paillier"
 	"repro/internal/spatial"
 	"repro/internal/transport"
@@ -50,8 +51,10 @@ func (r Role) peer() Role {
 // rounds, and the generation watermark on horizontal query op frames;
 // version 6 added the expire control op and the generation tombstone
 // exchange (sliding windows); version 7 added the retract control op and
-// the point tombstone exchange (point-level deletion).
-const handshakeVersion = 7
+// the point tombstone exchange (point-level deletion); version 8 added
+// the Packing plaintext-encoding parameter (slot-packed ciphertext
+// frames).
+const handshakeVersion = 8
 
 // ErrHandshake reports parameter disagreement between the parties.
 var ErrHandshake = errors.New("core: handshake parameter mismatch")
@@ -101,6 +104,12 @@ type session struct {
 	// (Config.Parallel > 1) count concurrently.
 	cmpCount  atomic.Int64
 	cmpCached atomic.Int64
+
+	// ctsSent tallies Paillier ciphertexts this party put on the wire —
+	// the Result.CiphertextsSent metric and the quantity slot packing
+	// (Config.Packing) exists to shrink. YMPP RSA payloads are not
+	// counted.
+	ctsSent atomic.Int64
 
 	// ledMu guards ledger once parallel workers record disclosures
 	// concurrently; every update goes through led().
@@ -213,6 +222,7 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		PutUint(uint64(cfg.ShareMaskBits)).
 		PutString(string(cfg.Selection)).
 		PutString(string(cfg.Batching)).
+		PutString(string(cfg.Packing)).
 		PutString(string(cfg.Pruning)).
 		PutUint(uint64(cfg.PruneQuantum)).
 		PutUint(uint64(cfg.Parallel)).
@@ -239,6 +249,7 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 	pShareMask := int(r.Uint())
 	pSelection := r.String()
 	pBatching := r.String()
+	pPacking := r.String()
 	pPruning := r.String()
 	pQuantum := int(r.Uint())
 	pParallel := int(r.Uint())
@@ -274,6 +285,8 @@ func newSession(conn transport.Conn, cfg Config, role Role, proto string, ownDim
 		return nil, peerInfo{}, fmt.Errorf("%w: selection %q vs %q", ErrHandshake, cfg.Selection, pSelection)
 	case pBatching != string(cfg.Batching):
 		return nil, peerInfo{}, fmt.Errorf("%w: batching %q vs %q", ErrHandshake, cfg.Batching, pBatching)
+	case pPacking != string(cfg.Packing):
+		return nil, peerInfo{}, fmt.Errorf("%w: packing %q vs %q", ErrHandshake, cfg.Packing, pPacking)
 	case pPruning != string(cfg.Pruning):
 		return nil, peerInfo{}, fmt.Errorf("%w: pruning %q vs %q", ErrHandshake, cfg.Pruning, pPruning)
 	case pQuantum != cfg.PruneQuantum:
@@ -338,6 +351,38 @@ func (s *session) maskBound() *big.Int {
 	return new(big.Int).Lsh(big.NewInt(1), 62)
 }
 
+// packing reports whether this session runs its batch Paillier rounds
+// over slot-packed plaintexts (Config.Packing).
+func (s *session) packing() bool { return s.cfg.Packing == PackSlots }
+
+// packedMaskBound is the zero-sum mask magnitude on the packed
+// masked-product path: B = MaxCoord²·2^CmpMaskBits. The unpacked path
+// keeps its fixed 2^62 bound; the packed path needs a bound both
+// parties can derive from handshake-agreed parameters so they size
+// identical slots, and one that scales with the data so S slots plus
+// their mask headroom fit the plaintext space. B still hides each
+// product statistically: |x·y| ≤ MaxCoord² and the mask is 2^κ times
+// larger.
+func (s *session) packedMaskBound() *big.Int {
+	b := big.NewInt(s.cfg.MaxCoord * s.cfg.MaxCoord)
+	return b.Lsh(b, uint(s.cfg.CmpMaskBits))
+}
+
+// productPacker sizes slots for masked per-coordinate products under
+// pub's plaintext space: each slot holds x·y + Σ masks with |x·y| ≤
+// maxProduct and up to s.dim zero-sum mask terms of magnitude
+// packedMaskBound (the last ZeroSumMasks share is the negated sum of
+// the others, so it can reach (m−1)·B).
+func (s *session) productPacker(pub *paillier.PublicKey, maxProduct int64) (*encoding.Packer, error) {
+	return encoding.NewProductPacker(pub.PlaintextBound(), maxProduct, s.packedMaskBound(), s.dim)
+}
+
+// dotPacker sizes slots for the §5 masked dot products: every reply
+// value lands in [0, bound + shareV), non-negative by construction.
+func (s *session) dotPacker(pub *paillier.PublicKey) (*encoding.Packer, error) {
+	return encoding.NewSumPacker(pub.PlaintextBound(), s.bound+s.shareV)
+}
+
 // engines builds a matched comparator pair for the given inclusive input
 // bound. The "alice" side (left-value holder, decryptor) uses this party's
 // private keys; the "bob" side uses the peer's public keys — so in any
@@ -357,37 +402,75 @@ func (s *session) engines(bound int64) (compare.Alice, compare.Bob, error) {
 		if limit.Cmp(s.paiKey.PlaintextBound()) >= 0 || limit.Cmp(s.peerPai.PlaintextBound()) >= 0 {
 			return nil, nil, fmt.Errorf("core: bound %d with %d mask bits overflows the Paillier plaintext space", bound, s.cfg.CmpMaskBits)
 		}
-		return &countingAlice{inner: &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random, Pool: s.pool}, n: &s.cmpCount},
-			&countingBob{inner: &compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random, Pool: s.pool}, n: &s.cmpCount}, nil
+		aliceEng := &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random, Pool: s.pool}
+		bobEng := &compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random, Pool: s.pool}
+		// Alice always sends one ciphertext per predicate; Bob's reply
+		// count drops to ⌈n/S⌉ when the session packs.
+		bobCost := func(n int) int64 { return int64(n) }
+		if s.packing() {
+			// Each party's Alice engine pairs with the peer's Bob engine,
+			// so both packers over one key agree: Alice derives from her
+			// own modulus, the peer's Bob from its view of that same
+			// public key, and the slot geometry is otherwise a function of
+			// handshake-agreed parameters (bound, CmpMaskBits).
+			ap, err := encoding.NewComparePacker(s.paiKey.PlaintextBound(), bound, s.cfg.CmpMaskBits)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: comparison packer: %w", err)
+			}
+			bp, err := encoding.NewComparePacker(s.peerPai.PlaintextBound(), bound, s.cfg.CmpMaskBits)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: comparison packer: %w", err)
+			}
+			aliceEng.Packer, bobEng.Packer = ap, bp
+			bobCost = func(n int) int64 { return int64(bp.Groups(n)) }
+		}
+		return &countingAlice{inner: aliceEng, n: &s.cmpCount, cts: &s.ctsSent, ctCost: func(n int) int64 { return int64(n) }},
+			&countingBob{inner: bobEng, n: &s.cmpCount, cts: &s.ctsSent, ctCost: bobCost}, nil
 	}
 	return nil, nil, fmt.Errorf("core: unknown engine %q", s.cfg.Engine)
 }
 
 // countingAlice/countingBob wrap a comparison engine and tally executed
 // instances (one per predicate, so a batch of k counts k) into the
-// session's cmpCount — the Result.SecureComparisons metric.
+// session's cmpCount — the Result.SecureComparisons metric — plus the
+// Paillier ciphertexts each call puts on the wire into ctsSent. ctCost
+// maps a call's predicate count to its ciphertext cost on this side
+// (identity for unpacked masked engines, ⌈n/S⌉ for a packing Bob); a
+// nil ctCost means the engine sends no Paillier payloads (YMPP).
 type countingAlice struct {
-	inner compare.Alice
-	n     *atomic.Int64
+	inner  compare.Alice
+	n      *atomic.Int64
+	cts    *atomic.Int64
+	ctCost func(n int) int64
+}
+
+func (c *countingAlice) addCts(n int) {
+	if c.ctCost != nil {
+		c.cts.Add(c.ctCost(n))
+	}
 }
 
 func (c *countingAlice) LessEq(conn transport.Conn, a int64) (bool, error) {
 	c.n.Add(1)
+	c.addCts(1)
 	return c.inner.LessEq(conn, a)
 }
 
 func (c *countingAlice) Less(conn transport.Conn, a int64) (bool, error) {
 	c.n.Add(1)
+	c.addCts(1)
 	return c.inner.Less(conn, a)
 }
 
 func (c *countingAlice) BatchLessEq(conn transport.Conn, as []int64) ([]bool, error) {
 	c.n.Add(int64(len(as)))
+	c.addCts(len(as))
 	return c.inner.BatchLessEq(conn, as)
 }
 
 func (c *countingAlice) BatchLess(conn transport.Conn, as []int64) ([]bool, error) {
 	c.n.Add(int64(len(as)))
+	c.addCts(len(as))
 	return c.inner.BatchLess(conn, as)
 }
 
@@ -395,27 +478,39 @@ func (c *countingAlice) Bound() int64 { return c.inner.Bound() }
 func (c *countingAlice) Name() string { return c.inner.Name() }
 
 type countingBob struct {
-	inner compare.Bob
-	n     *atomic.Int64
+	inner  compare.Bob
+	n      *atomic.Int64
+	cts    *atomic.Int64
+	ctCost func(n int) int64
+}
+
+func (c *countingBob) addCts(n int) {
+	if c.ctCost != nil {
+		c.cts.Add(c.ctCost(n))
+	}
 }
 
 func (c *countingBob) LessEq(conn transport.Conn, b int64) (bool, error) {
 	c.n.Add(1)
+	c.addCts(1)
 	return c.inner.LessEq(conn, b)
 }
 
 func (c *countingBob) Less(conn transport.Conn, b int64) (bool, error) {
 	c.n.Add(1)
+	c.addCts(1)
 	return c.inner.Less(conn, b)
 }
 
 func (c *countingBob) BatchLessEq(conn transport.Conn, bs []int64) ([]bool, error) {
 	c.n.Add(int64(len(bs)))
+	c.addCts(len(bs))
 	return c.inner.BatchLessEq(conn, bs)
 }
 
 func (c *countingBob) BatchLess(conn transport.Conn, bs []int64) ([]bool, error) {
 	c.n.Add(int64(len(bs)))
+	c.addCts(len(bs))
 	return c.inner.BatchLess(conn, bs)
 }
 

@@ -81,12 +81,13 @@ func runE13(w io.Writer, opt Options) error {
 // BenchRow is one BenchE11 measurement, JSON-serializable for the perf
 // trajectory file (BENCH_E11.json, written by `make bench`).
 type BenchRow struct {
-	Protocol string `json:"protocol"`
-	Batching string `json:"batching"`
-	N        int    `json:"n"`
-	WallMS   int64  `json:"wall_ms"`
-	Messages int64  `json:"messages"`
-	Bytes    int64  `json:"bytes"`
+	Protocol    string `json:"protocol"`
+	Batching    string `json:"batching"`
+	N           int    `json:"n"`
+	WallMS      int64  `json:"wall_ms"`
+	Messages    int64  `json:"messages"`
+	Bytes       int64  `json:"bytes"`
+	Ciphertexts int64  `json:"ciphertexts"`
 }
 
 // BenchE11 runs the E11 end-to-end workload in both batching modes and
@@ -136,12 +137,13 @@ func BenchE11(opt Options) ([]BenchRow, error) {
 				return nil, fmt.Errorf("bench %s/%s: %w", j.name, mode, err)
 			}
 			rows = append(rows, BenchRow{
-				Protocol: j.name,
-				Batching: string(mode),
-				N:        n,
-				WallMS:   run.wall.Milliseconds(),
-				Messages: messages(run),
-				Bytes:    run.bytes,
+				Protocol:    j.name,
+				Batching:    string(mode),
+				N:           n,
+				WallMS:      run.wall.Milliseconds(),
+				Messages:    messages(run),
+				Bytes:       run.bytes,
+				Ciphertexts: ciphertexts(run),
 			})
 		}
 	}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// E20 — plaintext-packing ablation. Slot-shifted encoding
+// (Config.Packing, internal/encoding) packs S fixed-point values into one
+// Paillier plaintext, so the masked-product grids and the comparison
+// replies travel as ⌈n/S⌉ ciphertexts instead of n. The contract mirrors
+// E13/E14: labels and the full disclosure Ledger must be byte-identical
+// between "off" and "slots", while the packed run cuts both
+// ciphertexts/query and bytes/query ≥2× at production key sizes. The
+// sweep runs at 512-bit Paillier keys — the CLI default — because the
+// slot count scales with the plaintext width (256-bit test keys fit ~4
+// slots, 512-bit fit ~9 in the product/compare shapes), and covers both
+// the exhaustive E11 shape (pruning off) and the candidate-index E14
+// shape (pruning grid).
+
+// ciphertexts sums both parties' Paillier ciphertext counts for one run.
+func ciphertexts(run commRun) int64 {
+	return run.resA.CiphertextsSent + run.resB.CiphertextsSent
+}
+
+// e20Cfg is qualityCfg at production key size: the packing gain under
+// test is proportional to the plaintext width, so the ablation measures
+// the keys the CLI actually serves with.
+func e20Cfg(eps float64, minPts int, maxCoord int64, seed int64) core.Config {
+	cfg := qualityCfg(eps, minPts, maxCoord, seed)
+	cfg.PaillierBits = 512
+	cfg.RSABits = 512
+	return cfg
+}
+
+// e20Row is one protocol × pruning × packing measurement.
+type e20Row struct {
+	protocol string
+	pruning  core.PruneMode
+	packing  core.PackMode
+	run      commRun
+}
+
+// runE20Protocols executes the three two-party families over one dataset
+// in every pruning × packing combination.
+func runE20Protocols(q dataset.Dataset, base core.Config, seed int64) ([]e20Row, error) {
+	hs, err := partition.HorizontalRandom(q.Points, 0.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := partition.Vertical(q.Points, 1)
+	if err != nil {
+		return nil, err
+	}
+	var rows []e20Row
+	for _, pruning := range []core.PruneMode{core.PruneOff, core.PruneGrid} {
+		for _, packing := range []core.PackMode{core.PackOff, core.PackSlots} {
+			cfg := base
+			cfg.Pruning = pruning
+			cfg.Packing = packing
+			hrun, err := runMeteredHorizontal(cfg, core.HorizontalAlice, core.HorizontalBob, hs.Alice, hs.Bob)
+			if err != nil {
+				return nil, fmt.Errorf("e20 horizontal/%s/%s: %w", pruning, packing, err)
+			}
+			rows = append(rows, e20Row{"horizontal", pruning, packing, hrun})
+			erun, err := runMeteredHorizontal(cfg, core.EnhancedHorizontalAlice, core.EnhancedHorizontalBob, hs.Alice, hs.Bob)
+			if err != nil {
+				return nil, fmt.Errorf("e20 enhanced/%s/%s: %w", pruning, packing, err)
+			}
+			rows = append(rows, e20Row{"enhanced", pruning, packing, erun})
+			vrun, err := runMeteredPair(
+				func(c transport.Conn) (*core.Result, error) { return core.VerticalAlice(c, cfg, vs.Alice) },
+				func(c transport.Conn) (*core.Result, error) { return core.VerticalBob(c, cfg, vs.Bob) },
+			)
+			if err != nil {
+				return nil, fmt.Errorf("e20 vertical/%s/%s: %w", pruning, packing, err)
+			}
+			rows = append(rows, e20Row{"vertical", pruning, packing, vrun})
+		}
+	}
+	return rows, nil
+}
+
+// e20Check enforces the packing contract between the off and slots rows
+// of one protocol × pruning cell: identical labels on both sides and an
+// identical disclosure Ledger — packing changes the frame layout, not
+// one bit of what either party learns.
+func e20Check(off, on e20Row) error {
+	if !metrics.ExactMatch(on.run.resA.Labels, off.run.resA.Labels) ||
+		!metrics.ExactMatch(on.run.resB.Labels, off.run.resB.Labels) {
+		return fmt.Errorf("e20 %s/%s: labels diverge between packing modes", off.protocol, off.pruning)
+	}
+	if on.run.resA.Leakage != off.run.resA.Leakage || on.run.resB.Leakage != off.run.resB.Leakage {
+		return fmt.Errorf("e20 %s/%s: disclosure Ledgers diverge between packing modes", off.protocol, off.pruning)
+	}
+	return nil
+}
+
+// e20Pairs groups rows into (off, slots) pairs per protocol × pruning
+// cell, preserving run order.
+func e20Pairs(rows []e20Row) [][2]e20Row {
+	byCell := map[string]*[2]e20Row{}
+	var order []string
+	for _, r := range rows {
+		key := r.protocol + "/" + string(r.pruning)
+		cell, ok := byCell[key]
+		if !ok {
+			cell = &[2]e20Row{}
+			byCell[key] = cell
+			order = append(order, key)
+		}
+		if r.packing == core.PackOff {
+			cell[0] = r
+		} else {
+			cell[1] = r
+		}
+	}
+	pairs := make([][2]e20Row, 0, len(order))
+	for _, key := range order {
+		pairs = append(pairs, *byCell[key])
+	}
+	return pairs
+}
+
+func e20Dataset(opt Options) (dataset.Dataset, core.Config) {
+	n := 48
+	if opt.Quick {
+		n = 16
+	}
+	d := dataset.Blobs(n, 3, 0.4, opt.seed())
+	q, scaleEps := dataset.Quantize(d, 64)
+	return q, e20Cfg(scaleEps(0.6), 4, 63, opt.seed())
+}
+
+func runE20(w io.Writer, opt Options) error {
+	q, cfg := e20Dataset(opt)
+	rows, err := runE20Protocols(q, cfg, opt.seed())
+	if err != nil {
+		return err
+	}
+
+	var t table
+	t.add("protocol", "pruning", "packing", "wall", "msgs", "totalKB", "paillierCts", "ctsRatio", "bytesRatio")
+	for _, pair := range e20Pairs(rows) {
+		off, on := pair[0], pair[1]
+		if err := e20Check(off, on); err != nil {
+			return err
+		}
+		for _, r := range []e20Row{off, on} {
+			ctsRatio := float64(ciphertexts(off.run)) / float64(max(ciphertexts(r.run), 1))
+			bytesRatio := float64(off.run.bytes) / float64(max(r.run.bytes, 1))
+			t.add(r.protocol, string(r.pruning), string(r.packing),
+				fmt.Sprint(r.run.wall.Round(time.Millisecond)),
+				fmt.Sprint(messages(r.run)), fmt.Sprintf("%.0f", float64(r.run.bytes)/1024),
+				fmt.Sprint(ciphertexts(r.run)),
+				fmt.Sprintf("%.1fx", ctsRatio), fmt.Sprintf("%.1fx", bytesRatio))
+		}
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Identical labels and disclosure Ledgers in both modes; slot packing compresses the homomorphic frames, not the protocol.")
+	return nil
+}
+
+// BenchE20Row is one BenchE20 measurement, JSON-serializable for the perf
+// trajectory file (BENCH_E20.json, written by `make bench-e20`). The
+// ratio fields are populated on "slots" rows only: off-row total divided
+// by the packed total for the same protocol × pruning cell, so ≥2 means
+// the packed run puts ≤half the ciphertexts (bytes) on the wire per
+// query workload.
+type BenchE20Row struct {
+	Protocol       string  `json:"protocol"`
+	Pruning        string  `json:"pruning"`
+	Packing        string  `json:"packing"`
+	N              int     `json:"n"`
+	KeyBits        int     `json:"key_bits"`
+	WallMS         int64   `json:"wall_ms"`
+	Messages       int64   `json:"messages"`
+	Bytes          int64   `json:"bytes"`
+	Ciphertexts    int64   `json:"ciphertexts"`
+	CtsRatioVsOff  float64 `json:"cts_ratio_vs_off,omitempty"`
+	ByteRatioVsOff float64 `json:"byte_ratio_vs_off,omitempty"`
+}
+
+// BenchE20 runs the packing ablation and returns structured measurements,
+// erroring if any protocol × pruning cell violates the packing contract.
+func BenchE20(opt Options) ([]BenchE20Row, error) {
+	q, cfg := e20Dataset(opt)
+	rows, err := runE20Protocols(q, cfg, opt.seed())
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchE20Row
+	for _, pair := range e20Pairs(rows) {
+		off, on := pair[0], pair[1]
+		if err := e20Check(off, on); err != nil {
+			return nil, err
+		}
+		for _, r := range []e20Row{off, on} {
+			row := BenchE20Row{
+				Protocol:    r.protocol,
+				Pruning:     string(r.pruning),
+				Packing:     string(r.packing),
+				N:           len(q.Points),
+				KeyBits:     cfg.PaillierBits,
+				WallMS:      r.run.wall.Milliseconds(),
+				Messages:    messages(r.run),
+				Bytes:       r.run.bytes,
+				Ciphertexts: ciphertexts(r.run),
+			}
+			if r.packing == core.PackSlots {
+				row.CtsRatioVsOff = float64(ciphertexts(off.run)) / float64(max(ciphertexts(r.run), 1))
+				row.ByteRatioVsOff = float64(off.run.bytes) / float64(max(r.run.bytes, 1))
+			}
+			out = append(out, row)
+		}
+	}
+	// Two trailing summary rows aggregate every protocol × pruning cell,
+	// so the headline ≥2× claim is one field read in the artifact.
+	agg := map[core.PackMode]*BenchE20Row{
+		core.PackOff:   {Protocol: "aggregate", Pruning: "all", Packing: string(core.PackOff), N: len(q.Points), KeyBits: cfg.PaillierBits},
+		core.PackSlots: {Protocol: "aggregate", Pruning: "all", Packing: string(core.PackSlots), N: len(q.Points), KeyBits: cfg.PaillierBits},
+	}
+	for _, r := range rows {
+		a := agg[r.packing]
+		a.WallMS += r.run.wall.Milliseconds()
+		a.Messages += messages(r.run)
+		a.Bytes += r.run.bytes
+		a.Ciphertexts += ciphertexts(r.run)
+	}
+	off, on := agg[core.PackOff], agg[core.PackSlots]
+	on.CtsRatioVsOff = float64(off.Ciphertexts) / float64(max(on.Ciphertexts, 1))
+	on.ByteRatioVsOff = float64(off.Bytes) / float64(max(on.Bytes, 1))
+	out = append(out, *off, *on)
+	return out, nil
+}

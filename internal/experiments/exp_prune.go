@@ -150,6 +150,7 @@ type BenchE14Row struct {
 	WallMS            int64   `json:"wall_ms"`
 	Messages          int64   `json:"messages"`
 	Bytes             int64   `json:"bytes"`
+	Ciphertexts       int64   `json:"ciphertexts"`
 	SecureComparisons int64   `json:"secure_comparisons"`
 	NMIVsOff          float64 `json:"nmi_vs_off"`
 }
@@ -183,6 +184,7 @@ func BenchE14(opt Options) ([]BenchE14Row, error) {
 			WallMS:            r.run.wall.Milliseconds(),
 			Messages:          messages(r.run),
 			Bytes:             r.run.bytes,
+			Ciphertexts:       ciphertexts(r.run),
 			SecureComparisons: r.comparisons(),
 			NMIVsOff:          nmiByProto[r.protocol],
 		})

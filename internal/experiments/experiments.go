@@ -60,6 +60,7 @@ func All() []Experiment {
 		{"e17", "Streaming append sweep", "a live session absorbing appended batches re-clusters at O(\u0394\u00b7candidates) cost: the cross-run comparison cache and delta index exchange cut secure comparisons and WAN wall clock vs per-stage rebuilds, with byte-identical labels at every stage", runE17},
 		{"e18", "Sliding-window expiry sweep", "a live session sliding a W-generation window (WindowAppend = append + expire-oldest) re-clusters with strictly fewer secure comparisons than fresh per-window rebuilds: tombstoned generations compact away, caches invalidate only entries touching expired points, and labels stay byte-identical to a session over exactly the window contents", runE18},
 		{"e19", "Point-retraction sweep", "a live session retracting individual records (point tombstones masking index slots in place, exact cache invalidation) re-clusters with strictly fewer secure comparisons than fresh per-retraction rebuilds, with labels byte-identical to a session over exactly the surviving points and the disclosure on both setup ledgers (IndexRetractions)", runE19},
+		{"e20", "Plaintext-packing ablation", "slot-shifted encoding packs S fixed-point values per Paillier plaintext, cutting ciphertexts/query and bytes/query ≥2× at 512-bit keys with byte-identical labels and disclosure Ledgers", runE20},
 	}
 }
 
@@ -70,7 +71,7 @@ func (e ErrUnknownExperiment) Error() string {
 	return fmt.Sprintf("experiments: unknown experiment %q", e.ID)
 }
 
-// Run executes one experiment by id ("e1".."e19") or "all".
+// Run executes one experiment by id ("e1".."e20") or "all".
 func Run(id string, w io.Writer, opt Options) error {
 	id = strings.ToLower(strings.TrimSpace(id))
 	if id == "all" {

@@ -1,0 +1,391 @@
+package mpc
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/encoding"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+)
+
+// Slot-packed wire forms of the Multiplication Protocol. Three shapes
+// cover every masked-product phase in the repository; all preserve the
+// scalar semantics element-for-element (the packing equivalence harness
+// in internal/core asserts identical labels and ledgers against the
+// unpacked forms above):
+//
+//   - Grid: the HDP layout — a rows×cols grid of products where the
+//     sender's scalar y_k is constant down each column (the query
+//     point's k-th coordinate against every candidate). The receiver
+//     packs column k across slot groups of rows, so the homomorphic
+//     scalar multiplication by y_k acts on all S slots at once and BOTH
+//     directions shrink from rows·cols to ⌈rows/S⌉·cols ciphertexts.
+//
+//   - Scatter: arbitrary per-element scalars (the arbitrary family's
+//     mixed cross terms). A constant cannot multiply S different slots
+//     by S different scalars, so the uplink stays one ciphertext per
+//     element; the sender instead *places* each product into its slot —
+//     E(x_t)^{y_t·2^{w·s}} — and multiplies S placements plus one
+//     packed-mask encryption into a single reply. The reply direction
+//     shrinks from n to ⌈n/S⌉ ciphertexts.
+//
+//   - Dot: the §5 pattern — the m+2 uplink ciphertexts of E(a) are
+//     already shared across all points, and the per-point replies
+//     E(a·b_i + v_i) pack by slot placement like the scatter form:
+//     count replies become ⌈count/S⌉.
+//
+// In every form exactly one side contributes the packer's bias (with
+// the masks), the uplink packs raw (bias-free) values, and the slot
+// width budgets the largest final value |x·y + v| — see the encoding
+// package for why carries cannot occur.
+
+// ReceiverGridMultiply is the packed form of ReceiverBatchMultiply for
+// a rows×cols grid laid out row-major (xs[i·cols+k] is row i, column k)
+// whose sender scalars are constant per column. It obtains the same
+// u_{i,k} = x_{i,k}·y_k + v_{i,k} as the unpacked form, in
+// ⌈rows/S⌉·cols ciphertexts each way.
+func ReceiverGridMultiply(conn transport.Conn, key *paillier.PrivateKey, xs []int64, rows, cols int, pk *encoding.Packer, random io.Reader, pool *paillier.Pool) ([]*big.Int, error) {
+	if rows < 1 || cols < 1 || rows*cols != len(xs) {
+		return nil, fmt.Errorf("mpc: grid %d×%d does not hold %d values", rows, cols, len(xs))
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	groups := pk.Groups(rows)
+	plains := make([]*big.Int, groups*cols)
+	for g := 0; g < groups; g++ {
+		n := pk.GroupLen(rows, g)
+		for k := 0; k < cols; k++ {
+			vals := make([]*big.Int, n)
+			for s := 0; s < n; s++ {
+				vals[s] = big.NewInt(xs[(g*pk.Slots()+s)*cols+k])
+			}
+			// Raw (bias-free): the sender's packed masks carry the bias.
+			packed, err := pk.PackRaw(vals)
+			if err != nil {
+				return nil, fmt.Errorf("mpc: packing grid column %d group %d: %w", k, g, err)
+			}
+			plains[g*cols+k] = packed
+		}
+	}
+	cts, err := key.EncryptBatch(pool, random, plains)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: encrypting packed xs: %w", err)
+	}
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutBigs(cts)); err != nil {
+		return nil, fmt.Errorf("mpc: packed receiver send: %w", err)
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: packed receiver recv: %w", err)
+	}
+	replies := r.Bigs()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(replies) != groups*cols {
+		return nil, fmt.Errorf("%w: sent %d packed, got %d", ErrLengthMismatch, groups*cols, len(replies))
+	}
+	packedUs, err := key.DecryptBatch(pool, replies)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: decrypting packed us: %w", err)
+	}
+	us := make([]*big.Int, rows*cols)
+	for g := 0; g < groups; g++ {
+		n := pk.GroupLen(rows, g)
+		for k := 0; k < cols; k++ {
+			slots, err := pk.Unpack(packedUs[g*cols+k], n)
+			if err != nil {
+				return nil, fmt.Errorf("mpc: unpacking grid column %d group %d: %w", k, g, err)
+			}
+			for s, u := range slots {
+				us[(g*pk.Slots()+s)*cols+k] = u
+			}
+		}
+	}
+	return us, nil
+}
+
+// SenderGridMultiply is the sending half of ReceiverGridMultiply: ys
+// holds the cols column scalars, vs the rows·cols row-major masks.
+func SenderGridMultiply(conn transport.Conn, pub *paillier.PublicKey, ys []int64, vs []*big.Int, rows, cols int, pk *encoding.Packer, random io.Reader, pool *paillier.Pool) error {
+	if len(ys) != cols {
+		return fmt.Errorf("%w: %d column scalars for %d columns", ErrLengthMismatch, len(ys), cols)
+	}
+	if rows < 1 || cols < 1 || rows*cols != len(vs) {
+		return fmt.Errorf("mpc: grid %d×%d does not hold %d masks", rows, cols, len(vs))
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return fmt.Errorf("mpc: packed sender recv: %w", err)
+	}
+	cts := r.Bigs()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	groups := pk.Groups(rows)
+	if len(cts) != groups*cols {
+		return fmt.Errorf("%w: received %d packed, expect %d", ErrLengthMismatch, len(cts), groups*cols)
+	}
+	// Masks pack with the bias — the one bias contribution per slot.
+	maskPlains := make([]*big.Int, groups*cols)
+	for g := 0; g < groups; g++ {
+		n := pk.GroupLen(rows, g)
+		for k := 0; k < cols; k++ {
+			vals := make([]*big.Int, n)
+			for s := 0; s < n; s++ {
+				vals[s] = vs[(g*pk.Slots()+s)*cols+k]
+			}
+			packed, err := pk.Pack(vals)
+			if err != nil {
+				return fmt.Errorf("mpc: packing masks column %d group %d: %w", k, g, err)
+			}
+			maskPlains[g*cols+k] = packed
+		}
+	}
+	masks, err := pub.EncryptBatch(pool, random, maskPlains)
+	if err != nil {
+		return fmt.Errorf("mpc: encrypting packed masks: %w", err)
+	}
+	replies := make([]*big.Int, groups*cols)
+	if err := paillier.ParallelFor(pool, groups*cols, func(j int) error {
+		// One scalar multiplication scales all S slots of the column by
+		// y_k; the packed mask then biases and masks every slot.
+		prod, err := pub.Mul(cts[j], big.NewInt(ys[j%cols]))
+		if err != nil {
+			return fmt.Errorf("mpc: packed homomorphic multiply [%d]: %w", j, err)
+		}
+		u, err := pub.Add(prod, masks[j])
+		if err != nil {
+			return fmt.Errorf("mpc: packed homomorphic add [%d]: %w", j, err)
+		}
+		replies[j] = u
+		return nil
+	}); err != nil {
+		return err
+	}
+	return transport.SendMsg(conn, transport.NewBuilder().PutBigs(replies))
+}
+
+// ReceiverScatterMultiply is the packed form of ReceiverBatchMultiply
+// for arbitrary per-element sender scalars: the uplink stays one
+// ciphertext per element (a packed uplink would force one shared scalar
+// per slot group), the replies arrive packed as ⌈n/S⌉ ciphertexts.
+func ReceiverScatterMultiply(conn transport.Conn, key *paillier.PrivateKey, xs []int64, pk *encoding.Packer, random io.Reader, pool *paillier.Pool) ([]*big.Int, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	cts, err := key.EncryptInt64Batch(pool, random, xs)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: encrypting xs: %w", err)
+	}
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutBigs(cts)); err != nil {
+		return nil, fmt.Errorf("mpc: scatter receiver send: %w", err)
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: scatter receiver recv: %w", err)
+	}
+	replies := r.Bigs()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	groups := pk.Groups(len(xs))
+	if len(replies) != groups {
+		return nil, fmt.Errorf("%w: sent %d, got %d packed replies (want %d)", ErrLengthMismatch, len(xs), len(replies), groups)
+	}
+	packedUs, err := key.DecryptBatch(pool, replies)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: decrypting packed us: %w", err)
+	}
+	us := make([]*big.Int, len(xs))
+	for g, pv := range packedUs {
+		slots, err := pk.Unpack(pv, pk.GroupLen(len(xs), g))
+		if err != nil {
+			return nil, fmt.Errorf("mpc: unpacking reply group %d: %w", g, err)
+		}
+		for s, u := range slots {
+			us[g*pk.Slots()+s] = u
+		}
+	}
+	return us, nil
+}
+
+// SenderScatterMultiply is the sending half of ReceiverScatterMultiply:
+// E(x_t)^{y_t·2^{w·s}} places x_t·y_t into slot s of its group's reply,
+// and one packed-mask encryption supplies every slot's v_t and bias.
+func SenderScatterMultiply(conn transport.Conn, pub *paillier.PublicKey, ys []int64, vs []*big.Int, pk *encoding.Packer, random io.Reader, pool *paillier.Pool) error {
+	if len(ys) != len(vs) {
+		return fmt.Errorf("%w: %d multiplicands, %d masks", ErrLengthMismatch, len(ys), len(vs))
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return fmt.Errorf("mpc: scatter sender recv: %w", err)
+	}
+	cts := r.Bigs()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(cts) != len(ys) {
+		return fmt.Errorf("%w: received %d, hold %d", ErrLengthMismatch, len(cts), len(ys))
+	}
+	groups := pk.Groups(len(ys))
+	maskPlains := make([]*big.Int, groups)
+	for g := range maskPlains {
+		n := pk.GroupLen(len(ys), g)
+		packed, err := pk.Pack(vs[g*pk.Slots() : g*pk.Slots()+n])
+		if err != nil {
+			return fmt.Errorf("mpc: packing masks group %d: %w", g, err)
+		}
+		maskPlains[g] = packed
+	}
+	masks, err := pub.EncryptBatch(pool, random, maskPlains)
+	if err != nil {
+		return fmt.Errorf("mpc: encrypting packed masks: %w", err)
+	}
+	replies := make([]*big.Int, groups)
+	if err := paillier.ParallelFor(pool, groups, func(g int) error {
+		acc := masks[g]
+		for s := 0; s < pk.GroupLen(len(ys), g); s++ {
+			t := g*pk.Slots() + s
+			if ys[t] == 0 {
+				continue // slot keeps v_t + bias
+			}
+			term, err := pub.Mul(cts[t], pk.ShiftInt64(ys[t], s))
+			if err != nil {
+				return fmt.Errorf("mpc: scatter homomorphic multiply [%d]: %w", t, err)
+			}
+			if acc, err = pub.Add(acc, term); err != nil {
+				return fmt.Errorf("mpc: scatter homomorphic add [%d]: %w", t, err)
+			}
+		}
+		replies[g] = acc
+		return nil
+	}); err != nil {
+		return err
+	}
+	return transport.SendMsg(conn, transport.NewBuilder().PutBigs(replies))
+}
+
+// ReceiverDotManyPacked is ReceiverDotMany with packed replies: the
+// E(a) uplink is unchanged (already m+2 ciphertexts shared across all
+// points), the count masked dot products arrive as ⌈count/S⌉.
+func ReceiverDotManyPacked(conn transport.Conn, key *paillier.PrivateKey, a []int64, count int, pk *encoding.Packer, random io.Reader, pool *paillier.Pool) ([]*big.Int, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("mpc: count %d < 1", count)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	cts, err := key.EncryptInt64Batch(pool, random, a)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: encrypting a: %w", err)
+	}
+	msg := transport.NewBuilder().PutUint(uint64(count)).PutBigs(cts)
+	if err := transport.SendMsg(conn, msg); err != nil {
+		return nil, fmt.Errorf("mpc: packed dot send: %w", err)
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: packed dot recv: %w", err)
+	}
+	replies := r.Bigs()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	groups := pk.Groups(count)
+	if len(replies) != groups {
+		return nil, fmt.Errorf("%w: want %d packed dot products, got %d", ErrLengthMismatch, groups, len(replies))
+	}
+	packedUs, err := key.DecryptBatch(pool, replies)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: decrypting packed us: %w", err)
+	}
+	us := make([]*big.Int, count)
+	for g, pv := range packedUs {
+		slots, err := pk.Unpack(pv, pk.GroupLen(count, g))
+		if err != nil {
+			return nil, fmt.Errorf("mpc: unpacking dot group %d: %w", g, err)
+		}
+		for s, u := range slots {
+			us[g*pk.Slots()+s] = u
+		}
+	}
+	return us, nil
+}
+
+// SenderDotManyPacked is the sending half of ReceiverDotManyPacked:
+// slot s of group g accumulates Π_k E(a_k)^{b_ik·2^{w·s}} — the dot
+// product placed into its slot — over one packed-mask encryption.
+func SenderDotManyPacked(conn transport.Conn, pub *paillier.PublicKey, bs [][]int64, vs []*big.Int, pk *encoding.Packer, random io.Reader, pool *paillier.Pool) error {
+	if len(bs) != len(vs) {
+		return fmt.Errorf("%w: %d vectors, %d masks", ErrLengthMismatch, len(bs), len(vs))
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return fmt.Errorf("mpc: packed dot sender recv: %w", err)
+	}
+	count := int(r.Uint())
+	cts := r.Bigs()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if count != len(bs) {
+		return fmt.Errorf("%w: receiver expects %d dot products, sender holds %d", ErrLengthMismatch, count, len(bs))
+	}
+	for i, b := range bs {
+		if len(b) != len(cts) {
+			return fmt.Errorf("%w: vector %d has %d coordinates, receiver sent %d", ErrLengthMismatch, i, len(b), len(cts))
+		}
+	}
+	groups := pk.Groups(len(bs))
+	maskPlains := make([]*big.Int, groups)
+	for g := range maskPlains {
+		n := pk.GroupLen(len(bs), g)
+		packed, err := pk.Pack(vs[g*pk.Slots() : g*pk.Slots()+n])
+		if err != nil {
+			return fmt.Errorf("mpc: packing dot masks group %d: %w", g, err)
+		}
+		maskPlains[g] = packed
+	}
+	masks, err := pub.EncryptBatch(pool, random, maskPlains)
+	if err != nil {
+		return fmt.Errorf("mpc: encrypting packed masks: %w", err)
+	}
+	replies := make([]*big.Int, groups)
+	if err := paillier.ParallelFor(pool, groups, func(g int) error {
+		acc := masks[g]
+		for s := 0; s < pk.GroupLen(len(bs), g); s++ {
+			i := g*pk.Slots() + s
+			for k, ct := range cts {
+				if bs[i][k] == 0 {
+					continue
+				}
+				term, err := pub.Mul(ct, pk.Shift(big.NewInt(bs[i][k]), s))
+				if err != nil {
+					return fmt.Errorf("mpc: packed dot multiply [%d,%d]: %w", i, k, err)
+				}
+				if acc, err = pub.Add(acc, term); err != nil {
+					return fmt.Errorf("mpc: packed dot add [%d,%d]: %w", i, k, err)
+				}
+			}
+		}
+		replies[g] = acc
+		return nil
+	}); err != nil {
+		return err
+	}
+	return transport.SendMsg(conn, transport.NewBuilder().PutBigs(replies))
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/core"
 	"repro/internal/dbscan"
+	"repro/internal/encoding"
 	"repro/internal/fixedpoint"
 	"repro/internal/mpc"
 	"repro/internal/paillier"
@@ -70,6 +71,11 @@ type HorizontalResult struct {
 	// MeshSession run answered from its cross-run cache instead of
 	// running HDP — zero for one-shot runs and a session's first run.
 	CachedCounts int64
+	// CiphertextsSent counts the Paillier ciphertexts this party put on
+	// the wire during the run (HDP frames in both roles plus its side of
+	// the masked comparisons) — the quantity slot packing compresses.
+	// YMPP RSA payloads are not counted.
+	CiphertextsSent int64
 }
 
 // pairSession holds the cryptographic state shared with one specific
@@ -93,6 +99,15 @@ type pairSession struct {
 	peerDirs   []spatial.Directory // per-generation padded directories (pruning)
 	peerGenCnt []int               // per-generation peer counts (dead gens zeroed)
 	cache      *core.CountCache    // own point → cached count segments over peer gens
+
+	// Slot packers (nil with packing off), derived identically on both
+	// edge endpoints from the handshake parameters and the exchanged
+	// public keys. mpPackPeer sizes HDP grid frames we send under the
+	// peer's key; mpPackOwn sizes the frames we serve under our own key;
+	// cmpPackB sizes the packed comparison replies we send as Bob.
+	mpPackPeer *encoding.Packer
+	mpPackOwn  *encoding.Packer
+	cmpPackB   *encoding.Packer
 }
 
 // peerSuffix counts the peer's points in generations [from, …).
@@ -144,6 +159,7 @@ func (ms *MeshSession) Run() (*HorizontalResult, error) {
 	h := ms.h
 	h.queries = 0
 	h.cached.Store(0)
+	h.ctsSent.Store(0)
 	var labels []int
 	var clusters int
 	var err error
@@ -158,7 +174,8 @@ func (ms *MeshSession) Run() (*HorizontalResult, error) {
 		}
 	}
 	ms.runs++
-	return &HorizontalResult{Labels: labels, NumClusters: clusters, RegionQueries: h.queries, CachedCounts: h.cached.Load()}, nil
+	return &HorizontalResult{Labels: labels, NumClusters: clusters, RegionQueries: h.queries,
+		CachedCounts: h.cached.Load(), CiphertextsSent: h.ctsSent.Load()}, nil
 }
 
 // Append absorbs this party's appended batch: every party calls Append
@@ -537,6 +554,7 @@ type hState struct {
 	sessions []*pairSession // indexed by peer
 	queries  int
 	cached   atomic.Int64 // membership predicates served from cache this run
+	ctsSent  atomic.Int64 // Paillier ciphertexts this party put on the wire this run
 
 	pruneOn     bool
 	cellW       int64
@@ -571,6 +589,7 @@ func (h *hState) handshakeAll() error {
 			PutInt(h.cfg.MaxCoord).
 			PutString(string(h.cfg.Engine)).
 			PutString(string(h.cfg.Batching)).
+			PutString(string(h.cfg.Packing)).
 			PutString(string(h.cfg.Pruning)).
 			PutUint(uint64(h.cfg.PruneQuantum)).
 			PutUint(uint64(h.cfg.Parallel)).
@@ -592,6 +611,7 @@ func (h *hState) handshakeAll() error {
 		pMaxCoord := r.Int()
 		pEngine := r.String()
 		pBatching := r.String()
+		pPacking := r.String()
 		pPruning := r.String()
 		pQuantum := int(r.Uint())
 		pParallel := int(r.Uint())
@@ -616,6 +636,8 @@ func (h *hState) handshakeAll() error {
 			return fmt.Errorf("%w: engine with party %d", ErrHandshake, q)
 		case pBatching != string(h.cfg.Batching):
 			return fmt.Errorf("%w: batching with party %d", ErrHandshake, q)
+		case pPacking != string(h.cfg.Packing):
+			return fmt.Errorf("%w: packing with party %d", ErrHandshake, q)
 		case pPruning != string(h.cfg.Pruning):
 			return fmt.Errorf("%w: pruning with party %d", ErrHandshake, q)
 		case pQuantum != h.cfg.PruneQuantum:
@@ -693,12 +715,55 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 		if limit.Cmp(sess.paiKey.PlaintextBound()) >= 0 || limit.Cmp(sess.peerPai.PlaintextBound()) >= 0 {
 			return fmt.Errorf("multiparty: comparison bound overflows the Paillier plaintext space")
 		}
-		sess.cmpA = &compare.MaskedAlice{Key: sess.paiKey, Max: bound, Random: h.random, Pool: h.cfg.Pool}
-		sess.cmpB = &compare.MaskedBob{Pub: sess.peerPai, Max: bound, MaskBits: h.cfg.CmpMaskBits, Random: h.random, Pool: h.cfg.Pool}
+		a := &compare.MaskedAlice{Key: sess.paiKey, Max: bound, Random: h.random, Pool: h.cfg.Pool}
+		b := &compare.MaskedBob{Pub: sess.peerPai, Max: bound, MaskBits: h.cfg.CmpMaskBits, Random: h.random, Pool: h.cfg.Pool}
+		if h.packing() {
+			// Our Alice role pairs with the peer's Bob over our key, and
+			// vice versa — each endpoint derives both packers from the same
+			// (key, bound, maskBits) triple, so they agree by construction.
+			ap, err := encoding.NewComparePacker(sess.paiKey.PlaintextBound(), bound, h.cfg.CmpMaskBits)
+			if err != nil {
+				return fmt.Errorf("multiparty: comparison packer: %w", err)
+			}
+			bp, err := encoding.NewComparePacker(sess.peerPai.PlaintextBound(), bound, h.cfg.CmpMaskBits)
+			if err != nil {
+				return fmt.Errorf("multiparty: comparison packer: %w", err)
+			}
+			a.Packer, b.Packer = ap, bp
+			sess.cmpPackB = bp
+		}
+		sess.cmpA, sess.cmpB = a, b
 	default:
 		return fmt.Errorf("multiparty: unknown engine %q", h.cfg.Engine)
 	}
+	if h.packing() {
+		// HDP grid packers, one per key direction; slots size for one
+		// coordinate product plus a zero-sum mask share.
+		maxProduct := h.cfg.MaxCoord * h.cfg.MaxCoord
+		mb := h.packedMaskBound()
+		peerPk, err := encoding.NewProductPacker(sess.peerPai.PlaintextBound(), maxProduct, mb, h.m)
+		if err != nil {
+			return fmt.Errorf("multiparty: product packer: %w", err)
+		}
+		ownPk, err := encoding.NewProductPacker(sess.paiKey.PlaintextBound(), maxProduct, mb, h.m)
+		if err != nil {
+			return fmt.Errorf("multiparty: product packer: %w", err)
+		}
+		sess.mpPackPeer, sess.mpPackOwn = peerPk, ownPk
+	}
 	return nil
+}
+
+// packing reports whether slot packing is on for this session.
+func (h *hState) packing() bool { return h.cfg.Packing == core.PackSlots }
+
+// packedMaskBound is the handshake-derivable zero-sum mask magnitude the
+// packed HDP frames use (statistical hiding margin 2^−CmpMaskBits), in
+// place of the unpacked path's fixed 2^62 bound, so both endpoints size
+// identical slot widths.
+func (h *hState) packedMaskBound() *big.Int {
+	b := big.NewInt(h.cfg.MaxCoord * h.cfg.MaxCoord)
+	return b.Lsh(b, uint(h.cfg.CmpMaskBits))
 }
 
 // meshHandshakeVersion guards against protocol drift between binaries;
@@ -706,8 +771,10 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 // version 3 added the Parallel fan-out width; version 4 added the
 // generation watermark on query op frames and the append delta exchange;
 // version 5 added the generation tombstone exchange (sliding windows);
-// version 6 added the point tombstone exchange (point-level retraction).
-const meshHandshakeVersion = 6
+// version 6 added the point tombstone exchange (point-level retraction);
+// version 7 added the Packing plaintext-encoding parameter (slot-packed
+// HDP and comparison frames).
+const meshHandshakeVersion = 7
 
 // Ops on the driver→responder control channel (per peer connection).
 const (
@@ -863,22 +930,42 @@ func (h *hState) queryGen(sess *pairSession, conn transport.Conn, x []int64, g, 
 		return 0, err
 	}
 	// MP phase: we are the sender (peer receives masked products under its
-	// own key).
-	ys := make([]int64, 0, nCand*h.m)
-	vs := make([]*big.Int, 0, nCand*h.m)
+	// own key). The packed path draws its zero-sum masks from the
+	// handshake-derivable bound that sizes the slot width; the unpacked
+	// path keeps the legacy 2^62 magnitude.
 	maskBound := new(big.Int).Lsh(big.NewInt(1), 62)
+	if h.packing() {
+		maskBound = h.packedMaskBound()
+	}
+	vs := make([]*big.Int, 0, nCand*h.m)
 	for i := 0; i < nCand; i++ {
 		masks, err := mpc.ZeroSumMasks(h.random, h.m, maskBound)
 		if err != nil {
 			return 0, err
 		}
-		ys = append(ys, x...)
 		vs = append(vs, masks...)
 	}
-	if err := mpc.SenderBatchMultiply(conn, sess.peerPai, ys, vs, h.random, h.cfg.Pool); err != nil {
-		return 0, err
+	if h.packing() {
+		pk := sess.mpPackPeer
+		if err := mpc.SenderGridMultiply(conn, sess.peerPai, x, vs, nCand, h.m, pk, h.random, h.cfg.Pool); err != nil {
+			return 0, err
+		}
+		h.ctsSent.Add(int64(pk.Groups(nCand) * h.m))
+	} else {
+		ys := make([]int64, 0, nCand*h.m)
+		for i := 0; i < nCand; i++ {
+			ys = append(ys, x...)
+		}
+		if err := mpc.SenderBatchMultiply(conn, sess.peerPai, ys, vs, h.random, h.cfg.Pool); err != nil {
+			return 0, err
+		}
+		h.ctsSent.Add(int64(nCand * h.m))
 	}
-	// Comparison phase: we hold the left value Σx².
+	// Comparison phase: we hold the left value Σx². The masked Alice
+	// uplink is one ciphertext per instance in both packing modes.
+	if h.cfg.Engine == compare.EngineMasked {
+		h.ctsSent.Add(int64(nCand))
+	}
 	var ownSum int64
 	for _, v := range x {
 		ownSum += v * v
@@ -1038,9 +1125,21 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport
 			xs = append(xs, zero...)
 		}
 	}
-	us, err := mpc.ReceiverBatchMultiply(conn, sess.paiKey, xs, h.random, h.cfg.Pool)
-	if err != nil {
-		return err
+	var us []*big.Int
+	var err error
+	if h.packing() {
+		pk := sess.mpPackOwn
+		us, err = mpc.ReceiverGridMultiply(conn, sess.paiKey, xs, total, h.m, pk, h.random, h.cfg.Pool)
+		if err != nil {
+			return err
+		}
+		h.ctsSent.Add(int64(pk.Groups(total) * h.m))
+	} else {
+		us, err = mpc.ReceiverBatchMultiply(conn, sess.paiKey, xs, h.random, h.cfg.Pool)
+		if err != nil {
+			return err
+		}
+		h.ctsSent.Add(int64(total * h.m))
 	}
 	js := make([]int64, len(perm))
 	for i, pi := range perm {
@@ -1068,6 +1167,15 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport
 			j = maxV
 		}
 		js[i] = j
+	}
+	// The masked Bob reply direction is where comparison packing bites:
+	// ⌈n/S⌉ ciphertexts packed, n unpacked. YMPP sends no Paillier cts.
+	if h.cfg.Engine == compare.EngineMasked {
+		if sess.cmpPackB != nil {
+			h.ctsSent.Add(int64(sess.cmpPackB.Groups(len(js))))
+		} else {
+			h.ctsSent.Add(int64(len(js)))
+		}
 	}
 	if h.cfg.Batching == core.BatchModeBatched {
 		_, err := sess.cmpB.BatchLess(conn, js)

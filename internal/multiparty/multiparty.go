@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/compare"
 	"repro/internal/core"
+	"repro/internal/encoding"
 	"repro/internal/fixedpoint"
 	"repro/internal/paillier"
 	"repro/internal/spatial"
@@ -75,6 +76,15 @@ type Config struct {
 	// BatchLessEq, so a neighborhood costs O(k) messages instead of
 	// O(k·n). Sequential mode keeps one circulation per pair.
 	Batching core.BatchMode
+
+	// Packing mirrors core.Config.Packing: under the default "slots" mode
+	// a ring circulation packs S masked sums per Paillier plaintext
+	// (internal/encoding), so a batch of n pairs costs ⌈n/S⌉ ciphertexts
+	// per hop instead of n, and the masked comparison engine packs its
+	// reply direction the same way. "off" keeps one ciphertext per value.
+	// All parties must agree (ring token); requires the batched round
+	// structure.
+	Packing core.PackMode
 
 	// Pruning mirrors core.Config.Pruning: under the default grid mode
 	// each party discloses the Eps-grid cell coordinates of every record
@@ -135,6 +145,13 @@ func (c Config) withDefaults() Config {
 	if c.Batching == "" {
 		c.Batching = core.BatchModeBatched
 	}
+	if c.Packing == "" {
+		if c.Batching == core.BatchModeSequential {
+			c.Packing = core.PackOff
+		} else {
+			c.Packing = core.PackSlots
+		}
+	}
 	if c.Pruning == "" {
 		c.Pruning = core.PruneGrid
 	}
@@ -168,6 +185,12 @@ func (c Config) validate() error {
 	}
 	if _, err := core.ParsePruneMode(string(c.Pruning)); err != nil {
 		return err
+	}
+	if _, err := core.ParsePackMode(string(c.Packing)); err != nil {
+		return err
+	}
+	if c.Packing == core.PackSlots && c.Batching != core.BatchModeBatched {
+		return fmt.Errorf("multiparty: Packing %q requires Batching %q", core.PackSlots, core.BatchModeBatched)
 	}
 	if c.PruneQuantum < 1 {
 		return fmt.Errorf("multiparty: PruneQuantum must be ≥ 1, got %d", c.PruneQuantum)
@@ -218,6 +241,11 @@ type Result struct {
 	// received in the grid-pruning index circulations so far (0 with
 	// pruning off) — the ring analogue of core.Ledger.IndexCellCoords.
 	IndexCellCoords int
+	// CiphertextsSent counts the Paillier ciphertexts this party put on
+	// the wire during the run (ring circulation frames plus its side of
+	// the masked comparison) — the quantity slot packing compresses.
+	// YMPP RSA payloads are not counted.
+	CiphertextsSent int64
 }
 
 // ErrHandshake reports ring-wide parameter disagreement.
@@ -228,8 +256,9 @@ var ErrHandshake = errors.New("multiparty: handshake parameter mismatch")
 // the Parallel scheduler width (which also pins per-edge multiplexing);
 // version 4 added the generation tombstone circulation (sliding
 // windows); version 5 added the point tombstone circulation
-// (point-level retraction).
-const ringHandshakeVersion = 5
+// (point-level retraction); version 6 added the Packing
+// plaintext-encoding parameter (slot-packed ring circulations).
+const ringHandshakeVersion = 6
 
 // handshakeToken travels once around the ring accumulating checks.
 type handshakeToken struct {
@@ -239,6 +268,7 @@ type handshakeToken struct {
 	maxCoord int64
 	engine   string
 	batching string
+	packing  string
 	pruning  string
 	quantum  int
 	parallel int
@@ -258,6 +288,7 @@ func encodeToken(t handshakeToken) *transport.Builder {
 		PutInt(t.maxCoord).
 		PutString(t.engine).
 		PutString(t.batching).
+		PutString(t.packing).
 		PutString(t.pruning).
 		PutUint(uint64(t.quantum)).
 		PutUint(uint64(t.parallel)).
@@ -277,6 +308,7 @@ func decodeToken(r *transport.Reader) (handshakeToken, error) {
 		maxCoord: r.Int(),
 		engine:   r.String(),
 		batching: r.String(),
+		packing:  r.String(),
 		pruning:  r.String(),
 		quantum:  int(r.Uint()),
 		parallel: int(r.Uint()),
@@ -415,9 +447,24 @@ type state struct {
 	cmpA compare.Alice // coordinator side
 	cmpB compare.Bob   // last-party side
 
+	// ringPack packs S masked sums per plaintext in the batched ring
+	// circulation (nil with packing off): the coordinator packs its
+	// partials with the bias, every other party folds its contribution in
+	// bias-free (PackRaw), so each hop carries ⌈n/S⌉ ciphertexts and the
+	// coordinator unpacks the biased sums once. All parties derive it from
+	// the shared coordinator key and the handshake-agreed domain bound.
+	ringPack *encoding.Packer
+	// cmpPackB is the last party's packed-reply compare packer (nil for
+	// YMPP or packing off), kept for ciphertext accounting.
+	cmpPackB *encoding.Packer
+
 	pairCount atomic.Int64 // within-Eps bits revealed (workers count concurrently)
+	ctsSent   atomic.Int64 // Paillier ciphertexts this party put on the wire
 	idxCoords int          // cell coordinates received in the index circulation
 }
+
+// packing reports whether slot packing is on for this session.
+func (st *state) packing() bool { return st.cfg.Packing == core.PackSlots }
 
 // edgeChannels splits one ring edge into W worker channels (or returns
 // the bare edge for W = 1).
@@ -462,6 +509,7 @@ func (st *state) handshake() error {
 			maxCoord: st.cfg.MaxCoord,
 			engine:   string(st.cfg.Engine),
 			batching: string(st.cfg.Batching),
+			packing:  string(st.cfg.Packing),
 			pruning:  string(st.cfg.Pruning),
 			quantum:  st.cfg.PruneQuantum,
 			parallel: st.cfg.Parallel,
@@ -515,6 +563,8 @@ func (st *state) handshake() error {
 		return fmt.Errorf("%w: engine %q vs %q", ErrHandshake, st.cfg.Engine, tok.engine)
 	case tok.batching != string(st.cfg.Batching):
 		return fmt.Errorf("%w: batching %q vs %q", ErrHandshake, st.cfg.Batching, tok.batching)
+	case tok.packing != string(st.cfg.Packing):
+		return fmt.Errorf("%w: packing %q vs %q", ErrHandshake, st.cfg.Packing, tok.packing)
 	case tok.pruning != string(st.cfg.Pruning):
 		return fmt.Errorf("%w: pruning %q vs %q", ErrHandshake, st.cfg.Pruning, tok.pruning)
 	case tok.quantum != st.cfg.PruneQuantum:
@@ -684,16 +734,55 @@ func (st *state) buildEngines() error {
 		if limit.Cmp(st.paiPub.PlaintextBound()) >= 0 {
 			return fmt.Errorf("multiparty: bound %d with %d mask bits overflows the Paillier plaintext space", bound, st.cfg.CmpMaskBits)
 		}
+		// Both comparison roles live on the coordinator's key, so both
+		// endpoints derive the same reply packer.
+		var cp *encoding.Packer
+		if st.packing() {
+			var err error
+			if cp, err = encoding.NewComparePacker(st.paiPub.PlaintextBound(), bound, st.cfg.CmpMaskBits); err != nil {
+				return fmt.Errorf("multiparty: comparison packer: %w", err)
+			}
+		}
 		if st.isCoordinator() {
-			st.cmpA = &compare.MaskedAlice{Key: st.paiKey, Max: bound, Random: st.random, Pool: st.pool}
+			st.cmpA = &compare.MaskedAlice{Key: st.paiKey, Max: bound, Random: st.random, Pool: st.pool, Packer: cp}
 		}
 		if st.isLast() {
-			st.cmpB = &compare.MaskedBob{Pub: st.paiPub, Max: bound, MaskBits: st.cfg.CmpMaskBits, Random: st.random, Pool: st.pool}
+			st.cmpB = &compare.MaskedBob{Pub: st.paiPub, Max: bound, MaskBits: st.cfg.CmpMaskBits, Random: st.random, Pool: st.pool, Packer: cp}
+			st.cmpPackB = cp
 		}
 	default:
 		return fmt.Errorf("multiparty: unknown engine %q", st.cfg.Engine)
 	}
+	if st.packing() {
+		// The ring accumulation packs under the coordinator's key; every
+		// slot's final value is one masked sum in [0, bound + V).
+		rp, err := encoding.NewSumPacker(st.paiPub.PlaintextBound(), bound)
+		if err != nil {
+			return fmt.Errorf("multiparty: ring packer: %w", err)
+		}
+		st.ringPack = rp
+	}
 	return nil
+}
+
+// cmpUplinkCts counts the Paillier ciphertexts this party's comparison
+// side sends for an n-instance batch (zero for YMPP, whose payloads are
+// RSA).
+func (st *state) cmpUplinkCts(n int) int64 {
+	if st.cfg.Engine != compare.EngineMasked {
+		return 0
+	}
+	return int64(n) // Alice's masked uplink never packs (per-instance multipliers)
+}
+
+func (st *state) cmpReplyCts(n int) int64 {
+	if st.cfg.Engine != compare.EngineMasked {
+		return 0
+	}
+	if st.cmpPackB != nil {
+		return int64(st.cmpPackB.Groups(n))
+	}
+	return int64(n)
 }
 
 // partial computes this party's local sum of squared attribute
@@ -719,6 +808,7 @@ func (st *state) pairLE(i, j int) (bool, error) {
 		if err != nil {
 			return false, err
 		}
+		st.ctsSent.Add(1)
 		if err := transport.SendMsg(next, transport.NewBuilder().PutBig(ct)); err != nil {
 			return false, fmt.Errorf("multiparty: ring send: %w", err)
 		}
@@ -738,6 +828,7 @@ func (st *state) pairLE(i, j int) (bool, error) {
 			return false, fmt.Errorf("multiparty: masked sum %v outside [0,%d)", t, st.bound+st.shareV)
 		}
 		// t = dist² + v ≤ Eps² + v ⟺ dist² ≤ Eps².
+		st.ctsSent.Add(st.cmpUplinkCts(1))
 		in, err := st.cmpA.LessEq(prev, t.Int64())
 		if err != nil {
 			return false, err
@@ -776,11 +867,13 @@ func (st *state) pairLE(i, j int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	st.ctsSent.Add(1)
 	if err := transport.SendMsg(next, transport.NewBuilder().PutBig(acc)); err != nil {
 		return false, fmt.Errorf("multiparty: ring forward: %w", err)
 	}
 	if st.isLast() {
 		// Participate in the comparison with right side Eps² + v.
+		st.ctsSent.Add(st.cmpReplyCts(1))
 		if _, err := st.cmpB.LessEq(next, st.epsSq+v); err != nil {
 			return false, err
 		}
@@ -821,10 +914,26 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 	}
 
 	if st.isCoordinator() {
-		cts, err := st.paiPub.EncryptInt64Batch(st.pool, st.random, partials)
+		var cts []*big.Int
+		var err error
+		if pk := st.ringPack; pk != nil {
+			// Pack S partials per plaintext; the bias enters here, exactly
+			// once, and every later hop contributes bias-free.
+			packed := make([]*big.Int, pk.Groups(len(partials)))
+			for g := range packed {
+				lo := g * pk.Slots()
+				if packed[g], err = pk.PackInt64(partials[lo : lo+pk.GroupLen(len(partials), g)]); err != nil {
+					return nil, err
+				}
+			}
+			cts, err = st.paiPub.EncryptBatch(st.pool, st.random, packed)
+		} else {
+			cts, err = st.paiPub.EncryptInt64Batch(st.pool, st.random, partials)
+		}
 		if err != nil {
 			return nil, err
 		}
+		st.ctsSent.Add(int64(len(cts)))
 		if err := transport.SendMsg(next, transport.NewBuilder().PutBigs(cts)); err != nil {
 			return nil, fmt.Errorf("multiparty: ring batch send: %w", err)
 		}
@@ -836,21 +945,43 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 		if r.Err() != nil {
 			return nil, r.Err()
 		}
-		if len(accs) != len(pairs) {
-			return nil, fmt.Errorf("multiparty: ring returned %d ciphertexts for %d pairs", len(accs), len(pairs))
+		if len(accs) != len(cts) {
+			return nil, fmt.Errorf("multiparty: ring returned %d ciphertexts, want %d", len(accs), len(cts))
 		}
-		ts, err := st.paiKey.DecryptSignedBatch(st.pool, accs)
-		if err != nil {
-			return nil, err
-		}
-		vals := make([]int64, len(ts))
-		for t, ti := range ts {
-			if ti.Sign() < 0 || ti.Int64() >= st.bound+st.shareV {
-				return nil, fmt.Errorf("multiparty: masked sum %v outside [0,%d)", ti, st.bound+st.shareV)
+		var vals []int64
+		if pk := st.ringPack; pk != nil {
+			plains, err := st.paiKey.DecryptBatch(st.pool, accs)
+			if err != nil {
+				return nil, err
 			}
-			// t = dist² + v ≤ Eps² + v ⟺ dist² ≤ Eps².
-			vals[t] = ti.Int64()
+			vals = make([]int64, 0, len(pairs))
+			for g, pt := range plains {
+				sv, err := pk.UnpackInt64(pt, pk.GroupLen(len(pairs), g))
+				if err != nil {
+					return nil, fmt.Errorf("multiparty: ring unpack: %w", err)
+				}
+				vals = append(vals, sv...)
+			}
+		} else {
+			ts, err := st.paiKey.DecryptSignedBatch(st.pool, accs)
+			if err != nil {
+				return nil, err
+			}
+			vals = make([]int64, len(ts))
+			for t, ti := range ts {
+				if ti.Sign() < 0 || ti.Int64() >= st.bound+st.shareV {
+					return nil, fmt.Errorf("multiparty: masked sum %v outside [0,%d)", ti, st.bound+st.shareV)
+				}
+				vals[t] = ti.Int64()
+			}
 		}
+		for _, v := range vals {
+			// v = dist² + mask ≤ Eps² + mask ⟺ dist² ≤ Eps².
+			if v < 0 || v >= st.bound+st.shareV {
+				return nil, fmt.Errorf("multiparty: masked sum %d outside [0,%d)", v, st.bound+st.shareV)
+			}
+		}
+		st.ctsSent.Add(st.cmpUplinkCts(len(vals)))
 		ins, err := st.cmpA.BatchLessEq(prev, vals)
 		if err != nil {
 			return nil, err
@@ -871,7 +1002,11 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	if len(accs) != len(pairs) {
+	wantCts := len(pairs)
+	if st.ringPack != nil {
+		wantCts = st.ringPack.Groups(len(pairs))
+	}
+	if len(accs) != wantCts {
 		return nil, fmt.Errorf("multiparty: ring carried %d ciphertexts for %d pairs", len(accs), len(pairs))
 	}
 	adds := partials
@@ -886,7 +1021,25 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 			adds[t] += masks[t]
 		}
 	}
-	terms, err := st.paiPub.EncryptInt64Batch(st.pool, st.random, adds)
+	var terms []*big.Int
+	if pk := st.ringPack; pk != nil {
+		// Mid-ring contribution: bias-free packing (the coordinator already
+		// supplied the one bias per slot).
+		packed := make([]*big.Int, pk.Groups(len(adds)))
+		for g := range packed {
+			lo := g * pk.Slots()
+			raw := make([]*big.Int, pk.GroupLen(len(adds), g))
+			for s := range raw {
+				raw[s] = big.NewInt(adds[lo+s])
+			}
+			if packed[g], err = pk.PackRaw(raw); err != nil {
+				return nil, err
+			}
+		}
+		terms, err = st.paiPub.EncryptBatch(st.pool, st.random, packed)
+	} else {
+		terms, err = st.paiPub.EncryptInt64Batch(st.pool, st.random, adds)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -900,6 +1053,7 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 	}); err != nil {
 		return nil, err
 	}
+	st.ctsSent.Add(int64(len(accs)))
 	if err := transport.SendMsg(next, transport.NewBuilder().PutBigs(accs)); err != nil {
 		return nil, fmt.Errorf("multiparty: ring batch forward: %w", err)
 	}
@@ -909,6 +1063,7 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 		for t := range rights {
 			rights[t] = st.epsSq + masks[t]
 		}
+		st.ctsSent.Add(st.cmpReplyCts(len(rights)))
 		if _, err := st.cmpB.BatchLessEq(next, rights); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,150 @@
+package multiparty
+
+import (
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// The multiparty packing harness mirrors the core one: ring and mesh
+// runs under Packing "off" and "slots" must be observably identical —
+// labels, pair-decision / region-query budgets, index disclosure — while
+// the packed run puts strictly fewer Paillier ciphertexts on the wire.
+
+func packCfg(packing core.PackMode) Config {
+	cfg := testCfg(compare.EngineMasked)
+	cfg.Packing = packing
+	return cfg
+}
+
+func ringCts(results []*Result) int64 {
+	var n int64
+	for _, r := range results {
+		n += r.CiphertextsSent
+	}
+	return n
+}
+
+func meshCts(results []*HorizontalResult) int64 {
+	var n int64
+	for _, r := range results {
+		n += r.CiphertextsSent
+	}
+	return n
+}
+
+func TestRingPackingEquivalence(t *testing.T) {
+	points := gridData(t, 18, 3, 11)
+	for _, k := range []int{2, 3} {
+		for _, pruning := range []core.PruneMode{core.PruneOff, core.PruneGrid} {
+			offCfg := packCfg(core.PackOff)
+			offCfg.Pruning = pruning
+			offResults, err := runRing(t, offCfg, splitColumns(points, k))
+			if err != nil {
+				t.Fatalf("k=%d pruning=%s unpacked: %v", k, pruning, err)
+			}
+			onCfg := packCfg(core.PackSlots)
+			onCfg.Pruning = pruning
+			onResults, err := runRing(t, onCfg, splitColumns(points, k))
+			if err != nil {
+				t.Fatalf("k=%d pruning=%s packed: %v", k, pruning, err)
+			}
+			for p := range offResults {
+				if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
+					t.Errorf("k=%d pruning=%s party %d labels diverge: packed %v, unpacked %v",
+						k, pruning, p, onResults[p].Labels, offResults[p].Labels)
+				}
+				if onResults[p].PairDecisions != offResults[p].PairDecisions {
+					t.Errorf("k=%d pruning=%s party %d pair decisions: packed %d, unpacked %d",
+						k, pruning, p, onResults[p].PairDecisions, offResults[p].PairDecisions)
+				}
+				if onResults[p].IndexCellCoords != offResults[p].IndexCellCoords {
+					t.Errorf("k=%d pruning=%s party %d index disclosure: packed %d, unpacked %d",
+						k, pruning, p, onResults[p].IndexCellCoords, offResults[p].IndexCellCoords)
+				}
+			}
+			if on, off := ringCts(onResults), ringCts(offResults); on >= off {
+				t.Errorf("k=%d pruning=%s: packed ring sent %d ciphertexts, unpacked %d — want strictly fewer",
+					k, pruning, on, off)
+			}
+		}
+	}
+}
+
+// TestRingPackingEquivalenceParallel re-runs the k=3 ring under the W=2
+// wave scheduler: worker channels carry packed circulations
+// independently and the outcome contract is unchanged.
+func TestRingPackingEquivalenceParallel(t *testing.T) {
+	points := gridData(t, 18, 3, 11)
+	offCfg := packCfg(core.PackOff)
+	offCfg.Parallel = 2
+	offResults, err := runRing(t, offCfg, splitColumns(points, 3))
+	if err != nil {
+		t.Fatalf("unpacked: %v", err)
+	}
+	onCfg := packCfg(core.PackSlots)
+	onCfg.Parallel = 2
+	onResults, err := runRing(t, onCfg, splitColumns(points, 3))
+	if err != nil {
+		t.Fatalf("packed: %v", err)
+	}
+	for p := range offResults {
+		if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
+			t.Errorf("party %d labels diverge between packed and unpacked parallel rings", p)
+		}
+		if onResults[p].PairDecisions != offResults[p].PairDecisions {
+			t.Errorf("party %d pair decisions: packed %d, unpacked %d",
+				p, onResults[p].PairDecisions, offResults[p].PairDecisions)
+		}
+	}
+	if on, off := ringCts(onResults), ringCts(offResults); on >= off {
+		t.Errorf("packed parallel ring sent %d ciphertexts, unpacked %d — want strictly fewer", on, off)
+	}
+}
+
+func TestMeshPackingEquivalence(t *testing.T) {
+	for _, pruning := range []core.PruneMode{core.PruneOff, core.PruneGrid} {
+		offCfg := packCfg(core.PackOff)
+		offCfg.Pruning = pruning
+		offResults, offErrs := runMesh(t, sameCfgs(3, offCfg), threePartyPoints)
+		for p, err := range offErrs {
+			if err != nil {
+				t.Fatalf("pruning=%s party %d unpacked: %v", pruning, p, err)
+			}
+		}
+		onCfg := packCfg(core.PackSlots)
+		onCfg.Pruning = pruning
+		onResults, onErrs := runMesh(t, sameCfgs(3, onCfg), threePartyPoints)
+		for p, err := range onErrs {
+			if err != nil {
+				t.Fatalf("pruning=%s party %d packed: %v", pruning, p, err)
+			}
+		}
+		for p := range offResults {
+			if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
+				t.Errorf("pruning=%s party %d labels diverge: packed %v, unpacked %v",
+					pruning, p, onResults[p].Labels, offResults[p].Labels)
+			}
+			if onResults[p].RegionQueries != offResults[p].RegionQueries {
+				t.Errorf("pruning=%s party %d region queries: packed %d, unpacked %d",
+					pruning, p, onResults[p].RegionQueries, offResults[p].RegionQueries)
+			}
+		}
+		if on, off := meshCts(onResults), meshCts(offResults); on >= off {
+			t.Errorf("pruning=%s: packed mesh sent %d ciphertexts, unpacked %d — want strictly fewer",
+				pruning, on, off)
+		}
+	}
+}
+
+// TestPackingRequiresBatched pins the validation rule shared with the
+// two-party stack: slot packing presupposes the batched round structure.
+func TestPackingRequiresBatched(t *testing.T) {
+	cfg := packCfg(core.PackSlots)
+	cfg.Batching = core.BatchModeSequential
+	if err := cfg.withDefaults().validate(); err == nil {
+		t.Fatal("sequential batching with slot packing validated")
+	}
+}

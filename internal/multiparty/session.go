@@ -317,6 +317,7 @@ func (rs *RingSession) Run() (*Result, error) {
 	st := rs.st
 	cfg := st.cfg
 	startPairs := st.pairCount.Load()
+	startCts := st.ctsSent.Load()
 	rs.cached.Store(0)
 	onPruned := func([2]int) { st.pairCount.Add(1) }
 	onCached := func(pr [2]int, in bool) {
@@ -355,6 +356,7 @@ func (rs *RingSession) Run() (*Result, error) {
 		PairDecisions:   int(st.pairCount.Load() - startPairs),
 		CachedPairs:     int(rs.cached.Load()),
 		IndexCellCoords: st.idxCoords,
+		CiphertextsSent: st.ctsSent.Load() - startCts,
 	}, nil
 }
 
