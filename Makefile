@@ -5,14 +5,14 @@
 # BENCH_E15.json, the E16 session-concurrency sweep to BENCH_E16.json,
 # and the E17 streaming append sweep to BENCH_E17.json, the E18
 # sliding-window expiry sweep to BENCH_E18.json, the E19 retraction
-# sweep to BENCH_E19.json, and the E20 plaintext-packing ablation to
-# BENCH_E20.json so the
-# performance trajectory is tracked PR over PR. Every bench file is
+# sweep to BENCH_E19.json, the E20 plaintext-packing ablation to
+# BENCH_E20.json, and the E21 packed-uplink ablation to BENCH_E21.json
+# so the performance trajectory is tracked PR over PR. Every bench file is
 # stamped with the commit hash and Go version.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 bench-e19 bench-e20 fuzz clean
+.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 bench-e19 bench-e20 bench-e21 fuzz clean
 
 all: build
 
@@ -53,6 +53,8 @@ bench:
 	@cat BENCH_E19.json
 	$(GO) run ./cmd/ppdbscan bench -suite e20 -quick -out BENCH_E20.json
 	@cat BENCH_E20.json
+	$(GO) run ./cmd/ppdbscan bench -suite e21 -quick -out BENCH_E21.json
+	@cat BENCH_E21.json
 
 # Streaming append sweep only (BENCH_E17.json).
 bench-e17:
@@ -76,6 +78,12 @@ bench-e20:
 	$(GO) run ./cmd/ppdbscan bench -suite e20 -out BENCH_E20.json
 	@cat BENCH_E20.json
 
+# Packed-uplink ablation only (BENCH_E21.json). Full-size rows like
+# bench-e20: the uplink reduction is the headline number.
+bench-e21:
+	$(GO) run ./cmd/ppdbscan bench -suite e21 -out BENCH_E21.json
+	@cat BENCH_E21.json
+
 # Short fuzz pass over the wire, batch-frame, mux-frame, and spatial-grid
 # codecs.
 fuzz:
@@ -87,6 +95,7 @@ fuzz:
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzTombstoneDelta -fuzztime 10s
 	$(GO) test ./internal/spatial -run NONE -fuzz FuzzPointTombstone -fuzztime 10s
 	$(GO) test ./internal/encoding -run NONE -fuzz FuzzSlotPack -fuzztime 10s
+	$(GO) test ./internal/compare -run NONE -fuzz FuzzPackedUplink -fuzztime 10s
 
 clean:
-	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json BENCH_E19.json BENCH_E20.json
+	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json BENCH_E19.json BENCH_E20.json BENCH_E21.json

@@ -19,8 +19,8 @@
 //	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [-appends K -append-batch B [-window]] [-retract N] [flags]
 //	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [-appends K -append-batch B [-window]] [-retract N] [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e20 [-quick] [-seed N]
-//	ppdbscan bench       [-suite e11|e14|e15|e16|e17|e18|e19|e20] [-quick] [-seed N] [-out BENCH_E11.json]
+//	ppdbscan experiments -id all|e1..e21 [-quick] [-seed N]
+//	ppdbscan bench       [-suite e11|e14|e15|e16|e17|e18|e19|e20|e21] [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
@@ -91,8 +91,8 @@ commands:
   client       drive a long-lived session: N clustering runs over one key exchange
   loadgen      drive C concurrent client sessions x R runs each against a server
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e20 or all)
-  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17|e18|e19|e20) and write JSON measurements
+  experiments  regenerate the paper's evaluation tables (e1..e21 or all)
+  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17|e18|e19|e20|e21) and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
 
 E14 is the grid-pruning ablation: -pruning grid (default) buckets each
@@ -114,7 +114,11 @@ E20 is the plaintext-packing ablation: -packing slots (default) packs S
 fixed-point values per Paillier plaintext (slot-shifted encoding), so
 the masked-product and comparison-reply frames carry ~S× fewer
 ciphertexts; -packing off keeps one value per ciphertext for A/B
-comparison. Labels and leakage are identical either way.
+comparison. Labels and leakage are identical either way. E21 is the
+packed-uplink ablation: -packing full additionally packs the masked
+comparison uplink (grouped or derived per batch, with a per-instance
+fallback so full never costs more than slots), splitting every
+ciphertext count into uplink and downlink legs.
 
 run 'ppdbscan <command> -h' for flags.
 `)
@@ -144,7 +148,7 @@ func addProtocolFlags(fs *flag.FlagSet) *protocolFlags {
 	fs.StringVar(&p.engine, "engine", "masked", "secure comparison engine: ympp|masked")
 	fs.StringVar(&p.selection, "selection", "scan", "§5 selection strategy: scan|quickselect")
 	fs.StringVar(&p.batching, "batching", "batched", "comparison round structure: batched|sequential")
-	fs.StringVar(&p.packing, "packing", "slots", "plaintext encoding: slots (slot-packed ciphertext frames)|off (one value per ciphertext)")
+	fs.StringVar(&p.packing, "packing", "slots", "plaintext encoding: slots (slot-packed ciphertext frames)|full (slots plus the packed comparison uplink)|off (one value per ciphertext)")
 	fs.StringVar(&p.pruning, "pruning", "grid", "candidate-set structure: grid (Eps-grid candidate index)|off (exhaustive)")
 	fs.IntVar(&p.parallel, "parallel", 1, "query scheduler worker width W (1 = sequential; >1 multiplexes W channels)")
 	fs.Int64Var(&p.seed, "seed", 1, "seed for datasets and permutations")
@@ -530,7 +534,7 @@ func cmdGen(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (e1..e20) or all")
+	id := fs.String("id", "all", "experiment id (e1..e21) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
@@ -584,7 +588,7 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller workload")
 	seed := fs.Int64("seed", 1, "bench seed")
-	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17|e18|e19|e20")
+	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17|e18|e19|e20|e21")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -609,8 +613,10 @@ func cmdBench(args []string) error {
 		rows, err = experiments.BenchE19(opt)
 	case "e20":
 		rows, err = experiments.BenchE20(opt)
+	case "e21":
+		rows, err = experiments.BenchE21(opt)
 	default:
-		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, e17, e18, e19, or e20)", *suite)
+		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, e17, e18, e19, e20, or e21)", *suite)
 	}
 	if err != nil {
 		return fmt.Errorf("bench suite %s failed: %w", *suite, err)

@@ -193,6 +193,19 @@ func (l *latencyRecorder) percentile(p float64) time.Duration {
 	return sorted[rank-1]
 }
 
+// ctsTally accumulates the client-side Paillier ciphertext counts
+// across every loadgen run, split by direction: uplink is the request
+// leg (the comparison uplink "full" packing shrinks), downlink the
+// response leg (the masked replies "slots" packing shrinks).
+type ctsTally struct {
+	up, down atomic.Int64
+}
+
+func (t *ctsTally) add(res *core.Result) {
+	t.up.Add(res.CiphertextsUplink)
+	t.down.Add(res.CiphertextsDownlink)
+}
+
 // cmdLoadgen drives C concurrent client sessions × R runs each against
 // one serve process and reports aggregate throughput plus per-run
 // latency percentiles.
@@ -235,6 +248,7 @@ func cmdLoadgen(args []string) error {
 	var group transport.MeterGroup
 	var runsDone atomic.Int64
 	var lat latencyRecorder
+	var cts ctsTally
 	errs := make([]error, *clients)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -242,7 +256,7 @@ func cmdLoadgen(args []string) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, *window, *retract, &runsDone, &lat)
+			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, *window, *retract, &runsDone, &lat, &cts)
 		}(c)
 	}
 	wg.Wait()
@@ -267,6 +281,8 @@ func cmdLoadgen(args []string) error {
 	fmt.Printf("loadgen: wall %v, aggregate %d bytes in %d messages, %.2f runs/sec\n",
 		wall.Round(time.Millisecond), agg.Total(), agg.Messages(),
 		float64(done)/max(wall.Seconds(), 1e-9))
+	fmt.Printf("loadgen: client paillier ciphertexts: %d uplink, %d downlink\n",
+		cts.up.Load(), cts.down.Load())
 	if lat.count() > 0 {
 		fmt.Printf("loadgen: per-run latency p50 %v, p95 %v over %d runs\n",
 			lat.percentile(50).Round(time.Millisecond), lat.percentile(95).Round(time.Millisecond), lat.count())
@@ -280,7 +296,7 @@ func cmdLoadgen(args []string) error {
 // driveClient runs one loadgen client: dial, establish a session over
 // the initial points, R runs, then one append+run (or, with window set,
 // window-slide+run) per batch, an optional retract+run, close.
-func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, retract int, runsDone *atomic.Int64, lat *latencyRecorder) error {
+func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, retract int, runsDone *atomic.Int64, lat *latencyRecorder, cts *ctsTally) error {
 	conn, err := transport.Dial(connect)
 	if err != nil {
 		return err
@@ -293,9 +309,11 @@ func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Con
 	}
 	timedRun := func() error {
 		runStart := time.Now()
-		if _, err := sess.Run(); err != nil {
+		res, err := sess.Run()
+		if err != nil {
 			return err
 		}
+		cts.add(res)
 		lat.add(time.Since(runStart))
 		runsDone.Add(1)
 		return nil

@@ -64,6 +64,11 @@ func (b *YMPPBob) BatchLess(conn transport.Conn, vs []int64) ([]bool, error) {
 // one frame of E(a_t), one frame of masked differences back, one frame of
 // result bits out.
 func (a *MaskedAlice) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool, error) {
+	if a.UplinkPacker != nil {
+		// "full" packing: the packed-uplink wire form (full.go) chooses
+		// per batch between grouped and per-instance uplinks.
+		return a.runBatchFull(conn, vs, pred)
+	}
 	for t, v := range vs {
 		if err := checkInput(v, a.Max); err != nil {
 			return nil, fmt.Errorf("compare: batch[%d]: %w", t, err)
@@ -84,6 +89,7 @@ func (a *MaskedAlice) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bo
 	if err := transport.SendMsg(conn, msg); err != nil {
 		return nil, fmt.Errorf("compare: alice batch send: %w", err)
 	}
+	addSent(a.Sent, len(cts))
 	r, err := transport.RecvMsg(conn)
 	if err != nil {
 		return nil, fmt.Errorf("compare: alice batch recv: %w", err)
@@ -95,26 +101,9 @@ func (a *MaskedAlice) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bo
 	var les []bool
 	if a.Packer != nil {
 		// Packed replies: ⌈count/S⌉ ciphertexts, each carrying S biased
-		// masked differences. The packed value is non-negative by
-		// construction (< n/2), so plain decryption applies; Unpack
-		// removes the bias and restores each difference's sign.
-		if groups := a.Packer.Groups(len(vs)); len(replies) != groups {
-			return nil, fmt.Errorf("compare: batch sent %d values, got %d packed replies (want %d)", len(vs), len(replies), groups)
-		}
-		packed, err := a.Key.DecryptBatch(a.Pool, replies)
-		if err != nil {
+		// masked differences.
+		if les, err = a.unpackReplies(a.Packer, len(vs), replies); err != nil {
 			return nil, err
-		}
-		les = make([]bool, len(vs))
-		for g, pv := range packed {
-			slots, err := a.Packer.Unpack(pv, a.Packer.GroupLen(len(vs), g))
-			if err != nil {
-				return nil, fmt.Errorf("compare: packed reply %d: %w", g, err)
-			}
-			for s, ti := range slots {
-				// t_i = r·(b′_i−a_i) + r′ with 0 ≤ r′ < r, so t_i ≥ 0 ⟺ a_i ≤ b′_i.
-				les[g*a.Packer.Slots()+s] = ti.Sign() >= 0
-			}
 		}
 	} else {
 		if len(replies) != len(vs) {
@@ -151,6 +140,11 @@ func (a *MaskedAlice) BatchLess(conn transport.Conn, vs []int64) ([]bool, error)
 // goroutine-safe); the homomorphic arithmetic runs on the parallel
 // Paillier pool.
 func (b *MaskedBob) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool, error) {
+	if b.UplinkPacker != nil {
+		// "full" packing: the packed-uplink wire form (full.go) parses
+		// the mode Alice chose for this batch.
+		return b.runBatchFull(conn, vs, pred)
+	}
 	for t, v := range vs {
 		if err := checkInput(v, b.Max); err != nil {
 			return nil, fmt.Errorf("compare: batch[%d]: %w", t, err)
@@ -178,35 +172,9 @@ func (b *MaskedBob) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool
 	if len(cas) != len(vs) {
 		return nil, fmt.Errorf("compare: batch holds %d values, got %d ciphertexts", len(vs), len(cas))
 	}
-	maskBits := b.MaskBits
-	if maskBits <= 0 {
-		maskBits = DefaultMaskBits
-	}
-	maskSpace := new(big.Int).Lsh(big.NewInt(1), uint(maskBits))
-
-	// Per-instance masks, sampled sequentially: r ∈ [1, 2^κ), r′ ∈ [0, r);
-	// t = r·(b−a) + r′ keeps sign(b−a).
-	rMasks := make([]*big.Int, len(vs))
-	plains := make([]*big.Int, len(vs))
-	for t, v := range vs {
-		bVal := v
-		if pred == predLess {
-			// a < b ⟺ a ≤ b−1.
-			bVal = v - 1
-		}
-		rMask, err := rand.Int(random, maskSpace)
-		if err != nil {
-			return nil, err
-		}
-		rMask.Add(rMask, big.NewInt(1))
-		rPrime, err := rand.Int(random, rMask)
-		if err != nil {
-			return nil, err
-		}
-		rMasks[t] = rMask
-		plain := new(big.Int).Mul(big.NewInt(bVal), rMask)
-		plain.Add(plain, rPrime)
-		plains[t] = plain
+	rMasks, plains, err := b.sampleMasks(vs, pred, random)
+	if err != nil {
+		return nil, err
 	}
 	var cts []*big.Int
 	if b.Packer != nil {
@@ -217,38 +185,10 @@ func (b *MaskedBob) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool
 		// non-negative, never carrying into the neighbouring slot. The
 		// masks r, r′ stay independent per instance exactly as in the
 		// unpacked path; packing compresses the frame, not the masking.
-		pk := b.Packer
-		groups := pk.Groups(len(vs))
-		packedPlains := make([]*big.Int, groups)
-		for g := range packedPlains {
-			n := pk.GroupLen(len(vs), g)
-			packed, err := pk.Pack(plains[g*pk.Slots() : g*pk.Slots()+n])
-			if err != nil {
-				return nil, fmt.Errorf("compare: packing reply group %d: %w", g, err)
-			}
-			packedPlains[g] = packed
-		}
-		term2s, err := b.Pub.EncryptBatch(b.Pool, random, packedPlains)
+		cts, err = b.packedReplies(b.Packer, len(vs), rMasks, plains, random, func(t int) (*big.Int, error) {
+			return cas[t], nil
+		})
 		if err != nil {
-			return nil, err
-		}
-		cts = make([]*big.Int, groups)
-		if err := paillier.ParallelFor(b.Pool, groups, func(g int) error {
-			ct := term2s[g]
-			for s := 0; s < pk.GroupLen(len(vs), g); s++ {
-				t := g*pk.Slots() + s
-				// E(a_t)^(−r_t·2^{w·s}) places −r_t·a_t into slot s.
-				term, err := b.Pub.Mul(cas[t], new(big.Int).Neg(pk.Shift(rMasks[t], s)))
-				if err != nil {
-					return err
-				}
-				if ct, err = b.Pub.Add(ct, term); err != nil {
-					return err
-				}
-			}
-			cts[g] = ct
-			return nil
-		}); err != nil {
 			return nil, err
 		}
 	} else {
@@ -276,6 +216,7 @@ func (b *MaskedBob) runBatch(conn transport.Conn, vs []int64, pred byte) ([]bool
 	if err := transport.SendMsg(conn, transport.NewBuilder().PutBigs(cts)); err != nil {
 		return nil, fmt.Errorf("compare: bob batch send: %w", err)
 	}
+	addSent(b.Sent, len(cts))
 	res, err := transport.RecvMsg(conn)
 	if err != nil {
 		return nil, fmt.Errorf("compare: bob batch recv result: %w", err)

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync/atomic"
 
 	"repro/internal/encoding"
 	"repro/internal/paillier"
@@ -163,30 +164,56 @@ var ErrPredicateMismatch = errors.New("compare: parties invoked different predic
 // Packer, when non-nil, makes batch replies arrive slot-packed: Bob
 // packs S masked differences per ciphertext (encoding.NewComparePacker
 // over the same key and bound derives identical packers on both sides).
-// Only the reply direction packs — the E(a_t) uplink stays one
-// ciphertext per instance, because the masking multiplier r must be
-// independent per instance; sharing one r across a packed slot group
-// would hand Alice the exact magnitude ratios of the differences.
-// Scalar calls ignore the Packer.
+// Under Packer alone ("slots" packing) only the reply direction packs —
+// the E(a_t) uplink stays one ciphertext per instance, because the
+// masking multiplier r must be independent per instance; sharing one r
+// across a packed slot group would hand Alice the exact magnitude
+// ratios of the differences. Scalar calls ignore the Packer.
+//
+// UplinkPacker, when additionally non-nil ("full" packing,
+// encoding.NewUplinkComparePacker on both sides), compresses the uplink
+// too — not by sharing multipliers, which stays forbidden, but by
+// restructuring the round so Bob applies each instance's fresh r_t
+// homomorphically per slot before the slot fold (see full.go). Batch
+// replies then pack with the widened UplinkPacker; the Packer is kept
+// for the per-instance fallback batches where grouping cannot win.
+//
+// Sent, when non-nil, accumulates the Paillier ciphertexts this side
+// actually put on the wire, call by call — the engine owns the count
+// because under full packing the uplink cost depends on runtime batch
+// content (how many distinct operands a batch holds), which callers
+// cannot predict.
 type MaskedAlice struct {
-	Key    *paillier.PrivateKey
-	Max    int64
-	Random io.Reader
-	Pool   *paillier.Pool
-	Packer *encoding.Packer
+	Key          *paillier.PrivateKey
+	Max          int64
+	Random       io.Reader
+	Pool         *paillier.Pool
+	Packer       *encoding.Packer
+	UplinkPacker *encoding.Packer
+	Sent         *atomic.Int64
 }
 
 // MaskedBob is the homomorphic side of the masked-sign engine. Pool
 // mirrors MaskedAlice.Pool for the batched homomorphic arithmetic;
-// Packer mirrors MaskedAlice.Packer and must agree with the peer's
-// (both derive from handshake-checked parameters).
+// Packer and UplinkPacker mirror MaskedAlice's and must agree with the
+// peer's (both derive from handshake-checked parameters); Sent counts
+// this side's reply ciphertexts.
 type MaskedBob struct {
-	Pub      *paillier.PublicKey
-	Max      int64
-	MaskBits int
-	Random   io.Reader
-	Pool     *paillier.Pool
-	Packer   *encoding.Packer
+	Pub          *paillier.PublicKey
+	Max          int64
+	MaskBits     int
+	Random       io.Reader
+	Pool         *paillier.Pool
+	Packer       *encoding.Packer
+	UplinkPacker *encoding.Packer
+	Sent         *atomic.Int64
+}
+
+// addSent accumulates n ciphertexts into a nil-safe counter.
+func addSent(c *atomic.Int64, n int) {
+	if c != nil {
+		c.Add(int64(n))
+	}
 }
 
 // NewMaskedPair builds both sides of a masked engine from one Paillier key
@@ -224,6 +251,7 @@ func (a *MaskedAlice) run(conn transport.Conn, v int64, pred byte) (bool, error)
 	if err := transport.SendMsg(conn, msg); err != nil {
 		return false, fmt.Errorf("compare: alice send: %w", err)
 	}
+	addSent(a.Sent, 1)
 	r, err := transport.RecvMsg(conn)
 	if err != nil {
 		return false, fmt.Errorf("compare: alice recv: %w", err)
@@ -315,6 +343,7 @@ func (b *MaskedBob) run(conn transport.Conn, v int64, pred byte) (bool, error) {
 	if err := transport.SendMsg(conn, transport.NewBuilder().PutBig(ct)); err != nil {
 		return false, fmt.Errorf("compare: bob send: %w", err)
 	}
+	addSent(b.Sent, 1)
 	res, err := transport.RecvMsg(conn)
 	if err != nil {
 		return false, fmt.Errorf("compare: bob recv result: %w", err)

@@ -690,12 +690,14 @@ func (a *adpState) batchLE(conn transport.Conn, pairs [][2]int, engA compare.Ali
 				if err := mpc.SenderScatterMultiply(conn, s.peerPai, ys, vs, pk, s.random, s.pool); err != nil {
 					return nil, fmt.Errorf("core: adp packed multiplication: %w", err)
 				}
-				s.ctsSent.Add(int64(pk.Groups(totalMixed)))
+				// Masked products answering the peer's scattered operands:
+				// response leg.
+				s.ctsDown.Add(int64(pk.Groups(totalMixed)))
 			} else {
 				if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random, s.pool); err != nil {
 					return nil, fmt.Errorf("core: adp batch multiplication: %w", err)
 				}
-				s.ctsSent.Add(int64(totalMixed))
+				s.ctsDown.Add(int64(totalMixed))
 			}
 		} else {
 			xs := make([]int64, 0, totalMixed)
@@ -720,8 +722,8 @@ func (a *adpState) batchLE(conn transport.Conn, pairs [][2]int, engA compare.Ali
 				}
 			}
 			// The receiver's uplink is one ciphertext per mixed value in
-			// both modes.
-			s.ctsSent.Add(int64(totalMixed))
+			// every mode — its operands open the sub-protocol: request leg.
+			s.ctsUp.Add(int64(totalMixed))
 			off := 0
 			for t, mixedVals := range mixedPerPair {
 				if len(mixedVals) == 0 {

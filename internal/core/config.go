@@ -94,11 +94,15 @@ type Config struct {
 	// slot-shifted encoding of internal/encoding, cutting ciphertexts and
 	// bytes on the wire by up to S× per frame; S derives from the session
 	// key's plaintext space and the handshake-agreed value/mask magnitudes,
-	// so both parties compute it identically. "off" keeps the one-value-
-	// per-ciphertext wire format for A/B measurement (experiment E20).
-	// Labels and non-index Ledgers are identical in both modes — the
-	// packing equivalence harness enforces this. Requires the batched
-	// round structure; the sequential path always runs unpacked.
+	// so both parties compute it identically. "full" extends slots with
+	// the packed comparison uplink (dedup-grouped base ciphertexts with
+	// per-slot multipliers, and derived bases — zero uplink ciphertexts —
+	// for the enhanced family's dot-product comparisons). "off" keeps the
+	// one-value-per-ciphertext wire format for A/B measurement
+	// (experiments E20/E21). Labels and non-index Ledgers are identical
+	// in all modes — the packing equivalence harness enforces this.
+	// Requires the batched round structure; the sequential path always
+	// runs unpacked.
 	Packing PackMode
 
 	// Parallel is the query scheduler's worker width W. With W = 1 (the
@@ -232,8 +236,8 @@ func (c Config) validate() error {
 	if _, err := ParsePackMode(string(c.Packing)); err != nil {
 		return err
 	}
-	if c.Packing == PackSlots && c.Batching != BatchModeBatched {
-		return fmt.Errorf("core: Packing %q requires Batching %q (only batched frames carry packed plaintexts)", PackSlots, BatchModeBatched)
+	if c.Packing != PackOff && c.Batching != BatchModeBatched {
+		return fmt.Errorf("core: Packing %q requires Batching %q (only batched frames carry packed plaintexts)", c.Packing, BatchModeBatched)
 	}
 	if c.ServerWorkers < 0 {
 		return fmt.Errorf("core: ServerWorkers must be ≥ 0, got %d", c.ServerWorkers)
@@ -292,24 +296,33 @@ func ParsePruneMode(s string) (PruneMode, error) {
 // PackMode selects the plaintext encoding of the Paillier phases.
 type PackMode string
 
-// The two packing modes.
+// The three packing modes.
 const (
 	// PackSlots packs S values per Paillier plaintext via the slot-shifted
 	// encoding (internal/encoding): masked-product and comparison reply
 	// frames carry ⌈n/S⌉ ciphertexts instead of n.
 	PackSlots PackMode = "slots"
+	// PackFull additionally packs the masked-comparison *uplink*: batches
+	// dedup repeated operands into shared base ciphertexts (the oracle
+	// folds a fresh per-slot multiplier into each slot, so masking
+	// independence is untouched), and the enhanced family derives its
+	// comparison bases from retained dot-product ciphertexts — zero
+	// uplink ciphertexts for those rounds. Falls back per batch to the
+	// slots wire form when grouping cannot win, so full never costs more
+	// ciphertexts than slots.
+	PackFull PackMode = "full"
 	// PackOff keeps one value per ciphertext — the A/B baseline the
-	// packing ablation (E20) measures against.
+	// packing ablations (E20/E21) measure against.
 	PackOff PackMode = "off"
 )
 
 // ParsePackMode validates a packing mode name from flags or config.
 func ParsePackMode(s string) (PackMode, error) {
 	switch PackMode(s) {
-	case PackSlots, PackOff:
+	case PackSlots, PackFull, PackOff:
 		return PackMode(s), nil
 	}
-	return "", fmt.Errorf("core: unknown packing mode %q (want %q or %q)", s, PackSlots, PackOff)
+	return "", fmt.Errorf("core: unknown packing mode %q (want %q, %q or %q)", s, PackSlots, PackFull, PackOff)
 }
 
 // codec builds the fixed-point codec for this configuration.

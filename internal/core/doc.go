@@ -163,19 +163,43 @@
 //     per-pair share accumulation, whose small per-slot range gives the
 //     largest S.
 //   - Masked-comparison replies: the oracle's masked differences return as
-//     ⌈n/S⌉ ciphertexts. The querying direction stays unpacked
-//     deliberately — each comparison instance needs its own fresh
-//     multiplier r_i, and sharing one r across a packed slot group would
-//     disclose magnitude ratios between instances.
+//     ⌈n/S⌉ ciphertexts. Under "slots" the querying direction stays
+//     unpacked deliberately — each comparison instance needs its own
+//     fresh multiplier r_i, and sharing one r across a packed slot group
+//     would disclose magnitude ratios between instances.
+//
+// Packing "full" extends "slots" at the comparison uplink — the one leg
+// "slots" leaves per-instance. Packing E(a_i) themselves is impossible
+// without weakening the masking (the per-slot multipliers cannot stay
+// independent on one packed ciphertext), so "full" shrinks the set of
+// uplink base ciphertexts instead, choosing per batch between three
+// moded wire forms (internal/compare, full.go): per-instance (the
+// slots-equivalent fallback, so full never sends more), grouped (one
+// ciphertext per distinct operand value; the responder folds each
+// instance from its class representative with a fresh r_i — the HDP
+// driver's constant batches collapse to one ciphertext, vertical's
+// repeating partial distances group), and derived (zero uplink
+// ciphertexts: the responder re-derives each E(a_i) homomorphically
+// from ciphertexts it already holds — the enhanced family's selection
+// and final comparisons, where the share-phase dot products retain
+// exactly those ciphertexts). Derived replies carry signed differences
+// with the κ-bit mask folded into the slot, so they ride a wider-slot
+// uplink Packer (encoding.NewUplinkComparePacker).
 //
 // Packing changes the frame layout only: labels, cluster counts, and the
 // full disclosure Ledger are byte-identical to Packing "off" (the packing
 // equivalence harness pins all four core families plus the multiparty
-// ring/mesh, W ∈ {1, 4}, pruning on/off, across Append/Expire/Retract),
-// and Result.CiphertextsSent records the compression — experiment E20
-// measures the ciphertext and bytes-on-wire reduction at production key
-// sizes. "off" (one value per ciphertext) is retained for A/B
-// measurement; packing requires the batched round structure.
+// ring/mesh, W ∈ {1, 4}, pruning on/off, across Append/Expire/Retract,
+// for "slots" and "full" alike), and Result.CiphertextsSent records the
+// compression, split into CiphertextsUplink/CiphertextsDownlink —
+// experiments E20 ("slots") and E21 ("full") measure the ciphertext and
+// bytes-on-wire reduction at production key sizes. "off" (one value per
+// ciphertext) is retained for A/B measurement; packing requires the
+// batched round structure. The one disclosure "full" adds is batch-
+// local: a grouped frame shows the responder which instances of that
+// batch share an operand value (the value-equality partition, never the
+// values) — see compare/full.go for the leakage note and why it stays
+// outside the Ledger.
 //
 // # Candidate pruning and the grid index
 //

@@ -222,9 +222,9 @@ func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA c
 	if err != nil {
 		return false, fmt.Errorf("core: enhanced share phase: %w", err)
 	}
-	// The E(a) uplink is m+2 ciphertexts in both modes; only the replies
-	// pack.
-	s.ctsSent.Add(int64(len(a)))
+	// The E(a) uplink is m+2 ciphertexts in every packing mode; only the
+	// replies pack. It opens the dot-product sub-protocol: request leg.
+	s.ctsUp.Add(int64(len(a)))
 	us := make([]int64, len(usBig))
 	maxShare := s.bound + s.shareV
 	for i, u := range usBig {
@@ -245,6 +245,12 @@ func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA c
 				// Dist_x ≤ Dist_y ⟺ u_x − u_y ≤ v_x − v_y.
 				vals[t] = us[pr[0]] - us[pr[1]] + shift
 			}
+			if s.derivedCompare() {
+				// Full packing: the responder retained E(u_i) from the
+				// share phase and re-derives each E(u_x − u_y + shift)
+				// itself, so the selection sends no uplink ciphertexts.
+				return shareA.(compare.DerivedAlice).BatchLessEqDerived(conn, vals)
+			}
 			return shareA.BatchLessEq(conn, vals)
 		}
 		kth, comparisons, err = kthSmallestBatch(nCand, k, s.cfg.Selection, leb)
@@ -262,9 +268,23 @@ func enhancedIsCore(h *hPass, conn transport.Conn, point, ownCount int, shareA c
 
 	// Final phase: Dist_κ ≤ Eps² ⟺ u_κ ≤ Eps² + v_κ.
 	setTag(conn, "enh.final")
-	core, err := finalA.LessEq(conn, us[kth])
-	if err != nil {
-		return false, fmt.Errorf("core: enhanced final comparison: %w", err)
+	var core bool
+	if s.derivedCompare() {
+		// The responder still holds E(u_κ): a one-element derived batch
+		// keeps the final comparison uplink-free too.
+		bits, derr := finalA.(compare.DerivedAlice).BatchLessEqDerived(conn, []int64{us[kth]})
+		if derr == nil && len(bits) != 1 {
+			derr = fmt.Errorf("core: derived final comparison returned %d bits", len(bits))
+		}
+		if derr != nil {
+			return false, fmt.Errorf("core: enhanced final comparison: %w", derr)
+		}
+		core = bits[0]
+	} else {
+		core, err = finalA.LessEq(conn, us[kth])
+		if err != nil {
+			return false, fmt.Errorf("core: enhanced final comparison: %w", err)
+		}
 	}
 	s.led(func(l *Ledger) { l.CoreBits++ })
 	h.putEnhCache(point, core)
@@ -359,33 +379,71 @@ func enhancedServeCore(s *session, conn transport.Conn, rng permSource, pts [][]
 			bs[i] = dummyDataVector(s.dim, s.bound)
 		}
 	}
+	// ds (full packing only): the per-point share ciphertexts E(u_i) this
+	// party computed but never sent individually — retained so the
+	// selection and final comparisons can re-derive their operand
+	// ciphertexts without any comparison uplink.
+	var ds []*big.Int
 	if s.packing() {
 		pk, err := s.dotPacker(s.peerPai)
 		if err != nil {
 			return err
 		}
-		if err := mpc.SenderDotManyPacked(conn, s.peerPai, bs, vs, pk, s.random, s.pool); err != nil {
+		if s.derivedCompare() {
+			ds, err = mpc.SenderDotManyPackedRetain(conn, s.peerPai, bs, vs, pk, s.random, s.pool)
+		} else {
+			err = mpc.SenderDotManyPacked(conn, s.peerPai, bs, vs, pk, s.random, s.pool)
+		}
+		if err != nil {
 			return fmt.Errorf("core: enhanced packed share phase: %w", err)
 		}
-		s.ctsSent.Add(int64(pk.Groups(n)))
+		// Masked dot-product replies: response leg.
+		s.ctsDown.Add(int64(pk.Groups(n)))
 	} else {
 		if err := mpc.SenderDotMany(conn, s.peerPai, bs, vs, s.random, s.pool); err != nil {
 			return fmt.Errorf("core: enhanced share phase: %w", err)
 		}
-		s.ctsSent.Add(int64(n))
+		s.ctsDown.Add(int64(n))
 	}
 
 	setTag(conn, "enh.select")
 	shift := s.bound + s.shareV
+	// encShift (full packing only): E(shift) under the driver's key, the
+	// constant term of every derived selection operand E(u_x − u_y +
+	// shift). One encryption reused across the whole query — the derived
+	// bases never travel, and every reply is freshly randomized by its own
+	// packed encryption, so reuse discloses nothing.
+	var encShift *big.Int
+	if s.derivedCompare() {
+		var err error
+		if encShift, err = s.peerPai.Encrypt(s.random, big.NewInt(shift)); err != nil {
+			return err
+		}
+	}
 	var kth, comparisons int
 	var err error
 	if s.batched() {
 		leb := func(pairs [][2]int) ([]bool, error) {
-			ds := make([]int64, len(pairs))
+			ops := make([]int64, len(pairs))
 			for t, pr := range pairs {
-				ds[t] = vals[pr[0]] - vals[pr[1]] + shift
+				ops[t] = vals[pr[0]] - vals[pr[1]] + shift
 			}
-			return shareB.BatchLessEq(conn, ds)
+			if s.derivedCompare() {
+				base := func(t int) (*big.Int, error) {
+					pr := pairs[t]
+					neg, err := s.peerPai.Mul(ds[pr[1]], big.NewInt(-1))
+					if err != nil {
+						return nil, err
+					}
+					diff, err := s.peerPai.Add(ds[pr[0]], neg)
+					if err != nil {
+						return nil, err
+					}
+					return s.peerPai.Add(diff, encShift)
+				}
+				return shareB.(compare.DerivedBob).BatchLessEqDerived(conn, ops, base)
+			}
+			return shareB.BatchLessEq(conn, ops)
 		}
 		kth, comparisons, err = kthSmallestBatch(n, k, s.cfg.Selection, leb)
 	} else {
@@ -400,7 +458,12 @@ func enhancedServeCore(s *session, conn transport.Conn, rng permSource, pts [][]
 	s.led(func(l *Ledger) { l.OrderBits += comparisons })
 
 	setTag(conn, "enh.final")
-	if _, err := finalB.LessEq(conn, s.epsSq+vals[kth]); err != nil {
+	if s.derivedCompare() {
+		base := func(int) (*big.Int, error) { return ds[kth], nil }
+		if _, err := finalB.(compare.DerivedBob).BatchLessEqDerived(conn, []int64{s.epsSq + vals[kth]}, base); err != nil {
+			return fmt.Errorf("core: enhanced final comparison: %w", err)
+		}
+	} else if _, err := finalB.LessEq(conn, s.epsSq+vals[kth]); err != nil {
 		return fmt.Errorf("core: enhanced final comparison: %w", err)
 	}
 	s.led(func(l *Ledger) { l.CoreBits++ })

@@ -97,7 +97,9 @@ func hdpCompareDriver(conn transport.Conn, s *session, eng compare.Alice, p []in
 		if err := mpc.SenderGridMultiply(conn, s.peerPai, p, vs, nCand, m, pk, s.random, s.pool); err != nil {
 			return 0, fmt.Errorf("core: hdp packed multiplication: %w", err)
 		}
-		s.ctsSent.Add(int64(pk.Groups(nCand) * m))
+		// Masked products answer the responder's encrypted operands:
+		// response leg.
+		s.ctsDown.Add(int64(pk.Groups(nCand) * m))
 	} else {
 		ys := make([]int64, 0, nCand*m)
 		for i := 0; i < nCand; i++ {
@@ -106,7 +108,7 @@ func hdpCompareDriver(conn transport.Conn, s *session, eng compare.Alice, p []in
 		if err := mpc.SenderBatchMultiply(conn, s.peerPai, ys, vs, s.random, s.pool); err != nil {
 			return 0, fmt.Errorf("core: hdp multiplication: %w", err)
 		}
-		s.ctsSent.Add(int64(nCand * m))
+		s.ctsDown.Add(int64(nCand * m))
 	}
 
 	setTag(conn, "hdp.cmp")
@@ -193,13 +195,15 @@ func hdpServeCompare(conn transport.Conn, s *session, rng permSource, eng compar
 		if err != nil {
 			return fmt.Errorf("core: hdp packed multiplication: %w", err)
 		}
-		s.ctsSent.Add(int64(pk.Groups(total) * m))
+		// The receiver's encrypted coordinates open the MP sub-protocol:
+		// request leg.
+		s.ctsUp.Add(int64(pk.Groups(total) * m))
 	} else {
 		us, err = mpc.ReceiverBatchMultiply(conn, s.paiKey, xs, s.random, s.pool)
 		if err != nil {
 			return fmt.Errorf("core: hdp multiplication: %w", err)
 		}
-		s.ctsSent.Add(int64(total * m))
+		s.ctsUp.Add(int64(total * m))
 	}
 
 	setTag(conn, "hdp.cmp")

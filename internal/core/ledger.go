@@ -193,7 +193,19 @@ type Result struct {
 	// the wire during the run — homomorphic payloads of the masked
 	// comparison engine and the masked-product/dot-product exchanges.
 	// This is the quantity slot packing (Config.Packing) compresses and
-	// the metric the packing ablation (E20) tracks alongside bytes on the
-	// wire. YMPP RSA payloads are not counted.
+	// the metric the packing ablations (E20/E21) track alongside bytes
+	// on the wire. YMPP RSA payloads are not counted. Always equal to
+	// CiphertextsUplink + CiphertextsDownlink; retained as the
+	// compatibility sum.
 	CiphertextsSent int64
+	// CiphertextsUplink is the request-leg share of CiphertextsSent: the
+	// operand ciphertexts that open a sub-protocol (comparison uplinks,
+	// the encrypted vectors an mpc receiver scatters). "full" packing
+	// exists to shrink this leg.
+	CiphertextsUplink int64
+	// CiphertextsDownlink is the response-leg share of CiphertextsSent:
+	// masked replies computed against a peer's operands (comparison
+	// replies, masked-product and dot-product responses). "slots"
+	// packing shrinks this leg.
+	CiphertextsDownlink int64
 }

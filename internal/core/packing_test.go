@@ -37,8 +37,11 @@ func ciphertexts(o eqOutcome) int64 {
 	return o.ra.CiphertextsSent + o.rb.CiphertextsSent
 }
 
-// assertPackedOutcome checks one packed-vs-unpacked pair of runs.
-func assertPackedOutcome(t *testing.T, off, on eqOutcome) {
+// assertSameObservables checks observable equality between two runs: labels,
+// cluster counts, full Ledgers, and comparison counts. Packing modes
+// never change which predicates are decided, in what order, or what
+// they disclose.
+func assertSameObservables(t *testing.T, off, on eqOutcome) {
 	t.Helper()
 	if !metrics.ExactMatch(on.ra.Labels, off.ra.Labels) {
 		t.Errorf("alice labels diverge: packed %v, unpacked %v", on.ra.Labels, off.ra.Labels)
@@ -50,9 +53,8 @@ func assertPackedOutcome(t *testing.T, off, on eqOutcome) {
 		t.Errorf("cluster counts diverge: packed %d/%d, unpacked %d/%d",
 			on.ra.NumClusters, on.rb.NumClusters, off.ra.NumClusters, off.rb.NumClusters)
 	}
-	// Packing decides the same predicates in the same order, so the whole
-	// Ledger — index classes included — and the comparison counts must
-	// match exactly, not just the non-index view.
+	// The whole Ledger — index classes included — and the comparison
+	// counts must match exactly, not just the non-index view.
 	if on.ra.Leakage != off.ra.Leakage {
 		t.Errorf("alice ledgers diverge: packed %v, unpacked %v", on.ra.Leakage, off.ra.Leakage)
 	}
@@ -63,12 +65,32 @@ func assertPackedOutcome(t *testing.T, off, on eqOutcome) {
 		t.Errorf("comparison counts diverge: packed %d/%d, unpacked %d/%d",
 			on.ra.SecureComparisons, on.rb.SecureComparisons, off.ra.SecureComparisons, off.rb.SecureComparisons)
 	}
+}
+
+// assertCtSplit checks the uplink/downlink counters partition the
+// compatibility sum on both sides.
+func assertCtSplit(t *testing.T, o eqOutcome) {
+	t.Helper()
+	for side, r := range map[string]*Result{"alice": o.ra, "bob": o.rb} {
+		if r.CiphertextsUplink+r.CiphertextsDownlink != r.CiphertextsSent {
+			t.Errorf("%s ciphertext split %d+%d does not sum to %d",
+				side, r.CiphertextsUplink, r.CiphertextsDownlink, r.CiphertextsSent)
+		}
+	}
+}
+
+// assertPackedOutcome checks one packed-vs-unpacked pair of runs.
+func assertPackedOutcome(t *testing.T, off, on eqOutcome) {
+	t.Helper()
+	assertSameObservables(t, off, on)
 	if onCts, offCts := ciphertexts(on), ciphertexts(off); onCts >= offCts {
 		t.Errorf("packed run sent %d ciphertexts, unpacked %d — want strictly fewer", onCts, offCts)
 	}
 	if onB, offB := sentBytes(on), sentBytes(off); onB >= offB {
 		t.Errorf("packed run sent %d bytes, unpacked %d — want strictly fewer", onB, offB)
 	}
+	assertCtSplit(t, off)
+	assertCtSplit(t, on)
 }
 
 func TestPackingEquivalenceSlotsVsOff(t *testing.T) {
@@ -85,19 +107,85 @@ func TestPackingEquivalenceSlotsVsOff(t *testing.T) {
 	}
 }
 
+// TestPackingEquivalenceFullVsOff pins the "full" mode against the
+// unpacked baseline under the same contract as "slots": identical
+// observables, strictly fewer ciphertexts and bytes.
+func TestPackingEquivalenceFullVsOff(t *testing.T) {
+	for _, d := range pruneDatasets()[:2] {
+		for _, pruning := range []PruneMode{PruneOff, PruneGrid} {
+			for _, proto := range prunedProtocols(t, d) {
+				t.Run(d.name+"/"+proto.name+"/pruning="+string(pruning), func(t *testing.T) {
+					off := proto.run(t, packingCfg(d.grid, pruning, PackOff))
+					on := proto.run(t, packingCfg(d.grid, pruning, PackFull))
+					assertPackedOutcome(t, off, on)
+				})
+			}
+		}
+	}
+}
+
+// TestPackingEquivalenceFullVsSlots pins "full" against "slots": same
+// observables everywhere, never more ciphertexts anywhere (the moded
+// uplink falls back to the slots-equivalent per-instance form when a
+// batch has nothing to dedup), and strictly fewer on the
+// compare-uplink-dominated families — enhanced (the derived selection
+// and final comparisons send zero uplink ciphertexts) and vertical
+// (one-column partial distances repeat heavily, so batches group).
+// Bytes are not compared: a grouped frame trades a saved ciphertext for
+// class-index varints, which on tiny test keys can cross over.
+func TestPackingEquivalenceFullVsSlots(t *testing.T) {
+	for _, d := range pruneDatasets()[:2] {
+		for _, pruning := range []PruneMode{PruneOff, PruneGrid} {
+			for _, proto := range prunedProtocols(t, d) {
+				// Enhanced always reduces (every remote core query has
+				// derived selection/final comparisons). Vertical reduces
+				// when batches carry repeated partial distances; uniform
+				// noise under grid pruning shrinks batches to a few
+				// distinct operands, where tying slots is the designed
+				// fallback.
+				strict := proto.name == "enhanced" ||
+					(proto.name == "vertical" && (d.clustered || pruning == PruneOff))
+				t.Run(d.name+"/"+proto.name+"/pruning="+string(pruning), func(t *testing.T) {
+					slots := proto.run(t, packingCfg(d.grid, pruning, PackSlots))
+					full := proto.run(t, packingCfg(d.grid, pruning, PackFull))
+					assertSameObservables(t, slots, full)
+					assertCtSplit(t, slots)
+					assertCtSplit(t, full)
+					fullCts, slotsCts := ciphertexts(full), ciphertexts(slots)
+					if fullCts > slotsCts {
+						t.Errorf("full sent %d ciphertexts, slots %d — full must never send more", fullCts, slotsCts)
+					}
+					if strict {
+						if fullCts >= slotsCts {
+							t.Errorf("full sent %d ciphertexts, slots %d — want strictly fewer on %s", fullCts, slotsCts, proto.name)
+						}
+						fullUp := full.ra.CiphertextsUplink + full.rb.CiphertextsUplink
+						slotsUp := slots.ra.CiphertextsUplink + slots.rb.CiphertextsUplink
+						if fullUp >= slotsUp {
+							t.Errorf("full uplink %d, slots uplink %d — want strictly fewer on %s", fullUp, slotsUp, proto.name)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestPackingEquivalenceParallel re-runs the harness under the W = 4
 // wave scheduler: worker channels carry packed frames independently and
 // the outcome contract is unchanged.
 func TestPackingEquivalenceParallel(t *testing.T) {
 	d := pruneDatasets()[0]
-	for _, proto := range prunedProtocols(t, d) {
-		t.Run(proto.name, func(t *testing.T) {
-			cfgOff := packingCfg(d.grid, PruneGrid, PackOff)
-			cfgOff.Parallel = 4
-			cfgOn := packingCfg(d.grid, PruneGrid, PackSlots)
-			cfgOn.Parallel = 4
-			assertPackedOutcome(t, proto.run(t, cfgOff), proto.run(t, cfgOn))
-		})
+	for _, packing := range []PackMode{PackSlots, PackFull} {
+		for _, proto := range prunedProtocols(t, d) {
+			t.Run(proto.name+"/packing="+string(packing), func(t *testing.T) {
+				cfgOff := packingCfg(d.grid, PruneGrid, PackOff)
+				cfgOff.Parallel = 4
+				cfgOn := packingCfg(d.grid, PruneGrid, packing)
+				cfgOn.Parallel = 4
+				assertPackedOutcome(t, proto.run(t, cfgOff), proto.run(t, cfgOn))
+			})
+		}
 	}
 }
 
@@ -158,24 +246,27 @@ func TestPackingLifecycleEquivalence(t *testing.T) {
 		cfg.Packing = packing
 		return cfg
 	}
-	t.Run("window", func(t *testing.T) {
-		// Covers Append + Expire on the horizontal family.
-		off := runWindowed(t, windowHorizontalCase("horizontal", false), lifeCfg(PackOff))
-		on := runWindowed(t, windowHorizontalCase("horizontal", false), lifeCfg(PackSlots))
-		assertPackedStages(t, off, on)
-	})
-	t.Run("retract", func(t *testing.T) {
-		for _, rc := range retractCases() {
-			rc := rc
-			t.Run(rc.name, func(t *testing.T) {
-				cfgOff, cfgOn := lifeCfg(PackOff), lifeCfg(PackSlots)
-				if rc.tweak != nil {
-					cfgOff, cfgOn = rc.tweak(cfgOff), rc.tweak(cfgOn)
-				}
-				off := runRetracted(t, rc, cfgOff)
-				on := runRetracted(t, rc, cfgOn)
-				assertPackedStages(t, off, on)
-			})
-		}
-	})
+	for _, packing := range []PackMode{PackSlots, PackFull} {
+		packing := packing
+		t.Run("window/packing="+string(packing), func(t *testing.T) {
+			// Covers Append + Expire on the horizontal family.
+			off := runWindowed(t, windowHorizontalCase("horizontal", false), lifeCfg(PackOff))
+			on := runWindowed(t, windowHorizontalCase("horizontal", false), lifeCfg(packing))
+			assertPackedStages(t, off, on)
+		})
+		t.Run("retract/packing="+string(packing), func(t *testing.T) {
+			for _, rc := range retractCases() {
+				rc := rc
+				t.Run(rc.name, func(t *testing.T) {
+					cfgOff, cfgOn := lifeCfg(PackOff), lifeCfg(packing)
+					if rc.tweak != nil {
+						cfgOff, cfgOn = rc.tweak(cfgOff), rc.tweak(cfgOn)
+					}
+					off := runRetracted(t, rc, cfgOff)
+					on := runRetracted(t, rc, cfgOn)
+					assertPackedStages(t, off, on)
+				})
+			}
+		})
+	}
 }

@@ -118,7 +118,20 @@ func parallelDrive(conns []transport.Conn, own [][]int64, localRQ func(int) []in
 	return labels, clusterID, nil
 }
 
-// parallelExpand is Algorithm 4's expansion with wave prefetch.
+// parallelExpand is Algorithm 4's expansion with wave prefetch, plus
+// wave pipelining for W > 1: while wave k's workers wait on their
+// replies, the same goroutines issue the uplinks of wave k+1's queries.
+// The pipelined queries are sound for the same reason the wave itself
+// is: after wave k is popped, the head of the remaining queue is a
+// prefix of wave k+1 no matter what wave k decides — Algorithm 4
+// queries every queued point exactly once, label state never cancels a
+// queued query, and discoveries only append. Core-ness depends only on
+// the point and its local neighbour count, so a prefetched decision
+// equals the sequential one; its labels are applied in sequential
+// order on the next iteration. The query multiset, comparison counts,
+// and every Ledger class are unchanged — only round trips overlap. At
+// W = 1 no pipelining happens and the wire behavior is byte-identical
+// to the legacy path.
 func parallelExpand(conns []transport.Conn, localRQ func(int) []int, decide decideFn, point, clusterID int, labels []int) (bool, error) {
 	seeds := localRQ(point)
 	core, err := decide(conns[0], point, len(seeds))
@@ -138,6 +151,14 @@ func parallelExpand(conns []transport.Conn, localRQ func(int) []int, decide deci
 			queue = append(queue, sd)
 		}
 	}
+	// pre buffers decisions pipelined by the previous wave for the current
+	// queue head, in queue order: pre[i] decided what is now queue[i].
+	type preDecision struct {
+		pt   int
+		rqs  []int
+		core bool
+	}
+	var pre []preDecision
 	for len(queue) > 0 {
 		w := len(conns)
 		if w > len(queue) {
@@ -146,16 +167,55 @@ func parallelExpand(conns []transport.Conn, localRQ func(int) []int, decide deci
 		wave := queue[:w:w]
 		queue = queue[w:]
 		rqs := make([][]int, w)
-		for t, pt := range wave {
-			rqs[t] = localRQ(pt)
-		}
 		cores := make([]bool, w)
+		fresh := make([]bool, w) // wave[t] still needs a live query
+		for t, pt := range wave {
+			if len(pre) > 0 && pre[0].pt == pt {
+				rqs[t], cores[t] = pre[0].rqs, pre[0].core
+				pre = pre[1:]
+			} else {
+				rqs[t] = localRQ(pt)
+				fresh[t] = true
+			}
+		}
+		// Pipelined prefix of wave k+1. Non-empty only when w == len(conns)
+		// (otherwise the queue just drained), so nxt[t] always has a
+		// same-index worker below.
+		var nxt []int
+		var nxtRqs [][]int
+		if len(conns) > 1 && len(queue) > 0 {
+			k := len(conns)
+			if k > len(queue) {
+				k = len(queue)
+			}
+			nxt = queue[:k:k]
+			nxtRqs = make([][]int, k)
+			for t, pt := range nxt {
+				nxtRqs[t] = localRQ(pt)
+			}
+		}
+		nxtCores := make([]bool, len(nxt))
 		if err := runWave(w, func(t int) error {
-			c, err := decide(conns[t], wave[t], len(rqs[t]))
-			cores[t] = c
-			return err
+			if fresh[t] {
+				c, err := decide(conns[t], wave[t], len(rqs[t]))
+				if err != nil {
+					return err
+				}
+				cores[t] = c
+			}
+			if t < len(nxt) {
+				c, err := decide(conns[t], nxt[t], len(nxtRqs[t]))
+				if err != nil {
+					return err
+				}
+				nxtCores[t] = c
+			}
+			return nil
 		}); err != nil {
 			return false, err
+		}
+		for t, pt := range nxt {
+			pre = append(pre, preDecision{pt: pt, rqs: nxtRqs[t], core: nxtCores[t]})
 		}
 		for t := range wave {
 			if !cores[t] {
@@ -256,6 +316,14 @@ func LockstepClusterParallel(n, minPts, w int,
 // back after each wave, both on the scheduling goroutine, so the cache
 // needs no locking and every participant derives identical waves from
 // its identical prior.
+//
+// Unlike parallelExpand, lockstep waves keep a hard barrier: the next
+// wave's batches are built from the decided-pair cache the current wave
+// writes, so pipelining wave k+1's uplink before wave k settles would
+// change the batch contents (re-deciding already-settled pairs) and
+// break the decided-pair multiset equivalence with the sequential
+// driver. Both participants must also assemble identical batches, which
+// they can only do from identical post-wave cache state.
 func LockstepClusterParallelCached(n, minPts, w int,
 	prior *PairCache, onCached func(pr [2]int, in bool),
 	decideLocal func(pr [2]int) (value, decided bool),

@@ -511,7 +511,8 @@ func (t *Session) Run() (*Result, error) {
 	// construction.
 	t.s.cmpCount.Store(0)
 	t.s.cmpCached.Store(0)
-	t.s.ctsSent.Store(0)
+	t.s.ctsUp.Store(0)
+	t.s.ctsDown.Store(0)
 	t.s.takeLedger()
 	res, err := t.runOnce()
 	if err != nil {
@@ -565,13 +566,16 @@ func (t *Session) Parallel() int { return t.s.parallel() }
 
 // result assembles a Result from the session's per-run accounting.
 func (t *Session) result(labels []int, clusters int) *Result {
+	up, down := t.s.ctsUp.Load(), t.s.ctsDown.Load()
 	return &Result{
-		Labels:            labels,
-		NumClusters:       clusters,
-		Leakage:           t.s.takeLedger(),
-		SecureComparisons: t.s.cmpCount.Load(),
-		CachedComparisons: t.s.cmpCached.Load(),
-		CiphertextsSent:   t.s.ctsSent.Load(),
+		Labels:              labels,
+		NumClusters:         clusters,
+		Leakage:             t.s.takeLedger(),
+		SecureComparisons:   t.s.cmpCount.Load(),
+		CachedComparisons:   t.s.cmpCached.Load(),
+		CiphertextsSent:     up + down,
+		CiphertextsUplink:   up,
+		CiphertextsDownlink: down,
 	}
 }
 

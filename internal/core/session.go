@@ -53,8 +53,10 @@ func (r Role) peer() Role {
 // exchange (sliding windows); version 7 added the retract control op and
 // the point tombstone exchange (point-level deletion); version 8 added
 // the Packing plaintext-encoding parameter (slot-packed ciphertext
-// frames).
-const handshakeVersion = 8
+// frames); version 9 added the packed comparison uplink ("full"
+// packing, a per-batch moded wire form) and the uplink/downlink
+// ciphertext split.
+const handshakeVersion = 9
 
 // ErrHandshake reports parameter disagreement between the parties.
 var ErrHandshake = errors.New("core: handshake parameter mismatch")
@@ -105,11 +107,19 @@ type session struct {
 	cmpCount  atomic.Int64
 	cmpCached atomic.Int64
 
-	// ctsSent tallies Paillier ciphertexts this party put on the wire —
-	// the Result.CiphertextsSent metric and the quantity slot packing
-	// (Config.Packing) exists to shrink. YMPP RSA payloads are not
-	// counted.
-	ctsSent atomic.Int64
+	// ctsUp/ctsDown tally Paillier ciphertexts this party put on the wire,
+	// split by protocol direction: ctsUp counts request-leg payloads (the
+	// operands that open a sub-protocol — comparison uplinks, the
+	// encrypted vectors an mpc receiver scatters) and ctsDown counts
+	// response-leg payloads (masked replies computed against a peer's
+	// operands). Their sum is the Result.CiphertextsSent metric; the split
+	// feeds CiphertextsUplink/CiphertextsDownlink, the quantities the
+	// "slots" and "full" packing modes shrink on opposite legs. YMPP RSA
+	// payloads are not counted. Comparison-engine traffic is counted by
+	// the engines themselves (compare.MaskedAlice/MaskedBob.Sent hooks)
+	// because the "full" uplink cost depends on runtime batch content.
+	ctsUp   atomic.Int64
+	ctsDown atomic.Int64
 
 	// ledMu guards ledger once parallel workers record disclosures
 	// concurrently; every update goes through led().
@@ -352,8 +362,27 @@ func (s *session) maskBound() *big.Int {
 }
 
 // packing reports whether this session runs its batch Paillier rounds
-// over slot-packed plaintexts (Config.Packing).
-func (s *session) packing() bool { return s.cfg.Packing == PackSlots }
+// over slot-packed plaintexts (Config.Packing "slots" or "full" — full
+// is a strict superset of slots).
+func (s *session) packing() bool {
+	return s.cfg.Packing == PackSlots || s.cfg.Packing == PackFull
+}
+
+// fullPacking reports whether the session additionally packs the
+// comparison uplink (Config.Packing "full"): comparison engines choose
+// the moded uplink wire form per batch, and the comparison-heavy
+// protocol sites may switch to derived-base batches that send no uplink
+// ciphertexts at all.
+func (s *session) fullPacking() bool { return s.cfg.Packing == PackFull }
+
+// derivedCompare reports whether protocol sites may run derived-base
+// comparison batches (zero uplink ciphertexts, the responder re-derives
+// E(operand) from ciphertexts it already holds): full packing with the
+// masked engine. YMPP sends no Paillier comparison payloads, so there
+// is nothing to derive away.
+func (s *session) derivedCompare() bool {
+	return s.fullPacking() && s.cfg.Engine == compare.EngineMasked
+}
 
 // packedMaskBound is the zero-sum mask magnitude on the packed
 // masked-product path: B = MaxCoord²·2^CmpMaskBits. The unpacked path
@@ -402,11 +431,12 @@ func (s *session) engines(bound int64) (compare.Alice, compare.Bob, error) {
 		if limit.Cmp(s.paiKey.PlaintextBound()) >= 0 || limit.Cmp(s.peerPai.PlaintextBound()) >= 0 {
 			return nil, nil, fmt.Errorf("core: bound %d with %d mask bits overflows the Paillier plaintext space", bound, s.cfg.CmpMaskBits)
 		}
-		aliceEng := &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random, Pool: s.pool}
-		bobEng := &compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random, Pool: s.pool}
-		// Alice always sends one ciphertext per predicate; Bob's reply
-		// count drops to ⌈n/S⌉ when the session packs.
-		bobCost := func(n int) int64 { return int64(n) }
+		// This party's Alice engine sends the request leg (uplink); its Bob
+		// engine sends reply legs (downlink). The engines count their own
+		// wire traffic — under "full" packing the uplink ciphertext count
+		// depends on the runtime batch content, so only the engine knows it.
+		aliceEng := &compare.MaskedAlice{Key: s.paiKey, Max: bound, Random: s.random, Pool: s.pool, Sent: &s.ctsUp}
+		bobEng := &compare.MaskedBob{Pub: s.peerPai, Max: bound, MaskBits: s.cfg.CmpMaskBits, Random: s.random, Pool: s.pool, Sent: &s.ctsDown}
 		if s.packing() {
 			// Each party's Alice engine pairs with the peer's Bob engine,
 			// so both packers over one key agree: Alice derives from her
@@ -422,96 +452,130 @@ func (s *session) engines(bound int64) (compare.Alice, compare.Bob, error) {
 				return nil, nil, fmt.Errorf("core: comparison packer: %w", err)
 			}
 			aliceEng.Packer, bobEng.Packer = ap, bp
-			bobCost = func(n int) int64 { return int64(bp.Groups(n)) }
 		}
-		return &countingAlice{inner: aliceEng, n: &s.cmpCount, cts: &s.ctsSent, ctCost: func(n int) int64 { return int64(n) }},
-			&countingBob{inner: bobEng, n: &s.cmpCount, cts: &s.ctsSent, ctCost: bobCost}, nil
+		if s.fullPacking() {
+			// Uplink packers size the wider slots derived-base replies
+			// need (both operands signed, mask folded into the slot); the
+			// moded uplink wire form engages whenever they are non-nil.
+			aup, err := encoding.NewUplinkComparePacker(s.paiKey.PlaintextBound(), bound, s.cfg.CmpMaskBits)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: uplink comparison packer: %w", err)
+			}
+			bup, err := encoding.NewUplinkComparePacker(s.peerPai.PlaintextBound(), bound, s.cfg.CmpMaskBits)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: uplink comparison packer: %w", err)
+			}
+			aliceEng.UplinkPacker, bobEng.UplinkPacker = aup, bup
+		}
+		return &countingAlice{inner: aliceEng, n: &s.cmpCount},
+			&countingBob{inner: bobEng, n: &s.cmpCount}, nil
 	}
 	return nil, nil, fmt.Errorf("core: unknown engine %q", s.cfg.Engine)
 }
 
 // countingAlice/countingBob wrap a comparison engine and tally executed
 // instances (one per predicate, so a batch of k counts k) into the
-// session's cmpCount — the Result.SecureComparisons metric — plus the
-// Paillier ciphertexts each call puts on the wire into ctsSent. ctCost
-// maps a call's predicate count to its ciphertext cost on this side
-// (identity for unpacked masked engines, ⌈n/S⌉ for a packing Bob); a
-// nil ctCost means the engine sends no Paillier payloads (YMPP).
+// session's cmpCount — the Result.SecureComparisons metric. Ciphertext
+// accounting lives in the engines themselves (MaskedAlice/MaskedBob
+// Sent hooks wired by engines()); YMPP engines send no Paillier
+// payloads and count nothing.
 type countingAlice struct {
-	inner  compare.Alice
-	n      *atomic.Int64
-	cts    *atomic.Int64
-	ctCost func(n int) int64
-}
-
-func (c *countingAlice) addCts(n int) {
-	if c.ctCost != nil {
-		c.cts.Add(c.ctCost(n))
-	}
+	inner compare.Alice
+	n     *atomic.Int64
 }
 
 func (c *countingAlice) LessEq(conn transport.Conn, a int64) (bool, error) {
 	c.n.Add(1)
-	c.addCts(1)
 	return c.inner.LessEq(conn, a)
 }
 
 func (c *countingAlice) Less(conn transport.Conn, a int64) (bool, error) {
 	c.n.Add(1)
-	c.addCts(1)
 	return c.inner.Less(conn, a)
 }
 
 func (c *countingAlice) BatchLessEq(conn transport.Conn, as []int64) ([]bool, error) {
 	c.n.Add(int64(len(as)))
-	c.addCts(len(as))
 	return c.inner.BatchLessEq(conn, as)
 }
 
 func (c *countingAlice) BatchLess(conn transport.Conn, as []int64) ([]bool, error) {
 	c.n.Add(int64(len(as)))
-	c.addCts(len(as))
 	return c.inner.BatchLess(conn, as)
+}
+
+// BatchLessEqDerived forwards a derived-base batch (operands already
+// held encrypted by the peer; zero uplink ciphertexts). Only masked
+// engines with an UplinkPacker support it; callers gate on
+// session.fullPacking(), so a failed assertion is a programming error.
+func (c *countingAlice) BatchLessEqDerived(conn transport.Conn, as []int64) ([]bool, error) {
+	d, ok := c.inner.(compare.DerivedAlice)
+	if !ok {
+		return nil, fmt.Errorf("core: engine %s does not support derived-base batches", c.inner.Name())
+	}
+	c.n.Add(int64(len(as)))
+	return d.BatchLessEqDerived(conn, as)
+}
+
+// BatchLessDerived is the strict variant of BatchLessEqDerived.
+func (c *countingAlice) BatchLessDerived(conn transport.Conn, as []int64) ([]bool, error) {
+	d, ok := c.inner.(compare.DerivedAlice)
+	if !ok {
+		return nil, fmt.Errorf("core: engine %s does not support derived-base batches", c.inner.Name())
+	}
+	c.n.Add(int64(len(as)))
+	return d.BatchLessDerived(conn, as)
 }
 
 func (c *countingAlice) Bound() int64 { return c.inner.Bound() }
 func (c *countingAlice) Name() string { return c.inner.Name() }
 
 type countingBob struct {
-	inner  compare.Bob
-	n      *atomic.Int64
-	cts    *atomic.Int64
-	ctCost func(n int) int64
-}
-
-func (c *countingBob) addCts(n int) {
-	if c.ctCost != nil {
-		c.cts.Add(c.ctCost(n))
-	}
+	inner compare.Bob
+	n     *atomic.Int64
 }
 
 func (c *countingBob) LessEq(conn transport.Conn, b int64) (bool, error) {
 	c.n.Add(1)
-	c.addCts(1)
 	return c.inner.LessEq(conn, b)
 }
 
 func (c *countingBob) Less(conn transport.Conn, b int64) (bool, error) {
 	c.n.Add(1)
-	c.addCts(1)
 	return c.inner.Less(conn, b)
 }
 
 func (c *countingBob) BatchLessEq(conn transport.Conn, bs []int64) ([]bool, error) {
 	c.n.Add(int64(len(bs)))
-	c.addCts(len(bs))
 	return c.inner.BatchLessEq(conn, bs)
 }
 
 func (c *countingBob) BatchLess(conn transport.Conn, bs []int64) ([]bool, error) {
 	c.n.Add(int64(len(bs)))
-	c.addCts(len(bs))
 	return c.inner.BatchLess(conn, bs)
+}
+
+// BatchLessEqDerived is the Bob half of the Alice-side derived-base
+// batch: base supplies E(a_t) under Bob's view of the peer key, so no
+// uplink frame carries operands. base must be goroutine-safe (the reply
+// fold runs on the parallel Paillier pool).
+func (c *countingBob) BatchLessEqDerived(conn transport.Conn, bs []int64, base func(t int) (*big.Int, error)) ([]bool, error) {
+	d, ok := c.inner.(compare.DerivedBob)
+	if !ok {
+		return nil, fmt.Errorf("core: engine %s does not support derived-base batches", c.inner.Name())
+	}
+	c.n.Add(int64(len(bs)))
+	return d.BatchLessEqDerived(conn, bs, base)
+}
+
+// BatchLessDerived is the strict variant of BatchLessEqDerived.
+func (c *countingBob) BatchLessDerived(conn transport.Conn, bs []int64, base func(t int) (*big.Int, error)) ([]bool, error) {
+	d, ok := c.inner.(compare.DerivedBob)
+	if !ok {
+		return nil, fmt.Errorf("core: engine %s does not support derived-base batches", c.inner.Name())
+	}
+	c.n.Add(int64(len(bs)))
+	return d.BatchLessDerived(conn, bs, base)
 }
 
 func (c *countingBob) Bound() int64 { return c.inner.Bound() }

@@ -35,6 +35,21 @@
 // signed-encoding wrap at n/2. S = 1 is the degenerate packing (one
 // value per ciphertext, still biased); construction fails only when
 // even one slot does not fit.
+//
+// # Packed comparison uplink
+//
+// The packed-uplink comparison form ("full" packing) goes one step
+// further than packed replies: the oracle folds an independent κ-bit
+// multiplier r_t into every slot homomorphically (ct^{−r_t·2^{w·s}}
+// per slot, merged by the group operation) instead of packing finished
+// masked values. NewUplinkComparePacker derives the slot width for that
+// shape — the κ-bit mask lives *inside* the slot arithmetic and the
+// uplink base may itself be a signed difference of retained
+// ciphertexts, so the width is re-derived with the mask multiplied into
+// the doubled operand spread (see the constructor's derivation note),
+// and construction fails loudly when the widened slot would push S to 0
+// on a small key. SlotIndex and FoldShift are the slot-group fold
+// primitives that shape shares with its plaintext mirror.
 package encoding
 
 import (
@@ -109,6 +124,55 @@ func NewComparePacker(plainBound *big.Int, max int64, maskBits int) (*Packer, er
 	return NewPacker(plainBound, slotMax)
 }
 
+// NewUplinkComparePacker sizes slots for the packed-uplink ("full")
+// comparison form: the reply still decrypts to t = r·(b−a) + r′ per
+// slot, but the κ-bit multiplier r is applied homomorphically inside
+// the slot (ct^{−r·2^{w·s}}) rather than multiplied into a finished
+// plaintext before packing.
+//
+// # Per-slot-mask slot-width derivation
+//
+// The full form's widest batches are derived-base batches: the uplink
+// ciphertext E(a) is assembled homomorphically from retained
+// per-instance ciphertexts (e.g. a difference of two dot-product
+// ciphertexts), so both operands are *signed differences* in
+// [−max, max] rather than values in [0, max]. With r ∈ [1, 2^maskBits],
+// r′ ∈ [0, r), a ∈ [−max, max] and the Less-shifted b′ ∈ [−max−1, max],
+// the finished slot value t = r·(b′−a) + r′ is bounded by
+// 2^maskBits·(2·max+2). The slot magnitude is therefore re-derived with
+// the κ-bit mask multiplied into the *doubled* operand spread, M =
+// 2^maskBits·(2·max+3) (the same one-unit slack NewComparePacker
+// keeps), and w = bits(2·M) + 1 holds the biased slot with the standard
+// carry-guard bit. The widened slot costs capacity: keys whose
+// plaintext space cannot fit even one such slot are rejected here (S
+// would be 0) and must run "slots" or "off" packing instead.
+func NewUplinkComparePacker(plainBound *big.Int, max int64, maskBits int) (*Packer, error) {
+	if plainBound == nil || plainBound.Sign() <= 0 {
+		return nil, fmt.Errorf("encoding: plaintext bound must be positive")
+	}
+	if max < 0 || maskBits < 1 {
+		return nil, fmt.Errorf("encoding: uplink compare packer needs max ≥ 0 and maskBits ≥ 1")
+	}
+	slotMax := big.NewInt(max)
+	slotMax.Lsh(slotMax, 1).Add(slotMax, big.NewInt(3))
+	slotMax.Lsh(slotMax, uint(maskBits))
+	width := uint(new(big.Int).Lsh(slotMax, 1).BitLen()) + 1
+	slots := (plainBound.BitLen() - 1) / int(width)
+	if slots < 1 {
+		return nil, fmt.Errorf("encoding: the %d-bit per-slot mask widens uplink slots to %d bits, past the %d-bit plaintext space",
+			maskBits, width, plainBound.BitLen())
+	}
+	mask := new(big.Int).Lsh(big.NewInt(1), width)
+	mask.Sub(mask, big.NewInt(1))
+	return &Packer{
+		slots:   slots,
+		width:   width,
+		bias:    new(big.Int).Set(slotMax),
+		slotMax: new(big.Int).Set(slotMax),
+		mask:    mask,
+	}, nil
+}
+
 // NewSumPacker sizes slots for masked sums known to land in [0, bound):
 // non-negative, so the bias is only insurance against protocol drift.
 func NewSumPacker(plainBound *big.Int, bound int64) (*Packer, error) {
@@ -142,6 +206,13 @@ func (p *Packer) GroupLen(n, g int) int {
 		return rem
 	}
 	return p.slots
+}
+
+// SlotIndex maps instance i of a flat batch onto its packed position:
+// group g = i/S, slot s = i%S — the inverse of the g·S+s flattening
+// Groups/GroupLen imply.
+func (p *Packer) SlotIndex(i int) (group, slot int) {
+	return i / p.slots, i % p.slots
 }
 
 // Pack encodes up to S values, |v| ≤ SlotMax each, into one biased
@@ -234,4 +305,19 @@ func (p *Packer) Shift(v *big.Int, slot int) *big.Int {
 // ShiftInt64 is Shift for an int64 scalar.
 func (p *Packer) ShiftInt64(v int64, slot int) *big.Int {
 	return p.Shift(big.NewInt(v), slot)
+}
+
+// FoldShift folds per-slot contributions into one raw packed integer,
+// Σ_s vals[s]·2^{w·s} — the plaintext mirror of the homomorphic slot
+// fold Π_s ct_s^{2^{w·s}} the packed-uplink forms use. Unlike
+// Pack/PackRaw it adds no bias and performs no range checks: the
+// per-slot values are mid-protocol partials (possibly negative, exact
+// in ℤ_n) whose final in-range value the engine's own operand checks
+// establish.
+func (p *Packer) FoldShift(vals []*big.Int) *big.Int {
+	packed := new(big.Int)
+	for s, v := range vals {
+		packed.Add(packed, p.Shift(v, s))
+	}
+	return packed
 }

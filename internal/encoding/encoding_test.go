@@ -230,6 +230,132 @@ func TestUnpackRejectsOutOfRange(t *testing.T) {
 	}
 }
 
+// TestUplinkPackerWidensSlots pins the per-slot-mask derivation: the
+// uplink packer spends exactly one guard bit more than the reply-side
+// compare packer for the same shape, never packs more values per
+// plaintext, and keeps the same slot magnitude bound.
+func TestUplinkPackerWidensSlots(t *testing.T) {
+	const max, maskBits = 4096, 40
+	reply, err := NewComparePacker(bound255(), max, maskBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := NewUplinkComparePacker(bound255(), max, maskBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Width() <= reply.Width() {
+		t.Fatalf("uplink width = %d not wider than reply width = %d", up.Width(), reply.Width())
+	}
+	if up.Slots() > reply.Slots() {
+		t.Fatalf("uplink slots = %d exceed reply slots = %d", up.Slots(), reply.Slots())
+	}
+	// M = 2^κ·(2·max+3): the κ-bit mask over the doubled (signed
+	// derived-base) operand spread.
+	want := new(big.Int).Lsh(big.NewInt(2*max+3), maskBits)
+	if up.SlotMax().Cmp(want) != 0 {
+		t.Fatalf("uplink slot magnitude = %v, want 2^κ·(2·max+3) = %v", up.SlotMax(), want)
+	}
+}
+
+// TestUplinkPackerMaximalMaskedSlots drives every uplink slot to its
+// extreme: the maximal difference times the maximal κ-bit mask, both
+// signs alternating, must round-trip with no inter-slot carry.
+func TestUplinkPackerMaximalMaskedSlots(t *testing.T) {
+	const max, maskBits = 1 << 12, 40
+	p, err := NewUplinkComparePacker(bound255(), max, maskBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotMax := p.SlotMax()
+	vals := make([]*big.Int, p.Slots())
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = new(big.Int).Set(slotMax)
+		} else {
+			vals[i] = new(big.Int).Neg(slotMax)
+		}
+	}
+	packed, err := p.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Unpack(packed, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i].Cmp(vals[i]) != 0 {
+			t.Fatalf("slot %d: got %v, want %v (carry crossed a slot boundary)", i, got[i], vals[i])
+		}
+	}
+}
+
+// TestUplinkPackerRejectsZeroSlots: a plaintext space too small for even
+// one widened slot must fail construction, not degrade silently.
+func TestUplinkPackerRejectsZeroSlots(t *testing.T) {
+	small := new(big.Int).Lsh(big.NewInt(1), 40) // κ = 40 alone outgrows this
+	if _, err := NewUplinkComparePacker(small, 4096, 40); err == nil {
+		t.Fatal("NewUplinkComparePacker accepted a key with no room for one widened slot")
+	}
+	if _, err := NewUplinkComparePacker(bound255(), -1, 40); err == nil {
+		t.Fatal("NewUplinkComparePacker accepted a negative max")
+	}
+	if _, err := NewUplinkComparePacker(bound255(), 10, 0); err == nil {
+		t.Fatal("NewUplinkComparePacker accepted maskBits = 0")
+	}
+}
+
+// TestSlotIndexMatchesGrouping: SlotIndex must invert the g·S+s
+// flattening Groups/GroupLen imply, for every index of a two-group
+// batch including the short tail.
+func TestSlotIndexMatchesGrouping(t *testing.T) {
+	p, err := NewPacker(bound255(), big.NewInt(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Slots() + 2
+	for i := 0; i < n; i++ {
+		g, s := p.SlotIndex(i)
+		if g*p.Slots()+s != i {
+			t.Fatalf("SlotIndex(%d) = (%d, %d): does not invert the flattening", i, g, s)
+		}
+		if g >= p.Groups(n) || s >= p.GroupLen(n, g) {
+			t.Fatalf("SlotIndex(%d) = (%d, %d): outside Groups/GroupLen bounds", i, g, s)
+		}
+	}
+}
+
+// TestFoldShiftMirrorsPack: folding biased per-slot values must equal
+// Pack, and folding raw non-negative values must equal PackRaw — the
+// plaintext identity the homomorphic slot fold relies on.
+func TestFoldShiftMirrorsPack(t *testing.T) {
+	p, err := NewPacker(bound255(), big.NewInt(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []*big.Int{big.NewInt(12), big.NewInt(-34), big.NewInt(56)}
+	biased := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		biased[i] = new(big.Int).Add(v, p.Bias())
+	}
+	packed, err := p.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fold := p.FoldShift(biased); fold.Cmp(packed) != 0 {
+		t.Fatalf("FoldShift(biased) = %v, Pack = %v", fold, packed)
+	}
+	raws := []*big.Int{big.NewInt(7), big.NewInt(0), big.NewInt(99)}
+	rawPacked, err := p.PackRaw(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fold := p.FoldShift(raws); fold.Cmp(rawPacked) != 0 {
+		t.Fatalf("FoldShift(raw) = %v, PackRaw = %v", fold, rawPacked)
+	}
+}
+
 // FuzzSlotPack round-trips arbitrary values through Pack/Unpack across
 // fuzzed slot magnitudes: whatever the codec range, packing must be the
 // identity on every slot and must never let one slot disturb another.

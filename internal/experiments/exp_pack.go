@@ -48,9 +48,11 @@ type e20Row struct {
 	run      commRun
 }
 
-// runE20Protocols executes the three two-party families over one dataset
-// in every pruning × packing combination.
-func runE20Protocols(q dataset.Dataset, base core.Config, seed int64) ([]e20Row, error) {
+// runPackProtocols executes the three two-party families over one
+// dataset in every pruning × packing combination of the given packing
+// sweep — the shared engine of the E20 (off vs slots) and E21 (off vs
+// slots vs full) ablations.
+func runPackProtocols(q dataset.Dataset, base core.Config, seed int64, modes []core.PackMode) ([]e20Row, error) {
 	hs, err := partition.HorizontalRandom(q.Points, 0.5, seed)
 	if err != nil {
 		return nil, err
@@ -61,18 +63,18 @@ func runE20Protocols(q dataset.Dataset, base core.Config, seed int64) ([]e20Row,
 	}
 	var rows []e20Row
 	for _, pruning := range []core.PruneMode{core.PruneOff, core.PruneGrid} {
-		for _, packing := range []core.PackMode{core.PackOff, core.PackSlots} {
+		for _, packing := range modes {
 			cfg := base
 			cfg.Pruning = pruning
 			cfg.Packing = packing
 			hrun, err := runMeteredHorizontal(cfg, core.HorizontalAlice, core.HorizontalBob, hs.Alice, hs.Bob)
 			if err != nil {
-				return nil, fmt.Errorf("e20 horizontal/%s/%s: %w", pruning, packing, err)
+				return nil, fmt.Errorf("pack horizontal/%s/%s: %w", pruning, packing, err)
 			}
 			rows = append(rows, e20Row{"horizontal", pruning, packing, hrun})
 			erun, err := runMeteredHorizontal(cfg, core.EnhancedHorizontalAlice, core.EnhancedHorizontalBob, hs.Alice, hs.Bob)
 			if err != nil {
-				return nil, fmt.Errorf("e20 enhanced/%s/%s: %w", pruning, packing, err)
+				return nil, fmt.Errorf("pack enhanced/%s/%s: %w", pruning, packing, err)
 			}
 			rows = append(rows, e20Row{"enhanced", pruning, packing, erun})
 			vrun, err := runMeteredPair(
@@ -80,12 +82,17 @@ func runE20Protocols(q dataset.Dataset, base core.Config, seed int64) ([]e20Row,
 				func(c transport.Conn) (*core.Result, error) { return core.VerticalBob(c, cfg, vs.Bob) },
 			)
 			if err != nil {
-				return nil, fmt.Errorf("e20 vertical/%s/%s: %w", pruning, packing, err)
+				return nil, fmt.Errorf("pack vertical/%s/%s: %w", pruning, packing, err)
 			}
 			rows = append(rows, e20Row{"vertical", pruning, packing, vrun})
 		}
 	}
 	return rows, nil
+}
+
+// runE20Protocols is the E20 sweep: packing off vs slots.
+func runE20Protocols(q dataset.Dataset, base core.Config, seed int64) ([]e20Row, error) {
+	return runPackProtocols(q, base, seed, []core.PackMode{core.PackOff, core.PackSlots})
 }
 
 // e20Check enforces the packing contract between the off and slots rows

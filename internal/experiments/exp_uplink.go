@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// E21 — packed-uplink ablation. "full" packing (Config.Packing) extends
+// the E20 slot scheme to the masked comparison uplink: a per-batch moded
+// wire form lets the request leg travel as one ciphertext per distinct
+// operand class (grouped mode) or as zero uplink ciphertexts when the
+// responder can re-derive the operands homomorphically from retained
+// dot-product ciphertexts (derived mode, enhanced family), with a
+// per-instance fallback so "full" never costs more than "slots". The
+// contract mirrors E20 — labels and the full disclosure Ledger must be
+// byte-identical across "off", "slots", and "full" — while the
+// compare-dominated families (enhanced, vertical) push the ciphertext
+// reduction from the ~2× of reply-only packing toward ≥2.5× against the
+// unpacked baseline, with the uplink leg specifically cut by roughly the
+// slot count. The sweep runs at 512-bit keys like E20 and splits every
+// ciphertext total into its uplink (request-leg) and downlink
+// (response-leg) shares.
+
+// uplink and downlink sum both parties' directional ciphertext counts.
+func uplink(run commRun) int64 {
+	return run.resA.CiphertextsUplink + run.resB.CiphertextsUplink
+}
+
+func downlink(run commRun) int64 {
+	return run.resA.CiphertextsDownlink + run.resB.CiphertextsDownlink
+}
+
+// e21Modes is the packing sweep, in presentation order.
+var e21Modes = []core.PackMode{core.PackOff, core.PackSlots, core.PackFull}
+
+// e21Cell is one protocol × pruning cell: the three packing-mode runs in
+// e21Modes order.
+type e21Cell struct {
+	protocol string
+	pruning  core.PruneMode
+	runs     [3]commRun
+}
+
+// runE21Protocols executes the three two-party families over one dataset
+// in every pruning × packing combination, grouped by cell.
+func runE21Protocols(q dataset.Dataset, base core.Config, seed int64) ([]e21Cell, error) {
+	rows, err := runPackProtocols(q, base, seed, e21Modes)
+	if err != nil {
+		return nil, err
+	}
+	byCell := map[string]*e21Cell{}
+	var order []string
+	for _, r := range rows {
+		key := r.protocol + "/" + string(r.pruning)
+		cell, ok := byCell[key]
+		if !ok {
+			cell = &e21Cell{protocol: r.protocol, pruning: r.pruning}
+			byCell[key] = cell
+			order = append(order, key)
+		}
+		for m, mode := range e21Modes {
+			if r.packing == mode {
+				cell.runs[m] = r.run
+			}
+		}
+	}
+	cells := make([]e21Cell, 0, len(order))
+	for _, key := range order {
+		cells = append(cells, *byCell[key])
+	}
+	return cells, nil
+}
+
+// e21Check enforces the packing contract inside one cell: identical
+// labels and disclosure Ledgers in all three modes, and "full" never
+// putting more ciphertexts on the wire than "slots" (its per-batch
+// per-instance fallback is slots-equivalent by construction).
+func e21Check(cell e21Cell) error {
+	off := cell.runs[0]
+	for m, mode := range e21Modes[1:] {
+		on := cell.runs[m+1]
+		if !metrics.ExactMatch(on.resA.Labels, off.resA.Labels) ||
+			!metrics.ExactMatch(on.resB.Labels, off.resB.Labels) {
+			return fmt.Errorf("e21 %s/%s: labels diverge between off and %s", cell.protocol, cell.pruning, mode)
+		}
+		if on.resA.Leakage != off.resA.Leakage || on.resB.Leakage != off.resB.Leakage {
+			return fmt.Errorf("e21 %s/%s: disclosure Ledgers diverge between off and %s", cell.protocol, cell.pruning, mode)
+		}
+	}
+	if full, slots := ciphertexts(cell.runs[2]), ciphertexts(cell.runs[1]); full > slots {
+		return fmt.Errorf("e21 %s/%s: full packing sent %d ciphertexts, slots %d — the fallback guarantees no growth",
+			cell.protocol, cell.pruning, full, slots)
+	}
+	return nil
+}
+
+func e21Dataset(opt Options) (dataset.Dataset, core.Config) {
+	// Same shape and production key size as E20, so the slots rows of the
+	// two artifacts are directly comparable.
+	return e20Dataset(opt)
+}
+
+func runE21(w io.Writer, opt Options) error {
+	q, cfg := e21Dataset(opt)
+	cells, err := runE21Protocols(q, cfg, opt.seed())
+	if err != nil {
+		return err
+	}
+
+	var t table
+	t.add("protocol", "pruning", "packing", "wall", "totalKB", "cts", "upCts", "downCts", "ctsRatio", "upRatio")
+	for _, cell := range cells {
+		if err := e21Check(cell); err != nil {
+			return err
+		}
+		off := cell.runs[0]
+		for m, mode := range e21Modes {
+			r := cell.runs[m]
+			ctsRatio := float64(ciphertexts(off)) / float64(max(ciphertexts(r), 1))
+			upRatio := float64(uplink(off)) / float64(max(uplink(r), 1))
+			t.add(cell.protocol, string(cell.pruning), string(mode),
+				fmt.Sprint(r.wall.Round(time.Millisecond)),
+				fmt.Sprintf("%.0f", float64(r.bytes)/1024),
+				fmt.Sprint(ciphertexts(r)), fmt.Sprint(uplink(r)), fmt.Sprint(downlink(r)),
+				fmt.Sprintf("%.1fx", ctsRatio), fmt.Sprintf("%.1fx", upRatio))
+		}
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Identical labels and disclosure Ledgers in all three modes; \"full\" packs the comparison uplink on top of the slot-packed replies, so the request leg shrinks by ~the slot count on the compare-dominated families.")
+	return nil
+}
+
+// BenchE21Row is one BenchE21 measurement, JSON-serializable for the
+// perf trajectory file (BENCH_E21.json, written by `make bench-e21`).
+// Ciphertext totals split into their uplink (request-leg) and downlink
+// (response-leg) shares; the ratio fields are populated on packed rows
+// only — the off-row quantity divided by this row's, so ≥2.5 on the
+// cts ratio means the packed run puts ≤40% of the ciphertexts on the
+// wire for the same query workload.
+type BenchE21Row struct {
+	Protocol            string  `json:"protocol"`
+	Pruning             string  `json:"pruning"`
+	Packing             string  `json:"packing"`
+	N                   int     `json:"n"`
+	KeyBits             int     `json:"key_bits"`
+	WallMS              int64   `json:"wall_ms"`
+	Messages            int64   `json:"messages"`
+	Bytes               int64   `json:"bytes"`
+	Ciphertexts         int64   `json:"ciphertexts"`
+	CiphertextsUplink   int64   `json:"ciphertexts_uplink"`
+	CiphertextsDownlink int64   `json:"ciphertexts_downlink"`
+	CtsRatioVsOff       float64 `json:"cts_ratio_vs_off,omitempty"`
+	UplinkRatioVsOff    float64 `json:"uplink_ratio_vs_off,omitempty"`
+	ByteRatioVsOff      float64 `json:"byte_ratio_vs_off,omitempty"`
+}
+
+// BenchE21 runs the packed-uplink ablation and returns structured
+// measurements, erroring if any protocol × pruning cell violates the
+// packing contract.
+func BenchE21(opt Options) ([]BenchE21Row, error) {
+	q, cfg := e21Dataset(opt)
+	cells, err := runE21Protocols(q, cfg, opt.seed())
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchE21Row
+	agg := map[core.PackMode]*BenchE21Row{}
+	for _, mode := range e21Modes {
+		agg[mode] = &BenchE21Row{Protocol: "aggregate", Pruning: "all", Packing: string(mode), N: len(q.Points), KeyBits: cfg.PaillierBits}
+	}
+	for _, cell := range cells {
+		if err := e21Check(cell); err != nil {
+			return nil, err
+		}
+		off := cell.runs[0]
+		for m, mode := range e21Modes {
+			r := cell.runs[m]
+			row := BenchE21Row{
+				Protocol:            cell.protocol,
+				Pruning:             string(cell.pruning),
+				Packing:             string(mode),
+				N:                   len(q.Points),
+				KeyBits:             cfg.PaillierBits,
+				WallMS:              r.wall.Milliseconds(),
+				Messages:            messages(r),
+				Bytes:               r.bytes,
+				Ciphertexts:         ciphertexts(r),
+				CiphertextsUplink:   uplink(r),
+				CiphertextsDownlink: downlink(r),
+			}
+			if mode != core.PackOff {
+				row.CtsRatioVsOff = float64(ciphertexts(off)) / float64(max(ciphertexts(r), 1))
+				row.UplinkRatioVsOff = float64(uplink(off)) / float64(max(uplink(r), 1))
+				row.ByteRatioVsOff = float64(off.bytes) / float64(max(r.bytes, 1))
+			}
+			out = append(out, row)
+			a := agg[mode]
+			a.WallMS += r.wall.Milliseconds()
+			a.Messages += messages(r)
+			a.Bytes += r.bytes
+			a.Ciphertexts += ciphertexts(r)
+			a.CiphertextsUplink += uplink(r)
+			a.CiphertextsDownlink += downlink(r)
+		}
+	}
+	// Trailing summary rows aggregate every protocol × pruning cell per
+	// packing mode, so the headline ratios are one field read each.
+	off := agg[core.PackOff]
+	for _, mode := range e21Modes {
+		a := agg[mode]
+		if mode != core.PackOff {
+			a.CtsRatioVsOff = float64(off.Ciphertexts) / float64(max(a.Ciphertexts, 1))
+			a.UplinkRatioVsOff = float64(off.CiphertextsUplink) / float64(max(a.CiphertextsUplink, 1))
+			a.ByteRatioVsOff = float64(off.Bytes) / float64(max(a.Bytes, 1))
+		}
+		out = append(out, *a)
+	}
+	return out, nil
+}

@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"e18", "Sliding-window expiry sweep", "a live session sliding a W-generation window (WindowAppend = append + expire-oldest) re-clusters with strictly fewer secure comparisons than fresh per-window rebuilds: tombstoned generations compact away, caches invalidate only entries touching expired points, and labels stay byte-identical to a session over exactly the window contents", runE18},
 		{"e19", "Point-retraction sweep", "a live session retracting individual records (point tombstones masking index slots in place, exact cache invalidation) re-clusters with strictly fewer secure comparisons than fresh per-retraction rebuilds, with labels byte-identical to a session over exactly the surviving points and the disclosure on both setup ledgers (IndexRetractions)", runE19},
 		{"e20", "Plaintext-packing ablation", "slot-shifted encoding packs S fixed-point values per Paillier plaintext, cutting ciphertexts/query and bytes/query ≥2× at 512-bit keys with byte-identical labels and disclosure Ledgers", runE20},
+		{"e21", "Packed-uplink ablation", "\"full\" packing extends the slot scheme to the masked comparison uplink (grouped / derived / per-instance-fallback wire modes), pushing the compare-dominated families' ciphertext reduction toward ≥2.5× vs unpacked at 512-bit keys — uplink leg cut by ~the slot count — with byte-identical labels and disclosure Ledgers across off/slots/full", runE21},
 	}
 }
 
@@ -71,7 +72,7 @@ func (e ErrUnknownExperiment) Error() string {
 	return fmt.Sprintf("experiments: unknown experiment %q", e.ID)
 }
 
-// Run executes one experiment by id ("e1".."e20") or "all".
+// Run executes one experiment by id ("e1".."e21") or "all".
 func Run(id string, w io.Writer, opt Options) error {
 	id = strings.ToLower(strings.TrimSpace(id))
 	if id == "all" {

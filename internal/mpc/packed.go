@@ -326,6 +326,8 @@ func ReceiverDotManyPacked(conn transport.Conn, key *paillier.PrivateKey, a []in
 // SenderDotManyPacked is the sending half of ReceiverDotManyPacked:
 // slot s of group g accumulates Π_k E(a_k)^{b_ik·2^{w·s}} — the dot
 // product placed into its slot — over one packed-mask encryption.
+// SenderDotManyPackedRetain is the wire-compatible variant that also
+// returns the per-point dot ciphertexts for later derived comparisons.
 func SenderDotManyPacked(conn transport.Conn, pub *paillier.PublicKey, bs [][]int64, vs []*big.Int, pk *encoding.Packer, random io.Reader, pool *paillier.Pool) error {
 	if len(bs) != len(vs) {
 		return fmt.Errorf("%w: %d vectors, %d masks", ErrLengthMismatch, len(bs), len(vs))
@@ -388,4 +390,110 @@ func SenderDotManyPacked(conn transport.Conn, pub *paillier.PublicKey, bs [][]in
 		return err
 	}
 	return transport.SendMsg(conn, transport.NewBuilder().PutBigs(replies))
+}
+
+// SenderDotManyPackedRetain plays the exact SenderDotManyPacked wire
+// role — the receiver side cannot tell them apart, and the reply group
+// count is identical — but assembles each reply from retained
+// per-point dot ciphertexts D_i = E(v_i)·Π_k E(a_k)^{b_ik} = E(a·b_i +
+// v_i) instead of folding the dot products straight into the groups:
+// group g becomes E(Pack(0…0)) · Π_s D_{g·S+s}^{2^{w·s}}, where the
+// bias-only packed encryption supplies every slot's bias and the D_i
+// already carry the masks. The D_i are returned, never sent; the
+// caller can later hand differences of them to the comparison engine's
+// derived-base batches (compare.DerivedBob), eliminating that round's
+// uplink ciphertexts entirely.
+func SenderDotManyPackedRetain(conn transport.Conn, pub *paillier.PublicKey, bs [][]int64, vs []*big.Int, pk *encoding.Packer, random io.Reader, pool *paillier.Pool) ([]*big.Int, error) {
+	if len(bs) != len(vs) {
+		return nil, fmt.Errorf("%w: %d vectors, %d masks", ErrLengthMismatch, len(bs), len(vs))
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	r, err := transport.RecvMsg(conn)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: packed dot sender recv: %w", err)
+	}
+	count := int(r.Uint())
+	cts := r.Bigs()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if count != len(bs) {
+		return nil, fmt.Errorf("%w: receiver expects %d dot products, sender holds %d", ErrLengthMismatch, count, len(bs))
+	}
+	for i, b := range bs {
+		if len(b) != len(cts) {
+			return nil, fmt.Errorf("%w: vector %d has %d coordinates, receiver sent %d", ErrLengthMismatch, i, len(b), len(cts))
+		}
+	}
+	// The retained per-point ciphertexts: D_i = E(v_i)·Π_k E(a_k)^{b_ik}.
+	ds := make([]*big.Int, len(bs))
+	if err := func() error {
+		evs, err := pub.EncryptBatch(pool, random, vs)
+		if err != nil {
+			return fmt.Errorf("mpc: encrypting dot masks: %w", err)
+		}
+		return paillier.ParallelFor(pool, len(bs), func(i int) error {
+			acc := evs[i]
+			for k, ct := range cts {
+				if bs[i][k] == 0 {
+					continue
+				}
+				term, err := pub.Mul(ct, big.NewInt(bs[i][k]))
+				if err != nil {
+					return fmt.Errorf("mpc: retained dot multiply [%d,%d]: %w", i, k, err)
+				}
+				if acc, err = pub.Add(acc, term); err != nil {
+					return fmt.Errorf("mpc: retained dot add [%d,%d]: %w", i, k, err)
+				}
+			}
+			ds[i] = acc
+			return nil
+		})
+	}(); err != nil {
+		return nil, err
+	}
+	// Bias-only packed encryptions: the D_i already carry the masks, so
+	// the wire groups only add each slot's bias (Pack of zeros).
+	groups := pk.Groups(len(bs))
+	biasPlains := make([]*big.Int, groups)
+	for g := range biasPlains {
+		n := pk.GroupLen(len(bs), g)
+		zeros := make([]*big.Int, n)
+		for s := range zeros {
+			zeros[s] = big.NewInt(0)
+		}
+		packed, err := pk.Pack(zeros)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: packing bias group %d: %w", g, err)
+		}
+		biasPlains[g] = packed
+	}
+	biases, err := pub.EncryptBatch(pool, random, biasPlains)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: encrypting bias groups: %w", err)
+	}
+	replies := make([]*big.Int, groups)
+	if err := paillier.ParallelFor(pool, groups, func(g int) error {
+		acc := biases[g]
+		for s := 0; s < pk.GroupLen(len(bs), g); s++ {
+			i := g*pk.Slots() + s
+			term, err := pub.Mul(ds[i], pk.Shift(big.NewInt(1), s))
+			if err != nil {
+				return fmt.Errorf("mpc: retained dot shift [%d]: %w", i, err)
+			}
+			if acc, err = pub.Add(acc, term); err != nil {
+				return fmt.Errorf("mpc: retained dot fold [%d]: %w", i, err)
+			}
+		}
+		replies[g] = acc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := transport.SendMsg(conn, transport.NewBuilder().PutBigs(replies)); err != nil {
+		return nil, err
+	}
+	return ds, nil
 }

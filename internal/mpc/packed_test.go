@@ -239,3 +239,66 @@ func TestDotManyPackedMatchesUnpacked(t *testing.T) {
 		}
 	}
 }
+
+// TestDotManyPackedRetainWireCompatible: the retaining sender must be
+// indistinguishable to the receiver from SenderDotManyPacked — same
+// reply groups, same decoded dot products — while the retained D_i
+// decrypt to exactly the masked dot products the receiver sees.
+func TestDotManyPackedRetainWireCompatible(t *testing.T) {
+	k := testKey(t)
+	pk, err := encoding.NewSumPacker(k.PlaintextBound(), 2*63*63+1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []int64{100, -2 * 7, -2 * 9, 1}
+	count := pk.Slots() + 3
+	bs := make([][]int64, count)
+	vs := make([]*big.Int, count)
+	for i := range bs {
+		bs[i] = []int64{1, int64(i % 14), int64((i * 3) % 14), int64(i%14)*int64(i%14) + int64((i*3)%14)*int64((i*3)%14)}
+		vs[i] = big.NewInt(int64(i * 37 % 1024))
+	}
+	var plain, packed []*big.Int
+	var ds []*big.Int
+	if err := transport.Run2(
+		func(c transport.Conn) error {
+			us, err := ReceiverDotMany(c, k, a, count, rand.Reader, nil)
+			plain = us
+			return err
+		},
+		func(c transport.Conn) error {
+			return SenderDotMany(c, &k.PublicKey, bs, vs, rand.Reader, nil)
+		},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.Run2(
+		func(c transport.Conn) error {
+			us, err := ReceiverDotManyPacked(c, k, a, count, pk, rand.Reader, nil)
+			packed = us
+			return err
+		},
+		func(c transport.Conn) error {
+			var err error
+			ds, err = SenderDotManyPackedRetain(c, &k.PublicKey, bs, vs, pk, rand.Reader, nil)
+			return err
+		},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != count {
+		t.Fatalf("retained %d ciphertexts, want %d", len(ds), count)
+	}
+	for i := range plain {
+		if plain[i].Cmp(packed[i]) != 0 {
+			t.Fatalf("dot[%d]: retain-packed %v ≠ unpacked %v", i, packed[i], plain[i])
+		}
+		di, err := k.DecryptSigned(ds[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if di.Cmp(plain[i]) != 0 {
+			t.Fatalf("retained D_%d decrypts to %v, want %v", i, di, plain[i])
+		}
+	}
+}

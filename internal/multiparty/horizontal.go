@@ -74,8 +74,21 @@ type HorizontalResult struct {
 	// CiphertextsSent counts the Paillier ciphertexts this party put on
 	// the wire during the run (HDP frames in both roles plus its side of
 	// the masked comparisons) — the quantity slot packing compresses.
-	// YMPP RSA payloads are not counted.
+	// YMPP RSA payloads are not counted. Always equal to
+	// CiphertextsUplink + CiphertextsDownlink; retained as the
+	// compatibility sum.
 	CiphertextsSent int64
+	// CiphertextsUplink is the request-leg share: the encrypted
+	// coordinates this party scatters when serving HDP under its own key
+	// plus its driving-side comparison uplinks — the leg "full" packing
+	// exists to shrink (the driver's per-query comparison operands are
+	// all equal, so the grouped uplink collapses them to one ciphertext).
+	CiphertextsUplink int64
+	// CiphertextsDownlink is the response-leg share: the masked products
+	// this party sends against a peer's encrypted coordinates plus its
+	// responding-side comparison replies — the leg "slots" packing
+	// shrinks.
+	CiphertextsDownlink int64
 }
 
 // pairSession holds the cryptographic state shared with one specific
@@ -103,11 +116,9 @@ type pairSession struct {
 	// Slot packers (nil with packing off), derived identically on both
 	// edge endpoints from the handshake parameters and the exchanged
 	// public keys. mpPackPeer sizes HDP grid frames we send under the
-	// peer's key; mpPackOwn sizes the frames we serve under our own key;
-	// cmpPackB sizes the packed comparison replies we send as Bob.
+	// peer's key; mpPackOwn sizes the frames we serve under our own key.
 	mpPackPeer *encoding.Packer
 	mpPackOwn  *encoding.Packer
-	cmpPackB   *encoding.Packer
 }
 
 // peerSuffix counts the peer's points in generations [from, …).
@@ -159,7 +170,8 @@ func (ms *MeshSession) Run() (*HorizontalResult, error) {
 	h := ms.h
 	h.queries = 0
 	h.cached.Store(0)
-	h.ctsSent.Store(0)
+	h.ctsUp.Store(0)
+	h.ctsDown.Store(0)
 	var labels []int
 	var clusters int
 	var err error
@@ -174,8 +186,10 @@ func (ms *MeshSession) Run() (*HorizontalResult, error) {
 		}
 	}
 	ms.runs++
+	up, down := h.ctsUp.Load(), h.ctsDown.Load()
 	return &HorizontalResult{Labels: labels, NumClusters: clusters, RegionQueries: h.queries,
-		CachedCounts: h.cached.Load(), CiphertextsSent: h.ctsSent.Load()}, nil
+		CachedCounts: h.cached.Load(), CiphertextsSent: up + down,
+		CiphertextsUplink: up, CiphertextsDownlink: down}, nil
 }
 
 // Append absorbs this party's appended batch: every party calls Append
@@ -554,7 +568,14 @@ type hState struct {
 	sessions []*pairSession // indexed by peer
 	queries  int
 	cached   atomic.Int64 // membership predicates served from cache this run
-	ctsSent  atomic.Int64 // Paillier ciphertexts this party put on the wire this run
+	// ctsUp / ctsDown split the run's Paillier ciphertext account by wire
+	// direction: uplink is the request leg (the encrypted coordinates we
+	// scatter when serving HDP under our own key, plus our driving-side
+	// comparison uplinks via the engines' Sent hooks), downlink is the
+	// response leg (masked products against a peer's operands, plus our
+	// responding-side comparison replies).
+	ctsUp   atomic.Int64
+	ctsDown atomic.Int64
 
 	pruneOn     bool
 	cellW       int64
@@ -715,8 +736,12 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 		if limit.Cmp(sess.paiKey.PlaintextBound()) >= 0 || limit.Cmp(sess.peerPai.PlaintextBound()) >= 0 {
 			return fmt.Errorf("multiparty: comparison bound overflows the Paillier plaintext space")
 		}
-		a := &compare.MaskedAlice{Key: sess.paiKey, Max: bound, Random: h.random, Pool: h.cfg.Pool}
-		b := &compare.MaskedBob{Pub: sess.peerPai, Max: bound, MaskBits: h.cfg.CmpMaskBits, Random: h.random, Pool: h.cfg.Pool}
+		// The engines count their own comparison traffic: our Alice role
+		// sends the request-leg uplink, our Bob role the response-leg
+		// replies — under "full" packing the uplink cost depends on the
+		// runtime batch content, so only the engine can account for it.
+		a := &compare.MaskedAlice{Key: sess.paiKey, Max: bound, Random: h.random, Pool: h.cfg.Pool, Sent: &h.ctsUp}
+		b := &compare.MaskedBob{Pub: sess.peerPai, Max: bound, MaskBits: h.cfg.CmpMaskBits, Random: h.random, Pool: h.cfg.Pool, Sent: &h.ctsDown}
 		if h.packing() {
 			// Our Alice role pairs with the peer's Bob over our key, and
 			// vice versa — each endpoint derives both packers from the same
@@ -730,7 +755,17 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 				return fmt.Errorf("multiparty: comparison packer: %w", err)
 			}
 			a.Packer, b.Packer = ap, bp
-			sess.cmpPackB = bp
+			if h.fullPacking() {
+				aup, err := encoding.NewUplinkComparePacker(sess.paiKey.PlaintextBound(), bound, h.cfg.CmpMaskBits)
+				if err != nil {
+					return fmt.Errorf("multiparty: uplink packer: %w", err)
+				}
+				bup, err := encoding.NewUplinkComparePacker(sess.peerPai.PlaintextBound(), bound, h.cfg.CmpMaskBits)
+				if err != nil {
+					return fmt.Errorf("multiparty: uplink packer: %w", err)
+				}
+				a.UplinkPacker, b.UplinkPacker = aup, bup
+			}
 		}
 		sess.cmpA, sess.cmpB = a, b
 	default:
@@ -754,8 +789,13 @@ func (h *hState) buildPairEngines(sess *pairSession) error {
 	return nil
 }
 
-// packing reports whether slot packing is on for this session.
-func (h *hState) packing() bool { return h.cfg.Packing == core.PackSlots }
+// packing reports whether any slot packing is on for this session.
+func (h *hState) packing() bool {
+	return h.cfg.Packing == core.PackSlots || h.cfg.Packing == core.PackFull
+}
+
+// fullPacking reports whether the packed comparison uplink is on too.
+func (h *hState) fullPacking() bool { return h.cfg.Packing == core.PackFull }
 
 // packedMaskBound is the handshake-derivable zero-sum mask magnitude the
 // packed HDP frames use (statistical hiding margin 2^−CmpMaskBits), in
@@ -773,8 +813,10 @@ func (h *hState) packedMaskBound() *big.Int {
 // version 5 added the generation tombstone exchange (sliding windows);
 // version 6 added the point tombstone exchange (point-level retraction);
 // version 7 added the Packing plaintext-encoding parameter (slot-packed
-// HDP and comparison frames).
-const meshHandshakeVersion = 7
+// HDP and comparison frames); version 8 added the packed comparison
+// uplink ("full" packing, a per-batch moded wire form) and the
+// uplink/downlink ciphertext split.
+const meshHandshakeVersion = 8
 
 // Ops on the driver→responder control channel (per peer connection).
 const (
@@ -950,7 +992,9 @@ func (h *hState) queryGen(sess *pairSession, conn transport.Conn, x []int64, g, 
 		if err := mpc.SenderGridMultiply(conn, sess.peerPai, x, vs, nCand, h.m, pk, h.random, h.cfg.Pool); err != nil {
 			return 0, err
 		}
-		h.ctsSent.Add(int64(pk.Groups(nCand) * h.m))
+		// Masked products answer the responder's encrypted coordinates:
+		// response leg.
+		h.ctsDown.Add(int64(pk.Groups(nCand) * h.m))
 	} else {
 		ys := make([]int64, 0, nCand*h.m)
 		for i := 0; i < nCand; i++ {
@@ -959,13 +1003,12 @@ func (h *hState) queryGen(sess *pairSession, conn transport.Conn, x []int64, g, 
 		if err := mpc.SenderBatchMultiply(conn, sess.peerPai, ys, vs, h.random, h.cfg.Pool); err != nil {
 			return 0, err
 		}
-		h.ctsSent.Add(int64(nCand * h.m))
+		h.ctsDown.Add(int64(nCand * h.m))
 	}
-	// Comparison phase: we hold the left value Σx². The masked Alice
-	// uplink is one ciphertext per instance in both packing modes.
-	if h.cfg.Engine == compare.EngineMasked {
-		h.ctsSent.Add(int64(nCand))
-	}
+	// Comparison phase: we hold the left value Σx², identical for every
+	// instance of the query — under "full" packing the grouped uplink
+	// collapses the batch to one ciphertext (counted by the engine's
+	// Sent hook; unpacked and "slots" uplinks stay one per instance).
 	var ownSum int64
 	for _, v := range x {
 		ownSum += v * v
@@ -1133,13 +1176,14 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport
 		if err != nil {
 			return err
 		}
-		h.ctsSent.Add(int64(pk.Groups(total) * h.m))
+		// Our encrypted coordinates open the MP sub-protocol: request leg.
+		h.ctsUp.Add(int64(pk.Groups(total) * h.m))
 	} else {
 		us, err = mpc.ReceiverBatchMultiply(conn, sess.paiKey, xs, h.random, h.cfg.Pool)
 		if err != nil {
 			return err
 		}
-		h.ctsSent.Add(int64(total * h.m))
+		h.ctsUp.Add(int64(total * h.m))
 	}
 	js := make([]int64, len(perm))
 	for i, pi := range perm {
@@ -1168,15 +1212,9 @@ func (h *hState) serveQuery(sess *pairSession, conn transport.Conn, r *transport
 		}
 		js[i] = j
 	}
-	// The masked Bob reply direction is where comparison packing bites:
-	// ⌈n/S⌉ ciphertexts packed, n unpacked. YMPP sends no Paillier cts.
-	if h.cfg.Engine == compare.EngineMasked {
-		if sess.cmpPackB != nil {
-			h.ctsSent.Add(int64(sess.cmpPackB.Groups(len(js))))
-		} else {
-			h.ctsSent.Add(int64(len(js)))
-		}
-	}
+	// The masked Bob reply direction is where "slots" packing bites:
+	// ⌈n/S⌉ ciphertexts packed, n unpacked — counted by the engine's
+	// Sent hook (YMPP sends no Paillier cts).
 	if h.cfg.Batching == core.BatchModeBatched {
 		_, err := sess.cmpB.BatchLess(conn, js)
 		return err

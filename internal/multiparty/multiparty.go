@@ -81,9 +81,11 @@ type Config struct {
 	// a ring circulation packs S masked sums per Paillier plaintext
 	// (internal/encoding), so a batch of n pairs costs ⌈n/S⌉ ciphertexts
 	// per hop instead of n, and the masked comparison engine packs its
-	// reply direction the same way. "off" keeps one ciphertext per value.
-	// All parties must agree (ring token); requires the batched round
-	// structure.
+	// reply direction the same way. "full" additionally turns on the
+	// masked engine's packed comparison uplink (per-batch moded wire
+	// form, never more ciphertexts than "slots"). "off" keeps one
+	// ciphertext per value. All parties must agree (ring token); any
+	// packing requires the batched round structure.
 	Packing core.PackMode
 
 	// Pruning mirrors core.Config.Pruning: under the default grid mode
@@ -189,8 +191,8 @@ func (c Config) validate() error {
 	if _, err := core.ParsePackMode(string(c.Packing)); err != nil {
 		return err
 	}
-	if c.Packing == core.PackSlots && c.Batching != core.BatchModeBatched {
-		return fmt.Errorf("multiparty: Packing %q requires Batching %q", core.PackSlots, core.BatchModeBatched)
+	if c.Packing != core.PackOff && c.Batching != core.BatchModeBatched {
+		return fmt.Errorf("multiparty: Packing %q requires Batching %q", c.Packing, core.BatchModeBatched)
 	}
 	if c.PruneQuantum < 1 {
 		return fmt.Errorf("multiparty: PruneQuantum must be ≥ 1, got %d", c.PruneQuantum)
@@ -244,8 +246,18 @@ type Result struct {
 	// CiphertextsSent counts the Paillier ciphertexts this party put on
 	// the wire during the run (ring circulation frames plus its side of
 	// the masked comparison) — the quantity slot packing compresses.
-	// YMPP RSA payloads are not counted.
+	// YMPP RSA payloads are not counted. Always equal to
+	// CiphertextsUplink + CiphertextsDownlink; retained as the
+	// compatibility sum.
 	CiphertextsSent int64
+	// CiphertextsUplink is the request-leg share: ring accumulation
+	// frames (operands travelling toward the coordinator's decryption)
+	// plus the coordinator's comparison uplink — the leg "full" packing
+	// exists to shrink.
+	CiphertextsUplink int64
+	// CiphertextsDownlink is the response-leg share: the last party's
+	// masked comparison replies — the leg "slots" packing shrinks.
+	CiphertextsDownlink int64
 }
 
 // ErrHandshake reports ring-wide parameter disagreement.
@@ -257,8 +269,10 @@ var ErrHandshake = errors.New("multiparty: handshake parameter mismatch")
 // version 4 added the generation tombstone circulation (sliding
 // windows); version 5 added the point tombstone circulation
 // (point-level retraction); version 6 added the Packing
-// plaintext-encoding parameter (slot-packed ring circulations).
-const ringHandshakeVersion = 6
+// plaintext-encoding parameter (slot-packed ring circulations);
+// version 7 added the packed comparison uplink ("full" packing, a
+// per-batch moded wire form) and the uplink/downlink ciphertext split.
+const ringHandshakeVersion = 7
 
 // handshakeToken travels once around the ring accumulating checks.
 type handshakeToken struct {
@@ -453,18 +467,28 @@ type state struct {
 	// bias-free (PackRaw), so each hop carries ⌈n/S⌉ ciphertexts and the
 	// coordinator unpacks the biased sums once. All parties derive it from
 	// the shared coordinator key and the handshake-agreed domain bound.
-	ringPack *encoding.Packer
-	// cmpPackB is the last party's packed-reply compare packer (nil for
-	// YMPP or packing off), kept for ciphertext accounting.
-	cmpPackB *encoding.Packer
-
+	ringPack  *encoding.Packer
 	pairCount atomic.Int64 // within-Eps bits revealed (workers count concurrently)
-	ctsSent   atomic.Int64 // Paillier ciphertexts this party put on the wire
-	idxCoords int          // cell coordinates received in the index circulation
+	// ctsUp / ctsDown split this party's Paillier ciphertext account by
+	// wire direction. Ring accumulation frames are operands travelling
+	// toward the coordinator's decryption and the comparison that
+	// follows, so every hop's contribution is request leg (uplink); the
+	// comparison engines count their own traffic via their Sent hooks —
+	// the coordinator's Alice uplink into ctsUp, the last party's Bob
+	// replies into ctsDown — which matters under "full" packing, where
+	// the uplink cost depends on the runtime batch content.
+	ctsUp     atomic.Int64
+	ctsDown   atomic.Int64
+	idxCoords int // cell coordinates received in the index circulation
 }
 
-// packing reports whether slot packing is on for this session.
-func (st *state) packing() bool { return st.cfg.Packing == core.PackSlots }
+// packing reports whether any slot packing is on for this session.
+func (st *state) packing() bool {
+	return st.cfg.Packing == core.PackSlots || st.cfg.Packing == core.PackFull
+}
+
+// fullPacking reports whether the packed comparison uplink is on too.
+func (st *state) fullPacking() bool { return st.cfg.Packing == core.PackFull }
 
 // edgeChannels splits one ring edge into W worker channels (or returns
 // the bare edge for W = 1).
@@ -735,20 +759,25 @@ func (st *state) buildEngines() error {
 			return fmt.Errorf("multiparty: bound %d with %d mask bits overflows the Paillier plaintext space", bound, st.cfg.CmpMaskBits)
 		}
 		// Both comparison roles live on the coordinator's key, so both
-		// endpoints derive the same reply packer.
-		var cp *encoding.Packer
+		// endpoints derive the same reply packer (and, under "full"
+		// packing, the same widened uplink packer).
+		var cp, up *encoding.Packer
 		if st.packing() {
 			var err error
 			if cp, err = encoding.NewComparePacker(st.paiPub.PlaintextBound(), bound, st.cfg.CmpMaskBits); err != nil {
 				return fmt.Errorf("multiparty: comparison packer: %w", err)
 			}
+			if st.fullPacking() {
+				if up, err = encoding.NewUplinkComparePacker(st.paiPub.PlaintextBound(), bound, st.cfg.CmpMaskBits); err != nil {
+					return fmt.Errorf("multiparty: uplink packer: %w", err)
+				}
+			}
 		}
 		if st.isCoordinator() {
-			st.cmpA = &compare.MaskedAlice{Key: st.paiKey, Max: bound, Random: st.random, Pool: st.pool, Packer: cp}
+			st.cmpA = &compare.MaskedAlice{Key: st.paiKey, Max: bound, Random: st.random, Pool: st.pool, Packer: cp, UplinkPacker: up, Sent: &st.ctsUp}
 		}
 		if st.isLast() {
-			st.cmpB = &compare.MaskedBob{Pub: st.paiPub, Max: bound, MaskBits: st.cfg.CmpMaskBits, Random: st.random, Pool: st.pool, Packer: cp}
-			st.cmpPackB = cp
+			st.cmpB = &compare.MaskedBob{Pub: st.paiPub, Max: bound, MaskBits: st.cfg.CmpMaskBits, Random: st.random, Pool: st.pool, Packer: cp, UplinkPacker: up, Sent: &st.ctsDown}
 		}
 	default:
 		return fmt.Errorf("multiparty: unknown engine %q", st.cfg.Engine)
@@ -763,26 +792,6 @@ func (st *state) buildEngines() error {
 		st.ringPack = rp
 	}
 	return nil
-}
-
-// cmpUplinkCts counts the Paillier ciphertexts this party's comparison
-// side sends for an n-instance batch (zero for YMPP, whose payloads are
-// RSA).
-func (st *state) cmpUplinkCts(n int) int64 {
-	if st.cfg.Engine != compare.EngineMasked {
-		return 0
-	}
-	return int64(n) // Alice's masked uplink never packs (per-instance multipliers)
-}
-
-func (st *state) cmpReplyCts(n int) int64 {
-	if st.cfg.Engine != compare.EngineMasked {
-		return 0
-	}
-	if st.cmpPackB != nil {
-		return int64(st.cmpPackB.Groups(n))
-	}
-	return int64(n)
 }
 
 // partial computes this party's local sum of squared attribute
@@ -808,7 +817,7 @@ func (st *state) pairLE(i, j int) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		st.ctsSent.Add(1)
+		st.ctsUp.Add(1)
 		if err := transport.SendMsg(next, transport.NewBuilder().PutBig(ct)); err != nil {
 			return false, fmt.Errorf("multiparty: ring send: %w", err)
 		}
@@ -828,7 +837,6 @@ func (st *state) pairLE(i, j int) (bool, error) {
 			return false, fmt.Errorf("multiparty: masked sum %v outside [0,%d)", t, st.bound+st.shareV)
 		}
 		// t = dist² + v ≤ Eps² + v ⟺ dist² ≤ Eps².
-		st.ctsSent.Add(st.cmpUplinkCts(1))
 		in, err := st.cmpA.LessEq(prev, t.Int64())
 		if err != nil {
 			return false, err
@@ -867,13 +875,12 @@ func (st *state) pairLE(i, j int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	st.ctsSent.Add(1)
+	st.ctsUp.Add(1)
 	if err := transport.SendMsg(next, transport.NewBuilder().PutBig(acc)); err != nil {
 		return false, fmt.Errorf("multiparty: ring forward: %w", err)
 	}
 	if st.isLast() {
 		// Participate in the comparison with right side Eps² + v.
-		st.ctsSent.Add(st.cmpReplyCts(1))
 		if _, err := st.cmpB.LessEq(next, st.epsSq+v); err != nil {
 			return false, err
 		}
@@ -933,7 +940,7 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.ctsSent.Add(int64(len(cts)))
+		st.ctsUp.Add(int64(len(cts)))
 		if err := transport.SendMsg(next, transport.NewBuilder().PutBigs(cts)); err != nil {
 			return nil, fmt.Errorf("multiparty: ring batch send: %w", err)
 		}
@@ -981,7 +988,6 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 				return nil, fmt.Errorf("multiparty: masked sum %d outside [0,%d)", v, st.bound+st.shareV)
 			}
 		}
-		st.ctsSent.Add(st.cmpUplinkCts(len(vals)))
 		ins, err := st.cmpA.BatchLessEq(prev, vals)
 		if err != nil {
 			return nil, err
@@ -1053,7 +1059,7 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 	}); err != nil {
 		return nil, err
 	}
-	st.ctsSent.Add(int64(len(accs)))
+	st.ctsUp.Add(int64(len(accs)))
 	if err := transport.SendMsg(next, transport.NewBuilder().PutBigs(accs)); err != nil {
 		return nil, fmt.Errorf("multiparty: ring batch forward: %w", err)
 	}
@@ -1063,7 +1069,6 @@ func (st *state) pairLEBatchOn(ch int, pairs [][2]int) ([]bool, error) {
 		for t := range rights {
 			rights[t] = st.epsSq + masks[t]
 		}
-		st.ctsSent.Add(st.cmpReplyCts(len(rights)))
 		if _, err := st.cmpB.BatchLessEq(next, rights); err != nil {
 			return nil, err
 		}

@@ -9,9 +9,14 @@ import (
 )
 
 // The multiparty packing harness mirrors the core one: ring and mesh
-// runs under Packing "off" and "slots" must be observably identical —
-// labels, pair-decision / region-query budgets, index disclosure — while
-// the packed run puts strictly fewer Paillier ciphertexts on the wire.
+// runs under Packing "off", "slots", and "full" must be observably
+// identical — labels, pair-decision / region-query budgets, index
+// disclosure — while a packed run puts strictly fewer Paillier
+// ciphertexts on the wire than the unpacked one, and "full" never puts
+// more than "slots". On the mesh "full" is strictly cheaper than
+// "slots" on the uplink leg too: a driver's comparison operands are all
+// equal (Σx² of the query point), so the grouped uplink collapses each
+// batch to one ciphertext.
 
 func packCfg(packing core.PackMode) Config {
 	cfg := testCfg(compare.EngineMasked)
@@ -27,12 +32,50 @@ func ringCts(results []*Result) int64 {
 	return n
 }
 
+func ringUplink(results []*Result) int64 {
+	var n int64
+	for _, r := range results {
+		n += r.CiphertextsUplink
+	}
+	return n
+}
+
 func meshCts(results []*HorizontalResult) int64 {
 	var n int64
 	for _, r := range results {
 		n += r.CiphertextsSent
 	}
 	return n
+}
+
+func meshUplink(results []*HorizontalResult) int64 {
+	var n int64
+	for _, r := range results {
+		n += r.CiphertextsUplink
+	}
+	return n
+}
+
+// assertRingSplits pins the compatibility invariant on every party:
+// the retained sum field equals uplink + downlink.
+func assertRingSplits(t *testing.T, label string, results []*Result) {
+	t.Helper()
+	for p, r := range results {
+		if r.CiphertextsSent != r.CiphertextsUplink+r.CiphertextsDownlink {
+			t.Errorf("%s party %d: sent %d ≠ uplink %d + downlink %d",
+				label, p, r.CiphertextsSent, r.CiphertextsUplink, r.CiphertextsDownlink)
+		}
+	}
+}
+
+func assertMeshSplits(t *testing.T, label string, results []*HorizontalResult) {
+	t.Helper()
+	for p, r := range results {
+		if r.CiphertextsSent != r.CiphertextsUplink+r.CiphertextsDownlink {
+			t.Errorf("%s party %d: sent %d ≠ uplink %d + downlink %d",
+				label, p, r.CiphertextsSent, r.CiphertextsUplink, r.CiphertextsDownlink)
+		}
+	}
 }
 
 func TestRingPackingEquivalence(t *testing.T) {
@@ -45,29 +88,45 @@ func TestRingPackingEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("k=%d pruning=%s unpacked: %v", k, pruning, err)
 			}
-			onCfg := packCfg(core.PackSlots)
-			onCfg.Pruning = pruning
-			onResults, err := runRing(t, onCfg, splitColumns(points, k))
-			if err != nil {
-				t.Fatalf("k=%d pruning=%s packed: %v", k, pruning, err)
+			assertRingSplits(t, "off", offResults)
+			packed := map[core.PackMode][]*Result{}
+			for _, mode := range []core.PackMode{core.PackSlots, core.PackFull} {
+				onCfg := packCfg(mode)
+				onCfg.Pruning = pruning
+				onResults, err := runRing(t, onCfg, splitColumns(points, k))
+				if err != nil {
+					t.Fatalf("k=%d pruning=%s packing=%s: %v", k, pruning, mode, err)
+				}
+				packed[mode] = onResults
+				assertRingSplits(t, string(mode), onResults)
+				for p := range offResults {
+					if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
+						t.Errorf("k=%d pruning=%s packing=%s party %d labels diverge: packed %v, unpacked %v",
+							k, pruning, mode, p, onResults[p].Labels, offResults[p].Labels)
+					}
+					if onResults[p].PairDecisions != offResults[p].PairDecisions {
+						t.Errorf("k=%d pruning=%s packing=%s party %d pair decisions: packed %d, unpacked %d",
+							k, pruning, mode, p, onResults[p].PairDecisions, offResults[p].PairDecisions)
+					}
+					if onResults[p].IndexCellCoords != offResults[p].IndexCellCoords {
+						t.Errorf("k=%d pruning=%s packing=%s party %d index disclosure: packed %d, unpacked %d",
+							k, pruning, mode, p, onResults[p].IndexCellCoords, offResults[p].IndexCellCoords)
+					}
+				}
+				if on, off := ringCts(onResults), ringCts(offResults); on >= off {
+					t.Errorf("k=%d pruning=%s packing=%s: packed ring sent %d ciphertexts, unpacked %d — want strictly fewer",
+						k, pruning, mode, on, off)
+				}
 			}
-			for p := range offResults {
-				if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
-					t.Errorf("k=%d pruning=%s party %d labels diverge: packed %v, unpacked %v",
-						k, pruning, p, onResults[p].Labels, offResults[p].Labels)
-				}
-				if onResults[p].PairDecisions != offResults[p].PairDecisions {
-					t.Errorf("k=%d pruning=%s party %d pair decisions: packed %d, unpacked %d",
-						k, pruning, p, onResults[p].PairDecisions, offResults[p].PairDecisions)
-				}
-				if onResults[p].IndexCellCoords != offResults[p].IndexCellCoords {
-					t.Errorf("k=%d pruning=%s party %d index disclosure: packed %d, unpacked %d",
-						k, pruning, p, onResults[p].IndexCellCoords, offResults[p].IndexCellCoords)
-				}
+			// "full" never costs more than "slots" (per-instance fallback
+			// when the ring's masked sums do not group).
+			if full, slots := ringCts(packed[core.PackFull]), ringCts(packed[core.PackSlots]); full > slots {
+				t.Errorf("k=%d pruning=%s: full ring sent %d ciphertexts, slots %d — want no growth",
+					k, pruning, full, slots)
 			}
-			if on, off := ringCts(onResults), ringCts(offResults); on >= off {
-				t.Errorf("k=%d pruning=%s: packed ring sent %d ciphertexts, unpacked %d — want strictly fewer",
-					k, pruning, on, off)
+			if full, slots := ringUplink(packed[core.PackFull]), ringUplink(packed[core.PackSlots]); full > slots {
+				t.Errorf("k=%d pruning=%s: full ring uplink %d, slots %d — want no growth",
+					k, pruning, full, slots)
 			}
 		}
 	}
@@ -84,23 +143,26 @@ func TestRingPackingEquivalenceParallel(t *testing.T) {
 	if err != nil {
 		t.Fatalf("unpacked: %v", err)
 	}
-	onCfg := packCfg(core.PackSlots)
-	onCfg.Parallel = 2
-	onResults, err := runRing(t, onCfg, splitColumns(points, 3))
-	if err != nil {
-		t.Fatalf("packed: %v", err)
-	}
-	for p := range offResults {
-		if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
-			t.Errorf("party %d labels diverge between packed and unpacked parallel rings", p)
+	for _, mode := range []core.PackMode{core.PackSlots, core.PackFull} {
+		onCfg := packCfg(mode)
+		onCfg.Parallel = 2
+		onResults, err := runRing(t, onCfg, splitColumns(points, 3))
+		if err != nil {
+			t.Fatalf("packing=%s: %v", mode, err)
 		}
-		if onResults[p].PairDecisions != offResults[p].PairDecisions {
-			t.Errorf("party %d pair decisions: packed %d, unpacked %d",
-				p, onResults[p].PairDecisions, offResults[p].PairDecisions)
+		assertRingSplits(t, string(mode), onResults)
+		for p := range offResults {
+			if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
+				t.Errorf("packing=%s party %d labels diverge between packed and unpacked parallel rings", mode, p)
+			}
+			if onResults[p].PairDecisions != offResults[p].PairDecisions {
+				t.Errorf("packing=%s party %d pair decisions: packed %d, unpacked %d",
+					mode, p, onResults[p].PairDecisions, offResults[p].PairDecisions)
+			}
 		}
-	}
-	if on, off := ringCts(onResults), ringCts(offResults); on >= off {
-		t.Errorf("packed parallel ring sent %d ciphertexts, unpacked %d — want strictly fewer", on, off)
+		if on, off := ringCts(onResults), ringCts(offResults); on >= off {
+			t.Errorf("packing=%s: packed parallel ring sent %d ciphertexts, unpacked %d — want strictly fewer", mode, on, off)
+		}
 	}
 }
 
@@ -114,27 +176,44 @@ func TestMeshPackingEquivalence(t *testing.T) {
 				t.Fatalf("pruning=%s party %d unpacked: %v", pruning, p, err)
 			}
 		}
-		onCfg := packCfg(core.PackSlots)
-		onCfg.Pruning = pruning
-		onResults, onErrs := runMesh(t, sameCfgs(3, onCfg), threePartyPoints)
-		for p, err := range onErrs {
-			if err != nil {
-				t.Fatalf("pruning=%s party %d packed: %v", pruning, p, err)
+		assertMeshSplits(t, "off", offResults)
+		packed := map[core.PackMode][]*HorizontalResult{}
+		for _, mode := range []core.PackMode{core.PackSlots, core.PackFull} {
+			onCfg := packCfg(mode)
+			onCfg.Pruning = pruning
+			onResults, onErrs := runMesh(t, sameCfgs(3, onCfg), threePartyPoints)
+			for p, err := range onErrs {
+				if err != nil {
+					t.Fatalf("pruning=%s packing=%s party %d: %v", pruning, mode, p, err)
+				}
+			}
+			packed[mode] = onResults
+			assertMeshSplits(t, string(mode), onResults)
+			for p := range offResults {
+				if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
+					t.Errorf("pruning=%s packing=%s party %d labels diverge: packed %v, unpacked %v",
+						pruning, mode, p, onResults[p].Labels, offResults[p].Labels)
+				}
+				if onResults[p].RegionQueries != offResults[p].RegionQueries {
+					t.Errorf("pruning=%s packing=%s party %d region queries: packed %d, unpacked %d",
+						pruning, mode, p, onResults[p].RegionQueries, offResults[p].RegionQueries)
+				}
+			}
+			if on, off := meshCts(onResults), meshCts(offResults); on >= off {
+				t.Errorf("pruning=%s packing=%s: packed mesh sent %d ciphertexts, unpacked %d — want strictly fewer",
+					pruning, mode, on, off)
 			}
 		}
-		for p := range offResults {
-			if !metrics.ExactMatch(onResults[p].Labels, offResults[p].Labels) {
-				t.Errorf("pruning=%s party %d labels diverge: packed %v, unpacked %v",
-					pruning, p, onResults[p].Labels, offResults[p].Labels)
-			}
-			if onResults[p].RegionQueries != offResults[p].RegionQueries {
-				t.Errorf("pruning=%s party %d region queries: packed %d, unpacked %d",
-					pruning, p, onResults[p].RegionQueries, offResults[p].RegionQueries)
-			}
+		// Every driver batch's comparison operands are equal, so the
+		// grouped uplink makes "full" strictly cheaper than "slots" —
+		// in total and on the uplink leg specifically.
+		if full, slots := meshCts(packed[core.PackFull]), meshCts(packed[core.PackSlots]); full >= slots {
+			t.Errorf("pruning=%s: full mesh sent %d ciphertexts, slots %d — want strictly fewer",
+				pruning, full, slots)
 		}
-		if on, off := meshCts(onResults), meshCts(offResults); on >= off {
-			t.Errorf("pruning=%s: packed mesh sent %d ciphertexts, unpacked %d — want strictly fewer",
-				pruning, on, off)
+		if full, slots := meshUplink(packed[core.PackFull]), meshUplink(packed[core.PackSlots]); full >= slots {
+			t.Errorf("pruning=%s: full mesh uplink %d, slots %d — want strictly fewer",
+				pruning, full, slots)
 		}
 	}
 }
@@ -142,9 +221,11 @@ func TestMeshPackingEquivalence(t *testing.T) {
 // TestPackingRequiresBatched pins the validation rule shared with the
 // two-party stack: slot packing presupposes the batched round structure.
 func TestPackingRequiresBatched(t *testing.T) {
-	cfg := packCfg(core.PackSlots)
-	cfg.Batching = core.BatchModeSequential
-	if err := cfg.withDefaults().validate(); err == nil {
-		t.Fatal("sequential batching with slot packing validated")
+	for _, mode := range []core.PackMode{core.PackSlots, core.PackFull} {
+		cfg := packCfg(mode)
+		cfg.Batching = core.BatchModeSequential
+		if err := cfg.withDefaults().validate(); err == nil {
+			t.Fatalf("sequential batching with %s packing validated", mode)
+		}
 	}
 }

@@ -317,7 +317,8 @@ func (rs *RingSession) Run() (*Result, error) {
 	st := rs.st
 	cfg := st.cfg
 	startPairs := st.pairCount.Load()
-	startCts := st.ctsSent.Load()
+	startUp := st.ctsUp.Load()
+	startDown := st.ctsDown.Load()
 	rs.cached.Store(0)
 	onPruned := func([2]int) { st.pairCount.Add(1) }
 	onCached := func(pr [2]int, in bool) {
@@ -350,13 +351,17 @@ func (rs *RingSession) Run() (*Result, error) {
 		return nil, err
 	}
 	rs.runs++
+	up := st.ctsUp.Load() - startUp
+	down := st.ctsDown.Load() - startDown
 	return &Result{
-		Labels:          labels,
-		NumClusters:     clusters,
-		PairDecisions:   int(st.pairCount.Load() - startPairs),
-		CachedPairs:     int(rs.cached.Load()),
-		IndexCellCoords: st.idxCoords,
-		CiphertextsSent: st.ctsSent.Load() - startCts,
+		Labels:              labels,
+		NumClusters:         clusters,
+		PairDecisions:       int(st.pairCount.Load() - startPairs),
+		CachedPairs:         int(rs.cached.Load()),
+		IndexCellCoords:     st.idxCoords,
+		CiphertextsSent:     up + down,
+		CiphertextsUplink:   up,
+		CiphertextsDownlink: down,
 	}, nil
 }
 
