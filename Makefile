@@ -6,13 +6,14 @@
 # and the E17 streaming append sweep to BENCH_E17.json, the E18
 # sliding-window expiry sweep to BENCH_E18.json, the E19 retraction
 # sweep to BENCH_E19.json, the E20 plaintext-packing ablation to
-# BENCH_E20.json, and the E21 packed-uplink ablation to BENCH_E21.json
-# so the performance trajectory is tracked PR over PR. Every bench file is
-# stamped with the commit hash and Go version.
+# BENCH_E20.json, the E21 packed-uplink ablation to BENCH_E21.json, and
+# the E22 shard-scaling sweep to BENCH_E22.json so the performance
+# trajectory is tracked PR over PR. Every bench file is stamped with the
+# commit hash and Go version.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 bench-e19 bench-e20 bench-e21 fuzz clean
+.PHONY: all build test race vet fmt verify bench bench-e17 bench-e18 bench-e19 bench-e20 bench-e21 bench-e22 fuzz clean
 
 all: build
 
@@ -55,6 +56,8 @@ bench:
 	@cat BENCH_E20.json
 	$(GO) run ./cmd/ppdbscan bench -suite e21 -quick -out BENCH_E21.json
 	@cat BENCH_E21.json
+	$(GO) run ./cmd/ppdbscan bench -suite e22 -quick -out BENCH_E22.json
+	@cat BENCH_E22.json
 
 # Streaming append sweep only (BENCH_E17.json).
 bench-e17:
@@ -84,6 +87,12 @@ bench-e21:
 	$(GO) run ./cmd/ppdbscan bench -suite e21 -out BENCH_E21.json
 	@cat BENCH_E21.json
 
+# Shard-scaling sweep only (BENCH_E22.json): dispatcher + N single-slot
+# shards, aggregate runs/sec strictly increasing 1→2→4.
+bench-e22:
+	$(GO) run ./cmd/ppdbscan bench -suite e22 -quick -out BENCH_E22.json
+	@cat BENCH_E22.json
+
 # Short fuzz pass over the wire, batch-frame, mux-frame, and spatial-grid
 # codecs.
 fuzz:
@@ -98,4 +107,4 @@ fuzz:
 	$(GO) test ./internal/compare -run NONE -fuzz FuzzPackedUplink -fuzztime 10s
 
 clean:
-	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json BENCH_E19.json BENCH_E20.json BENCH_E21.json
+	rm -f BENCH_E11.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json BENCH_E18.json BENCH_E19.json BENCH_E20.json BENCH_E21.json BENCH_E22.json

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/transport"
+)
+
+// cmdDispatch runs the serving tier's front door: a dispatcher that
+// consistent-hashes every inbound session key onto one of N serve
+// backends, splices the byte stream through, sheds load before keygen
+// when the fleet is saturated, health-checks the shards, and on SIGINT
+// drains and prints one fleet-wide rollup of every shard's session and
+// traffic counters.
+func cmdDispatch(args []string) error {
+	fs := flag.NewFlagSet("dispatch", flag.ExitOnError)
+	listen := fs.String("listen", ":9100", "address to listen on")
+	shards := fs.String("shards", "", "comma-separated backend addresses (host:port,host:port,...)")
+	shed := fs.Int("shed", 0, "per-shard in-flight session bound; excess sessions are refused before keygen (0 = unlimited)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+	health := fs.Duration("health", 2*time.Second, "shard health-check period (0 = disabled)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown wait for spliced sessions before exiting")
+	keepalive := fs.Duration("keepalive", 3*time.Minute, "TCP keepalive probe period on client connections (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var addrs []string
+	for _, a := range strings.Split(*shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("dispatch requires -shards host:port[,host:port...]")
+	}
+	if *shed < 0 {
+		return fmt.Errorf("dispatch requires -shed ≥ 0")
+	}
+	interval := *health
+	if interval == 0 {
+		interval = -1 // Options: negative disables the loop
+	}
+	d, err := dispatch.New(dispatch.Options{
+		Shards:         addrs,
+		Shed:           *shed,
+		Vnodes:         *vnodes,
+		HealthInterval: interval,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	lis, err := transport.NewListener(*listen)
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	lis.SetConnOptions(0, *keepalive)
+	d.Start()
+	fmt.Printf("dispatch: listening on %s, %d shards %v (shed bound %d, health every %v)\n",
+		lis.Addr(), len(addrs), addrs, *shed, *health)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; ok {
+			fmt.Println("dispatch: shutdown requested; shedding new sessions, draining spliced ones")
+			lis.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for {
+		conn, err := lis.Accept()
+		if errors.Is(err, transport.ErrClosed) {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dispatch: accept: %v\n", err)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		wg.Add(1)
+		go func(conn transport.Conn) {
+			defer wg.Done()
+			// A shed or a dead client is that connection's problem; the
+			// accept loop keeps serving.
+			if err := d.HandleConn(conn); err != nil {
+				fmt.Fprintf(os.Stderr, "dispatch: %v\n", err)
+			}
+		}(conn)
+	}
+
+	merged, rows, graceful := d.Drain(*drain)
+	wg.Wait()
+	if !graceful {
+		fmt.Println("dispatch: drain timed out with sessions still spliced")
+	}
+	loads := d.Loads()
+	names := make([]string, 0, len(loads))
+	for n := range loads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		l := loads[n]
+		state := "up"
+		if l.Dead {
+			state = "down"
+		}
+		fmt.Printf("dispatch: shard %s (%s): %d admitted, %d shed, %d bytes up / %d bytes down\n",
+			n, state, l.Admitted, l.Sheds, l.BytesUp, l.BytesDn)
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "dispatch: shard %s: stats pull failed: %v\n", r.Name, r.Err)
+		}
+	}
+	fmt.Printf("dispatch: fleet total %d sessions (%d closed, %d failed, %d live), %d runs\n",
+		merged.Opened, merged.Closed, merged.Failed, merged.Live, merged.Runs)
+	fmt.Printf("dispatch: fleet traffic sent %d bytes, received %d bytes in %d messages\n",
+		merged.Traffic.BytesSent, merged.Traffic.BytesRecv, merged.Traffic.Messages())
+	return nil
+}

@@ -15,12 +15,13 @@
 //	ppdbscan demo        -mode horizontal|enhanced|vertical|arbitrary [flags]
 //	ppdbscan alice       -mode horizontal|enhanced|vertical -listen :9000 -data a.csv [flags]
 //	ppdbscan bob         -mode horizontal|enhanced|vertical -connect host:9000 -data b.csv [flags]
-//	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [-workers N] [-drain 30s] [-max-sessions N] [-idle-timeout 2m] [flags]
-//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [-appends K -append-batch B [-window]] [-retract N] [flags]
-//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [-appends K -append-batch B [-window]] [-retract N] [flags]
+//	ppdbscan serve       -mode horizontal|enhanced|vertical -listen :9000 -data b.csv [-name shard-a] [-workers N|auto [-colocated K]] [-drain 30s] [-max-sessions N] [-idle-timeout 2m] [flags]
+//	ppdbscan dispatch    -listen :9100 -shards host:9001,host:9002 [-shed N] [-health 2s] [-drain 30s]
+//	ppdbscan client      -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -runs 3 [-session-key K] [-appends K -append-batch B [-window]] [-retract N] [flags]
+//	ppdbscan loadgen     -mode horizontal|enhanced|vertical -connect host:9000 -data a.csv -clients 4 -runs 2 [-session-key P -shed-retries N] [-appends K -append-batch B [-window]] [-retract N] [flags]
 //	ppdbscan gen         -kind blobs|moons|rings|bridged -n 200 -out points.csv [flags]
-//	ppdbscan experiments -id all|e1..e21 [-quick] [-seed N]
-//	ppdbscan bench       [-suite e11|e14|e15|e16|e17|e18|e19|e20|e21] [-quick] [-seed N] [-out BENCH_E11.json]
+//	ppdbscan experiments -id all|e1..e22 [-quick] [-seed N]
+//	ppdbscan bench       [-suite e11|e14|e15|e16|e17|e18|e19|e20|e21|e22] [-quick] [-seed N] [-out BENCH_E11.json]
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dispatch"
 	"repro/internal/experiments"
 	"repro/internal/partition"
 	"repro/internal/transport"
@@ -57,6 +59,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "dispatch":
+		err = cmdDispatch(os.Args[2:])
 	case "client":
 		err = cmdClient(os.Args[2:])
 	case "loadgen":
@@ -88,11 +92,15 @@ commands:
   alice, bob   run one party of a one-shot protocol over TCP
   serve        concurrent multi-session server: accept any number of clients,
                one session each, over a shared bounded crypto pool; SIGINT drains
+  dispatch     serving-tier front door: consistent-hash sessions across N serve
+               shards, splice the byte stream through, shed load before keygen,
+               health-check the fleet; SIGINT drains and prints a fleet rollup
   client       drive a long-lived session: N clustering runs over one key exchange
   loadgen      drive C concurrent client sessions x R runs each against a server
+               or dispatcher (per-shard breakdown in the summary)
   gen          generate a synthetic dataset CSV
-  experiments  regenerate the paper's evaluation tables (e1..e21 or all)
-  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17|e18|e19|e20|e21) and write JSON measurements
+  experiments  regenerate the paper's evaluation tables (e1..e22 or all)
+  bench        run a benchmark suite (-suite e11|e14|e15|e16|e17|e18|e19|e20|e21|e22) and write JSON measurements
   verify       audit every protocol family against its plaintext oracle
 
 E14 is the grid-pruning ablation: -pruning grid (default) buckets each
@@ -118,7 +126,11 @@ comparison. Labels and leakage are identical either way. E21 is the
 packed-uplink ablation: -packing full additionally packs the masked
 comparison uplink (grouped or derived per batch, with a per-instance
 fallback so full never costs more than slots), splitting every
-ciphertext count into uplink and downlink legs.
+ciphertext count into uplink and downlink legs. E22 is the shard-scaling
+sweep: the dispatcher fans C concurrent sessions across N serve shards
+(consistent hashing on the session key, load-based shedding at the
+admission preamble), measuring aggregate runs/sec and per-run latency
+at fixed total work as the shard count grows.
 
 run 'ppdbscan <command> -h' for flags.
 `)
@@ -406,6 +418,7 @@ func cmdClient(args []string) error {
 	connect := fs.String("connect", "", "address of the serving party")
 	dataPath := fs.String("data", "", "CSV file with this party's points (one point per line)")
 	runs := fs.Int("runs", 1, "clustering runs to request over the session")
+	sessionKey := fs.String("session-key", "client", "session key greeted to the serving tier; the consistent-hash routing input behind a dispatcher")
 	appends := fs.Int("appends", 0, "streaming appends after the initial runs, each followed by a re-clustering run (horizontal modes)")
 	appendBatch := fs.Int("append-batch", 0, "points per appended batch, taken from the tail of -data")
 	window := fs.Bool("window", false, "slide a fixed-width window: every appended batch also expires the oldest live generation")
@@ -440,12 +453,16 @@ func cmdClient(args []string) error {
 		return err
 	}
 	defer conn.Close()
+	shard, err := dispatch.Hello(conn, *sessionKey)
+	if err != nil {
+		return fmt.Errorf("admission: %w", err)
+	}
 	meter := transport.NewMeter(conn)
 	sess, err := sessionByMode(p.mode, meter, cfg, core.RoleAlice, points)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("client: session established, setup leakage %v\n", sess.SetupLeakage())
+	fmt.Printf("client: session established on shard %s, setup leakage %v\n", shard, sess.SetupLeakage())
 	var last *core.Result
 	run := func() error {
 		res, err := sess.Run()
@@ -534,7 +551,7 @@ func cmdGen(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (e1..e21) or all")
+	id := fs.String("id", "all", "experiment id (e1..e22) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	if err := fs.Parse(args); err != nil {
@@ -588,7 +605,7 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller workload")
 	seed := fs.Int64("seed", 1, "bench seed")
-	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17|e18|e19|e20|e21")
+	suite := fs.String("suite", "e11", "benchmark suite: e11|e14|e15|e16|e17|e18|e19|e20|e21|e22")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -615,8 +632,10 @@ func cmdBench(args []string) error {
 		rows, err = experiments.BenchE20(opt)
 	case "e21":
 		rows, err = experiments.BenchE21(opt)
+	case "e22":
+		rows, err = experiments.BenchE22(opt)
 	default:
-		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, e17, e18, e19, e20, or e21)", *suite)
+		return fmt.Errorf("unknown bench suite %q (want e11, e14, e15, e16, e17, e18, e19, e20, e21, or e22)", *suite)
 	}
 	if err != nil {
 		return fmt.Errorf("bench suite %s failed: %w", *suite, err)

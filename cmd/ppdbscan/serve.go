@@ -7,13 +7,16 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/transport"
 )
 
@@ -41,8 +44,10 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	p := addProtocolFlags(fs)
 	listen := fs.String("listen", ":9000", "address to listen on")
+	name := fs.String("name", "", "shard name reported in admission and health replies (default: the bound listen address)")
 	dataPath := fs.String("data", "", "CSV file with this party's points (one point per line)")
-	workers := fs.Int("workers", 0, "shared crypto pool size across all sessions (0 = GOMAXPROCS)")
+	workers := fs.String("workers", "", "shared crypto pool size across all sessions (empty or 0 = GOMAXPROCS; auto = GOMAXPROCS divided across -colocated shard processes)")
+	colocated := fs.Int("colocated", 1, "shard processes sharing this host; divides the 'auto' crypto pool sizing so co-located shards don't oversubscribe the CPU")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown wait for in-flight sessions before force-closing")
 	maxSessions := fs.Int("max-sessions", 0, "admission bound on concurrently live sessions (0 = unlimited); excess connections are refused before the handshake")
 	idle := fs.Duration("idle-timeout", 0, "per-session read deadline: a client silent this long mid-session is dropped (0 = off)")
@@ -50,8 +55,9 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *workers < 0 {
-		return fmt.Errorf("serve requires -workers ≥ 0")
+	poolWorkers, err := parseWorkers(*workers, *colocated)
+	if err != nil {
+		return err
 	}
 	if *maxSessions < 0 {
 		return fmt.Errorf("serve requires -max-sessions ≥ 0")
@@ -70,11 +76,15 @@ func cmdServe(args []string) error {
 	}
 	defer lis.Close()
 	lis.SetConnOptions(*idle, *keepalive)
-	mgr := core.NewSessionManager(*workers)
+	mgr := core.NewSessionManager(poolWorkers)
 	mgr.SetMaxSessions(*maxSessions)
 	cfg = mgr.Configure(cfg)
-	fmt.Printf("serve: listening on %s (mode %s, parallel %d, crypto pool %d workers, max sessions %d, idle timeout %v)\n",
-		lis.Addr(), p.mode, cfg.Parallel, mgr.Pool().Workers(), *maxSessions, *idle)
+	if *name == "" {
+		*name = lis.Addr()
+	}
+	backend := &dispatch.Backend{Name: *name, Mgr: mgr}
+	fmt.Printf("serve: shard %s listening on %s (mode %s, parallel %d, crypto pool %d workers, max sessions %d, idle timeout %v)\n",
+		*name, lis.Addr(), p.mode, cfg.Parallel, mgr.Pool().Workers(), *maxSessions, *idle)
 
 	// SIGINT/SIGTERM close the listener; the accept loop falls through to
 	// the drain.
@@ -105,7 +115,7 @@ func cmdServe(args []string) error {
 		wg.Add(1)
 		go func(conn transport.Conn) {
 			defer wg.Done()
-			serveSession(mgr, conn, p.mode, cfg, points)
+			serveSession(backend, conn, p.mode, cfg, points)
 		}(conn)
 	}
 	if !mgr.Drain(*drain) {
@@ -120,17 +130,48 @@ func cmdServe(args []string) error {
 	return nil
 }
 
+// parseWorkers resolves the -workers flag: empty or "0" defers to
+// GOMAXPROCS (the SessionManager default), "auto" divides GOMAXPROCS
+// across the co-located shard processes on this host (never below 1),
+// and a plain integer is taken as-is.
+func parseWorkers(s string, colocated int) (int, error) {
+	if colocated < 1 {
+		return 0, fmt.Errorf("serve requires -colocated ≥ 1")
+	}
+	switch s {
+	case "", "0":
+		return 0, nil
+	case "auto":
+		w := runtime.GOMAXPROCS(0) / colocated
+		if w < 1 {
+			w = 1
+		}
+		return w, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("serve requires -workers to be a non-negative integer or 'auto'")
+	}
+	return n, nil
+}
+
 // serveSession runs one client's whole session lifecycle on its own
-// goroutine. Errors — a refused registration, a failed handshake, a
-// mid-run disconnect — end this session only; the accept loop never
-// sees them.
-func serveSession(mgr *core.SessionManager, conn transport.Conn, mode string, cfg core.Config, points [][]float64) {
-	defer conn.Close()
-	h, err := mgr.Begin(conn)
+// goroutine, starting with the serving tier's control preamble: pings
+// and stats pulls are answered and closed by the backend, admission
+// failures are shed with a typed refusal before any keygen, and only an
+// admitted hello proceeds to the protocol handshake. Errors — a refused
+// registration, a failed handshake, a mid-run disconnect — end this
+// session only; the accept loop never sees them.
+func serveSession(backend *dispatch.Backend, conn transport.Conn, mode string, cfg core.Config, points [][]float64) {
+	h, ok, err := backend.Accept(conn)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "serve: refusing connection: %v\n", err)
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		return
 	}
+	if !ok {
+		return // ping, stats, or shed — fully handled, conn closed
+	}
+	defer conn.Close()
 	sess, err := sessionByMode(mode, h.Meter(), cfg, core.RoleBob, points)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: session %d: establishment failed: %v\n", h.ID(), err)
@@ -193,6 +234,80 @@ func (l *latencyRecorder) percentile(p float64) time.Duration {
 	return sorted[rank-1]
 }
 
+// shardBreakdown splits the loadgen tallies by the backend that served
+// (or shed) each client, keyed on the shard name the admission preamble
+// reports — through the dispatcher that is the actual serving backend,
+// not the dispatcher itself, so the summary shows how the tier spread
+// the load.
+type shardBreakdown struct {
+	mu sync.Mutex
+	by map[string]*shardTally
+}
+
+type shardTally struct {
+	runs  int64
+	sheds int64
+	lat   latencyRecorder
+}
+
+func (b *shardBreakdown) tally(shard string) *shardTally {
+	if shard == "" {
+		shard = "(unknown)"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.by == nil {
+		b.by = make(map[string]*shardTally)
+	}
+	t := b.by[shard]
+	if t == nil {
+		t = &shardTally{}
+		b.by[shard] = t
+	}
+	return t
+}
+
+func (b *shardBreakdown) shed(shard string) {
+	t := b.tally(shard)
+	b.mu.Lock()
+	t.sheds++
+	b.mu.Unlock()
+}
+
+func (b *shardBreakdown) run(shard string, d time.Duration) {
+	t := b.tally(shard)
+	b.mu.Lock()
+	t.runs++
+	b.mu.Unlock()
+	t.lat.add(d)
+}
+
+// report prints one per-backend line when the breakdown saw more than
+// one shard name (or any shed), so single-server runs stay one-line.
+func (b *shardBreakdown) report(wall time.Duration) {
+	b.mu.Lock()
+	names := make([]string, 0, len(b.by))
+	totalSheds := int64(0)
+	for n, t := range b.by {
+		names = append(names, n)
+		totalSheds += t.sheds
+	}
+	b.mu.Unlock()
+	if len(names) < 2 && totalSheds == 0 {
+		return
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b.mu.Lock()
+		t := b.by[n]
+		runs, sheds := t.runs, t.sheds
+		b.mu.Unlock()
+		fmt.Printf("loadgen: shard %s: %d runs, %.2f runs/sec, p50 %v, p95 %v, %d sheds\n",
+			n, runs, float64(runs)/max(wall.Seconds(), 1e-9),
+			t.lat.percentile(50).Round(time.Millisecond), t.lat.percentile(95).Round(time.Millisecond), sheds)
+	}
+}
+
 // ctsTally accumulates the client-side Paillier ciphertext counts
 // across every loadgen run, split by direction: uplink is the request
 // leg (the comparison uplink "full" packing shrinks), downlink the
@@ -220,6 +335,9 @@ func cmdLoadgen(args []string) error {
 	appendBatch := fs.Int("append-batch", 0, "points per appended batch, taken from the tail of -data")
 	window := fs.Bool("window", false, "slide a fixed-width window: every appended batch also expires the oldest live generation")
 	retract := fs.Int("retract", 0, "after the runs and appends, each client retracts this many of its oldest live points and re-clusters")
+	keyPrefix := fs.String("session-key", "client", "session key prefix; client c greets with '<prefix>-<c>', the consistent-hash routing input")
+	shedRetries := fs.Int("shed-retries", 0, "times a shed client re-dials for admission before giving up")
+	shedWait := fs.Duration("shed-wait", 200*time.Millisecond, "wait between shed retries")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -249,6 +367,7 @@ func cmdLoadgen(args []string) error {
 	var runsDone atomic.Int64
 	var lat latencyRecorder
 	var cts ctsTally
+	var breakdown shardBreakdown
 	errs := make([]error, *clients)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -256,7 +375,8 @@ func cmdLoadgen(args []string) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs[c] = driveClient(&group, *connect, p.mode, cfg, initial, batches, *runs, *window, *retract, &runsDone, &lat, &cts)
+			key := fmt.Sprintf("%s-%d", *keyPrefix, c)
+			errs[c] = driveClient(&group, *connect, key, *shedRetries, *shedWait, p.mode, cfg, initial, batches, *runs, *window, *retract, &runsDone, &lat, &cts, &breakdown)
 		}(c)
 	}
 	wg.Wait()
@@ -287,19 +407,41 @@ func cmdLoadgen(args []string) error {
 		fmt.Printf("loadgen: per-run latency p50 %v, p95 %v over %d runs\n",
 			lat.percentile(50).Round(time.Millisecond), lat.percentile(95).Round(time.Millisecond), lat.count())
 	}
+	breakdown.report(wall)
 	if failed > 0 {
 		return fmt.Errorf("loadgen: %d of %d clients failed", failed, *clients)
 	}
 	return nil
 }
 
-// driveClient runs one loadgen client: dial, establish a session over
-// the initial points, R runs, then one append+run (or, with window set,
-// window-slide+run) per batch, an optional retract+run, close.
-func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, retract int, runsDone *atomic.Int64, lat *latencyRecorder, cts *ctsTally) error {
-	conn, err := transport.Dial(connect)
-	if err != nil {
-		return err
+// driveClient runs one loadgen client: dial, greet the tier with the
+// session key (retrying a typed shed up to shedRetries times — the
+// refusal lands before any keygen, so a retry is cheap), establish a
+// session over the initial points, R runs, then one append+run (or,
+// with window set, window-slide+run) per batch, an optional
+// retract+run, close.
+func driveClient(group *transport.MeterGroup, connect, key string, shedRetries int, shedWait time.Duration, mode string, cfg core.Config, initial [][]float64, batches [][][]float64, runs int, window bool, retract int, runsDone *atomic.Int64, lat *latencyRecorder, cts *ctsTally, breakdown *shardBreakdown) error {
+	var conn transport.Conn
+	var shard string
+	for attempt := 0; ; attempt++ {
+		c, err := transport.Dial(connect)
+		if err != nil {
+			return err
+		}
+		s, err := dispatch.Hello(c, key)
+		if err == nil {
+			conn, shard = c, s
+			break
+		}
+		c.Close()
+		if errors.Is(err, core.ErrServerFull) || errors.Is(err, core.ErrDraining) {
+			breakdown.shed(s)
+			if attempt < shedRetries {
+				time.Sleep(shedWait)
+				continue
+			}
+		}
+		return fmt.Errorf("admission: %w", err)
 	}
 	defer conn.Close()
 	meter := group.New(conn)
@@ -314,7 +456,9 @@ func driveClient(group *transport.MeterGroup, connect, mode string, cfg core.Con
 			return err
 		}
 		cts.add(res)
-		lat.add(time.Since(runStart))
+		d := time.Since(runStart)
+		lat.add(d)
+		breakdown.run(shard, d)
 		runsDone.Add(1)
 		return nil
 	}

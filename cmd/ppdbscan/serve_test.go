@@ -1,0 +1,48 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParseWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		in        string
+		colocated int
+		want      int
+		wantErr   bool
+	}{
+		{"", 1, 0, false},
+		{"0", 1, 0, false},
+		{"3", 1, 3, false},
+		{"auto", 1, gmp, false},
+		{"auto", gmp + 1, 1, false}, // more shards than cores: never below 1
+		{"-2", 1, 0, true},
+		{"many", 1, 0, true},
+		{"auto", 0, 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseWorkers(c.in, c.colocated)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("parseWorkers(%q, %d): err=%v wantErr=%v", c.in, c.colocated, err, c.wantErr)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("parseWorkers(%q, %d) = %d, want %d", c.in, c.colocated, got, c.want)
+		}
+	}
+}
+
+func TestParseWorkersAutoDivides(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	if gmp < 2 {
+		t.Skip("needs GOMAXPROCS ≥ 2 to observe division")
+	}
+	got, err := parseWorkers("auto", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != gmp/2 {
+		t.Fatalf("auto across 2 co-located shards: got %d, want %d", got, gmp/2)
+	}
+}

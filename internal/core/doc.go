@@ -27,6 +27,13 @@
 // lifetime from run lifetime, and schedule from protocol:
 //
 //	┌────────────────────────────────────────────────────────────┐
+//	│ serving tier          internal/dispatch: consistent-hash   │
+//	│ (ppdbscan dispatch)   routing of session keys across N     │
+//	│                       shard processes, load-based          │
+//	│                       admission + shedding, health-checked │
+//	│                       failover, frame-level splice; fleet  │
+//	│                       rollup over every shard's snapshot   │
+//	├────────────────────────────────────────────────────────────┤
 //	│ session server        core.SessionManager: registry of N   │
 //	│ (registry.go)         concurrent sessions (ids, lifecycle  │
 //	│                       states, graceful drain, aggregate    │
@@ -113,6 +120,31 @@
 // WAN. Session itself rejects misuse under concurrency: a second Run
 // while one is in flight fails with ErrConcurrentRun, and Run after
 // Close fails with ErrSessionClosed.
+//
+// # Sharded serving and the dispatch tier
+//
+// One process scales up; internal/dispatch scales out. A dispatcher
+// fronts N serve processes (shards), each running its own
+// SessionManager over its own crypto pool, and routes every inbound
+// connection by consistent-hashing its session key onto the shard
+// ring — the same key always lands on the same live shard, so
+// per-shard cross-run caches stay warm, and shard churn only moves the
+// keys that hash onto the changed shard. The dispatcher speaks a small
+// control preamble (transport/control.go) before the protocol
+// handshake: it reserves an admission slot, dials the shard, forwards
+// the client's hello, and then splices frames verbatim in both
+// directions — it never parses protocol traffic, which is what makes
+// routing protocol-transparent (labels and Ledgers through the
+// dispatcher are byte-identical to a direct connection; experiment E22
+// pins this for all four families). Admission is load-based: a shard
+// at its in-flight cap (or failing pings) is skipped in ring-walk
+// order, and only when every shard is exhausted does the client see
+// the same typed refusals a solo server issues — ErrServerFull,
+// ErrDraining — before any keygen work. Draining the dispatcher drains
+// every shard and merges their ManagerSnapshots via MergeSnapshots
+// into one fleet rollup. Experiment E22 records the scaling claim:
+// with single-slot shards under WAN latency, aggregate runs/sec rises
+// strictly with the shard count at fixed total work.
 //
 // # Round structure and batching
 //

@@ -91,23 +91,36 @@ func runWave(n int, f func(t int) error) error {
 type decideFn func(conn transport.Conn, point, ownCount int) (bool, error)
 
 // parallelDrive runs one driving pass of the horizontal family with
-// wave-prefetched remote queries: the cluster-seed decision runs alone
-// (its successor is unknown until it settles), then each expansion round
-// takes up to W queue items — all of which the sequential schedule would
-// query anyway — and decides them concurrently, one worker channel each.
-// Queue pops, label writes, and appends happen in the sequential order,
-// so labels match the W = 1 pass exactly.
+// wave-prefetched remote queries, dispatching each wave slot onto its
+// worker channel.
 func parallelDrive(conns []transport.Conn, own [][]int64, localRQ func(int) []int, decide decideFn) ([]int, int, error) {
-	labels := make([]int, len(own))
+	return WaveDrive(len(own), len(conns), localRQ, func(w, point, ownCount int) (bool, error) {
+		return decide(conns[w], point, ownCount)
+	})
+}
+
+// WaveDrive runs a full Algorithm 3/4 driving pass over n own points
+// with the wave scheduler: the cluster-seed decision runs alone (its
+// successor is unknown until it settles), then each expansion round
+// takes up to `workers` queue items — all of which the sequential
+// schedule would query anyway — and decides them concurrently, one
+// worker slot each. Queue pops, label writes, and appends happen in
+// the sequential order, so labels match the workers = 1 pass exactly.
+// decide answers the remote half of one core decision on worker slot w
+// (the two-party family maps a slot to one mux channel; the multiparty
+// mesh maps it to channel w of every mesh edge). Exported for the mesh
+// driving pass; two-party families use the parallelDrive wrapper.
+func WaveDrive(n, workers int, localRQ func(int) []int, decide func(worker, point, ownCount int) (bool, error)) ([]int, int, error) {
+	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = dbscan.Unclassified
 	}
 	clusterID := 0
-	for i := range own {
+	for i := 0; i < n; i++ {
 		if labels[i] != dbscan.Unclassified {
 			continue
 		}
-		expanded, err := parallelExpand(conns, localRQ, decide, i, clusterID+1, labels)
+		expanded, err := waveExpand(workers, localRQ, decide, i, clusterID+1, labels)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -118,7 +131,7 @@ func parallelDrive(conns []transport.Conn, own [][]int64, localRQ func(int) []in
 	return labels, clusterID, nil
 }
 
-// parallelExpand is Algorithm 4's expansion with wave prefetch, plus
+// waveExpand is Algorithm 4's expansion with wave prefetch, plus
 // wave pipelining for W > 1: while wave k's workers wait on their
 // replies, the same goroutines issue the uplinks of wave k+1's queries.
 // The pipelined queries are sound for the same reason the wave itself
@@ -132,9 +145,9 @@ func parallelDrive(conns []transport.Conn, own [][]int64, localRQ func(int) []in
 // and every Ledger class are unchanged — only round trips overlap. At
 // W = 1 no pipelining happens and the wire behavior is byte-identical
 // to the legacy path.
-func parallelExpand(conns []transport.Conn, localRQ func(int) []int, decide decideFn, point, clusterID int, labels []int) (bool, error) {
+func waveExpand(workers int, localRQ func(int) []int, decide func(worker, point, ownCount int) (bool, error), point, clusterID int, labels []int) (bool, error) {
 	seeds := localRQ(point)
-	core, err := decide(conns[0], point, len(seeds))
+	core, err := decide(0, point, len(seeds))
 	if err != nil {
 		return false, err
 	}
@@ -160,7 +173,7 @@ func parallelExpand(conns []transport.Conn, localRQ func(int) []int, decide deci
 	}
 	var pre []preDecision
 	for len(queue) > 0 {
-		w := len(conns)
+		w := workers
 		if w > len(queue) {
 			w = len(queue)
 		}
@@ -178,13 +191,13 @@ func parallelExpand(conns []transport.Conn, localRQ func(int) []int, decide deci
 				fresh[t] = true
 			}
 		}
-		// Pipelined prefix of wave k+1. Non-empty only when w == len(conns)
+		// Pipelined prefix of wave k+1. Non-empty only when w == workers
 		// (otherwise the queue just drained), so nxt[t] always has a
 		// same-index worker below.
 		var nxt []int
 		var nxtRqs [][]int
-		if len(conns) > 1 && len(queue) > 0 {
-			k := len(conns)
+		if workers > 1 && len(queue) > 0 {
+			k := workers
 			if k > len(queue) {
 				k = len(queue)
 			}
@@ -197,14 +210,14 @@ func parallelExpand(conns []transport.Conn, localRQ func(int) []int, decide deci
 		nxtCores := make([]bool, len(nxt))
 		if err := runWave(w, func(t int) error {
 			if fresh[t] {
-				c, err := decide(conns[t], wave[t], len(rqs[t]))
+				c, err := decide(t, wave[t], len(rqs[t]))
 				if err != nil {
 					return err
 				}
 				cores[t] = c
 			}
 			if t < len(nxt) {
-				c, err := decide(conns[t], nxt[t], len(nxtRqs[t]))
+				c, err := decide(t, nxt[t], len(nxtRqs[t]))
 				if err != nil {
 					return err
 				}
@@ -317,7 +330,7 @@ func LockstepClusterParallel(n, minPts, w int,
 // needs no locking and every participant derives identical waves from
 // its identical prior.
 //
-// Unlike parallelExpand, lockstep waves keep a hard barrier: the next
+// Unlike waveExpand, lockstep waves keep a hard barrier: the next
 // wave's batches are built from the decided-pair cache the current wave
 // writes, so pipelining wave k+1's uplink before wave k settles would
 // change the batch contents (re-deciding already-settled pairs) and

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Fleet rollup surface for the sharded serving tier. Each shard answers a
+// CtrlStats probe with its ManagerSnapshot encoded over the wire codec;
+// the dispatcher decodes and merges the per-shard views into one
+// fleet-wide summary on drain. The codec carries the live sessions' rows
+// too, so a single-shard STATS pull is lossless; MergeSnapshots drops
+// them — session ids are per-process and collide across shards, so a
+// fleet view keeps only the aggregate counters.
+
+// Encode appends the snapshot to a builder in a self-delimiting form.
+func (s ManagerSnapshot) Encode(b *transport.Builder) *transport.Builder {
+	b.PutInt(int64(s.Opened)).
+		PutInt(int64(s.Live)).
+		PutInt(int64(s.Closed)).
+		PutInt(int64(s.Failed)).
+		PutInt(s.Runs).
+		PutInt(s.Traffic.MessagesSent).
+		PutInt(s.Traffic.MessagesRecv).
+		PutInt(s.Traffic.BytesSent).
+		PutInt(s.Traffic.BytesRecv).
+		PutUint(uint64(len(s.Lives)))
+	for _, l := range s.Lives {
+		b.PutUint(l.ID).PutUint(uint64(l.State)).PutInt(l.Runs)
+	}
+	return b
+}
+
+// maxSnapshotLives bounds how many live rows a decoded snapshot may
+// carry, so a corrupt length prefix cannot drive allocation.
+const maxSnapshotLives = 1 << 20
+
+// DecodeManagerSnapshot parses a snapshot written by Encode.
+func DecodeManagerSnapshot(r *transport.Reader) (ManagerSnapshot, error) {
+	s := ManagerSnapshot{
+		Opened: int(r.Int()),
+		Live:   int(r.Int()),
+		Closed: int(r.Int()),
+		Failed: int(r.Int()),
+		Runs:   r.Int(),
+	}
+	s.Traffic = transport.Stats{
+		MessagesSent: r.Int(),
+		MessagesRecv: r.Int(),
+		BytesSent:    r.Int(),
+		BytesRecv:    r.Int(),
+	}
+	n := r.Uint()
+	if err := r.Err(); err != nil {
+		return ManagerSnapshot{}, fmt.Errorf("core: snapshot: %w", err)
+	}
+	if n > maxSnapshotLives {
+		return ManagerSnapshot{}, fmt.Errorf("core: snapshot: %d live rows exceeds bound", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Lives = append(s.Lives, SessionInfo{
+			ID:    r.Uint(),
+			State: SessionState(r.Uint()),
+			Runs:  r.Int(),
+		})
+	}
+	if err := r.Err(); err != nil {
+		return ManagerSnapshot{}, fmt.Errorf("core: snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// MergeSnapshots folds per-shard snapshots into one fleet-wide view:
+// lifecycle counts, runs, and traffic sum field-wise; per-session rows
+// are dropped (ids are per-process and collide across shards).
+func MergeSnapshots(snaps ...ManagerSnapshot) ManagerSnapshot {
+	var out ManagerSnapshot
+	for _, s := range snaps {
+		out.Opened += s.Opened
+		out.Live += s.Live
+		out.Closed += s.Closed
+		out.Failed += s.Failed
+		out.Runs += s.Runs
+		out.Traffic = out.Traffic.Add(s.Traffic)
+	}
+	return out
+}
+
+// MaxSessions reports the current admission bound (0 = unlimited).
+func (m *SessionManager) MaxSessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxSessions
+}

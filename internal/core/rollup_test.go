@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	want := ManagerSnapshot{
+		Opened: 12, Live: 2, Closed: 9, Failed: 1, Runs: 31,
+		Traffic: transport.Stats{MessagesSent: 100, MessagesRecv: 90, BytesSent: 5000, BytesRecv: 4800},
+		Lives: []SessionInfo{
+			{ID: 3, State: StateActive, Runs: 4},
+			{ID: 7, State: StateHandshaking, Runs: 0},
+		},
+	}
+	r := transport.NewReader(want.Encode(transport.NewBuilder()).Bytes())
+	got, err := DecodeManagerSnapshot(r)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotCodecEmptyLives(t *testing.T) {
+	want := ManagerSnapshot{Opened: 1, Closed: 1, Runs: 2}
+	r := transport.NewReader(want.Encode(transport.NewBuilder()).Bytes())
+	got, err := DecodeManagerSnapshot(r)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Opened != 1 || got.Closed != 1 || got.Runs != 2 || len(got.Lives) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSnapshotCodecRejectsTruncation(t *testing.T) {
+	full := ManagerSnapshot{
+		Opened: 2, Live: 1,
+		Lives: []SessionInfo{{ID: 1, State: StateActive, Runs: 1}},
+	}.Encode(transport.NewBuilder()).Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeManagerSnapshot(transport.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestSnapshotCodecBoundsLiveRows(t *testing.T) {
+	b := transport.NewBuilder()
+	for i := 0; i < 9; i++ {
+		b.PutInt(0)
+	}
+	b.PutUint(maxSnapshotLives + 1)
+	if _, err := DecodeManagerSnapshot(transport.NewReader(b.Bytes())); err == nil {
+		t.Fatal("oversized live-row count decoded without error")
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := ManagerSnapshot{
+		Opened: 5, Live: 1, Closed: 3, Failed: 1, Runs: 10,
+		Traffic: transport.Stats{MessagesSent: 10, BytesSent: 100},
+		Lives:   []SessionInfo{{ID: 1}},
+	}
+	b := ManagerSnapshot{
+		Opened: 7, Live: 2, Closed: 5, Failed: 0, Runs: 21,
+		Traffic: transport.Stats{MessagesRecv: 4, BytesRecv: 40},
+		Lives:   []SessionInfo{{ID: 1}, {ID: 2}},
+	}
+	got := MergeSnapshots(a, b)
+	want := ManagerSnapshot{
+		Opened: 12, Live: 3, Closed: 8, Failed: 1, Runs: 31,
+		Traffic: transport.Stats{MessagesSent: 10, MessagesRecv: 4, BytesSent: 100, BytesRecv: 40},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Lives != nil {
+		t.Fatal("merged snapshot must drop per-session rows")
+	}
+}
+
+func TestMaxSessionsAccessor(t *testing.T) {
+	m := NewSessionManager(1)
+	if m.MaxSessions() != 0 {
+		t.Fatalf("default bound: got %d want 0", m.MaxSessions())
+	}
+	m.SetMaxSessions(4)
+	if m.MaxSessions() != 4 {
+		t.Fatalf("after SetMaxSessions(4): got %d", m.MaxSessions())
+	}
+}

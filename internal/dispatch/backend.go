@@ -1,0 +1,134 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Backend is the shard-side half of the serving tier: it speaks the
+// control preamble on every accepted connection in front of a
+// SessionManager. Pings and stats pulls are answered and closed here;
+// session hellos turn into Begin, with admission failures mapped to
+// typed shed frames the client (or the dispatcher spilling to the next
+// shard) can act on before any keygen has been spent.
+type Backend struct {
+	Name string
+	Mgr  *core.SessionManager
+}
+
+// Accept handles the control preamble on one inbound connection.
+// Returns (handle, true, nil) when a session was admitted — the caller
+// proceeds with the protocol handshake on conn, which now carries
+// exactly the byte stream of a pre-tier direct connection. Returns
+// (nil, false, nil) when the connection was fully handled here: a
+// health ping, a stats pull, or a shed refusal (conn is closed in all
+// three cases). A malformed preamble closes conn and returns the error.
+func (b *Backend) Accept(conn transport.Conn) (*core.SessionHandle, bool, error) {
+	c, err := transport.RecvControl(conn)
+	if err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("dispatch: backend %s: preamble: %w", b.Name, err)
+	}
+	switch c.Op {
+	case transport.CtrlPing:
+		err := transport.SendControl(conn, transport.Control{
+			Op:       transport.CtrlPong,
+			Shard:    b.Name,
+			Live:     int64(b.Mgr.Live()),
+			Draining: b.Mgr.Draining(),
+		})
+		conn.Close()
+		return nil, false, err
+	case transport.CtrlStats:
+		payload := b.Mgr.Snapshot().Encode(transport.NewBuilder()).Bytes()
+		err := transport.SendControl(conn, transport.Control{
+			Op:      transport.CtrlStatsReply,
+			Shard:   b.Name,
+			Payload: payload,
+		})
+		conn.Close()
+		return nil, false, err
+	case transport.CtrlHello:
+		h, err := b.Mgr.Begin(conn)
+		if err != nil {
+			code := transport.ShedFull
+			if err == core.ErrDraining {
+				code = transport.ShedDraining
+			}
+			transport.SendControl(conn, transport.Control{Op: transport.CtrlShed, Shard: b.Name, Code: code})
+			conn.Close()
+			return nil, false, nil
+		}
+		if err := transport.SendControl(conn, transport.Control{Op: transport.CtrlAdmit, Shard: b.Name}); err != nil {
+			h.End(err)
+			conn.Close()
+			return nil, false, fmt.Errorf("dispatch: backend %s: admit: %w", b.Name, err)
+		}
+		return h, true, nil
+	default:
+		conn.Close()
+		return nil, false, fmt.Errorf("dispatch: backend %s: unexpected preamble op %d", b.Name, c.Op)
+	}
+}
+
+// Hello speaks the client side of the admission preamble: send the
+// session key, wait for the tier's verdict. On admission it returns the
+// name of the shard that will serve the session; a shed comes back as
+// an error wrapping core.ErrServerFull or core.ErrDraining, so callers
+// branch with errors.Is exactly as they would against an in-process
+// SessionManager.
+func Hello(conn transport.Conn, key string) (string, error) {
+	if err := transport.SendControl(conn, transport.Control{Op: transport.CtrlHello, Key: key}); err != nil {
+		return "", fmt.Errorf("dispatch: hello: %w", err)
+	}
+	c, err := transport.RecvControl(conn)
+	if err != nil {
+		return "", fmt.Errorf("dispatch: hello: %w", err)
+	}
+	switch {
+	case c.Op == transport.CtrlAdmit:
+		return c.Shard, nil
+	case c.Op == transport.CtrlShed && c.Code == transport.ShedDraining:
+		return c.Shard, fmt.Errorf("dispatch: shed by %q: %w", c.Shard, core.ErrDraining)
+	case c.Op == transport.CtrlShed:
+		return c.Shard, fmt.Errorf("dispatch: shed by %q: %w", c.Shard, core.ErrServerFull)
+	default:
+		return "", fmt.Errorf("dispatch: hello: unexpected reply op %d", c.Op)
+	}
+}
+
+// Ping probes one backend over an open connection: send CtrlPing, read
+// the pong. The connection is for this exchange only; Ping closes it.
+func Ping(conn transport.Conn) (transport.Control, error) {
+	defer conn.Close()
+	if err := transport.SendControl(conn, transport.Control{Op: transport.CtrlPing}); err != nil {
+		return transport.Control{}, fmt.Errorf("dispatch: ping: %w", err)
+	}
+	c, err := transport.RecvControl(conn)
+	if err != nil {
+		return transport.Control{}, fmt.Errorf("dispatch: ping: %w", err)
+	}
+	if c.Op != transport.CtrlPong {
+		return transport.Control{}, fmt.Errorf("dispatch: ping: unexpected reply op %d", c.Op)
+	}
+	return c, nil
+}
+
+// Stats pulls one backend's ManagerSnapshot over an open connection.
+// The connection is for this exchange only; Stats closes it.
+func Stats(conn transport.Conn) (core.ManagerSnapshot, error) {
+	defer conn.Close()
+	if err := transport.SendControl(conn, transport.Control{Op: transport.CtrlStats}); err != nil {
+		return core.ManagerSnapshot{}, fmt.Errorf("dispatch: stats: %w", err)
+	}
+	c, err := transport.RecvControl(conn)
+	if err != nil {
+		return core.ManagerSnapshot{}, fmt.Errorf("dispatch: stats: %w", err)
+	}
+	if c.Op != transport.CtrlStatsReply {
+		return core.ManagerSnapshot{}, fmt.Errorf("dispatch: stats: unexpected reply op %d", c.Op)
+	}
+	return core.DecodeManagerSnapshot(transport.NewReader(c.Payload))
+}

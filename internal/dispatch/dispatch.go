@@ -1,0 +1,382 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Options configures a Dispatcher.
+type Options struct {
+	// Shards is the static set of backend addresses (the shard name IS
+	// its address). The health loop probes this full set, so a shard
+	// that died and came back rejoins the ring automatically.
+	Shards []string
+	// Shed bounds in-flight sessions per shard; a shard at the bound is
+	// skipped during routing and the client is shed with ErrServerFull
+	// once every shard is dead or at bound. 0 = unlimited (shards still
+	// shed on their own -max-sessions).
+	Shed int
+	// Vnodes is the per-shard virtual-node count (≤ 0: DefaultVnodes).
+	Vnodes int
+	// HealthInterval is the ping period (0: 2s default; < 0: health loop
+	// disabled — useful in tests that drive failure by hand).
+	HealthInterval time.Duration
+	// Dial opens a connection to a shard address. Defaults to
+	// transport.Dial; tests and in-process sweeps inject pipes here.
+	Dial func(addr string) (transport.Conn, error)
+	// Logf receives operational events (shard death/recovery, sheds).
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// ShardLoad is one shard's running tally in the dispatcher's view.
+type ShardLoad struct {
+	Inflight int   // sessions currently spliced through
+	Admitted int64 // sessions ever admitted to this shard
+	Sheds    int64 // refusals this shard issued (its own Begin failing)
+	BytesUp  int64 // client→shard bytes relayed
+	BytesDn  int64 // shard→client bytes relayed
+	Dead     bool  // currently off the ring
+}
+
+// ShardStats is one shard's snapshot pull during a stats rollup.
+type ShardStats struct {
+	Name string
+	Snap core.ManagerSnapshot
+	Err  error
+}
+
+// Dispatcher routes inbound sessions across the shard fleet.
+type Dispatcher struct {
+	opts Options
+	ring *Ring
+
+	mu       sync.Mutex
+	draining bool
+	load     map[string]*ShardLoad
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+const defaultHealthInterval = 2 * time.Second
+
+// New builds a dispatcher over the given shard set. Call Start to run
+// the health loop; feed accepted connections to HandleConn.
+func New(opts Options) (*Dispatcher, error) {
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("dispatch: no shards configured")
+	}
+	if opts.Dial == nil {
+		opts.Dial = transport.Dial
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	d := &Dispatcher{
+		opts: opts,
+		ring: NewRing(opts.Vnodes),
+		load: make(map[string]*ShardLoad),
+		stop: make(chan struct{}),
+	}
+	for _, s := range opts.Shards {
+		if _, dup := d.load[s]; dup {
+			return nil, fmt.Errorf("dispatch: duplicate shard %q", s)
+		}
+		d.load[s] = &ShardLoad{}
+		d.ring.Add(s)
+	}
+	return d, nil
+}
+
+// Start launches the periodic health loop (no-op when disabled).
+func (d *Dispatcher) Start() {
+	interval := d.opts.HealthInterval
+	if interval < 0 {
+		return
+	}
+	if interval == 0 {
+		interval = defaultHealthInterval
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.ProbeAll()
+			}
+		}
+	}()
+}
+
+// ProbeAll pings every configured shard once, removing dead shards from
+// the ring and re-adding recovered ones. The health loop calls it
+// periodically; tests call it directly.
+func (d *Dispatcher) ProbeAll() {
+	for _, shard := range d.opts.Shards {
+		conn, err := d.opts.Dial(shard)
+		if err == nil {
+			_, err = Ping(conn)
+		}
+		if err != nil {
+			d.markDead(shard, err)
+		} else {
+			d.revive(shard)
+		}
+	}
+}
+
+func (d *Dispatcher) markDead(shard string, cause error) {
+	d.mu.Lock()
+	l := d.load[shard]
+	transitioned := l != nil && !l.Dead
+	if l != nil {
+		l.Dead = true
+	}
+	d.mu.Unlock()
+	if transitioned {
+		d.ring.Remove(shard)
+		d.opts.Logf("dispatch: shard %s removed from ring: %v", shard, cause)
+	}
+}
+
+func (d *Dispatcher) revive(shard string) {
+	d.mu.Lock()
+	l := d.load[shard]
+	transitioned := l != nil && l.Dead
+	if l != nil {
+		l.Dead = false
+	}
+	d.mu.Unlock()
+	if transitioned {
+		d.ring.Add(shard)
+		d.opts.Logf("dispatch: shard %s recovered, back on ring", shard)
+	}
+}
+
+// reserve claims an in-flight slot on the shard. full reports that the
+// refusal was the shed bound (as opposed to the shard being dead).
+func (d *Dispatcher) reserve(shard string) (ok, full bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l := d.load[shard]
+	if l == nil || l.Dead {
+		return false, false
+	}
+	if d.opts.Shed > 0 && l.Inflight >= d.opts.Shed {
+		return false, true
+	}
+	l.Inflight++
+	return true, false
+}
+
+func (d *Dispatcher) release(shard string) {
+	d.mu.Lock()
+	if l := d.load[shard]; l != nil {
+		l.Inflight--
+	}
+	d.mu.Unlock()
+}
+
+func (d *Dispatcher) isDraining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+func (d *Dispatcher) totalInflight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, l := range d.load {
+		n += l.Inflight
+	}
+	return n
+}
+
+// Loads returns a copy of the per-shard tallies, keyed by shard name.
+func (d *Dispatcher) Loads() map[string]ShardLoad {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]ShardLoad, len(d.load))
+	for s, l := range d.load {
+		out[s] = *l
+	}
+	return out
+}
+
+// HandleConn serves one inbound connection end to end: the control
+// preamble, then — for a session hello — routing and the frame splice
+// until either side hangs up. Run it on its own goroutine per accepted
+// connection. Every return path has answered and closed the client
+// connection; the returned error is for the accept loop's log only and
+// wraps core.ErrServerFull/ErrDraining on a shed, so one refused client
+// never poisons the listener.
+func (d *Dispatcher) HandleConn(conn transport.Conn) error {
+	defer conn.Close()
+	c, err := transport.RecvControl(conn)
+	if err != nil {
+		return fmt.Errorf("dispatch: preamble: %w", err)
+	}
+	switch c.Op {
+	case transport.CtrlPing:
+		return transport.SendControl(conn, transport.Control{
+			Op:       transport.CtrlPong,
+			Shard:    "dispatch",
+			Live:     int64(d.totalInflight()),
+			Draining: d.isDraining(),
+		})
+	case transport.CtrlStats:
+		merged, _ := d.FleetSnapshot()
+		return transport.SendControl(conn, transport.Control{
+			Op:      transport.CtrlStatsReply,
+			Shard:   "dispatch",
+			Payload: merged.Encode(transport.NewBuilder()).Bytes(),
+		})
+	case transport.CtrlHello:
+		return d.route(conn, c.Key)
+	default:
+		return fmt.Errorf("dispatch: unexpected preamble op %d", c.Op)
+	}
+}
+
+// route walks the ring from the key's owner, spilling to the next shard
+// on death (dial or preamble failure mid-accept) or load (shed bound,
+// or the shard's own refusal), and splices client↔shard on admission.
+func (d *Dispatcher) route(conn transport.Conn, key string) error {
+	shed := func(code uint64, typed error) error {
+		transport.SendControl(conn, transport.Control{Op: transport.CtrlShed, Shard: "dispatch", Code: code})
+		return fmt.Errorf("dispatch: key %q shed: %w", key, typed)
+	}
+	if d.isDraining() {
+		return shed(transport.ShedDraining, core.ErrDraining)
+	}
+	sawFull, sawDraining := false, false
+	for _, shard := range d.ring.Walk(key) {
+		ok, full := d.reserve(shard)
+		if !ok {
+			sawFull = sawFull || full
+			continue
+		}
+		sc, err := d.opts.Dial(shard)
+		if err != nil {
+			d.release(shard)
+			d.markDead(shard, err)
+			continue
+		}
+		reply, err := d.forwardHello(sc, key)
+		if err != nil {
+			d.release(shard)
+			sc.Close()
+			d.markDead(shard, err)
+			continue
+		}
+		if reply.Op == transport.CtrlShed {
+			d.release(shard)
+			sc.Close()
+			d.mu.Lock()
+			d.load[shard].Sheds++
+			d.mu.Unlock()
+			if reply.Code == transport.ShedDraining {
+				sawDraining = true
+			} else {
+				sawFull = true
+			}
+			continue
+		}
+		// Admitted: relay the shard's admit (it names the backend, which
+		// the client's per-shard breakdown keys on) and go transparent.
+		if err := transport.SendControl(conn, reply); err != nil {
+			d.release(shard)
+			sc.Close()
+			return fmt.Errorf("dispatch: relay admit: %w", err)
+		}
+		d.mu.Lock()
+		d.load[shard].Admitted++
+		d.mu.Unlock()
+		up, down := transport.Splice(conn, sc)
+		d.release(shard)
+		d.mu.Lock()
+		d.load[shard].BytesUp += up
+		d.load[shard].BytesDn += down
+		d.mu.Unlock()
+		return nil
+	}
+	// Every shard dead, at bound, or refusing. Full wins over draining:
+	// it is the retryable verdict, and a mixed fleet is not "shutting
+	// down" from the client's point of view.
+	if sawFull || !sawDraining {
+		return shed(transport.ShedFull, core.ErrServerFull)
+	}
+	return shed(transport.ShedDraining, core.ErrDraining)
+}
+
+// forwardHello replays the client's hello on the shard connection and
+// reads the shard's verdict.
+func (d *Dispatcher) forwardHello(sc transport.Conn, key string) (transport.Control, error) {
+	if err := transport.SendControl(sc, transport.Control{Op: transport.CtrlHello, Key: key}); err != nil {
+		return transport.Control{}, err
+	}
+	reply, err := transport.RecvControl(sc)
+	if err != nil {
+		return transport.Control{}, err
+	}
+	if reply.Op != transport.CtrlAdmit && reply.Op != transport.CtrlShed {
+		return transport.Control{}, fmt.Errorf("dispatch: shard verdict op %d", reply.Op)
+	}
+	return reply, nil
+}
+
+// FleetSnapshot pulls every configured shard's ManagerSnapshot over the
+// control channel and merges them into one fleet-wide view. Unreachable
+// shards are reported in the per-shard rows with their error and
+// contribute nothing to the merge.
+func (d *Dispatcher) FleetSnapshot() (core.ManagerSnapshot, []ShardStats) {
+	rows := make([]ShardStats, 0, len(d.opts.Shards))
+	snaps := make([]core.ManagerSnapshot, 0, len(d.opts.Shards))
+	for _, shard := range d.opts.Shards {
+		row := ShardStats{Name: shard}
+		conn, err := d.opts.Dial(shard)
+		if err == nil {
+			row.Snap, err = Stats(conn)
+		}
+		row.Err = err
+		if err == nil {
+			snaps = append(snaps, row.Snap)
+		}
+		rows = append(rows, row)
+	}
+	return core.MergeSnapshots(snaps...), rows
+}
+
+const drainPoll = 5 * time.Millisecond
+
+// Drain starts dispatcher shutdown: new hellos are shed with
+// ErrDraining, the health loop stops, and Drain waits up to timeout for
+// the spliced sessions to finish. It then pulls the fleet-wide snapshot
+// rollup. graceful reports whether every in-flight session ended inside
+// the budget.
+func (d *Dispatcher) Drain(timeout time.Duration) (merged core.ManagerSnapshot, rows []ShardStats, graceful bool) {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+	deadline := time.Now().Add(timeout)
+	for d.totalInflight() > 0 && time.Now().Before(deadline) {
+		time.Sleep(drainPoll)
+	}
+	graceful = d.totalInflight() == 0
+	merged, rows = d.FleetSnapshot()
+	return merged, rows, graceful
+}

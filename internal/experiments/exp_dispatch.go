@@ -1,0 +1,687 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dispatch"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// E22 — shard-scaling sweep. The serving tier from `ppdbscan dispatch`:
+// a dispatcher consistent-hashes C concurrent client sessions across
+// N ∈ {1, 2, 4} shard backends and splices the protocol byte stream
+// through. Each shard admits one session at a time (the dispatcher's
+// shed bound), so N is the tier's aggregate admission capacity: shed
+// clients retry until a slot frees, and at fixed total work the sweep
+// measures how aggregate runs/sec grows as shards are added — the
+// scale-OUT curve that E16's in-process concurrency sweep (scale-UP)
+// tops out of. Sessions are latency-dominated (every frame crosses a
+// simulated WAN leg between dispatcher and shard), so more shards means
+// more sessions overlapping their round trips concurrently even on one
+// core. The contract half is the routing-transparency bar: for all four
+// core families, a dispatcher-routed session's labels and Ledgers are
+// byte-identical, run for run, to a direct connection to a single
+// backend. BenchE22 emits the JSON rows `make bench` archives in
+// BENCH_E22.json.
+
+// e22ShardCounts is the sweep's shard ladder.
+var e22ShardCounts = []int{1, 2, 4}
+
+// e22Clients × e22Runs(opt) is the fixed total work at every sweep
+// point. C = the widest shard count, so the N=4 point can admit every
+// client at once while N=1 serializes them into 4 batches.
+const e22Clients = 4
+
+func e22Runs(opt Options) int {
+	if opt.Quick {
+		return 1
+	}
+	return 2
+}
+
+// e22ShedWait is the client's retry backoff after a shed — small
+// against the multi-second session lifetime it is waiting out.
+const e22ShedWait = 10 * time.Millisecond
+
+// e22SessionRun is one routed session's observable outcome on both
+// sides, plus where it landed and how often it was shed first.
+type e22SessionRun struct {
+	resA, resB     []*core.Result
+	setupA, setupB core.Ledger
+	shard          string
+	sheds          int64
+}
+
+// e22Shard is one in-process backend: a Backend-fronted SessionManager
+// behind a conn channel, the image of one `ppdbscan serve` process.
+type e22Shard struct {
+	backend *dispatch.Backend
+	conns   chan transport.Conn
+	wg      sync.WaitGroup
+}
+
+func newE22Shard(name string, cfg core.Config, bob [][]float64, errc chan<- error) *e22Shard {
+	mgr := core.NewSessionManager(0)
+	s := &e22Shard{
+		backend: &dispatch.Backend{Name: name, Mgr: mgr},
+		conns:   make(chan transport.Conn, 16),
+	}
+	serveCfg := mgr.Configure(cfg)
+	go func() {
+		for conn := range s.conns {
+			s.wg.Add(1)
+			go func(conn transport.Conn) {
+				defer s.wg.Done()
+				s.serveOne(conn, serveCfg, bob, errc)
+			}(conn)
+		}
+	}()
+	return s
+}
+
+// serveOne is the shard-side session lifecycle: preamble, establish,
+// run until the client closes.
+func (s *e22Shard) serveOne(conn transport.Conn, cfg core.Config, bob [][]float64, errc chan<- error) {
+	h, ok, err := s.backend.Accept(conn)
+	if err != nil {
+		errc <- err
+		return
+	}
+	if !ok {
+		return // ping, stats, or shed — handled by the backend
+	}
+	defer conn.Close()
+	sess, err := core.NewHorizontalSession(h.Meter(), cfg, core.RoleBob, bob)
+	if err != nil {
+		h.End(err)
+		errc <- err
+		return
+	}
+	h.Activate()
+	for {
+		_, err := sess.Run()
+		if errors.Is(err, core.ErrSessionClosed) {
+			h.End(nil)
+			return
+		}
+		if err != nil {
+			h.End(err)
+			errc <- err
+			return
+		}
+		h.RunDone()
+	}
+}
+
+// e22Row is one shard-count measurement.
+type e22Row struct {
+	shards   int
+	wall     time.Duration
+	durs     []time.Duration // per-run client latencies
+	sheds    int64
+	sessions []e22SessionRun
+	merged   core.ManagerSnapshot // fleet rollup pulled by the dispatcher drain
+}
+
+// runE22Point measures one sweep point: C clients through a dispatcher
+// over N single-slot shards. The latency pipe sits on the
+// dispatcher→shard leg, so routed frames cross one simulated WAN hop —
+// the same wire budget as a direct latency-piped connection.
+func runE22Point(hs partition.HorizontalSplit, cfg core.Config, latency time.Duration, shards, perRuns int) (e22Row, error) {
+	errc := make(chan error, 4*e22Clients)
+	fleet := make(map[string]*e22Shard, shards)
+	names := make([]string, 0, shards)
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("shard-%d", i)
+		fleet[name] = newE22Shard(name, cfg, hs.Bob, errc)
+		names = append(names, name)
+	}
+	d, err := dispatch.New(dispatch.Options{
+		Shards:         names,
+		Shed:           1, // one session per shard: N shards = N admission slots
+		HealthInterval: -1,
+		Dial: func(addr string) (transport.Conn, error) {
+			a, b := transport.LatencyPipe(latency)
+			fleet[addr].conns <- b
+			return a, nil
+		},
+	})
+	if err != nil {
+		return e22Row{}, err
+	}
+
+	sessions := make([]e22SessionRun, e22Clients)
+	var durMu sync.Mutex
+	var durs []time.Duration
+	var sheds atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < e22Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := fmt.Sprintf("e22-client-%d", c)
+			// Admission loop: a shed lands before any keygen, so retrying
+			// until a shard slot frees is cheap; the wait is the point —
+			// it is what shrinks as shards are added.
+			var conn transport.Conn
+			for {
+				cc, sc := transport.Pipe()
+				go d.HandleConn(sc)
+				shard, err := dispatch.Hello(cc, key)
+				if err == nil {
+					conn, sessions[c].shard = cc, shard
+					break
+				}
+				cc.Close()
+				if !errors.Is(err, core.ErrServerFull) {
+					errc <- fmt.Errorf("client %d admission: %w", c, err)
+					return
+				}
+				sessions[c].sheds++
+				sheds.Add(1)
+				time.Sleep(e22ShedWait)
+			}
+			defer conn.Close()
+			sess, err := core.NewHorizontalSession(conn, cfg, core.RoleAlice, hs.Alice)
+			if err != nil {
+				errc <- fmt.Errorf("client %d establish: %w", c, err)
+				return
+			}
+			sessions[c].setupA = sess.SetupLeakage()
+			for r := 0; r < perRuns; r++ {
+				runStart := time.Now()
+				res, err := sess.Run()
+				if err != nil {
+					errc <- fmt.Errorf("client %d run %d: %w", c, r, err)
+					return
+				}
+				sessions[c].resA = append(sessions[c].resA, res)
+				durMu.Lock()
+				durs = append(durs, time.Since(runStart))
+				durMu.Unlock()
+			}
+			if err := sess.Close(); err != nil {
+				errc <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	// The wall clock covers admission + establishment + runs: admission
+	// capacity is the resource under test, and a shed client's wait IS
+	// the cost the next shard removes.
+	wall := time.Since(start)
+	merged, _, graceful := d.Drain(time.Second)
+	for _, s := range fleet {
+		s.backend.Mgr.Drain(time.Second)
+		close(s.conns)
+		s.wg.Wait()
+	}
+	close(errc)
+	for err := range errc {
+		return e22Row{}, err
+	}
+	if !graceful {
+		return e22Row{}, fmt.Errorf("e22 N=%d: dispatcher drain left sessions spliced", shards)
+	}
+	return e22Row{
+		shards:   shards,
+		wall:     wall,
+		durs:     durs,
+		sheds:    sheds.Load(),
+		sessions: sessions,
+		merged:   merged,
+	}, nil
+}
+
+// runE22Sweep executes the shard ladder at fixed total work.
+func runE22Sweep(q dataset.Dataset, cfg core.Config, latency time.Duration, perRuns int) ([]e22Row, error) {
+	hs, err := partition.HorizontalRandom(q.Points, 0.5, 7)
+	if err != nil {
+		return nil, err
+	}
+	var rows []e22Row
+	for _, n := range e22ShardCounts {
+		row, err := runE22Point(hs, cfg, latency, n, perRuns)
+		if err != nil {
+			return nil, fmt.Errorf("e22 N=%d: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// e22Check enforces the sweep's two bars: every routed session matches
+// the N=1 tier's sessions run for run (which e22Transparency has pinned
+// to direct connections), and aggregate throughput strictly increases
+// with the shard count — the acceptance criterion BENCH_E22.json records.
+func e22Check(rows []e22Row, perRuns int) error {
+	ref := rows[0].sessions[0]
+	for _, row := range rows {
+		spread := map[string]int{}
+		for s, sess := range row.sessions {
+			spread[sess.shard]++
+			if sess.setupA != ref.setupA {
+				return fmt.Errorf("e22 N=%d session %d: setup ledger diverges", row.shards, s)
+			}
+			if len(sess.resA) != perRuns {
+				return fmt.Errorf("e22 N=%d session %d: %d results for %d runs", row.shards, s, len(sess.resA), perRuns)
+			}
+			for r := range sess.resA {
+				if !metrics.ExactMatch(sess.resA[r].Labels, ref.resA[r].Labels) {
+					return fmt.Errorf("e22 N=%d session %d run %d: labels diverge across shard counts", row.shards, s, r)
+				}
+				if sess.resA[r].Leakage != ref.resA[r].Leakage {
+					return fmt.Errorf("e22 N=%d session %d run %d: Ledgers diverge across shard counts", row.shards, s, r)
+				}
+			}
+		}
+		if len(spread) > row.shards {
+			return fmt.Errorf("e22 N=%d: sessions landed on %d shards", row.shards, len(spread))
+		}
+		if row.merged.Opened != e22Clients || row.merged.Failed != 0 {
+			return fmt.Errorf("e22 N=%d: fleet rollup %d opened / %d failed, want %d/0",
+				row.shards, row.merged.Opened, row.merged.Failed, e22Clients)
+		}
+		if row.merged.Runs != int64(e22Clients*perRuns) {
+			return fmt.Errorf("e22 N=%d: fleet rollup counted %d runs, want %d",
+				row.shards, row.merged.Runs, e22Clients*perRuns)
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		if e22RunsPerSec(rows[i], perRuns) <= e22RunsPerSec(rows[i-1], perRuns) {
+			return fmt.Errorf("e22: aggregate runs/sec not strictly increasing at N=%d (%.3f after %.3f)",
+				rows[i].shards, e22RunsPerSec(rows[i], perRuns), e22RunsPerSec(rows[i-1], perRuns))
+		}
+	}
+	return nil
+}
+
+func e22RunsPerSec(row e22Row, perRuns int) float64 {
+	return float64(e22Clients*perRuns) / max(row.wall.Seconds(), 1e-9)
+}
+
+// e22Percentile is the nearest-rank percentile of a latency set.
+func e22Percentile(durs []time.Duration, p float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration{}, durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(float64(len(sorted))*p/100 + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// e22Family is one protocol family's harness for the transparency bar.
+type e22Family struct {
+	name string
+	mk   func(conn transport.Conn, cfg core.Config, role core.Role) (*core.Session, error)
+}
+
+// e22Families builds all four core families over one quantized dataset.
+func e22Families(q dataset.Dataset, seed int64) ([]e22Family, error) {
+	hs, err := partition.HorizontalRandom(q.Points, 0.5, 7)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := partition.Vertical(q.Points, 1)
+	if err != nil {
+		return nil, err
+	}
+	as, err := partition.ArbitraryRandom(q.Points, 0.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	pick := func(alice, bob [][]float64, role core.Role) [][]float64 {
+		if role == core.RoleAlice {
+			return alice
+		}
+		return bob
+	}
+	return []e22Family{
+		{"horizontal", func(conn transport.Conn, cfg core.Config, role core.Role) (*core.Session, error) {
+			return core.NewHorizontalSession(conn, cfg, role, pick(hs.Alice, hs.Bob, role))
+		}},
+		{"enhanced", func(conn transport.Conn, cfg core.Config, role core.Role) (*core.Session, error) {
+			return core.NewEnhancedHorizontalSession(conn, cfg, role, pick(hs.Alice, hs.Bob, role))
+		}},
+		{"vertical", func(conn transport.Conn, cfg core.Config, role core.Role) (*core.Session, error) {
+			return core.NewVerticalSession(conn, cfg, role, pick(vs.Alice, vs.Bob, role))
+		}},
+		{"arbitrary", func(conn transport.Conn, cfg core.Config, role core.Role) (*core.Session, error) {
+			return core.NewArbitrarySession(conn, cfg, role, pick(as.Alice, as.Bob, role), as.Owners)
+		}},
+	}, nil
+}
+
+// e22FamilyRun drives one session of the family over the given client
+// connection, with the serving side behind a Backend-fronted manager fed
+// through deliver. Returns both sides' outcomes.
+func e22FamilyRun(fam e22Family, cfg core.Config, clientConn transport.Conn, serverConn transport.Conn, runs int) (e22SessionRun, error) {
+	var out e22SessionRun
+	mgr := core.NewSessionManager(0)
+	serveCfg := mgr.Configure(cfg)
+	backend := &dispatch.Backend{Name: "direct-0", Mgr: mgr}
+	errc := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h, ok, err := backend.Accept(serverConn)
+		if err != nil || !ok {
+			if err == nil {
+				err = fmt.Errorf("e22 %s: server saw no session hello", fam.name)
+			}
+			errc <- err
+			return
+		}
+		defer serverConn.Close()
+		sess, err := fam.mk(h.Meter(), serveCfg, core.RoleBob)
+		if err != nil {
+			h.End(err)
+			errc <- err
+			return
+		}
+		h.Activate()
+		out.setupB = sess.SetupLeakage()
+		for {
+			r, err := sess.Run()
+			if errors.Is(err, core.ErrSessionClosed) {
+				h.End(nil)
+				return
+			}
+			if err != nil {
+				h.End(err)
+				errc <- err
+				return
+			}
+			h.RunDone()
+			out.resB = append(out.resB, r)
+		}
+	}()
+
+	shard, err := dispatch.Hello(clientConn, "transparency-key")
+	if err == nil {
+		out.shard = shard
+		var sess *core.Session
+		sess, err = fam.mk(clientConn, cfg, core.RoleAlice)
+		if err == nil {
+			out.setupA = sess.SetupLeakage()
+			for r := 0; r < runs && err == nil; r++ {
+				var res *core.Result
+				res, err = sess.Run()
+				if err == nil {
+					out.resA = append(out.resA, res)
+				}
+			}
+			if err == nil {
+				err = sess.Close()
+			}
+		}
+	}
+	clientConn.Close()
+	wg.Wait()
+	close(errc)
+	if err != nil {
+		return out, fmt.Errorf("e22 %s client: %w", fam.name, err)
+	}
+	for err := range errc {
+		return out, fmt.Errorf("e22 %s server: %w", fam.name, err)
+	}
+	return out, nil
+}
+
+// e22Transparency is the routing-transparency bar: for every core
+// family, one session routed through a live dispatcher (hello relayed,
+// frames spliced, latency on the shard leg) must match a direct
+// connection to an identical backend byte for byte in labels and
+// Ledgers, run for run.
+func e22Transparency(q dataset.Dataset, cfg core.Config, latency time.Duration, runs int, seed int64) error {
+	fams, err := e22Families(q, seed)
+	if err != nil {
+		return err
+	}
+	for _, fam := range fams {
+		// Direct: client straight onto the backend over one latency pipe.
+		ca, cb := transport.LatencyPipe(latency)
+		direct, err := e22FamilyRun(fam, cfg, ca, cb, runs)
+		if err != nil {
+			return err
+		}
+
+		// Routed: client → dispatcher → (latency pipe) → backend.
+		routedServer := make(chan transport.Conn, 1)
+		d, err := dispatch.New(dispatch.Options{
+			Shards:         []string{"via-dispatch-0"},
+			HealthInterval: -1,
+			Dial: func(string) (transport.Conn, error) {
+				a, b := transport.LatencyPipe(latency)
+				routedServer <- b
+				return a, nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		cc, sc := transport.Pipe()
+		go d.HandleConn(sc)
+		routedDone := make(chan struct {
+			run e22SessionRun
+			err error
+		}, 1)
+		go func() {
+			// The backend runs on the conn the dispatcher dialed.
+			run, err := e22FamilyRunServerless(fam, cfg, <-routedServer)
+			routedDone <- struct {
+				run e22SessionRun
+				err error
+			}{run, err}
+		}()
+		routed, err := e22FamilyRunClient(fam, cfg, cc, runs)
+		if err != nil {
+			return fmt.Errorf("e22 %s routed: %w", fam.name, err)
+		}
+		srv := <-routedDone
+		if srv.err != nil {
+			return fmt.Errorf("e22 %s routed: %w", fam.name, srv.err)
+		}
+		routed.resB, routed.setupB = srv.run.resB, srv.run.setupB
+
+		if err := e22Compare(fam.name, direct, routed, runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// e22FamilyRunServerless is the serving half alone (used on the
+// dispatcher-dialed connection).
+func e22FamilyRunServerless(fam e22Family, cfg core.Config, conn transport.Conn) (e22SessionRun, error) {
+	var out e22SessionRun
+	mgr := core.NewSessionManager(0)
+	serveCfg := mgr.Configure(cfg)
+	backend := &dispatch.Backend{Name: "via-dispatch-0", Mgr: mgr}
+	h, ok, err := backend.Accept(conn)
+	if err != nil || !ok {
+		if err == nil {
+			err = fmt.Errorf("no session hello")
+		}
+		return out, err
+	}
+	defer conn.Close()
+	sess, err := fam.mk(h.Meter(), serveCfg, core.RoleBob)
+	if err != nil {
+		h.End(err)
+		return out, err
+	}
+	h.Activate()
+	out.setupB = sess.SetupLeakage()
+	for {
+		r, err := sess.Run()
+		if errors.Is(err, core.ErrSessionClosed) {
+			h.End(nil)
+			return out, nil
+		}
+		if err != nil {
+			h.End(err)
+			return out, err
+		}
+		h.RunDone()
+		out.resB = append(out.resB, r)
+	}
+}
+
+// e22FamilyRunClient is the client half alone (used through the
+// dispatcher).
+func e22FamilyRunClient(fam e22Family, cfg core.Config, conn transport.Conn, runs int) (e22SessionRun, error) {
+	var out e22SessionRun
+	defer conn.Close()
+	shard, err := dispatch.Hello(conn, "transparency-key")
+	if err != nil {
+		return out, err
+	}
+	out.shard = shard
+	sess, err := fam.mk(conn, cfg, core.RoleAlice)
+	if err != nil {
+		return out, err
+	}
+	out.setupA = sess.SetupLeakage()
+	for r := 0; r < runs; r++ {
+		res, err := sess.Run()
+		if err != nil {
+			return out, err
+		}
+		out.resA = append(out.resA, res)
+	}
+	return out, sess.Close()
+}
+
+// e22Compare holds routed against direct, byte for byte.
+func e22Compare(family string, direct, routed e22SessionRun, runs int) error {
+	if routed.setupA != direct.setupA || routed.setupB != direct.setupB {
+		return fmt.Errorf("e22 %s: setup ledger differs through the dispatcher", family)
+	}
+	if len(routed.resA) != runs || len(direct.resA) != runs {
+		return fmt.Errorf("e22 %s: %d routed / %d direct results for %d runs", family, len(routed.resA), len(direct.resA), runs)
+	}
+	for r := 0; r < runs; r++ {
+		if !metrics.ExactMatch(routed.resA[r].Labels, direct.resA[r].Labels) ||
+			!metrics.ExactMatch(routed.resB[r].Labels, direct.resB[r].Labels) {
+			return fmt.Errorf("e22 %s run %d: labels differ through the dispatcher", family, r)
+		}
+		if routed.resA[r].Leakage != direct.resA[r].Leakage || routed.resB[r].Leakage != direct.resB[r].Leakage {
+			return fmt.Errorf("e22 %s run %d: Ledgers differ through the dispatcher", family, r)
+		}
+		if routed.resA[r].SecureComparisons != direct.resA[r].SecureComparisons ||
+			routed.resA[r].CiphertextsSent != direct.resA[r].CiphertextsSent {
+			return fmt.Errorf("e22 %s run %d: comparison/ciphertext counts differ through the dispatcher", family, r)
+		}
+	}
+	return nil
+}
+
+func runE22(w io.Writer, opt Options) error {
+	q, cfg := e16Dataset(opt)
+	latency := e16Latency(opt)
+	perRuns := e22Runs(opt)
+	if err := e22Transparency(q, cfg, latency, perRuns, opt.seed()); err != nil {
+		return err
+	}
+	rows, err := runE22Sweep(q, cfg, latency, perRuns)
+	if err != nil {
+		return err
+	}
+	if err := e22Check(rows, perRuns); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "simulated one-way frame latency: %v, n=%d, %d clients × %d runs per sweep point, shed bound 1 session/shard\n",
+		latency, len(q.Points), e22Clients, perRuns)
+	var t table
+	t.add("shards", "wall", "runs/sec", "p50", "p95", "sheds", "speedup")
+	solo := rows[0]
+	for _, r := range rows {
+		t.add(fmt.Sprint(r.shards),
+			fmt.Sprint(r.wall.Round(time.Millisecond)),
+			fmt.Sprintf("%.2f", e22RunsPerSec(r, perRuns)),
+			fmt.Sprint(e22Percentile(r.durs, 50).Round(time.Millisecond)),
+			fmt.Sprint(e22Percentile(r.durs, 95).Round(time.Millisecond)),
+			fmt.Sprint(r.sheds),
+			fmt.Sprintf("%.2fx", float64(solo.wall)/float64(max(r.wall, 1))))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "Routing is protocol-transparent (all four families byte-identical through the dispatcher); aggregate throughput scales with shards because admission capacity, not one process's concurrency, is the bottleneck.")
+	return nil
+}
+
+// BenchE22Row is one BenchE22 measurement, JSON-serializable for the
+// perf trajectory file (BENCH_E22.json, written by `make bench-e22`).
+type BenchE22Row struct {
+	Protocol        string  `json:"protocol"`
+	Shards          int     `json:"shards"`
+	Clients         int     `json:"clients"`
+	RunsPerClient   int     `json:"runs_per_client"`
+	TotalRuns       int     `json:"total_runs"`
+	N               int     `json:"n"`
+	LatencyMS       int64   `json:"latency_ms"`
+	WallMS          int64   `json:"wall_ms"`
+	RunsPerSec      float64 `json:"runs_per_sec"`
+	P50MS           int64   `json:"p50_ms"`
+	P95MS           int64   `json:"p95_ms"`
+	Sheds           int64   `json:"sheds"`
+	SpeedupVs1Shard float64 `json:"speedup_vs_1shard"`
+}
+
+// BenchE22 runs the shard-scaling sweep and returns structured
+// measurements, erroring if routing transparency or the
+// strictly-increasing throughput bar fails.
+func BenchE22(opt Options) ([]BenchE22Row, error) {
+	q, cfg := e16Dataset(opt)
+	latency := e16Latency(opt)
+	perRuns := e22Runs(opt)
+	if err := e22Transparency(q, cfg, latency, perRuns, opt.seed()); err != nil {
+		return nil, err
+	}
+	rows, err := runE22Sweep(q, cfg, latency, perRuns)
+	if err != nil {
+		return nil, err
+	}
+	if err := e22Check(rows, perRuns); err != nil {
+		return nil, err
+	}
+	solo := rows[0]
+	var out []BenchE22Row
+	for _, r := range rows {
+		out = append(out, BenchE22Row{
+			Protocol:        "horizontal",
+			Shards:          r.shards,
+			Clients:         e22Clients,
+			RunsPerClient:   perRuns,
+			TotalRuns:       e22Clients * perRuns,
+			N:               len(q.Points),
+			LatencyMS:       latency.Milliseconds(),
+			WallMS:          r.wall.Milliseconds(),
+			RunsPerSec:      e22RunsPerSec(r, perRuns),
+			P50MS:           e22Percentile(r.durs, 50).Milliseconds(),
+			P95MS:           e22Percentile(r.durs, 95).Milliseconds(),
+			Sheds:           r.sheds,
+			SpeedupVs1Shard: float64(solo.wall) / float64(max(r.wall, 1)),
+		})
+	}
+	return out, nil
+}

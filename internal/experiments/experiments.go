@@ -62,6 +62,7 @@ func All() []Experiment {
 		{"e19", "Point-retraction sweep", "a live session retracting individual records (point tombstones masking index slots in place, exact cache invalidation) re-clusters with strictly fewer secure comparisons than fresh per-retraction rebuilds, with labels byte-identical to a session over exactly the surviving points and the disclosure on both setup ledgers (IndexRetractions)", runE19},
 		{"e20", "Plaintext-packing ablation", "slot-shifted encoding packs S fixed-point values per Paillier plaintext, cutting ciphertexts/query and bytes/query ≥2× at 512-bit keys with byte-identical labels and disclosure Ledgers", runE20},
 		{"e21", "Packed-uplink ablation", "\"full\" packing extends the slot scheme to the masked comparison uplink (grouped / derived / per-instance-fallback wire modes), pushing the compare-dominated families' ciphertext reduction toward ≥2.5× vs unpacked at 512-bit keys — uplink leg cut by ~the slot count — with byte-identical labels and disclosure Ledgers across off/slots/full", runE21},
+		{"e22", "Shard-scaling sweep", "a dispatcher consistent-hashing C concurrent sessions across N single-slot shard backends scales aggregate runs/sec strictly with N at fixed total work (admission capacity is the bottleneck under WAN latency), while routing stays protocol-transparent: all four families' labels and disclosure Ledgers byte-identical through the dispatcher vs a direct connection", runE22},
 	}
 }
 
@@ -72,7 +73,7 @@ func (e ErrUnknownExperiment) Error() string {
 	return fmt.Sprintf("experiments: unknown experiment %q", e.ID)
 }
 
-// Run executes one experiment by id ("e1".."e21") or "all".
+// Run executes one experiment by id ("e1".."e22") or "all".
 func Run(id string, w io.Writer, opt Options) error {
 	id = strings.ToLower(strings.TrimSpace(id))
 	if id == "all" {

@@ -2,6 +2,7 @@ package multiparty
 
 import (
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -111,6 +112,7 @@ type pairSession struct {
 
 	peerDirs   []spatial.Directory // per-generation padded directories (pruning)
 	peerGenCnt []int               // per-generation peer counts (dead gens zeroed)
+	cacheMu    sync.Mutex          // guards cache: wave workers query this peer concurrently
 	cache      *core.CountCache    // own point → cached count segments over peer gens
 
 	// Slot packers (nil with packing off), derived identically on both
@@ -168,7 +170,7 @@ func (ms *MeshSession) Runs() int { return ms.runs }
 // prefix.
 func (ms *MeshSession) Run() (*HorizontalResult, error) {
 	h := ms.h
-	h.queries = 0
+	h.queries.Store(0)
 	h.cached.Store(0)
 	h.ctsUp.Store(0)
 	h.ctsDown.Store(0)
@@ -187,7 +189,7 @@ func (ms *MeshSession) Run() (*HorizontalResult, error) {
 	}
 	ms.runs++
 	up, down := h.ctsUp.Load(), h.ctsDown.Load()
-	return &HorizontalResult{Labels: labels, NumClusters: clusters, RegionQueries: h.queries,
+	return &HorizontalResult{Labels: labels, NumClusters: clusters, RegionQueries: int(h.queries.Load()),
 		CachedCounts: h.cached.Load(), CiphertextsSent: up + down,
 		CiphertextsUplink: up, CiphertextsDownlink: down}, nil
 }
@@ -233,7 +235,7 @@ func (ms *MeshSession) Append(points [][]float64) error {
 			continue
 		}
 		sess := h.sessions[q]
-		conn := p.Conns[q]
+		conn := h.chans[q][0]
 		msg := transport.NewBuilder().PutUint(uint64(len(enc)))
 		if h.pruneOn {
 			spatial.GridDelta{Gen: gen, Dir: delta}.Encode(msg)
@@ -299,7 +301,7 @@ func (ms *MeshSession) Expire(gens int) error {
 		if q == p.Index {
 			continue
 		}
-		conn := p.Conns[q]
+		conn := h.chans[q][0]
 		msg := td.Encode(transport.NewBuilder())
 		// Lower-indexed party sends first, as in Append, so simultaneous
 		// expiries cannot deadlock a real socket.
@@ -390,7 +392,7 @@ func (ms *MeshSession) Retract(ids []int) error {
 			continue
 		}
 		sess := h.sessions[q]
-		conn := p.Conns[q]
+		conn := h.chans[q][0]
 		msg := spatial.PointTombstone{IDs: ids}.Encode(transport.NewBuilder())
 		// Lower-indexed party sends first, as in Append, so simultaneous
 		// retractions cannot deadlock a real socket.
@@ -529,6 +531,16 @@ func newMeshState(party HorizontalParty, cfg Config, points [][]float64) (*hStat
 		m:           m,
 		ownGenStart: []int{0},
 	}
+	// Per-edge worker channels: with W > 1 every mesh edge is multiplexed
+	// exactly like a ring edge (edgeChannels), so the wave scheduler can
+	// run W independent query streams per peer.
+	h.chans = make([][]transport.Conn, party.K)
+	for q := 0; q < party.K; q++ {
+		if q == party.Index {
+			continue
+		}
+		h.chans[q] = edgeChannels(party.Conns[q], cfg.Parallel)
+	}
 	if h.bound <= 0 || h.bound > int64(1)<<50 {
 		return nil, fmt.Errorf("multiparty: dist² bound %d out of range", h.bound)
 	}
@@ -566,8 +578,14 @@ type hState struct {
 	random io.Reader
 
 	sessions []*pairSession // indexed by peer
-	queries  int
-	cached   atomic.Int64 // membership predicates served from cache this run
+	// chans[q] are the per-worker channels of the edge to peer q: the bare
+	// connection alone for W = 1 (byte-identical legacy wire behavior), or
+	// the W channels of the multiplexed edge (chans[q][0] carries the
+	// handshake, control ops, and streaming exchanges; wave worker t
+	// queries peer q on chans[q][t]).
+	chans   [][]transport.Conn
+	queries atomic.Int64 // region queries issued (wave workers count concurrently)
+	cached  atomic.Int64 // membership predicates served from cache this run
 	// ctsUp / ctsDown split the run's Paillier ciphertext account by wire
 	// direction: uplink is the request leg (the encrypted coordinates we
 	// scatter when serving HDP under our own key, plus our driving-side
@@ -593,7 +611,7 @@ func (h *hState) handshakeAll() error {
 		if q == p.Index {
 			continue
 		}
-		conn := p.Conns[q]
+		conn := h.chans[q][0]
 		paiKey, err := paillier.GenerateKey(h.random, h.cfg.PaillierBits)
 		if err != nil {
 			return err
@@ -815,8 +833,10 @@ func (h *hState) packedMaskBound() *big.Int {
 // version 7 added the Packing plaintext-encoding parameter (slot-packed
 // HDP and comparison frames); version 8 added the packed comparison
 // uplink ("full" packing, a per-batch moded wire form) and the
-// uplink/downlink ciphertext split.
-const meshHandshakeVersion = 8
+// uplink/downlink ciphertext split; version 9 moved Parallel > 1 mesh
+// edges onto W channel-tagged mux channels driven by the shared wave
+// scheduler (pipelined per-edge queries, W responder workers).
+const meshHandshakeVersion = 9
 
 // Ops on the driver→responder control channel (per peer connection).
 const (
@@ -824,31 +844,56 @@ const (
 	hOpDone  uint64 = 2
 )
 
-// drive runs this party's Algorithm 3/4 pass, querying every peer.
+// drive runs this party's Algorithm 3/4 pass, querying every peer. With
+// Config.Parallel = W > 1 the pass runs on the shared wave scheduler
+// (core.WaveDrive): each wave decides up to W queue items concurrently —
+// worker t querying every peer on channel t of its mesh edge — and wave
+// k's workers pipeline wave k+1's queries while waiting on replies,
+// exactly as in the two-party horizontal family. The query multiset, the
+// per-peer counts, and every disclosure class are identical to the
+// sequential pass; only round trips overlap.
 func (h *hState) drive() ([]int, int, error) {
-	labels := make([]int, len(h.enc))
-	for i := range labels {
-		labels[i] = dbscan.Unclassified
+	var labels []int
+	var clusterID int
+	var err error
+	if h.cfg.Parallel > 1 {
+		labels, clusterID, err = core.WaveDrive(len(h.enc), h.cfg.Parallel, h.localRegionQuery,
+			func(t, point, ownCount int) (bool, error) {
+				remote, err := h.totalCountOn(t, point)
+				if err != nil {
+					return false, err
+				}
+				return ownCount+remote >= h.cfg.MinPts, nil
+			})
+	} else {
+		labels = make([]int, len(h.enc))
+		for i := range labels {
+			labels[i] = dbscan.Unclassified
+		}
+		for i := range h.enc {
+			if labels[i] != dbscan.Unclassified {
+				continue
+			}
+			var expanded bool
+			if expanded, err = h.expand(i, clusterID+1, labels); err != nil {
+				break
+			}
+			if expanded {
+				clusterID++
+			}
+		}
 	}
-	clusterID := 0
-	for i := range h.enc {
-		if labels[i] != dbscan.Unclassified {
-			continue
-		}
-		expanded, err := h.expand(i, clusterID+1, labels)
-		if err != nil {
-			return nil, 0, err
-		}
-		if expanded {
-			clusterID++
-		}
+	if err != nil {
+		return nil, 0, err
 	}
 	for q := 0; q < h.party.K; q++ {
 		if q == h.party.Index {
 			continue
 		}
-		if err := transport.SendMsg(h.party.Conns[q], transport.NewBuilder().PutUint(hOpDone)); err != nil {
-			return nil, 0, err
+		for _, c := range h.chans[q] {
+			if err := transport.SendMsg(c, transport.NewBuilder().PutUint(hOpDone)); err != nil {
+				return nil, 0, err
+			}
 		}
 	}
 	return labels, clusterID, nil
@@ -864,14 +909,14 @@ func (h *hState) localRegionQuery(i int) []int {
 	return out
 }
 
-// totalCount sums the query point's neighbours across all peers. With
-// Config.Parallel > 1 the per-peer HDP sub-queries — each a complete
-// two-party exchange on its own mesh edge — run concurrently, so one
-// region query costs the slowest peer's round trips instead of the sum;
-// the per-peer counts, and therefore the total and every disclosure, are
-// unchanged.
-func (h *hState) totalCount(i int) (int, error) {
-	h.queries++
+// totalCountOn sums the query point's neighbours across all peers, on
+// worker slot t of every mesh edge. With Config.Parallel > 1 the
+// per-peer HDP sub-queries — each a complete two-party exchange on its
+// own mesh edge — run concurrently, so one region query costs the
+// slowest peer's round trips instead of the sum; the per-peer counts,
+// and therefore the total and every disclosure, are unchanged.
+func (h *hState) totalCountOn(t, i int) (int, error) {
+	h.queries.Add(1)
 	if h.cfg.Parallel > 1 {
 		counts := make([]int, h.party.K)
 		errs := make([]error, h.party.K)
@@ -883,7 +928,7 @@ func (h *hState) totalCount(i int) (int, error) {
 			wg.Add(1)
 			go func(q int) {
 				defer wg.Done()
-				counts[q], errs[q] = h.queryPeer(q, i)
+				counts[q], errs[q] = h.queryPeer(t, q, i)
 			}(q)
 		}
 		wg.Wait()
@@ -901,7 +946,7 @@ func (h *hState) totalCount(i int) (int, error) {
 		if q == h.party.Index {
 			continue
 		}
-		c, err := h.queryPeer(q, i)
+		c, err := h.queryPeer(t, q, i)
 		if err != nil {
 			return 0, fmt.Errorf("querying party %d: %w", q, err)
 		}
@@ -921,13 +966,18 @@ func (h *hState) totalCount(i int) (int, error) {
 // every expiry boundary and die with it. A fully-cached query, an empty
 // generation, or a sub-query whose candidate cells are empty issues no
 // frames at all.
-func (h *hState) queryPeer(q, i int) (int, error) {
+func (h *hState) queryPeer(t, q, i int) (int, error) {
 	sess := h.sessions[q]
-	conn := h.party.Conns[q]
+	conn := h.chans[q][t]
 	if sess.peerN == 0 {
 		return 0, nil
 	}
+	// Wave workers hit the same peer's cache concurrently — always for
+	// distinct own points (each point is queried once per pass), so the
+	// lock protects only the map structure, never a cache decision.
+	sess.cacheMu.Lock()
 	base, fromGen := sess.cache.Covered(i, h.dead)
+	sess.cacheMu.Unlock()
 	gens := len(sess.peerGenCnt)
 	h.cached.Add(int64(sess.peerN - sess.peerSuffix(fromGen)))
 	x := h.enc[i]
@@ -941,7 +991,9 @@ func (h *hState) queryPeer(q, i int) (int, error) {
 			}
 		}
 		count += fresh
+		sess.cacheMu.Lock()
 		sess.cache.Extend(i, g, g+1, fresh)
+		sess.cacheMu.Unlock()
 	}
 	return count, nil
 }
@@ -1042,10 +1094,11 @@ func (h *hState) queryGen(sess *pairSession, conn transport.Conn, x []int64, g, 
 	return count, nil
 }
 
-// expand is Algorithm 4 with multi-peer counts.
+// expand is Algorithm 4 with multi-peer counts (the sequential W = 1
+// driving pass; W > 1 drives through core.WaveDrive instead).
 func (h *hState) expand(point, clusterID int, labels []int) (bool, error) {
 	seeds := h.localRegionQuery(point)
-	remote, err := h.totalCount(point)
+	remote, err := h.totalCountOn(0, point)
 	if err != nil {
 		return false, err
 	}
@@ -1066,7 +1119,7 @@ func (h *hState) expand(point, clusterID int, labels []int) (bool, error) {
 		cur := queue[0]
 		queue = queue[1:]
 		result := h.localRegionQuery(cur)
-		remote, err := h.totalCount(cur)
+		remote, err := h.totalCountOn(0, cur)
 		if err != nil {
 			return false, err
 		}
@@ -1085,10 +1138,62 @@ func (h *hState) expand(point, clusterID int, labels []int) (bool, error) {
 	return true, nil
 }
 
-// respond serves the driving party's pass on the shared connection.
+// respond serves the driving party's pass. With W > 1 one responder
+// worker loops on each channel of the muxed edge — the driver's wave
+// worker t sends on channel t, so each channel's traffic stays strictly
+// sequential. The comparison engines and the permutation source are
+// stateless per call over the session's locked randomness, so sharing
+// them across responder workers changes only which draw lands on which
+// query — permutations hide slot assignment, never counts. On a worker
+// error every channel of the edge is closed so siblings blocked in Recv
+// unwind instead of deadlocking; the root-cause error wins over the
+// induced connection-closed ones.
 func (h *hState) respond(driver int) error {
 	sess := h.sessions[driver]
-	conn := h.party.Conns[driver]
+	chans := h.chans[driver]
+	if len(chans) == 1 {
+		return h.respondOn(sess, chans[0], driver)
+	}
+	var closeOnce sync.Once
+	failAll := func() {
+		closeOnce.Do(func() {
+			for _, c := range chans {
+				c.Close()
+			}
+		})
+	}
+	errs := make([]error, len(chans))
+	var wg sync.WaitGroup
+	for t := range chans {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			if err := h.respondOn(sess, chans[t], driver); err != nil {
+				failAll()
+				errs[t] = err
+			}
+		}(t)
+	}
+	wg.Wait()
+	var closed error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, transport.ErrClosed) {
+			if closed == nil {
+				closed = err
+			}
+			continue
+		}
+		return err
+	}
+	return closed
+}
+
+// respondOn serves queries arriving on one worker channel until the
+// driver's done op.
+func (h *hState) respondOn(sess *pairSession, conn transport.Conn, driver int) error {
 	for {
 		r, err := transport.RecvMsg(conn)
 		if err != nil {

@@ -218,6 +218,54 @@ func TestMeshPackingEquivalence(t *testing.T) {
 	}
 }
 
+// TestMeshPackingParallelNoGrowth pins the wave scheduler's ciphertext
+// contract on the mesh: with W > 1 the driving pass pipelines per-edge
+// queries across W mux channels, but the query multiset is identical to
+// the sequential schedule — so every party's ciphertext account (total,
+// uplink leg, downlink leg) must be exactly the W = 1 count under every
+// packing mode, not merely close.
+func TestMeshPackingParallelNoGrowth(t *testing.T) {
+	for _, mode := range []core.PackMode{core.PackOff, core.PackSlots, core.PackFull} {
+		seqCfg := packCfg(mode)
+		seqResults, seqErrs := runMesh(t, sameCfgs(3, seqCfg), threePartyPoints)
+		for p, err := range seqErrs {
+			if err != nil {
+				t.Fatalf("packing=%s party %d sequential: %v", mode, p, err)
+			}
+		}
+		parCfg := packCfg(mode)
+		parCfg.Parallel = 4
+		parResults, parErrs := runMesh(t, sameCfgs(3, parCfg), threePartyPoints)
+		for p, err := range parErrs {
+			if err != nil {
+				t.Fatalf("packing=%s party %d W=4: %v", mode, p, err)
+			}
+		}
+		assertMeshSplits(t, string(mode)+" W=4", parResults)
+		for p := range seqResults {
+			if !metrics.ExactMatch(parResults[p].Labels, seqResults[p].Labels) {
+				t.Errorf("packing=%s party %d labels diverge between W=4 and W=1", mode, p)
+			}
+			if parResults[p].RegionQueries != seqResults[p].RegionQueries {
+				t.Errorf("packing=%s party %d region queries: W=4 %d, W=1 %d",
+					mode, p, parResults[p].RegionQueries, seqResults[p].RegionQueries)
+			}
+			if parResults[p].CiphertextsSent != seqResults[p].CiphertextsSent {
+				t.Errorf("packing=%s party %d ciphertexts: W=4 %d, W=1 %d — pipelining must not change the account",
+					mode, p, parResults[p].CiphertextsSent, seqResults[p].CiphertextsSent)
+			}
+			if parResults[p].CiphertextsUplink != seqResults[p].CiphertextsUplink {
+				t.Errorf("packing=%s party %d uplink: W=4 %d, W=1 %d",
+					mode, p, parResults[p].CiphertextsUplink, seqResults[p].CiphertextsUplink)
+			}
+			if parResults[p].CiphertextsDownlink != seqResults[p].CiphertextsDownlink {
+				t.Errorf("packing=%s party %d downlink: W=4 %d, W=1 %d",
+					mode, p, parResults[p].CiphertextsDownlink, seqResults[p].CiphertextsDownlink)
+			}
+		}
+	}
+}
+
 // TestPackingRequiresBatched pins the validation rule shared with the
 // two-party stack: slot packing presupposes the batched round structure.
 func TestPackingRequiresBatched(t *testing.T) {

@@ -70,18 +70,25 @@ func TestMeshParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := base
-	cfg.Parallel = 4
-	parResults, err := runMeshOne(t, cfg, split)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for p := range parResults {
-		if !metrics.ExactMatch(parResults[p].Labels, seqResults[p].Labels) {
-			t.Errorf("party %d labels diverge: %v vs %v", p, parResults[p].Labels, seqResults[p].Labels)
+	for _, w := range []int{2, 4} {
+		cfg := base
+		cfg.Parallel = w
+		parResults, err := runMeshOne(t, cfg, split)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
 		}
-		if parResults[p].RegionQueries != seqResults[p].RegionQueries {
-			t.Errorf("party %d region queries %d vs %d", p, parResults[p].RegionQueries, seqResults[p].RegionQueries)
+		for p := range parResults {
+			if !metrics.ExactMatch(parResults[p].Labels, seqResults[p].Labels) {
+				t.Errorf("W=%d: party %d labels diverge: %v vs %v", w, p, parResults[p].Labels, seqResults[p].Labels)
+			}
+			if parResults[p].RegionQueries != seqResults[p].RegionQueries {
+				t.Errorf("W=%d: party %d region queries %d vs %d", w, p, parResults[p].RegionQueries, seqResults[p].RegionQueries)
+			}
+			// The wave scheduler may reorder frames but never changes the
+			// query multiset, so the ciphertext account is exact.
+			if parResults[p].CiphertextsSent != seqResults[p].CiphertextsSent {
+				t.Errorf("W=%d: party %d ciphertexts %d vs %d", w, p, parResults[p].CiphertextsSent, seqResults[p].CiphertextsSent)
+			}
 		}
 	}
 }

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The serving-tier control preamble. Every connection into the sharded
+// serving tier — client to dispatcher, dispatcher to shard, or client
+// straight to a shard — opens with exactly one control frame before any
+// protocol traffic: a HELLO carrying the session key the dispatcher
+// hashes for shard placement, answered by ADMIT (proceed; the protocol
+// handshake follows on the same connection) or SHED (a typed refusal —
+// the server is full or draining — spent before any keygen). The same
+// first-frame dispatch carries the tier's operational channel: PING/PONG
+// health probes and STATS snapshot pulls, each a one-frame exchange on a
+// short-lived connection. Keeping the preamble at the frame layer makes
+// shard routing protocol-transparent: after ADMIT the dispatcher relays
+// raw frames (Splice), so the byte stream a shard sees is identical to a
+// direct connection and labels/Ledgers cannot depend on the route.
+
+// Control ops. A connection's first frame is always one of these.
+const (
+	CtrlHello      uint64 = iota + 1 // client → server: session key; answered by Admit or Shed
+	CtrlAdmit                        // server → client: admitted; Shard names the serving backend
+	CtrlShed                         // server → client: refused before keygen; Code says why
+	CtrlPing                         // prober → server: health check; answered by Pong
+	CtrlPong                         // server → prober: Shard, Live session count, Draining flag
+	CtrlStats                        // prober → server: snapshot pull; answered by StatsReply
+	CtrlStatsReply                   // server → prober: Payload is an encoded metrics snapshot
+)
+
+// Shed reason codes (Control.Code on a CtrlShed frame).
+const (
+	ShedFull     uint64 = 1 // admission bound reached on every candidate shard
+	ShedDraining uint64 = 2 // the tier is shutting down
+)
+
+// Control is one preamble frame. The codec writes every field
+// unconditionally — control frames are rare and tiny, so a fixed shape
+// beats per-op variants.
+type Control struct {
+	Op       uint64
+	Key      string // CtrlHello: the session key (consistent-hash routing input)
+	Shard    string // CtrlAdmit/CtrlShed/CtrlPong: the answering backend's name
+	Code     uint64 // CtrlShed: reason (ShedFull, ShedDraining)
+	Live     int64  // CtrlPong: currently registered sessions
+	Draining bool   // CtrlPong: shutdown started
+	Payload  []byte // CtrlStatsReply: encoded snapshot (opaque to this layer)
+}
+
+// Encode appends the control frame to a builder.
+func (c Control) Encode(b *Builder) *Builder {
+	return b.PutUint(c.Op).
+		PutString(c.Key).
+		PutString(c.Shard).
+		PutUint(c.Code).
+		PutInt(c.Live).
+		PutBool(c.Draining).
+		PutBytes(c.Payload)
+}
+
+// SendControl writes one control frame.
+func SendControl(conn Conn, c Control) error {
+	return SendMsg(conn, c.Encode(NewBuilder()))
+}
+
+// RecvControl reads one control frame.
+func RecvControl(conn Conn) (Control, error) {
+	r, err := RecvMsg(conn)
+	if err != nil {
+		return Control{}, err
+	}
+	return DecodeControl(r)
+}
+
+// DecodeControl parses a control frame from a reader.
+func DecodeControl(r *Reader) (Control, error) {
+	c := Control{
+		Op:       r.Uint(),
+		Key:      r.String(),
+		Shard:    r.String(),
+		Code:     r.Uint(),
+		Live:     r.Int(),
+		Draining: r.Bool(),
+	}
+	c.Payload = append([]byte(nil), r.Bytes()...)
+	if err := r.Err(); err != nil {
+		return Control{}, fmt.Errorf("transport: control frame: %w", err)
+	}
+	if c.Op < CtrlHello || c.Op > CtrlStatsReply {
+		return Control{}, fmt.Errorf("transport: unknown control op %d", c.Op)
+	}
+	return c, nil
+}
+
+// Splice relays frames between two connections in both directions until
+// either side closes, then closes both and reports the bytes relayed
+// (a→b, b→a). Relaying whole frames — not raw bytes — keeps the proxy
+// correct over any Conn (TCP frame streams, in-process pipes, latency
+// pipes alike) and preserves frame boundaries exactly, so the spliced
+// stream is byte-identical to a direct connection at the protocol layer.
+// The dispatcher calls it after relaying the admission preamble.
+func Splice(a, b Conn) (aToB, bToA int64) {
+	var wg sync.WaitGroup
+	var ab, ba atomic.Int64
+	relay := func(src, dst Conn, n *atomic.Int64) {
+		defer wg.Done()
+		for {
+			msg, err := src.Recv()
+			if err != nil {
+				// Peer gone or conn torn down: unblock the other direction.
+				src.Close()
+				dst.Close()
+				return
+			}
+			n.Add(int64(len(msg)))
+			if err := dst.Send(msg); err != nil {
+				src.Close()
+				dst.Close()
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go relay(a, b, &ab)
+	go relay(b, a, &ba)
+	wg.Wait()
+	return ab.Load(), ba.Load()
+}

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestControlRoundTrip(t *testing.T) {
+	cases := []Control{
+		{Op: CtrlHello, Key: "client-7"},
+		{Op: CtrlAdmit, Shard: "shard-b"},
+		{Op: CtrlShed, Shard: "shard-a", Code: ShedFull},
+		{Op: CtrlShed, Code: ShedDraining},
+		{Op: CtrlPing},
+		{Op: CtrlPong, Shard: "shard-a", Live: 3, Draining: true},
+		{Op: CtrlStats},
+		{Op: CtrlStatsReply, Shard: "shard-b", Payload: []byte{1, 2, 3, 0, 255}},
+	}
+	for _, want := range cases {
+		a, b := Pipe()
+		errc := make(chan error, 1)
+		go func() { errc <- SendControl(a, want) }()
+		got, err := RecvControl(b)
+		if err != nil {
+			t.Fatalf("recv %+v: %v", want, err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("send %+v: %v", want, err)
+		}
+		if got.Op != want.Op || got.Key != want.Key || got.Shard != want.Shard ||
+			got.Code != want.Code || got.Live != want.Live || got.Draining != want.Draining ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+func TestControlRejectsUnknownOp(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	go SendControl(a, Control{Op: 99})
+	if _, err := RecvControl(b); err == nil {
+		t.Fatal("want error for unknown control op")
+	}
+}
+
+func TestControlRejectsTruncatedFrame(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Send(NewBuilder().PutUint(CtrlHello).Bytes())
+	if _, err := RecvControl(b); err == nil {
+		t.Fatal("want error for truncated control frame")
+	}
+}
+
+// TestSpliceRelaysFrames checks that a spliced pair of connections is
+// indistinguishable from a direct connection: every frame arrives intact,
+// in order, in both directions, and the byte counts match what was sent.
+func TestSpliceRelaysFrames(t *testing.T) {
+	// client <-> (cIn | cOut spliced with sIn) <-> server
+	client, cOut := Pipe()
+	sIn, server := Pipe()
+
+	done := make(chan struct{})
+	var aToB, bToA int64
+	go func() {
+		aToB, bToA = Splice(cOut, sIn)
+		close(done)
+	}()
+
+	const rounds = 20
+	var wantUp, wantDown int64
+	echoErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			msg, err := server.Recv()
+			if err != nil {
+				echoErr <- err
+				return
+			}
+			if err := server.Send(append(msg, byte(i))); err != nil {
+				echoErr <- err
+				return
+			}
+		}
+		echoErr <- nil
+	}()
+
+	for i := 0; i < rounds; i++ {
+		out := []byte(fmt.Sprintf("frame-%d-%s", i, string(make([]byte, i*7))))
+		if err := client.Send(out); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		wantUp += int64(len(out))
+		in, err := client.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		want := append(append([]byte(nil), out...), byte(i))
+		if !bytes.Equal(in, want) {
+			t.Fatalf("frame %d corrupted through splice", i)
+		}
+		wantDown += int64(len(want))
+	}
+	if err := <-echoErr; err != nil {
+		t.Fatalf("echo server: %v", err)
+	}
+
+	client.Close()
+	server.Close()
+	<-done
+	if aToB != wantUp || bToA != wantDown {
+		t.Fatalf("splice byte counts: got %d/%d want %d/%d", aToB, bToA, wantUp, wantDown)
+	}
+}
+
+// TestSpliceClosesBothSidesOnEitherClose checks the teardown contract:
+// closing one endpoint unblocks and closes the whole relay.
+func TestSpliceClosesBothSidesOnEitherClose(t *testing.T) {
+	client, cOut := Pipe()
+	sIn, server := Pipe()
+	done := make(chan struct{})
+	go func() {
+		Splice(cOut, sIn)
+		close(done)
+	}()
+	client.Close()
+	<-done
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("server side should be closed after client close")
+	}
+}
